@@ -1,0 +1,76 @@
+// Ablation of the paper's §2.3 sampling design:
+//  * the sample-size formula (width 0.1, 90% confidence -> 164 points);
+//  * estimate error vs sample size, measured against the exact CME
+//    traversal on a mid-size kernel;
+//  * common random numbers (one sample per GA run) vs fresh resampling
+//    per evaluation: noise seen by GA selection.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  bench::BenchContext ctx(argc, argv, "bench_ablation_sampling");
+
+  std::cout << "paper sample size (width 0.1, confidence 0.90): "
+            << required_sample_size(0.1, 0.90) << " (paper: 164)\n";
+
+  const ir::LoopNest nest = kernels::build_kernel("MM", ctx.fast ? 40 : 64);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const transform::TileVector untiled = transform::TileVector::untiled(nest);
+
+  const cme::NestAnalysis analysis(nest, layout, cache, untiled);
+  const cme::MissEstimate exact = cme::estimate_exact(analysis);
+  std::cout << "exact replacement ratio (full traversal of " << nest.iteration_count()
+            << " points): " << format_pct(exact.replacement_ratio) << "\n";
+
+  TextTable table({"Samples", "Mean abs error", "Max abs error", "Mean CI half-width",
+                   "Within CI", "Runs"});
+  const int runs = ctx.fast ? 10 : 30;
+  for (const i64 samples : {i64{16}, i64{41}, i64{82}, i64{164}, i64{328}, i64{656}}) {
+    RunningStats err;
+    double max_err = 0.0;
+    double hw_sum = 0.0;
+    int within = 0;
+    for (int r = 0; r < runs; ++r) {
+      const auto points = cme::sample_points(nest, samples, derive_seed(ctx.seed, (std::uint64_t)r,
+                                                                        (std::uint64_t)samples));
+      const cme::MissEstimate e = cme::estimate_with_points(analysis, points);
+      const double abs_err = std::abs(e.replacement_ratio - exact.replacement_ratio);
+      err.add(abs_err);
+      max_err = std::max(max_err, abs_err);
+      hw_sum += e.replacement_half_width;
+      if (abs_err <= e.replacement_half_width + 1e-12) ++within;
+    }
+    table.add_row({std::to_string(samples), format_pct(err.mean(), 2), format_pct(max_err, 2),
+                   format_pct(hw_sum / runs, 2),
+                   format_pct((double)within / (double)runs, 0), std::to_string(runs)});
+  }
+
+  // CRN vs resampling: cost difference between two tilings, repeated.
+  {
+    const transform::TileVector good{{64, 8, 8}};
+    const transform::TileVector bad{{64, 64, 64}};
+    RunningStats crn_gap, fresh_gap;
+    for (int r = 0; r < runs; ++r) {
+      const auto pts = cme::sample_points(nest, 164, derive_seed(ctx.seed, 77, (std::uint64_t)r));
+      const cme::NestAnalysis ga(nest, layout, cache, good);
+      const cme::NestAnalysis ba(nest, layout, cache, bad);
+      // CRN: same points for both tilings.
+      crn_gap.add(cme::estimate_with_points(ba, pts).replacement_ratio -
+                  cme::estimate_with_points(ga, pts).replacement_ratio);
+      // Fresh: independent samples per evaluation.
+      const auto pts2 =
+          cme::sample_points(nest, 164, derive_seed(ctx.seed, 78, (std::uint64_t)r));
+      fresh_gap.add(cme::estimate_with_points(ba, pts2).replacement_ratio -
+                    cme::estimate_with_points(ga, pts).replacement_ratio);
+    }
+    std::cout << "CRN cost-gap stddev:   " << format_pct(crn_gap.stddev(), 2)
+              << " (mean gap " << format_pct(crn_gap.mean(), 2) << ")\n"
+              << "fresh cost-gap stddev: " << format_pct(fresh_gap.stddev(), 2)
+              << " (mean gap " << format_pct(fresh_gap.mean(), 2) << ")\n";
+  }
+
+  ctx.finish(table);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: is the genetic algorithm the right searcher (paper §3.1/§5)?
+// Same CME objective, same evaluation budget (450 = 15 generations × 30):
+//   * GA with paper defaults (seeded and pure-random initialization)
+//   * random search / hill climbing / simulated annealing
+//   * the analytic selectors (LRW, TSS, Sarkar–Megiddo style), which spend
+//     no CME evaluations at all
+//   * exhaustive optimum on a small kernel (the paper's "optimal" oracle)
+// Reported: best replacement-miss ratio found by each method.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  bench::BenchContext ctx(argc, argv, "bench_ablation_search");
+  const i64 budget = ctx.args.get_int("budget", 450);
+
+  const std::vector<kernels::FigureEntry> entries = ctx.fast
+      ? std::vector<kernels::FigureEntry>{{"MM", 100}}
+      : std::vector<kernels::FigureEntry>{
+            {"MM", 500}, {"T2D", 2000}, {"T3DJIK", 200}, {"ADI", 500}, {"DPSSB", 0}};
+  const cache::CacheConfig cache = bench::paper_cache_8k();
+
+  TextTable table({"Kernel", "Method", "Repl ratio", "Tiles", "Evals"});
+  for (const auto& entry : entries) {
+    const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
+    const ir::MemoryLayout layout(nest);
+    const core::TilingObjective objective(nest, layout, cache);
+    const auto domains = objective.domains();
+    const auto cost_fn = [&](std::span<const i64> v) { return objective(v); };
+    const std::uint64_t seed = derive_seed(ctx.seed, std::hash<std::string>{}(entry.label()));
+
+    const auto report = [&](const std::string& method, std::span<const i64> values, i64 evals) {
+      const auto tiles = transform::TileVector::clamped({values.begin(), values.end()}, nest);
+      const double ratio =
+          objective.is_legal(tiles) ? objective.evaluate(tiles).replacement_ratio : -1.0;
+      table.add_row({entry.label(), method, ratio < 0 ? "illegal" : format_pct(ratio),
+                     tiles.to_string(), std::to_string(evals)});
+      std::cout << "  " << entry.label() << " " << method << ": "
+                << (ratio < 0 ? std::string("illegal") : format_pct(ratio)) << "\n";
+    };
+
+    // GA, warm-started (the shipped default).
+    {
+      core::OptimizerOptions options;
+      options.ga.seed = seed;
+      const core::TilingResult r = core::optimize_tiling(nest, layout, cache, options);
+      report("GA (seeded)", r.tiles.t, r.ga.evaluations);
+    }
+    // GA, paper-pure random initialization.
+    {
+      core::OptimizerOptions options;
+      options.ga.seed = seed;
+      options.seed_population = false;
+      const core::TilingResult r = core::optimize_tiling(nest, layout, cache, options);
+      report("GA (random init)", r.tiles.t, r.ga.evaluations);
+    }
+    {
+      const auto r = baselines::random_search(domains, cost_fn, budget, seed);
+      report("random search", r.best_values, r.evaluations);
+    }
+    {
+      const auto r = baselines::hill_climb(domains, cost_fn, budget, seed);
+      report("hill climb", r.best_values, r.evaluations);
+    }
+    {
+      const auto r = baselines::simulated_annealing(domains, cost_fn, budget, seed);
+      report("simulated annealing", r.best_values, r.evaluations);
+    }
+    report("LRW (ESS)", baselines::lrw_tiles(nest, layout, cache).t, 0);
+    report("TSS", baselines::tss_tiles(nest, layout, cache).t, 0);
+    report("Sarkar-Megiddo", baselines::sarkar_megiddo_tiles(nest, layout, cache).t, 0);
+  }
+
+  // Exhaustive oracle on a small space: GA must be near it.
+  {
+    const ir::LoopNest nest = kernels::build_kernel("MM", 16);
+    const ir::MemoryLayout layout(nest);
+    const cache::CacheConfig small_cache = cache::CacheConfig::direct_mapped(1024);
+    const core::TilingObjective objective(nest, layout, small_cache);
+    const auto r = baselines::exhaustive_search(objective.domains(),
+                                                [&](std::span<const i64> v) { return objective(v); });
+    const auto tiles = transform::TileVector::clamped(r.best_values, nest);
+    table.add_row({"MM_16(1KB)", "exhaustive optimum",
+                   format_pct(objective.evaluate(tiles).replacement_ratio), tiles.to_string(),
+                   std::to_string(r.evaluations)});
+    core::OptimizerOptions options;
+    options.ga.seed = ctx.seed;
+    const core::TilingResult g = core::optimize_tiling(nest, layout, small_cache, options);
+    table.add_row({"MM_16(1KB)", "GA (seeded)", format_pct(g.after.replacement_ratio),
+                   g.tiles.to_string(), std::to_string(g.ga.evaluations)});
+    std::cout << "  exhaustive MM_16: optimum "
+              << format_pct(objective.evaluate(tiles).replacement_ratio) << ", GA "
+              << format_pct(g.after.replacement_ratio) << "\n";
+  }
+
+  ctx.finish(table);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+// Shared plumbing for the paper-reproduction benches: CLI flags, cache
+// construction, row formatting and CSV output. Every bench prints the
+// paper's rows and writes `<bench>.csv` into the working directory.
+//
+// Common flags:
+//   --seed=N        experiment seed (default 2002)
+//   --samples=N     CME sample points per estimate (default: paper's 164)
+//   --fast          shrink problem sizes / budgets for smoke runs
+//   --csv=PATH      override the CSV output path
+
+#include <chrono>
+#include <iostream>
+
+#include "core/api.hpp"
+
+namespace cmetile::bench {
+
+struct BenchContext {
+  CliArgs args;
+  std::uint64_t seed;
+  bool fast;
+
+  BenchContext(int argc, const char* const* argv, const char* name)
+      : args(argc, argv),
+        seed((std::uint64_t)args.get_int("seed", 2002)),
+        fast(args.get_bool("fast", false)),
+        name_(name) {
+    std::cout << "== " << name << " ==\n";
+  }
+
+  core::ExperimentOptions experiment_options() const {
+    core::ExperimentOptions options;
+    options.seed = seed;
+    const i64 samples = args.get_int("samples", 0);
+    if (samples > 0) options.optimizer.objective.estimator.sample_count = samples;
+    if (fast) {
+      options.optimizer.ga.min_generations = 4;
+      options.optimizer.ga.max_generations = 6;
+      options.optimizer.objective.estimator.sample_count = 64;
+    }
+    return options;
+  }
+
+  void finish(const TextTable& table) const {
+    std::cout << table.to_string();
+    const std::string path = args.get(std::string("csv"), std::string(name_) + ".csv");
+    if (table.write_csv(path))
+      std::cout << "[csv written to " << path << "]\n";
+    else
+      std::cout << "[csv write failed: " << path << "]\n";
+  }
+
+ private:
+  const char* name_;
+};
+
+inline cache::CacheConfig paper_cache_8k() { return cache::CacheConfig::direct_mapped(8192, 32); }
+inline cache::CacheConfig paper_cache_32k() {
+  return cache::CacheConfig::direct_mapped(32768, 32);
+}
+
+class StopWatch {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace cmetile::bench

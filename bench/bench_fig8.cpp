@@ -1,0 +1,9 @@
+// Reproduces paper Figure 8: replacement miss ratio before ("NO Tiling")
+// and after ("Tiling") GA loop tiling for all 27 kernel/size bars on the
+// 8KB direct-mapped cache (32-byte lines).
+
+#include "bench_figure.hpp"
+
+int main(int argc, char** argv) {
+  return cmetile::bench::run_figure(argc, argv, "bench_fig8", cmetile::bench::paper_cache_8k());
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 9: replacement miss ratio before and after GA
+// loop tiling for all 27 kernel/size bars on the 32KB direct-mapped cache.
+
+#include "bench_figure.hpp"
+
+int main(int argc, char** argv) {
+  return cmetile::bench::run_figure(argc, argv, "bench_fig9", cmetile::bench::paper_cache_32k());
+}

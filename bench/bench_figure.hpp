@@ -1,0 +1,39 @@
+#pragma once
+// Shared driver for Figures 8 and 9: one bar per (kernel, size) from
+// kernels::figure_bars(), replacement miss ratio with no tiling vs with
+// GA-selected tiling, on the given cache.
+
+#include "bench_common.hpp"
+
+namespace cmetile::bench {
+
+inline int run_figure(int argc, char** argv, const char* name,
+                      const cache::CacheConfig& cache) {
+  BenchContext ctx(argc, argv, name);
+  const core::ExperimentOptions options = ctx.experiment_options();
+
+  std::vector<kernels::FigureEntry> bars = kernels::figure_bars();
+  if (ctx.fast) {
+    std::vector<kernels::FigureEntry> small;
+    for (auto& bar : bars)
+      if (bar.size <= 500) small.push_back(bar);
+    bars = std::move(small);
+  }
+
+  TextTable table({"Kernel", "NoTiling Repl", "Tiling Repl", "Tiles", "GA evals", "Seconds"});
+  StopWatch total;
+  for (const auto& bar : bars) {
+    const core::TilingRow row = core::run_tiling_experiment(bar, cache, options);
+    table.add_row({row.label, format_pct(row.no_tiling_repl), format_pct(row.tiling_repl),
+                   row.tiles.to_string(), std::to_string(row.ga_evaluations),
+                   format_fixed(row.seconds, 1)});
+    std::cout << "  " << row.label << ": " << format_pct(row.no_tiling_repl) << " -> "
+              << format_pct(row.tiling_repl) << "\n";
+  }
+  std::cout << "[cache " << cache.to_string() << ", total " << format_fixed(total.seconds(), 1)
+            << "s]\n";
+  ctx.finish(table);
+  return 0;
+}
+
+}  // namespace cmetile::bench

@@ -1,0 +1,42 @@
+// Extension bench for the paper's §4.3 future work: searching padding and
+// tiling parameters in a single GA step versus sequentially ("padding and
+// tiling are applied sequentially in this order"). The paper conjectures
+// the joint search "can in general produce better results"; this bench
+// measures it on the Table 3 kernels at 8KB.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  bench::BenchContext ctx(argc, argv, "bench_joint");
+  const cache::CacheConfig cache = bench::paper_cache_8k();
+
+  const std::vector<kernels::FigureEntry> entries = ctx.fast
+      ? std::vector<kernels::FigureEntry>{{"VPENTA2", 0}}
+      : std::vector<kernels::FigureEntry>{
+            {"ADD", 0}, {"BTRIX", 0}, {"VPENTA1", 0}, {"VPENTA2", 0}, {"ADI", 1000}};
+
+  TextTable table({"Kernel", "Original", "Sequential (pad->tile)", "Joint (single step)",
+                   "Seq evals", "Joint evals"});
+  for (const auto& entry : entries) {
+    const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
+    core::OptimizerOptions options = ctx.experiment_options().optimizer;
+    options.ga.seed = derive_seed(ctx.seed, std::hash<std::string>{}(entry.label()));
+
+    const core::PadTileResult seq = core::optimize_padding_then_tiling(nest, cache, options);
+    const core::JointResult joint = core::optimize_jointly(nest, cache, options);
+
+    table.add_row({entry.label(), format_pct(seq.original.replacement_ratio),
+                   format_pct(seq.padded_tiled.replacement_ratio),
+                   format_pct(joint.optimized.replacement_ratio),
+                   "~2x" + std::to_string(options.ga.population) + "x gens",
+                   std::to_string(joint.ga.evaluations)});
+    std::cout << "  " << entry.label() << ": original "
+              << format_pct(seq.original.replacement_ratio) << ", sequential "
+              << format_pct(seq.padded_tiled.replacement_ratio) << ", joint "
+              << format_pct(joint.optimized.replacement_ratio) << " (pads "
+              << joint.pads.to_string(nest) << ", tiles " << joint.tiles.to_string() << ")\n";
+  }
+  ctx.finish(table);
+  return 0;
+}

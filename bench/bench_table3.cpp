@@ -1,0 +1,35 @@
+// Reproduces paper Table 3: the conflict-dominated kernels where tiling
+// alone leaves a high replacement miss ratio (ADD, BTRIX, VPENTA1,
+// VPENTA2, plus ADI at N=1000/2000 on the 8KB cache). Columns: original
+// replacement ratio, after GA padding, after padding + tiling applied
+// sequentially in this order (paper §4.3).
+//
+// Paper values (8KB): ADD 60.2/59.8/0.5, BTRIX 50.1/0.2/0.2,
+//   VPENTA1 78.3/52.4/0.0, VPENTA2 86.0/11.9/0.0, ADI_1000 26.2/12.3/4.1,
+//   ADI_2000 25.7/12.4/3.4.
+// Paper values (32KB): ADD 60.2/59.8/0.0, BTRIX 34.1/0.0/0.0,
+//   VPENTA1 78.1/32.9/0.0, VPENTA2 86.0/11.3/0.0.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  bench::BenchContext ctx(argc, argv, "bench_table3");
+  const core::ExperimentOptions options = ctx.experiment_options();
+
+  TextTable table({"Cache", "Kernel", "Original", "Padding", "Padding+Tiling", "Pads", "Tiles"});
+  for (const cache::CacheConfig& cache : {bench::paper_cache_8k(), bench::paper_cache_32k()}) {
+    for (const auto& entry : kernels::table3_entries(cache.size_bytes)) {
+      const core::PaddingRow row = core::run_padding_experiment(entry, cache, options);
+      const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
+      table.add_row({cache.to_string(), row.label, format_pct(row.original_repl),
+                     format_pct(row.padding_repl), format_pct(row.padding_tiling_repl),
+                     row.pads.to_string(nest), row.tiles.to_string()});
+      std::cout << "  " << cache.to_string() << " " << row.label << ": "
+                << format_pct(row.original_repl) << " / " << format_pct(row.padding_repl)
+                << " / " << format_pct(row.padding_tiling_repl) << "\n";
+    }
+  }
+  ctx.finish(table);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Table 4: the percentage of kernels (excluding the
+// Table 3 conflict-dominated ones) whose post-tiling replacement miss
+// ratio is below 1%, 2% and 5%, for the 8KB and 32KB caches.
+//
+// Paper values: 8KB 56.4 / 79.5 / 100.0, 32KB 90.2 / 97.6 / 100.0.
+//
+// The rows are computed from the same experiments as Figures 8/9 (this
+// binary re-runs them; pass --fast for the reduced bar set).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  bench::BenchContext ctx(argc, argv, "bench_table4");
+  const core::ExperimentOptions options = ctx.experiment_options();
+
+  // Kernels excluded by the paper: the Table 3 set.
+  const std::vector<std::string> excluded = {"ADD", "BTRIX", "VPENTA1", "VPENTA2"};
+
+  std::vector<kernels::FigureEntry> bars = kernels::figure_bars();
+  if (ctx.fast) {
+    std::vector<kernels::FigureEntry> small;
+    for (auto& bar : bars)
+      if (bar.size <= 500) small.push_back(bar);
+    bars = std::move(small);
+  }
+
+  TextTable table({"Cache sizes", "<1%", "<2%", "<5%", "kernels"});
+  for (const cache::CacheConfig& cache : {bench::paper_cache_8k(), bench::paper_cache_32k()}) {
+    i64 total = 0, under1 = 0, under2 = 0, under5 = 0;
+    for (const auto& bar : bars) {
+      if (std::find(excluded.begin(), excluded.end(), bar.name) != excluded.end()) continue;
+      const core::TilingRow row = core::run_tiling_experiment(bar, cache, options);
+      ++total;
+      if (row.tiling_repl < 0.01) ++under1;
+      if (row.tiling_repl < 0.02) ++under2;
+      if (row.tiling_repl < 0.05) ++under5;
+      std::cout << "  " << cache.to_string() << " " << row.label << ": "
+                << format_pct(row.tiling_repl) << "\n";
+    }
+    table.add_row({cache.to_string(), format_pct((double)under1 / (double)total),
+                   format_pct((double)under2 / (double)total),
+                   format_pct((double)under5 / (double)total), std::to_string(total)});
+  }
+  ctx.finish(table);
+  return 0;
+}

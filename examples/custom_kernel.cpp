@@ -1,0 +1,92 @@
+// Domain scenario: the "integrate it into your compiler" story. A user
+// brings their own loop nest — a SYR2K-like update that is NOT part of
+// the shipped kernel registry — and the library:
+//   1. validates it and derives its reuse vectors,
+//   2. checks tiling legality,
+//   3. searches tile sizes with the CME+GA pipeline — and discovers that
+//      *tiling alone cannot help*: at N = 96 each array occupies exactly
+//      9 x 8KB, so all bases alias in the 8KB cache and the misses are
+//      conflict misses (the model agrees with the simulator to the digit),
+//   4. falls back to the joint padding+tiling search, which fixes it,
+//   5. verifies everything end to end against the trace simulator.
+//
+// Run: ./examples/custom_kernel [--n=96]
+
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  const CliArgs args(argc, argv);
+  const i64 n = args.get_int("n", 96);
+
+  // c(i,j) = c(i,j) + a(i,k)*b(j,k) + a(j,k)*b(i,k)   (SYR2K flavour)
+  ir::NestBuilder builder("syr2k");
+  auto i = builder.loop("i", 1, n);
+  auto j = builder.loop("j", 1, n);
+  auto k = builder.loop("k", 1, n);
+  auto a = builder.array("a", {n, n});
+  auto b = builder.array("b", {n, n});
+  auto c = builder.array("c", {n, n});
+  builder.statement()
+      .read(c, {i, j})
+      .read(a, {i, k})
+      .read(b, {j, k})
+      .read(a, {j, k})
+      .read(b, {i, k})
+      .write(c, {i, j});
+  const ir::LoopNest nest = builder.build();
+  nest.validate();
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192, 32);
+
+  std::cout << "Kernel:\n" << nest.to_string() << "\n";
+  std::cout << "Layout:\n" << layout.to_string(nest) << "\n";
+
+  // 1. Reuse structure.
+  std::cout << "Reuse candidates:\n"
+            << reuse::analyze_reuse(nest, layout, cache.line_bytes).to_string(nest);
+
+  // 2. Legality.
+  const transform::LegalityReport legality = transform::check_tiling_legality(nest);
+  std::cout << "\nFull-permutability check: "
+            << (legality.verdict == transform::Legality::Legal ? "fully permutable"
+                                                               : legality.detail)
+            << "\n";
+
+  // 3. Tile-size search.
+  core::OptimizerOptions options;
+  options.ga.seed = (std::uint64_t)args.get_int("seed", 13);
+  const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+  std::cout << "\nChosen tiles: " << result.tiles.to_string() << " — replacement "
+            << format_pct(result.before.replacement_ratio) << " -> "
+            << format_pct(result.after.replacement_ratio) << " (CME estimate)\n";
+
+  // 4. End-to-end verification with the trace simulator.
+  const auto sim_before = cache::simulate_nest(nest, layout, cache);
+  const auto sim_after = transform::simulate_tiled(nest, layout, cache, result.tiles);
+  std::cout << "Simulator ground truth:       replacement "
+            << format_pct(sim_before.back().replacement_ratio()) << " -> "
+            << format_pct(sim_after.back().replacement_ratio()) << "\n";
+  std::cout << "Cold misses preserved by tiling: "
+            << (sim_before.back().cold_misses == sim_after.back().cold_misses ? "yes" : "NO")
+            << " (paper §3.1)\n";
+
+  // 5. Tiling alone barely moves: these are conflict misses (aliased
+  //    bases). Search padding and tiling jointly (paper §4.3 future work).
+  if (result.after.replacement_ratio > 0.1) {
+    std::cout << "\nReplacement ratio still high: conflict misses — searching padding"
+                 " and tiling jointly...\n";
+    const core::JointResult joint = core::optimize_jointly(nest, cache, options);
+    std::cout << "Joint result: pads " << joint.pads.to_string(nest) << ", tiles "
+              << joint.tiles.to_string() << " — replacement "
+              << format_pct(joint.original.replacement_ratio) << " -> "
+              << format_pct(joint.optimized.replacement_ratio) << " (CME estimate)\n";
+    const ir::MemoryLayout padded = transform::padded_layout(nest, joint.pads);
+    const auto sim_joint = transform::simulate_tiled(nest, padded, cache, joint.tiles);
+    std::cout << "Simulator ground truth:                       -> "
+              << format_pct(sim_joint.back().replacement_ratio()) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: tile the paper's Fig. 1 matrix multiply for an 8KB
+// direct-mapped cache, end to end.
+//
+//   1. declare the loop nest with the builder DSL,
+//   2. check tiling legality,
+//   3. run the CME+GA tile search (paper defaults),
+//   4. print the chosen tiles, the tiled loop, and before/after miss
+//      ratios — the paper's headline is a ~7x total-miss reduction for MM.
+//
+// Build & run:  ./examples/quickstart [--n=500] [--cache=8192]
+
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  const CliArgs args(argc, argv);
+  const i64 n = args.get_int("n", 500);
+  const cache::CacheConfig cache =
+      cache::CacheConfig::direct_mapped(args.get_int("cache", 8192), 32);
+
+  // 1. The kernel: do i / do j / do k: a(i,j) = a(i,j) + b(i,k)*c(k,j).
+  ir::NestBuilder builder("MM");
+  auto i = builder.loop("i", 1, n);
+  auto j = builder.loop("j", 1, n);
+  auto k = builder.loop("k", 1, n);
+  auto a = builder.array("a", {n, n});
+  auto b = builder.array("b", {n, n});
+  auto c = builder.array("c", {n, n});
+  builder.statement().read(a, {i, j}).read(b, {i, k}).read(c, {k, j}).write(a, {i, j});
+  const ir::LoopNest nest = builder.build();
+  const ir::MemoryLayout layout(nest);
+
+  std::cout << "Kernel:\n" << nest.to_string() << "\n";
+  std::cout << "Cache: " << cache.to_string() << "\n\n";
+
+  // 2. Legality: MM is fully permutable, any tile vector is fine.
+  const transform::LegalityReport legality = transform::check_tiling_legality(nest);
+  std::cout << "Tiling legality: "
+            << (legality.verdict == transform::Legality::Legal ? "legal" : legality.detail)
+            << "\n\n";
+
+  // 3. Search tile sizes: GA over [1,N]^3 with the CME objective.
+  core::OptimizerOptions options;
+  options.ga.seed = (std::uint64_t)args.get_int("seed", 42);
+  const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+
+  // 4. Report.
+  std::cout << "GA: " << result.ga.generations << " generations, " << result.ga.evaluations
+            << " evaluations (paper: ~450), converged="
+            << (result.ga.converged ? "yes" : "no") << "\n";
+  std::cout << "Chosen tiles: " << result.tiles.to_string() << "\n\n";
+  std::cout << "Tiled loop (paper Fig. 3 shape):\n"
+            << transform::tiled_source(nest, result.tiles) << "\n";
+  std::cout << "Miss ratios (CME estimate, " << cme::kPaperSampleCount << "-point sample):\n";
+  std::cout << "  no tiling: total " << format_pct(result.before.total_ratio)
+            << ", replacement " << format_pct(result.before.replacement_ratio) << "\n";
+  std::cout << "  tiled:     total " << format_pct(result.after.total_ratio)
+            << ", replacement " << format_pct(result.after.replacement_ratio) << "\n";
+  if (result.after.total_ratio > 0.0) {
+    std::cout << "  total miss ratio reduction: "
+              << format_fixed(result.before.total_ratio / result.after.total_ratio, 1)
+              << "x (paper reports ~7x for MM)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "baselines/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::baselines {
+
+namespace {
+
+/// Minimum circular gap (in bytes) between the first `rows` row addresses
+/// spaced `stride` apart, modulo the cache way size.
+i64 min_gap(i64 stride, i64 rows, i64 way_bytes) {
+  i64 gap = way_bytes;
+  for (i64 j = 1; j < rows; ++j) {
+    const i64 r = floor_mod(j * stride, way_bytes);
+    gap = std::min({gap, r, way_bytes - r});
+  }
+  return gap;
+}
+
+/// Pick the two innermost loops indexing the dominant array's first two
+/// dimensions; returns {row_loop, col_loop} or nullopt-like {-1,-1}.
+struct LoopPair {
+  int row = -1;
+  int col = -1;
+  std::size_t array = 0;
+};
+
+LoopPair dominant_loop_pair(const ir::LoopNest& nest, const ir::MemoryLayout& layout) {
+  LoopPair pair;
+  i64 best_footprint = -1;
+  for (std::size_t a = 0; a < nest.arrays.size(); ++a) {
+    if (nest.arrays[a].rank() < 2) continue;
+    if (layout.placement(a).footprint <= best_footprint) continue;
+    // Find a reference to this array and the loops driving dims 0 and 1.
+    for (const ir::Reference& ref : nest.refs) {
+      if (ref.array != a) continue;
+      int row = -1, col = -1;
+      for (std::size_t d = 0; d < nest.depth(); ++d) {
+        if (ref.subscripts[0].coeff(d) != 0 && row < 0) row = (int)d;
+        if (ref.subscripts[1].coeff(d) != 0 && col < 0) col = (int)d;
+      }
+      if (row >= 0 && col >= 0 && row != col) {
+        pair.row = row;
+        pair.col = col;
+        pair.array = a;
+        best_footprint = layout.placement(a).footprint;
+      }
+      break;
+    }
+  }
+  return pair;
+}
+
+}  // namespace
+
+i64 ess_square_tile(i64 column_stride_bytes, i64 element_bytes, const cache::CacheConfig& cache) {
+  expects(column_stride_bytes > 0 && element_bytes > 0, "ess_square_tile: bad strides");
+  const i64 way = cache.way_bytes();
+  i64 best = 1;
+  // Largest T with min circular gap among T rows >= T elements (so that a
+  // TxT tile's rows cannot evict each other).
+  i64 gap = way;
+  for (i64 t = 2; (i64)t * element_bytes <= way; ++t) {
+    const i64 r = floor_mod((t - 1) * column_stride_bytes, way);
+    gap = std::min({gap, r, way - r});
+    if (gap >= t * element_bytes)
+      best = t;
+    else
+      break;
+  }
+  return best;
+}
+
+transform::TileVector lrw_tiles(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                const cache::CacheConfig& cache) {
+  transform::TileVector tiles = transform::TileVector::untiled(nest);
+  const LoopPair pair = dominant_loop_pair(nest, layout);
+  if (pair.row < 0) return tiles;
+  const i64 stride = layout.placement(pair.array).strides[1];
+  const i64 elem = nest.arrays[pair.array].element_size;
+  const i64 t = ess_square_tile(stride, elem, cache);
+  tiles.t[(std::size_t)pair.row] = std::min(tiles.t[(std::size_t)pair.row], t);
+  tiles.t[(std::size_t)pair.col] = std::min(tiles.t[(std::size_t)pair.col], t);
+  return tiles;
+}
+
+transform::TileVector tss_tiles(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                const cache::CacheConfig& cache) {
+  transform::TileVector tiles = transform::TileVector::untiled(nest);
+  const LoopPair pair = dominant_loop_pair(nest, layout);
+  if (pair.row < 0) return tiles;
+  const i64 stride = layout.placement(pair.array).strides[1];
+  const i64 elem = nest.arrays[pair.array].element_size;
+  const i64 way = cache.way_bytes();
+  const i64 u_row = tiles.t[(std::size_t)pair.row];
+  const i64 u_col = tiles.t[(std::size_t)pair.col];
+
+  // Candidate heights from the gap sequence (the Euclidean remainders of
+  // (way, stride) generate exactly the break points of min_gap).
+  i64 best_rows = 1, best_cols = 1, best_footprint = 0;
+  const i64 cache_budget = way * 3 / 4;  // leave room for cross interference
+  for (i64 cols = 1; cols <= std::min<i64>(u_col, 128); ++cols) {
+    const i64 gap = min_gap(stride, cols, way);
+    const i64 rows = std::min<i64>(u_row, gap / elem);
+    if (rows < 1) break;
+    const i64 footprint = rows * cols * elem;
+    if (footprint > cache_budget) continue;
+    if (footprint > best_footprint) {
+      best_footprint = footprint;
+      best_rows = rows;
+      best_cols = cols;
+    }
+  }
+  tiles.t[(std::size_t)pair.row] = best_rows;
+  tiles.t[(std::size_t)pair.col] = best_cols;
+  return tiles;
+}
+
+transform::TileVector sarkar_megiddo_tiles(const ir::LoopNest& nest,
+                                           const ir::MemoryLayout& layout,
+                                           const cache::CacheConfig& cache) {
+  transform::TileVector tiles = transform::TileVector::untiled(nest);
+  const LoopPair pair = dominant_loop_pair(nest, layout);
+  if (pair.row < 0) return tiles;
+  const i64 elem = nest.arrays[pair.array].element_size;
+  const i64 line = cache.line_bytes;
+  const i64 way = cache.way_bytes();
+  const i64 u_row = tiles.t[(std::size_t)pair.row];
+  const i64 u_col = tiles.t[(std::size_t)pair.col];
+
+  // Analytic capacity model: lines touched per tile ≈ rows/line_elems·cols
+  // (dominant array) + rows + cols (the other operands); cost per iteration
+  // = lines / (rows·cols). Evaluate on a constant candidate family.
+  const i64 line_elems = std::max<i64>(1, line / elem);
+  const i64 capacity_elems = way / elem / 2;  // half-cache working-set target
+  double best_cost = 1e300;
+  i64 best_rows = 1, best_cols = 1;
+  const i64 side = std::max<i64>(1, (i64)std::sqrt((double)capacity_elems));
+  const i64 candidates[] = {side,
+                            side / 2,
+                            side * 2,
+                            line_elems,
+                            line_elems * 4,
+                            capacity_elems / std::max<i64>(1, line_elems),
+                            u_row,
+                            u_col};
+  for (const i64 rows_raw : candidates) {
+    for (const i64 cols_raw : candidates) {
+      const i64 rows = std::clamp<i64>(rows_raw, 1, u_row);
+      const i64 cols = std::clamp<i64>(cols_raw, 1, u_col);
+      if (rows * cols > capacity_elems) continue;
+      const double lines_touched =
+          (double)(ceil_div(rows, line_elems) * cols + rows + cols);
+      const double cost = lines_touched / (double)(rows * cols);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_rows = rows;
+        best_cols = cols;
+      }
+    }
+  }
+  tiles.t[(std::size_t)pair.row] = best_rows;
+  tiles.t[(std::size_t)pair.col] = best_cols;
+  return tiles;
+}
+
+}  // namespace cmetile::baselines

@@ -1,0 +1,152 @@
+#include "baselines/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace cmetile::baselines {
+
+namespace {
+
+std::vector<i64> random_point(const std::vector<VarDomain>& domains, Rng& rng) {
+  std::vector<i64> x(domains.size());
+  for (std::size_t d = 0; d < domains.size(); ++d)
+    x[d] = rng.uniform_int(domains[d].lo, domains[d].hi);
+  return x;
+}
+
+/// Coordinate neighbourhood: ±1 and ±max(1, 25% of the domain) per variable.
+std::vector<std::vector<i64>> neighbours(const std::vector<VarDomain>& domains,
+                                         std::span<const i64> x) {
+  std::vector<std::vector<i64>> out;
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    const i64 big = std::max<i64>(1, domains[d].size() / 4);
+    for (const i64 step : {i64{1}, -i64{1}, big, -big}) {
+      std::vector<i64> y(x.begin(), x.end());
+      y[d] = std::clamp(y[d] + step, domains[d].lo, domains[d].hi);
+      if (y[d] != x[d]) out.push_back(std::move(y));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SearchResult random_search(const std::vector<VarDomain>& domains, const Objective& objective,
+                           i64 budget, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0xA11CE));
+  SearchResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  for (i64 e = 0; e < budget; ++e) {
+    std::vector<i64> x = random_point(domains, rng);
+    const double cost = objective(x);
+    ++result.evaluations;
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best_values = std::move(x);
+    }
+  }
+  return result;
+}
+
+SearchResult hill_climb(const std::vector<VarDomain>& domains, const Objective& objective,
+                        i64 budget, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0xC11E3));
+  SearchResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  while (result.evaluations < budget) {
+    std::vector<i64> x = random_point(domains, rng);
+    double cost = objective(x);
+    ++result.evaluations;
+    bool improved = true;
+    while (improved && result.evaluations < budget) {
+      improved = false;
+      for (std::vector<i64>& y : neighbours(domains, x)) {
+        if (result.evaluations >= budget) break;
+        const double c = objective(y);
+        ++result.evaluations;
+        if (c < cost) {
+          cost = c;
+          x = std::move(y);
+          improved = true;
+          break;  // first-improvement descent
+        }
+      }
+    }
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best_values = x;
+    }
+  }
+  return result;
+}
+
+SearchResult simulated_annealing(const std::vector<VarDomain>& domains,
+                                 const Objective& objective, i64 budget, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0x5AD0E));
+  SearchResult result;
+  std::vector<i64> x = random_point(domains, rng);
+  double cost = objective(x);
+  result.evaluations = 1;
+  result.best_cost = cost;
+  result.best_values = x;
+
+  // Initial temperature from a short random probe of cost deltas.
+  double t0 = std::abs(cost) + 1.0;
+  const double t_end = t0 * 1e-4;
+  const double steps = (double)std::max<i64>(budget - 1, 1);
+  const double alpha = std::pow(t_end / t0, 1.0 / steps);
+
+  double temp = t0;
+  while (result.evaluations < budget) {
+    // Propose: jump one coordinate to a nearby value.
+    std::vector<i64> y = x;
+    const std::size_t d = (std::size_t)rng.uniform_int(0, (i64)domains.size() - 1);
+    const i64 span = std::max<i64>(1, domains[d].size() / 8);
+    y[d] = std::clamp(y[d] + rng.uniform_int(-span, span), domains[d].lo, domains[d].hi);
+    const double c = objective(y);
+    ++result.evaluations;
+    if (c <= cost || rng.bernoulli(std::exp((cost - c) / std::max(temp, 1e-12)))) {
+      cost = c;
+      x = std::move(y);
+      if (cost < result.best_cost) {
+        result.best_cost = cost;
+        result.best_values = x;
+      }
+    }
+    temp *= alpha;
+  }
+  return result;
+}
+
+SearchResult exhaustive_search(const std::vector<VarDomain>& domains, const Objective& objective) {
+  SearchResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  std::vector<i64> x(domains.size());
+  for (std::size_t d = 0; d < domains.size(); ++d) x[d] = domains[d].lo;
+  while (true) {
+    const double cost = objective(x);
+    ++result.evaluations;
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best_values = x;
+    }
+    std::size_t d = domains.size();
+    bool done = true;
+    while (d > 0) {
+      --d;
+      if (x[d] < domains[d].hi) {
+        ++x[d];
+        done = false;
+        break;
+      }
+      x[d] = domains[d].lo;
+    }
+    if (done) return result;
+  }
+}
+
+}  // namespace cmetile::baselines

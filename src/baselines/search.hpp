@@ -1,0 +1,41 @@
+#pragma once
+// Generic global-search baselines over integer box domains, used by the
+// ablation bench to justify the paper's choice of a genetic algorithm
+// (§3.1 discusses NLP alternatives: the objective is non-linear, integer,
+// multi-modal). All searches minimize the same objective interface as the
+// GA and run on a fixed evaluation budget so comparisons are fair.
+
+#include <span>
+#include <functional>
+#include <vector>
+
+#include "ga/encoding.hpp"
+
+namespace cmetile::baselines {
+
+using ga::VarDomain;
+using Objective = std::function<double(std::span<const i64> values)>;
+
+struct SearchResult {
+  std::vector<i64> best_values;
+  double best_cost = 0.0;
+  i64 evaluations = 0;
+};
+
+/// Uniform random sampling of the domain box.
+SearchResult random_search(const std::vector<VarDomain>& domains, const Objective& objective,
+                           i64 budget, std::uint64_t seed);
+
+/// Random-restart steepest-descent over ±1/±25% coordinate neighbourhoods.
+SearchResult hill_climb(const std::vector<VarDomain>& domains, const Objective& objective,
+                        i64 budget, std::uint64_t seed);
+
+/// Simulated annealing (geometric cooling, coordinate-step proposals).
+SearchResult simulated_annealing(const std::vector<VarDomain>& domains,
+                                 const Objective& objective, i64 budget, std::uint64_t seed);
+
+/// Full enumeration of the domain box ("the optimal solution" oracle the
+/// paper compares against; only for small boxes).
+SearchResult exhaustive_search(const std::vector<VarDomain>& domains, const Objective& objective);
+
+}  // namespace cmetile::baselines

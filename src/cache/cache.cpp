@@ -1,0 +1,31 @@
+#include "cache/cache.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::cache {
+
+namespace {
+bool is_power_of_two(i64 v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+void CacheConfig::validate() const {
+  expects(is_power_of_two(size_bytes), "CacheConfig: size must be a power of two");
+  expects(is_power_of_two(line_bytes), "CacheConfig: line size must be a power of two");
+  expects(line_bytes <= size_bytes, "CacheConfig: line larger than cache");
+  expects(associativity >= 1, "CacheConfig: associativity must be >= 1");
+  expects(lines() % associativity == 0, "CacheConfig: associativity must divide line count");
+}
+
+std::string CacheConfig::to_string() const {
+  std::ostringstream out;
+  out << size_bytes / 1024 << "KB/" << line_bytes << "B";
+  if (associativity == 1)
+    out << " direct-mapped";
+  else
+    out << " " << associativity << "-way";
+  return out.str();
+}
+
+}  // namespace cmetile::cache

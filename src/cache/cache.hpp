@@ -1,0 +1,58 @@
+#pragma once
+// Cache geometry shared by the CME model and the trace simulator.
+// The paper evaluates 8KB and 32KB direct-mapped caches with 32-byte lines;
+// the CME framework (and our solver) also supports k-way LRU caches.
+
+#include <string>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::cache {
+
+struct CacheConfig {
+  i64 size_bytes = 8 * 1024;
+  i64 line_bytes = 32;
+  i64 associativity = 1;  ///< 1 = direct-mapped
+
+  i64 lines() const { return size_bytes / line_bytes; }
+  i64 sets() const { return lines() / associativity; }
+  /// Bytes spanned by one way (the modulus of the CME congruences).
+  i64 way_bytes() const { return size_bytes / associativity; }
+
+  i64 line_of(i64 address) const { return floor_div(address, line_bytes); }
+  i64 set_of(i64 address) const { return floor_mod(line_of(address), sets()); }
+
+  /// Throws contract_error on non-power-of-two / inconsistent geometry.
+  void validate() const;
+
+  std::string to_string() const;
+
+  static CacheConfig direct_mapped(i64 size_bytes, i64 line_bytes = 32) {
+    return CacheConfig{size_bytes, line_bytes, 1};
+  }
+};
+
+/// Aggregated miss counts; the paper's two metrics are
+/// total miss ratio = (cold + replacement)/accesses and
+/// replacement miss ratio = replacement/accesses (§3.1: replacement misses
+/// include both capacity and conflict misses).
+struct MissStats {
+  i64 accesses = 0;
+  i64 cold_misses = 0;
+  i64 replacement_misses = 0;
+
+  i64 total_misses() const { return cold_misses + replacement_misses; }
+  double total_ratio() const { return accesses ? (double)total_misses() / (double)accesses : 0.0; }
+  double replacement_ratio() const {
+    return accesses ? (double)replacement_misses / (double)accesses : 0.0;
+  }
+
+  MissStats& operator+=(const MissStats& other) {
+    accesses += other.accesses;
+    cold_misses += other.cold_misses;
+    replacement_misses += other.replacement_misses;
+    return *this;
+  }
+};
+
+}  // namespace cmetile::cache

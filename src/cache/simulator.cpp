@@ -1,0 +1,61 @@
+#include "cache/simulator.hpp"
+
+namespace cmetile::cache {
+
+Simulator::Simulator(const CacheConfig& config) : config_(config) {
+  config_.validate();
+  tags_.assign((std::size_t)(config_.sets() * config_.associativity), -1);
+}
+
+AccessOutcome Simulator::access(i64 address) {
+  ++stats_.accesses;
+  const i64 line = config_.line_of(address);
+  const i64 set = floor_mod(line, config_.sets());
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  i64* ways = &tags_[(std::size_t)set * assoc];
+
+  // LRU search: ways[0] is most recent.
+  for (std::size_t w = 0; w < assoc; ++w) {
+    if (ways[w] == line) {
+      // Move to front.
+      for (std::size_t v = w; v > 0; --v) ways[v] = ways[v - 1];
+      ways[0] = line;
+      return AccessOutcome::Hit;
+    }
+  }
+
+  // Miss: insert at front, evict last.
+  for (std::size_t v = assoc - 1; v > 0; --v) ways[v] = ways[v - 1];
+  ways[0] = line;
+
+  if (touched_lines_.insert(line).second) {
+    ++stats_.cold_misses;
+    return AccessOutcome::ColdMiss;
+  }
+  ++stats_.replacement_misses;
+  return AccessOutcome::ReplacementMiss;
+}
+
+void Simulator::reset() {
+  tags_.assign(tags_.size(), -1);
+  touched_lines_.clear();
+  stats_ = MissStats{};
+}
+
+std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                     const CacheConfig& config) {
+  Simulator sim(config);
+  std::vector<MissStats> per_ref(nest.refs.size() + 1);
+  ir::for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool) {
+    const AccessOutcome outcome = sim.access(address);
+    MissStats& s = per_ref[ref];
+    ++s.accesses;
+    if (outcome == AccessOutcome::ColdMiss) ++s.cold_misses;
+    if (outcome == AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+  });
+  MissStats& total = per_ref.back();
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) total += per_ref[r];
+  return per_ref;
+}
+
+}  // namespace cmetile::cache

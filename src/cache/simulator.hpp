@@ -1,0 +1,43 @@
+#pragma once
+// Trace-driven cache simulator: the ground truth against which the CME
+// model is validated (integration tests) and the paper's "counting
+// replacement misses" oracle for small search spaces. LRU replacement;
+// cold misses are first-ever touches of a memory line, every other miss is
+// a replacement miss (capacity or conflict — the paper does not split them).
+
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "ir/trace.hpp"
+
+namespace cmetile::cache {
+
+enum class AccessOutcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss };
+
+class Simulator {
+ public:
+  explicit Simulator(const CacheConfig& config);
+
+  /// Simulate one access; updates LRU state and counters.
+  AccessOutcome access(i64 address);
+
+  /// Reset cache content and counters (the touched-lines history too).
+  void reset();
+
+  const MissStats& stats() const { return stats_; }
+
+ private:
+  CacheConfig config_;
+  // tags_[set * assoc + way] = line id, most recently used first; -1 empty.
+  std::vector<i64> tags_;
+  std::unordered_set<i64> touched_lines_;
+  MissStats stats_;
+};
+
+/// Simulate a whole nest in original order; returns per-reference stats
+/// (indexed by reference) plus the aggregate as the last element.
+std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                     const CacheConfig& config);
+
+}  // namespace cmetile::cache

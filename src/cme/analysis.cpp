@@ -1,0 +1,215 @@
+#include "cme/analysis.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::cme {
+
+NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
+                           cache::CacheConfig cache, transform::TileVector tiles,
+                           AnalysisOptions options)
+    : nest_(&nest),
+      layout_(std::move(layout)),
+      cache_(cache),
+      tiles_(std::move(tiles)),
+      space_(nest.trip_counts(), tiles_),
+      reuse_(reuse::analyze_reuse(nest, layout_, cache.line_bytes)),
+      options_(options),
+      trips_(nest.trip_counts()) {
+  cache_.validate();
+  nest.validate();
+  expects(tiles_.t.size() == nest.depth(), "NestAnalysis: tile vector arity mismatch");
+
+  const std::size_t k = nest.depth();
+  refs_.reserve(nest.refs.size());
+  for (const ir::Reference& ref : nest.refs) {
+    RefData data;
+    data.array = ref.array;
+    // 0-based address polynomial: substitute i_d = lower_d + z_d.
+    const ir::LinExpr addr = layout_.address_expr(nest, ref);
+    data.coeffs0.assign(addr.coeffs().begin(), addr.coeffs().end());
+    data.base0 = addr.constant_term();
+    for (std::size_t d = 0; d < k; ++d) data.base0 += data.coeffs0[d] * nest.loops[d].lower;
+    // Tiled coordinates: z_d = T_d * t_d + o_d.
+    data.tiled_coeffs.resize(2 * k);
+    for (std::size_t d = 0; d < k; ++d) {
+      data.tiled_coeffs[d] = data.coeffs0[d] * space_.tile(d);
+      data.tiled_coeffs[k + d] = data.coeffs0[d];
+    }
+    refs_.push_back(std::move(data));
+  }
+}
+
+i64 NestAnalysis::address_at(std::size_t ref, std::span<const i64> z) const {
+  const RefData& data = refs_[ref];
+  i64 addr = data.base0;
+  for (std::size_t d = 0; d < z.size(); ++d) addr += data.coeffs0[d] * z[d];
+  return addr;
+}
+
+Outcome NestAnalysis::classify(std::span<const i64> z, std::size_t ref) const {
+  const std::size_t k = nest_->depth();
+  expects(z.size() == k, "classify: point arity mismatch");
+  const i64 line_bytes = cache_.line_bytes;
+  const i64 addr_a = address_at(ref, z);
+  const i64 line_a = floor_div(addr_a, line_bytes);
+  const std::vector<i64> p_to = space_.to_tiled(z);
+
+  // --- Step 1: gather valid reuse candidates. ---
+  std::vector<Candidate> candidates;
+  std::vector<i64> q(k);
+  for (const reuse::ReuseCandidate& rc : reuse_.per_ref[ref]) {
+    for (const int sign : {+1, -1}) {
+      bool inside = true;
+      for (std::size_t d = 0; d < k; ++d) {
+        q[d] = z[d] - sign * rc.vector[d];
+        if (q[d] < 0 || q[d] >= trips_[d]) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      std::vector<i64> q_to = space_.to_tiled(q);
+      const int cmp = space_.compare(q_to, p_to);
+      if (cmp > 0) continue;
+      if (cmp == 0 && rc.source_ref >= ref) continue;  // body order at the same point
+      if (floor_div(address_at(rc.source_ref, q), line_bytes) != line_a) continue;
+      // Deduplicate identical (source, q) candidates.
+      bool duplicate = false;
+      for (const Candidate& c : candidates) {
+        if (c.source == rc.source_ref && c.q == q) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      candidates.push_back(Candidate{rc.source_ref, q, std::move(q_to)});
+    }
+  }
+
+  if (candidates.empty()) return Outcome::ColdMiss;
+
+  // --- Step 2: try candidates closest-in-tiled-order first. ---
+  std::sort(candidates.begin(), candidates.end(), [&](const Candidate& a, const Candidate& b) {
+    const int cmp = space_.compare(a.q_to, b.q_to);
+    if (cmp != 0) return cmp > 0;  // later q first
+    return a.source > b.source;
+  });
+
+  for (const Candidate& cand : candidates) {
+    if (interval_interference_free(cand, z, p_to, ref, line_a)) return Outcome::Hit;
+  }
+  return Outcome::ReplacementMiss;
+}
+
+bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<const i64> z,
+                                              std::span<const i64> p_to, std::size_t ref,
+                                              i64 line_a) const {
+  const i64 line_bytes = cache_.line_bytes;
+  const i64 way_bytes = cache_.way_bytes();
+  const i64 sets = cache_.sets();
+  const i64 set_a = floor_mod(line_a, sets);
+  const std::size_t assoc = (std::size_t)cache_.associativity;
+  const std::size_t n_refs = refs_.size();
+
+  // Distinct interfering lines seen so far (k-way LRU needs `assoc` of them
+  // to evict; direct-mapped needs one). Returns true when the budget is hit.
+  std::vector<i64> lines_found;
+  auto add_line = [&](i64 line) {
+    if (line == line_a) return false;
+    if (std::find(lines_found.begin(), lines_found.end(), line) != lines_found.end())
+      return false;
+    lines_found.push_back(line);
+    return lines_found.size() >= assoc;
+  };
+  // Concrete access at point `pt` by reference `b`: interference?
+  auto point_interferes = [&](std::size_t b, std::span<const i64> pt) {
+    const i64 addr = address_at(b, pt);
+    const i64 line = floor_div(addr, line_bytes);
+    if (floor_mod(line, sets) != set_a) return false;
+    return add_line(line);
+  };
+
+  const int cmp = space_.compare(cand.q_to, p_to);
+  if (cmp == 0) {
+    // Same iteration: only body positions strictly between source and ref.
+    for (std::size_t b = cand.source + 1; b < ref; ++b) {
+      if (point_interferes(b, z)) return false;
+    }
+    return true;
+  }
+
+  // Endpoint q: references executed after the source within q's iteration.
+  for (std::size_t b = cand.source + 1; b < n_refs; ++b) {
+    if (point_interferes(b, cand.q)) return false;
+  }
+  // Endpoint p: references executed before R_A within z's iteration.
+  for (std::size_t b = 0; b < ref; ++b) {
+    if (point_interferes(b, z)) return false;
+  }
+
+  // Strict interior: congruence boxes per (box, reference).
+  const std::vector<TiledBox> boxes = lex_interval_boxes(space_, cand.q_to, p_to);
+  const std::size_t dims = space_.tiled_dims();
+  for (const TiledBox& tiled_box : boxes) {
+    for (std::size_t b = 0; b < n_refs; ++b) {
+      const RefData& data = refs_[b];
+      CongruenceBox cb;
+      cb.modulus = way_bytes;
+      cb.target = Interval{0, line_bytes - 1};
+      cb.base = data.base0 - line_a * line_bytes;
+      cb.extents.reserve(dims);
+      cb.coeffs.reserve(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        const Interval& range = tiled_box.ranges[d];
+        cb.base += data.tiled_coeffs[d] * range.lo;
+        if (range.length() > 1 && data.tiled_coeffs[d] != 0) {
+          cb.extents.push_back(range.length());
+          cb.coeffs.push_back(data.tiled_coeffs[d]);
+        }
+      }
+
+      if (assoc == 1) {
+        if (data.array != refs_[ref].array) {
+          // Arrays are line-aligned and disjoint: any witness is a
+          // different-line interference.
+          if (probe_nonempty(cb, options_.probe_work_cap, &counters_) != Emptiness::Empty)
+            return false;
+        } else {
+          const Emptiness e = probe_nonempty(cb, options_.probe_work_cap, &counters_);
+          if (e == Emptiness::Empty) continue;
+          // Same array: exclude touches of R_A's own line (value in
+          // [0, line_bytes) means the same line — no interference).
+          bool witness = false;
+          const EnumStatus status =
+              enumerate_solutions(cb, options_.enumerate_cap, [&](i64 value) {
+                if (value < 0 || value >= line_bytes) {
+                  witness = true;
+                  return false;
+                }
+                return true;
+              });
+          if (witness) return false;
+          if (status == EnumStatus::Capped) return false;  // conservative
+        }
+      } else {
+        bool budget_hit = false;
+        const EnumStatus status =
+            enumerate_solutions(cb, options_.enumerate_cap, [&](i64 value) {
+              const i64 line = line_a + floor_div(value, line_bytes);
+              if (add_line(line)) {
+                budget_hit = true;
+                return false;
+              }
+              return true;
+            });
+        if (budget_hit) return false;
+        if (status == EnumStatus::Capped) return false;  // conservative
+      }
+    }
+  }
+  return lines_found.size() < assoc;
+}
+
+}  // namespace cmetile::cme

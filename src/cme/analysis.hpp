@@ -1,0 +1,97 @@
+#pragma once
+// Per-configuration CME analysis context and the point classifier
+// ("traversing the iteration space", paper §2.2–2.3). A NestAnalysis binds
+// a loop nest + memory layout (possibly padded) + cache + tile vector and
+// answers, for any iteration point and reference: hit, compulsory miss or
+// replacement miss.
+//
+// Classification of reference R_A at 0-based point z:
+//  1. Candidate reuse sources: for every reuse generator r (reuse module),
+//     q = z − r and q = z + r (tiling can reverse execution order across
+//     tiles); keep q's that are inside the iteration space, precede z in
+//     *tiled* execution order, and touch R_A's current memory line
+//     (concrete-address check — this is the compulsory-equation test with
+//     the point substituted; paper §2.3 "Counting Compulsory Polyhedra").
+//     No candidate ⇒ compulsory (cold) miss.
+//  2. Candidates are tried from closest (in tiled order) to farthest; a
+//     candidate survives if the execution interval (q, z] contains no
+//     interference: for a k-way cache, fewer than k distinct other lines
+//     mapping to R_A's set (paper §2.2). Intervals decompose into
+//     congruence boxes (interval_split + congruence); single-point pieces
+//     (endpoints) are evaluated with concrete addresses.
+//  3. Any surviving candidate ⇒ hit; otherwise ⇒ replacement miss.
+//
+// The instance is immutable after construction except for diagnostic
+// counters; classify() is safe to call from one thread at a time (the GA
+// parallelizes across NestAnalysis instances, not within one).
+
+#include <span>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cme/congruence.hpp"
+#include "cme/interval_split.hpp"
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+#include "reuse/reuse.hpp"
+#include "transform/padding.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile::cme {
+
+enum class Outcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss };
+
+struct AnalysisOptions {
+  i64 probe_work_cap = 1 << 14;   ///< leaf budget per emptiness probe
+  i64 enumerate_cap = 1 << 15;    ///< witness budget per exclusion/assoc scan
+};
+
+class NestAnalysis {
+ public:
+  NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout, cache::CacheConfig cache,
+               transform::TileVector tiles, AnalysisOptions options = {});
+
+  /// Classify one access; z is the 0-based iteration point (z_d = i_d - lower_d).
+  Outcome classify(std::span<const i64> z, std::size_t ref) const;
+
+  const ir::LoopNest& nest() const { return *nest_; }
+  const ir::MemoryLayout& layout() const { return layout_; }
+  const cache::CacheConfig& cache_config() const { return cache_; }
+  const transform::TiledSpace& space() const { return space_; }
+  const transform::TileVector& tiles() const { return tiles_; }
+  const reuse::ReuseInfo& reuse_info() const { return reuse_; }
+
+  const ProbeCounters& probe_counters() const { return counters_; }
+
+ private:
+  struct RefData {
+    std::vector<i64> coeffs0;       ///< byte-address coefficients over z
+    i64 base0 = 0;                  ///< byte address at z = 0
+    std::vector<i64> tiled_coeffs;  ///< coefficients over (t_1..t_k, o_1..o_k)
+    std::size_t array = 0;
+  };
+
+  struct Candidate {
+    std::size_t source = 0;
+    std::vector<i64> q;     ///< 0-based source point
+    std::vector<i64> q_to;  ///< tiled coordinates of q
+  };
+
+  i64 address_at(std::size_t ref, std::span<const i64> z) const;
+  bool interval_interference_free(const Candidate& cand, std::span<const i64> z,
+                                  std::span<const i64> p_to, std::size_t ref,
+                                  i64 line_a) const;
+
+  const ir::LoopNest* nest_;
+  ir::MemoryLayout layout_;
+  cache::CacheConfig cache_;
+  transform::TileVector tiles_;
+  transform::TiledSpace space_;
+  reuse::ReuseInfo reuse_;
+  AnalysisOptions options_;
+  std::vector<RefData> refs_;
+  std::vector<i64> trips_;
+  mutable ProbeCounters counters_;
+};
+
+}  // namespace cmetile::cme

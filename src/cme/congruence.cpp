@@ -1,0 +1,268 @@
+#include "cme/congruence.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::cme {
+
+i64 CongruenceBox::box_points() const {
+  i64 n = 1;
+  for (const i64 e : extents) {
+    if (e <= 0) return 0;
+    n *= e;
+  }
+  return n;
+}
+
+namespace {
+
+struct Dim {
+  i64 coeff;   ///< reduced modulo the current modulus, nonzero
+  i64 extent;  ///< >= 2
+};
+
+/// Merge-sort intervals and coalesce overlaps; returns at most the inputs.
+void normalize_targets(std::vector<Interval>& targets) {
+  std::sort(targets.begin(), targets.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  for (const Interval& t : targets) {
+    if (t.empty()) continue;
+    if (!merged.empty() && t.lo <= merged.back().hi + 1) {
+      merged.back().hi = std::max(merged.back().hi, t.hi);
+    } else {
+      merged.push_back(t);
+    }
+  }
+  targets = std::move(merged);
+}
+
+}  // namespace
+
+Emptiness probe_nonempty(const CongruenceBox& box, i64 work_cap, ProbeCounters* counters) {
+  if (counters != nullptr) ++counters->probes;
+  expects(box.modulus >= 1, "probe_nonempty: modulus must be >= 1");
+  expects(box.extents.size() == box.coeffs.size(), "probe_nonempty: arity mismatch");
+
+  if (box.box_points() == 0) return Emptiness::Empty;
+
+  i64 m = box.modulus;
+  i64 base = floor_mod(box.base, m);
+  std::vector<Interval> targets{
+      box.target.intersect(Interval{0, m - 1})};
+  if (targets[0].empty()) return Emptiness::Empty;
+
+  std::vector<Dim> dims;
+  dims.reserve(box.extents.size());
+  for (std::size_t d = 0; d < box.extents.size(); ++d) {
+    const i64 a = floor_mod(box.coeffs[d], m);
+    if (a != 0 && box.extents[d] >= 2) dims.push_back(Dim{a, box.extents[d]});
+  }
+
+  // --- Fold full-cycle dimensions through the subgroup structure of Z_m. ---
+  while (true) {
+    if (targets.empty()) return Emptiness::Empty;
+    // Any target covering all residues => non-empty (x = 0 is in the box).
+    for (const Interval& t : targets)
+      if (t.length() >= m) return Emptiness::NonEmpty;
+
+    i64 g = 0;  // gcd of full-cycle coefficients (0 = none found yet)
+    std::vector<Dim> partial;
+    for (const Dim& dim : dims) {
+      const i64 ga = std::gcd(dim.coeff, m);
+      // x spanning >= m/ga consecutive values makes a·x mod m reach every
+      // multiple of ga: the dimension contributes the whole subgroup <ga>.
+      if (dim.extent >= m / ga) {
+        g = std::gcd(g, dim.coeff);
+      } else {
+        partial.push_back(dim);
+      }
+    }
+    if (g == 0) {
+      dims = std::move(partial);
+      break;
+    }
+    if (counters != nullptr) ++counters->fold_rounds;
+    g = std::gcd(g, m);
+    // Residues reachable via full-cycle dims: base' + <g>. The condition
+    // becomes (base + Σ a_p·x_p) mod g ∈ (targets mod g).
+    std::vector<Interval> folded;
+    for (const Interval& t : targets) {
+      const i64 w = t.length();
+      if (w >= g) return Emptiness::NonEmpty;  // covers all residues mod g
+      const i64 lo = floor_mod(t.lo, g);
+      if (lo + w <= g) {
+        folded.push_back(Interval{lo, lo + w - 1});
+      } else {  // wraps around 0 modulo g
+        folded.push_back(Interval{lo, g - 1});
+        folded.push_back(Interval{0, lo + w - 1 - g});
+      }
+    }
+    m = g;
+    base = floor_mod(base, m);
+    targets = std::move(folded);
+    normalize_targets(targets);
+    if (targets.size() > 16) return Emptiness::Unknown;  // degenerate; be conservative
+
+    std::vector<Dim> reduced;
+    for (const Dim& dim : partial) {
+      const i64 a = floor_mod(dim.coeff, m);
+      if (a != 0) reduced.push_back(Dim{a, dim.extent});
+    }
+    dims = std::move(reduced);
+  }
+
+  // --- No large dimensions left. ---
+  if (targets.empty()) return Emptiness::Empty;
+  if (dims.empty()) {
+    for (const Interval& t : targets)
+      if (t.contains(base)) return Emptiness::NonEmpty;
+    return Emptiness::Empty;
+  }
+
+  // Resolve the largest dimension analytically; enumerate the rest.
+  std::size_t analytic = 0;
+  for (std::size_t d = 1; d < dims.size(); ++d)
+    if (dims[d].extent > dims[analytic].extent) analytic = d;
+  const Dim leaf = dims[analytic];
+  dims.erase(dims.begin() + (std::ptrdiff_t)analytic);
+
+  std::vector<i64> x(dims.size(), 0);
+  i64 budget = work_cap;
+  while (true) {
+    i64 c = base;
+    for (std::size_t d = 0; d < dims.size(); ++d) c += dims[d].coeff * x[d];
+    c = floor_mod(c, m);
+    if (counters != nullptr) ++counters->enumerated_leaves;
+    for (const Interval& t : targets) {
+      if (count_mod_in_range(leaf.extent, m, leaf.coeff, c, t.lo, t.hi) > 0)
+        return Emptiness::NonEmpty;
+    }
+    if (--budget <= 0) {
+      if (counters != nullptr) ++counters->unknown_results;
+      return Emptiness::Unknown;
+    }
+    // Odometer over the enumerated dimensions.
+    std::size_t d = 0;
+    for (; d < dims.size(); ++d) {
+      if (x[d] + 1 < dims[d].extent) {
+        ++x[d];
+        std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+        break;
+      }
+    }
+    if (d == dims.size()) break;
+  }
+  return Emptiness::Empty;
+}
+
+Emptiness probe_nonempty_bruteforce(const CongruenceBox& box) {
+  if (box.box_points() == 0) return Emptiness::Empty;
+  std::vector<i64> x(box.extents.size(), 0);
+  while (true) {
+    i64 v = box.base;
+    for (std::size_t d = 0; d < x.size(); ++d) v += box.coeffs[d] * x[d];
+    const i64 r = floor_mod(v, box.modulus);
+    if (box.target.contains(r)) return Emptiness::NonEmpty;
+    std::size_t d = 0;
+    for (; d < x.size(); ++d) {
+      if (x[d] + 1 < box.extents[d]) {
+        ++x[d];
+        std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+        break;
+      }
+    }
+    if (d == x.size()) return Emptiness::Empty;
+  }
+}
+
+i64 count_solutions_bruteforce(const CongruenceBox& box) {
+  if (box.box_points() == 0) return 0;
+  i64 count = 0;
+  std::vector<i64> x(box.extents.size(), 0);
+  while (true) {
+    i64 v = box.base;
+    for (std::size_t d = 0; d < x.size(); ++d) v += box.coeffs[d] * x[d];
+    if (box.target.contains(floor_mod(v, box.modulus))) ++count;
+    std::size_t d = 0;
+    for (; d < x.size(); ++d) {
+      if (x[d] + 1 < box.extents[d]) {
+        ++x[d];
+        std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+        break;
+      }
+    }
+    if (d == x.size()) return count;
+  }
+}
+
+EnumStatus enumerate_solutions(const CongruenceBox& box, i64 cap,
+                               const std::function<bool(i64 value)>& fn) {
+  expects(box.modulus >= 1, "enumerate_solutions: modulus must be >= 1");
+  const i64 m = box.modulus;
+  const Interval target = box.target.intersect(Interval{0, m - 1});
+  if (target.empty() || box.box_points() == 0) return EnumStatus::Exhausted;
+
+  if (box.extents.empty()) {
+    if (target.contains(floor_mod(box.base, m)) && !fn(box.base))
+      return EnumStatus::StoppedByCallback;
+    return EnumStatus::Exhausted;
+  }
+
+  // Leaf dimension: largest extent (solved by congruence stepping).
+  std::vector<std::size_t> others;
+  std::size_t leaf = 0;
+  for (std::size_t d = 1; d < box.extents.size(); ++d)
+    if (box.extents[d] > box.extents[leaf]) leaf = d;
+  for (std::size_t d = 0; d < box.extents.size(); ++d)
+    if (d != leaf && box.extents[d] > 1) others.push_back(d);
+
+  const i64 a_true = box.coeffs[leaf];
+  const i64 leaf_extent = box.extents[leaf];
+  const i64 a_mod = floor_mod(a_true, m);
+
+  i64 budget = cap;
+  std::vector<i64> x(others.size(), 0);
+  while (true) {
+    i64 partial = box.base;
+    for (std::size_t d = 0; d < others.size(); ++d) partial += box.coeffs[others[d]] * x[d];
+    if (--budget <= 0) return EnumStatus::Capped;
+
+    const i64 cm = floor_mod(partial, m);
+    if (a_mod == 0) {
+      if (target.contains(cm)) {
+        for (i64 xv = 0; xv < leaf_extent; ++xv) {
+          if (--budget <= 0) return EnumStatus::Capped;
+          if (!fn(partial + a_true * xv)) return EnumStatus::StoppedByCallback;
+        }
+      }
+    } else {
+      const i64 g = std::gcd(a_mod, m);
+      const i64 m2 = m / g;
+      const i64 inv = mod_inverse(a_mod / g, m2);
+      // Target residues t with t ≡ cm (mod g), stepped by g.
+      const i64 t_start = target.lo + floor_mod(cm - target.lo, g);
+      for (i64 t = t_start; t <= target.hi; t += g) {
+        const i64 x0 = floor_mod((t - cm) / g % m2 * inv, m2);
+        for (i64 xv = x0; xv < leaf_extent; xv += m2) {
+          if (--budget <= 0) return EnumStatus::Capped;
+          if (!fn(partial + a_true * xv)) return EnumStatus::StoppedByCallback;
+        }
+      }
+    }
+
+    std::size_t d = 0;
+    for (; d < others.size(); ++d) {
+      if (x[d] + 1 < box.extents[others[d]]) {
+        ++x[d];
+        std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+        break;
+      }
+    }
+    if (d == others.size()) return EnumStatus::Exhausted;
+  }
+}
+
+}  // namespace cmetile::cme

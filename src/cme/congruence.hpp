@@ -1,0 +1,68 @@
+#pragma once
+// Replacement-equation polyhedra, specialized. After substituting the
+// sampled iteration point, every CME replacement condition this library
+// needs is of the form
+//
+//     ∃ x ∈ [0,L_1)×…×[0,L_n) :  (a·x + c) mod M ∈ [lo, hi]
+//
+// — a box plus a single congruence-interval constraint ("congruence box").
+// This file provides an *exact* emptiness probe for it, the analogue of the
+// paper's specialized replacement-polyhedra techniques ([4],[8]): large
+// dimensions are folded through the subgroup structure of Z_M (gcd
+// folding, O(log M) per fold), and the remaining small dimensions are
+// enumerated with the largest one resolved analytically by a floor-sum
+// count. A work cap bounds pathological cases; the caller treats the
+// resulting `Unknown` conservatively (as interference).
+//
+// A bounded solution enumerator (true address values, not residues) serves
+// the same-line exclusion and the k-way associativity distinct-line count.
+
+#include <functional>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::cme {
+
+struct CongruenceBox {
+  std::vector<i64> extents;  ///< x_d ∈ [0, extents[d])
+  std::vector<i64> coeffs;   ///< true (unreduced) coefficients a_d
+  i64 base = 0;              ///< true constant c
+  i64 modulus = 1;           ///< M (the cache way size in bytes)
+  Interval target;           ///< required residues, 0 <= lo <= hi < M
+
+  /// Number of points in the box (0 if any extent is empty).
+  i64 box_points() const;
+};
+
+enum class Emptiness : std::uint8_t { Empty, NonEmpty, Unknown };
+
+/// Diagnostics accumulated across probes (per-analysis, not thread-safe).
+struct ProbeCounters {
+  i64 probes = 0;
+  i64 fold_rounds = 0;
+  i64 enumerated_leaves = 0;
+  i64 unknown_results = 0;
+};
+
+/// Exact emptiness test with a work cap (leaf evaluations); returns Unknown
+/// when the cap is exceeded before a witness is found.
+Emptiness probe_nonempty(const CongruenceBox& box, i64 work_cap = 1 << 14,
+                         ProbeCounters* counters = nullptr);
+
+/// Reference implementation: brute-force enumeration of the whole box.
+/// Only for tests/benches on small instances.
+Emptiness probe_nonempty_bruteforce(const CongruenceBox& box);
+
+/// Exact solution count by brute force (tests only).
+i64 count_solutions_bruteforce(const CongruenceBox& box);
+
+enum class EnumStatus : std::uint8_t { Exhausted, Capped, StoppedByCallback };
+
+/// Enumerate solution *values* (a·x + c, true arithmetic) of the box's
+/// congruence condition. The callback returns false to stop early. At most
+/// `cap` units of work (leaves visited + solutions emitted) are spent.
+EnumStatus enumerate_solutions(const CongruenceBox& box, i64 cap,
+                               const std::function<bool(i64 value)>& fn);
+
+}  // namespace cmetile::cme

@@ -1,0 +1,112 @@
+#include "cme/equations.hpp"
+
+#include <sstream>
+
+#include "reuse/reuse.hpp"
+
+namespace cmetile::cme {
+
+namespace {
+
+std::string render_vector(std::span<const i64> v) {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t d = 0; d < v.size(); ++d) {
+    if (d) out << ',';
+    out << v[d];
+  }
+  out << ')';
+  return out.str();
+}
+
+std::string ref_name(const ir::LoopNest& nest, std::size_t r) {
+  const ir::Reference& ref = nest.refs[r];
+  std::string text = nest.arrays[ref.array].name + "[";
+  const auto names = nest.loop_names();
+  for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+    if (d) text += ",";
+    text += ref.subscripts[d].to_string(names);
+  }
+  return text + "]";
+}
+
+}  // namespace
+
+std::string EquationSet::summary() const {
+  std::ostringstream out;
+  out << "convex regions: " << convex_regions << ", compulsory equations: " << compulsory_count
+      << ", replacement equations: " << replacement_count << '\n';
+  for (const Equation& e : equations) {
+    if (!e.text.empty()) out << e.text << '\n';
+  }
+  return out.str();
+}
+
+EquationSet generate_equations(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                               const cache::CacheConfig& cache,
+                               const transform::TileVector& tiles, std::size_t render_limit) {
+  const transform::TiledSpace space(nest.trip_counts(), tiles);
+  const reuse::ReuseInfo reuse_info = reuse::analyze_reuse(nest);
+  const i64 regions = space.convex_regions();
+
+  EquationSet set;
+  set.convex_regions = regions;
+
+  for (std::size_t a = 0; a < nest.refs.size(); ++a) {
+    const ir::LinExpr addr_a = layout.address_expr(nest, nest.refs[a]);
+    const auto names = nest.loop_names();
+    for (const reuse::ReuseCandidate& rc : reuse_info.per_ref[a]) {
+      // Compulsory equations: one per convex region of the tiled space
+      // (paper §2.4: "every compulsory equation should be defined for each
+      // convex region, so the number is increased by a factor of n").
+      for (i64 ra = 0; ra < regions; ++ra) {
+        Equation eq;
+        eq.kind = EquationKind::Compulsory;
+        eq.ref = a;
+        eq.source_ref = rc.source_ref;
+        eq.reuse_vector = rc.vector;
+        eq.region_a = ra;
+        if (set.equations.size() < render_limit) {
+          std::ostringstream out;
+          out << "Compulsory[" << ref_name(nest, a) << ", r=" << render_vector(rc.vector)
+              << ", region " << ra << "]: i - r outside region  or  "
+              << "Line(" << addr_a.to_string(names) << ") != Line@(i-r)";
+          eq.text = out.str();
+        }
+        set.equations.push_back(std::move(eq));
+        ++set.compulsory_count;
+      }
+      // Replacement equations: one per interfering reference and per
+      // ordered *pair* of convex regions (factor n²; §2.4).
+      for (std::size_t b = 0; b < nest.refs.size(); ++b) {
+        const ir::LinExpr addr_b = layout.address_expr(nest, nest.refs[b]);
+        for (i64 ra = 0; ra < regions; ++ra) {
+          for (i64 rb = 0; rb < regions; ++rb) {
+            Equation eq;
+            eq.kind = EquationKind::Replacement;
+            eq.ref = a;
+            eq.source_ref = rc.source_ref;
+            eq.reuse_vector = rc.vector;
+            eq.interfering_ref = b;
+            eq.region_a = ra;
+            eq.region_b = rb;
+            if (set.equations.size() < render_limit) {
+              std::ostringstream out;
+              out << "Replacement[" << ref_name(nest, a) << ", r=" << render_vector(rc.vector)
+                  << ", vs " << ref_name(nest, b) << ", regions (" << ra << ',' << rb << ")]: "
+                  << '(' << addr_b.to_string(names) << ")@j = (" << addr_a.to_string(names)
+                  << ")@i + n*" << cache.way_bytes() << " + b, b in [0," << cache.line_bytes - 1
+                  << "], j in (i-r, i]";
+              eq.text = out.str();
+            }
+            set.equations.push_back(std::move(eq));
+            ++set.replacement_count;
+          }
+        }
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace cmetile::cme

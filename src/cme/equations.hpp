@@ -1,0 +1,50 @@
+#pragma once
+// Explicit Cache Miss Equation generation (paper §2.1, §2.4). The point
+// solver in analysis.hpp never materializes the symbolic equations — it
+// solves them with the sampled point substituted — but the equations
+// themselves are part of the paper's framework: this module enumerates
+// them (compulsory and replacement, per convex region / region pair) so
+// that users can inspect what is being solved and tests can verify the
+// §2.4 scaling: tiling with n convex regions multiplies compulsory
+// equations by n and replacement equations by n².
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile::cme {
+
+enum class EquationKind : std::uint8_t { Compulsory, Replacement };
+
+struct Equation {
+  EquationKind kind = EquationKind::Compulsory;
+  std::size_t ref = 0;          ///< reference R_A the equation belongs to
+  std::size_t source_ref = 0;   ///< reuse source (compulsory: == ref's source)
+  std::vector<i64> reuse_vector;
+  std::size_t interfering_ref = 0;  ///< replacement only: R_B
+  i64 region_a = 0;                 ///< convex region of the current point
+  i64 region_b = 0;                 ///< replacement only: region of the interval
+  std::string text;                 ///< rendered equation
+};
+
+struct EquationSet {
+  std::vector<Equation> equations;
+  i64 convex_regions = 1;
+  i64 compulsory_count = 0;
+  i64 replacement_count = 0;
+
+  std::string summary() const;
+};
+
+/// Generate the CME set for the (possibly tiled) nest.
+/// `render_limit` bounds how many equations receive rendered text
+/// (the counts always cover everything).
+EquationSet generate_equations(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                               const cache::CacheConfig& cache, const transform::TileVector& tiles,
+                               std::size_t render_limit = 32);
+
+}  // namespace cmetile::cme

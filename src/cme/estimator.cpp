@@ -1,0 +1,101 @@
+#include "cme/estimator.hpp"
+
+#include "ir/trace.hpp"
+#include "support/rng.hpp"
+
+namespace cmetile::cme {
+
+std::vector<std::vector<i64>> sample_points(const ir::LoopNest& nest, i64 count,
+                                            std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0x5A3B13ULL));
+  const std::size_t k = nest.depth();
+  std::vector<std::vector<i64>> points;
+  points.reserve((std::size_t)count);
+  for (i64 s = 0; s < count; ++s) {
+    std::vector<i64> z(k);
+    for (std::size_t d = 0; d < k; ++d) z[d] = rng.uniform_int(0, nest.loops[d].trip_count() - 1);
+    points.push_back(std::move(z));
+  }
+  return points;
+}
+
+i64 resolved_sample_count(const EstimatorOptions& options) {
+  if (options.sample_count > 0) return options.sample_count;
+  if (options.ci_width == 0.1 && options.confidence == 0.90) return kPaperSampleCount;
+  return required_sample_size(options.ci_width, options.confidence);
+}
+
+MissEstimate estimate_with_points(const NestAnalysis& analysis,
+                                  std::span<const std::vector<i64>> points, double confidence) {
+  const ir::LoopNest& nest = analysis.nest();
+  const std::size_t n_refs = nest.refs.size();
+  i64 cold = 0, repl = 0;
+  for (const std::vector<i64>& z : points) {
+    for (std::size_t r = 0; r < n_refs; ++r) {
+      switch (analysis.classify(z, r)) {
+        case Outcome::ColdMiss: ++cold; break;
+        case Outcome::ReplacementMiss: ++repl; break;
+        case Outcome::Hit: break;
+      }
+    }
+  }
+  const i64 trials = (i64)points.size() * (i64)n_refs;
+  MissEstimate e;
+  e.sampled_points = (i64)points.size();
+  e.access_count = nest.access_count();
+  if (trials == 0) return e;
+  const ProportionEstimate total = estimate_proportion(cold + repl, trials, confidence);
+  const ProportionEstimate replacement = estimate_proportion(repl, trials, confidence);
+  e.total_ratio = total.ratio;
+  e.total_half_width = total.half_width;
+  e.replacement_ratio = replacement.ratio;
+  e.replacement_half_width = replacement.half_width;
+  e.cold_ratio = (double)cold / (double)trials;
+  return e;
+}
+
+MissEstimate estimate_misses(const NestAnalysis& analysis, const EstimatorOptions& options) {
+  const ir::LoopNest& nest = analysis.nest();
+  if (options.exact_threshold > 0 && nest.iteration_count() <= options.exact_threshold) {
+    return estimate_exact(analysis);
+  }
+  const i64 n = resolved_sample_count(options);
+  const auto points = sample_points(nest, n, options.seed);
+  return estimate_with_points(analysis, points, options.confidence);
+}
+
+MissEstimate estimate_exact(const NestAnalysis& analysis) {
+  const auto per_ref = classify_all_points(analysis);
+  const cache::MissStats& total = per_ref.back();
+  MissEstimate e;
+  e.exact = true;
+  e.access_count = total.accesses;
+  e.sampled_points = analysis.nest().iteration_count();
+  e.total_ratio = total.total_ratio();
+  e.replacement_ratio = total.replacement_ratio();
+  e.cold_ratio = total.accesses ? (double)total.cold_misses / (double)total.accesses : 0.0;
+  return e;
+}
+
+std::vector<cache::MissStats> classify_all_points(const NestAnalysis& analysis) {
+  const ir::LoopNest& nest = analysis.nest();
+  const std::size_t n_refs = nest.refs.size();
+  std::vector<cache::MissStats> per_ref(n_refs + 1);
+  std::vector<i64> z(nest.depth());
+  ir::for_each_point(nest, [&](std::span<const i64> point) {
+    for (std::size_t d = 0; d < z.size(); ++d) z[d] = point[d] - nest.loops[d].lower;
+    for (std::size_t r = 0; r < n_refs; ++r) {
+      cache::MissStats& s = per_ref[r];
+      ++s.accesses;
+      switch (analysis.classify(z, r)) {
+        case Outcome::ColdMiss: ++s.cold_misses; break;
+        case Outcome::ReplacementMiss: ++s.replacement_misses; break;
+        case Outcome::Hit: break;
+      }
+    }
+  });
+  for (std::size_t r = 0; r < n_refs; ++r) per_ref.back() += per_ref[r];
+  return per_ref;
+}
+
+}  // namespace cmetile::cme

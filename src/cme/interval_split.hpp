@@ -1,0 +1,43 @@
+#pragma once
+// Decomposition of the CME replacement interval. For a reuse source q and
+// current point p (both in tiled coordinates (t_1..t_k, o_1..o_k)), the
+// set of iteration points executed strictly between them,
+//
+//     { x : q ≺ x ≺ p }   (≺ = lexicographic order in tiled coordinates),
+//
+// decomposes into at most 2·D+1 boxes (D = 2k). Each box is a product of
+// per-dimension intervals — after resolving the coupling between tile
+// coordinates and offset extents at truncated boundary tiles, which is
+// exactly the paper's "multiple convex regions" treatment (§2.4): a free
+// tile range splits into its interior part (full tiles) and the boundary
+// tile (truncated offset range).
+
+#include <span>
+#include <vector>
+
+#include "support/int_math.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile::cme {
+
+/// A box over the 2k tiled dimensions: ranges[0..k) are tile coordinates,
+/// ranges[k..2k) are intra-tile offsets. All intervals are closed.
+struct TiledBox {
+  std::vector<Interval> ranges;
+
+  i64 points() const {
+    i64 n = 1;
+    for (const Interval& r : ranges) {
+      if (r.empty()) return 0;
+      n *= r.length();
+    }
+    return n;
+  }
+};
+
+/// Boxes covering { x : q ≺ x ≺ p } exactly (disjoint union), with
+/// boundary-tile coupling resolved. Requires q ≺ p.
+std::vector<TiledBox> lex_interval_boxes(const transform::TiledSpace& space,
+                                         std::span<const i64> q, std::span<const i64> p);
+
+}  // namespace cmetile::cme

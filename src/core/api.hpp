@@ -1,0 +1,33 @@
+#pragma once
+// Umbrella header: the public API of the cmetile library.
+//
+//   #include "core/api.hpp"
+//
+// pulls in the loop-nest IR and builder, the cache model and simulator,
+// reuse analysis, the CME solver and estimators, the tiling/padding
+// transformations, the genetic optimizer and the high-level tiling
+// pipeline. See README.md for a quickstart and DESIGN.md for the map.
+
+#include "baselines/analytic.hpp"
+#include "baselines/search.hpp"
+#include "cache/cache.hpp"
+#include "cache/simulator.hpp"
+#include "cme/analysis.hpp"
+#include "cme/equations.hpp"
+#include "cme/estimator.hpp"
+#include "core/experiment.hpp"
+#include "core/objective.hpp"
+#include "core/tiler.hpp"
+#include "ga/ga.hpp"
+#include "ir/builder.hpp"
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+#include "ir/trace.hpp"
+#include "kernels/kernels.hpp"
+#include "reuse/reuse.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "transform/legality.hpp"
+#include "transform/padding.hpp"
+#include "transform/tiling.hpp"

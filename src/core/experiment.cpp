@@ -1,0 +1,70 @@
+#include "core/experiment.hpp"
+
+#include <chrono>
+
+#include "support/rng.hpp"
+
+namespace cmetile::core {
+
+namespace {
+
+double elapsed_seconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+ExperimentOptions with_row_seeds(const ExperimentOptions& options, const std::string& label,
+                                 i64 cache_bytes) {
+  ExperimentOptions out = options;
+  std::uint64_t h = derive_seed(options.seed, std::hash<std::string>{}(label),
+                                (std::uint64_t)cache_bytes);
+  out.optimizer.ga.seed = h;
+  out.optimizer.objective.estimator.seed = derive_seed(h, 0xE57);
+  return out;
+}
+
+}  // namespace
+
+TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
+                                const cache::CacheConfig& cache,
+                                const ExperimentOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
+  const ir::MemoryLayout layout(nest);
+
+  const ExperimentOptions opts = with_row_seeds(options, entry.label(), cache.size_bytes);
+  const TilingResult result = optimize_tiling(nest, layout, cache, opts.optimizer);
+
+  TilingRow row;
+  row.label = entry.label();
+  row.no_tiling_total = result.before.total_ratio;
+  row.no_tiling_repl = result.before.replacement_ratio;
+  row.tiling_total = result.after.total_ratio;
+  row.tiling_repl = result.after.replacement_ratio;
+  row.tiles = result.tiles;
+  row.ga_evaluations = result.ga.evaluations;
+  row.ga_generations = result.ga.generations;
+  row.seconds = elapsed_seconds(start);
+  return row;
+}
+
+PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
+                                  const cache::CacheConfig& cache,
+                                  const ExperimentOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
+
+  const ExperimentOptions opts = with_row_seeds(options, entry.label(), cache.size_bytes);
+  const PadTileResult result = optimize_padding_then_tiling(nest, cache, opts.optimizer);
+
+  PaddingRow row;
+  row.label = entry.label();
+  row.original_repl = result.original.replacement_ratio;
+  row.padding_repl = result.padded.replacement_ratio;
+  row.padding_tiling_repl = result.padded_tiled.replacement_ratio;
+  row.pads = result.pads;
+  row.tiles = result.tiles;
+  row.seconds = elapsed_seconds(start);
+  return row;
+}
+
+}  // namespace cmetile::core

@@ -1,0 +1,51 @@
+#pragma once
+// Experiment drivers shared by the paper-reproduction benches: one call
+// produces the before/after-tiling row of Figures 8/9 and Table 2, or the
+// original/padding/padding+tiling row of Table 3, for a (kernel, size,
+// cache) combination.
+
+#include <string>
+
+#include "core/tiler.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cmetile::core {
+
+struct ExperimentOptions {
+  std::uint64_t seed = 2002;  ///< varies GA and sampling seeds per row
+  OptimizerOptions optimizer;
+};
+
+/// One bar of Figures 8/9 (also the Table 2 columns).
+struct TilingRow {
+  std::string label;
+  double no_tiling_total = 0.0;
+  double no_tiling_repl = 0.0;
+  double tiling_total = 0.0;
+  double tiling_repl = 0.0;
+  transform::TileVector tiles;
+  i64 ga_evaluations = 0;
+  int ga_generations = 0;
+  double seconds = 0.0;
+};
+
+TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
+                                const cache::CacheConfig& cache,
+                                const ExperimentOptions& options = {});
+
+/// One row of Table 3.
+struct PaddingRow {
+  std::string label;
+  double original_repl = 0.0;
+  double padding_repl = 0.0;
+  double padding_tiling_repl = 0.0;
+  transform::PadVector pads;
+  transform::TileVector tiles;
+  double seconds = 0.0;
+};
+
+PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
+                                  const cache::CacheConfig& cache,
+                                  const ExperimentOptions& options = {});
+
+}  // namespace cmetile::core

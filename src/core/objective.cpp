@@ -1,0 +1,140 @@
+#include "core/objective.hpp"
+
+#include "support/contracts.hpp"
+
+namespace cmetile::core {
+
+TilingObjective::TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
+                                 cache::CacheConfig cache, ObjectiveOptions options)
+    : nest_(&nest),
+      layout_(std::move(layout)),
+      cache_(cache),
+      options_(options),
+      risky_deps_(transform::risky_dependence_vectors(nest)),
+      trips_(nest.trip_counts()) {
+  const i64 n = cme::resolved_sample_count(options_.estimator);
+  points_ = cme::sample_points(nest, n, options_.estimator.seed);
+}
+
+bool TilingObjective::is_legal(const transform::TileVector& tiles) const {
+  return transform::tile_vector_legal(risky_deps_, trips_, tiles.t);
+}
+
+std::vector<ga::VarDomain> TilingObjective::domains() const {
+  std::vector<ga::VarDomain> domains;
+  for (const i64 u : nest_->trip_counts()) domains.push_back(ga::VarDomain{1, u});
+  return domains;
+}
+
+cme::MissEstimate TilingObjective::evaluate(const transform::TileVector& tiles) const {
+  const cme::NestAnalysis analysis(*nest_, layout_, cache_, tiles, options_.analysis);
+  return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
+}
+
+double TilingObjective::operator()(std::span<const i64> tiles) const {
+  const transform::TileVector tv =
+      transform::TileVector::clamped({tiles.begin(), tiles.end()}, *nest_);
+  if (!is_legal(tv)) {
+    // Finite penalty above any achievable miss count so selection still
+    // discriminates among illegal individuals' neighbours.
+    return 10.0 * (double)nest_->access_count();
+  }
+  return evaluate(tv).replacement_misses();
+}
+
+PaddingObjective::PaddingObjective(const ir::LoopNest& nest, cache::CacheConfig cache,
+                                   transform::TileVector tiles, i64 max_intra_elems,
+                                   i64 max_inter_lines, ObjectiveOptions options)
+    : nest_(&nest),
+      cache_(cache),
+      tiles_(std::move(tiles)),
+      max_intra_(max_intra_elems),
+      max_inter_(max_inter_lines),
+      options_(options) {
+  expects(max_intra_ >= 0 && max_inter_ >= 0, "PaddingObjective: negative pad bound");
+  const i64 n = cme::resolved_sample_count(options_.estimator);
+  points_ = cme::sample_points(nest, n, options_.estimator.seed);
+}
+
+std::vector<ga::VarDomain> PaddingObjective::domains() const {
+  std::vector<ga::VarDomain> domains;
+  for (std::size_t a = 0; a < nest_->arrays.size(); ++a)
+    domains.push_back(ga::VarDomain{0, max_intra_});
+  for (std::size_t a = 0; a < nest_->arrays.size(); ++a)
+    domains.push_back(ga::VarDomain{0, max_inter_});
+  return domains;
+}
+
+transform::PadVector PaddingObjective::unpack(std::span<const i64> pad_values) const {
+  const std::size_t n_arrays = nest_->arrays.size();
+  expects(pad_values.size() == 2 * n_arrays, "PaddingObjective: value arity mismatch");
+  transform::PadVector pads;
+  pads.intra.assign(pad_values.begin(), pad_values.begin() + (std::ptrdiff_t)n_arrays);
+  pads.inter.assign(pad_values.begin() + (std::ptrdiff_t)n_arrays, pad_values.end());
+  return pads;
+}
+
+cme::MissEstimate PaddingObjective::evaluate(const transform::PadVector& pads) const {
+  const ir::MemoryLayout layout = transform::padded_layout(*nest_, pads);
+  const cme::NestAnalysis analysis(*nest_, layout, cache_, tiles_, options_.analysis);
+  return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
+}
+
+double PaddingObjective::operator()(std::span<const i64> pad_values) const {
+  return evaluate(unpack(pad_values)).replacement_misses();
+}
+
+JointObjective::JointObjective(const ir::LoopNest& nest, cache::CacheConfig cache,
+                               i64 max_intra_elems, i64 max_inter_lines,
+                               ObjectiveOptions options)
+    : nest_(&nest),
+      cache_(cache),
+      max_intra_(max_intra_elems),
+      max_inter_(max_inter_lines),
+      options_(options),
+      risky_deps_(transform::risky_dependence_vectors(nest)),
+      trips_(nest.trip_counts()) {
+  const i64 n = cme::resolved_sample_count(options_.estimator);
+  points_ = cme::sample_points(nest, n, options_.estimator.seed);
+}
+
+std::vector<ga::VarDomain> JointObjective::domains() const {
+  std::vector<ga::VarDomain> domains;
+  for (const i64 u : trips_) domains.push_back(ga::VarDomain{1, u});
+  for (std::size_t a = 0; a < nest_->arrays.size(); ++a)
+    domains.push_back(ga::VarDomain{0, max_intra_});
+  for (std::size_t a = 0; a < nest_->arrays.size(); ++a)
+    domains.push_back(ga::VarDomain{0, max_inter_});
+  return domains;
+}
+
+JointObjective::Decoded JointObjective::unpack(std::span<const i64> values) const {
+  const std::size_t k = nest_->depth();
+  const std::size_t n_arrays = nest_->arrays.size();
+  expects(values.size() == k + 2 * n_arrays, "JointObjective: value arity mismatch");
+  Decoded d;
+  d.tiles = transform::TileVector::clamped({values.begin(), values.begin() + (std::ptrdiff_t)k},
+                                           *nest_);
+  d.pads.intra.assign(values.begin() + (std::ptrdiff_t)k,
+                      values.begin() + (std::ptrdiff_t)(k + n_arrays));
+  d.pads.inter.assign(values.begin() + (std::ptrdiff_t)(k + n_arrays), values.end());
+  return d;
+}
+
+bool JointObjective::is_legal(const transform::TileVector& tiles) const {
+  return transform::tile_vector_legal(risky_deps_, trips_, tiles.t);
+}
+
+cme::MissEstimate JointObjective::evaluate(const Decoded& decoded) const {
+  const ir::MemoryLayout layout = transform::padded_layout(*nest_, decoded.pads);
+  const cme::NestAnalysis analysis(*nest_, layout, cache_, decoded.tiles, options_.analysis);
+  return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
+}
+
+double JointObjective::operator()(std::span<const i64> values) const {
+  const Decoded decoded = unpack(values);
+  if (!is_legal(decoded.tiles)) return 10.0 * (double)nest_->access_count();
+  return evaluate(decoded).replacement_misses();
+}
+
+}  // namespace cmetile::core

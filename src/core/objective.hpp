@@ -1,0 +1,119 @@
+#pragma once
+// GA objectives (paper §3.1): f(T_1..T_k) = #ReplacementMisses, evaluated
+// through the parameterized CMEs — i.e. a fresh NestAnalysis per candidate
+// tile/pad vector, estimated on a *fixed* sample of iteration points drawn
+// once per optimizer run. Sampling in the original rectangular space makes
+// the sample valid for every tiling (same access multiset), which gives
+// common random numbers across individuals: selection compares candidates
+// on the same points instead of through independent sampling noise.
+// Operator() is thread-safe (the GA evaluates populations in parallel).
+
+#include <span>
+#include "cme/estimator.hpp"
+#include "ga/encoding.hpp"
+#include "transform/legality.hpp"
+#include "transform/padding.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile::core {
+
+struct ObjectiveOptions {
+  cme::EstimatorOptions estimator;
+  cme::AnalysisOptions analysis;
+};
+
+/// Cost of a tile vector = estimated replacement misses of the tiled nest.
+/// Tile vectors that would reorder a dependence illegally (see
+/// transform/legality.hpp) receive a penalty cost above any feasible miss
+/// count, so the GA searches only semantics-preserving tilings.
+class TilingObjective {
+ public:
+  TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
+                  cache::CacheConfig cache, ObjectiveOptions options = {});
+
+  /// GA domains: T_d ∈ [1, U_d] (paper §3.1).
+  std::vector<ga::VarDomain> domains() const;
+
+  /// Estimated replacement misses (the GA cost). Thread-safe.
+  double operator()(std::span<const i64> tiles) const;
+
+  /// Full estimate for a tile vector (ratios, CI) on the shared sample.
+  cme::MissEstimate evaluate(const transform::TileVector& tiles) const;
+
+  /// Is this tile vector a legal reordering of the nest?
+  bool is_legal(const transform::TileVector& tiles) const;
+
+  const ir::LoopNest& nest() const { return *nest_; }
+
+ private:
+  const ir::LoopNest* nest_;
+  ir::MemoryLayout layout_;
+  cache::CacheConfig cache_;
+  ObjectiveOptions options_;
+  std::vector<std::vector<i64>> points_;
+  std::vector<std::vector<i64>> risky_deps_;
+  std::vector<i64> trips_;
+};
+
+/// Cost of a pad vector = estimated replacement misses of the nest with the
+/// padded layout, at a fixed tiling (untiled by default — the paper's
+/// "padding first, then tiling" sequence).
+class PaddingObjective {
+ public:
+  PaddingObjective(const ir::LoopNest& nest, cache::CacheConfig cache,
+                   transform::TileVector tiles, i64 max_intra_elems, i64 max_inter_lines,
+                   ObjectiveOptions options = {});
+
+  /// GA domains: per array, intra ∈ [0, max_intra], inter ∈ [0, max_inter]
+  /// (intra variables first, then inter variables).
+  std::vector<ga::VarDomain> domains() const;
+
+  double operator()(std::span<const i64> pad_values) const;
+
+  cme::MissEstimate evaluate(const transform::PadVector& pads) const;
+
+  transform::PadVector unpack(std::span<const i64> pad_values) const;
+
+ private:
+  const ir::LoopNest* nest_;
+  cache::CacheConfig cache_;
+  transform::TileVector tiles_;
+  i64 max_intra_;
+  i64 max_inter_;
+  ObjectiveOptions options_;
+  std::vector<std::vector<i64>> points_;
+};
+
+/// Single-step objective over (tile sizes, pads): the paper's §4.3 future
+/// work. Variable layout: [T_1..T_k, intra_1..intra_A, inter_1..inter_A].
+class JointObjective {
+ public:
+  JointObjective(const ir::LoopNest& nest, cache::CacheConfig cache, i64 max_intra_elems,
+                 i64 max_inter_lines, ObjectiveOptions options = {});
+
+  std::vector<ga::VarDomain> domains() const;
+
+  double operator()(std::span<const i64> values) const;
+
+  struct Decoded {
+    transform::TileVector tiles;
+    transform::PadVector pads;
+  };
+  Decoded unpack(std::span<const i64> values) const;
+
+  cme::MissEstimate evaluate(const Decoded& decoded) const;
+
+  bool is_legal(const transform::TileVector& tiles) const;
+
+ private:
+  const ir::LoopNest* nest_;
+  cache::CacheConfig cache_;
+  i64 max_intra_;
+  i64 max_inter_;
+  ObjectiveOptions options_;
+  std::vector<std::vector<i64>> points_;
+  std::vector<std::vector<i64>> risky_deps_;
+  std::vector<i64> trips_;
+};
+
+}  // namespace cmetile::core

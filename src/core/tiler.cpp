@@ -1,0 +1,156 @@
+#include "core/tiler.hpp"
+
+#include <algorithm>
+
+#include "baselines/analytic.hpp"
+#include "support/contracts.hpp"
+
+namespace cmetile::core {
+
+namespace {
+
+/// Heuristic warm starts for the tile search (deduplicated, legality
+/// filtered by the objective's penalty anyway).
+std::vector<std::vector<i64>> tiling_seeds(const ir::LoopNest& nest,
+                                           const ir::MemoryLayout& layout,
+                                           const cache::CacheConfig& cache) {
+  std::vector<std::vector<i64>> seeds;
+  auto push = [&](std::vector<i64> t) {
+    const transform::TileVector tv = transform::TileVector::clamped(std::move(t), nest);
+    if (std::find(seeds.begin(), seeds.end(), tv.t) == seeds.end()) seeds.push_back(tv.t);
+  };
+  push(transform::TileVector::untiled(nest).t);
+  push(baselines::lrw_tiles(nest, layout, cache).t);
+  push(baselines::tss_tiles(nest, layout, cache).t);
+  push(baselines::sarkar_megiddo_tiles(nest, layout, cache).t);
+  for (const i64 side : {4, 8, 16, 32, 64}) {
+    push(std::vector<i64>(nest.depth(), side));
+  }
+  // Outer loop untiled, inner loops small — a common good shape.
+  for (const i64 side : {8, 32}) {
+    std::vector<i64> t(nest.depth(), side);
+    t[0] = nest.loops[0].trip_count();
+    push(std::move(t));
+  }
+  return seeds;
+}
+
+/// Warm starts for the padding search: no padding, unit intra padding, and
+/// base-staggering inter padding (the classic fixes for power-of-two
+/// strides and aliased bases).
+std::vector<std::vector<i64>> padding_seeds(const ir::LoopNest& nest, i64 max_intra,
+                                            i64 max_inter) {
+  const std::size_t n = nest.arrays.size();
+  std::vector<std::vector<i64>> seeds;
+  std::vector<i64> zero(2 * n, 0);
+  seeds.push_back(zero);
+  std::vector<i64> unit_intra = zero;
+  for (std::size_t a = 0; a < n; ++a) unit_intra[a] = std::min<i64>(1, max_intra);
+  seeds.push_back(unit_intra);
+  std::vector<i64> stagger = zero;
+  for (std::size_t a = 0; a < n; ++a) stagger[n + a] = std::min<i64>((i64)a, max_inter);
+  seeds.push_back(stagger);
+  std::vector<i64> both = unit_intra;
+  for (std::size_t a = 0; a < n; ++a) both[n + a] = std::min<i64>((i64)a, max_inter);
+  seeds.push_back(both);
+  return seeds;
+}
+
+}  // namespace
+
+TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                             const cache::CacheConfig& cache, const OptimizerOptions& options) {
+  if (options.check_legality) {
+    // Non-uniform dependence pairs make per-vector legality undecidable for
+    // us: refuse. Fully permutable or uniformly constrained nests proceed;
+    // the objective penalizes individual illegal tile vectors.
+    const transform::LegalityReport report = transform::check_tiling_legality(nest);
+    expects(report.verdict != transform::Legality::Unknown,
+            "optimize_tiling: cannot prove tiling legality (non-uniform dependences)");
+  }
+
+  const TilingObjective objective(nest, layout, cache, options.objective);
+  ga::GaOptions ga_options = options.ga;
+  if (options.seed_population && ga_options.initial_seeds.empty()) {
+    ga_options.initial_seeds = tiling_seeds(nest, layout, cache);
+  }
+  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  TilingResult result;
+  result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
+  result.tiles = transform::TileVector::clamped(result.ga.best_values, nest);
+  result.before = objective.evaluate(transform::TileVector::untiled(nest));
+  result.after = objective.evaluate(result.tiles);
+  return result;
+}
+
+PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfig& cache,
+                               const OptimizerOptions& options) {
+  const PaddingObjective objective(nest, cache, transform::TileVector::untiled(nest),
+                                   options.max_intra_pad_elems, options.max_inter_pad_units,
+                                   options.objective);
+  ga::GaOptions ga_options = options.ga;
+  if (options.seed_population && ga_options.initial_seeds.empty()) {
+    ga_options.initial_seeds =
+        padding_seeds(nest, options.max_intra_pad_elems, options.max_inter_pad_units);
+  }
+  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  PaddingResult result;
+  result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
+  result.pads = objective.unpack(result.ga.best_values);
+  result.before = objective.evaluate(transform::PadVector::none(nest));
+  result.after = objective.evaluate(result.pads);
+  return result;
+}
+
+JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig& cache,
+                             const OptimizerOptions& options) {
+  if (options.check_legality) {
+    const transform::LegalityReport report = transform::check_tiling_legality(nest);
+    expects(report.verdict != transform::Legality::Unknown,
+            "optimize_jointly: cannot prove tiling legality (non-uniform dependences)");
+  }
+  const JointObjective objective(nest, cache, options.max_intra_pad_elems,
+                                 options.max_inter_pad_units, options.objective);
+  ga::GaOptions ga_options = options.ga;
+  if (options.seed_population && ga_options.initial_seeds.empty()) {
+    // Combine the tiling and padding warm starts pairwise.
+    const ir::MemoryLayout layout(nest);
+    const auto tiles = tiling_seeds(nest, layout, cache);
+    const auto pads = padding_seeds(nest, options.max_intra_pad_elems,
+                                    options.max_inter_pad_units);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      std::vector<i64> seed = tiles[t];
+      const std::vector<i64>& pad = pads[t % pads.size()];
+      seed.insert(seed.end(), pad.begin(), pad.end());
+      ga_options.initial_seeds.push_back(std::move(seed));
+    }
+  }
+  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  JointResult result;
+  result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
+  const JointObjective::Decoded best = objective.unpack(result.ga.best_values);
+  result.tiles = best.tiles;
+  result.pads = best.pads;
+  result.original = objective.evaluate(JointObjective::Decoded{
+      transform::TileVector::untiled(nest), transform::PadVector::none(nest)});
+  result.optimized = objective.evaluate(best);
+  return result;
+}
+
+PadTileResult optimize_padding_then_tiling(const ir::LoopNest& nest,
+                                           const cache::CacheConfig& cache,
+                                           const OptimizerOptions& options) {
+  PadTileResult result;
+  const PaddingResult padding = optimize_padding(nest, cache, options);
+  result.pads = padding.pads;
+  result.original = padding.before;
+  result.padded = padding.after;
+
+  const ir::MemoryLayout layout = transform::padded_layout(nest, result.pads);
+  const TilingResult tiling = optimize_tiling(nest, layout, cache, options);
+  result.tiles = tiling.tiles;
+  result.padded_tiled = tiling.after;
+  return result;
+}
+
+}  // namespace cmetile::core

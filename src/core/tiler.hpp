@@ -1,0 +1,80 @@
+#pragma once
+// The paper's contribution, assembled: near-optimal loop tiling (and
+// padding) by searching tile-size/pad vectors with a genetic algorithm
+// whose objective is the number of replacement misses predicted by the
+// Cache Miss Equations. `optimize_tiling` is the §3 pipeline; `optimize_
+// padding` and `optimize_padding_then_tiling` reproduce the §4.3 / Table 3
+// sequence ("padding and tiling applied sequentially in this order").
+
+#include "core/objective.hpp"
+#include "ga/ga.hpp"
+#include "transform/legality.hpp"
+
+namespace cmetile::core {
+
+struct OptimizerOptions {
+  ga::GaOptions ga;                 ///< paper defaults (pop 30, pc .9, pm .001, 15–25 gens)
+  ObjectiveOptions objective;
+  bool check_legality = true;       ///< refuse tiling a non-fully-permutable nest
+  /// Warm-start the GA population with heuristic individuals (untiled,
+  /// LRW/TSS/analytic tiles, small uniform tiles; zero/staggered pads).
+  /// Disable to reproduce the paper's purely random initialization — the
+  /// ablation bench measures the difference.
+  bool seed_population = true;
+  i64 max_intra_pad_elems = 8;      ///< padding search bound (elements)
+  i64 max_inter_pad_units = 16;     ///< padding search bound (alignment units)
+};
+
+struct TilingResult {
+  transform::TileVector tiles;
+  cme::MissEstimate before;   ///< untiled estimate (same sample set)
+  cme::MissEstimate after;    ///< estimate at the chosen tiles
+  ga::GaResult ga;
+};
+
+struct PaddingResult {
+  transform::PadVector pads;
+  cme::MissEstimate before;
+  cme::MissEstimate after;
+  ga::GaResult ga;
+};
+
+struct PadTileResult {
+  transform::PadVector pads;
+  transform::TileVector tiles;
+  cme::MissEstimate original;      ///< no padding, no tiling
+  cme::MissEstimate padded;        ///< padding only
+  cme::MissEstimate padded_tiled;  ///< padding + tiling
+};
+
+/// Search tile sizes for the nest under the given layout and cache.
+TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                             const cache::CacheConfig& cache, const OptimizerOptions& options = {});
+
+/// Search padding parameters (at a fixed tiling, untiled by default).
+PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfig& cache,
+                               const OptimizerOptions& options = {});
+
+/// Table 3 pipeline: padding first, then tiling on the padded layout.
+PadTileResult optimize_padding_then_tiling(const ir::LoopNest& nest,
+                                           const cache::CacheConfig& cache,
+                                           const OptimizerOptions& options = {});
+
+/// The paper's stated future work (§4.3): "the application of padding and
+/// tiling techniques in a single step, trying to find the padding and
+/// tiling parameters at the same time. This can in general produce better
+/// results than optimizing each part separately." One chromosome carries
+/// both the tile sizes and all pad parameters; the objective rebuilds the
+/// padded layout per individual.
+struct JointResult {
+  transform::PadVector pads;
+  transform::TileVector tiles;
+  cme::MissEstimate original;
+  cme::MissEstimate optimized;
+  ga::GaResult ga;
+};
+
+JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig& cache,
+                             const OptimizerOptions& options = {});
+
+}  // namespace cmetile::core

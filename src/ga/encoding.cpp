@@ -1,0 +1,79 @@
+#include "ga/encoding.hpp"
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ga {
+
+Encoding::Encoding(std::vector<VarDomain> domains) : domains_(std::move(domains)) {
+  expects(!domains_.empty(), "Encoding: at least one variable required");
+  gene_counts_.reserve(domains_.size());
+  offsets_.reserve(domains_.size());
+  for (const VarDomain& d : domains_) {
+    expects(d.lo <= d.hi, "Encoding: empty domain");
+    int k = d.size() > 1 ? ceil_log2(d.size()) : 1;
+    if (k % 2 != 0) ++k;  // paper: +1 if odd (base-4 alphabet)
+    offsets_.push_back(total_genes_);
+    gene_counts_.push_back((std::size_t)k / 2);
+    total_genes_ += (std::size_t)k / 2;
+  }
+}
+
+i64 Encoding::chromosome_value(std::span<const std::uint8_t> genes) const {
+  i64 x = 0;
+  for (const std::uint8_t gene : genes) {
+    expects(gene < 4, "Encoding: gene out of base-4 alphabet");
+    x = (x << 2) | gene;  // first gene is most significant (paper example)
+  }
+  return x;
+}
+
+i64 Encoding::map_value(i64 x, std::size_t v) const {
+  const VarDomain& d = domains_.at(v);
+  const int k = (int)gene_counts_[v] * 2;
+  const i64 range = (i64{1} << k) - 1;
+  expects(x >= 0 && x <= range, "Encoding: chromosome value out of range");
+  if (d.size() == 1) return d.lo;
+  return x * (d.size() - 1) / range + d.lo;
+}
+
+std::vector<i64> Encoding::decode(std::span<const std::uint8_t> genome) const {
+  expects(genome.size() == total_genes_, "Encoding: genome length mismatch");
+  std::vector<i64> values(domains_.size());
+  for (std::size_t v = 0; v < domains_.size(); ++v) {
+    values[v] = map_value(
+        chromosome_value(genome.subspan(offsets_[v], gene_counts_[v])), v);
+  }
+  return values;
+}
+
+Genome Encoding::encode(std::span<const i64> values) const {
+  expects(values.size() == domains_.size(), "Encoding: value arity mismatch");
+  Genome genome(total_genes_, 0);
+  for (std::size_t v = 0; v < domains_.size(); ++v) {
+    const VarDomain& d = domains_[v];
+    expects(values[v] >= d.lo && values[v] <= d.hi, "Encoding: value outside domain");
+    const int k = (int)gene_counts_[v] * 2;
+    const i64 range = (i64{1} << k) - 1;
+    i64 x = 0;
+    if (d.size() > 1) {
+      // Nearest preimage of Eq. (2); adjust for flooring.
+      x = (values[v] - d.lo) * range / (d.size() - 1);
+      while (x > 0 && map_value(x, v) > values[v]) --x;
+      while (x < range && map_value(x, v) < values[v]) ++x;
+      ensures(map_value(x, v) == values[v], "Encoding: Eq.(2) must be onto");
+    }
+    for (std::size_t g = gene_counts_[v]; g-- > 0;) {
+      genome[offsets_[v] + g] = (std::uint8_t)(x & 3);
+      x >>= 2;
+    }
+  }
+  return genome;
+}
+
+Genome Encoding::random_genome(Rng& rng) const {
+  Genome genome(total_genes_);
+  for (std::uint8_t& gene : genome) gene = (std::uint8_t)rng.uniform_int(0, 3);
+  return genome;
+}
+
+}  // namespace cmetile::ga

@@ -1,0 +1,65 @@
+#pragma once
+// Chromosome representation (paper §3.3). An individual is one chromosome
+// per decision variable (tile size T_i, or a padding parameter); each
+// chromosome is a sequence of base-4 genes — the alphabet {00,01,10,11}
+// the authors found to work well — holding k bits where
+//
+//     k = ceil(log2 |domain|), +1 if odd           (so genes fill evenly)
+//
+// and the chromosome value x ∈ [0, 2^k − 1] maps into the domain [lo..hi]
+// with the paper's Eq. (2):
+//
+//     g(x) = floor( x · (|domain| − 1) / (2^k − 1) ) + lo
+//
+// which is total and onto (every domain value has at least one preimage).
+
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cmetile::ga {
+
+/// Inclusive integer domain of one decision variable.
+struct VarDomain {
+  i64 lo = 1;
+  i64 hi = 1;
+
+  i64 size() const { return hi - lo + 1; }
+};
+
+/// Gene = one base-4 digit, stored as a byte in {0,1,2,3}.
+using Genome = std::vector<std::uint8_t>;
+
+class Encoding {
+ public:
+  explicit Encoding(std::vector<VarDomain> domains);
+
+  std::size_t var_count() const { return domains_.size(); }
+  const VarDomain& domain(std::size_t v) const { return domains_.at(v); }
+  /// Genes in chromosome v (= k_v / 2).
+  std::size_t genes_of(std::size_t v) const { return gene_counts_.at(v); }
+  /// Genes in the whole genome.
+  std::size_t total_genes() const { return total_genes_; }
+
+  /// Paper Eq. (2): map chromosome value x into the domain of variable v.
+  i64 map_value(i64 x, std::size_t v) const;
+
+  /// Decode a full genome into variable values.
+  std::vector<i64> decode(std::span<const std::uint8_t> genome) const;
+
+  /// Produce a genome decoding to the given values (nearest preimage).
+  Genome encode(std::span<const i64> values) const;
+
+  Genome random_genome(Rng& rng) const;
+
+ private:
+  i64 chromosome_value(std::span<const std::uint8_t> genes) const;
+
+  std::vector<VarDomain> domains_;
+  std::vector<std::size_t> gene_counts_;  ///< per chromosome
+  std::vector<std::size_t> offsets_;      ///< first gene index per chromosome
+  std::size_t total_genes_ = 0;
+};
+
+}  // namespace cmetile::ga

@@ -1,0 +1,144 @@
+#include "ga/ga.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+#include "support/parallel.hpp"
+
+namespace cmetile::ga {
+
+GeneticOptimizer::GeneticOptimizer(Encoding encoding, GaOptions options)
+    : encoding_(std::move(encoding)), options_(options) {
+  expects(options_.population >= 2, "GA: population must be >= 2");
+  expects(options_.population % 2 == 0, "GA: population must be even (pairing)");
+  expects(options_.min_generations >= 1 &&
+              options_.max_generations >= options_.min_generations,
+          "GA: generation bounds inconsistent");
+}
+
+bool GeneticOptimizer::converged(std::span<const double> costs) const {
+  const double best = *std::min_element(costs.begin(), costs.end());
+  double avg = 0.0;
+  for (const double c : costs) avg += c;
+  avg /= (double)costs.size();
+  if (avg <= 0.0) return true;  // population of perfect individuals
+  return (avg - best) / avg < options_.convergence_threshold;
+}
+
+GaResult GeneticOptimizer::run(const Objective& objective) {
+  Rng rng(derive_seed(options_.seed, 0x6A5EED));
+  GaResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+
+  std::map<std::vector<i64>, double> memo;
+
+  std::vector<Genome> population(options_.population);
+  for (Genome& genome : population) genome = encoding_.random_genome(rng);
+  for (std::size_t s = 0; s < options_.initial_seeds.size() && s < population.size(); ++s) {
+    std::vector<i64> values = options_.initial_seeds[s];
+    expects(values.size() == encoding_.var_count(), "GA: seed individual arity mismatch");
+    for (std::size_t v = 0; v < values.size(); ++v) {
+      const VarDomain& d = encoding_.domain(v);
+      values[v] = std::clamp(values[v], d.lo, d.hi);
+    }
+    population[s] = encoding_.encode(values);
+  }
+  std::vector<double> costs(options_.population, 0.0);
+
+  auto evaluate_population = [&]() {
+    // Decode all, find genomes whose value vectors are not memoized yet.
+    std::vector<std::vector<i64>> decoded(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i)
+      decoded[i] = encoding_.decode(population[i]);
+
+    std::vector<const std::vector<i64>*> pending;
+    for (const std::vector<i64>& values : decoded) {
+      if (memo.count(values) == 0) {
+        bool queued = false;
+        for (const auto* p : pending) {
+          if (*p == values) {
+            queued = true;
+            break;
+          }
+        }
+        if (!queued) pending.push_back(&values);
+      }
+    }
+
+    std::vector<double> pending_costs(pending.size());
+    if (options_.parallel_evaluation) {
+      parallel_for(pending.size(),
+                   [&](std::size_t i) { pending_costs[i] = objective(*pending[i]); });
+    } else {
+      for (std::size_t i = 0; i < pending.size(); ++i) pending_costs[i] = objective(*pending[i]);
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) memo.emplace(*pending[i], pending_costs[i]);
+    result.objective_calls += (i64)pending.size();
+
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      costs[i] = memo.at(decoded[i]);
+      ++result.evaluations;
+      if (costs[i] < result.best_cost) {
+        result.best_cost = costs[i];
+        result.best_values = decoded[i];
+      }
+    }
+  };
+
+  auto record = [&]() {
+    GenerationStats g;
+    g.best = *std::min_element(costs.begin(), costs.end());
+    double avg = 0.0;
+    for (const double c : costs) avg += c;
+    g.average = avg / (double)costs.size();
+    g.best_ever = result.best_cost;
+    result.history.push_back(g);
+  };
+
+  auto next_generation = [&]() {
+    const std::vector<std::size_t> selected = select_remainder_stochastic(costs, rng);
+    std::vector<Genome> next;
+    next.reserve(population.size());
+    for (std::size_t pair = 0; pair + 1 < selected.size(); pair += 2) {
+      Genome a = population[selected[pair]];
+      Genome b = population[selected[pair + 1]];
+      if (rng.bernoulli(options_.crossover_prob)) crossover_single_point(a, b, rng);
+      mutate(a, options_.mutation_prob, rng);
+      mutate(b, options_.mutation_prob, rng);
+      next.push_back(std::move(a));
+      next.push_back(std::move(b));
+    }
+    population = std::move(next);
+    evaluate_population();
+    ++result.generations;
+    record();
+  };
+
+  evaluate_population();
+  record();
+
+  // Paper Fig. 7: the generation-count control algorithm.
+  bool finish = false;
+  int iters = 0;
+  while (!finish) {
+    if (iters < options_.min_generations) {
+      ++iters;
+      next_generation();
+    } else if (iters < options_.max_generations) {
+      if (!converged(costs)) {
+        ++iters;
+        next_generation();
+      } else {
+        result.converged = true;
+        finish = true;
+      }
+    } else {
+      finish = true;
+    }
+  }
+  if (!result.converged) result.converged = converged(costs);
+  return result;
+}
+
+}  // namespace cmetile::ga

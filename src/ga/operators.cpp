@@ -1,0 +1,83 @@
+#include "ga/operators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ga {
+
+std::vector<std::size_t> select_remainder_stochastic(std::span<const double> costs, Rng& rng) {
+  const std::size_t n = costs.size();
+  expects(n > 0, "selection: empty population");
+
+  const double max_cost = *std::max_element(costs.begin(), costs.end());
+  std::vector<double> fitness(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fitness[i] = max_cost - costs[i];
+    sum += fitness[i];
+  }
+
+  std::vector<std::size_t> selected;
+  selected.reserve(n);
+
+  if (sum <= 0.0) {
+    // Flat population: uniform selection (every individual once).
+    for (std::size_t i = 0; i < n; ++i) selected.push_back(i);
+    std::shuffle(selected.begin(), selected.end(), rng.engine());
+    return selected;
+  }
+
+  // Deterministic integer parts.
+  std::vector<double> fractional(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = (double)n * fitness[i] / sum;
+    const double integer_part = std::floor(expected);
+    fractional[i] = expected - integer_part;
+    for (i64 c = 0; c < (i64)integer_part && selected.size() < n; ++c) selected.push_back(i);
+  }
+
+  // Fractional parts: Bernoulli sweeps in random order, without replacement.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  while (selected.size() < n) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    bool any_left = false;
+    for (const std::size_t i : order) {
+      if (selected.size() >= n) break;
+      if (fractional[i] <= 0.0) continue;
+      any_left = true;
+      if (rng.bernoulli(fractional[i])) {
+        selected.push_back(i);
+        fractional[i] = 0.0;
+      }
+    }
+    if (!any_left) {
+      // All fractions consumed; fill remaining slots uniformly.
+      while (selected.size() < n) selected.push_back((std::size_t)rng.uniform_int(0, (i64)n - 1));
+    }
+  }
+
+  std::shuffle(selected.begin(), selected.end(), rng.engine());
+  return selected;
+}
+
+void crossover_single_point(Genome& a, Genome& b, Rng& rng) {
+  expects(a.size() == b.size(), "crossover: genome length mismatch");
+  if (a.size() < 2) return;
+  // Cross site between genes: positions 1 .. size-1 (Fig. 5).
+  const std::size_t site = (std::size_t)rng.uniform_int(1, (i64)a.size() - 1);
+  for (std::size_t g = site; g < a.size(); ++g) std::swap(a[g], b[g]);
+}
+
+void mutate(Genome& genome, double per_gene_prob, Rng& rng) {
+  for (std::uint8_t& gene : genome) {
+    if (!rng.bernoulli(per_gene_prob)) continue;
+    const std::uint8_t bit = rng.bernoulli(0.5) ? 1 : 2;  // flip bit 0 or bit 1
+    gene = (std::uint8_t)(gene ^ bit);
+  }
+}
+
+}  // namespace cmetile::ga

@@ -1,0 +1,34 @@
+#pragma once
+// Genetic operators (paper §3.3, Figs 5–6):
+//  * remainder stochastic selection without replacement (Goldberg) — the
+//    scheme the authors adopted;
+//  * simple single-point crossover at a random gene boundary (Fig. 5),
+//    applied to each selected pair with probability pc;
+//  * mutation flipping one random bit of a gene with per-gene probability pm
+//    (the paper's Fig. 6 example flips single bits within a digit).
+//
+// The GA *minimizes* a cost; selection converts costs to fitness with the
+// standard max-cost transform f_i = (max_cost - cost_i).
+
+#include <span>
+#include <vector>
+
+#include "ga/encoding.hpp"
+
+namespace cmetile::ga {
+
+/// Select N parents from N individuals (returned as indices, possibly with
+/// repetition) by remainder stochastic sampling without replacement:
+/// each individual first receives floor(e_i) copies deterministically
+/// (e_i = N·f_i/Σf), then the remaining slots are filled by Bernoulli
+/// draws on the fractional parts, visiting individuals in random order,
+/// each fractional part being usable at most once per sweep.
+std::vector<std::size_t> select_remainder_stochastic(std::span<const double> costs, Rng& rng);
+
+/// Swap the tails of a and b after a random cross site (gene granularity).
+void crossover_single_point(Genome& a, Genome& b, Rng& rng);
+
+/// With probability `per_gene_prob` per gene, flip one random bit of it.
+void mutate(Genome& genome, double per_gene_prob, Rng& rng);
+
+}  // namespace cmetile::ga

@@ -1,0 +1,84 @@
+#include "ir/affine.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ir {
+
+LinExpr LinExpr::var(std::size_t depth, std::size_t d, i64 scale) {
+  expects(d < depth, "LinExpr::var: dimension out of range");
+  LinExpr e(depth);
+  e.coeffs_[d] = scale;
+  return e;
+}
+
+LinExpr LinExpr::constant(std::size_t depth, i64 c) {
+  LinExpr e(depth);
+  e.constant_ = c;
+  return e;
+}
+
+i64 LinExpr::eval(std::span<const i64> point) const {
+  expects(point.size() == coeffs_.size(), "LinExpr::eval: point arity mismatch");
+  i64 value = constant_;
+  for (std::size_t d = 0; d < coeffs_.size(); ++d) value += coeffs_[d] * point[d];
+  return value;
+}
+
+bool LinExpr::is_constant() const {
+  for (const i64 c : coeffs_)
+    if (c != 0) return false;
+  return true;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  expects(other.coeffs_.size() == coeffs_.size(), "LinExpr: arity mismatch");
+  for (std::size_t d = 0; d < coeffs_.size(); ++d) coeffs_[d] += other.coeffs_[d];
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  expects(other.coeffs_.size() == coeffs_.size(), "LinExpr: arity mismatch");
+  for (std::size_t d = 0; d < coeffs_.size(); ++d) coeffs_[d] -= other.coeffs_[d];
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(i64 scalar) {
+  for (i64& c : coeffs_) c *= scalar;
+  constant_ *= scalar;
+  return *this;
+}
+
+std::string LinExpr::to_string(std::span<const std::string> names) const {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t d = 0; d < coeffs_.size(); ++d) {
+    const i64 c = coeffs_[d];
+    if (c == 0) continue;
+    const std::string name = d < names.size() ? names[d] : "i" + std::to_string(d);
+    if (first) {
+      if (c == -1)
+        out << '-';
+      else if (c != 1)
+        out << c << '*';
+      out << name;
+      first = false;
+    } else {
+      out << (c < 0 ? " - " : " + ");
+      const i64 mag = c < 0 ? -c : c;
+      if (mag != 1) out << mag << '*';
+      out << name;
+    }
+  }
+  if (first) {
+    out << constant_;
+  } else if (constant_ != 0) {
+    out << (constant_ < 0 ? " - " : " + ") << (constant_ < 0 ? -constant_ : constant_);
+  }
+  return out.str();
+}
+
+}  // namespace cmetile::ir

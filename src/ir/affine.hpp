@@ -1,0 +1,66 @@
+#pragma once
+// Affine (linear + constant) expressions over the induction variables of a
+// loop nest. Array subscripts, linearized addresses and CME address
+// polynomials are all LinExpr values; the CME restriction "subscripts are
+// affine functions of the induction variables" (paper §4.1) is enforced by
+// construction.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::ir {
+
+/// c0 + sum_i coeffs[i] * iv_i, where iv_i is the i-th loop (outermost first).
+class LinExpr {
+ public:
+  LinExpr() = default;
+  explicit LinExpr(std::size_t depth) : coeffs_(depth, 0) {}
+  LinExpr(std::vector<i64> coeffs, i64 constant)
+      : coeffs_(std::move(coeffs)), constant_(constant) {}
+
+  /// The expression `iv_d` for a nest of the given depth.
+  static LinExpr var(std::size_t depth, std::size_t d, i64 scale = 1);
+  /// The constant expression.
+  static LinExpr constant(std::size_t depth, i64 c);
+
+  std::size_t depth() const { return coeffs_.size(); }
+  i64 coeff(std::size_t d) const { return coeffs_.at(d); }
+  i64 constant_term() const { return constant_; }
+  std::span<const i64> coeffs() const { return coeffs_; }
+
+  i64& coeff_ref(std::size_t d) { return coeffs_.at(d); }
+  i64& constant_ref() { return constant_; }
+
+  /// Evaluate at a concrete iteration point (point.size() == depth()).
+  i64 eval(std::span<const i64> point) const;
+
+  /// True if no induction variable appears.
+  bool is_constant() const;
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(i64 scalar);
+  LinExpr& operator+=(i64 scalar) { constant_ += scalar; return *this; }
+  LinExpr& operator-=(i64 scalar) { constant_ -= scalar; return *this; }
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, i64 s) { return a *= s; }
+  friend LinExpr operator*(i64 s, LinExpr a) { return a *= s; }
+  friend LinExpr operator+(LinExpr a, i64 s) { return a += s; }
+  friend LinExpr operator+(i64 s, LinExpr a) { return a += s; }
+  friend LinExpr operator-(LinExpr a, i64 s) { return a -= s; }
+  friend bool operator==(const LinExpr&, const LinExpr&) = default;
+
+  /// Render like "i0 + 2*i2 - 1" using the provided variable names.
+  std::string to_string(std::span<const std::string> names) const;
+
+ private:
+  std::vector<i64> coeffs_;
+  i64 constant_ = 0;
+};
+
+}  // namespace cmetile::ir

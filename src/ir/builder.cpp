@@ -1,0 +1,79 @@
+#include "ir/builder.hpp"
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ir {
+
+LoopVar::operator LinExpr() const { return expr(); }
+
+LinExpr LoopVar::expr() const {
+  return LinExpr::var(builder_->current_depth(), index_);
+}
+
+StatementBuilder& StatementBuilder::read(ArrayHandle array, std::vector<LinExpr> subscripts) {
+  builder_->add_ref(array, std::move(subscripts), AccessKind::Read, stmt_);
+  return *this;
+}
+
+StatementBuilder& StatementBuilder::write(ArrayHandle array, std::vector<LinExpr> subscripts) {
+  builder_->add_ref(array, std::move(subscripts), AccessKind::Write, stmt_);
+  return *this;
+}
+
+NestBuilder::NestBuilder(std::string name) { nest_.name = std::move(name); }
+
+LoopVar NestBuilder::loop(std::string name, i64 lower, i64 upper) {
+  expects(!frozen_loops_, "NestBuilder: declare all loops before statements");
+  expects(lower <= upper, "NestBuilder: loop range must be non-empty");
+  nest_.loops.push_back(Loop{std::move(name), lower, upper});
+  return LoopVar(this, nest_.loops.size() - 1);
+}
+
+ArrayHandle NestBuilder::array(std::string name, std::vector<i64> extents, i64 element_size) {
+  std::vector<i64> lower_bounds(extents.size(), 1);
+  return array(std::move(name), std::move(extents), std::move(lower_bounds), element_size);
+}
+
+ArrayHandle NestBuilder::array(std::string name, std::vector<i64> extents,
+                               std::vector<i64> lower_bounds, i64 element_size) {
+  expects(extents.size() == lower_bounds.size(), "NestBuilder: array bounds arity");
+  ArrayDecl decl;
+  decl.name = std::move(name);
+  decl.extents = std::move(extents);
+  decl.lower_bounds = std::move(lower_bounds);
+  decl.element_size = element_size;
+  nest_.arrays.push_back(std::move(decl));
+  return ArrayHandle(nest_.arrays.size() - 1);
+}
+
+StatementBuilder NestBuilder::statement() {
+  frozen_loops_ = true;
+  return StatementBuilder(this, statements_++);
+}
+
+LinExpr NestBuilder::widen(const LinExpr& e) const {
+  if (e.depth() == nest_.loops.size()) return e;
+  expects(e.depth() < nest_.loops.size(), "NestBuilder: expression wider than the nest");
+  std::vector<i64> coeffs(e.coeffs().begin(), e.coeffs().end());
+  coeffs.resize(nest_.loops.size(), 0);
+  return LinExpr(std::move(coeffs), e.constant_term());
+}
+
+void NestBuilder::add_ref(ArrayHandle array, std::vector<LinExpr> subscripts, AccessKind kind,
+                          std::size_t stmt) {
+  Reference ref;
+  ref.array = array.index();
+  ref.subscripts.reserve(subscripts.size());
+  for (LinExpr& s : subscripts) ref.subscripts.push_back(widen(s));
+  ref.kind = kind;
+  ref.statement = stmt;
+  ref.body_position = nest_.refs.size();
+  nest_.refs.push_back(std::move(ref));
+}
+
+LoopNest NestBuilder::build() {
+  nest_.validate();
+  return nest_;
+}
+
+}  // namespace cmetile::ir

@@ -1,0 +1,101 @@
+#pragma once
+// Fluent construction of loop nests. This is the user-facing substitute for
+// the paper's Fortran front end: a kernel is declared with loops, arrays
+// and statements, and the builder assembles a validated LoopNest.
+//
+//   NestBuilder b("MM");
+//   auto i = b.loop("i", 1, n);
+//   auto j = b.loop("j", 1, n);
+//   auto k = b.loop("k", 1, n);
+//   auto A = b.array("a", {n, n});
+//   auto B = b.array("b", {n, n});
+//   auto C = b.array("c", {n, n});
+//   b.statement().read(A, {i, j}).read(B, {i, k}).read(C, {k, j}).write(A, {i, j});
+//   LoopNest nest = b.build();
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.hpp"
+
+namespace cmetile::ir {
+
+class NestBuilder;
+
+/// Handle to a declared loop; implicitly converts to the LinExpr `iv`.
+class LoopVar {
+ public:
+  operator LinExpr() const;
+  LinExpr expr() const;
+  friend LinExpr operator+(const LoopVar& v, i64 c) { return v.expr() + c; }
+  friend LinExpr operator-(const LoopVar& v, i64 c) { return v.expr() - c; }
+  friend LinExpr operator*(const LoopVar& v, i64 c) { return v.expr() * c; }
+  friend LinExpr operator*(i64 c, const LoopVar& v) { return v.expr() * c; }
+  friend LinExpr operator+(const LoopVar& a, const LoopVar& b) { return a.expr() + b.expr(); }
+  friend LinExpr operator-(const LoopVar& a, const LoopVar& b) { return a.expr() - b.expr(); }
+
+ private:
+  friend class NestBuilder;
+  LoopVar(const NestBuilder* builder, std::size_t index) : builder_(builder), index_(index) {}
+  const NestBuilder* builder_;
+  std::size_t index_;
+};
+
+/// Handle to a declared array.
+class ArrayHandle {
+ public:
+  std::size_t index() const { return index_; }
+
+ private:
+  friend class NestBuilder;
+  explicit ArrayHandle(std::size_t index) : index_(index) {}
+  std::size_t index_;
+};
+
+/// Statement scope: reads execute before the write, in call order.
+class StatementBuilder {
+ public:
+  StatementBuilder& read(ArrayHandle array, std::vector<LinExpr> subscripts);
+  StatementBuilder& write(ArrayHandle array, std::vector<LinExpr> subscripts);
+
+ private:
+  friend class NestBuilder;
+  StatementBuilder(NestBuilder* builder, std::size_t stmt) : builder_(builder), stmt_(stmt) {}
+  NestBuilder* builder_;
+  std::size_t stmt_;
+};
+
+class NestBuilder {
+ public:
+  explicit NestBuilder(std::string name);
+
+  /// Declare the next (inner) loop. Must be called before any statement.
+  LoopVar loop(std::string name, i64 lower, i64 upper);
+
+  /// Declare an array (Fortran column-major, lower bounds default to 1).
+  ArrayHandle array(std::string name, std::vector<i64> extents, i64 element_size = 8);
+  ArrayHandle array(std::string name, std::vector<i64> extents, std::vector<i64> lower_bounds,
+                    i64 element_size);
+
+  /// Open the next body statement.
+  StatementBuilder statement();
+
+  /// Finish: validates and returns the nest.
+  LoopNest build();
+
+  std::size_t current_depth() const { return nest_.loops.size(); }
+
+ private:
+  friend class LoopVar;
+  friend class StatementBuilder;
+  void add_ref(ArrayHandle array, std::vector<LinExpr> subscripts, AccessKind kind,
+               std::size_t stmt);
+  /// Widen an expression built at an earlier depth to the final depth.
+  LinExpr widen(const LinExpr& e) const;
+
+  LoopNest nest_;
+  std::size_t statements_ = 0;
+  bool frozen_loops_ = false;
+};
+
+}  // namespace cmetile::ir

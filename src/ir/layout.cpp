@@ -1,0 +1,88 @@
+#include "ir/layout.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ir {
+
+MemoryLayout::MemoryLayout(const LoopNest& nest, const LayoutOptions& options)
+    : options_(options) {
+  expects(options_.alignment >= 1, "MemoryLayout: alignment must be >= 1");
+  expects(options_.padding.empty() || options_.padding.size() == nest.arrays.size(),
+          "MemoryLayout: padding must have one entry per array (or be empty)");
+
+  i64 cursor = 0;
+  placements_.reserve(nest.arrays.size());
+  for (std::size_t a = 0; a < nest.arrays.size(); ++a) {
+    const ArrayDecl& array = nest.arrays[a];
+    const ArrayPadding* pad = options_.padding.empty() ? nullptr : &options_.padding[a];
+    if (pad != nullptr) {
+      expects(pad->dim_pad.empty() || pad->dim_pad.size() == array.rank(),
+              "MemoryLayout: dim_pad must match array rank (or be empty)");
+      expects(pad->pre_gap_lines >= 0, "MemoryLayout: pre_gap_lines must be >= 0");
+    }
+
+    ArrayPlacement placement;
+    placement.strides.resize(array.rank());
+    i64 stride = array.element_size;
+    for (std::size_t d = 0; d < array.rank(); ++d) {
+      placement.strides[d] = stride;
+      i64 padded_extent = array.extents[d];
+      if (pad != nullptr && !pad->dim_pad.empty()) {
+        expects(pad->dim_pad[d] >= 0, "MemoryLayout: dim_pad must be >= 0");
+        padded_extent += pad->dim_pad[d];
+      }
+      stride *= padded_extent;
+    }
+    placement.footprint = stride;
+
+    if (pad != nullptr) cursor += pad->pre_gap_lines * options_.alignment;
+    cursor = ceil_div(cursor, options_.alignment) * options_.alignment;
+    placement.base = cursor;
+    cursor += placement.footprint;
+
+    placements_.push_back(std::move(placement));
+  }
+  total_footprint_ = cursor;
+}
+
+LinExpr MemoryLayout::address_expr(const LoopNest& nest, const Reference& ref) const {
+  const ArrayDecl& array = nest.arrays.at(ref.array);
+  const ArrayPlacement& placement = placements_.at(ref.array);
+  LinExpr addr = LinExpr::constant(nest.depth(), placement.base);
+  for (std::size_t d = 0; d < array.rank(); ++d) {
+    LinExpr offset = ref.subscripts[d];
+    offset -= array.lower_bounds[d];
+    addr += offset * placement.strides[d];
+  }
+  return addr;
+}
+
+i64 MemoryLayout::address_at(const LoopNest& nest, const Reference& ref,
+                             std::span<const i64> point) const {
+  const ArrayDecl& array = nest.arrays.at(ref.array);
+  const ArrayPlacement& placement = placements_.at(ref.array);
+  i64 addr = placement.base;
+  for (std::size_t d = 0; d < array.rank(); ++d) {
+    addr += (ref.subscripts[d].eval(point) - array.lower_bounds[d]) * placement.strides[d];
+  }
+  return addr;
+}
+
+std::string MemoryLayout::to_string(const LoopNest& nest) const {
+  std::ostringstream out;
+  for (std::size_t a = 0; a < placements_.size(); ++a) {
+    const ArrayPlacement& p = placements_[a];
+    out << nest.arrays[a].name << ": base=" << p.base << " strides=[";
+    for (std::size_t d = 0; d < p.strides.size(); ++d) {
+      if (d) out << ',';
+      out << p.strides[d];
+    }
+    out << "] footprint=" << p.footprint << "B\n";
+  }
+  out << "total footprint: " << total_footprint_ << "B\n";
+  return out.str();
+}
+
+}  // namespace cmetile::ir

@@ -1,0 +1,66 @@
+#pragma once
+// Memory layout: assigns byte base addresses and per-dimension byte strides
+// to every array of a nest (column-major, Fortran order). Padding — the
+// paper's companion transformation for conflict misses (§4.3, Table 3) —
+// is expressed here: intra-array padding adds elements to a dimension's
+// extent (changing strides), inter-array padding inserts a gap before the
+// array's base. Every array base is line-aligned so that two different
+// arrays can never share a memory line (the CME solver relies on this).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/nest.hpp"
+
+namespace cmetile::ir {
+
+/// Padding applied to one array.
+struct ArrayPadding {
+  /// Extra elements appended to each dimension (affects strides of the
+  /// following dimensions). Size must equal the array rank; last entry
+  /// only grows the footprint.
+  std::vector<i64> dim_pad;
+  /// Extra memory lines inserted before the array's base address.
+  i64 pre_gap_lines = 0;
+};
+
+struct LayoutOptions {
+  i64 alignment = 128;        ///< base-address alignment in bytes (multiple of any line size used)
+  std::vector<ArrayPadding> padding;  ///< empty = no padding; else one entry per array
+};
+
+/// Concrete placement of one array.
+struct ArrayPlacement {
+  i64 base = 0;                  ///< byte address of the element at the lower bounds
+  std::vector<i64> strides;      ///< bytes per unit step in each dimension
+  i64 footprint = 0;             ///< bytes occupied (with padding)
+};
+
+class MemoryLayout {
+ public:
+  /// Pack the nest's arrays consecutively in declaration order.
+  MemoryLayout(const LoopNest& nest, const LayoutOptions& options = {});
+
+  const ArrayPlacement& placement(std::size_t array) const { return placements_.at(array); }
+  std::size_t array_count() const { return placements_.size(); }
+  i64 total_footprint() const { return total_footprint_; }
+  const LayoutOptions& options() const { return options_; }
+
+  /// Byte address of reference `ref` as an affine function of the nest's
+  /// induction variables.
+  LinExpr address_expr(const LoopNest& nest, const Reference& ref) const;
+
+  /// Byte address of reference `ref` at a concrete iteration point.
+  i64 address_at(const LoopNest& nest, const Reference& ref, std::span<const i64> point) const;
+
+  /// Human-readable placement summary.
+  std::string to_string(const LoopNest& nest) const;
+
+ private:
+  LayoutOptions options_;
+  std::vector<ArrayPlacement> placements_;
+  i64 total_footprint_ = 0;
+};
+
+}  // namespace cmetile::ir

@@ -1,0 +1,108 @@
+#include "ir/nest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ir {
+
+i64 ArrayDecl::logical_elements() const {
+  i64 n = 1;
+  for (const i64 e : extents) n *= e;
+  return n;
+}
+
+i64 LoopNest::iteration_count() const {
+  i64 n = 1;
+  for (const Loop& loop : loops) n *= loop.trip_count();
+  return n;
+}
+
+std::vector<i64> LoopNest::trip_counts() const {
+  std::vector<i64> u;
+  u.reserve(loops.size());
+  for (const Loop& loop : loops) u.push_back(loop.trip_count());
+  return u;
+}
+
+bool LoopNest::contains(std::span<const i64> point) const {
+  if (point.size() != loops.size()) return false;
+  for (std::size_t d = 0; d < loops.size(); ++d)
+    if (point[d] < loops[d].lower || point[d] > loops[d].upper) return false;
+  return true;
+}
+
+void LoopNest::validate() const {
+  expects(!loops.empty(), "LoopNest: at least one loop required");
+  for (const Loop& loop : loops)
+    expects(loop.lower <= loop.upper, "LoopNest: loop with empty range");
+  for (const ArrayDecl& a : arrays) {
+    expects(!a.extents.empty(), "LoopNest: array with no dimensions");
+    expects(a.extents.size() == a.lower_bounds.size(), "LoopNest: array bounds arity");
+    for (const i64 e : a.extents) expects(e >= 1, "LoopNest: array extent must be >= 1");
+    expects(a.element_size >= 1, "LoopNest: element size must be >= 1");
+  }
+  expects(!refs.empty(), "LoopNest: at least one reference required");
+  for (std::size_t r = 0; r < refs.size(); ++r) {
+    const Reference& ref = refs[r];
+    expects(ref.array < arrays.size(), "LoopNest: reference to unknown array");
+    expects(ref.subscripts.size() == arrays[ref.array].rank(),
+            "LoopNest: subscript arity must match array rank");
+    for (const LinExpr& s : ref.subscripts)
+      expects(s.depth() == loops.size(), "LoopNest: subscript arity must match nest depth");
+    expects(ref.body_position == r, "LoopNest: refs must be sorted by body_position");
+  }
+}
+
+std::vector<std::string> LoopNest::loop_names() const {
+  std::vector<std::string> names;
+  names.reserve(loops.size());
+  for (const Loop& loop : loops) names.push_back(loop.name);
+  return names;
+}
+
+std::string LoopNest::to_string() const {
+  const std::vector<std::string> names = loop_names();
+  std::ostringstream out;
+  std::string indent;
+  for (const Loop& loop : loops) {
+    out << indent << "do " << loop.name << " = " << loop.lower << ", " << loop.upper << '\n';
+    indent += "  ";
+  }
+  auto render_ref = [&](const Reference& ref) {
+    std::string text = arrays[ref.array].name + "(";
+    for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+      if (d) text += ",";
+      text += ref.subscripts[d].to_string(names);
+    }
+    text += ")";
+    return text;
+  };
+  // Group references by statement; render "write = f(reads...)".
+  std::size_t stmt_count = 0;
+  for (const Reference& ref : refs) stmt_count = std::max(stmt_count, ref.statement + 1);
+  for (std::size_t s = 0; s < stmt_count; ++s) {
+    std::vector<std::string> reads;
+    std::string write;
+    for (const Reference& ref : refs) {
+      if (ref.statement != s) continue;
+      if (ref.kind == AccessKind::Write)
+        write = render_ref(ref);
+      else
+        reads.push_back(render_ref(ref));
+    }
+    out << indent << (write.empty() ? std::string("<no-write>") : write) << " = f(";
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      if (i) out << ", ";
+      out << reads[i];
+    }
+    out << ")\n";
+  }
+  for (std::size_t d = loops.size(); d-- > 0;) {
+    out << std::string(2 * d, ' ') << "enddo\n";
+  }
+  return out.str();
+}
+
+}  // namespace cmetile::ir

@@ -1,0 +1,83 @@
+#pragma once
+// The loop-nest intermediate representation. This replaces the paper's
+// Polaris/Ictineo front end (DESIGN.md §5): it carries exactly the
+// compile-time facts CME generation needs — rectangular perfectly nested
+// loops, column-major arrays, affine subscripts and the textual order of
+// the references inside the body.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "support/int_math.hpp"
+
+namespace cmetile::ir {
+
+/// One loop of the nest: `do name = lower, upper` (step 1, constant bounds).
+struct Loop {
+  std::string name;
+  i64 lower = 1;
+  i64 upper = 1;
+
+  i64 trip_count() const { return upper - lower + 1; }
+};
+
+/// A Fortran-style array: column-major, per-dimension lower bound (default 1).
+struct ArrayDecl {
+  std::string name;
+  std::vector<i64> extents;       ///< logical extent per dimension
+  std::vector<i64> lower_bounds;  ///< subscript origin per dimension (Fortran: 1)
+  i64 element_size = 8;           ///< bytes per element (REAL*8 by default)
+
+  std::size_t rank() const { return extents.size(); }
+  i64 logical_elements() const;
+};
+
+enum class AccessKind : std::uint8_t { Read, Write };
+
+/// One array reference in the loop body, e.g. `a(i, j+1)`.
+struct Reference {
+  std::size_t array = 0;            ///< index into LoopNest::arrays
+  std::vector<LinExpr> subscripts;  ///< one affine expression per array dim
+  AccessKind kind = AccessKind::Read;
+  std::size_t statement = 0;        ///< body statement this reference belongs to
+  /// Execution order inside one iteration: references are performed in
+  /// increasing `body_position` (reads of a statement before its write).
+  std::size_t body_position = 0;
+};
+
+/// A perfectly nested, rectangular affine loop nest (paper §4.1 restriction).
+class LoopNest {
+ public:
+  std::string name;
+  std::vector<Loop> loops;          ///< outermost first
+  std::vector<ArrayDecl> arrays;
+  std::vector<Reference> refs;      ///< sorted by body_position
+
+  std::size_t depth() const { return loops.size(); }
+
+  /// Total number of iteration points (product of trip counts).
+  i64 iteration_count() const;
+
+  /// Total memory accesses executed = iteration_count() * refs.size().
+  i64 access_count() const { return iteration_count() * (i64)refs.size(); }
+
+  /// Upper bounds U_i as used by the tile-size search domain [1, U_i].
+  std::vector<i64> trip_counts() const;
+
+  /// Is `point` (actual iv values, outermost first) inside the nest bounds?
+  bool contains(std::span<const i64> point) const;
+
+  /// Throws contract_error if the nest is malformed (arity mismatches,
+  /// empty loops, out-of-range array ids, non-monotonic body positions).
+  void validate() const;
+
+  /// Fortran-like rendering of the nest (used by examples and docs).
+  std::string to_string() const;
+
+  /// Names of the induction variables, outermost first.
+  std::vector<std::string> loop_names() const;
+};
+
+}  // namespace cmetile::ir

@@ -1,0 +1,41 @@
+#include "ir/trace.hpp"
+
+namespace cmetile::ir {
+
+void for_each_point(const LoopNest& nest, const PointCallback& callback) {
+  const std::size_t depth = nest.depth();
+  std::vector<i64> point(depth);
+  for (std::size_t d = 0; d < depth; ++d) point[d] = nest.loops[d].lower;
+
+  while (true) {
+    callback(point);
+    // Odometer increment, innermost dimension fastest.
+    std::size_t d = depth;
+    while (d > 0) {
+      --d;
+      if (point[d] < nest.loops[d].upper) {
+        ++point[d];
+        break;
+      }
+      point[d] = nest.loops[d].lower;
+      if (d == 0) return;
+    }
+  }
+}
+
+void for_each_access(const LoopNest& nest, const MemoryLayout& layout,
+                     const AccessCallback& callback) {
+  // Pre-resolve address expressions once; evaluating a LinExpr per access is
+  // the hot path of simulator-backed validation.
+  std::vector<LinExpr> addr;
+  addr.reserve(nest.refs.size());
+  for (const Reference& ref : nest.refs) addr.push_back(layout.address_expr(nest, ref));
+
+  for_each_point(nest, [&](std::span<const i64> point) {
+    for (std::size_t r = 0; r < nest.refs.size(); ++r) {
+      callback(r, addr[r].eval(point), nest.refs[r].kind == AccessKind::Write);
+    }
+  });
+}
+
+}  // namespace cmetile::ir

@@ -1,0 +1,30 @@
+#pragma once
+// Iteration and memory-trace generation for a loop nest in its *original*
+// execution order (the tiled order lives in transform/tiling.hpp). The
+// trace feeds the cache simulator — our ground truth for validating the
+// CME model — via a streaming callback, so no trace is ever materialized.
+
+#include <span>
+#include <functional>
+
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+
+namespace cmetile::ir {
+
+/// Called for every executed access: reference index, byte address, write?
+using AccessCallback =
+    std::function<void(std::size_t ref_index, i64 address, bool is_write)>;
+
+/// Called for every iteration point (actual iv values, outermost first).
+using PointCallback = std::function<void(std::span<const i64> point)>;
+
+/// Visit every iteration point of the nest in original lexicographic order.
+void for_each_point(const LoopNest& nest, const PointCallback& callback);
+
+/// Emit the memory trace of the nest in original execution order:
+/// points in lexicographic order, references in body order within a point.
+void for_each_access(const LoopNest& nest, const MemoryLayout& layout,
+                     const AccessCallback& callback);
+
+}  // namespace cmetile::ir

@@ -1,0 +1,372 @@
+#include "kernels/kernels.hpp"
+
+#include "support/contracts.hpp"
+
+namespace cmetile::kernels {
+
+using ir::LoopNest;
+using ir::NestBuilder;
+
+namespace {
+
+// ---- common kernels ------------------------------------------------------
+
+/// 2D matrix transposition: a(j,i) = b(i,j).
+LoopNest build_t2d(i64 n) {
+  NestBuilder b("T2D");
+  auto i = b.loop("i", 1, n);
+  auto j = b.loop("j", 1, n);
+  auto a = b.array("a", {n, n});
+  auto bb = b.array("b", {n, n});
+  b.statement().read(bb, {i, j}).write(a, {j, i});
+  return b.build();
+}
+
+/// 3D matrix transposition, loop order j,i,k: a(k,j,i) = b(j,i,k).
+LoopNest build_t3djik(i64 n) {
+  NestBuilder b("T3DJIK");
+  auto j = b.loop("j", 1, n);
+  auto i = b.loop("i", 1, n);
+  auto k = b.loop("k", 1, n);
+  auto a = b.array("a", {n, n, n});
+  auto bb = b.array("b", {n, n, n});
+  b.statement().read(bb, {j, i, k}).write(a, {k, j, i});
+  return b.build();
+}
+
+/// 3D matrix transposition, loop order i,k,j: a(k,j,i) = b(i,k,j).
+LoopNest build_t3dikj(i64 n) {
+  NestBuilder b("T3DIKJ");
+  auto i = b.loop("i", 1, n);
+  auto k = b.loop("k", 1, n);
+  auto j = b.loop("j", 1, n);
+  auto a = b.array("a", {n, n, n});
+  auto bb = b.array("b", {n, n, n});
+  b.statement().read(bb, {i, k, j}).write(a, {k, j, i});
+  return b.build();
+}
+
+/// 3D Jacobi-style PDE sweep: 7-point stencil over b into a.
+LoopNest build_jacobi3d(i64 n) {
+  expects(n >= 4, "JACOBI3D requires n >= 4");
+  NestBuilder b("JACOBI3D");
+  auto k = b.loop("k", 2, n - 1);
+  auto j = b.loop("j", 2, n - 1);
+  auto i = b.loop("i", 2, n - 1);
+  auto a = b.array("a", {n, n, n});
+  auto bb = b.array("b", {n, n, n});
+  b.statement()
+      .read(bb, {i, j, k})
+      .read(bb, {i - 1, j, k})
+      .read(bb, {i + 1, j, k})
+      .read(bb, {i, j - 1, k})
+      .read(bb, {i, j + 1, k})
+      .read(bb, {i, j, k - 1})
+      .read(bb, {i, j, k + 1})
+      .write(a, {i, j, k});
+  return b.build();
+}
+
+/// Matrix by vector multiplication (Table 1, 3 nested loops): the matrix A
+/// is applied to a small batch of vectors, y(i,r) += A(i,j)·x(j,r), which
+/// gives A temporal reuse at distance N² that only tiling can capture (and
+/// keeps the nest fully permutable, unlike a single 1D accumulator).
+LoopNest build_matmul(i64 n) {
+  NestBuilder b("MATMUL");
+  auto r = b.loop("r", 1, 4);
+  auto j = b.loop("j", 1, n);
+  auto i = b.loop("i", 1, n);
+  auto y = b.array("y", {n, 4});
+  auto a = b.array("a", {n, n});
+  auto x = b.array("x", {n, 4});
+  b.statement().read(y, {i, r}).read(a, {i, j}).read(x, {j, r}).write(y, {i, r});
+  return b.build();
+}
+
+/// Matrix multiplication, verbatim paper Fig. 1: a(i,j) += b(i,k)*c(k,j).
+LoopNest build_mm(i64 n) {
+  NestBuilder b("MM");
+  auto i = b.loop("i", 1, n);
+  auto j = b.loop("j", 1, n);
+  auto k = b.loop("k", 1, n);
+  auto a = b.array("a", {n, n});
+  auto bb = b.array("b", {n, n});
+  auto c = b.array("c", {n, n});
+  b.statement().read(a, {i, j}).read(bb, {i, k}).read(c, {k, j}).write(a, {i, j});
+  return b.build();
+}
+
+/// 2D ADI integration sweep (LIVERMORE kernel 8 flavour), j innermost so the
+/// inner stride is 8·N bytes — near the 8KB cache size for N = 1000/2000.
+LoopNest build_adi(i64 n) {
+  expects(n >= 2, "ADI requires n >= 2");
+  NestBuilder b("ADI");
+  auto i = b.loop("i", 2, n);
+  auto j = b.loop("j", 1, n);
+  auto x = b.array("x", {n, n});
+  auto a = b.array("a", {n, n});
+  auto bb = b.array("b", {n, n});
+  b.statement().read(x, {i, j}).read(x, {i - 1, j}).read(a, {i, j}).read(bb, {i - 1, j}).write(
+      x, {i, j});
+  b.statement().read(bb, {i, j}).read(a, {i, j}).read(bb, {i - 1, j}).write(bb, {i, j});
+  return b.build();
+}
+
+// ---- NAS kernels ---------------------------------------------------------
+
+/// Addition of update to a matrix (4 loops). Power-of-two layout: a and b
+/// share cache sets exactly (column stride 4096B, bases ≡ 0 mod 32KB), so
+/// neither tiling nor padding alone helps — the Table 3 "ADD" shape.
+LoopNest build_add() {
+  const i64 n = 512;
+  NestBuilder b("ADD");
+  auto l = b.loop("l", 1, 4);
+  auto k = b.loop("k", 1, 4);
+  auto i = b.loop("i", 1, n);
+  auto j = b.loop("j", 1, n);
+  auto a = b.array("a", {n, n});
+  auto bb = b.array("b", {n, n, 4});
+  auto u = b.array("u", {4, 4});
+  b.statement().read(a, {i, j}).read(bb, {i, j, k}).read(u, {k, l}).write(a, {i, j});
+  return b.build();
+}
+
+/// Block tri-diagonal solver, backward block sweep (3 loops). Four 32³
+/// arrays, each exactly 8 × 32KB: every base aliases in both caches, so
+/// only (inter-array) padding helps — the Table 3 "BTRIX" shape.
+LoopNest build_btrix() {
+  const i64 n = 32;
+  NestBuilder b("BTRIX");
+  auto l = b.loop("l", 1, n);
+  auto k = b.loop("k", 2, n);
+  auto j = b.loop("j", 1, n);
+  auto s = b.array("s", {n, n, n});
+  auto a = b.array("a", {n, n, n});
+  auto bb = b.array("b", {n, n, n});
+  auto c = b.array("c", {n, n, n});
+  b.statement()
+      .read(s, {j, k, l})
+      .read(a, {j, k, l})
+      .read(s, {j, k - 1, l})
+      .read(bb, {j, k, l})
+      .read(c, {j, k, l})
+      .write(s, {j, k, l});
+  return b.build();
+}
+
+/// Invert 3 pentadiagonals simultaneously, loop 1 (2 loops). The classic
+/// nasa7 128×128 pathology: 1KB column stride, 128KB aliased bases.
+LoopNest build_vpenta1() {
+  const i64 n = 128;
+  NestBuilder b("VPENTA1");
+  auto k = b.loop("k", 3, n);
+  auto j = b.loop("j", 1, n);
+  auto a = b.array("a", {n, n});
+  auto bb = b.array("b", {n, n});
+  auto c = b.array("c", {n, n});
+  auto d = b.array("d", {n, n});
+  auto x = b.array("x", {n, n});
+  b.statement()
+      .read(a, {j, k})
+      .read(bb, {j, k})
+      .read(c, {j, k})
+      .read(d, {j, k})
+      .read(x, {j, k - 1})
+      .read(x, {j, k - 2})
+      .write(x, {j, k});
+  return b.build();
+}
+
+/// Invert 3 pentadiagonals simultaneously, loop 2 (backward substitution).
+LoopNest build_vpenta2() {
+  const i64 n = 128;
+  NestBuilder b("VPENTA2");
+  auto k = b.loop("k", 1, n - 2);
+  auto j = b.loop("j", 1, n);
+  auto f = b.array("f", {n, n});
+  auto x = b.array("x", {n, n});
+  auto y = b.array("y", {n, n});
+  auto e = b.array("e", {n, n});
+  b.statement()
+      .read(f, {j, k})
+      .read(x, {j, k + 1})
+      .read(y, {j, k})
+      .read(x, {j, k + 2})
+      .read(e, {j, k})
+      .write(f, {j, k});
+  return b.build();
+}
+
+// ---- BIHAR (FFTPACK) kernels ---------------------------------------------
+
+/// Backward transform of a complex periodic sequence (dpssb): FFT pass
+/// combining a strided twiddle operand with a transposed store. The
+/// twiddle table w(k,i) (30KB) is swept once per j at a reuse distance of
+/// L1*IDO iterations - a pure capacity pattern that tiling k and i fixes.
+/// IDO = 60 keeps array footprints off the 8KB alias grid.
+LoopNest build_dpssb() {
+  const i64 ido = 60, ip = 8, l1 = 64;
+  NestBuilder b("DPSSB");
+  auto j = b.loop("j", 1, ip);
+  auto k = b.loop("k", 1, l1);
+  auto i = b.loop("i", 1, ido);
+  auto cc = b.array("cc", {ido, ip, l1});
+  auto ch = b.array("ch", {ido, l1, ip});
+  auto w = b.array("w", {l1, ido});
+  b.statement().read(cc, {i, j, k}).read(w, {k, i}).write(ch, {i, k, j});
+  return b.build();
+}
+
+/// Forward transform of a complex periodic sequence (dpssf): mirrored pass.
+LoopNest build_dpssf() {
+  const i64 ido = 60, ip = 8, l1 = 64;
+  NestBuilder b("DPSSF");
+  auto j = b.loop("j", 1, ip);
+  auto k = b.loop("k", 1, l1);
+  auto i = b.loop("i", 1, ido);
+  auto cc = b.array("cc", {ido, l1, ip});
+  auto ch = b.array("ch", {ido, ip, l1});
+  auto w = b.array("w", {l1, ido});
+  b.statement().read(cc, {i, k, j}).read(w, {k, i}).write(ch, {i, j, k});
+  return b.build();
+}
+
+/// Backward transform of a real coefficient array, loop 1 (dradbg): radix-g
+/// butterfly gather. The coefficient block x(j,i) is reused across the
+/// outer k loop; together with the cc/ch streams the working set exceeds
+/// 8KB untiled. IDO = 31 (odd) keeps bases off the alias grid.
+LoopNest build_dradbg1() {
+  const i64 ido = 31, ip = 16, l1 = 32;
+  NestBuilder b("DRADBG1");
+  auto k = b.loop("k", 1, l1);
+  auto j = b.loop("j", 1, ip);
+  auto i = b.loop("i", 1, ido);
+  auto cc = b.array("cc", {ido, ip, l1});
+  auto ch = b.array("ch", {ido, l1, ip});
+  auto x = b.array("x", {ip, ido});
+  b.statement().read(cc, {i, j, k}).read(x, {j, i}).write(ch, {i, k, j});
+  return b.build();
+}
+
+/// Backward transform of a real coefficient array, loop 2: scatter back
+/// with a twiddle table w2(k,i) reused across the outer j loop (~8KB).
+LoopNest build_dradbg2() {
+  const i64 ido = 31, ip = 16, l1 = 32;
+  NestBuilder b("DRADBG2");
+  auto j = b.loop("j", 1, ip);
+  auto k = b.loop("k", 1, l1);
+  auto i = b.loop("i", 1, ido);
+  auto cc = b.array("cc", {ido, ip, l1});
+  auto ch = b.array("ch", {ido, l1, ip});
+  auto w2 = b.array("w2", {l1, ido});
+  b.statement().read(ch, {i, k, j}).read(w2, {k, i}).write(cc, {i, j, k});
+  return b.build();
+}
+
+/// Forward transform of a real periodic sequence, loop 1 (dradfg): the
+/// j-innermost variant - both cc (248B) and ch (7936B) stride per j step,
+/// so spatial reuse along the middle i loop is fragile untiled.
+LoopNest build_dradfg1() {
+  const i64 ido = 31, ip = 16, l1 = 32;
+  NestBuilder b("DRADFG1");
+  auto k = b.loop("k", 1, l1);
+  auto i = b.loop("i", 1, ido);
+  auto j = b.loop("j", 1, ip);
+  auto cc = b.array("cc", {ido, ip, l1});
+  auto ch = b.array("ch", {ido, l1, ip});
+  auto w = b.array("w", {ip, l1});
+  b.statement().read(cc, {i, j, k}).read(w, {j, k}).write(ch, {i, k, j});
+  return b.build();
+}
+
+/// Forward transform of a real periodic sequence, loop 2: i outermost, so
+/// the w2(k,j) table (4KB) is re-swept per i against the cc/ch streams.
+LoopNest build_dradfg2() {
+  const i64 ido = 31, ip = 16, l1 = 32;
+  NestBuilder b("DRADFG2");
+  auto i = b.loop("i", 1, ido);
+  auto k = b.loop("k", 1, l1);
+  auto j = b.loop("j", 1, ip);
+  auto cc = b.array("cc", {ido, ip, l1});
+  auto ch = b.array("ch", {ido, l1, ip});
+  auto w2 = b.array("w2", {l1, ip});
+  b.statement().read(ch, {i, k, j}).read(w2, {k, j}).write(cc, {i, j, k});
+  return b.build();
+}
+
+}  // namespace
+
+const std::vector<KernelSpec>& registry() {
+  static const std::vector<KernelSpec> kernels = {
+      {"T2D", "-", "2D Matrix transposition", 2, true, 500},
+      {"T3DJIK", "-", "3D Matrix transposition a[k,j,i] = b[j,i,k]", 3, true, 100},
+      {"T3DIKJ", "-", "3D Matrix transposition a[k,j,i] = b[i,k,j]", 3, true, 100},
+      {"JACOBI3D", "-", "Partial differential equations solver", 3, true, 100},
+      {"MATMUL", "-", "Matrix by vector multiplication", 3, true, 500},
+      {"MM", "LIVERMORE", "Matrix multiplication", 3, true, 500},
+      {"ADI", "LIVERMORE", "2D ADI integration", 2, true, 500},
+      {"ADD", "NAS", "Addition of update to a matrix", 4, false, 0},
+      {"BTRIX", "NAS", "Block Tri-diagonal solver. Backward block sweep", 3, false, 0},
+      {"VPENTA1", "NAS", "Invert 3 pentadiagonals simultaneously. Loop 1", 2, false, 0},
+      {"VPENTA2", "NAS", "Invert 3 pentadiagonals simultaneously. Loop 2", 2, false, 0},
+      {"DPSSB", "BIHAR", "unnormalized inverse of a forward transform of a complex periodic sequence",
+       3, false, 0},
+      {"DPSSF", "BIHAR", "forward transform of a complex periodic sequence", 3, false, 0},
+      {"DRADBG1", "BIHAR", "backward transform of a real coefficient array. Loop 1", 3, false, 0},
+      {"DRADBG2", "BIHAR", "backward transform of a real coefficient array. Loop 2", 3, false, 0},
+      {"DRADFG1", "BIHAR", "forward transform of a real periodic sequence. Loop 1", 3, false, 0},
+      {"DRADFG2", "BIHAR", "forward transform of a real periodic sequence. Loop 2", 3, false, 0},
+  };
+  return kernels;
+}
+
+std::optional<KernelSpec> find_kernel(const std::string& name) {
+  for (const KernelSpec& spec : registry())
+    if (spec.name == name) return spec;
+  return std::nullopt;
+}
+
+ir::LoopNest build_kernel(const std::string& name, i64 n) {
+  if (name == "T2D") return build_t2d(n);
+  if (name == "T3DJIK") return build_t3djik(n);
+  if (name == "T3DIKJ") return build_t3dikj(n);
+  if (name == "JACOBI3D") return build_jacobi3d(n);
+  if (name == "MATMUL") return build_matmul(n);
+  if (name == "MM") return build_mm(n);
+  if (name == "ADI") return build_adi(n);
+  if (name == "ADD") return build_add();
+  if (name == "BTRIX") return build_btrix();
+  if (name == "VPENTA1") return build_vpenta1();
+  if (name == "VPENTA2") return build_vpenta2();
+  if (name == "DPSSB") return build_dpssb();
+  if (name == "DPSSF") return build_dpssf();
+  if (name == "DRADBG1") return build_dradbg1();
+  if (name == "DRADBG2") return build_dradbg2();
+  if (name == "DRADFG1") return build_dradfg1();
+  if (name == "DRADFG2") return build_dradfg2();
+  throw contract_error("unknown kernel: " + name);
+}
+
+std::vector<FigureEntry> figure_bars() {
+  return {
+      {"T2D", 100},     {"T2D", 500},      {"T2D", 2000},     {"T3DJIK", 20},
+      {"T3DJIK", 100},  {"T3DJIK", 200},   {"T3DIKJ", 20},    {"T3DIKJ", 100},
+      {"T3DIKJ", 200},  {"JACOBI3D", 20},  {"JACOBI3D", 100}, {"JACOBI3D", 200},
+      {"MATMUL", 100},  {"MATMUL", 500},   {"MATMUL", 2000},  {"MM", 100},
+      {"MM", 500},      {"MM", 2000},      {"ADI", 100},      {"ADI", 500},
+      {"ADI", 2000},    {"ADD", 0},        {"BTRIX", 0},      {"VPENTA2", 0},
+      {"DPSSB", 0},     {"DRADBG1", 0},    {"DRADFG1", 0},
+  };
+}
+
+std::vector<FigureEntry> table3_entries(i64 cache_bytes) {
+  std::vector<FigureEntry> entries = {
+      {"ADD", 0}, {"BTRIX", 0}, {"VPENTA1", 0}, {"VPENTA2", 0}};
+  if (cache_bytes <= 8 * 1024) {
+    entries.push_back({"ADI", 1000});
+    entries.push_back({"ADI", 2000});
+  }
+  return entries;
+}
+
+}  // namespace cmetile::kernels

@@ -1,0 +1,54 @@
+#pragma once
+// The paper's benchmark kernels (Table 1): 17 perfectly nested affine
+// kernels from NAS, BIHAR, LIVERMORE and "frequently used kernels".
+// The original Fortran suites are not part of the paper, so these are
+// reconstructions that match the published name, suite, nest depth and
+// one-line description, and are engineered to exhibit the failure mode the
+// paper's evaluation reports for each kernel (see DESIGN.md §6):
+// capacity-dominated for the kernels tiling fixes, power-of-two
+// stride/base aliasing for the padding-dominated ones (ADD, BTRIX,
+// VPENTA1/2), and the ≈8KB row stride that makes ADI conflicty at 8KB
+// but clean at 32KB.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace cmetile::kernels {
+
+struct KernelSpec {
+  std::string name;
+  std::string suite;        ///< Table 1 "Program" column
+  std::string description;  ///< Table 1 description
+  int depth = 0;            ///< Table 1 "Nested loops"
+  bool sized = true;        ///< takes a problem size N (figures suffix _N)
+  i64 default_size = 0;     ///< for sized kernels, a representative N
+};
+
+/// All Table-1 kernels, in the paper's order.
+const std::vector<KernelSpec>& registry();
+
+/// Look up a spec by name (case-sensitive); nullopt if unknown.
+std::optional<KernelSpec> find_kernel(const std::string& name);
+
+/// Build a kernel; `n` is ignored for fixed-size kernels (pass 0).
+ir::LoopNest build_kernel(const std::string& name, i64 n);
+
+/// One bar of Figures 8/9: kernel name + problem size (0 = fixed size).
+struct FigureEntry {
+  std::string name;
+  i64 size = 0;
+
+  std::string label() const { return size > 0 ? name + "_" + std::to_string(size) : name; }
+};
+
+/// The 27 bars of Figures 8 and 9, in the paper's x-axis order.
+std::vector<FigureEntry> figure_bars();
+
+/// The kernels of Table 3 (padding study): ADD, BTRIX, VPENTA1, VPENTA2
+/// for both caches, plus ADI_1000 / ADI_2000 for the 8KB cache.
+std::vector<FigureEntry> table3_entries(i64 cache_bytes);
+
+}  // namespace cmetile::kernels

@@ -1,0 +1,172 @@
+#include "reuse/intlinalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::reuse {
+
+IntMatrix IntMatrix::identity(std::size_t n) {
+  IntMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+std::vector<i64> IntMatrix::multiply(std::span<const i64> x) const {
+  expects(x.size() == cols_, "IntMatrix::multiply: arity mismatch");
+  std::vector<i64> y(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) y[r] += at(r, c) * x[c];
+  return y;
+}
+
+namespace {
+
+void swap_rows(IntMatrix& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t c = 0; c < m.cols(); ++c) std::swap(m.at(a, c), m.at(b, c));
+}
+
+void swap_cols(IntMatrix& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t r = 0; r < m.rows(); ++r) std::swap(m.at(r, a), m.at(r, b));
+}
+
+/// row_a -= q * row_b
+void add_row(IntMatrix& m, std::size_t a, std::size_t b, i64 q) {
+  for (std::size_t c = 0; c < m.cols(); ++c) m.at(a, c) -= q * m.at(b, c);
+}
+
+/// col_a -= q * col_b
+void add_col(IntMatrix& m, std::size_t a, std::size_t b, i64 q) {
+  for (std::size_t r = 0; r < m.rows(); ++r) m.at(r, a) -= q * m.at(r, b);
+}
+
+}  // namespace
+
+Diagonalization diagonalize(IntMatrix a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Diagonalization d{std::move(a), IntMatrix::identity(m), IntMatrix::identity(n), 0};
+  IntMatrix& s = d.s;
+
+  const std::size_t t_max = std::min(m, n);
+  for (std::size_t t = 0; t < t_max; ++t) {
+    while (true) {
+      // Find the nonzero entry of smallest magnitude in the trailing block.
+      std::size_t pi = t, pj = t;
+      i64 best = 0;
+      for (std::size_t i = t; i < m; ++i)
+        for (std::size_t j = t; j < n; ++j) {
+          const i64 v = s.at(i, j) < 0 ? -s.at(i, j) : s.at(i, j);
+          if (v != 0 && (best == 0 || v < best)) {
+            best = v;
+            pi = i;
+            pj = j;
+          }
+        }
+      if (best == 0) {
+        d.rank = t;
+        return d;
+      }
+      swap_rows(s, t, pi);
+      swap_rows(d.u, t, pi);
+      swap_cols(s, t, pj);
+      swap_cols(d.v, t, pj);
+
+      bool clean = true;
+      for (std::size_t i = t + 1; i < m; ++i) {
+        if (s.at(i, t) == 0) continue;
+        const i64 q = s.at(i, t) / s.at(t, t);  // truncated division
+        add_row(s, i, t, q);
+        add_row(d.u, i, t, q);
+        if (s.at(i, t) != 0) clean = false;
+      }
+      for (std::size_t j = t + 1; j < n; ++j) {
+        if (s.at(t, j) == 0) continue;
+        const i64 q = s.at(t, j) / s.at(t, t);
+        add_col(s, j, t, q);
+        add_col(d.v, j, t, q);
+        if (s.at(t, j) != 0) clean = false;
+      }
+      if (clean) break;
+    }
+  }
+  // rank = number of nonzero diagonal entries among the first t_max.
+  std::size_t rank = 0;
+  for (std::size_t t = 0; t < t_max; ++t)
+    if (s.at(t, t) != 0) ++rank;
+  d.rank = rank;
+  return d;
+}
+
+std::vector<std::vector<i64>> nullspace_basis(const IntMatrix& a) {
+  const std::size_t n = a.cols();
+  const Diagonalization d = diagonalize(a);
+  std::vector<std::vector<i64>> basis;
+  for (std::size_t c = d.rank; c < n; ++c) {
+    // Kernel basis vector = column c of V.
+    std::vector<i64> v(n);
+    for (std::size_t r = 0; r < n; ++r) v[r] = d.v.at(r, c);
+    // Normalize: gcd-reduce and make first nonzero component positive.
+    i64 g = 0;
+    for (const i64 x : v) g = std::gcd(g, x);
+    if (g > 1)
+      for (i64& x : v) x /= g;
+    for (const i64 x : v) {
+      if (x == 0) continue;
+      if (x < 0)
+        for (i64& y : v) y = -y;
+      break;
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::optional<std::vector<i64>> solve_integer(const IntMatrix& a, std::span<const i64> b) {
+  expects(b.size() == a.rows(), "solve_integer: rhs arity mismatch");
+  const Diagonalization d = diagonalize(a);
+  // A·x = b  <=>  S·y = U·b with x = V·y.
+  std::vector<i64> c(a.rows(), 0);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t k = 0; k < a.rows(); ++k) c[r] += d.u.at(r, k) * b[k];
+
+  const std::size_t n = a.cols();
+  std::vector<i64> y(n, 0);
+  const std::size_t t_max = std::min(a.rows(), n);
+  for (std::size_t t = 0; t < a.rows(); ++t) {
+    const i64 diag = t < t_max ? d.s.at(t, t) : 0;
+    if (diag == 0) {
+      if (c[t] != 0) return std::nullopt;
+    } else {
+      if (c[t] % diag != 0) return std::nullopt;
+      y[t] = c[t] / diag;
+    }
+  }
+  std::vector<i64> x(n, 0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = 0; k < n; ++k) x[r] += d.v.at(r, k) * y[k];
+  return x;
+}
+
+std::vector<i64> reduce_against(std::vector<i64> v, const std::vector<std::vector<i64>>& basis) {
+  // Sequential Babai rounding; repeated twice for a slightly better fit.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::vector<i64>& u : basis) {
+      i64 dot = 0, norm = 0;
+      for (std::size_t d = 0; d < v.size(); ++d) {
+        dot += v[d] * u[d];
+        norm += u[d] * u[d];
+      }
+      if (norm == 0) continue;
+      const i64 q = (i64)std::llround((double)dot / (double)norm);
+      if (q == 0) continue;
+      for (std::size_t d = 0; d < v.size(); ++d) v[d] -= q * u[d];
+    }
+  }
+  return v;
+}
+
+}  // namespace cmetile::reuse

@@ -1,0 +1,63 @@
+#pragma once
+// Small exact integer linear algebra for reuse analysis (Wolf & Lam):
+// nullspace bases and particular integer solutions of H·r = c, both via a
+// Smith-normal-form decomposition. Matrices are tiny (array rank × nest
+// depth, entries are subscript coefficients), so the emphasis is on
+// exactness and clarity, not asymptotics.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::reuse {
+
+/// Dense row-major integer matrix.
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static IntMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  i64& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  i64 at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<i64> multiply(std::span<const i64> x) const;  ///< y = A·x
+
+  friend bool operator==(const IntMatrix&, const IntMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<i64> data_;
+};
+
+/// Smith-like diagonalization A = U^{-1} · S · V^{-1} with U, V unimodular,
+/// i.e. U·A·V = S diagonal (no divisibility chain normalization — not
+/// needed for solving). rank = number of nonzero diagonal entries.
+struct Diagonalization {
+  IntMatrix s;
+  IntMatrix u;  ///< row operations applied (S = U·A·V)
+  IntMatrix v;  ///< column operations applied
+  std::size_t rank = 0;
+};
+
+Diagonalization diagonalize(IntMatrix a);
+
+/// Integer basis of { x : A·x = 0 }. Vectors are gcd-reduced with their
+/// first nonzero component positive.
+std::vector<std::vector<i64>> nullspace_basis(const IntMatrix& a);
+
+/// A particular integer solution of A·x = b, if one exists.
+std::optional<std::vector<i64>> solve_integer(const IntMatrix& a, std::span<const i64> b);
+
+/// Reduce `v` modulo the lattice spanned by `basis` (Babai-style rounding)
+/// to obtain a short representative. Used to keep group-reuse vectors small.
+std::vector<i64> reduce_against(std::vector<i64> v,
+                                const std::vector<std::vector<i64>>& basis);
+
+}  // namespace cmetile::reuse

@@ -1,0 +1,226 @@
+#include "reuse/reuse.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::reuse {
+
+const char* to_string(ReuseKind kind) {
+  switch (kind) {
+    case ReuseKind::SelfTemporal: return "self-temporal";
+    case ReuseKind::SelfSpatial: return "self-spatial";
+    case ReuseKind::GroupTemporal: return "group-temporal";
+    case ReuseKind::GroupSpatial: return "group-spatial";
+  }
+  return "?";
+}
+
+SubscriptForm subscript_form(const ir::LoopNest& nest, const ir::Reference& ref) {
+  const std::size_t rank = ref.subscripts.size();
+  SubscriptForm f{IntMatrix(rank, nest.depth()), std::vector<i64>(rank, 0)};
+  for (std::size_t r = 0; r < rank; ++r) {
+    for (std::size_t d = 0; d < nest.depth(); ++d) f.h.at(r, d) = ref.subscripts[r].coeff(d);
+    f.c[r] = ref.subscripts[r].constant_term();
+  }
+  return f;
+}
+
+namespace {
+
+/// H with its first row (the fastest-varying, column-major dimension) removed.
+IntMatrix drop_fastest_row(const IntMatrix& h) {
+  if (h.rows() == 0) return h;
+  IntMatrix out(h.rows() - 1, h.cols());
+  for (std::size_t r = 1; r < h.rows(); ++r)
+    for (std::size_t c = 0; c < h.cols(); ++c) out.at(r - 1, c) = h.at(r, c);
+  return out;
+}
+
+bool is_zero(std::span<const i64> v) {
+  return std::all_of(v.begin(), v.end(), [](i64 x) { return x == 0; });
+}
+
+void lex_normalize(std::vector<i64>& v) {
+  for (const i64 x : v) {
+    if (x == 0) continue;
+    if (x < 0)
+      for (i64& y : v) y = -y;
+    return;
+  }
+}
+
+i64 linearized_distance(std::span<const i64> r, std::span<const i64> trips) {
+  i64 dist = 0;
+  for (std::size_t d = 0; d < r.size(); ++d) {
+    i64 weight = 1;
+    for (std::size_t e = d + 1; e < trips.size(); ++e) weight *= trips[e];
+    dist += (r[d] < 0 ? -r[d] : r[d]) * weight;
+  }
+  return dist;
+}
+
+}  // namespace
+
+namespace {
+ReuseInfo analyze_reuse_impl(const ir::LoopNest& nest, const ir::MemoryLayout* layout,
+                             i64 line_bytes);
+}  // namespace
+
+ReuseInfo analyze_reuse(const ir::LoopNest& nest) {
+  return analyze_reuse_impl(nest, nullptr, 0);
+}
+
+ReuseInfo analyze_reuse(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                        i64 line_bytes) {
+  return analyze_reuse_impl(nest, &layout, line_bytes);
+}
+
+namespace {
+ReuseInfo analyze_reuse_impl(const ir::LoopNest& nest, const ir::MemoryLayout* layout,
+                             i64 line_bytes) {
+  const std::size_t n_refs = nest.refs.size();
+  const std::vector<i64> trips = nest.trip_counts();
+
+  std::vector<SubscriptForm> forms;
+  forms.reserve(n_refs);
+  for (const ir::Reference& ref : nest.refs) forms.push_back(subscript_form(nest, ref));
+
+  ReuseInfo info;
+  info.per_ref.resize(n_refs);
+
+  for (std::size_t a = 0; a < n_refs; ++a) {
+    std::vector<ReuseCandidate> cands;
+    std::set<std::pair<std::size_t, std::vector<i64>>> seen;
+    auto add = [&](std::size_t source, std::vector<i64> r, ReuseKind kind) {
+      if (source == a && is_zero(r)) return;  // trivial self reuse
+      lex_normalize(r);
+      if (!seen.insert({source, r}).second) return;
+      ReuseCandidate c;
+      c.source_ref = source;
+      c.vector = std::move(r);
+      c.kind = kind;
+      c.order_distance = linearized_distance(c.vector, trips);
+      cands.push_back(std::move(c));
+    };
+
+    const SubscriptForm& fa = forms[a];
+
+    // Self-temporal: directions along which the subscripts are invariant.
+    for (std::vector<i64>& v : nullspace_basis(fa.h)) add(a, std::move(v), ReuseKind::SelfTemporal);
+
+    // Self-spatial: invariant in all but the fastest-varying dimension.
+    const IntMatrix h_spatial = drop_fastest_row(fa.h);
+    const auto temporal_check = [&](std::span<const i64> v) {
+      return is_zero(fa.h.multiply(v));
+    };
+    for (std::vector<i64>& v : nullspace_basis(h_spatial)) {
+      if (temporal_check(v)) continue;  // already covered by self-temporal
+      add(a, std::move(v), ReuseKind::SelfSpatial);
+    }
+
+    // Wraparound spatial generators (needs the address polynomial): r =
+    // e_d - k·e_f with |c_d - k·c_f| < line_bytes, crossing a subscript
+    // boundary into a shared memory line.
+    if (layout != nullptr && line_bytes > 0) {
+      const ir::LinExpr addr = layout->address_expr(nest, nest.refs[a]);
+      for (std::size_t f = 0; f < nest.depth(); ++f) {
+        const i64 cf = addr.coeff(f);
+        if (cf == 0 || cf >= line_bytes || cf <= -line_bytes) continue;
+        for (std::size_t d = 0; d < nest.depth(); ++d) {
+          if (d == f) continue;
+          const i64 cd = addr.coeff(d);
+          if (cd == 0 || (cd < line_bytes && cd > -line_bytes)) continue;
+          // All k with |c_d - k·c_f| < line_bytes: a window of at most
+          // 2·line/|c_f| + 1 values around c_d/c_f.
+          const i64 cf_mag = cf < 0 ? -cf : cf;
+          const i64 k_mid = floor_div(cd, cf);
+          const i64 window = line_bytes / cf_mag + 1;
+          for (i64 k = k_mid - window; k <= k_mid + window; ++k) {
+            const i64 displacement = cd - k * cf;
+            if (displacement >= line_bytes || displacement <= -line_bytes) continue;
+            std::vector<i64> r(nest.depth(), 0);
+            r[d] = 1;
+            r[f] = -k;
+            add(a, std::move(r), ReuseKind::SelfSpatial);
+          }
+        }
+      }
+    }
+
+    // Group reuse with every other uniformly generated reference (same H).
+    for (std::size_t b = 0; b < n_refs; ++b) {
+      if (b == a) continue;
+      if (nest.refs[b].array != nest.refs[a].array) continue;
+      const SubscriptForm& fb = forms[b];
+      if (!(fb.h == fa.h)) continue;
+
+      // The solutions of H·r = c_B - c_A form a lattice r0 + L(ker H); the
+      // closest realized source may be any small representative (e.g. the
+      // previous iteration's *write* of the same element/line), so emit r0
+      // plus its neighbours along each kernel basis vector.
+      auto add_lattice_reps = [&](std::vector<i64> r0,
+                                  const std::vector<std::vector<i64>>& kernel, ReuseKind kind) {
+        add(b, r0, kind);
+        for (const std::vector<i64>& v : kernel) {
+          std::vector<i64> plus = r0, minus = r0;
+          for (std::size_t d = 0; d < r0.size(); ++d) {
+            plus[d] += v[d];
+            minus[d] -= v[d];
+          }
+          add(b, std::move(plus), kind);
+          add(b, std::move(minus), kind);
+        }
+      };
+
+      // Group-temporal: A at i reuses B at i - r where H·r = c_B - c_A.
+      std::vector<i64> rhs(fa.c.size());
+      for (std::size_t d = 0; d < rhs.size(); ++d) rhs[d] = fb.c[d] - fa.c[d];
+      const auto kernel = nullspace_basis(fa.h);
+      if (auto r = solve_integer(fa.h, rhs)) {
+        add_lattice_reps(reduce_against(std::move(*r), kernel), kernel, ReuseKind::GroupTemporal);
+      }
+
+      // Group-spatial: equality of all but the fastest subscript.
+      if (!rhs.empty()) {
+        const std::vector<i64> rhs_spatial(rhs.begin() + 1, rhs.end());
+        if (auto r = solve_integer(h_spatial, rhs_spatial)) {
+          const auto kernel_spatial = nullspace_basis(h_spatial);
+          add_lattice_reps(reduce_against(std::move(*r), kernel_spatial), kernel_spatial,
+                           ReuseKind::GroupSpatial);
+        }
+      }
+    }
+
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const ReuseCandidate& x, const ReuseCandidate& y) {
+                       return x.order_distance < y.order_distance;
+                     });
+    info.per_ref[a] = std::move(cands);
+  }
+  return info;
+}
+}  // namespace
+
+std::string ReuseInfo::to_string(const ir::LoopNest& nest) const {
+  std::ostringstream out;
+  const std::vector<std::string> names = nest.loop_names();
+  for (std::size_t r = 0; r < per_ref.size(); ++r) {
+    const ir::Reference& ref = nest.refs[r];
+    out << "ref " << r << " (" << nest.arrays[ref.array].name
+        << (ref.kind == ir::AccessKind::Write ? " write" : " read") << "):\n";
+    for (const ReuseCandidate& c : per_ref[r]) {
+      out << "  " << reuse::to_string(c.kind) << " from ref " << c.source_ref << " r=(";
+      for (std::size_t d = 0; d < c.vector.size(); ++d) {
+        if (d) out << ',';
+        out << c.vector[d];
+      }
+      out << ") distance=" << c.order_distance << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cmetile::reuse

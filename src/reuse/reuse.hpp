@@ -1,0 +1,69 @@
+#pragma once
+// Reuse-vector analysis (Wolf & Lam), the prerequisite for CME generation
+// (paper §2.1: "the reuse vectors of all the references in a loop nest must
+// be generated"). For each reference we produce candidate reuse generators:
+//
+//  * self-temporal  — integer nullspace of the subscript matrix H
+//  * self-spatial   — nullspace of H with the fastest-varying (first,
+//                     column-major) subscript row dropped
+//  * group-temporal — for uniformly generated pairs (same H), a particular
+//                     solution of H·r = c_B − c_A
+//  * group-spatial  — same with the fastest row dropped
+//
+// Whether a candidate's potential reuse is *realized* at a specific
+// iteration point (same memory line, interference-free interval) is decided
+// by the CME point solver; this module only enumerates the generators.
+
+#include <string>
+#include <vector>
+
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+#include "reuse/intlinalg.hpp"
+
+namespace cmetile::reuse {
+
+enum class ReuseKind : std::uint8_t { SelfTemporal, SelfSpatial, GroupTemporal, GroupSpatial };
+
+const char* to_string(ReuseKind kind);
+
+/// One candidate reuse generator for a reference A: the data A touches at
+/// iteration i may have been touched by `source_ref` at iteration i - r.
+struct ReuseCandidate {
+  std::size_t source_ref = 0;   ///< reference providing the earlier access
+  std::vector<i64> vector;      ///< reuse vector r (original loop coords)
+  ReuseKind kind = ReuseKind::SelfTemporal;
+  /// Heuristic execution-order distance of r in the untiled nest; candidates
+  /// are sorted ascending so the solver can exit early on close hits.
+  i64 order_distance = 0;
+};
+
+/// Reuse candidates for every reference of the nest (indexed by reference).
+struct ReuseInfo {
+  std::vector<std::vector<ReuseCandidate>> per_ref;
+
+  std::string to_string(const ir::LoopNest& nest) const;
+};
+
+/// The subscript matrix H (array rank × nest depth) and constant vector c
+/// of a reference, i.e. subscripts(i) = H·i + c.
+struct SubscriptForm {
+  IntMatrix h;
+  std::vector<i64> c;
+};
+
+SubscriptForm subscript_form(const ir::LoopNest& nest, const ir::Reference& ref);
+
+/// Compute reuse candidates for all references.
+ReuseInfo analyze_reuse(const ir::LoopNest& nest);
+
+/// Layout-aware variant: additionally generates *wraparound* spatial
+/// generators — vectors r with a tiny linearized address displacement
+/// |coeffs·r| < line_bytes that cross subscript boundaries (e.g. the last
+/// elements of column i sharing a memory line with the first elements of
+/// column i+1 when the column stride is not a multiple of the line size).
+/// Subscript-level analysis cannot see those; the address polynomial can.
+ReuseInfo analyze_reuse(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                        i64 line_bytes);
+
+}  // namespace cmetile::reuse

@@ -1,0 +1,45 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace cmetile {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "1";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+i64 CliArgs::get_int(const std::string& key, i64 fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second != "0" && it->second != "false" && it->second != "no";
+}
+
+}  // namespace cmetile

@@ -1,0 +1,26 @@
+#pragma once
+// Minimal command-line parsing for benches and examples:
+// `--key=value` and `--flag` forms only, with typed getters and defaults.
+
+#include <map>
+#include <string>
+
+#include "support/int_math.hpp"
+
+namespace cmetile {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  i64 get_int(const std::string& key, i64 fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cmetile

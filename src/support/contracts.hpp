@@ -1,0 +1,27 @@
+#pragma once
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations throw, so tests can assert on them and
+// library users get a diagnosable error instead of UB.
+
+#include <stdexcept>
+#include <string>
+
+namespace cmetile {
+
+/// Thrown when a precondition or invariant of the library is violated.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Precondition check: call at function entry.
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw contract_error(std::string("precondition violated: ") + message);
+}
+
+/// Postcondition / invariant check.
+inline void ensures(bool condition, const char* message) {
+  if (!condition) throw contract_error(std::string("invariant violated: ") + message);
+}
+
+}  // namespace cmetile

@@ -1,0 +1,98 @@
+#include "support/int_math.hpp"
+
+namespace cmetile {
+
+int ceil_log2(i64 n) {
+  expects(n >= 1, "ceil_log2 requires n >= 1");
+  int k = 0;
+  i64 v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+ExtGcd ext_gcd(i64 a, i64 b) {
+  // Iterative extended Euclid keeping Bezout coefficients.
+  i64 old_r = a, r = b;
+  i64 old_s = 1, s = 0;
+  i64 old_t = 0, t = 1;
+  while (r != 0) {
+    const i64 q = old_r / r;
+    old_r -= q * r;
+    std::swap(old_r, r);
+    old_s -= q * s;
+    std::swap(old_s, s);
+    old_t -= q * t;
+    std::swap(old_t, t);
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return ExtGcd{old_r, old_s, old_t};
+}
+
+i64 mod_inverse(i64 a, i64 m) {
+  expects(m >= 1, "mod_inverse requires m >= 1");
+  const ExtGcd e = ext_gcd(floor_mod(a, m), m);
+  expects(e.g == 1, "mod_inverse requires gcd(a, m) == 1");
+  return floor_mod(e.x, m);
+}
+
+namespace {
+
+// Core of floor_sum for 0 <= a, 0 <= b, using unsigned 128-bit accumulation
+// (the classic AtCoder Library formulation).
+i64 floor_sum_unsigned(i64 n, i64 m, i64 a, i64 b) {
+  unsigned __int128 ans = 0;
+  while (true) {
+    if (a >= m) {
+      ans += (unsigned __int128)(n - 1) * n / 2 * (unsigned __int128)(a / m);
+      a %= m;
+    }
+    if (b >= m) {
+      ans += (unsigned __int128)n * (unsigned __int128)(b / m);
+      b %= m;
+    }
+    const i128 y_max = (i128)a * n + b;
+    if (y_max < m) break;
+    n = (i64)(y_max / m);
+    b = (i64)(y_max % m);
+    std::swap(m, a);
+  }
+  return (i64)ans;
+}
+
+}  // namespace
+
+i64 floor_sum(i64 n, i64 m, i64 a, i64 b) {
+  expects(n >= 0, "floor_sum requires n >= 0");
+  expects(m >= 1, "floor_sum requires m >= 1");
+  if (n == 0) return 0;
+  i128 ans = 0;
+  if (a < 0) {
+    const i64 a2 = floor_mod(a, m);
+    ans -= (i128)(n - 1) * n / 2 * ((a2 - a) / m);
+    a = a2;
+  }
+  if (b < 0) {
+    const i64 b2 = floor_mod(b, m);
+    ans -= (i128)n * ((b2 - b) / m);
+    b = b2;
+  }
+  ans += floor_sum_unsigned(n, m, a, b);
+  return (i64)ans;
+}
+
+i64 count_mod_in_range(i64 n, i64 m, i64 a, i64 b, i64 lo, i64 hi) {
+  expects(m >= 1, "count_mod_in_range requires m >= 1");
+  expects(0 <= lo && lo <= hi && hi < m, "count_mod_in_range requires 0 <= lo <= hi < m");
+  if (n <= 0) return 0;
+  // [(a*x+b) mod m ∈ [lo, hi]] == floor((a*x+b-lo)/m) - floor((a*x+b-hi-1)/m).
+  return floor_sum(n, m, a, b - lo) - floor_sum(n, m, a, b - hi - 1);
+}
+
+}  // namespace cmetile

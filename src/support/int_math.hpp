@@ -1,0 +1,85 @@
+#pragma once
+// Exact integer arithmetic used throughout the CME solver: floor division,
+// extended gcd, modular inverses and the floor-sum primitive that lets us
+// count solutions of `(a*x + b) mod m ∈ [lo, hi]` over an interval in
+// O(log m) instead of O(interval length).
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace cmetile {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+/// Floor division: rounds toward negative infinity (unlike C++ '/').
+constexpr i64 floor_div(i64 a, i64 b) {
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division: rounds toward positive infinity.
+constexpr i64 ceil_div(i64 a, i64 b) { return -floor_div(-a, b); }
+
+/// Mathematical modulus: result always in [0, |b|).
+constexpr i64 floor_mod(i64 a, i64 b) { return a - floor_div(a, b) * b; }
+
+/// Smallest k with 2^k >= n (n >= 1). This is ceil(log2 n).
+int ceil_log2(i64 n);
+
+/// Result of the extended Euclidean algorithm: g = gcd(a,b) = a*x + b*y.
+struct ExtGcd {
+  i64 g;
+  i64 x;
+  i64 y;
+};
+
+/// Extended gcd; g is always non-negative.
+ExtGcd ext_gcd(i64 a, i64 b);
+
+/// Modular inverse of a modulo m; requires gcd(a, m) == 1 and m >= 1.
+i64 mod_inverse(i64 a, i64 m);
+
+/// floor_sum(n, m, a, b) = sum_{i=0}^{n-1} floor((a*i + b) / m).
+/// Requires n >= 0 and m >= 1; a and b may be negative or large (internally
+/// promoted to 128-bit where needed). O(log m).
+i64 floor_sum(i64 n, i64 m, i64 a, i64 b);
+
+/// Number of x in [0, n) with (a*x + b) mod m in [lo, hi] (mathematical mod;
+/// requires 0 <= lo <= hi < m). Exact, O(log m).
+i64 count_mod_in_range(i64 n, i64 m, i64 a, i64 b, i64 lo, i64 hi);
+
+/// A closed integer interval [lo, hi]; empty iff lo > hi.
+struct Interval {
+  i64 lo = 0;
+  i64 hi = -1;
+
+  constexpr bool empty() const { return lo > hi; }
+  constexpr i64 length() const { return empty() ? 0 : hi - lo + 1; }
+  constexpr bool contains(i64 v) const { return lo <= v && v <= hi; }
+
+  constexpr Interval intersect(const Interval& other) const {
+    return Interval{lo > other.lo ? lo : other.lo, hi < other.hi ? hi : other.hi};
+  }
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// An interval of residues modulo m that may wrap around 0, e.g.
+/// [m-2, 1] = {m-2, m-1, 0, 1}. Used when gcd folding shrinks the modulus.
+struct WrappedInterval {
+  i64 lo = 0;     ///< first residue, in [0, m)
+  i64 len = 0;    ///< number of residues (0 = empty, m = everything)
+
+  bool contains(i64 residue, i64 m) const {
+    if (len <= 0) return false;
+    if (len >= m) return true;
+    const i64 offset = floor_mod(residue - lo, m);
+    return offset < len;
+  }
+};
+
+}  // namespace cmetile

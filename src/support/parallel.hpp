@@ -1,0 +1,36 @@
+#pragma once
+// Shared-memory parallelism wrapper. The GA evaluates its population (and
+// benches evaluate independent experiment rows) with OpenMP when available;
+// the serial fallback keeps single-threaded builds working unchanged.
+// Bodies must be independent per index and deterministic given the index
+// (all RNG streams are derived from indices, never from thread ids).
+
+#include <cstddef>
+
+#ifdef CMETILE_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace cmetile {
+
+/// Run body(i) for i in [0, n) — in parallel when OpenMP is enabled.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+#ifdef CMETILE_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+  for (long long i = 0; i < (long long)n; ++i) body((std::size_t)i);
+#else
+  for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// Number of hardware threads OpenMP will use (1 without OpenMP).
+inline int parallel_threads() {
+#ifdef CMETILE_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace cmetile

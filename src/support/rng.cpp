@@ -1,0 +1,19 @@
+#include "support/rng.hpp"
+
+namespace cmetile {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_a, std::uint64_t stream_b) {
+  std::uint64_t s = splitmix64(base ^ 0xd1b54a32d192ed03ULL);
+  s = splitmix64(s ^ stream_a);
+  s = splitmix64(s ^ stream_b);
+  return s;
+}
+
+}  // namespace cmetile

@@ -1,0 +1,71 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+
+namespace cmetile {
+
+double normal_quantile(double p) {
+  expects(p > 0.0 && p < 1.0, "normal_quantile requires 0 < p < 1");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+i64 required_sample_size(double width, double confidence) {
+  expects(width > 0.0 && width < 1.0, "required_sample_size: width in (0,1)");
+  expects(confidence > 0.5 && confidence < 1.0, "required_sample_size: confidence in (0.5,1)");
+  const double z = normal_quantile(confidence);
+  const double half = width / 2.0;
+  const double n = z * z * 0.25 / (half * half);
+  return (i64)std::ceil(n - 1e-9);
+}
+
+ProportionEstimate estimate_proportion(i64 hits, i64 n, double confidence) {
+  expects(n > 0, "estimate_proportion requires n > 0");
+  expects(hits >= 0 && hits <= n, "estimate_proportion requires 0 <= hits <= n");
+  ProportionEstimate e;
+  e.samples = n;
+  e.ratio = (double)hits / (double)n;
+  const double z = normal_quantile(confidence);
+  e.half_width = z * std::sqrt(e.ratio * (1.0 - e.ratio) / (double)n);
+  return e;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / (double)n_;
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const { return n_ > 1 ? m2_ / (double)(n_ - 1) : 0.0; }
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace cmetile

@@ -1,0 +1,88 @@
+#include "support/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  expects(row.size() == header_.size(), "TextTable row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw((int)width[c] + 2) << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::string sep;
+  for (std::size_t c = 0; c < header_.size(); ++c) sep += std::string(width[c], '-') + "  ";
+  out << sep << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+std::string format_pct(double ratio, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << ratio * 100.0 << '%';
+  return out.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+}  // namespace cmetile

@@ -1,0 +1,40 @@
+#pragma once
+// Text-table and CSV emission for the paper-reproduction benches. Every
+// bench prints a human-readable table (the paper's rows) and writes the
+// same data as CSV for downstream plotting.
+
+#include <string>
+#include <vector>
+
+namespace cmetile {
+
+/// A simple right-padded text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns; includes a separator under the header.
+  std::string to_string() const;
+
+  /// Render as CSV (RFC-ish: fields with commas/quotes get quoted).
+  std::string to_csv() const;
+
+  /// Write CSV to a file; returns false (and keeps going) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a ratio in [0,1] as a percentage like "36.4%".
+std::string format_pct(double ratio, int decimals = 1);
+
+/// Format a double with fixed decimals.
+std::string format_fixed(double value, int decimals = 2);
+
+}  // namespace cmetile

@@ -1,0 +1,155 @@
+#include "transform/legality.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "reuse/reuse.hpp"
+#include "support/contracts.hpp"
+
+namespace cmetile::transform {
+
+namespace {
+
+/// Is the distance vector realizable inside the iteration space, i.e. is
+/// there a pair of in-bounds iterations i, j = i - r? True iff |r_d| < U_d.
+bool realizable(std::span<const i64> r, std::span<const i64> trips) {
+  for (std::size_t d = 0; d < r.size(); ++d) {
+    const i64 mag = r[d] < 0 ? -r[d] : r[d];
+    if (mag >= trips[d]) return false;
+  }
+  return true;
+}
+
+bool lex_positive(std::span<const i64> r) {
+  for (const i64 x : r) {
+    if (x > 0) return true;
+    if (x < 0) return false;
+  }
+  return false;  // zero vector
+}
+
+bool has_negative(std::span<const i64> r) {
+  return std::any_of(r.begin(), r.end(), [](i64 x) { return x < 0; });
+}
+
+std::string render(std::span<const i64> r) {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t d = 0; d < r.size(); ++d) {
+    if (d) out << ',';
+    out << r[d];
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace
+
+namespace {
+
+/// Enumerate realizable lex-positive dependence distances of the nest and
+/// call `fn(r, ref_a, ref_b)`; returns false on a non-uniform pair.
+bool scan_dependences(const ir::LoopNest& nest, i64 lattice_bound,
+                      const std::function<void(std::span<const i64>, std::size_t,
+                                               std::size_t)>& fn) {
+  const std::vector<i64> trips = nest.trip_counts();
+  const std::size_t depth = nest.depth();
+
+  for (std::size_t a = 0; a < nest.refs.size(); ++a) {
+    for (std::size_t b = 0; b < nest.refs.size(); ++b) {
+      const ir::Reference& ra = nest.refs[a];
+      const ir::Reference& rb = nest.refs[b];
+      if (ra.array != rb.array) continue;
+      if (ra.kind != ir::AccessKind::Write && rb.kind != ir::AccessKind::Write) continue;
+
+      const reuse::SubscriptForm fa = reuse::subscript_form(nest, ra);
+      const reuse::SubscriptForm fb = reuse::subscript_form(nest, rb);
+      if (!(fa.h == fb.h)) return false;
+
+      // Distance lattice: r0 + span(ker H), H·r0 = c_B - c_A.
+      std::vector<i64> rhs(fa.c.size());
+      for (std::size_t d = 0; d < rhs.size(); ++d) rhs[d] = fb.c[d] - fa.c[d];
+      const auto r0 = reuse::solve_integer(fa.h, rhs);
+      if (!r0) continue;  // no dependence between this pair
+      const auto kernel = reuse::nullspace_basis(fa.h);
+
+      // Scan lattice coefficients in [-B, B]^|kernel|.
+      std::vector<i64> lambda(kernel.size(), -lattice_bound);
+      while (true) {
+        std::vector<i64> r = *r0;
+        for (std::size_t v = 0; v < kernel.size(); ++v)
+          for (std::size_t d = 0; d < depth; ++d) r[d] += lambda[v] * kernel[v][d];
+
+        if (realizable(r, trips) && lex_positive(r)) fn(r, a, b);
+
+        // Odometer over lambda; empty kernel means a single iteration.
+        std::size_t v = 0;
+        for (; v < lambda.size(); ++v) {
+          if (lambda[v] < lattice_bound) {
+            ++lambda[v];
+            std::fill(lambda.begin(), lambda.begin() + (std::ptrdiff_t)v, -lattice_bound);
+            break;
+          }
+        }
+        if (v == lambda.size()) break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LegalityReport check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound) {
+  LegalityReport report{Legality::Legal, "all dependence distances non-negative"};
+  const bool uniform = scan_dependences(
+      nest, lattice_bound, [&](std::span<const i64> r, std::size_t a, std::size_t b) {
+        if (report.verdict == Legality::Legal && has_negative(r)) {
+          report.verdict = Legality::Illegal;
+          report.detail = "dependence distance " + render(r) + " between refs " +
+                          std::to_string(a) + " and " + std::to_string(b) +
+                          " is lexicographically positive but has a negative component: "
+                          "nest is not fully permutable";
+        }
+      });
+  if (!uniform)
+    return LegalityReport{Legality::Unknown, "non-uniform dependence pair encountered"};
+  return report;
+}
+
+std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
+                                                       i64 lattice_bound) {
+  std::vector<std::vector<i64>> risky;
+  const bool uniform = scan_dependences(
+      nest, lattice_bound, [&](std::span<const i64> r, std::size_t, std::size_t) {
+        if (!has_negative(r)) return;
+        std::vector<i64> v(r.begin(), r.end());
+        for (const auto& existing : risky)
+          if (existing == v) return;
+        risky.push_back(std::move(v));
+      });
+  expects(uniform, "risky_dependence_vectors: non-uniform dependence pair (unsupported)");
+  return risky;
+}
+
+bool tile_vector_legal(std::span<const std::vector<i64>> risky_deps,
+                       std::span<const i64> trips, std::span<const i64> tiles) {
+  for (const std::vector<i64>& r : risky_deps) {
+    for (std::size_t m = 0; m < r.size(); ++m) {
+      if (r[m] >= 0) continue;
+      if (tiles[m] >= trips[m]) continue;  // dimension not really tiled
+      bool same_tile_possible = true;
+      for (std::size_t e = 0; e < m; ++e) {
+        if (r[e] > tiles[e] - 1) {  // earlier dim must cross a tile forward
+          same_tile_possible = false;
+          break;
+        }
+      }
+      if (same_tile_possible) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cmetile::transform

@@ -1,0 +1,52 @@
+#pragma once
+// Tiling legality: rectangular tiling of a nest is legal when the nest is
+// *fully permutable*, i.e. every data-dependence distance vector is
+// component-wise non-negative. The paper assumes its kernels are tileable;
+// we make that assumption checkable so the optimizer can refuse an illegal
+// request instead of silently producing a wrong transformation.
+//
+// The test covers uniformly generated dependences (pairs of references to
+// the same array with identical subscript matrices — every dependence in
+// the shipped kernels is of this form): the dependence distances form a
+// lattice r0 + L(ker H), which we scan over a bounded set of lattice
+// coefficients. Non-uniform pairs are reported as "unknown" and treated
+// conservatively as illegal unless the caller overrides.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/nest.hpp"
+
+namespace cmetile::transform {
+
+enum class Legality : std::uint8_t { Legal, Illegal, Unknown };
+
+struct LegalityReport {
+  Legality verdict = Legality::Legal;
+  /// Human-readable explanation (offending dependence, if any).
+  std::string detail;
+};
+
+/// Check full permutability of the nest (legality of rectangular tiling
+/// with *every* tile vector). `lattice_bound` bounds the lattice-
+/// coefficient scan (default 3 covers the shipped kernels with margin).
+LegalityReport check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound = 3);
+
+/// Realizable lexicographically-positive dependence distance vectors that
+/// carry a negative component ("risky": they constrain which tile vectors
+/// are legal). Empty for fully permutable nests.
+std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
+                                                       i64 lattice_bound = 3);
+
+/// Per-tile-vector legality. Tiling reorders iterations so that a
+/// dependence d is violated iff some dimension m has d_m < 0, dimension m
+/// is really tiled (T_m < U_m), and every earlier dimension e can keep
+/// source and sink in the same tile (d_e <= T_e - 1). Untiled dimensions
+/// never cross tiles, and whenever an earlier dimension must cross a tile
+/// boundary forward the source stays ordered first.
+bool tile_vector_legal(std::span<const std::vector<i64>> risky_deps,
+                       std::span<const i64> trips, std::span<const i64> tiles);
+
+}  // namespace cmetile::transform

@@ -1,0 +1,46 @@
+#include "transform/padding.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::transform {
+
+PadVector PadVector::none(const ir::LoopNest& nest) {
+  PadVector p;
+  p.intra.assign(nest.arrays.size(), 0);
+  p.inter.assign(nest.arrays.size(), 0);
+  return p;
+}
+
+std::string PadVector::to_string(const ir::LoopNest& nest) const {
+  std::ostringstream out;
+  for (std::size_t a = 0; a < nest.arrays.size(); ++a) {
+    if (a) out << ' ';
+    out << nest.arrays[a].name << ":+" << intra[a] << "e/+" << inter[a] << "L";
+  }
+  return out.str();
+}
+
+ir::LayoutOptions padded_layout_options(const ir::LoopNest& nest, const PadVector& pads,
+                                        i64 alignment) {
+  expects(pads.intra.size() == nest.arrays.size() && pads.inter.size() == nest.arrays.size(),
+          "padded_layout_options: one pad pair per array required");
+  ir::LayoutOptions options;
+  options.alignment = alignment;
+  options.padding.resize(nest.arrays.size());
+  for (std::size_t a = 0; a < nest.arrays.size(); ++a) {
+    expects(pads.intra[a] >= 0 && pads.inter[a] >= 0, "padding must be non-negative");
+    ir::ArrayPadding& pad = options.padding[a];
+    pad.dim_pad.assign(nest.arrays[a].rank(), 0);
+    pad.dim_pad[0] = pads.intra[a];
+    pad.pre_gap_lines = pads.inter[a];
+  }
+  return options;
+}
+
+ir::MemoryLayout padded_layout(const ir::LoopNest& nest, const PadVector& pads, i64 alignment) {
+  return ir::MemoryLayout(nest, padded_layout_options(nest, pads, alignment));
+}
+
+}  // namespace cmetile::transform

@@ -1,0 +1,40 @@
+#pragma once
+// Padding (paper §4.3 / Table 3, after Vera, González & Llosa,
+// UPC-DAC-2000-71): a data-layout transformation that removes conflict
+// misses loop tiling cannot touch. Two families of parameters, both
+// searched by the same genetic algorithm that searches tile sizes:
+//
+//  * intra-array padding  — extra elements appended to the leading
+//    (fastest-varying) dimension, changing the column stride;
+//  * inter-array padding  — extra memory lines inserted before an array's
+//    base address, shifting its cache-set alignment.
+
+#include <string>
+#include <vector>
+
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+
+namespace cmetile::transform {
+
+/// Padding parameters: one (intra, inter) pair per array of the nest.
+struct PadVector {
+  std::vector<i64> intra;  ///< extra elements on the leading dimension
+  std::vector<i64> inter;  ///< extra lines before the base address
+
+  static PadVector none(const ir::LoopNest& nest);
+
+  std::string to_string(const ir::LoopNest& nest) const;
+  friend bool operator==(const PadVector&, const PadVector&) = default;
+};
+
+/// Translate pad parameters into layout options (alignment = one line by
+/// default so inter pads move bases in line-sized steps).
+ir::LayoutOptions padded_layout_options(const ir::LoopNest& nest, const PadVector& pads,
+                                        i64 alignment = 128);
+
+/// Convenience: build the padded layout directly.
+ir::MemoryLayout padded_layout(const ir::LoopNest& nest, const PadVector& pads,
+                               i64 alignment = 128);
+
+}  // namespace cmetile::transform

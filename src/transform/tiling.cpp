@@ -1,0 +1,186 @@
+#include "transform/tiling.hpp"
+
+#include <sstream>
+
+#include "cache/simulator.hpp"
+#include "support/contracts.hpp"
+
+namespace cmetile::transform {
+
+TileVector TileVector::untiled(const ir::LoopNest& nest) {
+  return TileVector{nest.trip_counts()};
+}
+
+TileVector TileVector::clamped(std::vector<i64> t, const ir::LoopNest& nest) {
+  expects(t.size() == nest.depth(), "TileVector::clamped: arity mismatch");
+  const std::vector<i64> trips = nest.trip_counts();
+  for (std::size_t d = 0; d < t.size(); ++d) {
+    if (t[d] < 1) t[d] = 1;
+    if (t[d] > trips[d]) t[d] = trips[d];
+  }
+  return TileVector{std::move(t)};
+}
+
+std::string TileVector::to_string() const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t d = 0; d < t.size(); ++d) {
+    if (d) out << ',';
+    out << t[d];
+  }
+  out << ')';
+  return out.str();
+}
+
+TiledSpace::TiledSpace(std::vector<i64> trips, TileVector tiles)
+    : trips_(std::move(trips)), tiles_(std::move(tiles.t)) {
+  expects(trips_.size() == tiles_.size(), "TiledSpace: arity mismatch");
+  tile_counts_.resize(trips_.size());
+  last_sizes_.resize(trips_.size());
+  for (std::size_t d = 0; d < trips_.size(); ++d) {
+    expects(trips_[d] >= 1, "TiledSpace: empty dimension");
+    expects(tiles_[d] >= 1 && tiles_[d] <= trips_[d], "TiledSpace: tile size out of [1, U]");
+    tile_counts_[d] = ceil_div(trips_[d], tiles_[d]);
+    last_sizes_[d] = trips_[d] - (tile_counts_[d] - 1) * tiles_[d];
+  }
+}
+
+bool TiledSpace::divisible() const {
+  for (std::size_t d = 0; d < trips_.size(); ++d)
+    if (last_sizes_[d] != tiles_[d]) return false;
+  return true;
+}
+
+std::vector<i64> TiledSpace::to_tiled(std::span<const i64> z) const {
+  expects(z.size() == trips_.size(), "TiledSpace::to_tiled: arity mismatch");
+  std::vector<i64> to(2 * trips_.size());
+  for (std::size_t d = 0; d < trips_.size(); ++d) {
+    to[d] = z[d] / tiles_[d];
+    to[trips_.size() + d] = z[d] % tiles_[d];
+  }
+  return to;
+}
+
+std::vector<i64> TiledSpace::to_original(std::span<const i64> to) const {
+  expects(to.size() == 2 * trips_.size(), "TiledSpace::to_original: arity mismatch");
+  std::vector<i64> z(trips_.size());
+  for (std::size_t d = 0; d < trips_.size(); ++d) {
+    z[d] = to[d] * tiles_[d] + to[trips_.size() + d];
+  }
+  return z;
+}
+
+int TiledSpace::compare(std::span<const i64> to_a, std::span<const i64> to_b) const {
+  expects(to_a.size() == to_b.size() && to_a.size() == tiled_dims(),
+          "TiledSpace::compare: arity mismatch");
+  for (std::size_t d = 0; d < to_a.size(); ++d) {
+    if (to_a[d] != to_b[d]) return to_a[d] < to_b[d] ? -1 : 1;
+  }
+  return 0;
+}
+
+void TiledSpace::for_each_point_tiled(
+    const std::function<void(std::span<const i64> z)>& fn) const {
+  const std::size_t k = trips_.size();
+  std::vector<i64> t(k, 0);
+  std::vector<i64> z(k, 0);
+
+  // Odometer over tiles; inside each tile an odometer over offsets.
+  while (true) {
+    // Visit one tile.
+    std::vector<i64> o(k, 0);
+    std::vector<i64> o_hi(k);
+    for (std::size_t d = 0; d < k; ++d) o_hi[d] = o_extent(d, t[d]) - 1;
+    while (true) {
+      for (std::size_t d = 0; d < k; ++d) z[d] = t[d] * tiles_[d] + o[d];
+      fn(z);
+      std::size_t d = k;
+      bool done = true;
+      while (d > 0) {
+        --d;
+        if (o[d] < o_hi[d]) {
+          ++o[d];
+          done = false;
+          break;
+        }
+        o[d] = 0;
+      }
+      if (done) break;
+    }
+    // Advance tile odometer.
+    std::size_t d = k;
+    bool done = true;
+    while (d > 0) {
+      --d;
+      if (t[d] < tile_counts_[d] - 1) {
+        ++t[d];
+        done = false;
+        break;
+      }
+      t[d] = 0;
+    }
+    if (done) return;
+  }
+}
+
+i64 TiledSpace::convex_regions() const {
+  i64 regions = 1;
+  for (std::size_t d = 0; d < trips_.size(); ++d) {
+    if (last_sizes_[d] != tiles_[d]) regions *= 2;
+  }
+  return regions;
+}
+
+std::string tiled_source(const ir::LoopNest& nest, const TileVector& tiles) {
+  std::ostringstream out;
+  std::string indent;
+  // Tile loops (skip dimensions left untiled for readability).
+  for (std::size_t d = 0; d < nest.depth(); ++d) {
+    const ir::Loop& loop = nest.loops[d];
+    if (tiles.t[d] >= loop.trip_count()) continue;
+    out << indent << "do " << loop.name << loop.name << " = " << loop.lower << ", "
+        << loop.upper << ", " << tiles.t[d] << '\n';
+    indent += "  ";
+  }
+  for (std::size_t d = 0; d < nest.depth(); ++d) {
+    const ir::Loop& loop = nest.loops[d];
+    if (tiles.t[d] >= loop.trip_count()) {
+      out << indent << "do " << loop.name << " = " << loop.lower << ", " << loop.upper << '\n';
+    } else {
+      out << indent << "do " << loop.name << " = " << loop.name << loop.name << ", min("
+          << loop.name << loop.name << "+" << tiles.t[d] - 1 << ", " << loop.upper << ")\n";
+    }
+    indent += "  ";
+  }
+  out << indent << "<body>\n";
+  return out.str();
+}
+
+std::vector<cache::MissStats> simulate_tiled(const ir::LoopNest& nest,
+                                             const ir::MemoryLayout& layout,
+                                             const cache::CacheConfig& config,
+                                             const TileVector& tiles) {
+  const TiledSpace space(nest.trip_counts(), tiles);
+  cache::Simulator sim(config);
+  std::vector<cache::MissStats> per_ref(nest.refs.size() + 1);
+
+  std::vector<ir::LinExpr> addr;
+  addr.reserve(nest.refs.size());
+  for (const ir::Reference& ref : nest.refs) addr.push_back(layout.address_expr(nest, ref));
+
+  std::vector<i64> point(nest.depth());
+  space.for_each_point_tiled([&](std::span<const i64> z) {
+    for (std::size_t d = 0; d < nest.depth(); ++d) point[d] = nest.loops[d].lower + z[d];
+    for (std::size_t r = 0; r < nest.refs.size(); ++r) {
+      const cache::AccessOutcome outcome = sim.access(addr[r].eval(point));
+      cache::MissStats& s = per_ref[r];
+      ++s.accesses;
+      if (outcome == cache::AccessOutcome::ColdMiss) ++s.cold_misses;
+      if (outcome == cache::AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+    }
+  });
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) per_ref.back() += per_ref[r];
+  return per_ref;
+}
+
+}  // namespace cmetile::transform

@@ -1,0 +1,99 @@
+#pragma once
+// Loop tiling (paper §3): strip-mining + interchange. A tile vector
+// (T_1..T_k) turns the k-deep nest into a 2k-deep one whose execution
+// order is lexicographic in *tile coordinates*
+//
+//     (t_1 .. t_k, o_1 .. o_k),   z_d = T_d·t_d + o_d,
+//
+// where z_d is the 0-based original coordinate (z_d = i_d − lower_d).
+// When T_d does not divide the trip count U_d the last tile of dimension d
+// is truncated — exactly the paper's "multiple convex regions" (§2.4,
+// Fig. 2): the iteration space is the union of up to 2^k boxes
+// (interior/boundary per dimension).
+//
+// All tiled-order reasoning in the CME solver happens in these coordinates;
+// the original nest is never rewritten. `for_each_point_tiled` replays the
+// tiled execution order for the trace simulator, and `tiled_source` renders
+// the equivalent Fortran-style tiled code (Fig. 3 style) for humans.
+
+#include <span>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "ir/layout.hpp"
+#include "ir/nest.hpp"
+
+namespace cmetile::transform {
+
+/// Tile sizes, one per loop (1 <= T_d <= U_d; T_d = U_d means "untiled").
+struct TileVector {
+  std::vector<i64> t;
+
+  /// The identity tiling (every T_d = U_d): original execution order.
+  static TileVector untiled(const ir::LoopNest& nest);
+
+  /// Clamp each entry into [1, U_d].
+  static TileVector clamped(std::vector<i64> t, const ir::LoopNest& nest);
+
+  std::string to_string() const;
+  friend bool operator==(const TileVector&, const TileVector&) = default;
+};
+
+class TiledSpace {
+ public:
+  /// trips = trip counts U_d of the (0-based) original space.
+  TiledSpace(std::vector<i64> trips, TileVector tiles);
+
+  std::size_t depth() const { return trips_.size(); }          ///< k
+  std::size_t tiled_dims() const { return 2 * trips_.size(); } ///< D = 2k
+
+  i64 trip(std::size_t d) const { return trips_[d]; }
+  i64 tile(std::size_t d) const { return tiles_[d]; }
+  i64 tile_count(std::size_t d) const { return tile_counts_[d]; }     ///< NT_d
+  i64 last_tile_size(std::size_t d) const { return last_sizes_[d]; }  ///< size of tile NT_d-1
+
+  /// Extent of the o_d coordinate inside tile t_d.
+  i64 o_extent(std::size_t d, i64 t) const {
+    return t == tile_counts_[d] - 1 ? last_sizes_[d] : tiles_[d];
+  }
+
+  /// True if the trip count of every dimension is a multiple of its tile
+  /// size (single convex region).
+  bool divisible() const;
+
+  /// Map a 0-based original point to (t_1..t_k, o_1..o_k).
+  std::vector<i64> to_tiled(std::span<const i64> z) const;
+  /// Inverse mapping.
+  std::vector<i64> to_original(std::span<const i64> to) const;
+
+  /// Lexicographic comparison of two points in tiled coordinates.
+  /// Returns <0, 0, >0.
+  int compare(std::span<const i64> to_a, std::span<const i64> to_b) const;
+
+  /// Visit all 0-based original points in *tiled* execution order.
+  void for_each_point_tiled(const std::function<void(std::span<const i64> z)>& fn) const;
+
+  /// Number of convex regions of the tiled iteration space (2^b where b is
+  /// the number of dimensions with a truncated boundary tile) — paper §2.4.
+  i64 convex_regions() const;
+
+ private:
+  std::vector<i64> trips_;
+  std::vector<i64> tiles_;
+  std::vector<i64> tile_counts_;
+  std::vector<i64> last_sizes_;
+};
+
+/// Render the tiled nest as Fortran-like source (paper Fig. 3 (b) shape).
+std::string tiled_source(const ir::LoopNest& nest, const TileVector& tiles);
+
+/// Simulate the nest in tiled execution order (ground truth for tiled
+/// miss ratios). Returns per-reference stats plus aggregate (last element).
+std::vector<cache::MissStats> simulate_tiled(const ir::LoopNest& nest,
+                                             const ir::MemoryLayout& layout,
+                                             const cache::CacheConfig& config,
+                                             const TileVector& tiles);
+
+}  // namespace cmetile::transform

@@ -1,0 +1,153 @@
+// Point-classifier internals: candidate selection in tiled order, body-
+// position handling at interval endpoints, same-line exclusion,
+// associativity semantics, and the diagnostic probe counters.
+
+#include <gtest/gtest.h>
+
+#include "cme/analysis.hpp"
+#include "cme/estimator.hpp"
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cmetile::cme {
+namespace {
+
+using transform::TileVector;
+
+TEST(Classifier, FirstTouchIsCold) {
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 8);
+  const NestAnalysis analysis(nest, ir::MemoryLayout(nest),
+                              cache::CacheConfig::direct_mapped(512),
+                              TileVector::untiled(nest));
+  // The very first iteration touches two fresh lines: both refs cold.
+  const std::vector<i64> origin{0, 0};
+  EXPECT_EQ(analysis.classify(origin, 0), Outcome::ColdMiss);
+  EXPECT_EQ(analysis.classify(origin, 1), Outcome::ColdMiss);
+}
+
+TEST(Classifier, SpatialNeighbourIsAHit) {
+  // b(i,j) at (i=1..3, j fixed): consecutive i share a 4-element line and
+  // nothing interferes in a large cache.
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 8);
+  const NestAnalysis analysis(nest, ir::MemoryLayout(nest),
+                              cache::CacheConfig::direct_mapped(8192),
+                              TileVector::untiled(nest));
+  EXPECT_EQ(analysis.classify(std::vector<i64>{1, 0}, 0), Outcome::Hit);
+  EXPECT_EQ(analysis.classify(std::vector<i64>{2, 0}, 0), Outcome::Hit);
+  // Line boundary (i=4 -> element 4 starts a new line): cold again.
+  EXPECT_EQ(analysis.classify(std::vector<i64>{4, 0}, 0), Outcome::ColdMiss);
+}
+
+TEST(Classifier, SameIterationGroupReuseRespectsBodyOrder) {
+  // read x; write x at the same subscripts: the write hits behind the
+  // read, never the other way around.
+  ir::NestBuilder b("rw");
+  auto i = b.loop("i", 1, 8);
+  auto x = b.array("x", {8});
+  b.statement().read(x, {i}).write(x, {i});
+  const ir::LoopNest nest = b.build();
+  const NestAnalysis analysis(nest, ir::MemoryLayout(nest),
+                              cache::CacheConfig::direct_mapped(512),
+                              TileVector::untiled(nest));
+  EXPECT_EQ(analysis.classify(std::vector<i64>{0}, 0), Outcome::ColdMiss);  // read: first touch
+  EXPECT_EQ(analysis.classify(std::vector<i64>{0}, 1), Outcome::Hit);       // write: after read
+}
+
+TEST(Classifier, InterferenceBetweenEndpointsIsSeen) {
+  // x then y (same set, different line) then x again at the next
+  // iteration: y's access at the q endpoint kills x's temporal reuse.
+  ir::NestBuilder b("pingpong");
+  auto i = b.loop("i", 1, 8);
+  (void)i;
+  auto x = b.array("x", {4});
+  auto y = b.array("y", {4});
+  const ir::LinExpr one = ir::LinExpr::constant(1, 1);
+  b.statement().read(x, {one}).read(y, {one}).write(x, {one});
+  const ir::LoopNest nest = b.build();
+  ir::LayoutOptions options;
+  options.alignment = 512;  // force x and y onto the same 512B-cache sets
+  const ir::MemoryLayout layout(nest, options);
+  const NestAnalysis analysis(nest, layout, cache::CacheConfig::direct_mapped(512),
+                              TileVector::untiled(nest));
+  // The x read hits: the write of the previous iteration reloaded the line
+  // and nothing executes in between (endpoint body positions matter).
+  EXPECT_EQ(analysis.classify(std::vector<i64>{1}, 0), Outcome::Hit);
+  // y's reuse interval contains the x write (q endpoint) and the x read
+  // (p endpoint): same set, other line -> replacement miss. The x write's
+  // own interval contains the y read: miss too.
+  EXPECT_EQ(analysis.classify(std::vector<i64>{1}, 1), Outcome::ReplacementMiss);
+  EXPECT_EQ(analysis.classify(std::vector<i64>{1}, 2), Outcome::ReplacementMiss);
+  // With a 2-way cache both lines coexist: everything hits.
+  const NestAnalysis assoc(nest, layout, cache::CacheConfig{512, 32, 2},
+                           TileVector::untiled(nest));
+  EXPECT_EQ(assoc.classify(std::vector<i64>{1}, 0), Outcome::Hit);
+  EXPECT_EQ(assoc.classify(std::vector<i64>{1}, 1), Outcome::Hit);
+  EXPECT_EQ(assoc.classify(std::vector<i64>{1}, 2), Outcome::Hit);
+}
+
+TEST(Classifier, TilingChangesTheVerdict) {
+  // MM's c(k,j): untiled, its i-direction temporal reuse spans N² inner
+  // iterations (miss); with a k/j tile the reuse interval is tiny (hit).
+  const ir::LoopNest nest = kernels::build_kernel("MM", 32);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024);
+  // Point with k on a line boundary so c's spatial reuse cannot carry it:
+  // only the i-direction temporal reuse remains, whose untiled interval
+  // sweeps far more than the 1KB cache.
+  const std::vector<i64> z{5, 8, 8};  // ref 2 = c(k,j)
+
+  const NestAnalysis untiled(nest, layout, cache, TileVector::untiled(nest));
+  EXPECT_EQ(untiled.classify(z, 2), Outcome::ReplacementMiss);
+  const NestAnalysis tiled(nest, layout, cache, TileVector{{32, 4, 4}});
+  EXPECT_EQ(tiled.classify(z, 2), Outcome::Hit);
+}
+
+TEST(Classifier, ProbeCountersAccumulate) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 24);
+  const NestAnalysis analysis(nest, ir::MemoryLayout(nest),
+                              cache::CacheConfig::direct_mapped(1024),
+                              TileVector{{24, 6, 6}});
+  const auto points = sample_points(nest, 64, 5);
+  for (const auto& z : points)
+    for (std::size_t r = 0; r < nest.refs.size(); ++r) analysis.classify(z, r);
+  EXPECT_GT(analysis.probe_counters().probes, 0);
+  EXPECT_EQ(analysis.probe_counters().unknown_results, 0)
+      << "shipped kernels must not hit the conservative cap";
+}
+
+TEST(Classifier, RejectsArityMismatches) {
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 8);
+  const NestAnalysis analysis(nest, ir::MemoryLayout(nest),
+                              cache::CacheConfig::direct_mapped(512),
+                              TileVector::untiled(nest));
+  EXPECT_THROW(analysis.classify(std::vector<i64>{0}, 0), contract_error);
+}
+
+TEST(Classifier, AssociativityNeedsKDistinctLines) {
+  // Three streams in the same set: 2-way still thrashes, 4-way holds all.
+  ir::NestBuilder b("threeway");
+  auto i = b.loop("i", 1, 16);
+  (void)i;
+  auto x = b.array("x", {4});
+  auto y = b.array("y", {4});
+  auto z = b.array("z", {4});
+  const ir::LinExpr one = ir::LinExpr::constant(1, 1);
+  b.statement().read(x, {one}).read(y, {one}).read(z, {one}).write(x, {one});
+  const ir::LoopNest nest = b.build();
+  ir::LayoutOptions options;
+  options.alignment = 1024;  // all three arrays on the same sets of a 1KB way
+  const ir::MemoryLayout layout(nest, options);
+
+  // y's reuse interval (previous y read -> this y read) contains the z
+  // read and the x write: two distinct other lines in the set.
+  const std::vector<i64> pt{1};
+  const NestAnalysis two_way(nest, layout, cache::CacheConfig{2048, 32, 2},
+                             TileVector::untiled(nest));
+  EXPECT_EQ(two_way.classify(pt, 1), Outcome::ReplacementMiss);
+  const NestAnalysis four_way(nest, layout, cache::CacheConfig{4096, 32, 4},
+                              TileVector::untiled(nest));
+  EXPECT_EQ(four_way.classify(pt, 1), Outcome::Hit);
+}
+
+}  // namespace
+}  // namespace cmetile::cme

@@ -1,0 +1,131 @@
+// Baseline searcher and analytic selector tests: budgets respected,
+// optima found on easy landscapes, ESS/TSS/Sarkar-Megiddo produce sane
+// in-domain tiles with the properties their papers promise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/analytic.hpp"
+#include "baselines/search.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cmetile::baselines {
+namespace {
+
+const std::vector<VarDomain> kBox{{1, 64}, {1, 64}};
+
+double sphere(std::span<const i64> v) {
+  const double dx = (double)v[0] - 20.0;
+  const double dy = (double)v[1] - 45.0;
+  return dx * dx + dy * dy;
+}
+
+TEST(RandomSearch, RespectsBudgetAndImproves) {
+  const auto r = random_search(kBox, sphere, 300, 5);
+  EXPECT_EQ(r.evaluations, 300);
+  EXPECT_LE(r.best_cost, 200.0);  // random over 64x64 should get close-ish
+  EXPECT_EQ(r.best_values.size(), 2u);
+}
+
+TEST(HillClimb, FindsTheSphereOptimum) {
+  const auto r = hill_climb(kBox, sphere, 400, 6);
+  EXPECT_LE(r.evaluations, 400);
+  EXPECT_LE(r.best_cost, 2.0);  // unimodal: descent should nail it
+}
+
+TEST(SimulatedAnnealing, FindsANearOptimum) {
+  const auto r = simulated_annealing(kBox, sphere, 600, 7);
+  EXPECT_EQ(r.evaluations, 600);
+  EXPECT_LE(r.best_cost, 50.0);
+}
+
+TEST(ExhaustiveSearch, EnumeratesTheWholeBoxAndFindsTheOptimum) {
+  const std::vector<VarDomain> tiny{{1, 8}, {3, 7}};
+  i64 calls = 0;
+  const auto r = exhaustive_search(tiny, [&](std::span<const i64> v) {
+    ++calls;
+    return std::abs((double)v[0] - 6.0) + std::abs((double)v[1] - 3.0);
+  });
+  EXPECT_EQ(calls, 8 * 5);
+  EXPECT_EQ(r.evaluations, 8 * 5);
+  EXPECT_EQ(r.best_values, (std::vector<i64>{6, 3}));
+  EXPECT_EQ(r.best_cost, 0.0);
+}
+
+TEST(Searches, AreDeterministicPerSeed) {
+  const auto a = random_search(kBox, sphere, 100, 42);
+  const auto b = random_search(kBox, sphere, 100, 42);
+  EXPECT_EQ(a.best_values, b.best_values);
+  const auto c = simulated_annealing(kBox, sphere, 100, 42);
+  const auto d = simulated_annealing(kBox, sphere, 100, 42);
+  EXPECT_EQ(c.best_values, d.best_values);
+}
+
+TEST(EssSquareTile, PowerOfTwoStrideDegenerates) {
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  // Column stride = half the cache: rows j and j+2 alias exactly -> the
+  // largest self-interference-free square is 2.
+  EXPECT_EQ(ess_square_tile(4096, 8, cache), 2);
+  // Stride == cache size: every row aliases -> tile 1.
+  EXPECT_EQ(ess_square_tile(8192, 8, cache), 1);
+}
+
+TEST(EssSquareTile, FriendlyStrideGivesLargeTiles) {
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const i64 t = ess_square_tile(1600, 8, cache);  // N=200 doubles
+  EXPECT_GE(t, 8);
+  // The defining property: among t rows the minimal circular gap fits the
+  // tile's row length.
+  for (i64 j = 1; j < t; ++j) {
+    const i64 r = floor_mod(j * 1600, 8192);
+    EXPECT_GE(std::min(r, 8192 - r), t * 8) << "row " << j;
+  }
+}
+
+TEST(AnalyticSelectors, ProduceInDomainTiles) {
+  for (const char* name : {"MM", "T2D", "ADI"}) {
+    const auto spec = kernels::find_kernel(name);
+    const ir::LoopNest nest = kernels::build_kernel(name, spec->default_size);
+    const ir::MemoryLayout layout(nest);
+    const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+    for (const auto& tiles : {lrw_tiles(nest, layout, cache), tss_tiles(nest, layout, cache),
+                              sarkar_megiddo_tiles(nest, layout, cache)}) {
+      ASSERT_EQ(tiles.t.size(), nest.depth());
+      const auto trips = nest.trip_counts();
+      for (std::size_t d = 0; d < tiles.t.size(); ++d) {
+        EXPECT_GE(tiles.t[d], 1);
+        EXPECT_LE(tiles.t[d], trips[d]);
+      }
+    }
+  }
+}
+
+TEST(AnalyticSelectors, FallBackToUntiledWithout2DArrays) {
+  ir::NestBuilder b("vec");
+  auto i = b.loop("i", 1, 100);
+  auto x = b.array("x", {100});
+  auto y = b.array("y", {100});
+  b.statement().read(x, {i}).write(y, {i});
+  const ir::LoopNest nest = b.build();
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  EXPECT_EQ(lrw_tiles(nest, layout, cache).t, nest.trip_counts());
+  EXPECT_EQ(tss_tiles(nest, layout, cache).t, nest.trip_counts());
+}
+
+TEST(TssTiles, StayUnderTheCacheBudget) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 500);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const transform::TileVector tiles = tss_tiles(nest, layout, cache);
+  // The dominant-array tile footprint must fit in 3/4 of the cache.
+  i64 rows = 0, cols = 0;
+  for (std::size_t d = 0; d < tiles.t.size(); ++d) {
+    if (tiles.t[d] != 500) (rows == 0 ? rows : cols) = tiles.t[d];
+  }
+  if (rows > 0 && cols > 0) EXPECT_LE(rows * cols * 8, 8192 * 3 / 4);
+}
+
+}  // namespace
+}  // namespace cmetile::baselines

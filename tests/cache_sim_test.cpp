@@ -1,0 +1,116 @@
+// Cache simulator tests: geometry validation, LRU behaviour, direct-mapped
+// conflicts, and the cold/replacement miss classification the paper's
+// metrics are built on.
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cmetile::cache {
+namespace {
+
+TEST(CacheConfig, GeometryDerivations) {
+  const CacheConfig c{8192, 32, 1};
+  EXPECT_EQ(c.lines(), 256);
+  EXPECT_EQ(c.sets(), 256);
+  EXPECT_EQ(c.way_bytes(), 8192);
+  EXPECT_EQ(c.line_of(100), 3);
+  EXPECT_EQ(c.set_of(8192 + 40), 1);
+
+  const CacheConfig w{8192, 32, 4};
+  EXPECT_EQ(w.sets(), 64);
+  EXPECT_EQ(w.way_bytes(), 2048);
+}
+
+TEST(CacheConfig, ValidationRejectsBadGeometry) {
+  EXPECT_THROW((CacheConfig{1000, 32, 1}).validate(), contract_error);
+  EXPECT_THROW((CacheConfig{1024, 33, 1}).validate(), contract_error);
+  EXPECT_THROW((CacheConfig{1024, 32, 0}).validate(), contract_error);
+  EXPECT_NO_THROW((CacheConfig{1024, 32, 2}).validate());
+}
+
+TEST(Simulator, ColdThenHitOnSameLine) {
+  Simulator sim(CacheConfig::direct_mapped(1024));
+  EXPECT_EQ(sim.access(0), AccessOutcome::ColdMiss);
+  EXPECT_EQ(sim.access(8), AccessOutcome::Hit);   // same 32B line
+  EXPECT_EQ(sim.access(31), AccessOutcome::Hit);
+  EXPECT_EQ(sim.access(32), AccessOutcome::ColdMiss);  // next line
+}
+
+TEST(Simulator, DirectMappedConflictIsReplacementMiss) {
+  Simulator sim(CacheConfig::direct_mapped(1024));
+  EXPECT_EQ(sim.access(0), AccessOutcome::ColdMiss);
+  EXPECT_EQ(sim.access(1024), AccessOutcome::ColdMiss);   // same set, evicts
+  EXPECT_EQ(sim.access(0), AccessOutcome::ReplacementMiss);
+  EXPECT_EQ(sim.stats().accesses, 3);
+  EXPECT_EQ(sim.stats().cold_misses, 2);
+  EXPECT_EQ(sim.stats().replacement_misses, 1);
+}
+
+TEST(Simulator, TwoWayLruAvoidsThePingPong) {
+  Simulator sim(CacheConfig{1024, 32, 2});
+  EXPECT_EQ(sim.access(0), AccessOutcome::ColdMiss);
+  EXPECT_EQ(sim.access(1024), AccessOutcome::ColdMiss);  // same set, other way
+  EXPECT_EQ(sim.access(0), AccessOutcome::Hit);
+  EXPECT_EQ(sim.access(1024), AccessOutcome::Hit);
+  // A third line in the set evicts the least recently used (0 was used
+  // before 1024? order: 0,1024,0,1024 -> LRU is 0).
+  EXPECT_EQ(sim.access(2048), AccessOutcome::ColdMiss);
+  EXPECT_EQ(sim.access(0), AccessOutcome::ReplacementMiss);   // evicted
+  EXPECT_EQ(sim.access(1024), AccessOutcome::ReplacementMiss);  // 1024 got evicted by 0's refill
+}
+
+TEST(Simulator, LruStackProperty) {
+  // Sequential sweep larger than the cache: everything misses again on the
+  // second pass in a direct-mapped cache.
+  Simulator sim(CacheConfig::direct_mapped(512));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (i64 line = 0; line < 32; ++line) {
+      const AccessOutcome out = sim.access(line * 32);
+      if (pass == 0)
+        EXPECT_EQ(out, AccessOutcome::ColdMiss);
+      else
+        EXPECT_EQ(out, AccessOutcome::ReplacementMiss);
+    }
+  }
+}
+
+TEST(Simulator, ResetClearsEverything) {
+  Simulator sim(CacheConfig::direct_mapped(512));
+  sim.access(0);
+  sim.reset();
+  EXPECT_EQ(sim.stats().accesses, 0);
+  EXPECT_EQ(sim.access(0), AccessOutcome::ColdMiss);  // cold again after reset
+}
+
+TEST(SimulateNest, PerRefStatsSumToAggregate) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 10);
+  const ir::MemoryLayout layout(nest);
+  const auto stats = simulate_nest(nest, layout, CacheConfig::direct_mapped(512));
+  ASSERT_EQ(stats.size(), nest.refs.size() + 1);
+  MissStats sum;
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) sum += stats[r];
+  EXPECT_EQ(sum.accesses, stats.back().accesses);
+  EXPECT_EQ(sum.cold_misses, stats.back().cold_misses);
+  EXPECT_EQ(sum.replacement_misses, stats.back().replacement_misses);
+  EXPECT_EQ(stats.back().accesses, nest.access_count());
+}
+
+TEST(MissStats, RatiosAndAccumulation) {
+  MissStats s{100, 10, 25};
+  EXPECT_DOUBLE_EQ(s.total_ratio(), 0.35);
+  EXPECT_DOUBLE_EQ(s.replacement_ratio(), 0.25);
+  MissStats t{100, 0, 5};
+  s += t;
+  EXPECT_EQ(s.accesses, 200);
+  EXPECT_EQ(s.total_misses(), 40);
+  EXPECT_DOUBLE_EQ(MissStats{}.total_ratio(), 0.0);
+}
+
+TEST(Simulator, AssociativityMustDivideLines) {
+  EXPECT_THROW(Simulator(CacheConfig{128, 32, 8}), contract_error);  // 4 lines, 8-way
+}
+
+}  // namespace
+}  // namespace cmetile::cache

@@ -1,0 +1,200 @@
+// The congruence-box engine is the specialized replacement-polyhedra
+// solver; these tests pin it against brute force on randomized instances,
+// including the gcd-folding fast path (large extents) and the enumerated
+// fallback, plus the solution enumerator used for same-line exclusion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cme/congruence.hpp"
+#include "support/rng.hpp"
+
+namespace cmetile::cme {
+namespace {
+
+TEST(CongruenceBox, EmptyBoxIsEmpty) {
+  CongruenceBox box;
+  box.extents = {4, 0};
+  box.coeffs = {1, 1};
+  box.modulus = 8;
+  box.target = {0, 7};
+  EXPECT_EQ(probe_nonempty(box), Emptiness::Empty);
+  EXPECT_EQ(box.box_points(), 0);
+}
+
+TEST(CongruenceBox, ZeroDimBoxChecksConstant) {
+  CongruenceBox box;
+  box.modulus = 32;
+  box.base = 70;  // 70 mod 32 = 6
+  box.target = {0, 7};
+  EXPECT_EQ(probe_nonempty(box), Emptiness::NonEmpty);
+  box.target = {8, 20};
+  EXPECT_EQ(probe_nonempty(box), Emptiness::Empty);
+}
+
+TEST(CongruenceBox, FullTargetIsAlwaysNonEmpty) {
+  CongruenceBox box;
+  box.extents = {5};
+  box.coeffs = {13};
+  box.modulus = 64;
+  box.target = {0, 63};
+  EXPECT_EQ(probe_nonempty(box), Emptiness::NonEmpty);
+}
+
+TEST(CongruenceBox, GcdFoldingResolvesLargeDimensions) {
+  // Coefficient 8, modulus 8192: a full cycle needs >= 1024 values. With
+  // extent 2000 the dimension reaches every multiple of 8; target [0,31]
+  // contains multiples of 8, so the box is non-empty — and the probe must
+  // conclude that without enumerating (cap tiny).
+  CongruenceBox box;
+  box.extents = {2000};
+  box.coeffs = {8};
+  box.modulus = 8192;
+  box.base = 0;
+  box.target = {0, 31};
+  ProbeCounters counters;
+  EXPECT_EQ(probe_nonempty(box, /*work_cap=*/2, &counters), Emptiness::NonEmpty);
+  EXPECT_GE(counters.fold_rounds, 1);
+  EXPECT_EQ(counters.enumerated_leaves, 0);
+}
+
+TEST(CongruenceBox, GcdFoldingDetectsEmptiness) {
+  // Values are base + 8*x: residues ≡ 4 (mod 8); target [0,3] has none.
+  CongruenceBox box;
+  box.extents = {5000};
+  box.coeffs = {8};
+  box.modulus = 8192;
+  box.base = 4;
+  box.target = {0, 3};
+  EXPECT_EQ(probe_nonempty(box, 4), Emptiness::Empty);
+}
+
+TEST(CongruenceBox, WorkCapReturnsUnknown) {
+  // Awkward coefficients and small extents force enumeration; a cap of 1
+  // leaf cannot finish 8 leaves.
+  CongruenceBox box;
+  box.extents = {9, 9, 9};
+  box.coeffs = {5, 7, 11};
+  box.modulus = 8192;
+  box.base = 1;
+  box.target = {4000, 4001};
+  ProbeCounters counters;
+  const Emptiness result = probe_nonempty(box, 1, &counters);
+  // Either it got lucky on the first leaf or it must give up.
+  if (result == Emptiness::Unknown) EXPECT_GE(counters.unknown_results, 1);
+}
+
+CongruenceBox random_box(Rng& rng, bool large_extents) {
+  CongruenceBox box;
+  const std::size_t dims = (std::size_t)rng.uniform_int(0, 3);
+  for (std::size_t d = 0; d < dims; ++d) {
+    box.extents.push_back(rng.uniform_int(1, large_extents ? 200 : 9));
+    box.coeffs.push_back(rng.uniform_int(-64, 64));
+  }
+  box.modulus = i64{1} << rng.uniform_int(2, 7);  // 4..128
+  box.base = rng.uniform_int(-500, 500);
+  i64 lo = rng.uniform_int(0, box.modulus - 1);
+  i64 hi = rng.uniform_int(0, box.modulus - 1);
+  if (lo > hi) std::swap(lo, hi);
+  box.target = {lo, hi};
+  return box;
+}
+
+class ProbeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProbeProperty, AgreesWithBruteForceOrIsConservative) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    const CongruenceBox box = random_box(rng, trial % 3 == 0);
+    const Emptiness fast = probe_nonempty(box, 1 << 14);
+    const Emptiness brute = probe_nonempty_bruteforce(box);
+    if (fast == Emptiness::Unknown) continue;  // conservative answer allowed
+    EXPECT_EQ(fast, brute) << "modulus=" << box.modulus << " base=" << box.base << " target=["
+                           << box.target.lo << "," << box.target.hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbeProperty,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u, 106u));
+
+class EnumerateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnumerateProperty, EmitsExactlyTheSolutions) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const CongruenceBox box = random_box(rng, false);
+    std::multiset<i64> emitted;
+    const EnumStatus status = enumerate_solutions(box, 1 << 20, [&](i64 value) {
+      emitted.insert(value);
+      return true;
+    });
+    ASSERT_EQ(status, EnumStatus::Exhausted);
+
+    // Brute-force the expected solution values.
+    std::multiset<i64> expected;
+    std::vector<i64> x(box.extents.size(), 0);
+    if (box.box_points() > 0) {
+      while (true) {
+        i64 v = box.base;
+        for (std::size_t d = 0; d < x.size(); ++d) v += box.coeffs[d] * x[d];
+        if (box.target.contains(floor_mod(v, box.modulus))) expected.insert(v);
+        std::size_t d = 0;
+        for (; d < x.size(); ++d) {
+          if (x[d] + 1 < box.extents[d]) {
+            ++x[d];
+            std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+            break;
+          }
+        }
+        if (d == x.size()) break;
+      }
+    }
+    EXPECT_EQ(emitted, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerateProperty, ::testing::Values(201u, 202u, 203u));
+
+TEST(EnumerateSolutions, StopsOnCallbackFalse) {
+  CongruenceBox box;
+  box.extents = {100};
+  box.coeffs = {1};
+  box.modulus = 4;
+  box.target = {0, 3};  // everything is a solution
+  int seen = 0;
+  const EnumStatus status = enumerate_solutions(box, 1 << 20, [&](i64) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(status, EnumStatus::StoppedByCallback);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(EnumerateSolutions, RespectsCap) {
+  CongruenceBox box;
+  box.extents = {1000};
+  box.coeffs = {1};
+  box.modulus = 4;
+  box.target = {0, 3};
+  int seen = 0;
+  const EnumStatus status = enumerate_solutions(box, 10, [&](i64) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(status, EnumStatus::Capped);
+  EXPECT_LE(seen, 10);
+}
+
+TEST(CountSolutionsBruteforce, CountsCorrectly) {
+  CongruenceBox box;
+  box.extents = {8};
+  box.coeffs = {2};
+  box.modulus = 8;
+  box.base = 0;
+  box.target = {0, 1};  // 2x mod 8 in {0,1}: x in {0, 4} -> value 0, 8
+  EXPECT_EQ(count_solutions_bruteforce(box), 2);
+}
+
+}  // namespace
+}  // namespace cmetile::cme

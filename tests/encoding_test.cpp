@@ -1,0 +1,96 @@
+// Chromosome encoding tests, pinned to the paper's §3.3 worked example:
+// upper bounds 10 and 100 give k = 4 and 8 (2 and 4 genes), chromosome
+// values 12 and 74 decode to tile sizes 8 and 29.
+
+#include <gtest/gtest.h>
+
+#include "ga/encoding.hpp"
+
+namespace cmetile::ga {
+namespace {
+
+TEST(Encoding, PaperExampleGeneCounts) {
+  const Encoding enc({VarDomain{1, 10}, VarDomain{1, 100}});
+  EXPECT_EQ(enc.genes_of(0), 2u);  // k1 = 4 bits
+  EXPECT_EQ(enc.genes_of(1), 4u);  // k2 = 7 -> 8 bits
+  EXPECT_EQ(enc.total_genes(), 6u);
+}
+
+TEST(Encoding, PaperExampleMapping) {
+  const Encoding enc({VarDomain{1, 10}, VarDomain{1, 100}});
+  EXPECT_EQ(enc.map_value(12, 0), 8);   // g1(12) = 8 (paper)
+  EXPECT_EQ(enc.map_value(74, 1), 29);  // g2(74) = 29 (paper)
+}
+
+TEST(Encoding, PaperExampleGenome) {
+  // value 12 = genes {11,00}; value 74 = genes {01,00,10,10} (paper).
+  const Encoding enc({VarDomain{1, 10}, VarDomain{1, 100}});
+  const Genome genome{3, 0, 1, 0, 2, 2};
+  EXPECT_EQ(enc.decode(genome), (std::vector<i64>{8, 29}));
+}
+
+TEST(Encoding, MappingIsOntoForManyDomains) {
+  // Paper: "every possible tile size has at least one representation".
+  for (i64 u = 1; u <= 200; ++u) {
+    const Encoding enc({VarDomain{1, u}});
+    const i64 k = (i64)enc.genes_of(0) * 2;
+    std::vector<bool> hit((std::size_t)u, false);
+    for (i64 x = 0; x < (i64{1} << k); ++x) {
+      const i64 v = enc.map_value(x, 0);
+      ASSERT_GE(v, 1);
+      ASSERT_LE(v, u);
+      hit[(std::size_t)(v - 1)] = true;
+    }
+    for (i64 v = 1; v <= u; ++v) EXPECT_TRUE(hit[(std::size_t)(v - 1)]) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(Encoding, MappingIsMonotonic) {
+  const Encoding enc({VarDomain{1, 37}});
+  const i64 k = (i64)enc.genes_of(0) * 2;
+  i64 prev = 0;
+  for (i64 x = 0; x < (i64{1} << k); ++x) {
+    const i64 v = enc.map_value(x, 0);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Encoding, EncodeDecodeRoundTrip) {
+  const Encoding enc({VarDomain{1, 10}, VarDomain{0, 63}, VarDomain{5, 5}});
+  for (const std::vector<i64> values :
+       {std::vector<i64>{1, 0, 5}, {10, 63, 5}, {7, 31, 5}, {3, 1, 5}}) {
+    EXPECT_EQ(enc.decode(enc.encode(values)), values);
+  }
+}
+
+TEST(Encoding, SingletonDomainUsesOneGene) {
+  const Encoding enc({VarDomain{4, 4}});
+  EXPECT_EQ(enc.genes_of(0), 1u);
+  EXPECT_EQ(enc.map_value(0, 0), 4);
+  EXPECT_EQ(enc.map_value(3, 0), 4);
+}
+
+TEST(Encoding, RandomGenomesDecodeInsideDomains) {
+  const Encoding enc({VarDomain{1, 13}, VarDomain{2, 200}});
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto values = enc.decode(enc.random_genome(rng));
+    EXPECT_GE(values[0], 1);
+    EXPECT_LE(values[0], 13);
+    EXPECT_GE(values[1], 2);
+    EXPECT_LE(values[1], 200);
+  }
+}
+
+TEST(Encoding, RejectsMalformedInput) {
+  const Encoding enc({VarDomain{1, 10}});
+  EXPECT_THROW(enc.map_value(-1, 0), contract_error);
+  EXPECT_THROW(enc.map_value(16, 0), contract_error);
+  EXPECT_THROW(enc.decode(Genome{1}), contract_error);         // wrong length
+  EXPECT_THROW(enc.decode(Genome{4, 0}), contract_error);      // gene out of alphabet
+  EXPECT_THROW(Encoding({VarDomain{3, 2}}), contract_error);   // empty domain
+}
+
+}  // namespace
+}  // namespace cmetile::ga

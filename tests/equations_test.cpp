@@ -1,0 +1,88 @@
+// CME generation tests (paper §2.1/§2.4): equation counts, the n / n²
+// scaling with the number of convex regions after tiling, and rendering.
+
+#include <gtest/gtest.h>
+
+#include "cme/equations.hpp"
+#include "kernels/kernels.hpp"
+#include "reuse/reuse.hpp"
+
+namespace cmetile::cme {
+namespace {
+
+struct Fixture {
+  ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  ir::MemoryLayout layout{nest};
+  cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+};
+
+i64 reuse_candidate_count(const ir::LoopNest& nest) {
+  i64 count = 0;
+  for (const auto& cands : reuse::analyze_reuse(nest).per_ref) count += (i64)cands.size();
+  return count;
+}
+
+TEST(Equations, UntiledCountsMatchStructure) {
+  Fixture s;
+  const EquationSet set = generate_equations(s.nest, s.layout, s.cache,
+                                             transform::TileVector::untiled(s.nest));
+  EXPECT_EQ(set.convex_regions, 1);
+  const i64 candidates = reuse_candidate_count(s.nest);
+  EXPECT_EQ(set.compulsory_count, candidates);
+  EXPECT_EQ(set.replacement_count, candidates * (i64)s.nest.refs.size());
+  EXPECT_EQ((i64)set.equations.size(), set.compulsory_count + set.replacement_count);
+}
+
+TEST(Equations, PaperSection24Scaling) {
+  // Tiling with truncated boundary tiles in b dims gives n = 2^b convex
+  // regions; compulsory equations scale by n, replacement by n².
+  Fixture s;
+  const EquationSet untiled = generate_equations(s.nest, s.layout, s.cache,
+                                                 transform::TileVector::untiled(s.nest));
+  // 12 = 5+5+2: one truncated dimension.
+  const EquationSet one = generate_equations(s.nest, s.layout, s.cache,
+                                             transform::TileVector{{5, 12, 12}});
+  EXPECT_EQ(one.convex_regions, 2);
+  EXPECT_EQ(one.compulsory_count, 2 * untiled.compulsory_count);
+  EXPECT_EQ(one.replacement_count, 4 * untiled.replacement_count);
+
+  // Three truncated dimensions: n = 8.
+  const EquationSet three = generate_equations(s.nest, s.layout, s.cache,
+                                               transform::TileVector{{5, 5, 5}});
+  EXPECT_EQ(three.convex_regions, 8);
+  EXPECT_EQ(three.compulsory_count, 8 * untiled.compulsory_count);
+  EXPECT_EQ(three.replacement_count, 64 * untiled.replacement_count);
+
+  // Divisible tiling keeps a single region.
+  const EquationSet divisible = generate_equations(s.nest, s.layout, s.cache,
+                                                   transform::TileVector{{6, 4, 12}});
+  EXPECT_EQ(divisible.convex_regions, 1);
+  EXPECT_EQ(divisible.compulsory_count, untiled.compulsory_count);
+}
+
+TEST(Equations, RenderLimitAndText) {
+  Fixture s;
+  const EquationSet set = generate_equations(s.nest, s.layout, s.cache,
+                                             transform::TileVector::untiled(s.nest), 5);
+  i64 rendered = 0;
+  for (const Equation& e : set.equations)
+    if (!e.text.empty()) ++rendered;
+  EXPECT_EQ(rendered, 5);
+  // The first compulsory equation mentions the reference and reuse vector.
+  EXPECT_EQ(set.equations.front().kind, EquationKind::Compulsory);
+  EXPECT_NE(set.equations.front().text.find("Compulsory"), std::string::npos);
+  // Replacement equations mention the cache geometry.
+  bool found_replacement_text = false;
+  for (const Equation& e : set.equations) {
+    if (e.kind == EquationKind::Replacement && !e.text.empty()) {
+      EXPECT_NE(e.text.find("512"), std::string::npos);  // the modulus
+      found_replacement_text = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_replacement_text);
+  EXPECT_NE(set.summary().find("convex regions: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmetile::cme

@@ -1,0 +1,134 @@
+// Estimator tests: the paper's sampling design (§2.3). Sample size,
+// determinism, agreement of the sampled estimate with exact traversal
+// within the confidence interval, and the exact/auto mode switching.
+
+#include <gtest/gtest.h>
+
+#include "cme/estimator.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cmetile::cme {
+namespace {
+
+NestAnalysis make_analysis(const ir::LoopNest& nest, i64 cache_bytes) {
+  return NestAnalysis(nest, ir::MemoryLayout(nest), cache::CacheConfig::direct_mapped(cache_bytes),
+                      transform::TileVector::untiled(nest));
+}
+
+TEST(SampleSize, PaperConstantAndFormula) {
+  EXPECT_EQ(kPaperSampleCount, 164);
+  // The exact normal-quantile formula lands within 1 of the paper's value
+  // (the paper used z = 1.28; Phi^{-1}(0.90) = 1.2816).
+  const i64 formula = required_sample_size(0.1, 0.90);
+  EXPECT_NEAR((double)formula, 164.0, 1.0);
+  // Defaults resolve to the paper's constant.
+  EXPECT_EQ(resolved_sample_count(EstimatorOptions{}), 164);
+  EstimatorOptions custom;
+  custom.sample_count = 500;
+  EXPECT_EQ(resolved_sample_count(custom), 500);
+  EstimatorOptions wide;
+  wide.ci_width = 0.2;
+  wide.confidence = 0.90;
+  EXPECT_LT(resolved_sample_count(wide), 164);
+}
+
+TEST(SamplePoints, AreInsideTheIterationSpaceAndDeterministic) {
+  const ir::LoopNest nest = kernels::build_kernel("JACOBI3D", 12);
+  const auto a = sample_points(nest, 200, 99);
+  const auto b = sample_points(nest, 200, 99);
+  const auto c = sample_points(nest, 200, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const auto& z : a) {
+    ASSERT_EQ(z.size(), nest.depth());
+    for (std::size_t d = 0; d < z.size(); ++d) {
+      EXPECT_GE(z[d], 0);
+      EXPECT_LT(z[d], nest.loops[d].trip_count());
+    }
+  }
+}
+
+TEST(Estimator, SampledMatchesExactWithinInterval) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 24);
+  const NestAnalysis analysis = make_analysis(nest, 1024);
+  const MissEstimate exact = estimate_exact(analysis);
+  EXPECT_TRUE(exact.exact);
+
+  int covered = 0;
+  const int runs = 20;
+  for (int r = 0; r < runs; ++r) {
+    EstimatorOptions options;
+    options.seed = 1000 + (std::uint64_t)r;
+    const MissEstimate sampled = estimate_misses(analysis, options);
+    EXPECT_FALSE(sampled.exact);
+    EXPECT_EQ(sampled.sampled_points, 164);
+    if (std::abs(sampled.replacement_ratio - exact.replacement_ratio) <=
+        sampled.replacement_half_width + 1e-12)
+      ++covered;
+  }
+  // 90% nominal coverage; allow generous slack on 20 runs.
+  EXPECT_GE(covered, 14);
+}
+
+TEST(Estimator, ExactThresholdSwitchesMode) {
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 12);  // 144 points
+  const NestAnalysis analysis = make_analysis(nest, 512);
+  EstimatorOptions options;
+  options.exact_threshold = 1000;
+  EXPECT_TRUE(estimate_misses(analysis, options).exact);
+  options.exact_threshold = 10;
+  EXPECT_FALSE(estimate_misses(analysis, options).exact);
+}
+
+TEST(Estimator, RatiosAreConsistent) {
+  const ir::LoopNest nest = kernels::build_kernel("ADI", 20);
+  const NestAnalysis analysis = make_analysis(nest, 512);
+  const MissEstimate e = estimate_exact(analysis);
+  EXPECT_NEAR(e.total_ratio, e.cold_ratio + e.replacement_ratio, 1e-12);
+  EXPECT_GE(e.replacement_ratio, 0.0);
+  EXPECT_LE(e.total_ratio, 1.0);
+  EXPECT_EQ(e.access_count, nest.access_count());
+  EXPECT_NEAR(e.replacement_misses(), e.replacement_ratio * (double)e.access_count, 1e-9);
+}
+
+TEST(Estimator, PerRefCountsSumToAggregate) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 16);
+  const NestAnalysis analysis = make_analysis(nest, 512);
+  const auto per_ref = classify_all_points(analysis);
+  ASSERT_EQ(per_ref.size(), nest.refs.size() + 1);
+  cache::MissStats sum;
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) sum += per_ref[r];
+  EXPECT_EQ(sum.accesses, per_ref.back().accesses);
+  EXPECT_EQ(sum.replacement_misses, per_ref.back().replacement_misses);
+}
+
+TEST(Estimator, TilingNeverChangesColdRatio) {
+  // Paper §3.1: compulsory misses are invariant under tiling; the CME
+  // classifier must agree (exact mode, several tilings).
+  const ir::LoopNest nest = kernels::build_kernel("MM", 16);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024);
+  const MissEstimate untiled = estimate_exact(NestAnalysis(
+      nest, layout, cache, transform::TileVector::untiled(nest)));
+  for (const std::vector<i64> t : {std::vector<i64>{4, 4, 4}, {16, 2, 8}, {3, 16, 5}}) {
+    const MissEstimate tiled =
+        estimate_exact(NestAnalysis(nest, layout, cache, transform::TileVector{t}));
+    EXPECT_NEAR(tiled.cold_ratio, untiled.cold_ratio, 1e-12)
+        << transform::TileVector{t}.to_string();
+  }
+}
+
+TEST(Estimator, CommonPointsGiveComparableEstimates) {
+  // estimate_with_points with the same points is deterministic and
+  // thread-independent.
+  const ir::LoopNest nest = kernels::build_kernel("T3DIKJ", 12);
+  const NestAnalysis analysis = make_analysis(nest, 512);
+  const auto points = sample_points(nest, 164, 7);
+  const MissEstimate a = estimate_with_points(analysis, points);
+  const MissEstimate b = estimate_with_points(analysis, points);
+  EXPECT_EQ(a.replacement_ratio, b.replacement_ratio);
+  EXPECT_EQ(a.total_ratio, b.total_ratio);
+}
+
+}  // namespace
+}  // namespace cmetile::cme

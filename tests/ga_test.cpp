@@ -1,0 +1,171 @@
+// Genetic optimizer tests: operator properties, the Fig. 7 termination
+// algorithm (15–25 generations), convergence criterion, memoization,
+// determinism, and actual optimization power on known functions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "ga/ga.hpp"
+
+namespace cmetile::ga {
+namespace {
+
+TEST(Selection, PrefersFitterIndividuals) {
+  // Costs: individual 0 is much better; it must be selected more often.
+  Rng rng(42);
+  const std::vector<double> costs{0.0, 100.0, 100.0, 100.0};
+  int count_best = 0, total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (const std::size_t i : select_remainder_stochastic(costs, rng)) {
+      if (i == 0) ++count_best;
+      ++total;
+    }
+  }
+  // Expected share of the best individual: f = (100-0) vs 0 for the others
+  // -> nearly all slots (ties broken by fractional sweeps).
+  EXPECT_GT((double)count_best / (double)total, 0.8);
+}
+
+TEST(Selection, FlatPopulationSelectsEveryoneOnce) {
+  Rng rng(7);
+  const std::vector<double> costs{5.0, 5.0, 5.0, 5.0};
+  const auto selected = select_remainder_stochastic(costs, rng);
+  ASSERT_EQ(selected.size(), 4u);
+  std::vector<int> count(4, 0);
+  for (const std::size_t i : selected) ++count[i];
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(Selection, DeterministicIntegerPartsAreGuaranteed) {
+  Rng rng(21);
+  // Individual 0: f=90, others f=30,30,0 => e_0 = 4*90/150 = 2.4 -> at
+  // least 2 copies deterministically.
+  const std::vector<double> costs{10.0, 70.0, 70.0, 100.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto selected = select_remainder_stochastic(costs, rng);
+    const auto copies = (int)std::count(selected.begin(), selected.end(), 0u);
+    EXPECT_GE(copies, 2) << "trial " << trial;
+  }
+}
+
+TEST(Crossover, SwapsTailsAtGeneBoundary) {
+  Rng rng(3);
+  Genome a{0, 0, 0, 0, 0, 0};
+  Genome b{3, 3, 3, 3, 3, 3};
+  crossover_single_point(a, b, rng);
+  // Find the site: prefix of a stays 0, suffix becomes 3.
+  std::size_t site = 0;
+  while (site < a.size() && a[site] == 0) ++site;
+  EXPECT_GE(site, 1u);
+  EXPECT_LT(site, a.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(a[g], g < site ? 0 : 3);
+    EXPECT_EQ(b[g], g < site ? 3 : 0);
+  }
+}
+
+TEST(Mutation, FlipsSingleBitsAtTheGivenRate) {
+  Rng rng(11);
+  const double pm = 0.05;
+  i64 flips = 0;
+  const i64 genes = 20000;
+  Genome genome((std::size_t)genes, 1);
+  mutate(genome, pm, rng);
+  for (const std::uint8_t g : genome) {
+    if (g != 1) {
+      ++flips;
+      // A single bit flip of 1 gives 0 (bit0) or 3 (bit1).
+      EXPECT_TRUE(g == 0 || g == 3);
+    }
+  }
+  EXPECT_NEAR((double)flips / (double)genes, pm, 0.01);
+}
+
+TEST(GeneticOptimizer, MinimizesSeparableQuadratic) {
+  const Encoding enc({VarDomain{1, 64}, VarDomain{1, 64}});
+  GeneticOptimizer opt(enc, GaOptions{.seed = 5});
+  const GaResult result = opt.run([](std::span<const i64> v) {
+    const double dx = (double)v[0] - 37.0;
+    const double dy = (double)v[1] - 11.0;
+    return dx * dx + dy * dy;
+  });
+  // Near-optimal: within a small ball of the optimum.
+  EXPECT_LE(result.best_cost, 16.0);
+}
+
+TEST(GeneticOptimizer, HandlesMultimodalObjective) {
+  const Encoding enc({VarDomain{1, 256}});
+  GeneticOptimizer opt(enc, GaOptions{.seed = 9});
+  // Deceptive: many local minima, global minimum at 200.
+  const GaResult result = opt.run([](std::span<const i64> v) {
+    const double x = (double)v[0];
+    return 10.0 * std::abs(std::sin(x / 7.0)) + std::abs(x - 200.0) / 10.0;
+  });
+  EXPECT_LE(result.best_cost, 3.0);
+}
+
+TEST(GeneticOptimizer, RespectsPaperGenerationBounds) {
+  const Encoding enc({VarDomain{1, 100}});
+  GeneticOptimizer opt(enc, GaOptions{.seed = 2});
+  const GaResult result = opt.run([](std::span<const i64> v) { return (double)v[0]; });
+  EXPECT_GE(result.generations, 15);
+  EXPECT_LE(result.generations, 25);
+  // History: initial population + one entry per generation.
+  EXPECT_EQ(result.history.size(), (std::size_t)result.generations + 1);
+  // ~450 evaluations for 15 generations of 30 (paper §3.3).
+  EXPECT_GE(result.evaluations, 30 * (result.generations + 1) - 30);
+}
+
+TEST(GeneticOptimizer, ConvergedPopulationStopsAtFifteen) {
+  // Constant objective: population converges immediately; Fig. 7 stops
+  // right after the 15 mandatory generations.
+  const Encoding enc({VarDomain{1, 100}});
+  GeneticOptimizer opt(enc, GaOptions{.seed = 3});
+  const GaResult result = opt.run([](std::span<const i64>) { return 1.0; });
+  EXPECT_EQ(result.generations, 15);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GeneticOptimizer, MemoizesRepeatedIndividuals) {
+  const Encoding enc({VarDomain{1, 8}});  // tiny space: lots of repeats
+  std::atomic<i64> calls{0};
+  GeneticOptimizer opt(enc, GaOptions{.seed = 4});
+  const GaResult result = opt.run([&](std::span<const i64> v) {
+    ++calls;
+    return (double)v[0];
+  });
+  EXPECT_EQ(result.objective_calls, calls.load());
+  EXPECT_LE(calls.load(), 16);  // at most |domain| distinct evaluations... plus slack
+  EXPECT_GT(result.evaluations, calls.load());
+}
+
+TEST(GeneticOptimizer, DeterministicForAGivenSeed) {
+  const Encoding enc({VarDomain{1, 200}, VarDomain{1, 50}});
+  const auto objective = [](std::span<const i64> v) {
+    return std::abs((double)v[0] - 123.0) + std::abs((double)v[1] - 31.0);
+  };
+  const GaResult a = GeneticOptimizer(enc, GaOptions{.seed = 77}).run(objective);
+  const GaResult b = GeneticOptimizer(enc, GaOptions{.seed = 77}).run(objective);
+  EXPECT_EQ(a.best_values, b.best_values);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.generations, b.generations);
+  const GaResult c = GeneticOptimizer(enc, GaOptions{.seed = 78}).run(objective);
+  // Different seed should (almost surely) trace a different history.
+  EXPECT_TRUE(a.history.size() != c.history.size() ||
+              a.history.front().average != c.history.front().average);
+}
+
+TEST(GeneticOptimizer, RejectsBadOptions) {
+  const Encoding enc({VarDomain{1, 4}});
+  EXPECT_THROW(GeneticOptimizer(enc, GaOptions{.population = 1}), contract_error);
+  EXPECT_THROW(GeneticOptimizer(enc, GaOptions{.population = 7}), contract_error);
+  GaOptions bad;
+  bad.min_generations = 10;
+  bad.max_generations = 5;
+  EXPECT_THROW(GeneticOptimizer(enc, bad), contract_error);
+}
+
+}  // namespace
+}  // namespace cmetile::ga

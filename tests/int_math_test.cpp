@@ -1,0 +1,161 @@
+// Unit and property tests for the exact integer arithmetic the CME solver
+// is built on. floor_sum and count_mod_in_range are verified against brute
+// force over randomized instances — they are load-bearing for every
+// emptiness probe.
+
+#include <gtest/gtest.h>
+
+#include "support/int_math.hpp"
+#include "support/rng.hpp"
+
+namespace cmetile {
+namespace {
+
+TEST(FloorDiv, RoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+}
+
+TEST(FloorMod, AlwaysNonNegativeForPositiveModulus) {
+  EXPECT_EQ(floor_mod(7, 3), 1);
+  EXPECT_EQ(floor_mod(-7, 3), 2);
+  EXPECT_EQ(floor_mod(-9, 3), 0);
+  for (i64 a = -20; a <= 20; ++a) {
+    for (i64 m = 1; m <= 7; ++m) {
+      const i64 r = floor_mod(a, m);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, m);
+      EXPECT_EQ(floor_div(a, m) * m + r, a);
+    }
+  }
+}
+
+TEST(CeilDiv, MatchesDefinition) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(6, 2), 3);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(10), 4);   // paper's example: U=10 -> k=4
+  EXPECT_EQ(ceil_log2(100), 7);  // paper's example: U=100 -> 7 (+1 if odd -> 8)
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(CeilLog2, RejectsNonPositive) {
+  EXPECT_THROW(ceil_log2(0), contract_error);
+  EXPECT_THROW(ceil_log2(-3), contract_error);
+}
+
+TEST(ExtGcd, BezoutIdentityHolds) {
+  for (i64 a = -12; a <= 12; ++a) {
+    for (i64 b = -12; b <= 12; ++b) {
+      const ExtGcd e = ext_gcd(a, b);
+      EXPECT_EQ(e.g, std::gcd(a, b));
+      EXPECT_EQ(a * e.x + b * e.y, e.g) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ModInverse, InvertsUnits) {
+  for (const i64 m : {2, 3, 7, 8, 9, 32, 8192}) {
+    for (i64 a = 1; a < std::min<i64>(m, 40); ++a) {
+      if (std::gcd(a, m) != 1) continue;
+      const i64 inv = mod_inverse(a, m);
+      EXPECT_EQ(floor_mod(a * inv, m), 1) << "a=" << a << " m=" << m;
+    }
+  }
+}
+
+TEST(ModInverse, RejectsNonUnits) { EXPECT_THROW(mod_inverse(4, 8), contract_error); }
+
+i64 floor_sum_brute(i64 n, i64 m, i64 a, i64 b) {
+  i64 s = 0;
+  for (i64 i = 0; i < n; ++i) s += floor_div(a * i + b, m);
+  return s;
+}
+
+TEST(FloorSum, SmallKnownCases) {
+  EXPECT_EQ(floor_sum(0, 5, 3, 1), 0);
+  EXPECT_EQ(floor_sum(5, 1, 0, 0), 0);
+  EXPECT_EQ(floor_sum(4, 3, 1, 0), 0 + 0 + 0 + 1);
+}
+
+class FloorSumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FloorSumProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const i64 n = rng.uniform_int(0, 40);
+    const i64 m = rng.uniform_int(1, 50);
+    const i64 a = rng.uniform_int(-200, 200);
+    const i64 b = rng.uniform_int(-200, 200);
+    EXPECT_EQ(floor_sum(n, m, a, b), floor_sum_brute(n, m, a, b))
+        << "n=" << n << " m=" << m << " a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloorSumProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+i64 count_brute(i64 n, i64 m, i64 a, i64 b, i64 lo, i64 hi) {
+  i64 c = 0;
+  for (i64 x = 0; x < n; ++x)
+    if (const i64 r = floor_mod(a * x + b, m); lo <= r && r <= hi) ++c;
+  return c;
+}
+
+class CountModProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CountModProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const i64 m = rng.uniform_int(1, 64);
+    const i64 n = rng.uniform_int(0, 60);
+    const i64 a = rng.uniform_int(-300, 300);
+    const i64 b = rng.uniform_int(-300, 300);
+    i64 lo = rng.uniform_int(0, m - 1);
+    i64 hi = rng.uniform_int(0, m - 1);
+    if (lo > hi) std::swap(lo, hi);
+    EXPECT_EQ(count_mod_in_range(n, m, a, b, lo, hi), count_brute(n, m, a, b, lo, hi))
+        << "n=" << n << " m=" << m << " a=" << a << " b=" << b << " [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountModProperty, ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+TEST(Interval, BasicOperations) {
+  const Interval a{2, 5};
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.length(), 4);
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(a.contains(5));
+  EXPECT_FALSE(a.contains(6));
+  const Interval b{4, 9};
+  EXPECT_EQ(a.intersect(b), (Interval{4, 5}));
+  EXPECT_TRUE(a.intersect(Interval{6, 9}).empty());
+  EXPECT_EQ(Interval{}.length(), 0);
+}
+
+TEST(WrappedInterval, WrapsAroundZero) {
+  const WrappedInterval w{6, 4};  // residues {6,7,0,1} mod 8
+  EXPECT_TRUE(w.contains(6, 8));
+  EXPECT_TRUE(w.contains(7, 8));
+  EXPECT_TRUE(w.contains(0, 8));
+  EXPECT_TRUE(w.contains(1, 8));
+  EXPECT_FALSE(w.contains(2, 8));
+  EXPECT_FALSE(w.contains(5, 8));
+  const WrappedInterval full{3, 8};
+  EXPECT_TRUE(full.contains(0, 8));
+}
+
+}  // namespace
+}  // namespace cmetile

@@ -1,0 +1,101 @@
+// The lexicographic interval decomposition must cover exactly the points
+// strictly between q and p in tiled execution order — including truncated
+// boundary tiles (the paper's multiple convex regions). Verified against a
+// brute-force walk of the tiled order on randomized spaces.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cme/interval_split.hpp"
+#include "support/rng.hpp"
+
+namespace cmetile::cme {
+namespace {
+
+using transform::TiledSpace;
+using transform::TileVector;
+
+/// All points of the space in tiled order, as tiled-coordinate vectors.
+std::vector<std::vector<i64>> all_points_tiled(const TiledSpace& space) {
+  std::vector<std::vector<i64>> points;
+  space.for_each_point_tiled([&](std::span<const i64> z) {
+    points.push_back(space.to_tiled(z));
+  });
+  return points;
+}
+
+bool box_contains(const TiledBox& box, std::span<const i64> x) {
+  for (std::size_t d = 0; d < x.size(); ++d)
+    if (!box.ranges[d].contains(x[d])) return false;
+  return true;
+}
+
+class IntervalSplitProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSplitProperty, CoversExactlyTheOpenInterval) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t k = (std::size_t)rng.uniform_int(1, 3);
+    std::vector<i64> trips(k), tiles(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      trips[d] = rng.uniform_int(1, 7);
+      tiles[d] = rng.uniform_int(1, trips[d]);
+    }
+    const TiledSpace space(trips, TileVector{tiles});
+    const auto points = all_points_tiled(space);
+    ASSERT_GE(points.size(), 1u);
+
+    // Pick two ordered positions in the execution order.
+    const i64 qi = rng.uniform_int(0, (i64)points.size() - 1);
+    const i64 pi = rng.uniform_int(0, (i64)points.size() - 1);
+    if (qi == pi) continue;
+    const auto& q = points[(std::size_t)std::min(qi, pi)];
+    const auto& p = points[(std::size_t)std::max(qi, pi)];
+
+    const std::vector<TiledBox> boxes = lex_interval_boxes(space, q, p);
+
+    // Each in-space point must be covered iff strictly between q and p,
+    // and by exactly one box (disjointness).
+    for (const auto& x : points) {
+      int covering = 0;
+      for (const TiledBox& box : boxes)
+        if (box_contains(box, x)) ++covering;
+      const bool strictly_between = space.compare(q, x) < 0 && space.compare(x, p) < 0;
+      EXPECT_EQ(covering, strictly_between ? 1 : 0)
+          << "k=" << k << " trial=" << trial;
+    }
+
+    // Total points in boxes == number of strictly-between points (boxes
+    // must not cover anything outside the iteration space either).
+    i64 covered = 0;
+    for (const TiledBox& box : boxes) covered += box.points();
+    i64 between = 0;
+    for (const auto& x : points)
+      if (space.compare(q, x) < 0 && space.compare(x, p) < 0) ++between;
+    EXPECT_EQ(covered, between);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSplitProperty,
+                         ::testing::Values(301u, 302u, 303u, 304u, 305u, 306u, 307u, 308u));
+
+TEST(IntervalSplit, AdjacentPointsHaveEmptyInterval) {
+  const TiledSpace space({4}, TileVector{{2}});
+  const auto q = space.to_tiled(std::vector<i64>{1});
+  const auto p = space.to_tiled(std::vector<i64>{2});  // next point in order
+  const auto boxes = lex_interval_boxes(space, q, p);
+  i64 covered = 0;
+  for (const TiledBox& box : boxes) covered += box.points();
+  EXPECT_EQ(covered, 0);
+}
+
+TEST(IntervalSplit, RequiresOrderedEndpoints) {
+  const TiledSpace space({4}, TileVector{{2}});
+  const auto q = space.to_tiled(std::vector<i64>{1});
+  EXPECT_THROW(lex_interval_boxes(space, q, q), contract_error);
+}
+
+}  // namespace
+}  // namespace cmetile::cme

@@ -1,0 +1,185 @@
+// IR substrate tests: affine expressions, the builder DSL, nest
+// validation, column-major layout/padding arithmetic and trace generation.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/layout.hpp"
+#include "ir/trace.hpp"
+
+namespace cmetile::ir {
+namespace {
+
+TEST(LinExpr, ArithmeticAndEval) {
+  const LinExpr e = LinExpr::var(3, 0) * 2 + LinExpr::var(3, 2) - 5;
+  EXPECT_EQ(e.coeff(0), 2);
+  EXPECT_EQ(e.coeff(1), 0);
+  EXPECT_EQ(e.coeff(2), 1);
+  EXPECT_EQ(e.constant_term(), -5);
+  EXPECT_EQ(e.eval(std::vector<i64>{10, 99, 3}), 18);
+  EXPECT_FALSE(e.is_constant());
+  EXPECT_TRUE(LinExpr::constant(3, 7).is_constant());
+}
+
+TEST(LinExpr, Rendering) {
+  const std::vector<std::string> names{"i", "j"};
+  EXPECT_EQ((LinExpr::var(2, 0) + 1).to_string(names), "i + 1");
+  EXPECT_EQ((LinExpr::var(2, 1) * -1).to_string(names), "-j");
+  EXPECT_EQ(LinExpr::constant(2, 0).to_string(names), "0");
+  EXPECT_EQ((LinExpr::var(2, 0) * 3 - 2).to_string(names), "3*i - 2");
+}
+
+TEST(Builder, BuildsAValidNest) {
+  NestBuilder b("demo");
+  auto i = b.loop("i", 1, 4);
+  auto j = b.loop("j", 2, 5);
+  auto a = b.array("a", {8, 8});
+  auto c = b.array("c", {8});
+  b.statement().read(c, {j}).read(a, {i, j}).write(a, {i, j});
+  const LoopNest nest = b.build();
+  EXPECT_EQ(nest.depth(), 2u);
+  EXPECT_EQ(nest.iteration_count(), 16);
+  EXPECT_EQ(nest.access_count(), 48);
+  EXPECT_EQ(nest.trip_counts(), (std::vector<i64>{4, 4}));
+  EXPECT_TRUE(nest.contains(std::vector<i64>{1, 2}));
+  EXPECT_FALSE(nest.contains(std::vector<i64>{1, 6}));
+  EXPECT_EQ(nest.refs[0].body_position, 0u);
+  EXPECT_EQ(nest.refs[2].kind, AccessKind::Write);
+}
+
+TEST(Builder, WidensEarlyExpressions) {
+  NestBuilder b("widen");
+  auto i = b.loop("i", 1, 3);
+  const LinExpr early = i + 1;  // depth 1 at construction time
+  auto j = b.loop("j", 1, 3);
+  auto a = b.array("a", {4, 4});
+  b.statement().write(a, {early, j});
+  const LoopNest nest = b.build();
+  EXPECT_EQ(nest.refs[0].subscripts[0].depth(), 2u);
+  EXPECT_EQ(nest.refs[0].subscripts[0].coeff(0), 1);
+}
+
+TEST(Validation, CatchesMalformedNests) {
+  LoopNest nest;
+  EXPECT_THROW(nest.validate(), contract_error);  // no loops
+  nest.loops.push_back(Loop{"i", 1, 4});
+  EXPECT_THROW(nest.validate(), contract_error);  // no refs
+  nest.arrays.push_back(ArrayDecl{"a", {4}, {1}, 8});
+  Reference ref;
+  ref.array = 0;
+  ref.subscripts = {LinExpr::var(1, 0)};
+  nest.refs.push_back(ref);
+  EXPECT_NO_THROW(nest.validate());
+  nest.refs[0].subscripts.push_back(LinExpr::var(1, 0));  // arity mismatch
+  EXPECT_THROW(nest.validate(), contract_error);
+}
+
+TEST(Layout, ColumnMajorStridesAndBases) {
+  NestBuilder b("layout");
+  auto i = b.loop("i", 1, 4);
+  auto a = b.array("a", {10, 20});        // 10*20*8 = 1600B
+  auto c = b.array("c", {5}, 4);          // element size 4 -> 20B
+  b.statement().read(a, {i, i}).write(c, {i});
+  const LoopNest nest = b.build();
+  const MemoryLayout layout(nest);
+
+  EXPECT_EQ(layout.placement(0).base, 0);
+  EXPECT_EQ(layout.placement(0).strides, (std::vector<i64>{8, 80}));
+  EXPECT_EQ(layout.placement(0).footprint, 1600);
+  // c is aligned to 128 after a's 1600 bytes.
+  EXPECT_EQ(layout.placement(1).base, 1664);
+  EXPECT_EQ(layout.total_footprint(), 1664 + 20);
+}
+
+TEST(Layout, PaddingChangesStridesAndBases) {
+  NestBuilder b("padded");
+  auto i = b.loop("i", 1, 4);
+  auto a = b.array("a", {10, 10});
+  auto c = b.array("c", {10});
+  b.statement().read(a, {i, i}).write(c, {i});
+  const LoopNest nest = b.build();
+
+  LayoutOptions options;
+  options.alignment = 128;
+  options.padding.resize(2);
+  options.padding[0].dim_pad = {3, 0};     // leading dim 10 -> 13
+  options.padding[1].pre_gap_lines = 2;    // 2*128B gap before c
+  const MemoryLayout layout(nest, options);
+
+  EXPECT_EQ(layout.placement(0).strides, (std::vector<i64>{8, 104}));
+  EXPECT_EQ(layout.placement(0).footprint, 1040);
+  // a ends at 1040; +2*128 gap -> 1296, aligned up -> 1280? (1296 -> 1280
+  // is down; ceil to 128 gives 1280+128=1408? compute: ceil(1296/128)*128).
+  EXPECT_EQ(layout.placement(1).base, ceil_div(1040 + 256, 128) * 128);
+}
+
+TEST(Layout, AddressExprMatchesAddressAt) {
+  NestBuilder b("addr");
+  auto i = b.loop("i", 1, 3);
+  auto j = b.loop("j", 1, 5);
+  auto a = b.array("a", {6, 7});
+  b.statement().write(a, {j + 1, i});
+  const LoopNest nest = b.build();
+  const MemoryLayout layout(nest);
+  const LinExpr addr = layout.address_expr(nest, nest.refs[0]);
+  for (i64 iv = 1; iv <= 3; ++iv) {
+    for (i64 jv = 1; jv <= 5; ++jv) {
+      const std::vector<i64> point{iv, jv};
+      EXPECT_EQ(addr.eval(point), layout.address_at(nest, nest.refs[0], point));
+    }
+  }
+  // Spot check: a(j+1, i) at (i=2, j=3): offset (4-1)*8 + (2-1)*48 = 72.
+  EXPECT_EQ(layout.address_at(nest, nest.refs[0], std::vector<i64>{2, 3}), 72);
+}
+
+TEST(Trace, VisitsPointsInLexicographicOrder) {
+  NestBuilder b("trace");
+  auto i = b.loop("i", 1, 2);
+  auto j = b.loop("j", 3, 5);
+  auto a = b.array("a", {4, 8});
+  b.statement().write(a, {i, j});
+  const LoopNest nest = b.build();
+
+  std::vector<std::vector<i64>> points;
+  for_each_point(nest, [&](std::span<const i64> p) { points.emplace_back(p.begin(), p.end()); });
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0], (std::vector<i64>{1, 3}));
+  EXPECT_EQ(points[1], (std::vector<i64>{1, 4}));
+  EXPECT_EQ(points[5], (std::vector<i64>{2, 5}));
+}
+
+TEST(Trace, EmitsAccessesInBodyOrder) {
+  NestBuilder b("order");
+  auto i = b.loop("i", 1, 2);
+  auto a = b.array("a", {2});
+  auto c = b.array("c", {2});
+  b.statement().read(c, {i}).write(a, {i});
+  const LoopNest nest = b.build();
+  const MemoryLayout layout(nest);
+  std::vector<std::size_t> refs;
+  std::vector<bool> writes;
+  for_each_access(nest, layout, [&](std::size_t r, i64, bool w) {
+    refs.push_back(r);
+    writes.push_back(w);
+  });
+  EXPECT_EQ(refs, (std::vector<std::size_t>{0, 1, 0, 1}));
+  EXPECT_EQ(writes, (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(NestToString, RendersFortranishCode) {
+  const LoopNest nest = [] {
+    NestBuilder b("render");
+    auto i = b.loop("i", 1, 8);
+    auto j = b.loop("j", 1, 8);
+    auto a = b.array("a", {8, 8});
+    auto c = b.array("c", {8, 8});
+    b.statement().read(c, {i, j}).write(a, {j, i});
+    return b.build();
+  }();
+  const std::string code = nest.to_string();
+  EXPECT_NE(code.find("do i = 1, 8"), std::string::npos);
+  EXPECT_NE(code.find("a(j,i) = f(c(i,j))"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmetile::ir

@@ -1,0 +1,137 @@
+// Tiling-legality tests: full permutability, risky-dependence extraction,
+// and the per-tile-vector test — including the accumulation patterns
+// (MATMUL-style 1D reductions, ADD's k/l accumulation) where only some
+// tile vectors preserve semantics.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "transform/legality.hpp"
+
+namespace cmetile::transform {
+namespace {
+
+ir::LoopNest swept_reduction(i64 n) {
+  // y(i) += a(i,j) under a sweep loop r: loops (r, j, i). The write at
+  // (r, j, i) reaches reads at (r+1, j', i) for smaller j' — distances
+  // (1, j'-j, 0) with negative middle components: tiling j while keeping
+  // r-tiles larger than one sweep reorders the accumulation.
+  ir::NestBuilder b("swept_reduction");
+  auto r = b.loop("r", 1, 4);
+  auto j = b.loop("j", 1, n);
+  auto i = b.loop("i", 1, n);
+  auto y = b.array("y", {n});
+  auto a = b.array("a", {n, n});
+  (void)r;
+  b.statement().read(y, {i}).read(a, {i, j}).write(y, {i});
+  return b.build();
+}
+
+TEST(Legality, FullyPermutableKernelsPass) {
+  for (const char* name : {"MM", "T2D", "JACOBI3D", "ADI", "MATMUL"}) {
+    const auto spec = kernels::find_kernel(name);
+    const ir::LoopNest nest =
+        kernels::build_kernel(name, spec->sized ? std::min<i64>(spec->default_size, 64) : 0);
+    const LegalityReport report = check_tiling_legality(nest);
+    EXPECT_EQ(report.verdict, Legality::Legal) << name << ": " << report.detail;
+    EXPECT_TRUE(risky_dependence_vectors(nest).empty()) << name;
+  }
+}
+
+TEST(Legality, PerIndexReductionIsFullyPermutable) {
+  // y(i) += a(i,j) over loops (j, i) only: every dependence distance is
+  // (dj, 0) with dj > 0 — tiling cannot reorder the accumulation of a
+  // fixed y(i), so this nest is legal for any tile vector.
+  ir::NestBuilder b("reduction2d");
+  auto j = b.loop("j", 1, 16);
+  auto i = b.loop("i", 1, 16);
+  auto y = b.array("y", {16});
+  auto a = b.array("a", {16, 16});
+  b.statement().read(y, {i}).read(a, {i, j}).write(y, {i});
+  const ir::LoopNest nest = b.build();
+  EXPECT_EQ(check_tiling_legality(nest).verdict, Legality::Legal);
+  EXPECT_TRUE(risky_dependence_vectors(nest).empty());
+}
+
+TEST(Legality, SweptReductionIsNotFullyPermutable) {
+  const ir::LoopNest nest = swept_reduction(16);
+  const LegalityReport report = check_tiling_legality(nest);
+  EXPECT_EQ(report.verdict, Legality::Illegal);
+  EXPECT_NE(report.detail.find("negative component"), std::string::npos);
+  EXPECT_FALSE(risky_dependence_vectors(nest).empty());
+}
+
+TEST(Legality, SweptReductionTileVectorsAreConstrained) {
+  const ir::LoopNest nest = swept_reduction(16);
+  const auto risky = risky_dependence_vectors(nest);
+  const std::vector<i64> trips{4, 16, 16};
+  // Tiling i only never reorders (r, j) for a fixed i. Legal.
+  EXPECT_TRUE(tile_vector_legal(risky, trips, std::vector<i64>{4, 16, 4}));
+  // Tiling j with multi-sweep r tiles breaks the accumulation order.
+  EXPECT_FALSE(tile_vector_legal(risky, trips, std::vector<i64>{4, 4, 16}));
+  EXPECT_FALSE(tile_vector_legal(risky, trips, std::vector<i64>{4, 4, 4}));
+  // T_r = 1 serializes sweeps: within one sweep j order is preserved.
+  EXPECT_TRUE(tile_vector_legal(risky, trips, std::vector<i64>{1, 4, 4}));
+  // Untiled is always legal.
+  EXPECT_TRUE(tile_vector_legal(risky, trips, trips));
+}
+
+TEST(Legality, AddKernelConstraints) {
+  // ADD accumulates over l and k into a(i,j): tiling i/j freely is fine as
+  // long as the (l,k) iteration order per (i,j) is preserved.
+  const ir::LoopNest nest = kernels::build_kernel("ADD", 0);
+  const auto risky = risky_dependence_vectors(nest);
+  EXPECT_FALSE(risky.empty());
+  const auto trips = nest.trip_counts();  // (4, 4, 512, 512)
+  EXPECT_TRUE(tile_vector_legal(risky, trips, std::vector<i64>{4, 4, 32, 32}));
+  EXPECT_TRUE(tile_vector_legal(risky, trips, std::vector<i64>{4, 4, 512, 16}));
+  // Tiling k with full-size l tiles breaks the accumulation order.
+  EXPECT_FALSE(tile_vector_legal(risky, trips, std::vector<i64>{4, 2, 32, 32}));
+  // ... unless l is fully serialized by T_l = 1.
+  EXPECT_TRUE(tile_vector_legal(risky, trips, std::vector<i64>{1, 2, 32, 32}));
+}
+
+TEST(Legality, StencilWithForwardDependencesOnly) {
+  // x(i,j) = x(i-1,j) + x(i,j-1): distances (1,0) and (0,1) — legal.
+  ir::NestBuilder b("fw");
+  auto i = b.loop("i", 2, 16);
+  auto j = b.loop("j", 2, 16);
+  auto x = b.array("x", {17, 17});
+  b.statement().read(x, {i - 1, j}).read(x, {i, j - 1}).write(x, {i, j});
+  const ir::LoopNest nest = b.build();
+  EXPECT_EQ(check_tiling_legality(nest).verdict, Legality::Legal);
+}
+
+TEST(Legality, AntiDiagonalDependenceIsIllegal) {
+  // x(i,j) = x(i-1,j+1): distance (1,-1) — lexicographically positive with
+  // a negative component: not fully permutable.
+  ir::NestBuilder b("anti");
+  auto i = b.loop("i", 2, 16);
+  auto j = b.loop("j", 1, 15);
+  auto x = b.array("x", {17, 17});
+  b.statement().read(x, {i - 1, j + 1}).write(x, {i, j});
+  const ir::LoopNest nest = b.build();
+  EXPECT_EQ(check_tiling_legality(nest).verdict, Legality::Illegal);
+  const auto risky = risky_dependence_vectors(nest);
+  ASSERT_FALSE(risky.empty());
+  const std::vector<i64> trips{15, 15};
+  EXPECT_FALSE(tile_vector_legal(risky, trips, std::vector<i64>{4, 4}));
+  // Not tiling j (T_j = U_j) leaves only i-tiling: the source is one i
+  // earlier, crossing i-tiles forward: still ordered. Legal.
+  EXPECT_TRUE(tile_vector_legal(risky, trips, std::vector<i64>{4, 15}));
+}
+
+TEST(Legality, ReadOnlyNestsHaveNoDependences) {
+  ir::NestBuilder b("ro");
+  auto i = b.loop("i", 1, 8);
+  auto x = b.array("x", {8});
+  auto y = b.array("y", {8});
+  b.statement().read(x, {i}).write(y, {i});
+  const ir::LoopNest nest = b.build();
+  EXPECT_EQ(check_tiling_legality(nest).verdict, Legality::Legal);
+  EXPECT_TRUE(risky_dependence_vectors(nest).empty());
+}
+
+}  // namespace
+}  // namespace cmetile::transform

@@ -1,0 +1,97 @@
+// Statistics substrate tests: the normal quantile, the binomial sample-
+// size rule behind the paper's 164 points, proportion CIs and streaming
+// moments.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace cmetile {
+namespace {
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.90), 1.2815515655, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.95), 1.6448536270, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.975), 1.9599639845, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.10), -normal_quantile(0.90), 1e-9);
+  EXPECT_NEAR(normal_quantile(0.001), -3.0902323062, 1e-5);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), contract_error);
+  EXPECT_THROW(normal_quantile(1.0), contract_error);
+}
+
+TEST(RequiredSampleSize, ReproducesThePaperConvention) {
+  // Paper §2.3: width 0.1 at "90% confidence" -> 164 points. With the
+  // z = Phi^{-1}(0.90) quantile the formula gives 165 (the paper rounded
+  // z to 1.28); both are within one point.
+  EXPECT_NEAR((double)required_sample_size(0.1, 0.90), 164.0, 1.0);
+  // Tighter intervals need more points, quadratically.
+  EXPECT_NEAR((double)required_sample_size(0.05, 0.90) /
+                  (double)required_sample_size(0.1, 0.90),
+              4.0, 0.1);
+  // Higher confidence needs more points.
+  EXPECT_GT(required_sample_size(0.1, 0.95), required_sample_size(0.1, 0.90));
+}
+
+TEST(EstimateProportion, CenterAndWidth) {
+  const ProportionEstimate e = estimate_proportion(30, 100, 0.90);
+  EXPECT_DOUBLE_EQ(e.ratio, 0.3);
+  EXPECT_NEAR(e.half_width, 1.2815515655 * std::sqrt(0.3 * 0.7 / 100.0), 1e-9);
+  EXPECT_GE(e.lower(), 0.0);
+  EXPECT_LE(e.upper(), 1.0);
+  // Degenerate proportions have zero width under the normal approximation.
+  EXPECT_DOUBLE_EQ(estimate_proportion(0, 50, 0.90).half_width, 0.0);
+  EXPECT_DOUBLE_EQ(estimate_proportion(50, 50, 0.90).half_width, 0.0);
+}
+
+TEST(EstimateProportion, RejectsBadInput) {
+  EXPECT_THROW(estimate_proportion(1, 0, 0.9), contract_error);
+  EXPECT_THROW(estimate_proportion(5, 4, 0.9), contract_error);
+  EXPECT_THROW(estimate_proportion(-1, 4, 0.9), contract_error);
+}
+
+TEST(RunningStats, WelfordMatchesDirectComputation) {
+  RunningStats s;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(TextTable, RendersAndEscapes) {
+  TextTable t({"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_row({"with,comma", "q\"q"});
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"q\""), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_THROW(t.add_row({"only-one"}), contract_error);
+}
+
+TEST(Format, PercentAndFixed) {
+  EXPECT_EQ(format_pct(0.364), "36.4%");
+  EXPECT_EQ(format_pct(0.0), "0.0%");
+  EXPECT_EQ(format_pct(0.00909, 2), "0.91%");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace cmetile

@@ -1,0 +1,174 @@
+// End-to-end optimizer tests: the CME+GA tiling pipeline must reduce
+// *simulator-measured* replacement misses (not just its own estimate), the
+// padding pipeline must fix constructed conflict kernels, the sequential
+// and joint pipelines must agree on the easy cases, and objectives must
+// enforce legality.
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+#include "core/experiment.hpp"
+#include "core/tiler.hpp"
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cmetile::core {
+namespace {
+
+OptimizerOptions fast_options(std::uint64_t seed) {
+  OptimizerOptions options;
+  options.ga.seed = seed;
+  options.ga.min_generations = 8;
+  options.ga.max_generations = 12;
+  return options;
+}
+
+TEST(OptimizeTiling, ImprovesSimulatedMissesOnMM) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 48);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(2048);
+
+  OptimizerOptions options;  // full paper GA budget
+  options.ga.seed = 3;
+  const TilingResult result = optimize_tiling(nest, layout, cache, options);
+
+  const auto before = cache::simulate_nest(nest, layout, cache);
+  const auto after = transform::simulate_tiled(nest, layout, cache, result.tiles);
+  EXPECT_LT(after.back().replacement_ratio(), 0.4 * before.back().replacement_ratio())
+      << "tiles " << result.tiles.to_string();
+  EXPECT_LT(after.back().replacement_ratio(), 0.15) << "tiles " << result.tiles.to_string();
+  // The CME estimate should agree with the simulator on the outcome.
+  EXPECT_NEAR(result.after.replacement_ratio, after.back().replacement_ratio(), 0.08);
+  EXPECT_NEAR(result.before.replacement_ratio, before.back().replacement_ratio(), 0.08);
+}
+
+TEST(OptimizeTiling, EstimatesComeFromTheSameSample) {
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 64);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024);
+  const TilingResult result = optimize_tiling(nest, layout, cache, fast_options(4));
+  EXPECT_GT(result.before.replacement_ratio, result.after.replacement_ratio);
+  EXPECT_EQ(result.before.sampled_points, result.after.sampled_points);
+}
+
+TEST(OptimizeTiling, RefusesNonUniformNests) {
+  // x(2i) vs x(i): non-uniform pair -> legality Unknown -> refuse.
+  ir::NestBuilder b("nonuniform");
+  auto i = b.loop("i", 1, 8);
+  auto x = b.array("x", {20});
+  b.statement().read(x, {i * 2}).write(x, {i});
+  const ir::LoopNest nest = b.build();
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  EXPECT_THROW(optimize_tiling(nest, layout, cache), contract_error);
+  OptimizerOptions unchecked = fast_options(5);
+  unchecked.check_legality = false;
+  EXPECT_THROW(optimize_tiling(nest, layout, cache, unchecked), contract_error)
+      << "objective still derives risky vectors and must throw";
+}
+
+TEST(TilingObjective, PenalizesIllegalTileVectors) {
+  // A swept reduction: tiling j with multi-sweep r-tiles is illegal.
+  ir::NestBuilder b("red");
+  auto r = b.loop("r", 1, 4);
+  auto j = b.loop("j", 1, 12);
+  auto i = b.loop("i", 1, 12);
+  auto y = b.array("y", {12});
+  auto a = b.array("a", {12, 12});
+  (void)r;
+  b.statement().read(y, {i}).read(a, {i, j}).write(y, {i});
+  const ir::LoopNest nest = b.build();
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const TilingObjective objective(nest, layout, cache);
+
+  EXPECT_FALSE(objective.is_legal(transform::TileVector{{4, 4, 4}}));
+  EXPECT_TRUE(objective.is_legal(transform::TileVector{{4, 12, 4}}));
+  EXPECT_TRUE(objective.is_legal(transform::TileVector{{1, 4, 4}}));
+  const double illegal_cost = objective(std::vector<i64>{4, 4, 4});
+  const double legal_cost = objective(std::vector<i64>{4, 12, 4});
+  EXPECT_GT(illegal_cost, (double)nest.access_count());
+  EXPECT_LE(legal_cost, (double)nest.access_count());
+
+  // The GA must end on a legal tile vector.
+  const TilingResult result = optimize_tiling(nest, layout, cache, fast_options(6));
+  EXPECT_TRUE(objective.is_legal(result.tiles));
+}
+
+ir::LoopNest aliased_kernel() {
+  // Two 8KB-aliased arrays ping-ponging in a 512B cache: padding fixes it.
+  ir::NestBuilder b("aliased");
+  auto i = b.loop("i", 1, 16);
+  auto j = b.loop("j", 1, 64);
+  auto x = b.array("x", {64, 16});
+  auto y = b.array("y", {64, 16});
+  b.statement().read(x, {j, i}).read(y, {j, i}).write(x, {j, i});
+  return b.build();
+}
+
+TEST(OptimizePadding, FixesBaseAliasedConflicts) {
+  const ir::LoopNest nest = aliased_kernel();
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const PaddingResult result = optimize_padding(nest, cache, fast_options(7));
+  EXPECT_GT(result.before.replacement_ratio, 0.4);
+  EXPECT_LT(result.after.replacement_ratio, 0.05);
+
+  // Verify against the simulator with the chosen pads.
+  const ir::MemoryLayout layout = transform::padded_layout(nest, result.pads);
+  const auto sim = cache::simulate_nest(nest, layout, cache);
+  EXPECT_LT(sim.back().replacement_ratio(), 0.1);
+}
+
+TEST(OptimizePaddingThenTiling, ProducesTheTable3Shape) {
+  const ir::LoopNest nest = kernels::build_kernel("VPENTA2", 0);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const PadTileResult result = optimize_padding_then_tiling(nest, cache, fast_options(8));
+  EXPECT_GT(result.original.replacement_ratio, 0.3);
+  EXPECT_LT(result.padded.replacement_ratio, result.original.replacement_ratio);
+  EXPECT_LT(result.padded_tiled.replacement_ratio, 0.05);
+}
+
+TEST(OptimizeJointly, MatchesOrBeatsSequentialOnConflictKernel) {
+  const ir::LoopNest nest = aliased_kernel();
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const PadTileResult sequential = optimize_padding_then_tiling(nest, cache, fast_options(9));
+  const JointResult joint = optimize_jointly(nest, cache, fast_options(9));
+  EXPECT_LE(joint.optimized.replacement_ratio,
+            sequential.padded_tiled.replacement_ratio + 0.05);
+  EXPECT_LT(joint.optimized.replacement_ratio, 0.1);
+  EXPECT_GT(joint.original.replacement_ratio, 0.4);
+}
+
+TEST(JointObjective, DomainsAndUnpack) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 10);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const JointObjective objective(nest, cache, 4, 8);
+  const auto domains = objective.domains();
+  ASSERT_EQ(domains.size(), 3u + 3u + 3u);  // 3 loops + 3 arrays * 2
+  EXPECT_EQ(domains[0].hi, 10);
+  EXPECT_EQ(domains[3].hi, 4);
+  EXPECT_EQ(domains[6].hi, 8);
+  const auto decoded =
+      objective.unpack(std::vector<i64>{5, 10, 2, 1, 0, 3, 4, 0, 2});
+  EXPECT_EQ(decoded.tiles.t, (std::vector<i64>{5, 10, 2}));
+  EXPECT_EQ(decoded.pads.intra, (std::vector<i64>{1, 0, 3}));
+  EXPECT_EQ(decoded.pads.inter, (std::vector<i64>{4, 0, 2}));
+}
+
+TEST(Experiment, TilingRowIsDeterministicPerSeed) {
+  const kernels::FigureEntry entry{"T2D", 40};
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024);
+  ExperimentOptions options;
+  options.seed = 77;
+  options.optimizer.ga.min_generations = 5;
+  options.optimizer.ga.max_generations = 6;
+  const TilingRow a = run_tiling_experiment(entry, cache, options);
+  const TilingRow b = run_tiling_experiment(entry, cache, options);
+  EXPECT_EQ(a.tiles, b.tiles);
+  EXPECT_EQ(a.tiling_repl, b.tiling_repl);
+  EXPECT_EQ(a.label, "T2D_40");
+  EXPECT_LE(a.tiling_repl, a.no_tiling_repl);
+}
+
+}  // namespace
+}  // namespace cmetile::core
