@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
 
   // CRN vs resampling: cost difference between two tilings, repeated.
   {
-    const transform::TileVector good{{64, 8, 8}};
-    const transform::TileVector bad{{64, 64, 64}};
+    const transform::TileVector good = transform::TileVector::clamped({64, 8, 8}, nest);
+    const transform::TileVector bad = transform::TileVector::clamped({64, 64, 64}, nest);
     RunningStats crn_gap, fresh_gap;
     for (int r = 0; r < runs; ++r) {
       const auto pts = cme::sample_points(nest, 164, derive_seed(ctx.seed, 77, (std::uint64_t)r));

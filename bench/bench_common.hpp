@@ -34,11 +34,7 @@ struct BenchContext {
     options.seed = seed;
     const i64 samples = args.get_int("samples", 0);
     if (samples > 0) options.optimizer.objective.estimator.sample_count = samples;
-    if (fast) {
-      options.optimizer.ga.min_generations = 4;
-      options.optimizer.ga.max_generations = 6;
-      options.optimizer.objective.estimator.sample_count = 64;
-    }
+    if (fast) options.optimizer.shrink_for_smoke();
     return options;
   }
 

@@ -19,7 +19,8 @@
 int main(int argc, char** argv) {
   using namespace cmetile;
   const CliArgs args(argc, argv);
-  const i64 n = args.get_int("n", 96);
+  const bool fast = args.get_bool("fast", false);
+  const i64 n = args.get_int("n", fast ? 32 : 96);
 
   // c(i,j) = c(i,j) + a(i,k)*b(j,k) + a(j,k)*b(i,k)   (SYR2K flavour)
   ir::NestBuilder builder("syr2k");
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
   // 3. Tile-size search.
   core::OptimizerOptions options;
   options.ga.seed = (std::uint64_t)args.get_int("seed", 13);
+  if (fast) options.shrink_for_smoke();
   const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
   std::cout << "\nChosen tiles: " << result.tiles.to_string() << " — replacement "
             << format_pct(result.before.replacement_ratio) << " -> "

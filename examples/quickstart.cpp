@@ -7,7 +7,8 @@
 //   4. print the chosen tiles, the tiled loop, and before/after miss
 //      ratios — the paper's headline is a ~7x total-miss reduction for MM.
 //
-// Build & run:  ./examples/quickstart [--n=500] [--cache=8192]
+// Build & run:  ./examples/quickstart [--n=500] [--cache=8192] [--fast]
+// (--fast shrinks N and the GA budget; the CTest smoke label uses it.)
 
 #include <iostream>
 
@@ -16,7 +17,8 @@
 int main(int argc, char** argv) {
   using namespace cmetile;
   const CliArgs args(argc, argv);
-  const i64 n = args.get_int("n", 500);
+  const bool fast = args.get_bool("fast", false);
+  const i64 n = args.get_int("n", fast ? 64 : 500);
   const cache::CacheConfig cache =
       cache::CacheConfig::direct_mapped(args.get_int("cache", 8192), 32);
 
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   // 3. Search tile sizes: GA over [1,N]^3 with the CME objective.
   core::OptimizerOptions options;
   options.ga.seed = (std::uint64_t)args.get_int("seed", 42);
+  if (fast) options.shrink_for_smoke();
   const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
 
   // 4. Report.
@@ -53,7 +56,8 @@ int main(int argc, char** argv) {
   std::cout << "Chosen tiles: " << result.tiles.to_string() << "\n\n";
   std::cout << "Tiled loop (paper Fig. 3 shape):\n"
             << transform::tiled_source(nest, result.tiles) << "\n";
-  std::cout << "Miss ratios (CME estimate, " << cme::kPaperSampleCount << "-point sample):\n";
+  std::cout << "Miss ratios (CME estimate, "
+            << cme::resolved_sample_count(options.objective.estimator) << "-point sample):\n";
   std::cout << "  no tiling: total " << format_pct(result.before.total_ratio)
             << ", replacement " << format_pct(result.before.replacement_ratio) << "\n";
   std::cout << "  tiled:     total " << format_pct(result.after.total_ratio)

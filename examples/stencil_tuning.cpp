@@ -4,7 +4,7 @@
 // generated Cache Miss Equations (paper §2.1/§2.4) for the tiled nest —
 // note the n / n² equation-count scaling with the number of convex regions.
 //
-// Run: ./examples/stencil_tuning [--n=100]
+// Run: ./examples/stencil_tuning [--n=100] [--fast]
 
 #include <iostream>
 
@@ -13,7 +13,8 @@
 int main(int argc, char** argv) {
   using namespace cmetile;
   const CliArgs args(argc, argv);
-  const i64 n = args.get_int("n", 100);
+  const bool fast = args.get_bool("fast", false);
+  const i64 n = args.get_int("n", fast ? 24 : 100);
 
   const ir::LoopNest nest = kernels::build_kernel("JACOBI3D", n);
   const ir::MemoryLayout layout(nest);
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
       const cache::CacheConfig cache{cache_bytes, 32, assoc};
       core::OptimizerOptions options;
       options.ga.seed = derive_seed(2002, (std::uint64_t)cache_bytes, (std::uint64_t)assoc);
+      if (fast) options.shrink_for_smoke();
       const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
       table.add_row({std::to_string(cache_bytes / 1024) + "KB", std::to_string(assoc) + "-way",
                      format_pct(result.before.replacement_ratio),

@@ -6,7 +6,7 @@
 //   * cross-checks the CME estimate against the trace simulator where the
 //     iteration space is small enough to simulate exactly.
 //
-// Run: ./examples/transpose_study [--max-n=500]
+// Run: ./examples/transpose_study [--max-n=500] [--fast]
 
 #include <iostream>
 
@@ -15,7 +15,8 @@
 int main(int argc, char** argv) {
   using namespace cmetile;
   const CliArgs args(argc, argv);
-  const i64 max_n = args.get_int("max-n", 500);
+  const bool fast = args.get_bool("fast", false);
+  const i64 max_n = args.get_int("max-n", fast ? 100 : 500);
 
   TextTable table({"N", "Cache", "Method", "Tiles", "Repl (CME)", "Repl (sim)"});
   for (const i64 n : {i64{100}, i64{256}, i64{500}}) {
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
       evaluate("untiled", transform::TileVector::untiled(nest));
       core::OptimizerOptions options;
       options.ga.seed = 7;
+      if (fast) options.shrink_for_smoke();
       const core::TilingResult ga = core::optimize_tiling(nest, layout, cache, options);
       evaluate("CME+GA", ga.tiles);
       evaluate("LRW (ESS)", baselines::lrw_tiles(nest, layout, cache));

@@ -5,7 +5,8 @@
 // small spaces). Sampled mode implements §2.3: Simple Random Sampling of
 // iteration points, the miss outcome as a Bernoulli variable, and a sample
 // size chosen for a confidence interval of width 0.1 at 90% confidence —
-// the paper's 164 points. Sampling happens in the *original* rectangular
+// the paper's 164 points (conventions in DESIGN.md §7).
+// Sampling happens in the *original* rectangular
 // space, which is the same point multiset for every tile vector; a GA run
 // can therefore reuse one sample set across all evaluated tilings (common
 // random numbers) — see core/objective.

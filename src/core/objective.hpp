@@ -5,8 +5,9 @@
 // once per optimizer run. Sampling in the original rectangular space makes
 // the sample valid for every tiling (same access multiset), which gives
 // common random numbers across individuals: selection compares candidates
-// on the same points instead of through independent sampling noise.
-// Operator() is thread-safe (the GA evaluates populations in parallel).
+// on the same points instead of through independent sampling noise
+// (DESIGN.md §8). Operator() is thread-safe (the GA evaluates populations
+// in parallel).
 
 #include <span>
 #include "cme/estimator.hpp"

@@ -23,6 +23,15 @@ struct OptimizerOptions {
   bool seed_population = true;
   i64 max_intra_pad_elems = 8;      ///< padding search bound (elements)
   i64 max_inter_pad_units = 16;     ///< padding search bound (alignment units)
+
+  /// Shrink the GA and sampling budget for smoke runs (the `--fast` flag
+  /// of examples and benches); one definition so the budget cannot drift.
+  OptimizerOptions& shrink_for_smoke() {
+    ga.min_generations = 4;
+    ga.max_generations = 6;
+    objective.estimator.sample_count = 64;
+    return *this;
+  }
 };
 
 struct TilingResult {

@@ -58,7 +58,10 @@ std::string LinExpr::to_string(std::span<const std::string> names) const {
   for (std::size_t d = 0; d < coeffs_.size(); ++d) {
     const i64 c = coeffs_[d];
     if (c == 0) continue;
-    const std::string name = d < names.size() ? names[d] : "i" + std::to_string(d);
+    // Built in two steps: the one-expression form trips GCC 12's -Wrestrict
+    // false positive (PR 105329) when inlined at -O3.
+    std::string name = d < names.size() ? names[d] : "i";
+    if (d >= names.size()) name += std::to_string(d);
     if (first) {
       if (c == -1)
         out << '-';

@@ -12,7 +12,9 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     arg.remove_prefix(2);
     const std::size_t eq = arg.find('=');
     if (eq == std::string_view::npos) {
-      values_[std::string(arg)] = "1";
+      // insert_or_assign with a std::string: operator[]= of a char literal
+      // trips GCC 12's -Wrestrict false positive (PR 105329) at -O3.
+      values_.insert_or_assign(std::string(arg), std::string("1"));
     } else {
       values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
     }

@@ -18,10 +18,11 @@ double normal_quantile(double p);
 /// of total width `width` at the given confidence, using the conservative
 /// p(1-p) <= 1/4 bound: n = ceil(z^2 / width^2) with z = Phi^{-1}(confidence).
 ///
-/// Note on the paper's convention: §2.3 reports "width 0.1 and 90%
-/// confidence ... only 164 points". 164 = ceil(1.2816^2 * 0.25 / 0.05^2),
-/// i.e. z is the *0.90 quantile* (one-sided; an 80% two-sided interval).
-/// We reproduce that convention so the default sample size is exactly 164.
+/// Note on the paper's convention (DESIGN.md §7): §2.3 reports "width 0.1
+/// and 90% confidence ... only 164 points". 164 = ceil(1.2816^2 * 0.25 /
+/// 0.05^2), i.e. z is the *0.90 quantile* (one-sided; an 80% two-sided
+/// interval). We reproduce that convention so the default sample size is
+/// exactly 164.
 i64 required_sample_size(double width, double confidence);
 
 /// Binomial proportion confidence interval (normal approximation).

@@ -124,7 +124,9 @@ TEST(TssTiles, StayUnderTheCacheBudget) {
   for (std::size_t d = 0; d < tiles.t.size(); ++d) {
     if (tiles.t[d] != 500) (rows == 0 ? rows : cols) = tiles.t[d];
   }
-  if (rows > 0 && cols > 0) EXPECT_LE(rows * cols * 8, 8192 * 3 / 4);
+  if (rows > 0 && cols > 0) {
+    EXPECT_LE(rows * cols * 8, 8192 * 3 / 4);
+  }
 }
 
 }  // namespace

@@ -82,7 +82,9 @@ TEST(CongruenceBox, WorkCapReturnsUnknown) {
   ProbeCounters counters;
   const Emptiness result = probe_nonempty(box, 1, &counters);
   // Either it got lucky on the first leaf or it must give up.
-  if (result == Emptiness::Unknown) EXPECT_GE(counters.unknown_results, 1);
+  if (result == Emptiness::Unknown) {
+    EXPECT_GE(counters.unknown_results, 1);
+  }
 }
 
 CongruenceBox random_box(Rng& rng, bool large_extents) {

@@ -58,7 +58,7 @@ TEST(Encoding, MappingIsMonotonic) {
 
 TEST(Encoding, EncodeDecodeRoundTrip) {
   const Encoding enc({VarDomain{1, 10}, VarDomain{0, 63}, VarDomain{5, 5}});
-  for (const std::vector<i64> values :
+  for (const std::vector<i64>& values :
        {std::vector<i64>{1, 0, 5}, {10, 63, 5}, {7, 31, 5}, {3, 1, 5}}) {
     EXPECT_EQ(enc.decode(enc.encode(values)), values);
   }

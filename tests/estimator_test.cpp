@@ -110,7 +110,7 @@ TEST(Estimator, TilingNeverChangesColdRatio) {
   const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024);
   const MissEstimate untiled = estimate_exact(NestAnalysis(
       nest, layout, cache, transform::TileVector::untiled(nest)));
-  for (const std::vector<i64> t : {std::vector<i64>{4, 4, 4}, {16, 2, 8}, {3, 16, 5}}) {
+  for (const std::vector<i64>& t : {std::vector<i64>{4, 4, 4}, {16, 2, 8}, {3, 16, 5}}) {
     const MissEstimate tiled =
         estimate_exact(NestAnalysis(nest, layout, cache, transform::TileVector{t}));
     EXPECT_NEAR(tiled.cold_ratio, untiled.cold_ratio, 1e-12)

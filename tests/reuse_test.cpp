@@ -43,7 +43,9 @@ TEST(Diagonalize, RandomMatricesSatisfyUAVEqualsS) {
         for (std::size_t x = 0; x < rows; ++x)
           for (std::size_t y = 0; y < cols; ++y) uav += d.u.at(r, x) * a.at(x, y) * d.v.at(y, c);
         EXPECT_EQ(uav, d.s.at(r, c));
-        if (r != c) EXPECT_EQ(d.s.at(r, c), 0);
+        if (r != c) {
+          EXPECT_EQ(d.s.at(r, c), 0);
+        }
       }
     }
   }

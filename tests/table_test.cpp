@@ -1,0 +1,83 @@
+// TextTable / formatting tests: column alignment, CSV escaping, file
+// output, contract enforcement and the percentage/fixed formatters the
+// benches rely on for the paper's rows.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+#include "support/table.hpp"
+
+namespace cmetile {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(TextTable({}), contract_error);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), contract_error);
+  EXPECT_EQ(table.rows(), 0u);
+}
+
+TEST(TextTable, ToStringAlignsColumnsUnderHeader) {
+  TextTable table({"Kernel", "Miss"});
+  table.add_row({"MM_2000", "36.4%"});
+  table.add_row({"T2D", "1.0%"});
+  EXPECT_EQ(table.rows(), 2u);
+
+  const std::string text = table.to_string();
+  std::istringstream lines(text);
+  std::string header, separator, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, separator);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+
+  // Widest cell per column sets the width; every "Miss" value starts at the
+  // same offset as the "Miss" header.
+  const std::size_t miss_col = header.find("Miss");
+  EXPECT_NE(miss_col, std::string::npos);
+  EXPECT_EQ(row1.find("36.4%"), miss_col);
+  EXPECT_EQ(row2.find("1.0%"), miss_col);
+  // Separator dashes cover each column's width.
+  EXPECT_EQ(separator.substr(0, 7), "-------");  // "MM_2000" is 7 wide
+}
+
+TEST(TextTable, CsvQuotesOnlyFieldsThatNeedIt) {
+  TextTable table({"name", "note"});
+  table.add_row({"plain", "with, comma"});
+  table.add_row({"q\"uote", "multi\nline"});
+  EXPECT_EQ(table.to_csv(),
+            "name,note\n"
+            "plain,\"with, comma\"\n"
+            "\"q\"\"uote\",\"multi\nline\"\n");
+}
+
+TEST(TextTable, WriteCsvRoundTripsAndReportsFailure) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+
+  const std::string path = ::testing::TempDir() + "/cmetile_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), table.to_csv());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(table.write_csv("/nonexistent-dir/never/table.csv"));
+}
+
+TEST(Format, PercentAndFixed) {
+  EXPECT_EQ(format_pct(0.364), "36.4%");
+  EXPECT_EQ(format_pct(0.364, 0), "36%");
+  EXPECT_EQ(format_pct(1.0, 2), "100.00%");
+  EXPECT_EQ(format_pct(0.0), "0.0%");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.5, 0), "-2");  // round-half-to-even via iostreams
+}
+
+}  // namespace
+}  // namespace cmetile

@@ -64,7 +64,9 @@ TEST(TiledSpace, TiledOrderIsAPermutation) {
     EXPECT_TRUE(seen.insert(zz).second) << "duplicate point";
     // Order must be strictly increasing in tiled coordinates.
     const std::vector<i64> to = space.to_tiled(zz);
-    if (!prev.empty()) EXPECT_LT(space.compare(prev, to), 0);
+    if (!prev.empty()) {
+      EXPECT_LT(space.compare(prev, to), 0);
+    }
     prev = to;
   });
   EXPECT_EQ(count, 7 * 5 * 3);

@@ -1,0 +1,89 @@
+// Trace generation tests: for_each_point visits the original-order
+// iteration space lexicographically with actual iv values, and
+// for_each_access replays the memory trace — body order within a point,
+// addresses identical to MemoryLayout::address_at, one access per
+// (point, reference) pair.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/trace.hpp"
+
+namespace cmetile::ir {
+namespace {
+
+LoopNest small_nest() {
+  // Non-unit lower bounds so actual iv values differ from 0-based indices.
+  NestBuilder b("trace");
+  auto i = b.loop("i", 1, 3);
+  auto j = b.loop("j", 2, 4);
+  auto a = b.array("a", {4, 4});
+  auto v = b.array("v", {4});
+  b.statement().read(a, {j, i}).read(v, {j}).write(a, {j, i});
+  return b.build();
+}
+
+TEST(ForEachPoint, VisitsLexicographicOrderWithActualValues) {
+  const LoopNest nest = small_nest();
+  std::vector<std::vector<i64>> points;
+  for_each_point(nest, [&](std::span<const i64> p) {
+    points.emplace_back(p.begin(), p.end());
+  });
+
+  ASSERT_EQ((i64)points.size(), nest.iteration_count());
+  EXPECT_EQ(points.front(), (std::vector<i64>{1, 2}));
+  EXPECT_EQ(points[1], (std::vector<i64>{1, 3}));  // innermost varies fastest
+  EXPECT_EQ(points[3], (std::vector<i64>{2, 2}));
+  EXPECT_EQ(points.back(), (std::vector<i64>{3, 4}));
+  for (const auto& p : points) EXPECT_TRUE(nest.contains(p));
+  // Strictly increasing lexicographically => a permutation-free enumeration.
+  for (std::size_t n = 1; n < points.size(); ++n) EXPECT_LT(points[n - 1], points[n]);
+}
+
+TEST(ForEachAccess, ReplaysBodyOrderWithLayoutAddresses) {
+  const LoopNest nest = small_nest();
+  const MemoryLayout layout(nest);
+
+  struct Access {
+    std::size_t ref;
+    i64 address;
+    bool write;
+  };
+  std::vector<Access> trace;
+  for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool is_write) {
+    trace.push_back({ref, address, is_write});
+  });
+
+  ASSERT_EQ((i64)trace.size(), nest.access_count());
+
+  // Within every point the references appear in body order: the two reads,
+  // then the write; addresses match address_at for that point.
+  std::size_t cursor = 0;
+  for_each_point(nest, [&](std::span<const i64> point) {
+    for (std::size_t r = 0; r < nest.refs.size(); ++r, ++cursor) {
+      const Access& access = trace[cursor];
+      EXPECT_EQ(access.ref, r);
+      EXPECT_EQ(access.write, nest.refs[r].kind == AccessKind::Write);
+      EXPECT_EQ(access.address, layout.address_at(nest, nest.refs[r], point));
+    }
+  });
+  EXPECT_EQ(cursor, trace.size());
+}
+
+TEST(ForEachAccess, WriteAliasesTheReadOfTheSameElement) {
+  // a(j,i) is read and written in the same statement: both accesses of a
+  // point must land on the same byte address.
+  const LoopNest nest = small_nest();
+  const MemoryLayout layout(nest);
+  std::vector<i64> a_read_addrs, a_write_addrs;
+  for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool) {
+    if (ref == 0) a_read_addrs.push_back(address);
+    if (ref == 2) a_write_addrs.push_back(address);
+  });
+  EXPECT_EQ(a_read_addrs, a_write_addrs);
+}
+
+}  // namespace
+}  // namespace cmetile::ir
