@@ -18,17 +18,27 @@ int main(int argc, char** argv) {
       : std::vector<kernels::FigureEntry>{
             {"T2D", 100}, {"MM", 100}, {"T3DIKJ", 100}, {"VPENTA2", 0}};
 
+  // One parallel batch per associativity level (the options vary per level,
+  // so each level is its own run_tiling_experiments call).
+  const std::vector<i64> assocs{1, 2, 4};
+  std::vector<std::vector<core::TilingRow>> rows_by_assoc;
+  for (const i64 assoc : assocs) {
+    const cache::CacheConfig cache{8192, 32, assoc};
+    core::ExperimentOptions opts = options;
+    opts.seed = derive_seed(options.seed, (std::uint64_t)assoc);
+    rows_by_assoc.push_back(core::run_tiling_experiments(entries, cache, opts));
+  }
+
   TextTable table({"Kernel", "Assoc", "NoTiling Repl (CME)", "NoTiling Repl (sim)",
                    "Tiling Repl (CME)", "Tiles"});
-  for (const auto& entry : entries) {
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const auto& entry = entries[e];
     const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
     const ir::MemoryLayout layout(nest);
-    for (const i64 assoc : {i64{1}, i64{2}, i64{4}}) {
+    for (std::size_t a = 0; a < assocs.size(); ++a) {
+      const i64 assoc = assocs[a];
       const cache::CacheConfig cache{8192, 32, assoc};
-      core::ExperimentOptions opts = options;
-      opts.seed = derive_seed(options.seed, (std::uint64_t)assoc);
-      const core::TilingRow row = core::run_tiling_experiment(
-          kernels::FigureEntry{entry.name, entry.size}, cache, opts);
+      const core::TilingRow& row = rows_by_assoc[a][e];
 
       std::string sim_ratio = "-";
       if (nest.access_count() <= 8'000'000) {

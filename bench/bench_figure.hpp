@@ -22,8 +22,9 @@ inline int run_figure(int argc, char** argv, const char* name,
 
   TextTable table({"Kernel", "NoTiling Repl", "Tiling Repl", "Tiles", "GA evals", "Seconds"});
   StopWatch total;
-  for (const auto& bar : bars) {
-    const core::TilingRow row = core::run_tiling_experiment(bar, cache, options);
+  // One call, parallel across kernel rows (deterministic per-row seeds).
+  const std::vector<core::TilingRow> rows = core::run_tiling_experiments(bars, cache, options);
+  for (const core::TilingRow& row : rows) {
     table.add_row({row.label, format_pct(row.no_tiling_repl), format_pct(row.tiling_repl),
                    row.tiles.to_string(), std::to_string(row.ga_evaluations),
                    format_fixed(row.seconds, 1)});

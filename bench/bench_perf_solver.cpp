@@ -70,8 +70,54 @@ void BM_ClassifyPoint(benchmark::State& state) {
     r = (r + 1) % nest.refs.size();
     if (r == 0) p = (p + 1) % points.size();
   }
+  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ClassifyPoint)->Arg(8)->Arg(64)->Arg(500);
+BENCHMARK(BM_ClassifyPoint)->Arg(8)->Arg(16)->Arg(64)->Arg(500);
+
+// Batched classification on tiled MM: compare items/s against
+// BM_ClassifyPoint (same nest, tiles, sample). The three variants separate
+// the contributions: scratch reuse + probe cache (single shard — the
+// acceptance baseline), scratch reuse alone (cache off), and full sharding
+// across hardware threads.
+void classify_batch_bench(benchmark::State& state, bool probe_cache, int shards) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 500);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  cme::AnalysisOptions options;
+  options.probe_cache = probe_cache;
+  const cme::NestAnalysis analysis(
+      nest, layout, cache,
+      transform::TileVector{{500, (i64)state.range(0), (i64)state.range(0)}}, options);
+  const auto points = cme::sample_points(nest, 1024, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.classify_batch(points, shards));
+  }
+  state.SetItemsProcessed(state.iterations() * (i64)points.size() * (i64)nest.refs.size());
+}
+
+void BM_ClassifyBatchCached(benchmark::State& state) { classify_batch_bench(state, true, 1); }
+BENCHMARK(BM_ClassifyBatchCached)->Arg(8)->Arg(16)->Arg(64)->Arg(500);
+
+void BM_ClassifyBatchUncached(benchmark::State& state) { classify_batch_bench(state, false, 1); }
+BENCHMARK(BM_ClassifyBatchUncached)->Arg(8)->Arg(16)->Arg(64)->Arg(500);
+
+void BM_ClassifyBatchParallel(benchmark::State& state) { classify_batch_bench(state, true, 0); }
+BENCHMARK(BM_ClassifyBatchParallel)->Arg(64);
+
+void BM_EnumerateSolutions(benchmark::State& state) {
+  // Direct-call enumeration (enumerate_solutions is templated on the
+  // callback; this measures the innermost-loop dispatch cost).
+  const cme::CongruenceBox box = small_box();
+  for (auto _ : state) {
+    i64 sum = 0;
+    cme::enumerate_solutions(box, 1 << 15, [&](i64 value) {
+      sum += value;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EnumerateSolutions);
 
 void BM_SampledEstimate(benchmark::State& state) {
   // One GA objective evaluation: analysis construction + 164-point sample.

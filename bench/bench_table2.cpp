@@ -24,9 +24,11 @@ int main(int argc, char** argv) {
 
   TextTable table({"Kernel", "Prob size", "NoTiling Total", "NoTiling Repl", "Tiling Total",
                    "Tiling Repl", "Tiles", "GA gens", "Seconds"});
-  for (const auto& entry : entries) {
-    const core::TilingRow row = core::run_tiling_experiment(entry, cache,
-                                                            ctx.experiment_options());
+  const std::vector<core::TilingRow> rows =
+      core::run_tiling_experiments(entries, cache, ctx.experiment_options());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const kernels::FigureEntry& entry = entries[i];
+    const core::TilingRow& row = rows[i];
     table.add_row({entry.name, "N=" + std::to_string(entry.size),
                    format_pct(row.no_tiling_total), format_pct(row.no_tiling_repl),
                    format_pct(row.tiling_total), format_pct(row.tiling_repl),

@@ -19,8 +19,12 @@ int main(int argc, char** argv) {
 
   TextTable table({"Cache", "Kernel", "Original", "Padding", "Padding+Tiling", "Pads", "Tiles"});
   for (const cache::CacheConfig& cache : {bench::paper_cache_8k(), bench::paper_cache_32k()}) {
-    for (const auto& entry : kernels::table3_entries(cache.size_bytes)) {
-      const core::PaddingRow row = core::run_padding_experiment(entry, cache, options);
+    const std::vector<kernels::FigureEntry> entries = kernels::table3_entries(cache.size_bytes);
+    const std::vector<core::PaddingRow> rows =
+        core::run_padding_experiments(entries, cache, options);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const kernels::FigureEntry& entry = entries[i];
+      const core::PaddingRow& row = rows[i];
       const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
       table.add_row({cache.to_string(), row.label, format_pct(row.original_repl),
                      format_pct(row.padding_repl), format_pct(row.padding_tiling_repl),

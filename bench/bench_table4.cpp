@@ -25,12 +25,16 @@ int main(int argc, char** argv) {
     bars = std::move(small);
   }
 
+  std::vector<kernels::FigureEntry> included;
+  for (const auto& bar : bars) {
+    if (std::find(excluded.begin(), excluded.end(), bar.name) == excluded.end())
+      included.push_back(bar);
+  }
+
   TextTable table({"Cache sizes", "<1%", "<2%", "<5%", "kernels"});
   for (const cache::CacheConfig& cache : {bench::paper_cache_8k(), bench::paper_cache_32k()}) {
     i64 total = 0, under1 = 0, under2 = 0, under5 = 0;
-    for (const auto& bar : bars) {
-      if (std::find(excluded.begin(), excluded.end(), bar.name) != excluded.end()) continue;
-      const core::TilingRow row = core::run_tiling_experiment(bar, cache, options);
+    for (const core::TilingRow& row : core::run_tiling_experiments(included, cache, options)) {
       ++total;
       if (row.tiling_repl < 0.01) ++under1;
       if (row.tiling_repl < 0.02) ++under2;

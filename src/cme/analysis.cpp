@@ -1,10 +1,26 @@
 #include "cme/analysis.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 
 #include "support/contracts.hpp"
+#include "support/parallel.hpp"
 
 namespace cmetile::cme {
+
+namespace {
+
+/// Same-array accesses with a concrete replacement value in
+/// [0, line_bytes) touch R_A's own line — the only touches of R_A's set
+/// that do not interfere (arrays are line-aligned and disjoint). The one
+/// definition of the own-line rule, shared by the tiny-box enumeration
+/// and same_array_box_interferes.
+inline bool own_line_value(i64 value, i64 line_bytes) {
+  return value >= 0 && value < line_bytes;
+}
+
+}  // namespace
 
 NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
                            cache::CacheConfig cache, transform::TileVector tiles,
@@ -39,6 +55,45 @@ NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
     }
     refs_.push_back(std::move(data));
   }
+
+  // Pre-resolve the reuse generators for the gather loop: one candidate
+  // per (generator, ±) with signs applied and structural duplicates
+  // (same source, same signed vector — they always produce the same q)
+  // removed. q(z) = z − steps is a bijection of the tiled coordinates, so
+  // dropping duplicates here preserves the candidate set at every point.
+  prepared_reuse_.resize(refs_.size());
+  for (std::size_t r = 0; r < refs_.size(); ++r) {
+    std::vector<std::pair<std::size_t, std::vector<i64>>> seen;
+    prepared_reuse_[r].reserve(2 * reuse_.per_ref[r].size());
+    for (const reuse::ReuseCandidate& rc : reuse_.per_ref[r]) {
+      for (const int sign : {+1, -1}) {
+        std::vector<i64> signed_vec(k);
+        for (std::size_t d = 0; d < k; ++d) signed_vec[d] = sign * rc.vector[d];
+        bool duplicate = false;
+        for (const auto& [source, vec] : seen) {
+          if (source == rc.source_ref && vec == signed_vec) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        PreparedReuse prepared;
+        prepared.source = rc.source_ref;
+        const std::vector<i64>& src_coeffs = refs_[rc.source_ref].coeffs0;
+        for (std::size_t d = 0; d < k; ++d) {
+          if (signed_vec[d] != 0)
+            prepared.steps.push_back(ReuseStep{(std::uint32_t)d, signed_vec[d]});
+          prepared.addr_delta += src_coeffs[d] * signed_vec[d];
+        }
+        prepared_reuse_[r].push_back(std::move(prepared));
+        seen.emplace_back(rc.source_ref, std::move(signed_vec));
+      }
+    }
+  }
+
+  line_shift_ = std::countr_zero((std::uint64_t)cache_.line_bytes);
+  sets_ = cache_.sets();
+  set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : -1;
 }
 
 i64 NestAnalysis::address_at(std::size_t ref, std::span<const i64> z) const {
@@ -48,80 +103,295 @@ i64 NestAnalysis::address_at(std::size_t ref, std::span<const i64> z) const {
   return addr;
 }
 
+NestAnalysis::ProbeEntry* NestAnalysis::find_probe_slot(Scratch& scratch, std::uint8_t kind,
+                                                        std::size_t ref, std::uint64_t dim_mask,
+                                                        i64 base, std::span<const i64> extents,
+                                                        bool& hit) const {
+  hit = false;
+  if (scratch.probe_cache.empty()) {
+    std::size_t want = options_.probe_cache_capacity;
+    if (scratch.probe_cache_hint > 0) want = std::min(want, scratch.probe_cache_hint);
+    scratch.probe_cache.assign(std::bit_ceil(std::max<std::size_t>(want, 64)), ProbeEntry{});
+  }
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ ((std::uint64_t)kind << 32) ^ (std::uint64_t)ref;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(dim_mask);
+  mix((std::uint64_t)base);
+  for (const i64 v : extents) mix((std::uint64_t)v);
+  if (h == 0) h = 1;
+
+  const std::size_t mask = scratch.probe_cache.size() - 1;
+  const std::size_t n = extents.size();
+  constexpr std::size_t kWindow = 4;  // linear-probe window; then evict
+  ProbeEntry* empty_slot = nullptr;
+  for (std::size_t w = 0; w < kWindow; ++w) {
+    ProbeEntry& entry = scratch.probe_cache[(h + w) & mask];
+    if (entry.tag == 0) {
+      if (empty_slot == nullptr) empty_slot = &entry;
+      continue;
+    }
+    if (entry.tag == h && entry.kind == kind && entry.ref == (std::uint32_t)ref &&
+        entry.dim_mask == dim_mask && entry.base == base && entry.ndims == (std::uint8_t)n &&
+        std::equal(extents.begin(), extents.end(), entry.extents.begin())) {
+      hit = true;
+      return &entry;
+    }
+  }
+  // Miss: fill an empty window slot, or evict the home slot. The caller
+  // assigns `verdict` after computing it.
+  ProbeEntry& slot = empty_slot != nullptr ? *empty_slot : scratch.probe_cache[h & mask];
+  slot.tag = h;
+  slot.kind = kind;
+  slot.ref = (std::uint32_t)ref;
+  slot.dim_mask = dim_mask;
+  slot.base = base;
+  slot.ndims = (std::uint8_t)n;
+  std::copy(extents.begin(), extents.end(), slot.extents.begin());
+  return &slot;
+}
+
 Outcome NestAnalysis::classify(std::span<const i64> z, std::size_t ref) const {
+  Scratch scratch;  // fresh per call: the un-batched, uncached reference path
+  prepare_point(z, scratch);
+  const Outcome outcome = classify_impl(z, ref, scratch);
+  counters_ += scratch.counters;
+  return outcome;
+}
+
+void NestAnalysis::prepare_point(std::span<const i64> z, Scratch& scratch) const {
+  expects(z.size() == nest_->depth(), "classify: point arity mismatch");
+  space_.to_tiled_into(z, scratch.p_to);
+  const std::size_t n_refs = refs_.size();
+  scratch.pt_addr.resize(n_refs);
+  scratch.pt_line.resize(n_refs);
+  scratch.pt_set.resize(n_refs);
+  for (std::size_t b = 0; b < n_refs; ++b) {
+    const i64 addr = address_at(b, z);
+    // line_bytes is a validated power of two: the arithmetic shift is
+    // exactly floor_div.
+    const i64 line = addr >> line_shift_;
+    scratch.pt_addr[b] = addr;
+    scratch.pt_line[b] = line;
+    scratch.pt_set[b] = set_mask_ >= 0 ? (line & set_mask_) : floor_mod(line, sets_);
+  }
+}
+
+std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i64>> points,
+                                                  int shards) const {
+  const std::size_t n_refs = refs_.size();
+  std::vector<Outcome> out(points.size() * n_refs, Outcome::Hit);
+  if (points.empty() || n_refs == 0) return out;
+
+  // Inside an already-parallel region (the GA evaluating its population)
+  // nested parallel_for is serialized: run a single shard there, so the
+  // whole sample shares one scratch and one probe cache instead of
+  // paying per-shard setup for no concurrency.
+  const std::size_t want = shards > 0 ? (std::size_t)shards
+                           : parallel_active() ? 1
+                                               : (std::size_t)parallel_threads();
+  const std::size_t n_shards = std::min(std::max<std::size_t>(want, 1), points.size());
+  std::vector<ProbeCounters> shard_counters(n_shards);
+
+  // Contiguous shards: every worker touches a disjoint slice of `out` and
+  // its own Scratch, so the parallel region is write-race-free.
+  parallel_for(n_shards, [&](std::size_t s) {
+    Scratch scratch;
+    // dim_mask keys need one bit per tiled dimension; deeper nests (never
+    // seen in practice) bypass the cache rather than alias keys.
+    scratch.use_cache = options_.probe_cache && space_.tiled_dims() <= 64;
+    const std::size_t lo = points.size() * s / n_shards;
+    const std::size_t hi = points.size() * (s + 1) / n_shards;
+    // Size the probe table to the shard's workload: small batches (the
+    // GA's 164-point samples) should not pay a full-capacity table init.
+    scratch.probe_cache_hint = (hi - lo) * n_refs * 4;
+    for (std::size_t p = lo; p < hi; ++p) {
+      prepare_point(points[p], scratch);
+      for (std::size_t r = 0; r < n_refs; ++r) {
+        out[p * n_refs + r] = classify_impl(points[p], r, scratch);
+      }
+    }
+    shard_counters[s] = scratch.counters;
+  });
+  for (const ProbeCounters& c : shard_counters) counters_ += c;
+  return out;
+}
+
+Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref,
+                                    Scratch& scratch) const {
   const std::size_t k = nest_->depth();
-  expects(z.size() == k, "classify: point arity mismatch");
-  const i64 line_bytes = cache_.line_bytes;
-  const i64 addr_a = address_at(ref, z);
-  const i64 line_a = floor_div(addr_a, line_bytes);
-  const std::vector<i64> p_to = space_.to_tiled(z);
+  const i64 line_a = scratch.pt_line[ref];
 
   // --- Step 1: gather valid reuse candidates. ---
-  std::vector<Candidate> candidates;
-  std::vector<i64> q(k);
-  for (const reuse::ReuseCandidate& rc : reuse_.per_ref[ref]) {
-    for (const int sign : {+1, -1}) {
-      bool inside = true;
-      for (std::size_t d = 0; d < k; ++d) {
-        q[d] = z[d] - sign * rc.vector[d];
-        if (q[d] < 0 || q[d] >= trips_[d]) {
-          inside = false;
+  // q = z ∓ r differs from z only on the reuse vector's nonzero dimensions
+  // (PreparedReuse::steps), so bounds checks, tiled coordinates and the
+  // source address are updated incrementally from the prepared point.
+  scratch.n_candidates = 0;
+  for (const PreparedReuse& rc : prepared_reuse_[ref]) {
+    // Bounds and lexicographic position are decided from the stepped
+    // dimensions alone (q_to == p_to elsewhere); q and q_to are only
+    // materialized for candidates that survive all filters. Steps are
+    // in ascending dimension order, so the first differing tile
+    // coordinate — then the first differing offset — decides cmp.
+    bool inside = true;
+    int cmp = 0;
+    for (const ReuseStep& st : rc.steps) {
+      const i64 qd = z[st.dim] - st.delta;
+      if (qd < 0 || qd >= trips_[st.dim]) {
+        inside = false;
+        break;
+      }
+      if (cmp == 0) {
+        const i64 qt = qd / space_.tile(st.dim);
+        const i64 pt = scratch.p_to[st.dim];
+        if (qt != pt) cmp = qt < pt ? -1 : 1;
+      }
+    }
+    if (!inside) continue;
+    if (cmp == 0) {
+      for (const ReuseStep& st : rc.steps) {
+        const i64 qd = z[st.dim] - st.delta;
+        const i64 qo = qd % space_.tile(st.dim);
+        const i64 po = scratch.p_to[k + st.dim];
+        if (qo != po) {
+          cmp = qo < po ? -1 : 1;
           break;
         }
       }
-      if (!inside) continue;
-      std::vector<i64> q_to = space_.to_tiled(q);
-      const int cmp = space_.compare(q_to, p_to);
-      if (cmp > 0) continue;
-      if (cmp == 0 && rc.source_ref >= ref) continue;  // body order at the same point
-      if (floor_div(address_at(rc.source_ref, q), line_bytes) != line_a) continue;
-      // Deduplicate identical (source, q) candidates.
-      bool duplicate = false;
-      for (const Candidate& c : candidates) {
-        if (c.source == rc.source_ref && c.q == q) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (duplicate) continue;
-      candidates.push_back(Candidate{rc.source_ref, q, std::move(q_to)});
+    }
+    if (cmp > 0) continue;
+    if (cmp == 0 && rc.source >= ref) continue;  // body order at the same point
+    // Compulsory-equation line check via the precomputed displacement.
+    const i64 addr_q = scratch.pt_addr[rc.source] - rc.addr_delta;
+    if ((addr_q >> line_shift_) != line_a) continue;
+    // Fill a pooled slot (buffers keep their capacity across points).
+    if (scratch.n_candidates == scratch.candidates.size()) scratch.candidates.emplace_back();
+    Candidate& slot = scratch.candidates[scratch.n_candidates++];
+    slot.source = rc.source;
+    slot.cmp = cmp;
+    slot.q.assign(z.begin(), z.end());
+    slot.q_to.assign(scratch.p_to.begin(), scratch.p_to.end());
+    for (const ReuseStep& st : rc.steps) {
+      const i64 qd = z[st.dim] - st.delta;
+      slot.q[st.dim] = qd;
+      slot.q_to[st.dim] = qd / space_.tile(st.dim);
+      slot.q_to[k + st.dim] = qd % space_.tile(st.dim);
     }
   }
 
-  if (candidates.empty()) return Outcome::ColdMiss;
+  if (scratch.n_candidates == 0) return Outcome::ColdMiss;
 
   // --- Step 2: try candidates closest-in-tiled-order first. ---
-  std::sort(candidates.begin(), candidates.end(), [&](const Candidate& a, const Candidate& b) {
-    const int cmp = space_.compare(a.q_to, b.q_to);
+  // Candidate counts are tiny (reuse generators × 2), so a hand-rolled
+  // insertion sort over the index array beats std::sort's setup cost.
+  scratch.order.resize(scratch.n_candidates);
+  std::iota(scratch.order.begin(), scratch.order.end(), (std::size_t)0);
+  const auto before = [&](std::size_t a, std::size_t b) {
+    const int cmp = space_.compare(scratch.candidates[a].q_to, scratch.candidates[b].q_to);
     if (cmp != 0) return cmp > 0;  // later q first
-    return a.source > b.source;
-  });
+    return scratch.candidates[a].source > scratch.candidates[b].source;
+  };
+  for (std::size_t i = 1; i < scratch.n_candidates; ++i) {
+    const std::size_t key = scratch.order[i];
+    std::size_t j = i;
+    while (j > 0 && before(key, scratch.order[j - 1])) {
+      scratch.order[j] = scratch.order[j - 1];
+      --j;
+    }
+    scratch.order[j] = key;
+  }
 
-  for (const Candidate& cand : candidates) {
-    if (interval_interference_free(cand, z, p_to, ref, line_a)) return Outcome::Hit;
+  for (const std::size_t c : scratch.order) {
+    if (interval_interference_free(scratch.candidates[c], scratch.p_to, ref, line_a, scratch)) {
+      return Outcome::Hit;
+    }
   }
   return Outcome::ReplacementMiss;
 }
 
-bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<const i64> z,
-                                              std::span<const i64> p_to, std::size_t ref,
-                                              i64 line_a) const {
+Emptiness NestAnalysis::cached_probe(const CongruenceBox& box, std::size_t ref,
+                                     std::uint64_t dim_mask, Scratch& scratch) const {
+  const std::size_t n = box.extents.size();
+  if (!scratch.use_cache || n > kMaxCacheDims)
+    return probe_nonempty(box, options_.probe_work_cap, &scratch.counters);
+  // Fold the base: probe verdicts only depend on it modulo the way size,
+  // so boxes from different cache lines collide (the way size is almost
+  // always a validated power of two — then the fold is a mask; two's
+  // complement & gives the mathematical mod).
+  const i64 m = box.modulus;
+  const i64 folded_base = (m & (m - 1)) == 0 ? (box.base & (m - 1)) : floor_mod(box.base, m);
+  bool hit = false;
+  ProbeEntry* slot = find_probe_slot(scratch, kEmptiness, ref, dim_mask, folded_base,
+                                     {box.extents.data(), n}, hit);
+  if (hit) {
+    ++scratch.counters.cache_hits;
+    return (Emptiness)slot->verdict;
+  }
+  const Emptiness result = probe_nonempty(box, options_.probe_work_cap, &scratch.counters);
+  slot->verdict = (std::uint8_t)result;
+  return result;
+}
+
+bool NestAnalysis::same_array_box_interferes(const CongruenceBox& box, std::size_t ref,
+                                             std::uint64_t dim_mask, Scratch& scratch) const {
+  const i64 line_bytes = cache_.line_bytes;
+  const auto compute = [&]() {
+    if (probe_nonempty(box, options_.probe_work_cap, &scratch.counters) == Emptiness::Empty)
+      return false;
+    // Same array: touches on R_A's own line do not interfere; any other
+    // solution is a witness.
+    bool witness = false;
+    const EnumStatus status = enumerate_solutions(box, options_.enumerate_cap, [&](i64 value) {
+      if (!own_line_value(value, line_bytes)) {
+        witness = true;
+        return false;
+      }
+      return true;
+    });
+    return witness || status == EnumStatus::Capped;  // capped: conservative
+  };
+  const std::size_t n = box.extents.size();
+  if (!scratch.use_cache || n > kMaxCacheDims) return compute();
+  // True (unfolded) base: the verdict depends on actual address values.
+  bool hit = false;
+  ProbeEntry* slot = find_probe_slot(scratch, kSameArrayInterference, ref, dim_mask, box.base,
+                                     {box.extents.data(), n}, hit);
+  if (hit) {
+    ++scratch.counters.cache_hits;
+    return slot->verdict != 0;
+  }
+  const bool result = compute();
+  slot->verdict = (std::uint8_t)(result ? 1 : 0);
+  return result;
+}
+
+bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<const i64> p_to,
+                                              std::size_t ref, i64 line_a,
+                                              Scratch& scratch) const {
   const i64 line_bytes = cache_.line_bytes;
   const i64 way_bytes = cache_.way_bytes();
   const i64 sets = cache_.sets();
-  const i64 set_a = floor_mod(line_a, sets);
+  const i64 set_a = scratch.pt_set[ref];
   const std::size_t assoc = (std::size_t)cache_.associativity;
   const std::size_t n_refs = refs_.size();
 
   // Distinct interfering lines seen so far (k-way LRU needs `assoc` of them
   // to evict; direct-mapped needs one). Returns true when the budget is hit.
-  std::vector<i64> lines_found;
+  std::vector<i64>& lines_found = scratch.lines_found;
+  lines_found.clear();
   auto add_line = [&](i64 line) {
     if (line == line_a) return false;
     if (std::find(lines_found.begin(), lines_found.end(), line) != lines_found.end())
       return false;
     lines_found.push_back(line);
     return lines_found.size() >= assoc;
+  };
+  // Access by reference `b` at the prepared point z (line/set from the
+  // per-point tables): interference?
+  auto point_z_interferes = [&](std::size_t b) {
+    if (scratch.pt_set[b] != set_a) return false;
+    return add_line(scratch.pt_line[b]);
   };
   // Concrete access at point `pt` by reference `b`: interference?
   auto point_interferes = [&](std::size_t b, std::span<const i64> pt) {
@@ -131,11 +401,10 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
     return add_line(line);
   };
 
-  const int cmp = space_.compare(cand.q_to, p_to);
-  if (cmp == 0) {
+  if (cand.cmp == 0) {
     // Same iteration: only body positions strictly between source and ref.
     for (std::size_t b = cand.source + 1; b < ref; ++b) {
-      if (point_interferes(b, z)) return false;
+      if (point_z_interferes(b)) return false;
     }
     return true;
   }
@@ -146,52 +415,79 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
   }
   // Endpoint p: references executed before R_A within z's iteration.
   for (std::size_t b = 0; b < ref; ++b) {
-    if (point_interferes(b, z)) return false;
+    if (point_z_interferes(b)) return false;
   }
 
   // Strict interior: congruence boxes per (box, reference).
-  const std::vector<TiledBox> boxes = lex_interval_boxes(space_, cand.q_to, p_to);
+  lex_interval_boxes_into(space_, cand.q_to, p_to, scratch.boxes);
   const std::size_t dims = space_.tiled_dims();
-  for (const TiledBox& tiled_box : boxes) {
+  CongruenceBox& cb = scratch.box;
+  for (std::size_t bi = 0; bi < scratch.boxes.count(); ++bi) {
+    const std::span<const Interval> ranges = scratch.boxes.box(bi);
     for (std::size_t b = 0; b < n_refs; ++b) {
       const RefData& data = refs_[b];
-      CongruenceBox cb;
       cb.modulus = way_bytes;
       cb.target = Interval{0, line_bytes - 1};
       cb.base = data.base0 - line_a * line_bytes;
+      cb.extents.clear();
+      cb.coeffs.clear();
       cb.extents.reserve(dims);
       cb.coeffs.reserve(dims);
+      std::uint64_t dim_mask = 0;  // probe-cache key part; dims is 2k <= 64
       for (std::size_t d = 0; d < dims; ++d) {
-        const Interval& range = tiled_box.ranges[d];
+        const Interval& range = ranges[d];
         cb.base += data.tiled_coeffs[d] * range.lo;
         if (range.length() > 1 && data.tiled_coeffs[d] != 0) {
           cb.extents.push_back(range.length());
           cb.coeffs.push_back(data.tiled_coeffs[d]);
+          if (d < 64) dim_mask |= 1ull << d;
         }
+      }
+
+      if (assoc == 1 && cb.box_points() <= 8) {
+        // Tiny box (each filtered extent is >= 2, so at most 3 dims, at
+        // most 8 concrete values): enumerate the values directly — exact,
+        // and cheaper than the probe machinery and its cache. The
+        // verdict rule is the shared one (own_line_value), identical to
+        // same_array_box_interferes; different arrays are the degenerate
+        // case where no value can be R_A's own line.
+        ++scratch.counters.probes;  // parity with the probe path
+        const bool same_array = data.array == refs_[ref].array;
+        const bool po2 = (way_bytes & (way_bytes - 1)) == 0;
+        const std::size_t n = cb.extents.size();
+        std::array<i64, 4> x{};
+        bool interfere = false;
+        while (true) {
+          i64 value = cb.base;
+          for (std::size_t d = 0; d < n; ++d) value += cb.coeffs[d] * x[d];
+          const i64 residue = po2 ? (value & (way_bytes - 1)) : floor_mod(value, way_bytes);
+          if (residue < line_bytes &&  // touches R_A's set
+              (!same_array || !own_line_value(value, line_bytes))) {
+            interfere = true;
+            break;
+          }
+          std::size_t d = 0;
+          for (; d < n; ++d) {
+            if (x[d] + 1 < cb.extents[d]) {
+              ++x[d];
+              std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+              break;
+            }
+          }
+          if (d == n) break;
+        }
+        if (interfere) return false;
+        continue;
       }
 
       if (assoc == 1) {
         if (data.array != refs_[ref].array) {
           // Arrays are line-aligned and disjoint: any witness is a
           // different-line interference.
-          if (probe_nonempty(cb, options_.probe_work_cap, &counters_) != Emptiness::Empty)
-            return false;
+          if (cached_probe(cb, b, dim_mask, scratch) != Emptiness::Empty) return false;
         } else {
-          const Emptiness e = probe_nonempty(cb, options_.probe_work_cap, &counters_);
-          if (e == Emptiness::Empty) continue;
-          // Same array: exclude touches of R_A's own line (value in
-          // [0, line_bytes) means the same line — no interference).
-          bool witness = false;
-          const EnumStatus status =
-              enumerate_solutions(cb, options_.enumerate_cap, [&](i64 value) {
-                if (value < 0 || value >= line_bytes) {
-                  witness = true;
-                  return false;
-                }
-                return true;
-              });
-          if (witness) return false;
-          if (status == EnumStatus::Capped) return false;  // conservative
+          // Emptiness and own-line exclusion as one cached verdict.
+          if (same_array_box_interferes(cb, b, dim_mask, scratch)) return false;
         }
       } else {
         bool budget_hit = false;

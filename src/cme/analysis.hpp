@@ -21,12 +21,25 @@
 //     (endpoints) are evaluated with concrete addresses.
 //  3. Any surviving candidate ⇒ hit; otherwise ⇒ replacement miss.
 //
-// The instance is immutable after construction except for diagnostic
-// counters; classify() is safe to call from one thread at a time (the GA
-// parallelizes across NestAnalysis instances, not within one).
+// classify() is the per-point reference path. classify_batch() is the
+// batched engine (DESIGN.md §11): it shards the points with parallel_for,
+// reuses per-shard scratch buffers (no per-point heap churn), and memoizes
+// congruence-probe verdicts in a per-shard cache keyed on the *folded* box
+// — the same box recurs for many sampled points within one tile vector.
+// Outcomes are bit-identical to per-point classify() for any shard count,
+// with or without the probe cache.
+//
+// Thread safety: the instance is immutable after construction except for
+// the diagnostic counters, which are only written outside parallel regions
+// (per-shard counters are merged after the batch completes). classify()
+// and classify_batch() may be called from one thread at a time per
+// instance; the GA parallelizes across NestAnalysis instances, and
+// classify_batch parallelizes internally across shards.
 
+#include <array>
 #include <span>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cme/congruence.hpp"
@@ -44,6 +57,8 @@ enum class Outcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss };
 struct AnalysisOptions {
   i64 probe_work_cap = 1 << 14;   ///< leaf budget per emptiness probe
   i64 enumerate_cap = 1 << 15;    ///< witness budget per exclusion/assoc scan
+  bool probe_cache = true;        ///< memoize probe verdicts in classify_batch
+  std::size_t probe_cache_capacity = 1u << 13;  ///< cached boxes per shard
 };
 
 class NestAnalysis {
@@ -53,6 +68,12 @@ class NestAnalysis {
 
   /// Classify one access; z is the 0-based iteration point (z_d = i_d - lower_d).
   Outcome classify(std::span<const i64> z, std::size_t ref) const;
+
+  /// Classify every (point, reference) pair of the batch. Outcomes are
+  /// point-major: result[p * n_refs + r]. `shards == 0` uses one shard per
+  /// hardware thread; any positive count gives the same outcomes.
+  std::vector<Outcome> classify_batch(std::span<const std::vector<i64>> points,
+                                      int shards = 0) const;
 
   const ir::LoopNest& nest() const { return *nest_; }
   const ir::MemoryLayout& layout() const { return layout_; }
@@ -71,16 +92,94 @@ class NestAnalysis {
     std::size_t array = 0;
   };
 
+  /// Reuse generator pre-resolved for the classifier: one entry per
+  /// (generator, ±) with the sign already applied (q = z − steps) and
+  /// structural duplicates — identical (source, signed vector) — removed
+  /// at construction, so the gather loop needs no runtime deduplication.
+  /// Only the nonzero dimensions are stored (most vectors step one or two
+  /// loops), plus the source-reference address displacement along the
+  /// vector, so gathering touches only the changed coordinates.
+  struct ReuseStep {
+    std::uint32_t dim = 0;
+    i64 delta = 0;
+  };
+  struct PreparedReuse {
+    std::size_t source = 0;
+    i64 addr_delta = 0;  ///< Σ_d coeffs0[source][d] · delta_d
+    std::vector<ReuseStep> steps;
+  };
+
   struct Candidate {
     std::size_t source = 0;
+    int cmp = 0;            ///< compare(q_to, p_to), cached from gathering
     std::vector<i64> q;     ///< 0-based source point
     std::vector<i64> q_to;  ///< tiled coordinates of q
   };
 
+  /// Probe-cache entry (open-addressed, fixed capacity, inline key — no
+  /// heap traffic on lookups). The modulus (way size) and residue target
+  /// are fixed per analysis, and a box's coefficient vector is fully
+  /// determined by the reference and the set of box dimensions that
+  /// survive filtering (they are that reference's tiled coefficients), so
+  /// a box is identified by (kind, ref, dim mask, base, extents) — no
+  /// coefficients stored or compared. kEmptiness folds the base modulo
+  /// the way size (probe verdicts are invariant under that fold, which is
+  /// what makes boxes from different cache lines collide — the set
+  /// structure is periodic); kSameArrayInterference keys the true base
+  /// (its verdict depends on actual address values, not residues). Boxes
+  /// with more than kMaxCacheDims filtered dimensions bypass the cache.
+  static constexpr std::size_t kMaxCacheDims = 8;
+  static constexpr std::uint8_t kEmptiness = 0;
+  static constexpr std::uint8_t kSameArrayInterference = 1;
+  struct ProbeEntry {
+    std::uint64_t tag = 0;  ///< key hash, forced nonzero; 0 = empty slot
+    i64 base = 0;
+    std::uint64_t dim_mask = 0;  ///< tiled dims contributing an extent
+    std::uint32_t ref = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t ndims = 0;
+    std::uint8_t verdict = 0;
+    std::array<i64, kMaxCacheDims> extents{};
+  };
+
+  /// Per-shard mutable state: reused buffers, the probe cache and the
+  /// shard's counters. One Scratch is owned by exactly one worker.
+  struct Scratch {
+    std::vector<Candidate> candidates;  ///< slot pool (inner buffers reused)
+    std::size_t n_candidates = 0;
+    std::vector<std::size_t> order;     ///< sorted candidate indices
+    std::vector<i64> p_to;     ///< tiled coordinates of the prepared point
+    std::vector<i64> pt_addr;  ///< byte address of each reference at the point
+    std::vector<i64> pt_line;  ///< cache line of each reference at the point
+    std::vector<i64> pt_set;   ///< cache set of each reference at the point
+    std::vector<i64> lines_found;
+    TiledBoxList boxes;
+    CongruenceBox box;
+    std::vector<ProbeEntry> probe_cache;  ///< power-of-two slots, lazily sized
+    std::size_t probe_cache_hint = 0;  ///< expected probe volume (sizes the table)
+    ProbeCounters counters;
+    bool use_cache = false;
+  };
+
   i64 address_at(std::size_t ref, std::span<const i64> z) const;
-  bool interval_interference_free(const Candidate& cand, std::span<const i64> z,
-                                  std::span<const i64> p_to, std::size_t ref,
-                                  i64 line_a) const;
+  /// Fill the point-shared parts of the scratch (tiled coordinates, cache
+  /// line and set per reference): one call serves all n_refs
+  /// classifications of the same point.
+  void prepare_point(std::span<const i64> z, Scratch& scratch) const;
+  /// Classify one access; prepare_point(z, scratch) must have run.
+  Outcome classify_impl(std::span<const i64> z, std::size_t ref, Scratch& scratch) const;
+  bool interval_interference_free(const Candidate& cand, std::span<const i64> p_to,
+                                  std::size_t ref, i64 line_a, Scratch& scratch) const;
+  Emptiness cached_probe(const CongruenceBox& box, std::size_t ref, std::uint64_t dim_mask,
+                         Scratch& scratch) const;
+  bool same_array_box_interferes(const CongruenceBox& box, std::size_t ref,
+                                 std::uint64_t dim_mask, Scratch& scratch) const;
+  /// Locate the cache slot for a key; on a miss the slot's key fields are
+  /// written (possibly evicting an older entry) and the caller fills
+  /// `verdict`.
+  ProbeEntry* find_probe_slot(Scratch& scratch, std::uint8_t kind, std::size_t ref,
+                              std::uint64_t dim_mask, i64 base, std::span<const i64> extents,
+                              bool& hit) const;
 
   const ir::LoopNest* nest_;
   ir::MemoryLayout layout_;
@@ -90,7 +189,14 @@ class NestAnalysis {
   reuse::ReuseInfo reuse_;
   AnalysisOptions options_;
   std::vector<RefData> refs_;
+  std::vector<std::vector<PreparedReuse>> prepared_reuse_;  ///< per reference
   std::vector<i64> trips_;
+  int line_shift_ = 0;  ///< log2(line_bytes); line size is a validated po2
+  i64 sets_ = 1;
+  i64 set_mask_ = -1;   ///< sets - 1 when the set count is po2, else -1
+  /// Written only outside parallel regions: by the scalar classify()
+  /// (single-thread contract) and by the post-batch merge of per-shard
+  /// counters. Never touched inside classify_batch's parallel_for.
   mutable ProbeCounters counters_;
 };
 

@@ -17,7 +17,8 @@
 // A bounded solution enumerator (true address values, not residues) serves
 // the same-line exclusion and the k-way associativity distinct-line count.
 
-#include <functional>
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "support/int_math.hpp"
@@ -37,12 +38,24 @@ struct CongruenceBox {
 
 enum class Emptiness : std::uint8_t { Empty, NonEmpty, Unknown };
 
-/// Diagnostics accumulated across probes (per-analysis, not thread-safe).
+/// Diagnostics accumulated across probes. Not thread-safe: each worker
+/// accumulates its own instance and merges with operator+= afterwards
+/// (see NestAnalysis::classify_batch).
 struct ProbeCounters {
   i64 probes = 0;
   i64 fold_rounds = 0;
   i64 enumerated_leaves = 0;
   i64 unknown_results = 0;
+  i64 cache_hits = 0;  ///< probe-cache hits (no probe ran; see cme/analysis)
+
+  ProbeCounters& operator+=(const ProbeCounters& other) {
+    probes += other.probes;
+    fold_rounds += other.fold_rounds;
+    enumerated_leaves += other.enumerated_leaves;
+    unknown_results += other.unknown_results;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
 };
 
 /// Exact emptiness test with a work cap (leaf evaluations); returns Unknown
@@ -62,7 +75,75 @@ enum class EnumStatus : std::uint8_t { Exhausted, Capped, StoppedByCallback };
 /// Enumerate solution *values* (a·x + c, true arithmetic) of the box's
 /// congruence condition. The callback returns false to stop early. At most
 /// `cap` units of work (leaves visited + solutions emitted) are spent.
-EnumStatus enumerate_solutions(const CongruenceBox& box, i64 cap,
-                               const std::function<bool(i64 value)>& fn);
+///
+/// Templated on the callback so the per-solution call in the innermost
+/// loop of the interference check is a direct (inlinable) call, not a
+/// type-erased std::function dispatch.
+template <typename Fn>
+EnumStatus enumerate_solutions(const CongruenceBox& box, i64 cap, Fn&& fn) {
+  expects(box.modulus >= 1, "enumerate_solutions: modulus must be >= 1");
+  const i64 m = box.modulus;
+  const Interval target = box.target.intersect(Interval{0, m - 1});
+  if (target.empty() || box.box_points() == 0) return EnumStatus::Exhausted;
+
+  if (box.extents.empty()) {
+    if (target.contains(floor_mod(box.base, m)) && !fn(box.base))
+      return EnumStatus::StoppedByCallback;
+    return EnumStatus::Exhausted;
+  }
+
+  // Leaf dimension: largest extent (solved by congruence stepping).
+  std::vector<std::size_t> others;
+  std::size_t leaf = 0;
+  for (std::size_t d = 1; d < box.extents.size(); ++d)
+    if (box.extents[d] > box.extents[leaf]) leaf = d;
+  for (std::size_t d = 0; d < box.extents.size(); ++d)
+    if (d != leaf && box.extents[d] > 1) others.push_back(d);
+
+  const i64 a_true = box.coeffs[leaf];
+  const i64 leaf_extent = box.extents[leaf];
+  const i64 a_mod = floor_mod(a_true, m);
+
+  i64 budget = cap;
+  std::vector<i64> x(others.size(), 0);
+  while (true) {
+    i64 partial = box.base;
+    for (std::size_t d = 0; d < others.size(); ++d) partial += box.coeffs[others[d]] * x[d];
+    if (--budget <= 0) return EnumStatus::Capped;
+
+    const i64 cm = floor_mod(partial, m);
+    if (a_mod == 0) {
+      if (target.contains(cm)) {
+        for (i64 xv = 0; xv < leaf_extent; ++xv) {
+          if (--budget <= 0) return EnumStatus::Capped;
+          if (!fn(partial + a_true * xv)) return EnumStatus::StoppedByCallback;
+        }
+      }
+    } else {
+      const i64 g = std::gcd(a_mod, m);
+      const i64 m2 = m / g;
+      const i64 inv = mod_inverse(a_mod / g, m2);
+      // Target residues t with t ≡ cm (mod g), stepped by g.
+      const i64 t_start = target.lo + floor_mod(cm - target.lo, g);
+      for (i64 t = t_start; t <= target.hi; t += g) {
+        const i64 x0 = floor_mod((t - cm) / g % m2 * inv, m2);
+        for (i64 xv = x0; xv < leaf_extent; xv += m2) {
+          if (--budget <= 0) return EnumStatus::Capped;
+          if (!fn(partial + a_true * xv)) return EnumStatus::StoppedByCallback;
+        }
+      }
+    }
+
+    std::size_t d = 0;
+    for (; d < others.size(); ++d) {
+      if (x[d] + 1 < box.extents[others[d]]) {
+        ++x[d];
+        std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+        break;
+      }
+    }
+    if (d == others.size()) return EnumStatus::Exhausted;
+  }
+}
 
 }  // namespace cmetile::cme

@@ -30,13 +30,11 @@ MissEstimate estimate_with_points(const NestAnalysis& analysis,
   const ir::LoopNest& nest = analysis.nest();
   const std::size_t n_refs = nest.refs.size();
   i64 cold = 0, repl = 0;
-  for (const std::vector<i64>& z : points) {
-    for (std::size_t r = 0; r < n_refs; ++r) {
-      switch (analysis.classify(z, r)) {
-        case Outcome::ColdMiss: ++cold; break;
-        case Outcome::ReplacementMiss: ++repl; break;
-        case Outcome::Hit: break;
-      }
+  for (const Outcome outcome : analysis.classify_batch(points)) {
+    switch (outcome) {
+      case Outcome::ColdMiss: ++cold; break;
+      case Outcome::ReplacementMiss: ++repl; break;
+      case Outcome::Hit: break;
     }
   }
   const i64 trials = (i64)points.size() * (i64)n_refs;
@@ -81,19 +79,33 @@ std::vector<cache::MissStats> classify_all_points(const NestAnalysis& analysis) 
   const ir::LoopNest& nest = analysis.nest();
   const std::size_t n_refs = nest.refs.size();
   std::vector<cache::MissStats> per_ref(n_refs + 1);
-  std::vector<i64> z(nest.depth());
-  ir::for_each_point(nest, [&](std::span<const i64> point) {
-    for (std::size_t d = 0; d < z.size(); ++d) z[d] = point[d] - nest.loops[d].lower;
-    for (std::size_t r = 0; r < n_refs; ++r) {
-      cache::MissStats& s = per_ref[r];
+
+  // Batch the exact traversal through the sharded engine in bounded chunks
+  // (the chunk caps the point-buffer memory on large spaces).
+  constexpr std::size_t kChunkPoints = 1u << 15;
+  std::vector<std::vector<i64>> chunk;
+  chunk.reserve(std::min<std::size_t>(kChunkPoints, (std::size_t)nest.iteration_count()));
+  const auto flush = [&]() {
+    const std::vector<Outcome> outcomes = analysis.classify_batch(chunk);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      cache::MissStats& s = per_ref[i % n_refs];
       ++s.accesses;
-      switch (analysis.classify(z, r)) {
+      switch (outcomes[i]) {
         case Outcome::ColdMiss: ++s.cold_misses; break;
         case Outcome::ReplacementMiss: ++s.replacement_misses; break;
         case Outcome::Hit: break;
       }
     }
+    chunk.clear();
+  };
+
+  std::vector<i64> z(nest.depth());
+  ir::for_each_point(nest, [&](std::span<const i64> point) {
+    for (std::size_t d = 0; d < z.size(); ++d) z[d] = point[d] - nest.loops[d].lower;
+    chunk.push_back(z);
+    if (chunk.size() >= kChunkPoints) flush();
   });
+  flush();
   for (std::size_t r = 0; r < n_refs; ++r) per_ref.back() += per_ref[r];
   return per_ref;
 }

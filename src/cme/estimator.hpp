@@ -57,6 +57,8 @@ std::vector<std::vector<i64>> sample_points(const ir::LoopNest& nest, i64 count,
 i64 resolved_sample_count(const EstimatorOptions& options);
 
 /// Estimate with a caller-provided sample (enables common random numbers).
+/// Classification goes through the batched engine (classify_batch):
+/// scratch reuse + probe cache, sharded across threads when OpenMP is on.
 MissEstimate estimate_with_points(const NestAnalysis& analysis,
                                   std::span<const std::vector<i64>> points,
                                   double confidence = 0.90);

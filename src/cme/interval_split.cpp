@@ -16,8 +16,8 @@ Interval max_domain(const transform::TiledSpace& space, std::size_t idx) {
 
 /// Resolve the o/t coupling: for every dimension whose tile range reaches a
 /// truncated boundary tile, split the box into interior + boundary parts.
-void resolve_boundaries(const transform::TiledSpace& space, TiledBox box,
-                        std::vector<TiledBox>& out) {
+/// Mutates `box` in place; resolved leaves append their ranges to `out`.
+void resolve_boundaries(const transform::TiledSpace& space, TiledBox& box, TiledBoxList& out) {
   const std::size_t k = space.depth();
   for (std::size_t d = 0; d < k; ++d) {
     const i64 last = space.tile_count(d) - 1;
@@ -34,51 +34,72 @@ void resolve_boundaries(const transform::TiledSpace& space, TiledBox box,
     // Mixed: split into interior ([lo, last-1]) and boundary ({last}) parts.
     TiledBox interior = box;
     interior.ranges[d] = Interval{t_range.lo, last - 1};
-    resolve_boundaries(space, std::move(interior), out);
+    resolve_boundaries(space, interior, out);
     t_range = Interval{last, last};
     o_range = o_range.intersect(Interval{0, space.last_tile_size(d) - 1});
     if (o_range.empty()) return;
   }
-  if (box.points() > 0) out.push_back(std::move(box));
+  if (box.points() > 0)
+    out.ranges.insert(out.ranges.end(), box.ranges.begin(), box.ranges.end());
 }
 
 }  // namespace
 
 std::vector<TiledBox> lex_interval_boxes(const transform::TiledSpace& space,
                                          std::span<const i64> q, std::span<const i64> p) {
+  TiledBoxList list;
+  lex_interval_boxes_into(space, q, p, list);
+  std::vector<TiledBox> out;
+  out.reserve(list.count());
+  for (std::size_t i = 0; i < list.count(); ++i) {
+    const std::span<const Interval> ranges = list.box(i);
+    TiledBox box;
+    box.ranges.assign(ranges.begin(), ranges.end());
+    out.push_back(std::move(box));
+  }
+  return out;
+}
+
+void lex_interval_boxes_into(const transform::TiledSpace& space, std::span<const i64> q,
+                             std::span<const i64> p, TiledBoxList& out) {
   const std::size_t dims = space.tiled_dims();
   expects(q.size() == dims && p.size() == dims, "lex_interval_boxes: arity mismatch");
   expects(space.compare(q, p) < 0, "lex_interval_boxes requires q < p");
+  out.dims = dims;
+  out.ranges.clear();
+  // Hoist the per-dimension maximal domains out of the box-building loops
+  // (they are O(dims) to fill, vs O(dims^2) max_domain calls otherwise).
+  // Refilled on every call: the list may be reused across spaces.
+  out.domains.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) out.domains[d] = max_domain(space, d);
+  const std::vector<Interval>& domains = out.domains;
 
   // First dimension where q and p differ.
   std::size_t c = 0;
   while (q[c] == p[c]) ++c;
 
-  std::vector<TiledBox> raw;
+  // Raw boxes are staged in the reused working box and resolved (boundary
+  // coupling) straight into the flat list — same order as staging them all
+  // first, without the per-box allocations.
+  TiledBox& box = out.scratch;
   auto make_box = [&](std::span<const i64> fixed_from, std::size_t fixed_upto,
                       std::size_t var_dim, Interval var_range) {
-    TiledBox box;
     box.ranges.resize(dims);
     for (std::size_t d = 0; d < fixed_upto; ++d)
       box.ranges[d] = Interval{fixed_from[d], fixed_from[d]};
-    box.ranges[var_dim] = var_range.intersect(max_domain(space, var_dim));
-    for (std::size_t d = var_dim + 1; d < dims; ++d) box.ranges[d] = max_domain(space, d);
-    if (!box.ranges[var_dim].empty()) raw.push_back(std::move(box));
+    box.ranges[var_dim] = var_range.intersect(domains[var_dim]);
+    for (std::size_t d = var_dim + 1; d < dims; ++d) box.ranges[d] = domains[d];
+    if (!box.ranges[var_dim].empty()) resolve_boundaries(space, box, out);
   };
 
   // Middle piece: prefix equal, dimension c strictly between q_c and p_c.
   if (p[c] - q[c] >= 2) make_box(q, c, c, Interval{q[c] + 1, p[c] - 1});
   // q-side pieces: prefix q up to m-1, dimension m above q_m.
   for (std::size_t m = c + 1; m < dims; ++m)
-    make_box(q, m, m, Interval{q[m] + 1, max_domain(space, m).hi});
+    make_box(q, m, m, Interval{q[m] + 1, domains[m].hi});
   // p-side pieces: prefix p up to m-1, dimension m below p_m.
   for (std::size_t m = c + 1; m < dims; ++m)
     make_box(p, m, m, Interval{0, p[m] - 1});
-
-  std::vector<TiledBox> out;
-  out.reserve(raw.size());
-  for (TiledBox& box : raw) resolve_boundaries(space, std::move(box), out);
-  return out;
 }
 
 }  // namespace cmetile::cme

@@ -35,9 +35,30 @@ struct TiledBox {
   }
 };
 
+/// Flattened list of boxes sharing one dimensionality: all ranges stored
+/// back-to-back (count() boxes × dims intervals each). The classifier's
+/// scratch representation — refilling an existing list performs no heap
+/// allocation once the buffers have warmed up.
+struct TiledBoxList {
+  std::size_t dims = 0;
+  std::vector<Interval> ranges;  ///< count() * dims, box-major
+  TiledBox scratch;              ///< working box reused by the splitter
+  std::vector<Interval> domains; ///< per-dimension maximal domains (refilled per call)
+
+  std::size_t count() const { return dims == 0 ? 0 : ranges.size() / dims; }
+  std::span<const Interval> box(std::size_t i) const {
+    return {ranges.data() + i * dims, dims};
+  }
+};
+
 /// Boxes covering { x : q ≺ x ≺ p } exactly (disjoint union), with
 /// boundary-tile coupling resolved. Requires q ≺ p.
 std::vector<TiledBox> lex_interval_boxes(const transform::TiledSpace& space,
                                          std::span<const i64> q, std::span<const i64> p);
+
+/// Scratch-reusing variant: `out` is cleared and refilled (capacity is
+/// kept across calls — the batched classifier's hot loop).
+void lex_interval_boxes_into(const transform::TiledSpace& space, std::span<const i64> q,
+                             std::span<const i64> p, TiledBoxList& out);
 
 }  // namespace cmetile::cme

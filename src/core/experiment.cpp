@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace cmetile::core {
@@ -47,6 +48,15 @@ TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
   return row;
 }
 
+std::vector<TilingRow> run_tiling_experiments(std::span<const kernels::FigureEntry> entries,
+                                              const cache::CacheConfig& cache,
+                                              const ExperimentOptions& options) {
+  std::vector<TilingRow> rows(entries.size());
+  parallel_for(entries.size(),
+               [&](std::size_t i) { rows[i] = run_tiling_experiment(entries[i], cache, options); });
+  return rows;
+}
+
 PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
                                   const cache::CacheConfig& cache,
                                   const ExperimentOptions& options) {
@@ -65,6 +75,16 @@ PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
   row.tiles = result.tiles;
   row.seconds = elapsed_seconds(start);
   return row;
+}
+
+std::vector<PaddingRow> run_padding_experiments(std::span<const kernels::FigureEntry> entries,
+                                                const cache::CacheConfig& cache,
+                                                const ExperimentOptions& options) {
+  std::vector<PaddingRow> rows(entries.size());
+  parallel_for(entries.size(), [&](std::size_t i) {
+    rows[i] = run_padding_experiment(entries[i], cache, options);
+  });
+  return rows;
 }
 
 }  // namespace cmetile::core

@@ -2,8 +2,12 @@
 // Experiment drivers shared by the paper-reproduction benches: one call
 // produces the before/after-tiling row of Figures 8/9 and Table 2, or the
 // original/padding/padding+tiling row of Table 3, for a (kernel, size,
-// cache) combination.
+// cache) combination. The plural drivers run a whole figure/table at once,
+// parallelized across kernel rows — every row derives its GA and sampling
+// seeds from its own (label, cache) pair, so the results are deterministic
+// and identical to running the rows serially.
 
+#include <span>
 #include <string>
 
 #include "core/tiler.hpp"
@@ -26,12 +30,20 @@ struct TilingRow {
   transform::TileVector tiles;
   i64 ga_evaluations = 0;
   int ga_generations = 0;
+  /// Wall-clock time of this row. Under the plural drivers rows run
+  /// concurrently, so this is elapsed time while sharing cores with the
+  /// other rows — comparable within one run, not an isolated-row cost.
   double seconds = 0.0;
 };
 
 TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
                                 const cache::CacheConfig& cache,
                                 const ExperimentOptions& options = {});
+
+/// All rows of a figure/table, parallel across kernels (`parallel_for`).
+std::vector<TilingRow> run_tiling_experiments(std::span<const kernels::FigureEntry> entries,
+                                              const cache::CacheConfig& cache,
+                                              const ExperimentOptions& options = {});
 
 /// One row of Table 3.
 struct PaddingRow {
@@ -41,11 +53,16 @@ struct PaddingRow {
   double padding_tiling_repl = 0.0;
   transform::PadVector pads;
   transform::TileVector tiles;
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< wall clock; concurrent under the plural driver
 };
 
 PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
                                   const cache::CacheConfig& cache,
                                   const ExperimentOptions& options = {});
+
+/// All rows of the padding study, parallel across kernels.
+std::vector<PaddingRow> run_padding_experiments(std::span<const kernels::FigureEntry> entries,
+                                                const cache::CacheConfig& cache,
+                                                const ExperimentOptions& options = {});
 
 }  // namespace cmetile::core

@@ -34,10 +34,13 @@ cme::MissEstimate TilingObjective::evaluate(const transform::TileVector& tiles) 
 double TilingObjective::operator()(std::span<const i64> tiles) const {
   const transform::TileVector tv =
       transform::TileVector::clamped({tiles.begin(), tiles.end()}, *nest_);
-  if (!is_legal(tv)) {
-    // Finite penalty above any achievable miss count so selection still
-    // discriminates among illegal individuals' neighbours.
-    return 10.0 * (double)nest_->access_count();
+  const double violation = transform::tile_vector_violation(risky_deps_, trips_, tv.t);
+  if (violation > 0.0) {
+    // Finite penalty above any achievable miss count (access_count bounds
+    // the misses; violation >= 1), graded by how far the vector is from
+    // legality so selection discriminates even in an all-illegal
+    // population and the convergence test cannot fire on a flat plateau.
+    return (10.0 + violation) * (double)nest_->access_count();
   }
   return evaluate(tv).replacement_misses();
 }
@@ -133,7 +136,10 @@ cme::MissEstimate JointObjective::evaluate(const Decoded& decoded) const {
 
 double JointObjective::operator()(std::span<const i64> values) const {
   const Decoded decoded = unpack(values);
-  if (!is_legal(decoded.tiles)) return 10.0 * (double)nest_->access_count();
+  const double violation = transform::tile_vector_violation(risky_deps_, trips_, decoded.tiles.t);
+  // Same graded penalty as TilingObjective: above any feasible miss count,
+  // discriminating among illegal individuals.
+  if (violation > 0.0) return (10.0 + violation) * (double)nest_->access_count();
   return evaluate(decoded).replacement_misses();
 }
 

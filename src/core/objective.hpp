@@ -26,7 +26,9 @@ struct ObjectiveOptions {
 /// Cost of a tile vector = estimated replacement misses of the tiled nest.
 /// Tile vectors that would reorder a dependence illegally (see
 /// transform/legality.hpp) receive a penalty cost above any feasible miss
-/// count, so the GA searches only semantics-preserving tilings.
+/// count — graded by tile_vector_violation so selection discriminates
+/// among illegal individuals — and the GA searches only
+/// semantics-preserving tilings.
 class TilingObjective {
  public:
   TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,

@@ -5,6 +5,7 @@
 // Bodies must be independent per index and deterministic given the index
 // (all RNG streams are derived from indices, never from thread ids).
 
+#include <atomic>
 #include <cstddef>
 
 #ifdef CMETILE_HAVE_OPENMP
@@ -17,8 +18,20 @@ namespace cmetile {
 template <typename Body>
 void parallel_for(std::size_t n, Body&& body) {
 #ifdef CMETILE_HAVE_OPENMP
+  // The release stores + final acquire load re-establish, in the C++
+  // memory model, the happens-before edge the implicit `omp parallel for`
+  // barrier already provides. The OpenMP runtime's barrier is opaque to
+  // ThreadSanitizer (libgomp is not instrumented), so without this edge
+  // every read of worker-written results would be reported as a race.
+  // One relaxed-cost atomic add per body call is noise next to the bodies
+  // this library runs (whole classification shards, GA evaluations).
+  std::atomic<std::size_t> completed{0};
 #pragma omp parallel for schedule(dynamic)
-  for (long long i = 0; i < (long long)n; ++i) body((std::size_t)i);
+  for (long long i = 0; i < (long long)n; ++i) {
+    body((std::size_t)i);
+    completed.fetch_add(1, std::memory_order_release);
+  }
+  (void)completed.load(std::memory_order_acquire);
 #else
   for (std::size_t i = 0; i < n; ++i) body(i);
 #endif
@@ -30,6 +43,18 @@ inline int parallel_threads() {
   return omp_get_max_threads();
 #else
   return 1;
+#endif
+}
+
+/// True when already inside an active OpenMP parallel region. Nested
+/// parallel_for calls are serialized by the runtime, so callers sizing
+/// work per thread (e.g. classify_batch's shards) should treat this as
+/// "one worker available".
+inline bool parallel_active() {
+#ifdef CMETILE_HAVE_OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
 #endif
 }
 

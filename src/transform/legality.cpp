@@ -133,23 +133,51 @@ std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
   return risky;
 }
 
+namespace {
+
+/// Is dependence r violated at dimension m under this tile vector?
+bool violated_at(std::span<const i64> r, std::span<const i64> trips, std::span<const i64> tiles,
+                 std::size_t m) {
+  if (r[m] >= 0) return false;
+  if (tiles[m] >= trips[m]) return false;  // dimension not really tiled
+  for (std::size_t e = 0; e < m; ++e) {
+    if (r[e] > tiles[e] - 1) return false;  // earlier dim must cross a tile forward
+  }
+  return true;
+}
+
+}  // namespace
+
 bool tile_vector_legal(std::span<const std::vector<i64>> risky_deps,
                        std::span<const i64> trips, std::span<const i64> tiles) {
   for (const std::vector<i64>& r : risky_deps) {
     for (std::size_t m = 0; m < r.size(); ++m) {
-      if (r[m] >= 0) continue;
-      if (tiles[m] >= trips[m]) continue;  // dimension not really tiled
-      bool same_tile_possible = true;
-      for (std::size_t e = 0; e < m; ++e) {
-        if (r[e] > tiles[e] - 1) {  // earlier dim must cross a tile forward
-          same_tile_possible = false;
-          break;
-        }
-      }
-      if (same_tile_possible) return false;
+      if (violated_at(r, trips, tiles, m)) return false;
     }
   }
   return true;
+}
+
+double tile_vector_violation(std::span<const std::vector<i64>> risky_deps,
+                             std::span<const i64> trips, std::span<const i64> tiles) {
+  double total = 0.0;
+  for (const std::vector<i64>& r : risky_deps) {
+    for (std::size_t m = 0; m < r.size(); ++m) {
+      if (!violated_at(r, trips, tiles, m)) continue;
+      // Cheapest single-dimension repair, as a fraction of that domain:
+      // raise T_m to U_m (untile the violating dimension) ...
+      double repair = (double)(trips[m] - tiles[m]) / (double)trips[m];
+      // ... or shrink an earlier forward dimension e to T_e <= r_e so the
+      // pair must cross an e-tile boundary forward.
+      for (std::size_t e = 0; e < m; ++e) {
+        if (r[e] > 0 && tiles[e] > r[e]) {
+          repair = std::min(repair, (double)(tiles[e] - r[e]) / (double)trips[e]);
+        }
+      }
+      total += 1.0 + repair;
+    }
+  }
+  return total;
 }
 
 }  // namespace cmetile::transform

@@ -49,4 +49,15 @@ std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
 bool tile_vector_legal(std::span<const std::vector<i64>> risky_deps,
                        std::span<const i64> trips, std::span<const i64> tiles);
 
+/// Graded illegality magnitude: 0.0 iff the tile vector is legal;
+/// otherwise, per violated (dependence, dimension) pair, 1.0 plus the
+/// cheapest single-dimension repair as a fraction of that dimension's
+/// domain (untile the violating dimension, or shrink an earlier
+/// forward-dependence dimension until the pair must cross tiles). The GA's
+/// illegal-tile penalty scales with this, so selection can climb toward
+/// the legal region even in an all-illegal population (a constant penalty
+/// makes avg == best and trips the convergence test prematurely).
+double tile_vector_violation(std::span<const std::vector<i64>> risky_deps,
+                             std::span<const i64> trips, std::span<const i64> tiles);
+
 }  // namespace cmetile::transform

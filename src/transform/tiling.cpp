@@ -52,12 +52,8 @@ bool TiledSpace::divisible() const {
 }
 
 std::vector<i64> TiledSpace::to_tiled(std::span<const i64> z) const {
-  expects(z.size() == trips_.size(), "TiledSpace::to_tiled: arity mismatch");
-  std::vector<i64> to(2 * trips_.size());
-  for (std::size_t d = 0; d < trips_.size(); ++d) {
-    to[d] = z[d] / tiles_[d];
-    to[trips_.size() + d] = z[d] % tiles_[d];
-  }
+  std::vector<i64> to;
+  to_tiled_into(z, to);
   return to;
 }
 
@@ -68,15 +64,6 @@ std::vector<i64> TiledSpace::to_original(std::span<const i64> to) const {
     z[d] = to[d] * tiles_[d] + to[trips_.size() + d];
   }
   return z;
-}
-
-int TiledSpace::compare(std::span<const i64> to_a, std::span<const i64> to_b) const {
-  expects(to_a.size() == to_b.size() && to_a.size() == tiled_dims(),
-          "TiledSpace::compare: arity mismatch");
-  for (std::size_t d = 0; d < to_a.size(); ++d) {
-    if (to_a[d] != to_b[d]) return to_a[d] < to_b[d] ? -1 : 1;
-  }
-  return 0;
 }
 
 void TiledSpace::for_each_point_tiled(

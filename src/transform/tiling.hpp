@@ -24,6 +24,7 @@
 #include "cache/cache.hpp"
 #include "ir/layout.hpp"
 #include "ir/nest.hpp"
+#include "support/contracts.hpp"
 
 namespace cmetile::transform {
 
@@ -65,12 +66,29 @@ class TiledSpace {
 
   /// Map a 0-based original point to (t_1..t_k, o_1..o_k).
   std::vector<i64> to_tiled(std::span<const i64> z) const;
+  /// Allocation-free variant: writes into `to` (resized to 2k). Inline —
+  /// this is the classifier's per-candidate hot path.
+  void to_tiled_into(std::span<const i64> z, std::vector<i64>& to) const {
+    expects(z.size() == trips_.size(), "TiledSpace::to_tiled: arity mismatch");
+    to.resize(2 * trips_.size());
+    for (std::size_t d = 0; d < trips_.size(); ++d) {
+      to[d] = z[d] / tiles_[d];
+      to[trips_.size() + d] = z[d] % tiles_[d];
+    }
+  }
   /// Inverse mapping.
   std::vector<i64> to_original(std::span<const i64> to) const;
 
   /// Lexicographic comparison of two points in tiled coordinates.
-  /// Returns <0, 0, >0.
-  int compare(std::span<const i64> to_a, std::span<const i64> to_b) const;
+  /// Returns <0, 0, >0. Inline — the classifier's per-candidate hot path.
+  int compare(std::span<const i64> to_a, std::span<const i64> to_b) const {
+    expects(to_a.size() == to_b.size() && to_a.size() == tiled_dims(),
+            "TiledSpace::compare: arity mismatch");
+    for (std::size_t d = 0; d < to_a.size(); ++d) {
+      if (to_a[d] != to_b[d]) return to_a[d] < to_b[d] ? -1 : 1;
+    }
+    return 0;
+  }
 
   /// Visit all 0-based original points in *tiled* execution order.
   void for_each_point_tiled(const std::function<void(std::span<const i64> z)>& fn) const;

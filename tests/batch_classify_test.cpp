@@ -1,0 +1,383 @@
+// Determinism cross-check for the batched classification engine
+// (DESIGN.md §11): on randomized nests and tile vectors, classify_batch
+// must be bit-identical to the per-point classify() reference — for any
+// shard count, with the probe cache on or off. Sharding goes through
+// support/parallel.hpp, so the same test body covers OpenMP-enabled and
+// serial builds (the CI matrix builds both); outcomes must not depend on
+// either. Also checks that per-shard probe counters merge losslessly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cme/estimator.hpp"
+#include "kernels/kernels.hpp"
+#include "support/rng.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile {
+namespace {
+
+using transform::TileVector;
+
+// --- Independent reference classifier -------------------------------------
+// A line-for-line port of the original (pre-batching) per-point classifier,
+// built only from the public APIs (reuse info, tiled space, interval
+// splitter, congruence probes). classify()/classify_batch share one
+// rewritten implementation, so comparing them to each other cannot catch a
+// regression in the shared algorithm; this port can.
+namespace reference {
+
+struct RefData {
+  std::vector<i64> coeffs0;
+  i64 base0 = 0;
+  std::vector<i64> tiled_coeffs;
+  std::size_t array = 0;
+};
+
+struct Model {
+  const cme::NestAnalysis* analysis;
+  std::vector<RefData> refs;
+  std::vector<i64> trips;
+};
+
+Model build_model(const cme::NestAnalysis& analysis) {
+  Model m{&analysis, {}, analysis.nest().trip_counts()};
+  const ir::LoopNest& nest = analysis.nest();
+  const std::size_t k = nest.depth();
+  for (const ir::Reference& ref : nest.refs) {
+    RefData data;
+    data.array = ref.array;
+    const ir::LinExpr addr = analysis.layout().address_expr(nest, ref);
+    data.coeffs0.assign(addr.coeffs().begin(), addr.coeffs().end());
+    data.base0 = addr.constant_term();
+    for (std::size_t d = 0; d < k; ++d) data.base0 += data.coeffs0[d] * nest.loops[d].lower;
+    data.tiled_coeffs.resize(2 * k);
+    for (std::size_t d = 0; d < k; ++d) {
+      data.tiled_coeffs[d] = data.coeffs0[d] * analysis.space().tile(d);
+      data.tiled_coeffs[k + d] = data.coeffs0[d];
+    }
+    m.refs.push_back(std::move(data));
+  }
+  return m;
+}
+
+i64 address_at(const Model& m, std::size_t ref, std::span<const i64> z) {
+  const RefData& data = m.refs[ref];
+  i64 addr = data.base0;
+  for (std::size_t d = 0; d < z.size(); ++d) addr += data.coeffs0[d] * z[d];
+  return addr;
+}
+
+struct Candidate {
+  std::size_t source = 0;
+  std::vector<i64> q;
+  std::vector<i64> q_to;
+};
+
+bool interval_interference_free(const Model& m, const Candidate& cand, std::span<const i64> z,
+                                std::span<const i64> p_to, std::size_t ref, i64 line_a) {
+  const transform::TiledSpace& space = m.analysis->space();
+  const cache::CacheConfig& cache = m.analysis->cache_config();
+  const i64 line_bytes = cache.line_bytes;
+  const i64 way_bytes = cache.way_bytes();
+  const i64 sets = cache.sets();
+  const i64 set_a = floor_mod(line_a, sets);
+  const std::size_t assoc = (std::size_t)cache.associativity;
+  const std::size_t n_refs = m.refs.size();
+
+  std::vector<i64> lines_found;
+  auto add_line = [&](i64 line) {
+    if (line == line_a) return false;
+    if (std::find(lines_found.begin(), lines_found.end(), line) != lines_found.end())
+      return false;
+    lines_found.push_back(line);
+    return lines_found.size() >= assoc;
+  };
+  auto point_interferes = [&](std::size_t b, std::span<const i64> pt) {
+    const i64 line = floor_div(address_at(m, b, pt), line_bytes);
+    if (floor_mod(line, sets) != set_a) return false;
+    return add_line(line);
+  };
+
+  const int cmp = space.compare(cand.q_to, p_to);
+  if (cmp == 0) {
+    for (std::size_t b = cand.source + 1; b < ref; ++b) {
+      if (point_interferes(b, z)) return false;
+    }
+    return true;
+  }
+
+  for (std::size_t b = cand.source + 1; b < n_refs; ++b) {
+    if (point_interferes(b, cand.q)) return false;
+  }
+  for (std::size_t b = 0; b < ref; ++b) {
+    if (point_interferes(b, z)) return false;
+  }
+
+  const std::vector<cme::TiledBox> boxes = cme::lex_interval_boxes(space, cand.q_to, p_to);
+  const std::size_t dims = space.tiled_dims();
+  for (const cme::TiledBox& tiled_box : boxes) {
+    for (std::size_t b = 0; b < n_refs; ++b) {
+      const RefData& data = m.refs[b];
+      cme::CongruenceBox cb;
+      cb.modulus = way_bytes;
+      cb.target = Interval{0, line_bytes - 1};
+      cb.base = data.base0 - line_a * line_bytes;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const Interval& range = tiled_box.ranges[d];
+        cb.base += data.tiled_coeffs[d] * range.lo;
+        if (range.length() > 1 && data.tiled_coeffs[d] != 0) {
+          cb.extents.push_back(range.length());
+          cb.coeffs.push_back(data.tiled_coeffs[d]);
+        }
+      }
+
+      if (assoc == 1) {
+        if (data.array != m.refs[ref].array) {
+          if (cme::probe_nonempty(cb) != cme::Emptiness::Empty) return false;
+        } else {
+          const cme::Emptiness e = cme::probe_nonempty(cb);
+          if (e == cme::Emptiness::Empty) continue;
+          bool witness = false;
+          const cme::EnumStatus status = cme::enumerate_solutions(cb, 1 << 15, [&](i64 value) {
+            if (value < 0 || value >= line_bytes) {
+              witness = true;
+              return false;
+            }
+            return true;
+          });
+          if (witness) return false;
+          if (status == cme::EnumStatus::Capped) return false;
+        }
+      } else {
+        bool budget_hit = false;
+        const cme::EnumStatus status = cme::enumerate_solutions(cb, 1 << 15, [&](i64 value) {
+          const i64 line = line_a + floor_div(value, line_bytes);
+          if (add_line(line)) {
+            budget_hit = true;
+            return false;
+          }
+          return true;
+        });
+        if (budget_hit) return false;
+        if (status == cme::EnumStatus::Capped) return false;
+      }
+    }
+  }
+  return lines_found.size() < assoc;
+}
+
+cme::Outcome classify(const Model& m, std::span<const i64> z, std::size_t ref) {
+  const transform::TiledSpace& space = m.analysis->space();
+  const std::size_t k = m.analysis->nest().depth();
+  const i64 line_bytes = m.analysis->cache_config().line_bytes;
+  const i64 line_a = floor_div(address_at(m, ref, z), line_bytes);
+  const std::vector<i64> p_to = space.to_tiled(z);
+
+  std::vector<Candidate> candidates;
+  std::vector<i64> q(k);
+  for (const reuse::ReuseCandidate& rc : m.analysis->reuse_info().per_ref[ref]) {
+    for (const int sign : {+1, -1}) {
+      bool inside = true;
+      for (std::size_t d = 0; d < k; ++d) {
+        q[d] = z[d] - sign * rc.vector[d];
+        if (q[d] < 0 || q[d] >= m.trips[d]) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      std::vector<i64> q_to = space.to_tiled(q);
+      const int cmp = space.compare(q_to, p_to);
+      if (cmp > 0) continue;
+      if (cmp == 0 && rc.source_ref >= ref) continue;
+      if (floor_div(address_at(m, rc.source_ref, q), line_bytes) != line_a) continue;
+      bool duplicate = false;
+      for (const Candidate& c : candidates) {
+        if (c.source == rc.source_ref && c.q == q) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      candidates.push_back(Candidate{rc.source_ref, q, std::move(q_to)});
+    }
+  }
+
+  if (candidates.empty()) return cme::Outcome::ColdMiss;
+
+  std::sort(candidates.begin(), candidates.end(), [&](const Candidate& a, const Candidate& b) {
+    const int cmp = space.compare(a.q_to, b.q_to);
+    if (cmp != 0) return cmp > 0;
+    return a.source > b.source;
+  });
+
+  for (const Candidate& cand : candidates) {
+    if (interval_interference_free(m, cand, z, p_to, ref, line_a)) return cme::Outcome::Hit;
+  }
+  return cme::Outcome::ReplacementMiss;
+}
+
+}  // namespace reference
+
+struct Config {
+  std::string kernel;
+  i64 size;
+};
+
+const std::vector<Config>& configs() {
+  static const std::vector<Config> c = {{"T2D", 20}, {"MM", 12}, {"ADI", 12}, {"T3DJIK", 7}};
+  return c;
+}
+
+TileVector random_tiles(const ir::LoopNest& nest, Rng& rng) {
+  std::vector<i64> tile(nest.depth());
+  const std::vector<i64> trips = nest.trip_counts();
+  for (std::size_t d = 0; d < tile.size(); ++d) tile[d] = rng.uniform_int(1, trips[d]);
+  return TileVector{tile};
+}
+
+TEST(BatchClassify, MatchesScalarForAnyShardCountAndCacheMode) {
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  for (std::size_t config = 0; config < configs().size(); ++config) {
+    const auto& [kernel, size] = configs()[config];
+    const ir::LoopNest nest = kernels::build_kernel(kernel, size);
+    const ir::MemoryLayout layout(nest);
+    Rng rng(derive_seed(2002, config, (std::uint64_t)size));
+
+    for (int t = 0; t < 3; ++t) {
+      const TileVector tiles = random_tiles(nest, rng);
+      const auto points = cme::sample_points(nest, 96, derive_seed(7, config, (std::uint64_t)t));
+
+      cme::AnalysisOptions cached;
+      cme::AnalysisOptions uncached;
+      uncached.probe_cache = false;
+      const cme::NestAnalysis analysis(nest, layout, cache, tiles, cached);
+      const cme::NestAnalysis analysis_uncached(nest, layout, cache, tiles, uncached);
+
+      // Per-point scalar reference.
+      const std::size_t n_refs = nest.refs.size();
+      std::vector<cme::Outcome> reference(points.size() * n_refs);
+      for (std::size_t p = 0; p < points.size(); ++p)
+        for (std::size_t r = 0; r < n_refs; ++r)
+          reference[p * n_refs + r] = analysis.classify(points[p], r);
+
+      // Batched, any shard count (1, a few, more shards than points, auto),
+      // probe cache on and off: all bit-identical to the reference.
+      for (const int shards : {1, 2, 3, 7, 200, 0}) {
+        EXPECT_EQ(analysis.classify_batch(points, shards), reference)
+            << kernel << "_" << size << " tiles=" << tiles.to_string() << " shards=" << shards
+            << " cache=on";
+        EXPECT_EQ(analysis_uncached.classify_batch(points, shards), reference)
+            << kernel << "_" << size << " tiles=" << tiles.to_string() << " shards=" << shards
+            << " cache=off";
+      }
+    }
+  }
+}
+
+TEST(BatchClassify, MatchesIndependentReferenceClassifier) {
+  // Scalar, batched and the ported original algorithm must agree on every
+  // (point, reference) pair — on direct-mapped and set-associative caches.
+  for (const i64 assoc : {i64{1}, i64{2}}) {
+    const cache::CacheConfig cache{512, 32, assoc};
+    for (std::size_t config = 0; config < configs().size(); ++config) {
+      const auto& [kernel, size] = configs()[config];
+      const ir::LoopNest nest = kernels::build_kernel(kernel, size);
+      const ir::MemoryLayout layout(nest);
+      Rng rng(derive_seed(99, config, (std::uint64_t)assoc));
+
+      for (int t = 0; t < 2; ++t) {
+        const TileVector tiles = random_tiles(nest, rng);
+        const auto points = cme::sample_points(nest, 64, derive_seed(11, config, (std::uint64_t)t));
+        const cme::NestAnalysis analysis(nest, layout, cache, tiles);
+        const reference::Model model = reference::build_model(analysis);
+
+        const std::size_t n_refs = nest.refs.size();
+        const std::vector<cme::Outcome> batch = analysis.classify_batch(points, 3);
+        for (std::size_t p = 0; p < points.size(); ++p) {
+          for (std::size_t r = 0; r < n_refs; ++r) {
+            const cme::Outcome expected = reference::classify(model, points[p], r);
+            EXPECT_EQ(analysis.classify(points[p], r), expected)
+                << kernel << "_" << size << " assoc=" << assoc
+                << " tiles=" << tiles.to_string() << " p=" << p << " r=" << r;
+            EXPECT_EQ(batch[p * n_refs + r], expected)
+                << kernel << "_" << size << " assoc=" << assoc
+                << " tiles=" << tiles.to_string() << " p=" << p << " r=" << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchClassify, CountersMergeAcrossShards) {
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const TileVector tiles{{12, 4, 4}};
+  const auto points = cme::sample_points(nest, 96, 42);
+
+  cme::AnalysisOptions uncached;
+  uncached.probe_cache = false;
+
+  // Scalar reference: counters accumulated point by point.
+  const cme::NestAnalysis scalar(nest, layout, cache, tiles, uncached);
+  for (std::size_t p = 0; p < points.size(); ++p)
+    for (std::size_t r = 0; r < nest.refs.size(); ++r) (void)scalar.classify(points[p], r);
+  ASSERT_GT(scalar.probe_counters().probes, 0);
+
+  // Batched with the cache off: per-shard counters must merge to exactly
+  // the scalar totals, for any shard count.
+  for (const int shards : {1, 4, 33}) {
+    const cme::NestAnalysis batched(nest, layout, cache, tiles, uncached);
+    (void)batched.classify_batch(points, shards);
+    EXPECT_EQ(batched.probe_counters().probes, scalar.probe_counters().probes) << shards;
+    EXPECT_EQ(batched.probe_counters().fold_rounds, scalar.probe_counters().fold_rounds)
+        << shards;
+    EXPECT_EQ(batched.probe_counters().enumerated_leaves,
+              scalar.probe_counters().enumerated_leaves)
+        << shards;
+    EXPECT_EQ(batched.probe_counters().cache_hits, 0) << shards;
+  }
+
+  // With the cache on, every skipped probe is accounted as a hit: probes
+  // and hits partition the uncached probe count (single shard: one cache).
+  const cme::NestAnalysis cached(nest, layout, cache, tiles);
+  (void)cached.classify_batch(points, 1);
+  const cme::ProbeCounters& c = cached.probe_counters();
+  EXPECT_GT(c.cache_hits, 0);
+  EXPECT_GE(scalar.probe_counters().probes, c.probes);
+}
+
+TEST(BatchClassify, SampledEstimateUnchangedByShardCount) {
+  // estimate_with_points runs through classify_batch; the estimate must be
+  // identical to the pre-batching per-point path for every kernel.
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  for (const auto& [kernel, size] : configs()) {
+    const ir::LoopNest nest = kernels::build_kernel(kernel, size);
+    const ir::MemoryLayout layout(nest);
+    const cme::NestAnalysis analysis(nest, layout, cache, transform::TileVector::untiled(nest));
+    const auto points = cme::sample_points(nest, 164, 2002);
+
+    const cme::MissEstimate est = cme::estimate_with_points(analysis, points);
+    i64 cold = 0, repl = 0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (std::size_t r = 0; r < nest.refs.size(); ++r) {
+        switch (analysis.classify(points[p], r)) {
+          case cme::Outcome::ColdMiss: ++cold; break;
+          case cme::Outcome::ReplacementMiss: ++repl; break;
+          case cme::Outcome::Hit: break;
+        }
+      }
+    }
+    const double trials = (double)points.size() * (double)nest.refs.size();
+    EXPECT_DOUBLE_EQ(est.replacement_ratio, (double)repl / trials) << kernel;
+    EXPECT_DOUBLE_EQ(est.cold_ratio, (double)cold / trials) << kernel;
+  }
+}
+
+}  // namespace
+}  // namespace cmetile

@@ -1,0 +1,127 @@
+// Regression tests for the illegal-tile penalty. The penalty used to be
+// the constant 10 * access_count, so an all-illegal population had
+// avg == best, the GA's convergence test fired at min_generations, and
+// selection could not discriminate among illegal individuals. The penalty
+// now scales with transform::tile_vector_violation: still above any
+// achievable miss count, but graded by how far a vector is from legality,
+// so an all-illegal population has a gradient toward the legal region.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/objective.hpp"
+#include "ga/ga.hpp"
+#include "ir/builder.hpp"
+#include "transform/legality.hpp"
+
+namespace cmetile {
+namespace {
+
+/// Dependence-constrained nest: y(i) += a(i,j) under a sweep loop r. The
+/// write at (r, j, i) reaches reads at (r+1, j', i) with j' < j —
+/// distances (1, j'-j, 0) with negative middle components — so tiling j
+/// while keeping multi-sweep r tiles reorders the accumulation.
+ir::LoopNest swept_reduction(i64 n) {
+  ir::NestBuilder b("swept_reduction");
+  auto r = b.loop("r", 1, 4);
+  auto j = b.loop("j", 1, n);
+  auto i = b.loop("i", 1, n);
+  auto y = b.array("y", {n});
+  auto a = b.array("a", {n, n});
+  (void)r;
+  b.statement().read(y, {i}).read(a, {i, j}).write(y, {i});
+  return b.build();
+}
+
+TEST(ObjectivePenalty, GradesByViolationMagnitude) {
+  const ir::LoopNest nest = swept_reduction(16);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  core::ObjectiveOptions options;
+  options.estimator.sample_count = 32;
+  const core::TilingObjective objective(nest, layout, cache, options);
+
+  // All three are illegal (T_r >= 2 and T_j < 16), but at different
+  // distances from legality: T_r = 2 is one step from the legal T_r = 1.
+  const double nearly_legal = objective(std::vector<i64>{2, 4, 16});
+  const double mid = objective(std::vector<i64>{3, 8, 16});
+  const double far = objective(std::vector<i64>{4, 4, 16});
+  const double floor = 10.0 * (double)nest.access_count();
+
+  // Above any achievable miss count...
+  EXPECT_GT(nearly_legal, floor);
+  EXPECT_GT(mid, floor);
+  EXPECT_GT(far, floor);
+  // ... and NOT constant: graded toward the legal region.
+  EXPECT_LT(nearly_legal, mid);
+  EXPECT_LT(mid, far);
+
+  // Legal vectors evaluate to real miss estimates, below the penalty band.
+  const double legal = objective(std::vector<i64>{1, 4, 4});
+  EXPECT_TRUE(objective.is_legal(transform::TileVector{{1, 4, 4}}));
+  EXPECT_LT(legal, floor);
+}
+
+TEST(ObjectivePenalty, ViolationConsistentWithLegality) {
+  const ir::LoopNest nest = swept_reduction(16);
+  const auto risky = transform::risky_dependence_vectors(nest);
+  ASSERT_FALSE(risky.empty());
+  const std::vector<i64> trips = nest.trip_counts();
+
+  for (i64 tr = 1; tr <= 4; ++tr) {
+    for (i64 tj = 1; tj <= 16; ++tj) {
+      for (const i64 ti : {1, 4, 16}) {
+        const std::vector<i64> tiles{tr, tj, ti};
+        const bool legal = transform::tile_vector_legal(risky, trips, tiles);
+        const double violation = transform::tile_vector_violation(risky, trips, tiles);
+        EXPECT_EQ(legal, violation == 0.0)
+            << "(" << tr << "," << tj << "," << ti << ") violation=" << violation;
+        if (!legal) {
+          EXPECT_GE(violation, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ObjectivePenalty, GaEscapesAllIllegalInitialPopulation) {
+  const ir::LoopNest nest = swept_reduction(16);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  core::ObjectiveOptions options;
+  options.estimator.sample_count = 32;
+  const core::TilingObjective objective(nest, layout, cache, options);
+  const auto risky = transform::risky_dependence_vectors(nest);
+  const std::vector<i64> trips = nest.trip_counts();
+
+  ga::GaOptions ga_options;
+  ga_options.population = 30;
+  ga_options.min_generations = 10;
+  ga_options.max_generations = 30;
+  ga_options.mutation_prob = 0.02;
+  ga_options.seed = 2002;
+  // Seed the whole population with illegal vectors (T_r >= 2, T_j < 16):
+  // with the old constant penalty this population was a flat plateau.
+  for (std::size_t s = 0; s < ga_options.population; ++s) {
+    const i64 tr = 2 + (i64)(s % 3);
+    const i64 tj = 2 + (i64)(s % 14);
+    const i64 ti = 1 + (i64)(s % 16);
+    const std::vector<i64> seed_tiles{tr, tj, ti};
+    ASSERT_FALSE(transform::tile_vector_legal(risky, trips, seed_tiles));
+    ga_options.initial_seeds.push_back(seed_tiles);
+  }
+
+  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  const ga::GaResult result =
+      optimizer.run([&](std::span<const i64> values) { return objective(values); });
+
+  // The graded penalty gives selection a slope off the illegal plateau:
+  // the run must end on a legal tile vector with a real miss estimate.
+  EXPECT_TRUE(transform::tile_vector_legal(risky, trips, result.best_values))
+      << "best=" << transform::TileVector{result.best_values}.to_string();
+  EXPECT_LT(result.best_cost, 10.0 * (double)nest.access_count());
+}
+
+}  // namespace
+}  // namespace cmetile
