@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   const ir::LoopNest nest = kernels::build_kernel("MM", ctx.fast ? 40 : 64);
   const ir::MemoryLayout layout(nest);
-  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const cache::CacheConfig cache = bench::paper_cache_8k();
   const transform::TileVector untiled = transform::TileVector::untiled(nest);
 
   const cme::NestAnalysis analysis(nest, layout, cache, untiled);

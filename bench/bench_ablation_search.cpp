@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   {
     const ir::LoopNest nest = kernels::build_kernel("MM", 16);
     const ir::MemoryLayout layout(nest);
-    const cache::CacheConfig small_cache = cache::CacheConfig::direct_mapped(1024);
+    const cache::CacheConfig small_cache = bench::small_cache_1k();
     const core::TilingObjective objective(nest, layout, small_cache);
     const auto r = baselines::exhaustive_search(objective.domains(),
                                                 [&](std::span<const i64> v) { return objective(v); });

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::vector<i64> assocs{1, 2, 4};
   std::vector<std::vector<core::TilingRow>> rows_by_assoc;
   for (const i64 assoc : assocs) {
-    const cache::CacheConfig cache{8192, 32, assoc};
+    const cache::CacheConfig cache = bench::paper_cache_8k_assoc(assoc);
     core::ExperimentOptions opts = options;
     opts.seed = derive_seed(options.seed, (std::uint64_t)assoc);
     rows_by_assoc.push_back(core::run_tiling_experiments(entries, cache, opts));
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     const ir::MemoryLayout layout(nest);
     for (std::size_t a = 0; a < assocs.size(); ++a) {
       const i64 assoc = assocs[a];
-      const cache::CacheConfig cache{8192, 32, assoc};
+      const cache::CacheConfig cache = bench::paper_cache_8k_assoc(assoc);
       const core::TilingRow& row = rows_by_assoc[a][e];
 
       std::string sim_ratio = "-";

@@ -51,9 +51,31 @@ struct BenchContext {
   const char* name_;
 };
 
+// Shared cache geometries. Every bench takes its configs from here so the
+// legacy single-cache sweeps and the hierarchy sweeps stay comparable —
+// do not re-declare geometries inline in a bench.
 inline cache::CacheConfig paper_cache_8k() { return cache::CacheConfig::direct_mapped(8192, 32); }
 inline cache::CacheConfig paper_cache_32k() {
   return cache::CacheConfig::direct_mapped(32768, 32);
+}
+/// The paper's 8KB geometry at a different associativity (bench_assoc).
+inline cache::CacheConfig paper_cache_8k_assoc(i64 assoc) {
+  return cache::CacheConfig{8192, 32, assoc};
+}
+/// Deliberately tiny cache: makes conflict misses dominate at small N so
+/// search-quality ablations stay cheap.
+inline cache::CacheConfig small_cache_1k() { return cache::CacheConfig::direct_mapped(1024, 32); }
+
+// Two realistic L1+L2 geometries for the hierarchy sweeps. Latencies are
+// the additional stall per miss at each level (an L1 miss pays the L2 hit
+// latency, an L2 miss additionally pays the memory latency), in cycles.
+inline cache::Hierarchy hierarchy_8k_64k() {
+  return cache::Hierarchy::two_level(paper_cache_8k(), 10.0,
+                                     cache::CacheConfig{64 * 1024, 32, 4}, 80.0);
+}
+inline cache::Hierarchy hierarchy_16k_256k() {
+  return cache::Hierarchy::two_level(cache::CacheConfig{16 * 1024, 32, 2}, 12.0,
+                                     cache::CacheConfig{256 * 1024, 32, 8}, 120.0);
 }
 
 class StopWatch {

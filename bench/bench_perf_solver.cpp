@@ -9,7 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/api.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -59,7 +59,7 @@ BENCHMARK(BM_ProbeSmallBox);
 void BM_ClassifyPoint(benchmark::State& state) {
   const ir::LoopNest nest = kernels::build_kernel("MM", 500);
   const ir::MemoryLayout layout(nest);
-  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const cache::CacheConfig cache = bench::paper_cache_8k();
   const cme::NestAnalysis analysis(nest, layout, cache,
                                    transform::TileVector{{500, (i64)state.range(0),
                                                           (i64)state.range(0)}});
@@ -82,7 +82,7 @@ BENCHMARK(BM_ClassifyPoint)->Arg(8)->Arg(16)->Arg(64)->Arg(500);
 void classify_batch_bench(benchmark::State& state, bool probe_cache, int shards) {
   const ir::LoopNest nest = kernels::build_kernel("MM", 500);
   const ir::MemoryLayout layout(nest);
-  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const cache::CacheConfig cache = bench::paper_cache_8k();
   cme::AnalysisOptions options;
   options.probe_cache = probe_cache;
   const cme::NestAnalysis analysis(
@@ -123,7 +123,7 @@ void BM_SampledEstimate(benchmark::State& state) {
   // One GA objective evaluation: analysis construction + 164-point sample.
   const ir::LoopNest nest = kernels::build_kernel("MM", 500);
   const ir::MemoryLayout layout(nest);
-  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const cache::CacheConfig cache = bench::paper_cache_8k();
   const core::TilingObjective objective(nest, layout, cache);
   const std::vector<i64> tiles{500, 16, 16};
   for (auto _ : state) benchmark::DoNotOptimize(objective(tiles));
@@ -133,7 +133,7 @@ BENCHMARK(BM_SampledEstimate);
 void BM_SimulatorThroughput(benchmark::State& state) {
   const ir::LoopNest nest = kernels::build_kernel("MM", 64);
   const ir::MemoryLayout layout(nest);
-  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(8192);
+  const cache::CacheConfig cache = bench::paper_cache_8k();
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache::simulate_nest(nest, layout, cache));
   }

@@ -1,0 +1,89 @@
+// Hierarchy walkthrough: tile matrix multiply for a two-level cache, and
+// see why the L1-optimal tiles are not the machine-optimal tiles.
+//
+//   1. declare the MM nest (same as the quickstart),
+//   2. describe the machine as a cache::Hierarchy — L1 and L2 geometry
+//      plus the miss latency of each level (cycles),
+//   3. run the legacy L1-only search and the latency-weighted hierarchy
+//      search side by side,
+//   4. compare the chosen tiles under the weighted cost model and print
+//      per-level miss ratios.
+//
+// Build & run:  ./build/example_hierarchy [--n=128] [--fast]
+// (--fast shrinks N and the GA budget; the CTest smoke label uses it.)
+
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  const CliArgs args(argc, argv);
+  const bool fast = args.get_bool("fast", false);
+  const i64 n = args.get_int("n", fast ? 40 : 128);
+
+  // 1. The kernel: do i / do j / do k: a(i,j) += b(i,k)*c(k,j).
+  ir::NestBuilder builder("MM");
+  auto i = builder.loop("i", 1, n);
+  auto j = builder.loop("j", 1, n);
+  auto k = builder.loop("k", 1, n);
+  auto a = builder.array("a", {n, n});
+  auto b = builder.array("b", {n, n});
+  auto c = builder.array("c", {n, n});
+  builder.statement().read(a, {i, j}).read(b, {i, k}).read(c, {k, j}).write(a, {i, j});
+  const ir::LoopNest nest = builder.build();
+  const ir::MemoryLayout layout(nest);
+
+  // 2. The machine: 8KB direct-mapped L1 backed by a 64KB 4-way L2, one
+  //    32-byte line size. Latencies are the *additional* stall per miss at
+  //    each level: an L1 miss pays the L2 hit latency (10 cycles), an L2
+  //    miss additionally pays the memory latency (80 cycles).
+  const cache::Hierarchy machine = cache::Hierarchy::two_level(
+      cache::CacheConfig::direct_mapped(8192, 32), 10.0, cache::CacheConfig{65536, 32, 4}, 80.0);
+  std::cout << "Kernel: MM, N = " << n << "\n";
+  std::cout << "Machine: " << machine.to_string() << "\n\n";
+
+  core::OptimizerOptions options;
+  options.ga.seed = (std::uint64_t)args.get_int("seed", 42);
+  if (fast) options.shrink_for_smoke();
+
+  // 3a. The paper's pipeline: minimize L1 replacement misses, blind to L2.
+  const core::TilingResult l1_only =
+      core::optimize_tiling(nest, layout, machine.levels[0].config, options);
+
+  // 3b. The weighted pipeline: minimize Σ_level misses × miss latency.
+  //     Seeding the weighted GA with the L1-only optimum makes the
+  //     comparison sharp: different tiles mean a real preference.
+  core::OptimizerOptions weighted_options = options;
+  weighted_options.extra_tile_seeds.push_back(l1_only.tiles.t);
+  const core::HierarchyTilingResult weighted =
+      core::optimize_tiling(nest, layout, machine, weighted_options);
+
+  // 4. Compare both tile vectors under the weighted cost model.
+  const core::TilingObjective objective(nest, layout, machine, options.objective);
+  const cme::HierarchyEstimate at_l1_tiles = objective.evaluate_hierarchy(l1_only.tiles);
+
+  std::cout << "L1-only search:   tiles " << l1_only.tiles.to_string() << ", weighted cost "
+            << format_fixed(at_l1_tiles.weighted_cost, 0) << "\n";
+  std::cout << "Weighted search:  tiles " << weighted.tiles.to_string() << ", weighted cost "
+            << format_fixed(weighted.after.weighted_cost, 0) << "\n\n";
+
+  const auto print_levels = [&](const char* label, const cme::HierarchyEstimate& estimate) {
+    std::cout << label << "\n";
+    for (std::size_t l = 0; l < estimate.levels.size(); ++l) {
+      const cme::MissEstimate& e = estimate.levels[l];
+      std::cout << "  L" << (l + 1) << ": total " << format_pct(e.total_ratio)
+                << ", replacement " << format_pct(e.replacement_ratio) << "\n";
+    }
+  };
+  print_levels("Per-level miss ratios at the L1-only tiles:", at_l1_tiles);
+  print_levels("Per-level miss ratios at the weighted tiles:", weighted.after);
+
+  if (weighted.tiles.t != l1_only.tiles.t) {
+    std::cout << "\nThe weighted optimum diverges from the L1-only optimum: trading "
+                 "a few L1 misses for fewer (80-cycle) L2 misses wins on this machine.\n";
+  } else {
+    std::cout << "\nBoth searches agree on this kernel/machine combination.\n";
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
 #pragma once
 // Cache geometry shared by the CME model and the trace simulator.
-// The paper evaluates 8KB and 32KB direct-mapped caches with 32-byte lines;
-// the CME framework (and our solver) also supports k-way LRU caches.
+// The paper evaluates 8KB and 32KB direct-mapped caches with 32-byte
+// lines; the CME framework (and our solver) also supports k-way LRU
+// caches, and cache/hierarchy.hpp stacks 1–3 of these into a multi-level
+// hierarchy with per-level miss latencies.
 
 #include <string>
 
@@ -9,22 +11,33 @@
 
 namespace cmetile::cache {
 
+/// One cache's geometry. Plain value type — copy freely; immutable data
+/// is safe to read concurrently. All sizes are bytes; addresses are byte
+/// addresses from ir::MemoryLayout. The solver assumes power-of-two
+/// size/line (see validate()); callers construct aggregate-style and call
+/// validate() once, which every consumer (Simulator, NestAnalysis,
+/// Hierarchy) does on entry.
 struct CacheConfig {
   i64 size_bytes = 8 * 1024;
   i64 line_bytes = 32;
   i64 associativity = 1;  ///< 1 = direct-mapped
 
+  /// Total lines in the cache (= sets() × associativity).
   i64 lines() const { return size_bytes / line_bytes; }
   i64 sets() const { return lines() / associativity; }
   /// Bytes spanned by one way (the modulus of the CME congruences).
   i64 way_bytes() const { return size_bytes / associativity; }
 
+  /// Memory line holding a byte address (floor division — valid for
+  /// negative addresses too, though layouts only produce non-negative).
   i64 line_of(i64 address) const { return floor_div(address, line_bytes); }
+  /// Cache set a byte address maps to (bit-selection indexing).
   i64 set_of(i64 address) const { return floor_mod(line_of(address), sets()); }
 
   /// Throws contract_error on non-power-of-two / inconsistent geometry.
   void validate() const;
 
+  /// Human-readable geometry, e.g. "8KB/32B direct-mapped".
   std::string to_string() const;
 
   static CacheConfig direct_mapped(i64 size_bytes, i64 line_bytes = 32) {
@@ -35,7 +48,8 @@ struct CacheConfig {
 /// Aggregated miss counts; the paper's two metrics are
 /// total miss ratio = (cold + replacement)/accesses and
 /// replacement miss ratio = replacement/accesses (§3.1: replacement misses
-/// include both capacity and conflict misses).
+/// include both capacity and conflict misses). Counts are absolute access
+/// counts (not ratios); ratio helpers return 0 for an empty window.
 struct MissStats {
   i64 accesses = 0;
   i64 cold_misses = 0;

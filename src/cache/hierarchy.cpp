@@ -1,0 +1,63 @@
+#include "cache/hierarchy.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::cache {
+
+double Hierarchy::latency_sum() const {
+  double sum = 0.0;
+  for (const CacheLevel& level : levels) sum += level.miss_latency;
+  return sum;
+}
+
+double Hierarchy::weighted_cost(const std::vector<double>& misses_per_level) const {
+  expects(misses_per_level.size() == levels.size(),
+          "Hierarchy::weighted_cost: one miss count per level required");
+  double cost = 0.0;
+  for (std::size_t l = 0; l < levels.size(); ++l)
+    cost += misses_per_level[l] * levels[l].miss_latency;
+  return cost;
+}
+
+void Hierarchy::validate() const {
+  expects(!levels.empty(), "Hierarchy: at least one level required");
+  expects(levels.size() <= kMaxLevels, "Hierarchy: at most 3 levels supported");
+  for (const CacheLevel& level : levels) {
+    level.config.validate();
+    expects(level.miss_latency >= 0.0 && std::isfinite(level.miss_latency),
+            "Hierarchy: miss latency must be finite and >= 0");
+  }
+  // All-zero latencies would zero the weighted cost AND the illegal-tile
+  // penalty, letting the GA return dependence-violating tiles unopposed.
+  expects(latency_sum() > 0.0, "Hierarchy: at least one level needs a positive miss latency");
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    expects(levels[l].config.line_bytes == levels[0].config.line_bytes,
+            "Hierarchy: all levels must share one line size");
+    expects(levels[l].config.size_bytes > levels[l - 1].config.size_bytes,
+            "Hierarchy: capacities must strictly increase outward");
+  }
+}
+
+std::string Hierarchy::to_string() const {
+  std::ostringstream out;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    if (l > 0) out << " + ";
+    out << "L" << (l + 1) << " " << levels[l].config.to_string() << " (miss "
+        << levels[l].miss_latency << ")";
+  }
+  return out.str();
+}
+
+Hierarchy Hierarchy::single(CacheConfig config, double miss_latency) {
+  return Hierarchy{{CacheLevel{config, miss_latency}}};
+}
+
+Hierarchy Hierarchy::two_level(CacheConfig l1, double l1_miss_latency, CacheConfig l2,
+                               double l2_miss_latency) {
+  return Hierarchy{{CacheLevel{l1, l1_miss_latency}, CacheLevel{l2, l2_miss_latency}}};
+}
+
+}  // namespace cmetile::cache

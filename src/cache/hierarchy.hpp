@@ -1,0 +1,71 @@
+#pragma once
+// Multi-level cache hierarchy: 1–3 levels of CacheConfig, each with a miss
+// latency, optimized jointly by the latency-weighted objective
+//
+//     cost(T) = Σ_level  misses_level(T) · miss_latency_level
+//
+// (DESIGN.md §12). The CME analysis treats every level independently on
+// the full access stream — level l's misses are those of level l's cache
+// simulated standalone — which coincides with an inclusive hierarchy where
+// every access probes all levels. A single-level hierarchy with latency 1
+// reproduces the paper's single-cache pipeline bit for bit.
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace cmetile::cache {
+
+/// One level of the hierarchy: a cache geometry plus the cost of missing
+/// in it. `miss_latency` is the *additional* stall charged per miss at
+/// this level (i.e. the access latency of the next level down: an L1 miss
+/// pays the L2 hit latency, an L2 miss pays the memory latency), in
+/// arbitrary but consistent units (typically cycles). A miss in both
+/// levels of a two-level hierarchy therefore pays both latencies — the
+/// standard additive stall decomposition.
+struct CacheLevel {
+  CacheConfig config;
+  double miss_latency = 1.0;
+};
+
+/// An ordered hierarchy, levels[0] = the level closest to the processor
+/// (L1). Value type: copy freely, no ownership concerns. Thread-safe for
+/// concurrent reads after construction (it is immutable plain data).
+struct Hierarchy {
+  std::vector<CacheLevel> levels;
+
+  static constexpr std::size_t kMaxLevels = 3;
+
+  std::size_t depth() const { return levels.size(); }
+
+  /// Σ_level miss_latency — the worst-case stall of one access, used to
+  /// scale the illegal-tile penalty above any feasible weighted cost.
+  double latency_sum() const;
+
+  /// Latency-weighted cost of per-level miss counts (`misses[l]` pairs
+  /// with `levels[l]`). Precondition: misses.size() == depth().
+  double weighted_cost(const std::vector<double>& misses_per_level) const;
+
+  /// Throws contract_error unless: 1..kMaxLevels levels, every level's
+  /// geometry validates, all levels share one line size, capacities
+  /// strictly increase outward, latencies are finite and >= 0, and at
+  /// least one latency is > 0 (an all-zero weighting would also zero the
+  /// illegal-tile penalty). (It does NOT require LRU inclusion to hold —
+  /// see HierarchySimulator, which counts inclusion violations
+  /// empirically.)
+  void validate() const;
+
+  std::string to_string() const;
+
+  /// The paper's single-cache setup: one level, unit latency. With the
+  /// default latency the weighted cost *is* the replacement miss count,
+  /// bit-identical to the single-cache pipeline.
+  static Hierarchy single(CacheConfig config, double miss_latency = 1.0);
+
+  /// Convenience two-level constructor (L1 then L2).
+  static Hierarchy two_level(CacheConfig l1, double l1_miss_latency, CacheConfig l2,
+                             double l2_miss_latency);
+};
+
+}  // namespace cmetile::cache

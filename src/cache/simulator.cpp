@@ -42,6 +42,27 @@ void Simulator::reset() {
   stats_ = MissStats{};
 }
 
+HierarchySimulator::HierarchySimulator(const Hierarchy& hierarchy) {
+  hierarchy.validate();
+  sims_.reserve(hierarchy.depth());
+  for (const CacheLevel& level : hierarchy.levels) sims_.emplace_back(level.config);
+  outcomes_.resize(hierarchy.depth());
+}
+
+std::span<const AccessOutcome> HierarchySimulator::access(i64 address) {
+  for (std::size_t l = 0; l < sims_.size(); ++l) outcomes_[l] = sims_[l].access(address);
+  for (std::size_t l = 0; l + 1 < sims_.size(); ++l) {
+    if (outcomes_[l] == AccessOutcome::Hit && outcomes_[l + 1] != AccessOutcome::Hit)
+      ++inclusion_violations_;
+  }
+  return outcomes_;
+}
+
+void HierarchySimulator::reset() {
+  for (Simulator& sim : sims_) sim.reset();
+  inclusion_violations_ = 0;
+}
+
 std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                                      const CacheConfig& config) {
   Simulator sim(config);
@@ -56,6 +77,27 @@ std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryL
   MissStats& total = per_ref.back();
   for (std::size_t r = 0; r < nest.refs.size(); ++r) total += per_ref[r];
   return per_ref;
+}
+
+std::vector<std::vector<MissStats>> simulate_nest(const ir::LoopNest& nest,
+                                                  const ir::MemoryLayout& layout,
+                                                  const Hierarchy& hierarchy) {
+  HierarchySimulator sim(hierarchy);
+  std::vector<std::vector<MissStats>> per_level(hierarchy.depth());
+  for (auto& per_ref : per_level) per_ref.resize(nest.refs.size() + 1);
+  ir::for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool) {
+    const std::span<const AccessOutcome> outcomes = sim.access(address);
+    for (std::size_t l = 0; l < outcomes.size(); ++l) {
+      MissStats& s = per_level[l][ref];
+      ++s.accesses;
+      if (outcomes[l] == AccessOutcome::ColdMiss) ++s.cold_misses;
+      if (outcomes[l] == AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+    }
+  });
+  for (auto& per_ref : per_level) {
+    for (std::size_t r = 0; r < nest.refs.size(); ++r) per_ref.back() += per_ref[r];
+  }
+  return per_level;
 }
 
 }  // namespace cmetile::cache

@@ -5,21 +5,26 @@
 // cold misses are first-ever touches of a memory line, every other miss is
 // a replacement miss (capacity or conflict — the paper does not split them).
 
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
 #include "ir/trace.hpp"
 
 namespace cmetile::cache {
 
 enum class AccessOutcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss };
 
+/// Single-level trace simulator. Not thread-safe: one instance per thread
+/// (it mutates LRU state on every access).
 class Simulator {
  public:
+  /// Validates the geometry (throws contract_error on a bad config).
   explicit Simulator(const CacheConfig& config);
 
-  /// Simulate one access; updates LRU state and counters.
+  /// Simulate one access at a byte address; updates LRU state and counters.
   AccessOutcome access(i64 address);
 
   /// Reset cache content and counters (the touched-lines history too).
@@ -35,9 +40,45 @@ class Simulator {
   MissStats stats_;
 };
 
+/// Inclusive multi-level mode: every access probes *all* levels, so each
+/// level's content (and stats) is exactly what a standalone simulation of
+/// that level over the full stream produces — the same convention the
+/// per-level CMEs use (DESIGN.md §12). Under that model LRU inclusion
+/// (level-l content ⊆ level-(l+1) content) holds for nested geometries;
+/// `inclusion_violations()` counts the accesses where it did not (a hit at
+/// level l that missed at level l+1), so tests and benches can verify the
+/// inclusive reading of the per-level numbers instead of assuming it.
+/// Not thread-safe (same contract as Simulator).
+class HierarchySimulator {
+ public:
+  /// Validates the hierarchy (throws contract_error on a bad geometry).
+  explicit HierarchySimulator(const Hierarchy& hierarchy);
+
+  /// Simulate one access against every level; returns per-level outcomes
+  /// (valid until the next call).
+  std::span<const AccessOutcome> access(i64 address);
+
+  void reset();
+
+  std::size_t depth() const { return sims_.size(); }
+  const MissStats& stats(std::size_t level) const { return sims_[level].stats(); }
+  i64 inclusion_violations() const { return inclusion_violations_; }
+
+ private:
+  std::vector<Simulator> sims_;
+  std::vector<AccessOutcome> outcomes_;
+  i64 inclusion_violations_ = 0;
+};
+
 /// Simulate a whole nest in original order; returns per-reference stats
 /// (indexed by reference) plus the aggregate as the last element.
 std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                                      const CacheConfig& config);
+
+/// Multi-level variant: result[level] is the per-reference stats vector
+/// (aggregate last) of that level over the full access stream.
+std::vector<std::vector<MissStats>> simulate_nest(const ir::LoopNest& nest,
+                                                  const ir::MemoryLayout& layout,
+                                                  const Hierarchy& hierarchy);
 
 }  // namespace cmetile::cache

@@ -9,7 +9,13 @@
 // Sampling happens in the *original* rectangular
 // space, which is the same point multiset for every tile vector; a GA run
 // can therefore reuse one sample set across all evaluated tilings (common
-// random numbers) — see core/objective.
+// random numbers) — see core/objective. The hierarchy estimator
+// (cme/hierarchy.hpp) reuses the same sample across cache levels too.
+//
+// Threading: every function here is a pure function of its arguments and
+// may be called concurrently on distinct NestAnalysis instances; for one
+// instance, the NestAnalysis contract applies (one caller at a time —
+// classify_batch parallelizes internally across shards).
 
 #include <span>
 #include <vector>
@@ -28,11 +34,16 @@ inline constexpr i64 kPaperSampleCount = 164;
 struct EstimatorOptions {
   double ci_width = 0.1;       ///< total CI width (paper: 0.1)
   double confidence = 0.90;    ///< paper: 90% (see stats.hpp for the convention)
-  i64 sample_count = 0;        ///< 0 = the paper's 164
-  std::uint64_t seed = 0xC3E5EEDULL;
+  i64 sample_count = 0;        ///< 0 = derive from ci_width/confidence (the paper's 164)
+  std::uint64_t seed = 0xC3E5EEDULL;  ///< sample-draw seed (common random numbers)
   i64 exact_threshold = 0;     ///< traverse exactly when points <= threshold
 };
 
+/// One estimate. Ratios are misses per access in [0, 1]; *_half_width are
+/// the CI half-widths of the corresponding ratio at the requested
+/// confidence (0 in exact mode); access_count is the absolute number of
+/// accesses the full nest executes, so ratio × access_count converts any
+/// ratio into an absolute miss count.
 struct MissEstimate {
   double total_ratio = 0.0;
   double replacement_ratio = 0.0;
@@ -49,11 +60,13 @@ struct MissEstimate {
   double total_misses() const { return total_ratio * (double)access_count; }
 };
 
-/// 0-based sample points drawn uniformly from the nest's iteration space.
+/// 0-based sample points drawn uniformly from the nest's iteration space
+/// (with replacement). Deterministic in (nest shape, count, seed).
 std::vector<std::vector<i64>> sample_points(const ir::LoopNest& nest, i64 count,
                                             std::uint64_t seed);
 
-/// Default paper sample size for the options (164 for width 0.1 / 90%).
+/// Sample size the options resolve to (164 for the paper's width 0.1 /
+/// 90% defaults; otherwise the exact formula of support/stats.hpp).
 i64 resolved_sample_count(const EstimatorOptions& options);
 
 /// Estimate with a caller-provided sample (enables common random numbers).
@@ -69,7 +82,8 @@ MissEstimate estimate_misses(const NestAnalysis& analysis, const EstimatorOption
 /// Exact miss counts by full traversal (use only for small spaces).
 MissEstimate estimate_exact(const NestAnalysis& analysis);
 
-/// Exact per-reference counts by full traversal (tests/validation).
+/// Exact per-reference counts by full traversal, indexed by reference
+/// with the aggregate as the last element (tests/validation).
 std::vector<cache::MissStats> classify_all_points(const NestAnalysis& analysis);
 
 }  // namespace cmetile::cme

@@ -1,0 +1,45 @@
+#include "cme/hierarchy.hpp"
+
+#include "support/contracts.hpp"
+
+namespace cmetile::cme {
+
+HierarchyAnalysis::HierarchyAnalysis(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                     cache::Hierarchy hierarchy,
+                                     const transform::TileVector& tiles, AnalysisOptions options)
+    : hierarchy_(std::move(hierarchy)) {
+  hierarchy_.validate();
+  levels_.reserve(hierarchy_.depth());
+  for (const cache::CacheLevel& level : hierarchy_.levels)
+    levels_.emplace_back(nest, layout, level.config, tiles, options);
+}
+
+double weighted_cost(const cache::Hierarchy& hierarchy, std::span<const MissEstimate> levels) {
+  std::vector<double> misses;
+  misses.reserve(levels.size());
+  for (const MissEstimate& level : levels) misses.push_back(level.replacement_misses());
+  return hierarchy.weighted_cost(misses);
+}
+
+HierarchyEstimate estimate_hierarchy_with_points(const HierarchyAnalysis& analysis,
+                                                 std::span<const std::vector<i64>> points,
+                                                 double confidence) {
+  HierarchyEstimate estimate;
+  estimate.levels.reserve(analysis.depth());
+  for (std::size_t l = 0; l < analysis.depth(); ++l)
+    estimate.levels.push_back(estimate_with_points(analysis.level(l), points, confidence));
+  estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels);
+  return estimate;
+}
+
+HierarchyEstimate estimate_hierarchy(const HierarchyAnalysis& analysis,
+                                     const EstimatorOptions& options) {
+  HierarchyEstimate estimate;
+  estimate.levels.reserve(analysis.depth());
+  for (std::size_t l = 0; l < analysis.depth(); ++l)
+    estimate.levels.push_back(estimate_misses(analysis.level(l), options));
+  estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels);
+  return estimate;
+}
+
+}  // namespace cmetile::cme

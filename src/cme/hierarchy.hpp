@@ -1,0 +1,75 @@
+#pragma once
+// Per-level CME analysis of a cache hierarchy (DESIGN.md §12). The CME
+// construction is level-agnostic: a HierarchyAnalysis builds one full
+// NestAnalysis — equation sets, prepared reuse vectors and (per shard) a
+// probe-verdict cache — per level, all sharing the same nest, layout and
+// tile vector. Estimation classifies the *same* sample points against
+// every level (common random numbers across levels as well as across
+// individuals), so per-level estimates are comparable and the weighted
+// cost is a smooth function of the tile vector.
+//
+// Level l's misses are defined as the misses of level l's cache run
+// standalone over the full access stream — the convention under which the
+// inclusive HierarchySimulator reproduces them exactly (cache/simulator).
+//
+// Invariant (pinned by hierarchy_test): a single-level hierarchy with
+// miss latency 1.0 produces estimates and weighted costs bit-identical to
+// the legacy single-cache estimator path.
+
+#include <span>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cme/estimator.hpp"
+
+namespace cmetile::cme {
+
+/// Immutable per-level analysis bundle. Same threading contract as
+/// NestAnalysis: classification may run from one thread at a time per
+/// instance (classify_batch parallelizes internally); the GA parallelizes
+/// across instances. Holds a copy of the hierarchy and references the
+/// nest (caller keeps it alive, same as NestAnalysis).
+class HierarchyAnalysis {
+ public:
+  /// Validates the hierarchy; builds one NestAnalysis per level.
+  HierarchyAnalysis(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                    cache::Hierarchy hierarchy, const transform::TileVector& tiles,
+                    AnalysisOptions options = {});
+
+  std::size_t depth() const { return levels_.size(); }
+  const NestAnalysis& level(std::size_t l) const { return levels_[l]; }
+  const cache::Hierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  cache::Hierarchy hierarchy_;
+  std::vector<NestAnalysis> levels_;
+};
+
+/// Per-level miss estimates plus the latency-weighted scalar the GA
+/// minimizes. `levels[l]` pairs with `hierarchy.levels[l]` (0 = L1).
+struct HierarchyEstimate {
+  std::vector<MissEstimate> levels;
+  /// Σ_level replacement_misses(level) × miss_latency(level) — absolute
+  /// stall units (latency unit × misses). Cold misses are excluded for
+  /// consistency with the paper's replacement-miss objective. For the
+  /// tiling search they are also tiling-invariant, so the argmin is
+  /// unchanged; in the padding searches pads can shift cold counts, where
+  /// replacement-only simply mirrors the paper's single-cache choice.
+  double weighted_cost = 0.0;
+};
+
+/// Estimate every level on one shared sample (the hierarchy analogue of
+/// estimate_with_points; see that function for the sampling contract).
+HierarchyEstimate estimate_hierarchy_with_points(const HierarchyAnalysis& analysis,
+                                                 std::span<const std::vector<i64>> points,
+                                                 double confidence = 0.90);
+
+/// Estimate every level with options (sampled, or exact under the
+/// threshold — the hierarchy analogue of estimate_misses).
+HierarchyEstimate estimate_hierarchy(const HierarchyAnalysis& analysis,
+                                     const EstimatorOptions& options = {});
+
+/// Weighted cost of an already-computed per-level estimate set.
+double weighted_cost(const cache::Hierarchy& hierarchy, std::span<const MissEstimate> levels);
+
+}  // namespace cmetile::cme

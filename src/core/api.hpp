@@ -3,18 +3,29 @@
 //
 //   #include "core/api.hpp"
 //
-// pulls in the loop-nest IR and builder, the cache model and simulator,
-// reuse analysis, the CME solver and estimators, the tiling/padding
-// transformations, the genetic optimizer and the high-level tiling
-// pipeline. See README.md for a quickstart and DESIGN.md for the map.
+// pulls in the loop-nest IR and builder, the cache model (single caches
+// and 1–3-level hierarchies), the trace simulators, reuse analysis, the
+// CME solver and estimators (single-level and per-level hierarchy forms),
+// the tiling/padding transformations, the genetic optimizer and the
+// high-level tiling pipeline. See README.md for a quickstart and
+// DESIGN.md for the layer map.
+//
+// Everything lives under namespace cmetile, one nested namespace per
+// layer (cmetile::ir, ::cache, ::cme, ::core, …). Link the `cmetile`
+// CMake target to get every layer. All public types are value types or
+// hold non-owning pointers whose referents the caller keeps alive (each
+// class documents which); no global state beyond the diagnostic counters
+// noted in cme/analysis.hpp.
 
 #include "baselines/analytic.hpp"
 #include "baselines/search.hpp"
 #include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
 #include "cache/simulator.hpp"
 #include "cme/analysis.hpp"
 #include "cme/equations.hpp"
 #include "cme/estimator.hpp"
+#include "cme/hierarchy.hpp"
 #include "core/experiment.hpp"
 #include "core/objective.hpp"
 #include "core/tiler.hpp"

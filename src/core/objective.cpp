@@ -6,12 +6,18 @@ namespace cmetile::core {
 
 TilingObjective::TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
                                  cache::CacheConfig cache, ObjectiveOptions options)
+    : TilingObjective(nest, std::move(layout), cache::Hierarchy::single(cache),
+                      std::move(options)) {}
+
+TilingObjective::TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
+                                 cache::Hierarchy hierarchy, ObjectiveOptions options)
     : nest_(&nest),
       layout_(std::move(layout)),
-      cache_(cache),
+      hierarchy_(std::move(hierarchy)),
       options_(options),
       risky_deps_(transform::risky_dependence_vectors(nest)),
       trips_(nest.trip_counts()) {
+  hierarchy_.validate();
   const i64 n = cme::resolved_sample_count(options_.estimator);
   points_ = cme::sample_points(nest, n, options_.estimator.seed);
 }
@@ -27,8 +33,16 @@ std::vector<ga::VarDomain> TilingObjective::domains() const {
 }
 
 cme::MissEstimate TilingObjective::evaluate(const transform::TileVector& tiles) const {
-  const cme::NestAnalysis analysis(*nest_, layout_, cache_, tiles, options_.analysis);
+  // Level-0 only: don't pay for the outer levels' analyses here.
+  const cme::NestAnalysis analysis(*nest_, layout_, hierarchy_.levels.front().config, tiles,
+                                   options_.analysis);
   return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
+}
+
+cme::HierarchyEstimate TilingObjective::evaluate_hierarchy(
+    const transform::TileVector& tiles) const {
+  const cme::HierarchyAnalysis analysis(*nest_, layout_, hierarchy_, tiles, options_.analysis);
+  return cme::estimate_hierarchy_with_points(analysis, points_, options_.estimator.confidence);
 }
 
 double TilingObjective::operator()(std::span<const i64> tiles) const {
@@ -36,24 +50,31 @@ double TilingObjective::operator()(std::span<const i64> tiles) const {
       transform::TileVector::clamped({tiles.begin(), tiles.end()}, *nest_);
   const double violation = transform::tile_vector_violation(risky_deps_, trips_, tv.t);
   if (violation > 0.0) {
-    // Finite penalty above any achievable miss count (access_count bounds
-    // the misses; violation >= 1), graded by how far the vector is from
-    // legality so selection discriminates even in an all-illegal
+    // Finite penalty above any achievable weighted cost (access_count ×
+    // latency_sum bounds it; violation >= 1), graded by how far the vector
+    // is from legality so selection discriminates even in an all-illegal
     // population and the convergence test cannot fire on a flat plateau.
-    return (10.0 + violation) * (double)nest_->access_count();
+    return (10.0 + violation) * (double)nest_->access_count() * hierarchy_.latency_sum();
   }
-  return evaluate(tv).replacement_misses();
+  return evaluate_hierarchy(tv).weighted_cost;
 }
 
 PaddingObjective::PaddingObjective(const ir::LoopNest& nest, cache::CacheConfig cache,
                                    transform::TileVector tiles, i64 max_intra_elems,
                                    i64 max_inter_lines, ObjectiveOptions options)
+    : PaddingObjective(nest, cache::Hierarchy::single(cache), std::move(tiles), max_intra_elems,
+                       max_inter_lines, std::move(options)) {}
+
+PaddingObjective::PaddingObjective(const ir::LoopNest& nest, cache::Hierarchy hierarchy,
+                                   transform::TileVector tiles, i64 max_intra_elems,
+                                   i64 max_inter_lines, ObjectiveOptions options)
     : nest_(&nest),
-      cache_(cache),
+      hierarchy_(std::move(hierarchy)),
       tiles_(std::move(tiles)),
       max_intra_(max_intra_elems),
       max_inter_(max_inter_lines),
       options_(options) {
+  hierarchy_.validate();
   expects(max_intra_ >= 0 && max_inter_ >= 0, "PaddingObjective: negative pad bound");
   const i64 n = cme::resolved_sample_count(options_.estimator);
   points_ = cme::sample_points(nest, n, options_.estimator.seed);
@@ -79,24 +100,39 @@ transform::PadVector PaddingObjective::unpack(std::span<const i64> pad_values) c
 
 cme::MissEstimate PaddingObjective::evaluate(const transform::PadVector& pads) const {
   const ir::MemoryLayout layout = transform::padded_layout(*nest_, pads);
-  const cme::NestAnalysis analysis(*nest_, layout, cache_, tiles_, options_.analysis);
+  const cme::NestAnalysis analysis(*nest_, layout, hierarchy_.levels.front().config, tiles_,
+                                   options_.analysis);
   return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
 }
 
+cme::HierarchyEstimate PaddingObjective::evaluate_hierarchy(
+    const transform::PadVector& pads) const {
+  const ir::MemoryLayout layout = transform::padded_layout(*nest_, pads);
+  const cme::HierarchyAnalysis analysis(*nest_, layout, hierarchy_, tiles_, options_.analysis);
+  return cme::estimate_hierarchy_with_points(analysis, points_, options_.estimator.confidence);
+}
+
 double PaddingObjective::operator()(std::span<const i64> pad_values) const {
-  return evaluate(unpack(pad_values)).replacement_misses();
+  return evaluate_hierarchy(unpack(pad_values)).weighted_cost;
 }
 
 JointObjective::JointObjective(const ir::LoopNest& nest, cache::CacheConfig cache,
                                i64 max_intra_elems, i64 max_inter_lines,
                                ObjectiveOptions options)
+    : JointObjective(nest, cache::Hierarchy::single(cache), max_intra_elems, max_inter_lines,
+                     std::move(options)) {}
+
+JointObjective::JointObjective(const ir::LoopNest& nest, cache::Hierarchy hierarchy,
+                               i64 max_intra_elems, i64 max_inter_lines,
+                               ObjectiveOptions options)
     : nest_(&nest),
-      cache_(cache),
+      hierarchy_(std::move(hierarchy)),
       max_intra_(max_intra_elems),
       max_inter_(max_inter_lines),
       options_(options),
       risky_deps_(transform::risky_dependence_vectors(nest)),
       trips_(nest.trip_counts()) {
+  hierarchy_.validate();
   const i64 n = cme::resolved_sample_count(options_.estimator);
   points_ = cme::sample_points(nest, n, options_.estimator.seed);
 }
@@ -130,17 +166,26 @@ bool JointObjective::is_legal(const transform::TileVector& tiles) const {
 
 cme::MissEstimate JointObjective::evaluate(const Decoded& decoded) const {
   const ir::MemoryLayout layout = transform::padded_layout(*nest_, decoded.pads);
-  const cme::NestAnalysis analysis(*nest_, layout, cache_, decoded.tiles, options_.analysis);
+  const cme::NestAnalysis analysis(*nest_, layout, hierarchy_.levels.front().config,
+                                   decoded.tiles, options_.analysis);
   return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
+}
+
+cme::HierarchyEstimate JointObjective::evaluate_hierarchy(const Decoded& decoded) const {
+  const ir::MemoryLayout layout = transform::padded_layout(*nest_, decoded.pads);
+  const cme::HierarchyAnalysis analysis(*nest_, layout, hierarchy_, decoded.tiles,
+                                        options_.analysis);
+  return cme::estimate_hierarchy_with_points(analysis, points_, options_.estimator.confidence);
 }
 
 double JointObjective::operator()(std::span<const i64> values) const {
   const Decoded decoded = unpack(values);
   const double violation = transform::tile_vector_violation(risky_deps_, trips_, decoded.tiles.t);
-  // Same graded penalty as TilingObjective: above any feasible miss count,
-  // discriminating among illegal individuals.
-  if (violation > 0.0) return (10.0 + violation) * (double)nest_->access_count();
-  return evaluate(decoded).replacement_misses();
+  // Same graded penalty as TilingObjective: above any feasible weighted
+  // cost, discriminating among illegal individuals.
+  if (violation > 0.0)
+    return (10.0 + violation) * (double)nest_->access_count() * hierarchy_.latency_sum();
+  return evaluate_hierarchy(decoded).weighted_cost;
 }
 
 }  // namespace cmetile::core

@@ -1,16 +1,19 @@
 #pragma once
-// GA objectives (paper §3.1): f(T_1..T_k) = #ReplacementMisses, evaluated
-// through the parameterized CMEs — i.e. a fresh NestAnalysis per candidate
-// tile/pad vector, estimated on a *fixed* sample of iteration points drawn
-// once per optimizer run. Sampling in the original rectangular space makes
-// the sample valid for every tiling (same access multiset), which gives
-// common random numbers across individuals: selection compares candidates
-// on the same points instead of through independent sampling noise
-// (DESIGN.md §8). Operator() is thread-safe (the GA evaluates populations
-// in parallel).
+// GA objectives (paper §3.1, generalized to a cache hierarchy in DESIGN.md
+// §12): f(T_1..T_k) = Σ_level #ReplacementMisses_level · miss_latency_level,
+// evaluated through the parameterized CMEs — i.e. a fresh per-level
+// analysis per candidate tile/pad vector, estimated on a *fixed* sample of
+// iteration points drawn once per optimizer run. Sampling in the original
+// rectangular space makes the sample valid for every tiling (same access
+// multiset), which gives common random numbers across individuals AND
+// across hierarchy levels: selection compares candidates on the same
+// points instead of through independent sampling noise (DESIGN.md §8).
+// With a single-level hierarchy of miss latency 1 the cost is the paper's
+// plain replacement-miss count, bit for bit. Operator() is thread-safe
+// (the GA evaluates populations in parallel).
 
 #include <span>
-#include "cme/estimator.hpp"
+#include "cme/hierarchy.hpp"
 #include "ga/encoding.hpp"
 #include "transform/legality.hpp"
 #include "transform/padding.hpp"
@@ -23,47 +26,65 @@ struct ObjectiveOptions {
   cme::AnalysisOptions analysis;
 };
 
-/// Cost of a tile vector = estimated replacement misses of the tiled nest.
-/// Tile vectors that would reorder a dependence illegally (see
-/// transform/legality.hpp) receive a penalty cost above any feasible miss
-/// count — graded by tile_vector_violation so selection discriminates
-/// among illegal individuals — and the GA searches only
-/// semantics-preserving tilings.
+/// Cost of a tile vector = latency-weighted replacement misses of the
+/// tiled nest across the hierarchy. Tile vectors that would reorder a
+/// dependence illegally (see transform/legality.hpp) receive a penalty
+/// cost above any feasible weighted cost — graded by tile_vector_violation
+/// so selection discriminates among illegal individuals — and the GA
+/// searches only semantics-preserving tilings.
 class TilingObjective {
  public:
+  /// Single-cache form (the paper's setup): equivalent to a one-level
+  /// hierarchy with miss latency 1, so the cost is the replacement-miss
+  /// count. The nest must outlive the objective; layout/cache are copied.
   TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
                   cache::CacheConfig cache, ObjectiveOptions options = {});
+
+  /// Hierarchy form: cost = Σ_level misses_level × miss_latency_level.
+  TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
+                  cache::Hierarchy hierarchy, ObjectiveOptions options = {});
 
   /// GA domains: T_d ∈ [1, U_d] (paper §3.1).
   std::vector<ga::VarDomain> domains() const;
 
-  /// Estimated replacement misses (the GA cost). Thread-safe.
+  /// Latency-weighted estimated replacement misses (the GA cost), or the
+  /// graded illegality penalty. Thread-safe.
   double operator()(std::span<const i64> tiles) const;
 
-  /// Full estimate for a tile vector (ratios, CI) on the shared sample.
+  /// Level-0 (L1) estimate for a tile vector (ratios, CI) on the shared
+  /// sample — the single-cache pipeline's full result.
   cme::MissEstimate evaluate(const transform::TileVector& tiles) const;
+
+  /// Per-level estimates + weighted cost on the shared sample.
+  cme::HierarchyEstimate evaluate_hierarchy(const transform::TileVector& tiles) const;
 
   /// Is this tile vector a legal reordering of the nest?
   bool is_legal(const transform::TileVector& tiles) const;
 
   const ir::LoopNest& nest() const { return *nest_; }
+  const cache::Hierarchy& hierarchy() const { return hierarchy_; }
 
  private:
   const ir::LoopNest* nest_;
   ir::MemoryLayout layout_;
-  cache::CacheConfig cache_;
+  cache::Hierarchy hierarchy_;
   ObjectiveOptions options_;
   std::vector<std::vector<i64>> points_;
   std::vector<std::vector<i64>> risky_deps_;
   std::vector<i64> trips_;
 };
 
-/// Cost of a pad vector = estimated replacement misses of the nest with the
-/// padded layout, at a fixed tiling (untiled by default — the paper's
-/// "padding first, then tiling" sequence).
+/// Cost of a pad vector = latency-weighted estimated replacement misses of
+/// the nest with the padded layout, at a fixed tiling (untiled by default —
+/// the paper's "padding first, then tiling" sequence).
 class PaddingObjective {
  public:
+  /// Single-cache form (one-level hierarchy, miss latency 1).
   PaddingObjective(const ir::LoopNest& nest, cache::CacheConfig cache,
+                   transform::TileVector tiles, i64 max_intra_elems, i64 max_inter_lines,
+                   ObjectiveOptions options = {});
+
+  PaddingObjective(const ir::LoopNest& nest, cache::Hierarchy hierarchy,
                    transform::TileVector tiles, i64 max_intra_elems, i64 max_inter_lines,
                    ObjectiveOptions options = {});
 
@@ -73,13 +94,17 @@ class PaddingObjective {
 
   double operator()(std::span<const i64> pad_values) const;
 
+  /// Level-0 (L1) estimate for a pad vector on the shared sample.
   cme::MissEstimate evaluate(const transform::PadVector& pads) const;
+
+  /// Per-level estimates + weighted cost on the shared sample.
+  cme::HierarchyEstimate evaluate_hierarchy(const transform::PadVector& pads) const;
 
   transform::PadVector unpack(std::span<const i64> pad_values) const;
 
  private:
   const ir::LoopNest* nest_;
-  cache::CacheConfig cache_;
+  cache::Hierarchy hierarchy_;
   transform::TileVector tiles_;
   i64 max_intra_;
   i64 max_inter_;
@@ -91,7 +116,11 @@ class PaddingObjective {
 /// work. Variable layout: [T_1..T_k, intra_1..intra_A, inter_1..inter_A].
 class JointObjective {
  public:
+  /// Single-cache form (one-level hierarchy, miss latency 1).
   JointObjective(const ir::LoopNest& nest, cache::CacheConfig cache, i64 max_intra_elems,
+                 i64 max_inter_lines, ObjectiveOptions options = {});
+
+  JointObjective(const ir::LoopNest& nest, cache::Hierarchy hierarchy, i64 max_intra_elems,
                  i64 max_inter_lines, ObjectiveOptions options = {});
 
   std::vector<ga::VarDomain> domains() const;
@@ -104,13 +133,17 @@ class JointObjective {
   };
   Decoded unpack(std::span<const i64> values) const;
 
+  /// Level-0 (L1) estimate for a decoded individual on the shared sample.
   cme::MissEstimate evaluate(const Decoded& decoded) const;
+
+  /// Per-level estimates + weighted cost on the shared sample.
+  cme::HierarchyEstimate evaluate_hierarchy(const Decoded& decoded) const;
 
   bool is_legal(const transform::TileVector& tiles) const;
 
  private:
   const ir::LoopNest* nest_;
-  cache::CacheConfig cache_;
+  cache::Hierarchy hierarchy_;
   i64 max_intra_;
   i64 max_inter_;
   ObjectiveOptions options_;

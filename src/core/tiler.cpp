@@ -10,19 +10,24 @@ namespace cmetile::core {
 namespace {
 
 /// Heuristic warm starts for the tile search (deduplicated, legality
-/// filtered by the objective's penalty anyway).
+/// filtered by the objective's penalty anyway). The analytic baselines
+/// (LRW/TSS/Sarkar-Megiddo) are seeded once per hierarchy level — in the
+/// weighted objective, tiles sized to the L2 working set are a competitive
+/// basin the L1-sized seeds miss.
 std::vector<std::vector<i64>> tiling_seeds(const ir::LoopNest& nest,
                                            const ir::MemoryLayout& layout,
-                                           const cache::CacheConfig& cache) {
+                                           const cache::Hierarchy& hierarchy) {
   std::vector<std::vector<i64>> seeds;
   auto push = [&](std::vector<i64> t) {
     const transform::TileVector tv = transform::TileVector::clamped(std::move(t), nest);
     if (std::find(seeds.begin(), seeds.end(), tv.t) == seeds.end()) seeds.push_back(tv.t);
   };
   push(transform::TileVector::untiled(nest).t);
-  push(baselines::lrw_tiles(nest, layout, cache).t);
-  push(baselines::tss_tiles(nest, layout, cache).t);
-  push(baselines::sarkar_megiddo_tiles(nest, layout, cache).t);
+  for (const cache::CacheLevel& level : hierarchy.levels) {
+    push(baselines::lrw_tiles(nest, layout, level.config).t);
+    push(baselines::tss_tiles(nest, layout, level.config).t);
+    push(baselines::sarkar_megiddo_tiles(nest, layout, level.config).t);
+  }
   for (const i64 side : {4, 8, 16, 32, 64}) {
     push(std::vector<i64>(nest.depth(), side));
   }
@@ -58,8 +63,9 @@ std::vector<std::vector<i64>> padding_seeds(const ir::LoopNest& nest, i64 max_in
 
 }  // namespace
 
-TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
-                             const cache::CacheConfig& cache, const OptimizerOptions& options) {
+HierarchyTilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                      const cache::Hierarchy& hierarchy,
+                                      const OptimizerOptions& options) {
   if (options.check_legality) {
     // Non-uniform dependence pairs make per-vector legality undecidable for
     // us: refuse. Fully permutable or uniformly constrained nests proceed;
@@ -69,23 +75,40 @@ TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& l
             "optimize_tiling: cannot prove tiling legality (non-uniform dependences)");
   }
 
-  const TilingObjective objective(nest, layout, cache, options.objective);
+  const TilingObjective objective(nest, layout, hierarchy, options.objective);
   ga::GaOptions ga_options = options.ga;
   if (options.seed_population && ga_options.initial_seeds.empty()) {
-    ga_options.initial_seeds = tiling_seeds(nest, layout, cache);
+    ga_options.initial_seeds = tiling_seeds(nest, layout, hierarchy);
   }
+  for (const std::vector<i64>& seed : options.extra_tile_seeds)
+    ga_options.initial_seeds.push_back(transform::TileVector::clamped(seed, nest).t);
   ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
-  TilingResult result;
+  HierarchyTilingResult result;
   result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
   result.tiles = transform::TileVector::clamped(result.ga.best_values, nest);
-  result.before = objective.evaluate(transform::TileVector::untiled(nest));
-  result.after = objective.evaluate(result.tiles);
+  result.before = objective.evaluate_hierarchy(transform::TileVector::untiled(nest));
+  result.after = objective.evaluate_hierarchy(result.tiles);
   return result;
 }
 
-PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfig& cache,
-                               const OptimizerOptions& options) {
-  const PaddingObjective objective(nest, cache, transform::TileVector::untiled(nest),
+TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                             const cache::CacheConfig& cache, const OptimizerOptions& options) {
+  // Single-cache form = one-level hierarchy with miss latency 1; the
+  // weighted cost degenerates to the replacement-miss count bit for bit.
+  HierarchyTilingResult h =
+      optimize_tiling(nest, layout, cache::Hierarchy::single(cache), options);
+  TilingResult result;
+  result.tiles = std::move(h.tiles);
+  result.before = h.before.levels.front();
+  result.after = h.after.levels.front();
+  result.ga = std::move(h.ga);
+  return result;
+}
+
+HierarchyPaddingResult optimize_padding(const ir::LoopNest& nest,
+                                        const cache::Hierarchy& hierarchy,
+                                        const OptimizerOptions& options) {
+  const PaddingObjective objective(nest, hierarchy, transform::TileVector::untiled(nest),
                                    options.max_intra_pad_elems, options.max_inter_pad_units,
                                    options.objective);
   ga::GaOptions ga_options = options.ga;
@@ -94,28 +117,39 @@ PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfi
         padding_seeds(nest, options.max_intra_pad_elems, options.max_inter_pad_units);
   }
   ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
-  PaddingResult result;
+  HierarchyPaddingResult result;
   result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
   result.pads = objective.unpack(result.ga.best_values);
-  result.before = objective.evaluate(transform::PadVector::none(nest));
-  result.after = objective.evaluate(result.pads);
+  result.before = objective.evaluate_hierarchy(transform::PadVector::none(nest));
+  result.after = objective.evaluate_hierarchy(result.pads);
   return result;
 }
 
-JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig& cache,
-                             const OptimizerOptions& options) {
+PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfig& cache,
+                               const OptimizerOptions& options) {
+  HierarchyPaddingResult h = optimize_padding(nest, cache::Hierarchy::single(cache), options);
+  PaddingResult result;
+  result.pads = std::move(h.pads);
+  result.before = h.before.levels.front();
+  result.after = h.after.levels.front();
+  result.ga = std::move(h.ga);
+  return result;
+}
+
+HierarchyJointResult optimize_jointly(const ir::LoopNest& nest, const cache::Hierarchy& hierarchy,
+                                      const OptimizerOptions& options) {
   if (options.check_legality) {
     const transform::LegalityReport report = transform::check_tiling_legality(nest);
     expects(report.verdict != transform::Legality::Unknown,
             "optimize_jointly: cannot prove tiling legality (non-uniform dependences)");
   }
-  const JointObjective objective(nest, cache, options.max_intra_pad_elems,
+  const JointObjective objective(nest, hierarchy, options.max_intra_pad_elems,
                                  options.max_inter_pad_units, options.objective);
   ga::GaOptions ga_options = options.ga;
   if (options.seed_population && ga_options.initial_seeds.empty()) {
     // Combine the tiling and padding warm starts pairwise.
     const ir::MemoryLayout layout(nest);
-    const auto tiles = tiling_seeds(nest, layout, cache);
+    const auto tiles = tiling_seeds(nest, layout, hierarchy);
     const auto pads = padding_seeds(nest, options.max_intra_pad_elems,
                                     options.max_inter_pad_units);
     for (std::size_t t = 0; t < tiles.size(); ++t) {
@@ -126,14 +160,26 @@ JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig&
     }
   }
   ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
-  JointResult result;
+  HierarchyJointResult result;
   result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
   const JointObjective::Decoded best = objective.unpack(result.ga.best_values);
   result.tiles = best.tiles;
   result.pads = best.pads;
-  result.original = objective.evaluate(JointObjective::Decoded{
+  result.original = objective.evaluate_hierarchy(JointObjective::Decoded{
       transform::TileVector::untiled(nest), transform::PadVector::none(nest)});
-  result.optimized = objective.evaluate(best);
+  result.optimized = objective.evaluate_hierarchy(best);
+  return result;
+}
+
+JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig& cache,
+                             const OptimizerOptions& options) {
+  HierarchyJointResult h = optimize_jointly(nest, cache::Hierarchy::single(cache), options);
+  JointResult result;
+  result.pads = std::move(h.pads);
+  result.tiles = std::move(h.tiles);
+  result.original = h.original.levels.front();
+  result.optimized = h.optimized.levels.front();
+  result.ga = std::move(h.ga);
   return result;
 }
 

@@ -5,6 +5,17 @@
 // Cache Miss Equations. `optimize_tiling` is the §3 pipeline; `optimize_
 // padding` and `optimize_padding_then_tiling` reproduce the §4.3 / Table 3
 // sequence ("padding and tiling applied sequentially in this order").
+//
+// Every driver has two forms: the paper's single-cache form
+// (cache::CacheConfig — cost = replacement misses) and a hierarchy form
+// (cache::Hierarchy — cost = Σ_level misses × miss latency, DESIGN.md
+// §12). The single-cache form is implemented as a one-level hierarchy
+// with miss latency 1 and stays bit-identical to the original pipeline.
+//
+// Threading: each driver call is synchronous and owns its GA run; the GA
+// evaluates populations in parallel internally (OpenMP), so callers need
+// no locking. Concurrent driver calls on distinct inputs are safe. The
+// nest reference must stay alive for the duration of the call only.
 
 #include "core/objective.hpp"
 #include "ga/ga.hpp"
@@ -17,10 +28,17 @@ struct OptimizerOptions {
   ObjectiveOptions objective;
   bool check_legality = true;       ///< refuse tiling a non-fully-permutable nest
   /// Warm-start the GA population with heuristic individuals (untiled,
-  /// LRW/TSS/analytic tiles, small uniform tiles; zero/staggered pads).
-  /// Disable to reproduce the paper's purely random initialization — the
-  /// ablation bench measures the difference.
+  /// LRW/TSS/analytic tiles — per hierarchy level — small uniform tiles;
+  /// zero/staggered pads). Disable to reproduce the paper's purely random
+  /// initialization — the ablation bench measures the difference.
   bool seed_population = true;
+  /// Extra tile-vector warm starts appended to the initial population of
+  /// `optimize_tiling` (after the heuristic seeds, regardless of
+  /// `seed_population`). Lets callers make two searches comparable — e.g.
+  /// bench_hierarchy seeds the weighted search with the L1-only optimum so
+  /// a divergence is a preference, not a GA miss. Ignored by the padding
+  /// and joint drivers (their chromosomes carry pad variables too).
+  std::vector<std::vector<i64>> extra_tile_seeds;
   i64 max_intra_pad_elems = 8;      ///< padding search bound (elements)
   i64 max_inter_pad_units = 16;     ///< padding search bound (alignment units)
 
@@ -34,6 +52,8 @@ struct OptimizerOptions {
   }
 };
 
+/// Result of the single-cache tile search. Estimates are CME-sampled
+/// ratios on the run's shared sample (see cme::MissEstimate for units).
 struct TilingResult {
   transform::TileVector tiles;
   cme::MissEstimate before;   ///< untiled estimate (same sample set)
@@ -41,10 +61,27 @@ struct TilingResult {
   ga::GaResult ga;
 };
 
+/// Result of the hierarchy tile search: per-level estimates plus the
+/// latency-weighted cost the GA minimized (`before`/`after`.weighted_cost,
+/// in stall units = misses × latency).
+struct HierarchyTilingResult {
+  transform::TileVector tiles;
+  cme::HierarchyEstimate before;  ///< untiled, per level (same sample set)
+  cme::HierarchyEstimate after;   ///< at the chosen tiles, per level
+  ga::GaResult ga;
+};
+
 struct PaddingResult {
   transform::PadVector pads;
   cme::MissEstimate before;
   cme::MissEstimate after;
+  ga::GaResult ga;
+};
+
+struct HierarchyPaddingResult {
+  transform::PadVector pads;
+  cme::HierarchyEstimate before;
+  cme::HierarchyEstimate after;
   ga::GaResult ga;
 };
 
@@ -60,9 +97,18 @@ struct PadTileResult {
 TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                              const cache::CacheConfig& cache, const OptimizerOptions& options = {});
 
+/// Hierarchy form: minimize Σ_level misses × miss latency (DESIGN.md §12).
+HierarchyTilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                                      const cache::Hierarchy& hierarchy,
+                                      const OptimizerOptions& options = {});
+
 /// Search padding parameters (at a fixed tiling, untiled by default).
 PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfig& cache,
                                const OptimizerOptions& options = {});
+
+HierarchyPaddingResult optimize_padding(const ir::LoopNest& nest,
+                                        const cache::Hierarchy& hierarchy,
+                                        const OptimizerOptions& options = {});
 
 /// Table 3 pipeline: padding first, then tiling on the padded layout.
 PadTileResult optimize_padding_then_tiling(const ir::LoopNest& nest,
@@ -83,7 +129,18 @@ struct JointResult {
   ga::GaResult ga;
 };
 
+struct HierarchyJointResult {
+  transform::PadVector pads;
+  transform::TileVector tiles;
+  cme::HierarchyEstimate original;
+  cme::HierarchyEstimate optimized;
+  ga::GaResult ga;
+};
+
 JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig& cache,
                              const OptimizerOptions& options = {});
+
+HierarchyJointResult optimize_jointly(const ir::LoopNest& nest, const cache::Hierarchy& hierarchy,
+                                      const OptimizerOptions& options = {});
 
 }  // namespace cmetile::core

@@ -20,7 +20,11 @@
 
 namespace cmetile::ga {
 
-/// Inclusive integer domain of one decision variable.
+/// Inclusive integer domain of one decision variable. The defaults
+/// ([1, 1], a fixed variable) match the tile-size convention T_d ∈
+/// [1, U_d] used by every core objective — tile domains start at 1
+/// (untiled dimension), pad domains at 0; the hierarchy objective keeps
+/// the same domains (the weighting changes the cost, not the chromosome).
 struct VarDomain {
   i64 lo = 1;
   i64 hi = 1;

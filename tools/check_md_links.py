@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Check relative Markdown links (CI docs job; stdlib only).
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+
+Verifies, for every inline link/image in the given files:
+  * relative file targets exist (resolved against the linking file);
+  * intra-file anchors (#heading) match a heading's GitHub-style slug,
+    both in same-file links (#x) and cross-file links (other.md#x).
+External schemes (http/https/mailto) are recorded but not fetched — CI
+runs offline-safe. Exit status 1 if any link is broken.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)  # GitHub drops §, punctuation
+    return re.sub(r"[ ]", "-", text.strip())
+
+
+def anchors_of(path: Path) -> set:
+    slugs = set()
+    seen = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        if slug in seen:  # duplicate headings get -1, -2, ... suffixes
+            seen[slug] += 1
+            slug = f"{slug}-{seen[slug]}"
+        else:
+            seen[slug] = 0
+        slugs.add(slug)
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in INLINE_LINK.finditer(line):
+            yield number, m.group(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    external = 0
+    checked = 0
+    for name in argv[1:]:
+        md = Path(name)
+        if not md.is_file():
+            errors.append(f"{name}: file not found")
+            continue
+        for line, target in iter_links(md):
+            checked += 1
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                external += 1
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part)
+            if not dest.exists():
+                errors.append(f"{md}:{line}: broken link target '{target}'")
+                continue
+            if anchor and dest.suffix.lower() in (".md", ".markdown"):
+                if anchor.lower() not in anchors_of(dest):
+                    errors.append(f"{md}:{line}: no heading for anchor '#{anchor}' in {dest}")
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"checked {checked} links ({external} external skipped), "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
