@@ -18,15 +18,18 @@ int main(int argc, char** argv) {
       : std::vector<kernels::FigureEntry>{
             {"T2D", 100}, {"MM", 100}, {"T3DIKJ", 100}, {"VPENTA2", 0}};
 
-  // One parallel batch per associativity level (the options vary per level,
-  // so each level is its own run_tiling_experiments call).
+  // One scheduler-routed batch per associativity level: the base seed
+  // varies per level (all three geometries share one size, and row seeds
+  // fold in only label+size), so each level is its own sweep — but all
+  // levels share the result cache and honor --jobs/--no-cache.
   const std::vector<i64> assocs{1, 2, 4};
   std::vector<std::vector<core::TilingRow>> rows_by_assoc;
   for (const i64 assoc : assocs) {
     const cache::CacheConfig cache = bench::paper_cache_8k_assoc(assoc);
     core::ExperimentOptions opts = options;
     opts.seed = derive_seed(options.seed, (std::uint64_t)assoc);
-    rows_by_assoc.push_back(core::run_tiling_experiments(entries, cache, opts));
+    rows_by_assoc.push_back(
+        sweep::run_tiling_experiments(entries, cache, opts, ctx.scheduler_options()));
   }
 
   TextTable table({"Kernel", "Assoc", "NoTiling Repl (CME)", "NoTiling Repl (sim)",

@@ -8,11 +8,25 @@
 //   --samples=N     CME sample points per estimate (default: paper's 164)
 //   --fast          shrink problem sizes / budgets for smoke runs
 //   --csv=PATH      override the CSV output path
+//   --help          print the flags and exit
+//
+// Sweep orchestration flags (--jobs/--cache-dir/--no-cache, DESIGN.md
+// §13): the figure/table benches (fig8/fig9/table2/table3/table4/
+// hierarchy/assoc) route their experiment rows through sweep::run_sweep,
+// so rows persist in a shared on-disk result cache across runs AND across
+// benches (bench_table4 reuses the figure-sweep rows bench_fig8 already
+// computed), and cold cells can shard across worker subprocesses. The
+// study benches with bespoke row types (joint, convergence, ablation_*)
+// accept the flags but still compute directly — routing them needs new
+// cell kinds. Every bench binary doubles as its own worker: BenchContext
+// enters the worker protocol loop when invoked with --sweep-worker.
 
 #include <chrono>
 #include <iostream>
+#include <span>
 
 #include "core/api.hpp"
+#include "sweep/scheduler.hpp"
 
 namespace cmetile::bench {
 
@@ -20,12 +34,29 @@ struct BenchContext {
   CliArgs args;
   std::uint64_t seed;
   bool fast;
+  SweepCliFlags sweep_flags;
 
   BenchContext(int argc, const char* const* argv, const char* name)
       : args(argc, argv),
         seed((std::uint64_t)args.get_int("seed", 2002)),
         fast(args.get_bool("fast", false)),
         name_(name) {
+    // Worker mode first, before ANY output: when spawned by the scheduler
+    // this process must speak only the JSON protocol on stdout (member
+    // construction above has no side effects, so this is early enough).
+    sweep::maybe_run_worker(argc, argv);
+    // --help wins before flag validation: a user whose --jobs is malformed
+    // should get the usage text, not a contract error.
+    if (args.has("help")) {
+      std::cout << name << " flags:\n"
+                << "  --seed=N     experiment seed (default 2002)\n"
+                << "  --samples=N  CME sample points per estimate (default: paper's 164)\n"
+                << "  --fast       shrink problem sizes / budgets for smoke runs\n"
+                << "  --csv=PATH   override the CSV output path\n"
+                << sweep_flags_help();
+      std::exit(0);
+    }
+    sweep_flags = parse_sweep_flags(args);
     std::cout << "== " << name << " ==\n";
   }
 
@@ -36,6 +67,45 @@ struct BenchContext {
     if (samples > 0) options.optimizer.objective.estimator.sample_count = samples;
     if (fast) options.optimizer.shrink_for_smoke();
     return options;
+  }
+
+  sweep::SchedulerOptions scheduler_options() const {
+    sweep::SchedulerOptions options;
+    options.cache_dir = sweep_flags.cache_dir;
+    options.use_cache = !sweep_flags.no_cache;
+    options.jobs = (int)sweep_flags.jobs;
+    options.log = &std::cout;
+    return options;
+  }
+
+  // Scheduler-routed experiment drivers (cached + shardable); rows are
+  // bit-identical to the direct core::run_*_experiments calls. The span-
+  // of-geometries forms run one sweep (one worker pool) over the whole
+  // cross-product, rows geometry-major.
+  std::vector<core::TilingRow> run_tiling(std::span<const kernels::FigureEntry> entries,
+                                          const cache::CacheConfig& cache) const {
+    return sweep::run_tiling_experiments(entries, cache, experiment_options(),
+                                         scheduler_options());
+  }
+  std::vector<core::TilingRow> run_tiling(std::span<const kernels::FigureEntry> entries,
+                                          std::span<const cache::CacheConfig> caches) const {
+    return sweep::run_tiling_experiments(entries, caches, experiment_options(),
+                                         scheduler_options());
+  }
+  std::vector<core::PaddingRow> run_padding(std::span<const kernels::FigureEntry> entries,
+                                            const cache::CacheConfig& cache) const {
+    return sweep::run_padding_experiments(entries, cache, experiment_options(),
+                                          scheduler_options());
+  }
+  std::vector<core::HierarchyRow> run_hierarchy(std::span<const kernels::FigureEntry> entries,
+                                                const cache::Hierarchy& hierarchy) const {
+    return sweep::run_hierarchy_experiments(entries, hierarchy, experiment_options(),
+                                            scheduler_options());
+  }
+  std::vector<core::HierarchyRow> run_hierarchy(std::span<const kernels::FigureEntry> entries,
+                                                std::span<const cache::Hierarchy> hierarchies) const {
+    return sweep::run_hierarchy_experiments(entries, hierarchies, experiment_options(),
+                                            scheduler_options());
   }
 
   void finish(const TextTable& table) const {

@@ -10,7 +10,6 @@ namespace cmetile::bench {
 inline int run_figure(int argc, char** argv, const char* name,
                       const cache::CacheConfig& cache) {
   BenchContext ctx(argc, argv, name);
-  const core::ExperimentOptions options = ctx.experiment_options();
 
   std::vector<kernels::FigureEntry> bars = kernels::figure_bars();
   if (ctx.fast) {
@@ -22,8 +21,10 @@ inline int run_figure(int argc, char** argv, const char* name,
 
   TextTable table({"Kernel", "NoTiling Repl", "Tiling Repl", "Tiles", "GA evals", "Seconds"});
   StopWatch total;
-  // One call, parallel across kernel rows (deterministic per-row seeds).
-  const std::vector<core::TilingRow> rows = core::run_tiling_experiments(bars, cache, options);
+  // One scheduler-routed call: cached rows replay from --cache-dir, cold
+  // rows run in parallel (in-process or across --jobs workers) with
+  // deterministic per-row seeds.
+  const std::vector<core::TilingRow> rows = ctx.run_tiling(bars, cache);
   for (const core::TilingRow& row : rows) {
     table.add_row({row.label, format_pct(row.no_tiling_repl), format_pct(row.tiling_repl),
                    row.tiles.to_string(), std::to_string(row.ga_evaluations),

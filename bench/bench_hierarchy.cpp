@@ -2,12 +2,15 @@
 // L1+L2 cost pick different tiles than optimizing L1 misses alone — and
 // are the per-level CME predictions trustworthy?
 //
-// For each (kernel, L1/L2 geometry) pair this bench runs the GA twice:
-// once with the legacy L1-only objective and once with the weighted
-// hierarchy objective, then evaluates BOTH tile vectors under the
-// hierarchy cost model so the two optima are comparable. Finally the
-// chosen hierarchy tiles are cross-validated per level against the trace
-// simulator: the sampled CME replacement ratio must sit within its CI
+// Each row is one core::run_hierarchy_experiment cell, routed through the
+// sweep scheduler like every bench: the GA runs once with the legacy
+// L1-only objective and once with the weighted hierarchy objective
+// (warm-started with the L1-only optimum, so a "diverged" row always
+// means the weighted objective actively preferred different tiles), and
+// both tile vectors are evaluated under the hierarchy cost model so the
+// two optima are comparable. Finally the chosen hierarchy tiles are
+// cross-validated per level against the trace simulator: the sampled CME
+// replacement ratio (carried in the row) must sit within its CI
 // half-width plus the CME model tolerance (the §3 sampling contract; same
 // bound as hierarchy_test).
 //
@@ -15,7 +18,8 @@
 // result class: the L1-only optimum is not the hierarchy optimum.
 //
 // Flags: --fast (smaller N + smoke GA budget), --seed=N, --samples=N,
-// --csv=PATH (default bench_hierarchy.csv).
+// --csv=PATH (default bench_hierarchy.csv), plus the shared sweep flags
+// --jobs/--cache-dir/--no-cache (see --help).
 
 #include <algorithm>
 #include <iterator>
@@ -31,25 +35,18 @@ struct Geometry {
   cache::Hierarchy hierarchy;
 };
 
-struct Workload {
-  const char* kernel;
-  i64 size_full;
-  i64 size_fast;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchContext ctx(argc, argv, "bench_hierarchy");
-  const core::ExperimentOptions options = ctx.experiment_options();
 
   const std::vector<Geometry> geometries{
       {"8K+64K", bench::hierarchy_8k_64k()},
       {"16K+256K", bench::hierarchy_16k_256k()},
   };
-  const std::vector<Workload> workloads{
-      {"MM", 128, 40},
-      {"JACOBI3D", 64, 16},
+  const std::vector<kernels::FigureEntry> entries{
+      {"MM", ctx.fast ? 40 : 128},
+      {"JACOBI3D", ctx.fast ? 16 : 64},
   };
   // Simulator cross-check cap: per-level trace simulation is
   // O(access_count); skip it above this (the full-size MM rows stay in).
@@ -61,71 +58,48 @@ int main(int argc, char** argv) {
   int diverged_rows = 0;
   int tolerance_failures = 0;
 
-  for (std::size_t w = 0; w < workloads.size(); ++w) {
-    const Workload& workload = workloads[w];
-    const i64 n = ctx.fast ? workload.size_fast : workload.size_full;
-    const ir::LoopNest nest = kernels::build_kernel(workload.kernel, n);
-    const ir::MemoryLayout layout(nest);
-    const std::string label = workload.kernel + std::string("_") + std::to_string(n);
+  // One scheduler call over all geometries (rows geometry-major): cells
+  // cache/shard independently, replay bit-identically from --cache-dir,
+  // and share one worker pool under --jobs.
+  std::vector<cache::Hierarchy> hierarchies;
+  for (const Geometry& geometry : geometries) hierarchies.push_back(geometry.hierarchy);
+  const std::vector<core::HierarchyRow> all_rows = ctx.run_hierarchy(entries, hierarchies);
 
-    for (std::size_t g = 0; g < geometries.size(); ++g) {
-      const Geometry& geometry = geometries[g];
-      bench::StopWatch watch;
-      core::OptimizerOptions opt = options.optimizer;
-      // Row indices, not string hashes: std::hash is implementation-
-      // defined, and --seed must reproduce rows across platforms.
-      opt.ga.seed = derive_seed(ctx.seed, (std::uint64_t)w, (std::uint64_t)g);
-
-      // Baseline: the paper's pipeline, blind to L2 — tiles minimize L1
-      // replacement misses only.
-      const core::TilingResult l1_only =
-          core::optimize_tiling(nest, layout, geometry.hierarchy.levels[0].config, opt);
-
-      // The weighted search over the same sample set and GA budget. The
-      // L1-only optimum is injected into the warm starts (alongside the
-      // driver's own heuristic seeds) so a "diverged" row always means
-      // the weighted objective actively preferred different tiles, never
-      // that its GA merely failed to find the L1 basin.
-      core::OptimizerOptions opt_weighted = opt;
-      opt_weighted.extra_tile_seeds.push_back(l1_only.tiles.t);
-      const core::HierarchyTilingResult weighted =
-          core::optimize_tiling(nest, layout, geometry.hierarchy, opt_weighted);
-
-      // Compare both optima under the hierarchy cost model.
-      const core::TilingObjective hier_objective(nest, layout, geometry.hierarchy,
-                                                 opt.objective);
-      const double cost_l1_tiles =
-          hier_objective.evaluate_hierarchy(l1_only.tiles).weighted_cost;
-      const double cost_h_tiles = weighted.after.weighted_cost;
-      const bool diverged = l1_only.tiles.t != weighted.tiles.t;
+  for (std::size_t g = 0; g < geometries.size(); ++g) {
+    const Geometry& geometry = geometries[g];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const core::HierarchyRow& row = all_rows[g * entries.size() + i];
+      const bool diverged = row.l1_tiles.t != row.tiles.t;
       if (diverged) ++diverged_rows;
 
-      // Per-level cross-validation at the hierarchy-chosen tiles. The
-      // table carries two check columns; a 3-level geometry would need a
-      // third, so bound the loop by the array, not the hierarchy.
+      // Per-level cross-validation at the hierarchy-chosen tiles, against
+      // the row's (possibly cache-replayed) CME estimates. The table
+      // carries two check columns; a 3-level geometry would need a third,
+      // so bound the loop by the array, not the hierarchy.
+      const ir::LoopNest nest = kernels::build_kernel(entries[i].name, entries[i].size);
+      const ir::MemoryLayout layout(nest);
       std::string check[2] = {"-", "-"};
       if (nest.access_count() <= sim_cap) {
         for (std::size_t l = 0; l < std::min(geometry.hierarchy.depth(), std::size(check)); ++l) {
           const auto sim = transform::simulate_tiled(
-              nest, layout, geometry.hierarchy.levels[l].config, weighted.tiles);
-          const cme::MissEstimate& est = weighted.after.levels[l];
-          const double delta = est.replacement_ratio - sim.back().replacement_ratio();
-          const double tolerance = est.replacement_half_width + 0.08;
+              nest, layout, geometry.hierarchy.levels[l].config, row.tiles);
+          const double delta = row.level_repl[l] - sim.back().replacement_ratio();
+          const double tolerance = row.level_half_width[l] + 0.08;
           const bool ok = std::abs(delta) <= tolerance;
           if (!ok) ++tolerance_failures;
-          check[l] = format_pct(est.replacement_ratio) + "/" +
+          check[l] = format_pct(row.level_repl[l]) + "/" +
                      format_pct(sim.back().replacement_ratio()) + (ok ? "" : " !");
         }
       }
 
-      table.add_row({label, geometry.label, l1_only.tiles.to_string(),
-                     weighted.tiles.to_string(), diverged ? "yes" : "no",
-                     format_fixed(cost_l1_tiles, 0), format_fixed(cost_h_tiles, 0), check[0],
-                     check[1], format_fixed(watch.seconds(), 1)});
-      std::cout << "  " << label << " @ " << geometry.label << ": "
+      table.add_row({row.label, geometry.label, row.l1_tiles.to_string(), row.tiles.to_string(),
+                     diverged ? "yes" : "no", format_fixed(row.cost_l1_tiles, 0),
+                     format_fixed(row.cost_tiles, 0), check[0], check[1],
+                     format_fixed(row.seconds, 1)});
+      std::cout << "  " << row.label << " @ " << geometry.label << ": "
                 << (diverged ? "diverged" : "same tiles") << ", weighted cost "
-                << format_fixed(cost_l1_tiles, 0) << " -> " << format_fixed(cost_h_tiles, 0)
-                << "\n";
+                << format_fixed(row.cost_l1_tiles, 0) << " -> "
+                << format_fixed(row.cost_tiles, 0) << "\n";
     }
   }
 

@@ -24,8 +24,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"Kernel", "Prob size", "NoTiling Total", "NoTiling Repl", "Tiling Total",
                    "Tiling Repl", "Tiles", "GA gens", "Seconds"});
-  const std::vector<core::TilingRow> rows =
-      core::run_tiling_experiments(entries, cache, ctx.experiment_options());
+  const std::vector<core::TilingRow> rows = ctx.run_tiling(entries, cache);
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const kernels::FigureEntry& entry = entries[i];
     const core::TilingRow& row = rows[i];

@@ -15,13 +15,11 @@
 int main(int argc, char** argv) {
   using namespace cmetile;
   bench::BenchContext ctx(argc, argv, "bench_table3");
-  const core::ExperimentOptions options = ctx.experiment_options();
 
   TextTable table({"Cache", "Kernel", "Original", "Padding", "Padding+Tiling", "Pads", "Tiles"});
   for (const cache::CacheConfig& cache : {bench::paper_cache_8k(), bench::paper_cache_32k()}) {
     const std::vector<kernels::FigureEntry> entries = kernels::table3_entries(cache.size_bytes);
-    const std::vector<core::PaddingRow> rows =
-        core::run_padding_experiments(entries, cache, options);
+    const std::vector<core::PaddingRow> rows = ctx.run_padding(entries, cache);
     for (std::size_t i = 0; i < entries.size(); ++i) {
       const kernels::FigureEntry& entry = entries[i];
       const core::PaddingRow& row = rows[i];

@@ -7,8 +7,11 @@
 // and 1–3-level hierarchies), the trace simulators, reuse analysis, the
 // CME solver and estimators (single-level and per-level hierarchy forms),
 // the tiling/padding transformations, the genetic optimizer and the
-// high-level tiling pipeline. See README.md for a quickstart and
-// DESIGN.md for the layer map.
+// high-level tiling pipeline. The sweep orchestration layer (cached,
+// resumable, multi-process experiment sweeps, DESIGN.md §13) sits ABOVE
+// core in the layer DAG, so it is not part of this header — include
+// "sweep/scheduler.hpp" for it (the `cmetile` umbrella target links it).
+// See README.md for a quickstart and DESIGN.md for the layer map.
 //
 // Everything lives under namespace cmetile, one nested namespace per
 // layer (cmetile::ir, ::cache, ::cme, ::core, …). Link the `cmetile`

@@ -1,7 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <bit>
 #include <chrono>
 
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 
@@ -13,14 +15,28 @@ double elapsed_seconds(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+// Row seeds hash through stable_hash64, never std::hash: the sweep result
+// cache keys cells on (entry, geometry, options) and replays them on other
+// processes/machines, so the derived GA and sampling seeds must be a
+// platform-independent function of the row.
 ExperimentOptions with_row_seeds(const ExperimentOptions& options, const std::string& label,
-                                 i64 cache_bytes) {
+                                 std::uint64_t geometry_salt) {
   ExperimentOptions out = options;
-  std::uint64_t h = derive_seed(options.seed, std::hash<std::string>{}(label),
-                                (std::uint64_t)cache_bytes);
+  std::uint64_t h = derive_seed(options.seed, stable_hash64(label), geometry_salt);
   out.optimizer.ga.seed = h;
   out.optimizer.objective.estimator.seed = derive_seed(h, 0xE57);
   return out;
+}
+
+std::uint64_t hierarchy_salt(const cache::Hierarchy& hierarchy) {
+  std::uint64_t state = kFnvOffsetBasis;
+  for (const cache::CacheLevel& level : hierarchy.levels) {
+    state = fnv1a_u64((std::uint64_t)level.config.size_bytes, state);
+    state = fnv1a_u64((std::uint64_t)level.config.line_bytes, state);
+    state = fnv1a_u64((std::uint64_t)level.config.associativity, state);
+    state = fnv1a_u64(std::bit_cast<std::uint64_t>(level.miss_latency), state);
+  }
+  return state;
 }
 
 }  // namespace
@@ -32,7 +48,8 @@ TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
   const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
   const ir::MemoryLayout layout(nest);
 
-  const ExperimentOptions opts = with_row_seeds(options, entry.label(), cache.size_bytes);
+  const ExperimentOptions opts =
+      with_row_seeds(options, entry.label(), (std::uint64_t)cache.size_bytes);
   const TilingResult result = optimize_tiling(nest, layout, cache, opts.optimizer);
 
   TilingRow row;
@@ -63,7 +80,8 @@ PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
   const auto start = std::chrono::steady_clock::now();
   const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
 
-  const ExperimentOptions opts = with_row_seeds(options, entry.label(), cache.size_bytes);
+  const ExperimentOptions opts =
+      with_row_seeds(options, entry.label(), (std::uint64_t)cache.size_bytes);
   const PadTileResult result = optimize_padding_then_tiling(nest, cache, opts.optimizer);
 
   PaddingRow row;
@@ -83,6 +101,55 @@ std::vector<PaddingRow> run_padding_experiments(std::span<const kernels::FigureE
   std::vector<PaddingRow> rows(entries.size());
   parallel_for(entries.size(), [&](std::size_t i) {
     rows[i] = run_padding_experiment(entries[i], cache, options);
+  });
+  return rows;
+}
+
+HierarchyRow run_hierarchy_experiment(const kernels::FigureEntry& entry,
+                                      const cache::Hierarchy& hierarchy,
+                                      const ExperimentOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
+  const ir::MemoryLayout layout(nest);
+
+  const ExperimentOptions opts =
+      with_row_seeds(options, entry.label(), hierarchy_salt(hierarchy));
+
+  // Baseline: the paper's pipeline, blind to the outer levels — tiles
+  // minimize L1 replacement misses only.
+  const TilingResult l1_only =
+      optimize_tiling(nest, layout, hierarchy.levels[0].config, opts.optimizer);
+
+  // The weighted search over the same sample set and GA budget, with the
+  // L1-only optimum injected into the warm starts.
+  OptimizerOptions weighted_opts = opts.optimizer;
+  weighted_opts.extra_tile_seeds.push_back(l1_only.tiles.t);
+  const HierarchyTilingResult weighted = optimize_tiling(nest, layout, hierarchy, weighted_opts);
+
+  // Compare both optima under the hierarchy cost model.
+  const TilingObjective hier_objective(nest, layout, hierarchy, opts.optimizer.objective);
+
+  HierarchyRow row;
+  row.label = entry.label();
+  row.l1_tiles = l1_only.tiles;
+  row.tiles = weighted.tiles;
+  row.cost_l1_tiles = hier_objective.evaluate_hierarchy(l1_only.tiles).weighted_cost;
+  row.cost_tiles = weighted.after.weighted_cost;
+  for (const cme::MissEstimate& estimate : weighted.after.levels) {
+    row.level_repl.push_back(estimate.replacement_ratio);
+    row.level_half_width.push_back(estimate.replacement_half_width);
+  }
+  row.ga_evaluations = l1_only.ga.evaluations + weighted.ga.evaluations;
+  row.seconds = elapsed_seconds(start);
+  return row;
+}
+
+std::vector<HierarchyRow> run_hierarchy_experiments(std::span<const kernels::FigureEntry> entries,
+                                                    const cache::Hierarchy& hierarchy,
+                                                    const ExperimentOptions& options) {
+  std::vector<HierarchyRow> rows(entries.size());
+  parallel_for(entries.size(), [&](std::size_t i) {
+    rows[i] = run_hierarchy_experiment(entries[i], hierarchy, options);
   });
   return rows;
 }

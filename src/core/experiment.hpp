@@ -1,11 +1,19 @@
 #pragma once
 // Experiment drivers shared by the paper-reproduction benches: one call
-// produces the before/after-tiling row of Figures 8/9 and Table 2, or the
-// original/padding/padding+tiling row of Table 3, for a (kernel, size,
-// cache) combination. The plural drivers run a whole figure/table at once,
+// produces the before/after-tiling row of Figures 8/9 and Table 2, the
+// original/padding/padding+tiling row of Table 3, or the L1-only-vs-
+// weighted hierarchy comparison row, for a (kernel, size, cache)
+// combination. The plural drivers run a whole figure/table at once,
 // parallelized across kernel rows — every row derives its GA and sampling
-// seeds from its own (label, cache) pair, so the results are deterministic
-// and identical to running the rows serially.
+// seeds from its own (label, cache) pair via the *stable* hash of
+// support/hash.hpp, so the results are deterministic, identical to running
+// the rows serially, and reproducible across platforms and processes
+// (the sweep scheduler's result cache and worker shards depend on this:
+// a row's content is a pure function of (entry, geometry, options)).
+//
+// For resumable, cached, multi-process sweeps over many cells, drive
+// these through sweep::run_sweep (sweep/scheduler.hpp) instead of calling
+// the plural forms directly.
 
 #include <span>
 #include <string>
@@ -64,5 +72,33 @@ PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
 std::vector<PaddingRow> run_padding_experiments(std::span<const kernels::FigureEntry> entries,
                                                 const cache::CacheConfig& cache,
                                                 const ExperimentOptions& options = {});
+
+/// One row of the hierarchy study (bench_hierarchy, DESIGN.md §12): the
+/// GA run twice — once blind to the outer levels (L1-only, the paper's
+/// pipeline) and once on the latency-weighted hierarchy cost, warm-started
+/// with the L1-only optimum so `tiles != l1_tiles` always means the
+/// weighted objective actively preferred different tiles.
+struct HierarchyRow {
+  std::string label;
+  transform::TileVector l1_tiles;  ///< optimum of the L1-only objective
+  transform::TileVector tiles;     ///< optimum of the weighted objective
+  double cost_l1_tiles = 0.0;      ///< weighted cost of l1_tiles
+  double cost_tiles = 0.0;         ///< weighted cost of tiles
+  /// Per-level CME estimate at `tiles`: replacement ratio and its CI
+  /// half-width, index = hierarchy level (for simulator cross-checks).
+  std::vector<double> level_repl;
+  std::vector<double> level_half_width;
+  i64 ga_evaluations = 0;  ///< both GA runs combined
+  double seconds = 0.0;    ///< wall clock; concurrent under the plural driver
+};
+
+HierarchyRow run_hierarchy_experiment(const kernels::FigureEntry& entry,
+                                      const cache::Hierarchy& hierarchy,
+                                      const ExperimentOptions& options = {});
+
+/// All rows of a hierarchy study, parallel across kernels.
+std::vector<HierarchyRow> run_hierarchy_experiments(std::span<const kernels::FigureEntry> entries,
+                                                    const cache::Hierarchy& hierarchy,
+                                                    const ExperimentOptions& options = {});
 
 }  // namespace cmetile::core

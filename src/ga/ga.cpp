@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "support/contracts.hpp"
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
 
 namespace cmetile::ga {
@@ -31,7 +33,13 @@ GaResult GeneticOptimizer::run(const Objective& objective) {
   GaResult result;
   result.best_cost = std::numeric_limits<double>::infinity();
 
-  std::map<std::vector<i64>, double> memo;
+  // Memo keyed on the decoded value vector via its stable hash: O(|v|)
+  // per lookup instead of a lexicographic tree walk, and the GA looks the
+  // population up twice per generation. Never iterated, so the unordered
+  // order cannot leak into results (pinned by ga_test's determinism and
+  // memo-hit regressions).
+  std::unordered_map<std::vector<i64>, double, I64VecHash> memo;
+  memo.reserve(options_.population * (std::size_t)(options_.max_generations + 1));
 
   std::vector<Genome> population(options_.population);
   for (Genome& genome : population) genome = encoding_.random_genome(rng);

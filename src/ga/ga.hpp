@@ -7,13 +7,14 @@
 // average of its generation" (§3.3).
 //
 // Evaluations are memoized on decoded variable values (the GA revisits
-// individuals constantly) and unevaluated individuals of a generation are
-// evaluated in parallel with OpenMP; the objective must therefore be
-// thread-safe and deterministic for a given input.
+// individuals constantly; the memo is an unordered_map keyed on a stable
+// hash of the value vector — see support/hash.hpp) and unevaluated
+// individuals of a generation are evaluated in parallel with OpenMP; the
+// objective must therefore be thread-safe and deterministic for a given
+// input.
 
 #include <span>
 #include <functional>
-#include <map>
 
 #include "ga/operators.hpp"
 
@@ -48,6 +49,8 @@ struct GaResult {
   double best_cost = 0.0;
   i64 objective_calls = 0;     ///< actual objective invocations (memoized away calls excluded)
   i64 evaluations = 0;         ///< individual evaluations incl. memo hits (paper counts these: ~450)
+  /// Evaluations the memo answered without invoking the objective.
+  i64 memo_hits() const { return evaluations - objective_calls; }
   int generations = 0;
   bool converged = false;
   std::vector<GenerationStats> history;

@@ -1,7 +1,10 @@
 #include "support/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <string_view>
+
+#include "support/contracts.hpp"
 
 namespace cmetile {
 
@@ -42,6 +45,46 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second != "0" && it->second != "false" && it->second != "no";
+}
+
+i64 CliArgs::get_int_strict(const std::string& key, i64 fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  i64 value = 0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), value);
+  expects(res.ec == std::errc() && res.ptr == text.data() + text.size(),
+          "--" + key + " expects an integer, got \"" + text + "\"");
+  return value;
+}
+
+SweepCliFlags parse_sweep_flags(const CliArgs& args) {
+  SweepCliFlags flags;
+  flags.jobs = args.get_int_strict("jobs", flags.jobs);
+  expects(flags.jobs >= 1 && flags.jobs <= 512,
+          "--jobs must be in 1..512, got " + std::to_string(flags.jobs));
+  flags.cache_dir = args.get("cache-dir", flags.cache_dir);
+  expects(!flags.cache_dir.empty(), "--cache-dir must not be empty");
+  if (args.has("no-cache")) {
+    const std::string value = args.get("no-cache", "1");
+    expects(value == "1" || value == "0" || value == "true" || value == "false" ||
+                value == "yes" || value == "no",
+            "--no-cache expects a boolean, got \"" + value + "\"");
+    flags.no_cache = args.get_bool("no-cache", false);
+  }
+  return flags;
+}
+
+std::string sweep_flags_help() {
+  return "Sweep orchestration (shared by all benches; DESIGN.md §13):\n"
+         "  --jobs=N        shard cold cells across N worker subprocesses\n"
+         "                  (default 1 = in-process parallel_for; max 512)\n"
+         "  --cache-dir=DIR persistent result cache directory\n"
+         "                  (default " +
+         std::string(kDefaultCacheDir) +
+         ")\n"
+         "  --no-cache      compute every cell fresh; do not read or write\n"
+         "                  the result cache (default: cache enabled)\n";
 }
 
 }  // namespace cmetile

@@ -1,6 +1,10 @@
 #pragma once
 // Minimal command-line parsing for benches and examples:
 // `--key=value` and `--flag` forms only, with typed getters and defaults.
+// parse_sweep_flags() handles the sweep-orchestration flags every bench
+// shares (--jobs/--cache-dir/--no-cache, DESIGN.md §13) with strict
+// validation — a typo'd --jobs must fail loudly, not silently serialize a
+// multi-hour sweep.
 
 #include <map>
 #include <string>
@@ -8,6 +12,11 @@
 #include "support/int_math.hpp"
 
 namespace cmetile {
+
+/// Default on-disk sweep result cache, relative to the working directory
+/// (listed in .gitignore). Shared by sweep::SchedulerOptions and the
+/// bench --cache-dir flag so all benches hit one store by default.
+inline constexpr const char* kDefaultCacheDir = ".cmetile-cache";
 
 class CliArgs {
  public:
@@ -19,8 +28,31 @@ class CliArgs {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Like get_int, but a present-yet-malformed value (non-numeric, empty,
+  /// trailing junk, out of i64 range) throws contract_error instead of
+  /// being silently misread.
+  i64 get_int_strict(const std::string& key, i64 fallback) const;
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// The shared sweep-orchestration flags (validated):
+///   --jobs=N        worker shards; 1 = in-process, N >= 2 = subprocesses
+///   --cache-dir=DIR persistent result cache location
+///   --no-cache      disable reading/writing the result cache
+struct SweepCliFlags {
+  i64 jobs = 1;
+  std::string cache_dir = kDefaultCacheDir;
+  bool no_cache = false;
+};
+
+/// Parse and validate the sweep flags. Throws contract_error on a
+/// non-integer or out-of-range --jobs (valid: 1..512), an empty
+/// --cache-dir, or a --no-cache value other than a recognized boolean.
+SweepCliFlags parse_sweep_flags(const CliArgs& args);
+
+/// One --help paragraph documenting the sweep flags and their defaults.
+std::string sweep_flags_help();
 
 }  // namespace cmetile

@@ -19,6 +19,12 @@ inline void expects(bool condition, const char* message) {
   if (!condition) throw contract_error(std::string("precondition violated: ") + message);
 }
 
+/// Overload for messages composed at the call site (note the message is
+/// built before the check — avoid in hot paths).
+inline void expects(bool condition, const std::string& message) {
+  if (!condition) throw contract_error("precondition violated: " + message);
+}
+
 /// Postcondition / invariant check.
 inline void ensures(bool condition, const char* message) {
   if (!condition) throw contract_error(std::string("invariant violated: ") + message);

@@ -1,0 +1,61 @@
+#pragma once
+// Stable, platform-independent hashing. std::hash is implementation-
+// defined, so anything persisted across runs or shared across machines
+// (sweep fingerprints, per-row seed derivation) hashes through these
+// FNV-1a routines instead. The GA memo also keys its unordered_map here
+// so lookups cost one pass over the value vector instead of a
+// lexicographic tree walk.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace cmetile {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over raw bytes, continuing from `state` (start at the offset
+/// basis, or any prior digest to chain fields).
+inline std::uint64_t fnv1a_bytes(std::string_view bytes,
+                                 std::uint64_t state = kFnvOffsetBasis) {
+  for (const char c : bytes) {
+    state ^= (std::uint64_t)(unsigned char)c;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Fold one 64-bit word into the digest (little-endian byte order, fixed
+/// regardless of host endianness so digests are portable).
+inline std::uint64_t fnv1a_u64(std::uint64_t value,
+                               std::uint64_t state = kFnvOffsetBasis) {
+  for (int byte = 0; byte < 8; ++byte) {
+    state ^= (value >> (8 * byte)) & 0xFF;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Stable 64-bit digest of a string (label, kernel name, ...).
+inline std::uint64_t stable_hash64(std::string_view text) { return fnv1a_bytes(text); }
+
+/// Stable 64-bit digest of an integer vector (GA decoded values).
+inline std::uint64_t stable_hash64(std::span<const i64> values) {
+  std::uint64_t state = kFnvOffsetBasis;
+  for (const i64 v : values) state = fnv1a_u64((std::uint64_t)v, state);
+  // Length in, so [1] and [1,0] differ even though 0 folds to identity-ish.
+  return fnv1a_u64((std::uint64_t)values.size(), state);
+}
+
+/// Hash functor for unordered containers keyed on std::vector<i64>.
+struct I64VecHash {
+  std::size_t operator()(const std::vector<i64>& values) const {
+    return (std::size_t)stable_hash64(std::span<const i64>(values));
+  }
+};
+
+}  // namespace cmetile

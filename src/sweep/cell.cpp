@@ -1,0 +1,406 @@
+#include "sweep/cell.hpp"
+
+#include <cstdio>
+
+#include "support/contracts.hpp"
+#include "support/hash.hpp"
+
+namespace cmetile::sweep {
+
+namespace {
+
+Json json_of_ivec(std::span<const i64> values) {
+  Json array = Json::array();
+  for (const i64 v : values) array.push(Json::integer(v));
+  return array;
+}
+
+bool ivec_of_json(const Json* json, std::vector<i64>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    if (item.kind() != Json::Kind::Int) return false;
+    out.push_back(item.as_int());
+  }
+  return true;
+}
+
+Json json_of_ivecs(const std::vector<std::vector<i64>>& vectors) {
+  Json array = Json::array();
+  for (const std::vector<i64>& v : vectors) array.push(json_of_ivec(v));
+  return array;
+}
+
+bool ivecs_of_json(const Json* json, std::vector<std::vector<i64>>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    std::vector<i64> v;
+    if (!ivec_of_json(&item, v)) return false;
+    out.push_back(std::move(v));
+  }
+  return true;
+}
+
+// Doubles that are semantically doubles (latencies, ratios) serialize as
+// Kind::Double, but shortest-round-trip form drops the decimal point for
+// integral values (80.0 dumps as "80", which re-parses as Kind::Int), so
+// every double reader MUST accept Int — the value is still exact.
+bool get_double(const Json& obj, std::string_view key, double& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr ||
+      (v->kind() != Json::Kind::Double && v->kind() != Json::Kind::Int))
+    return false;
+  out = v->as_double();
+  return true;
+}
+
+bool get_int(const Json& obj, std::string_view key, i64& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Int) return false;
+  out = v->as_int();
+  return true;
+}
+
+bool get_bool(const Json& obj, std::string_view key, bool& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Bool) return false;
+  out = v->as_bool();
+  return true;
+}
+
+bool get_string(const Json& obj, std::string_view key, std::string& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::String) return false;
+  out = v->as_string();
+  return true;
+}
+
+bool dvec_of_json(const Json* json, std::vector<double>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    if (item.kind() != Json::Kind::Double && item.kind() != Json::Kind::Int) return false;
+    out.push_back(item.as_double());
+  }
+  return true;
+}
+
+Json json_of_dvec(const std::vector<double>& values) {
+  Json array = Json::array();
+  for (const double v : values) array.push(Json::number(v));
+  return array;
+}
+
+Json json_of_options(const core::ExperimentOptions& options) {
+  const core::OptimizerOptions& opt = options.optimizer;
+  Json ga = Json::object();
+  ga.set("population", Json::integer((i64)opt.ga.population));
+  ga.set("crossover_prob", Json::number(opt.ga.crossover_prob));
+  ga.set("mutation_prob", Json::number(opt.ga.mutation_prob));
+  ga.set("min_generations", Json::integer(opt.ga.min_generations));
+  ga.set("max_generations", Json::integer(opt.ga.max_generations));
+  ga.set("convergence_threshold", Json::number(opt.ga.convergence_threshold));
+  ga.set("seed", Json::integer((i64)opt.ga.seed));
+  ga.set("initial_seeds", json_of_ivecs(opt.ga.initial_seeds));
+
+  Json estimator = Json::object();
+  estimator.set("ci_width", Json::number(opt.objective.estimator.ci_width));
+  estimator.set("confidence", Json::number(opt.objective.estimator.confidence));
+  estimator.set("sample_count", Json::integer(opt.objective.estimator.sample_count));
+  estimator.set("seed", Json::integer((i64)opt.objective.estimator.seed));
+  estimator.set("exact_threshold", Json::integer(opt.objective.estimator.exact_threshold));
+
+  // Probe caching and parallel evaluation are documented bit-identical to
+  // their off forms, so they stay out of the fingerprint preimage; the
+  // work caps below can change classification verdicts and stay in.
+  Json analysis = Json::object();
+  analysis.set("probe_work_cap", Json::integer(opt.objective.analysis.probe_work_cap));
+  analysis.set("enumerate_cap", Json::integer(opt.objective.analysis.enumerate_cap));
+
+  Json out = Json::object();
+  out.set("seed", Json::integer((i64)options.seed));
+  out.set("ga", std::move(ga));
+  out.set("estimator", std::move(estimator));
+  out.set("analysis", std::move(analysis));
+  out.set("check_legality", Json::boolean(opt.check_legality));
+  out.set("seed_population", Json::boolean(opt.seed_population));
+  out.set("extra_tile_seeds", json_of_ivecs(opt.extra_tile_seeds));
+  out.set("max_intra_pad_elems", Json::integer(opt.max_intra_pad_elems));
+  out.set("max_inter_pad_units", Json::integer(opt.max_inter_pad_units));
+  return out;
+}
+
+bool options_of_json(const Json& json, core::ExperimentOptions& out) {
+  const Json* ga = json.find("ga");
+  const Json* estimator = json.find("estimator");
+  const Json* analysis = json.find("analysis");
+  if (ga == nullptr || estimator == nullptr || analysis == nullptr) return false;
+
+  i64 seed = 0, population = 0, min_gen = 0, max_gen = 0, ga_seed = 0;
+  if (!get_int(json, "seed", seed) || !get_int(*ga, "population", population) ||
+      !get_int(*ga, "min_generations", min_gen) || !get_int(*ga, "max_generations", max_gen) ||
+      !get_int(*ga, "seed", ga_seed))
+    return false;
+  core::ExperimentOptions options;
+  options.seed = (std::uint64_t)seed;
+  core::OptimizerOptions& opt = options.optimizer;
+  opt.ga.population = (std::size_t)population;
+  opt.ga.min_generations = (int)min_gen;
+  opt.ga.max_generations = (int)max_gen;
+  opt.ga.seed = (std::uint64_t)ga_seed;
+  if (!get_double(*ga, "crossover_prob", opt.ga.crossover_prob) ||
+      !get_double(*ga, "mutation_prob", opt.ga.mutation_prob) ||
+      !get_double(*ga, "convergence_threshold", opt.ga.convergence_threshold) ||
+      !ivecs_of_json(ga->find("initial_seeds"), opt.ga.initial_seeds))
+    return false;
+
+  cme::EstimatorOptions& est = opt.objective.estimator;
+  i64 est_seed = 0;
+  if (!get_double(*estimator, "ci_width", est.ci_width) ||
+      !get_double(*estimator, "confidence", est.confidence) ||
+      !get_int(*estimator, "sample_count", est.sample_count) ||
+      !get_int(*estimator, "seed", est_seed) ||
+      !get_int(*estimator, "exact_threshold", est.exact_threshold))
+    return false;
+  est.seed = (std::uint64_t)est_seed;
+
+  if (!get_int(*analysis, "probe_work_cap", opt.objective.analysis.probe_work_cap) ||
+      !get_int(*analysis, "enumerate_cap", opt.objective.analysis.enumerate_cap))
+    return false;
+
+  if (!get_bool(json, "check_legality", opt.check_legality) ||
+      !get_bool(json, "seed_population", opt.seed_population) ||
+      !ivecs_of_json(json.find("extra_tile_seeds"), opt.extra_tile_seeds) ||
+      !get_int(json, "max_intra_pad_elems", opt.max_intra_pad_elems) ||
+      !get_int(json, "max_inter_pad_units", opt.max_inter_pad_units))
+    return false;
+  out = std::move(options);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(SweepKind kind) {
+  switch (kind) {
+    case SweepKind::Tiling: return "tiling";
+    case SweepKind::Padding: return "padding";
+    case SweepKind::Hierarchy: return "hierarchy";
+  }
+  return "?";
+}
+
+SweepCell SweepCell::tiling(kernels::FigureEntry entry, const cache::CacheConfig& cache,
+                            core::ExperimentOptions options) {
+  SweepCell cell;
+  cell.kind = SweepKind::Tiling;
+  cell.entry = std::move(entry);
+  cell.hierarchy = cache::Hierarchy::single(cache, 1.0);
+  cell.options = std::move(options);
+  return cell;
+}
+
+SweepCell SweepCell::padding(kernels::FigureEntry entry, const cache::CacheConfig& cache,
+                             core::ExperimentOptions options) {
+  SweepCell cell = tiling(std::move(entry), cache, std::move(options));
+  cell.kind = SweepKind::Padding;
+  return cell;
+}
+
+SweepCell SweepCell::hierarchy_study(kernels::FigureEntry entry, cache::Hierarchy hierarchy,
+                                     core::ExperimentOptions options) {
+  SweepCell cell;
+  cell.kind = SweepKind::Hierarchy;
+  cell.entry = std::move(entry);
+  cell.hierarchy = std::move(hierarchy);
+  cell.options = std::move(options);
+  return cell;
+}
+
+CellResult run_cell(const SweepCell& cell) {
+  expects(!cell.hierarchy.levels.empty(), "sweep: cell without a cache geometry");
+  CellResult result;
+  result.kind = cell.kind;
+  switch (cell.kind) {
+    case SweepKind::Tiling:
+      result.tiling = core::run_tiling_experiment(cell.entry, cell.hierarchy.levels[0].config,
+                                                  cell.options);
+      break;
+    case SweepKind::Padding:
+      result.padding = core::run_padding_experiment(cell.entry, cell.hierarchy.levels[0].config,
+                                                    cell.options);
+      break;
+    case SweepKind::Hierarchy:
+      result.hierarchy = core::run_hierarchy_experiment(cell.entry, cell.hierarchy, cell.options);
+      break;
+  }
+  return result;
+}
+
+std::string Fingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", (unsigned long long)hi,
+                (unsigned long long)lo);
+  return buf;
+}
+
+Fingerprint fingerprint_of(const SweepCell& cell, std::uint64_t salt) {
+  const std::string canonical = json_of_cell(cell).dump();
+  Fingerprint fp;
+  // Two independent FNV streams (distinct offset bases), salt folded last.
+  fp.hi = fnv1a_u64(salt, fnv1a_bytes(canonical));
+  fp.lo = fnv1a_u64(salt, fnv1a_bytes(canonical, 0x84222325CBF29CE4ULL));
+  return fp;
+}
+
+Json json_of_cell(const SweepCell& cell) {
+  Json levels = Json::array();
+  for (const cache::CacheLevel& level : cell.hierarchy.levels) {
+    Json l = Json::object();
+    l.set("size", Json::integer(level.config.size_bytes));
+    l.set("line", Json::integer(level.config.line_bytes));
+    l.set("assoc", Json::integer(level.config.associativity));
+    l.set("latency", Json::number(level.miss_latency));
+    levels.push(std::move(l));
+  }
+  Json out = Json::object();
+  out.set("kind", Json::string(to_string(cell.kind)));
+  out.set("kernel", Json::string(cell.entry.name));
+  out.set("size", Json::integer(cell.entry.size));
+  out.set("levels", std::move(levels));
+  out.set("options", json_of_options(cell.options));
+  return out;
+}
+
+std::optional<SweepCell> cell_of_json(const Json& json) {
+  SweepCell cell;
+  std::string kind;
+  if (!get_string(json, "kind", kind)) return std::nullopt;
+  if (kind == "tiling") {
+    cell.kind = SweepKind::Tiling;
+  } else if (kind == "padding") {
+    cell.kind = SweepKind::Padding;
+  } else if (kind == "hierarchy") {
+    cell.kind = SweepKind::Hierarchy;
+  } else {
+    return std::nullopt;
+  }
+  if (!get_string(json, "kernel", cell.entry.name) || !get_int(json, "size", cell.entry.size))
+    return std::nullopt;
+  const Json* levels = json.find("levels");
+  if (levels == nullptr || levels->kind() != Json::Kind::Array || levels->items().empty())
+    return std::nullopt;
+  for (const Json& l : levels->items()) {
+    cache::CacheLevel level;
+    if (!get_int(l, "size", level.config.size_bytes) ||
+        !get_int(l, "line", level.config.line_bytes) ||
+        !get_int(l, "assoc", level.config.associativity) ||
+        !get_double(l, "latency", level.miss_latency))
+      return std::nullopt;
+    cell.hierarchy.levels.push_back(level);
+  }
+  const Json* options = json.find("options");
+  if (options == nullptr || !options_of_json(*options, cell.options)) return std::nullopt;
+  return cell;
+}
+
+Json json_of_result(const CellResult& result) {
+  Json row = Json::object();
+  switch (result.kind) {
+    case SweepKind::Tiling: {
+      const core::TilingRow& r = result.tiling;
+      row.set("label", Json::string(r.label));
+      row.set("no_tiling_total", Json::number(r.no_tiling_total));
+      row.set("no_tiling_repl", Json::number(r.no_tiling_repl));
+      row.set("tiling_total", Json::number(r.tiling_total));
+      row.set("tiling_repl", Json::number(r.tiling_repl));
+      row.set("tiles", json_of_ivec(r.tiles.t));
+      row.set("ga_evaluations", Json::integer(r.ga_evaluations));
+      row.set("ga_generations", Json::integer(r.ga_generations));
+      row.set("seconds", Json::number(r.seconds));
+      break;
+    }
+    case SweepKind::Padding: {
+      const core::PaddingRow& r = result.padding;
+      row.set("label", Json::string(r.label));
+      row.set("original_repl", Json::number(r.original_repl));
+      row.set("padding_repl", Json::number(r.padding_repl));
+      row.set("padding_tiling_repl", Json::number(r.padding_tiling_repl));
+      row.set("pads_intra", json_of_ivec(r.pads.intra));
+      row.set("pads_inter", json_of_ivec(r.pads.inter));
+      row.set("tiles", json_of_ivec(r.tiles.t));
+      row.set("seconds", Json::number(r.seconds));
+      break;
+    }
+    case SweepKind::Hierarchy: {
+      const core::HierarchyRow& r = result.hierarchy;
+      row.set("label", Json::string(r.label));
+      row.set("l1_tiles", json_of_ivec(r.l1_tiles.t));
+      row.set("tiles", json_of_ivec(r.tiles.t));
+      row.set("cost_l1_tiles", Json::number(r.cost_l1_tiles));
+      row.set("cost_tiles", Json::number(r.cost_tiles));
+      row.set("level_repl", json_of_dvec(r.level_repl));
+      row.set("level_half_width", json_of_dvec(r.level_half_width));
+      row.set("ga_evaluations", Json::integer(r.ga_evaluations));
+      row.set("seconds", Json::number(r.seconds));
+      break;
+    }
+  }
+  Json out = Json::object();
+  out.set("kind", Json::string(to_string(result.kind)));
+  out.set("row", std::move(row));
+  return out;
+}
+
+std::optional<CellResult> result_of_json(const Json& json) {
+  std::string kind;
+  const Json* row = json.find("row");
+  if (!get_string(json, "kind", kind) || row == nullptr) return std::nullopt;
+  CellResult result;
+  if (kind == "tiling") {
+    result.kind = SweepKind::Tiling;
+    core::TilingRow& r = result.tiling;
+    i64 generations = 0;
+    if (!get_string(*row, "label", r.label) ||
+        !get_double(*row, "no_tiling_total", r.no_tiling_total) ||
+        !get_double(*row, "no_tiling_repl", r.no_tiling_repl) ||
+        !get_double(*row, "tiling_total", r.tiling_total) ||
+        !get_double(*row, "tiling_repl", r.tiling_repl) ||
+        !ivec_of_json(row->find("tiles"), r.tiles.t) ||
+        !get_int(*row, "ga_evaluations", r.ga_evaluations) ||
+        !get_int(*row, "ga_generations", generations) ||
+        !get_double(*row, "seconds", r.seconds))
+      return std::nullopt;
+    r.ga_generations = (int)generations;
+  } else if (kind == "padding") {
+    result.kind = SweepKind::Padding;
+    core::PaddingRow& r = result.padding;
+    if (!get_string(*row, "label", r.label) ||
+        !get_double(*row, "original_repl", r.original_repl) ||
+        !get_double(*row, "padding_repl", r.padding_repl) ||
+        !get_double(*row, "padding_tiling_repl", r.padding_tiling_repl) ||
+        !ivec_of_json(row->find("pads_intra"), r.pads.intra) ||
+        !ivec_of_json(row->find("pads_inter"), r.pads.inter) ||
+        !ivec_of_json(row->find("tiles"), r.tiles.t) ||
+        !get_double(*row, "seconds", r.seconds))
+      return std::nullopt;
+  } else if (kind == "hierarchy") {
+    result.kind = SweepKind::Hierarchy;
+    core::HierarchyRow& r = result.hierarchy;
+    if (!get_string(*row, "label", r.label) ||
+        !ivec_of_json(row->find("l1_tiles"), r.l1_tiles.t) ||
+        !ivec_of_json(row->find("tiles"), r.tiles.t) ||
+        !get_double(*row, "cost_l1_tiles", r.cost_l1_tiles) ||
+        !get_double(*row, "cost_tiles", r.cost_tiles) ||
+        !dvec_of_json(row->find("level_repl"), r.level_repl) ||
+        !dvec_of_json(row->find("level_half_width"), r.level_half_width) ||
+        !get_int(*row, "ga_evaluations", r.ga_evaluations) ||
+        !get_double(*row, "seconds", r.seconds))
+      return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace cmetile::sweep

@@ -1,0 +1,88 @@
+#pragma once
+// One experiment cell of a sweep: the unit the scheduler caches, ships to
+// worker subprocesses, and checkpoints. A cell is a pure description —
+// (experiment kind, kernel entry, cache geometry, ExperimentOptions) — and
+// run_cell() maps it to exactly one core experiment-driver call, so a
+// cell's result is a deterministic function of the cell (the drivers
+// derive all seeds from the entry/geometry/options, never from wall clock
+// or thread ids).
+//
+// Cells and results round-trip through the sweep JSON encoding: the same
+// object is the worker-protocol job payload, the fingerprint preimage, and
+// the cached on-disk payload. Doubles serialize in shortest-round-trip
+// form, so a result loaded from cache (or received from a worker) is
+// bit-identical to the locally computed one.
+
+#include <optional>
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "core/experiment.hpp"
+#include "kernels/kernels.hpp"
+#include "sweep/json.hpp"
+
+namespace cmetile::sweep {
+
+/// Bump when the meaning of a cached result changes (objective semantics,
+/// estimator conventions, kernel reconstructions, ...). Stale caches then
+/// miss cleanly instead of replaying outdated rows.
+inline constexpr std::uint64_t kCodeVersionSalt = 20260730'0001ULL;
+
+enum class SweepKind { Tiling, Padding, Hierarchy };
+
+const char* to_string(SweepKind kind);
+
+struct SweepCell {
+  SweepKind kind = SweepKind::Tiling;
+  kernels::FigureEntry entry;
+  /// Geometry under test. Tiling/Padding cells are the paper's single-
+  /// cache experiments: depth-1 hierarchy, level 0's config is the cache
+  /// (latency forced to 1 so equal geometries fingerprint equally).
+  cache::Hierarchy hierarchy;
+  core::ExperimentOptions options;
+
+  static SweepCell tiling(kernels::FigureEntry entry, const cache::CacheConfig& cache,
+                          core::ExperimentOptions options);
+  static SweepCell padding(kernels::FigureEntry entry, const cache::CacheConfig& cache,
+                           core::ExperimentOptions options);
+  static SweepCell hierarchy_study(kernels::FigureEntry entry, cache::Hierarchy hierarchy,
+                                   core::ExperimentOptions options);
+};
+
+/// Result of one cell; only the member matching `kind` is meaningful.
+struct CellResult {
+  SweepKind kind = SweepKind::Tiling;
+  core::TilingRow tiling;
+  core::PaddingRow padding;
+  core::HierarchyRow hierarchy;
+  bool from_cache = false;  ///< satisfied from the ResultCache, not computed
+};
+
+/// Execute the cell's experiment (one core driver call).
+CellResult run_cell(const SweepCell& cell);
+
+/// 128-bit content fingerprint (two independent FNV-1a streams over the
+/// canonical cell encoding). Collisions across even millions of cells are
+/// negligible; the cache re-checks the stored fingerprint on load anyway.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  std::string hex() const;  ///< 32 lowercase hex chars (the cache filename)
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Fingerprint of a cell: hash of its canonical JSON plus the code-version
+/// salt. Everything that can change the result is in the preimage — the
+/// kernel entry, every cache level's geometry and latency, and the full
+/// ExperimentOptions including seeds and GA/estimator/analysis knobs.
+Fingerprint fingerprint_of(const SweepCell& cell, std::uint64_t salt = kCodeVersionSalt);
+
+// -- JSON round-trips (worker protocol + cache payloads) -----------------
+Json json_of_cell(const SweepCell& cell);
+std::optional<SweepCell> cell_of_json(const Json& json);
+
+Json json_of_result(const CellResult& result);
+std::optional<CellResult> result_of_json(const Json& json);
+
+}  // namespace cmetile::sweep

@@ -1,0 +1,363 @@
+#include "sweep/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::sweep {
+
+namespace {
+
+const std::string kEmptyString;
+
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if ((unsigned char)c < 0x20) {
+          // Control characters the protocol never produces; keep the
+          // output valid JSON anyway.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", (unsigned)(unsigned char)c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Recursive-descent parser over [pos, end); every helper leaves pos just
+/// past what it consumed or returns false with pos unspecified.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;  // corrupt input must not smash the stack
+
+  void skip_ws() {
+    while (pos < text.size() && is_ws(text[pos])) ++pos;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned code = 0;
+            const auto res =
+                std::from_chars(text.data() + pos, text.data() + pos + 4, code, 16);
+            if (res.ec != std::errc() || res.ptr != text.data() + pos + 4) return false;
+            pos += 4;
+            if (code > 0x7F) return false;  // ASCII-only protocol
+            out += (char)code;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    bool digits = false, fractional = false;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return false;
+    const std::string_view token = text.substr(start, pos - start);
+    if (!fractional) {
+      i64 value = 0;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+        out = Json::integer(value);
+        return true;
+      }
+      // Fall through: out-of-range integer parses as double.
+    }
+    double value = 0.0;
+    const auto res = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) return false;
+    if (!std::isfinite(value)) return false;
+    out = Json::number(value);
+    return true;
+  }
+
+  bool parse_value(Json& out) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos >= text.size()) return false;
+    bool ok = false;
+    const char c = text[pos];
+    if (c == 'n') {
+      ok = literal("null");
+      if (ok) out = Json::null();
+    } else if (c == 't') {
+      ok = literal("true");
+      if (ok) out = Json::boolean(true);
+    } else if (c == 'f') {
+      ok = literal("false");
+      if (ok) out = Json::boolean(false);
+    } else if (c == '"') {
+      std::string s;
+      ok = parse_string(s);
+      if (ok) out = Json::string(std::move(s));
+    } else if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        ok = true;
+      } else {
+        while (true) {
+          Json item;
+          if (!parse_value(item)) return --depth, false;
+          out.push(std::move(item));
+          skip_ws();
+          if (pos >= text.size()) return --depth, false;
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == ']') {
+            ++pos;
+            ok = true;
+            break;
+          }
+          return --depth, false;
+        }
+      }
+    } else if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        ok = true;
+      } else {
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return --depth, false;
+          skip_ws();
+          if (pos >= text.size() || text[pos] != ':') return --depth, false;
+          ++pos;
+          Json value;
+          if (!parse_value(value)) return --depth, false;
+          out.set(std::move(key), std::move(value));
+          skip_ws();
+          if (pos >= text.size()) return --depth, false;
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == '}') {
+            ++pos;
+            ok = true;
+            break;
+          }
+          return --depth, false;
+        }
+      }
+    } else {
+      ok = parse_number(out);
+    }
+    --depth;
+    return ok;
+  }
+};
+
+void dump_into(const Json& value, std::string& out) {
+  switch (value.kind()) {
+    case Json::Kind::Null: out += "null"; break;
+    case Json::Kind::Bool: out += value.as_bool() ? "true" : "false"; break;
+    case Json::Kind::Int: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, value.as_int());
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Json::Kind::Double: {
+      // Shortest round-trip form: parsing it back yields the identical
+      // IEEE-754 double, which is what makes cached rows bit-identical.
+      char buf[32];
+      const auto res = std::to_chars(buf, buf + sizeof buf, value.as_double());
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Json::Kind::String: append_escaped(out, value.as_string()); break;
+    case Json::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, key);
+        out += ':';
+        dump_into(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Json Json::integer(i64 i) {
+  Json v;
+  v.kind_ = Kind::Int;
+  v.int_ = i;
+  return v;
+}
+
+Json Json::number(double d) {
+  Json v;
+  v.kind_ = Kind::Double;
+  v.double_ = d;
+  return v;
+}
+
+Json Json::string(std::string s) {
+  Json v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Json Json::array() {
+  Json v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Json Json::object() {
+  Json v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+void Json::push(Json value) {
+  expects(kind_ == Kind::Array, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+  expects(kind_ == Kind::Object, "Json::set on a non-object");
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Json::as_bool(bool fallback) const { return kind_ == Kind::Bool ? bool_ : fallback; }
+
+i64 Json::as_int(i64 fallback) const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::Double) {
+    // Casting an out-of-range double to i64 is UB, and this path is
+    // reachable from untrusted worker output — range-check first.
+    // 2^63 is exactly representable; values in [-2^63, 2^63) convert.
+    if (double_ >= -9223372036854775808.0 && double_ < 9223372036854775808.0)
+      return (i64)double_;
+    return fallback;
+  }
+  return fallback;
+}
+
+double Json::as_double(double fallback) const {
+  if (kind_ == Kind::Double) return double_;
+  if (kind_ == Kind::Int) return (double)int_;
+  return fallback;
+}
+
+const std::string& Json::as_string() const {
+  return kind_ == Kind::String ? string_ : kEmptyString;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [name, member] : members_)
+    if (name == key) return &member;
+  return nullptr;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_into(*this, out);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser parser{text};
+  Json value;
+  if (!parser.parse_value(value)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.pos != text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace cmetile::sweep

@@ -1,0 +1,85 @@
+#pragma once
+// Minimal JSON for the sweep subsystem: the worker job/result protocol
+// (one line-delimited message per job) and the on-disk cell payloads both
+// need a self-describing, append-friendly text encoding without external
+// dependencies. This is deliberately a small subset implementation:
+//
+//  - Values: null, bool, 64-bit integers, doubles, strings, arrays,
+//    objects. Integers and doubles are distinct kinds so i64 round-trips
+//    exactly beyond 2^53 and double VALUES round-trip bit-for-bit
+//    (shortest std::to_chars form — the bit-identity of cached sweep rows
+//    depends on this). The KIND of an integral double does not survive:
+//    80.0 dumps as "80" and re-parses as Int, so double readers accept
+//    both kinds (as_double does).
+//  - Objects preserve insertion order, so a given writer always produces
+//    one canonical byte string — fingerprints hash dump() output.
+//  - parse() is tolerant in exactly one way: it either returns a fully
+//    valid value or nullopt. Truncated/garbage input never throws and
+//    never returns a partial value (the result cache treats nullopt as a
+//    cold cell).
+//
+// Not supported (the sweep protocol doesn't need them): \uXXXX escapes
+// beyond ASCII pass-through, comments, duplicate-key detection.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::sweep {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json integer(i64 i);
+  static Json number(double d);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+
+  // -- Builders (no-ops with a contract failure on kind mismatch) --------
+  /// Append to an Array.
+  void push(Json value);
+  /// Append a key to an Object (insertion order preserved; keys assumed
+  /// unique by construction).
+  void set(std::string key, Json value);
+
+  // -- Accessors ---------------------------------------------------------
+  bool as_bool(bool fallback = false) const;
+  /// Int returns the exact value; Double is truncated toward zero.
+  i64 as_int(i64 fallback = 0) const;
+  double as_double(double fallback = 0.0) const;
+  const std::string& as_string() const;  ///< empty string unless Kind::String
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Canonical single-line serialization (no whitespace).
+  std::string dump() const;
+
+  /// Full-input parse: leading/trailing whitespace allowed, anything else
+  /// after the value (or any malformed byte) yields nullopt.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  i64 int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace cmetile::sweep

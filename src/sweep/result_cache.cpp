@@ -1,0 +1,121 @@
+#include "sweep/result_cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "support/contracts.hpp"
+#include "support/hash.hpp"
+
+namespace cmetile::sweep {
+
+namespace {
+
+constexpr const char* kHeader = "cmetile-cache v1";
+
+std::string checksum_hex(std::string_view payload) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)fnv1a_bytes(payload));
+  return buf;
+}
+
+/// Unique-enough temp suffix: pid + a process-wide counter, so concurrent
+/// threads of one process and concurrent processes never share a temp
+/// file. (Being wrong here would interleave writes, but the final rename
+/// would still be atomic.)
+std::string temp_suffix() {
+  static std::atomic<unsigned> counter{0};
+#ifdef __unix__
+  const long pid = (long)::getpid();
+#else
+  const long pid = 0;
+#endif
+  std::ostringstream out;
+  out << ".tmp." << pid << "." << counter.fetch_add(1);
+  return out.str();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string directory) : directory_(std::move(directory)) {
+  expects(!directory_.empty(), "ResultCache: empty directory");
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  expects(!ec && std::filesystem::is_directory(directory_),
+          "ResultCache: cannot create cache directory");
+}
+
+std::string ResultCache::path_of(const Fingerprint& fingerprint) const {
+  return directory_ + "/" + fingerprint.hex() + ".cell";
+}
+
+std::optional<CellResult> ResultCache::load(const Fingerprint& fingerprint) const {
+  std::ifstream in(path_of(fingerprint));
+  if (!in) return std::nullopt;
+
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  const std::string want_fp = fingerprint.hex();
+  std::optional<CellResult> last_valid;
+  while (std::getline(in, line)) {
+    // Record: "row <fp> <checksum> <json>". Any deviation skips the line.
+    std::istringstream fields(line);
+    std::string tag, fp, checksum;
+    if (!(fields >> tag >> fp >> checksum) || tag != "row") continue;
+    std::string payload;
+    std::getline(fields, payload);
+    if (payload.size() < 2 || payload[0] != ' ') continue;
+    payload.erase(0, 1);
+    if (fp != want_fp) continue;
+    if (checksum != checksum_hex(payload)) continue;
+    const std::optional<Json> json = Json::parse(payload);
+    if (!json) continue;
+    std::optional<CellResult> result = result_of_json(*json);
+    if (!result) continue;
+    result->from_cache = true;
+    last_valid = std::move(result);
+  }
+  return last_valid;
+}
+
+bool ResultCache::store(const Fingerprint& fingerprint, const CellResult& result) const {
+  const std::string payload = json_of_result(result).dump();
+  const std::string final_path = path_of(fingerprint);
+  const std::string temp_path = final_path + temp_suffix();
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out) return false;
+    out << kHeader << "\n"
+        << "row " << fingerprint.hex() << " " << checksum_hex(payload) << " " << payload << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      return false;
+    }
+  }
+  // rename(2) is atomic within a filesystem: readers see the old bytes or
+  // the new bytes, never a mix — this is the whole crash-safety story.
+  if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::size_t ResultCache::cell_count() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".cell") ++count;
+  }
+  return count;
+}
+
+}  // namespace cmetile::sweep

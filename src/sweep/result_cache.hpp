@@ -1,0 +1,59 @@
+#pragma once
+// Persistent, content-addressed store for sweep cell results.
+//
+// Layout: one file per cell under the cache directory, named by the
+// cell's 128-bit fingerprint hex ("<fp>.cell"). Each file is line-
+// oriented and append-friendly:
+//
+//   cmetile-cache v1                                  <- versioned header
+//   row <fp-hex> <fnv64-hex-of-json> <result-json>    <- 1+ records
+//
+// load() scans every record, skips anything malformed (wrong header,
+// truncated line, checksum mismatch, unparseable JSON, fingerprint that
+// doesn't match the request) and returns the LAST valid record — so a
+// partially appended record, garbage bytes, or a stale rename can only
+// degrade to a cache miss (cold recompute), never to a crash or a wrong
+// row.
+//
+// store() is crash- and concurrency-safe via the classic atomic-rename
+// path: the record is written to a unique temp file in the same directory
+// and rename(2)'d over the final name. Two processes storing the same
+// cell concurrently both succeed; whichever rename lands last wins, and
+// both wrote identical bytes anyway (results are deterministic functions
+// of the fingerprinted cell).
+
+#include <optional>
+#include <string>
+
+#include "support/cli.hpp"  // kDefaultCacheDir (shared with the bench flags)
+#include "sweep/cell.hpp"
+
+namespace cmetile::sweep {
+
+class ResultCache {
+ public:
+  /// Opens (and creates, including parents) the cache directory. Throws
+  /// contract_error if the path exists but is not a directory or cannot
+  /// be created.
+  explicit ResultCache(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// The cached result for this fingerprint, or nullopt on any miss
+  /// (absent, unreadable, corrupt, version/fingerprint mismatch).
+  std::optional<CellResult> load(const Fingerprint& fingerprint) const;
+
+  /// Persist one result atomically; returns false on I/O failure (the
+  /// sweep then simply stays uncached — never fatal).
+  bool store(const Fingerprint& fingerprint, const CellResult& result) const;
+
+  /// Number of "*.cell" files currently in the directory (tests/stats).
+  std::size_t cell_count() const;
+
+  std::string path_of(const Fingerprint& fingerprint) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace cmetile::sweep

@@ -1,0 +1,558 @@
+#include "sweep/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string_view>
+
+#include "support/contracts.hpp"
+#include "support/parallel.hpp"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+extern char** environ;
+#endif
+
+namespace cmetile::sweep {
+
+namespace {
+
+std::string self_executable_path() {
+#ifdef __linux__
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+#endif
+  return {};
+}
+
+void log_line(const SchedulerOptions& options, const std::string& message) {
+  if (options.log != nullptr) *options.log << message << "\n";
+}
+
+/// Compute `indices` in-process (parallel across cells like the core
+/// plural drivers) and checkpoint each cell the moment it completes.
+/// Exceptions cannot escape an OpenMP structured block (std::terminate),
+/// so per-cell errors are captured and the first one rethrown afterwards
+/// — run_sweep's throw-on-unusable-spec contract holds for errors only
+/// detectable per cell (e.g. an unknown kernel name).
+void compute_in_process(const std::vector<SweepCell>& cells,
+                        const std::vector<Fingerprint>& fingerprints,
+                        const std::vector<std::size_t>& indices, const ResultCache* cache,
+                        std::vector<CellResult>& results) {
+  std::vector<std::string> errors(indices.size());
+  std::atomic<bool> any_error{false};
+  parallel_for(indices.size(), [&](std::size_t m) {
+    const std::size_t idx = indices[m];
+    try {
+      results[idx] = run_cell(cells[idx]);
+      if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
+    } catch (const std::exception& e) {
+      errors[m] = e.what();
+      any_error.store(true, std::memory_order_release);
+    } catch (...) {
+      errors[m] = "unknown error";
+      any_error.store(true, std::memory_order_release);
+    }
+  });
+  if (!any_error.load(std::memory_order_acquire)) return;
+  for (std::size_t m = 0; m < indices.size(); ++m) {
+    if (!errors[m].empty())
+      throw contract_error("sweep: cell " + cells[indices[m]].entry.label() + " failed: " +
+                           errors[m]);
+  }
+}
+
+#ifdef __unix__
+
+struct Worker {
+  pid_t pid = -1;
+  int job_fd = -1;     ///< parent writes job lines (worker stdin)
+  int result_fd = -1;  ///< parent reads result lines (worker stdout)
+  std::string buffer;
+  long long job = -1;  ///< in-flight cell index, -1 when idle
+
+  bool alive() const { return result_fd >= 0; }
+};
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Fork+exec one worker with stdin/stdout on fresh pipes. argv/envp are
+/// prepared by the caller — between fork and exec only async-signal-safe
+/// calls are allowed (the parent may be running OpenMP threads).
+bool spawn_worker(const char* exe, char* const* argv, char* const* envp, Worker& worker) {
+  int job_pipe[2] = {-1, -1};
+  int result_pipe[2] = {-1, -1};
+  if (::pipe(job_pipe) != 0) return false;
+  if (::pipe(result_pipe) != 0) {
+    ::close(job_pipe[0]);
+    ::close(job_pipe[1]);
+    return false;
+  }
+  // Parent-side ends must not leak into later-spawned siblings (a leaked
+  // job write-end would keep a worker's stdin open forever).
+  set_cloexec(job_pipe[1]);
+  set_cloexec(result_pipe[0]);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {job_pipe[0], job_pipe[1], result_pipe[0], result_pipe[1]}) ::close(fd);
+    return false;
+  }
+  if (pid == 0) {
+    // The parent-side ends are CLOEXEC and vanish at exec; only the two
+    // child ends need moving. Guard the close for the launched-with-
+    // closed-stdio case where pipe() handed us fd 0 or 1 directly.
+    if (job_pipe[0] != STDIN_FILENO) {
+      ::dup2(job_pipe[0], STDIN_FILENO);
+      ::close(job_pipe[0]);
+    }
+    if (result_pipe[1] != STDOUT_FILENO) {
+      ::dup2(result_pipe[1], STDOUT_FILENO);
+      ::close(result_pipe[1]);
+    }
+    ::execve(exe, argv, envp);
+    _exit(127);  // exec failed; the parent sees EOF and falls back
+  }
+  ::close(job_pipe[0]);
+  ::close(result_pipe[1]);
+  worker.pid = pid;
+  worker.job_fd = job_pipe[1];
+  worker.result_fd = result_pipe[0];
+  return true;
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::write(fd, bytes.data(), bytes.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix((std::size_t)n);
+  }
+  return true;
+}
+
+void reap_worker(Worker& worker) {
+  if (worker.job_fd >= 0) ::close(worker.job_fd);
+  if (worker.result_fd >= 0) ::close(worker.result_fd);
+  worker.job_fd = worker.result_fd = -1;
+  if (worker.pid > 0) {
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.pid = -1;
+  }
+}
+
+/// Restore-on-destruction SIGPIPE ignore: a worker that died mid-job must
+/// surface as a failed write, not kill the scheduler.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~ScopedSigpipeIgnore() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+
+ private:
+  struct sigaction saved_ {};
+};
+
+/// Multi-process sharding: feed cells to workers one at a time (dynamic
+/// load balancing — GA cells vary widely in cost), checkpoint each result
+/// as it arrives. Any worker failure routes its cell into `failed` for
+/// the in-process fallback. Returns false only when no worker could be
+/// spawned at all.
+bool run_multiprocess(const std::vector<SweepCell>& cells,
+                      const std::vector<Fingerprint>& fingerprints,
+                      const std::vector<std::size_t>& misses, const ResultCache* cache,
+                      const SchedulerOptions& options, std::vector<CellResult>& results,
+                      SweepStats& stats, std::vector<std::size_t>& failed) {
+  const std::string exe =
+      options.worker_command.empty() ? self_executable_path() : options.worker_command;
+  if (exe.empty()) return false;
+
+  const int worker_count = (int)std::min((std::size_t)options.jobs, misses.size());
+
+  // argv/envp prepared before any fork. Workers split the machine's
+  // threads so N workers × OpenMP don't oversubscribe N-fold.
+  const std::string flag = std::string("--") + kWorkerFlag;
+  std::vector<char*> argv = {const_cast<char*>(exe.c_str()), const_cast<char*>(flag.c_str()),
+                             nullptr};
+  const int threads_per_worker = std::max(1, parallel_threads() / std::max(1, worker_count));
+  std::vector<std::string> env_storage;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "OMP_NUM_THREADS=", 16) != 0) env_storage.emplace_back(*e);
+  }
+  env_storage.push_back("OMP_NUM_THREADS=" + std::to_string(threads_per_worker));
+  std::vector<char*> envp;
+  envp.reserve(env_storage.size() + 1);
+  for (std::string& e : env_storage) envp.push_back(e.data());
+  envp.push_back(nullptr);
+
+  ScopedSigpipeIgnore sigpipe_guard;
+
+  std::vector<Worker> workers((std::size_t)worker_count);
+  int spawned = 0;
+  for (Worker& worker : workers) {
+    if (spawn_worker(exe.c_str(), argv.data(), envp.data(), worker)) ++spawned;
+  }
+  if (spawned == 0) return false;
+  log_line(options, "[sweep] " + std::to_string(spawned) + " worker processes (" +
+                        std::to_string(threads_per_worker) + " threads each)");
+
+  std::size_t next = 0;  // next unassigned entry of `misses`
+
+  auto kill_worker = [&](Worker& worker) {
+    if (worker.job >= 0) {
+      failed.push_back((std::size_t)worker.job);
+      worker.job = -1;
+    }
+    reap_worker(worker);
+  };
+
+  // Hand the next queued cell to `worker`; closes its stdin when the
+  // queue is drained (the worker then exits on EOF).
+  auto assign = [&](Worker& worker) {
+    while (next < misses.size()) {
+      const std::size_t idx = misses[next];
+      Json job = Json::object();
+      job.set("id", Json::integer((i64)idx));
+      job.set("cell", json_of_cell(cells[idx]));
+      if (write_all(worker.job_fd, job.dump() + "\n")) {
+        ++next;
+        worker.job = (long long)idx;
+        return;
+      }
+      // Broken pipe before the job was accepted: the cell is NOT lost —
+      // leave it queued for a healthier worker; this worker is done.
+      kill_worker(worker);
+      return;
+    }
+    if (worker.job_fd >= 0) {
+      ::close(worker.job_fd);
+      worker.job_fd = -1;
+    }
+  };
+
+  // One result line: validate, record, checkpoint, hand out the next job.
+  auto handle_line = [&](Worker& worker, std::string_view line) {
+    if (line.empty()) return;
+    if (worker.job < 0) {
+      // A line with no job in flight (e.g. an idle worker babbling
+      // {"id":-1,...}) must not be matched against cells[] — drop the
+      // worker, nothing is lost.
+      log_line(options, "[sweep] unexpected output from an idle worker");
+      kill_worker(worker);
+      return;
+    }
+    const std::optional<Json> response = Json::parse(std::string(line));
+    bool ok = false;
+    std::optional<CellResult> result;
+    if (response) {
+      const Json* id = response->find("id");
+      const Json* ok_field = response->find("ok");
+      const Json* payload = response->find("result");
+      if (id != nullptr && id->as_int(-1) == worker.job && ok_field != nullptr &&
+          ok_field->as_bool(false) && payload != nullptr) {
+        result = result_of_json(*payload);
+        ok = result.has_value() && result->kind == cells[(std::size_t)worker.job].kind;
+      }
+    }
+    if (!ok) {
+      // Wrong id, failed cell, or protocol garbage: stop trusting this
+      // worker entirely. Surface the worker's own diagnostic if it sent
+      // one — it is usually the only explanation of the failure.
+      std::string detail;
+      if (response) {
+        if (const Json* error = response->find("error"); error != nullptr)
+          detail = error->as_string();
+      }
+      log_line(options, "[sweep] worker failed on cell " + std::to_string(worker.job) +
+                            (detail.empty() ? "" : " (" + detail + ")"));
+      kill_worker(worker);
+      return;
+    }
+    const std::size_t idx = (std::size_t)worker.job;
+    results[idx] = std::move(*result);
+    if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
+    ++stats.computed;
+    worker.job = -1;
+    assign(worker);
+  };
+
+  for (Worker& worker : workers)
+    if (worker.alive()) assign(worker);
+
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_owner;
+  while (true) {
+    fds.clear();
+    fd_owner.clear();
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].alive()) continue;
+      fds.push_back({workers[w].result_fd, POLLIN, 0});
+      fd_owner.push_back(w);
+    }
+    if (fds.empty()) break;
+
+    const int ready = ::poll(fds.data(), (nfds_t)fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      for (Worker& worker : workers)
+        if (worker.alive()) kill_worker(worker);
+      break;
+    }
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if (fds[f].revents == 0) continue;
+      Worker& worker = workers[fd_owner[f]];
+      char chunk[4096];
+      const ssize_t n = ::read(worker.result_fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // EOF with a job in flight = the worker died mid-cell.
+        if (worker.job >= 0)
+          log_line(options, "[sweep] worker exited on cell " + std::to_string(worker.job));
+        kill_worker(worker);
+        continue;
+      }
+      worker.buffer.append(chunk, (std::size_t)n);
+      std::size_t newline;
+      while (worker.alive() && (newline = worker.buffer.find('\n')) != std::string::npos) {
+        const std::string line = worker.buffer.substr(0, newline);
+        worker.buffer.erase(0, newline + 1);
+        handle_line(worker, line);
+      }
+    }
+  }
+
+  // Workers all gone. Only cells a worker actually received and then
+  // failed on count as worker failures; cells never handed out (all
+  // workers died early) join the fallback list uncounted.
+  stats.worker_failures = failed.size();
+  for (; next < misses.size(); ++next) failed.push_back(misses[next]);
+  return true;
+}
+
+#endif  // __unix__
+
+}  // namespace
+
+std::vector<SweepCell> SweepSpec::cells() const {
+  std::vector<SweepCell> out;
+  if (kind == SweepKind::Hierarchy) {
+    for (const cache::Hierarchy& hierarchy : hierarchies)
+      for (const kernels::FigureEntry& entry : entries)
+        out.push_back(SweepCell::hierarchy_study(entry, hierarchy, options));
+  } else {
+    for (const cache::CacheConfig& cache : caches)
+      for (const kernels::FigureEntry& entry : entries)
+        out.push_back(kind == SweepKind::Tiling ? SweepCell::tiling(entry, cache, options)
+                                                : SweepCell::padding(entry, cache, options));
+  }
+  return out;
+}
+
+SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
+  const std::vector<SweepCell> cells = spec.cells();
+  expects(!cells.empty(), "sweep: spec expands to zero cells");
+  expects(options.jobs >= 1, "sweep: jobs must be >= 1");
+
+  SweepRun run;
+  run.results.resize(cells.size());
+  run.stats.cells = cells.size();
+
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.reserve(cells.size());
+  for (const SweepCell& cell : cells) fingerprints.push_back(fingerprint_of(cell));
+
+  std::optional<ResultCache> cache;
+  if (options.use_cache) cache.emplace(options.cache_dir);
+
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::optional<CellResult> hit;
+    if (cache) hit = cache->load(fingerprints[i]);
+    if (hit) {
+      run.results[i] = std::move(*hit);
+      ++run.stats.cache_hits;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  log_line(options, "[sweep] " + std::to_string(cells.size()) + " cells, " +
+                        std::to_string(run.stats.cache_hits) + " cache hits, " +
+                        std::to_string(misses.size()) + " to compute" +
+                        (cache ? " (cache: " + cache->directory() + ")" : " (cache off)"));
+  if (misses.empty()) return run;
+
+  const ResultCache* store = cache ? &*cache : nullptr;
+  std::vector<std::size_t> failed;
+  bool sharded = false;
+#ifdef __unix__
+  if (options.jobs > 1) {
+    sharded = run_multiprocess(cells, fingerprints, misses, store, options, run.results,
+                               run.stats, failed);
+    if (!sharded)
+      log_line(options, "[sweep] could not spawn workers; computing in-process");
+  }
+#else
+  if (options.jobs > 1)
+    log_line(options, "[sweep] multi-process sharding unavailable on this platform; "
+                      "computing in-process");
+#endif
+  if (!sharded) {
+    failed = misses;  // never attempted remotely; not a worker failure
+  } else if (!failed.empty()) {
+    // run_multiprocess already set stats.worker_failures (failed may also
+    // carry cells no worker ever received).
+    log_line(options, "[sweep] recomputing " + std::to_string(failed.size()) +
+                          " cells in-process (" +
+                          std::to_string(run.stats.worker_failures) + " worker failures)");
+  }
+  compute_in_process(cells, fingerprints, failed, store, run.results);
+  run.stats.computed += failed.size();
+  return run;
+}
+
+namespace {
+
+/// Run the spec and project the kind-matching row out of every cell.
+template <typename Row>
+std::vector<Row> sweep_rows(SweepSpec spec, const SchedulerOptions& scheduler,
+                            SweepStats* stats, Row CellResult::* member) {
+  SweepRun run = run_sweep(spec, scheduler);
+  if (stats != nullptr) *stats = run.stats;
+  std::vector<Row> rows;
+  rows.reserve(run.results.size());
+  for (CellResult& result : run.results) rows.push_back(std::move(result.*member));
+  return rows;
+}
+
+}  // namespace
+
+std::vector<core::TilingRow> run_tiling_experiments(
+    std::span<const kernels::FigureEntry> entries, std::span<const cache::CacheConfig> caches,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats) {
+  SweepSpec spec;
+  spec.kind = SweepKind::Tiling;
+  spec.entries.assign(entries.begin(), entries.end());
+  spec.caches.assign(caches.begin(), caches.end());
+  spec.options = options;
+  return sweep_rows(std::move(spec), scheduler, stats, &CellResult::tiling);
+}
+
+std::vector<core::TilingRow> run_tiling_experiments(
+    std::span<const kernels::FigureEntry> entries, const cache::CacheConfig& cache,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats) {
+  return run_tiling_experiments(entries, std::span<const cache::CacheConfig>(&cache, 1),
+                                options, scheduler, stats);
+}
+
+std::vector<core::PaddingRow> run_padding_experiments(
+    std::span<const kernels::FigureEntry> entries, std::span<const cache::CacheConfig> caches,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats) {
+  SweepSpec spec;
+  spec.kind = SweepKind::Padding;
+  spec.entries.assign(entries.begin(), entries.end());
+  spec.caches.assign(caches.begin(), caches.end());
+  spec.options = options;
+  return sweep_rows(std::move(spec), scheduler, stats, &CellResult::padding);
+}
+
+std::vector<core::PaddingRow> run_padding_experiments(
+    std::span<const kernels::FigureEntry> entries, const cache::CacheConfig& cache,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats) {
+  return run_padding_experiments(entries, std::span<const cache::CacheConfig>(&cache, 1),
+                                 options, scheduler, stats);
+}
+
+std::vector<core::HierarchyRow> run_hierarchy_experiments(
+    std::span<const kernels::FigureEntry> entries, std::span<const cache::Hierarchy> hierarchies,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats) {
+  SweepSpec spec;
+  spec.kind = SweepKind::Hierarchy;
+  spec.entries.assign(entries.begin(), entries.end());
+  spec.hierarchies.assign(hierarchies.begin(), hierarchies.end());
+  spec.options = options;
+  return sweep_rows(std::move(spec), scheduler, stats, &CellResult::hierarchy);
+}
+
+std::vector<core::HierarchyRow> run_hierarchy_experiments(
+    std::span<const kernels::FigureEntry> entries, const cache::Hierarchy& hierarchy,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats) {
+  return run_hierarchy_experiments(entries, std::span<const cache::Hierarchy>(&hierarchy, 1),
+                                   options, scheduler, stats);
+}
+
+void maybe_run_worker(int argc, const char* const* argv) {
+  const std::string flag = std::string("--") + kWorkerFlag;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) {
+      run_worker_loop(std::cin, std::cout);
+      std::exit(0);
+    }
+  }
+}
+
+void run_worker_loop(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    i64 id = -1;
+    Json response = Json::object();
+    std::string error;
+    std::optional<CellResult> result;
+
+    const std::optional<Json> job = Json::parse(line);
+    if (job) {
+      const Json* id_field = job->find("id");
+      if (id_field != nullptr) id = id_field->as_int(-1);
+      const Json* cell_json = job->find("cell");
+      std::optional<SweepCell> cell;
+      if (cell_json != nullptr) cell = cell_of_json(*cell_json);
+      if (cell) {
+        try {
+          result = run_cell(*cell);
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
+      } else {
+        error = "malformed cell";
+      }
+    } else {
+      error = "malformed job line";
+    }
+
+    response.set("id", Json::integer(id));
+    response.set("ok", Json::boolean(result.has_value()));
+    if (result)
+      response.set("result", json_of_result(*result));
+    else
+      response.set("error", Json::string(error));
+    out << response.dump() << "\n" << std::flush;
+  }
+}
+
+}  // namespace cmetile::sweep

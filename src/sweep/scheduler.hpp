@@ -1,0 +1,127 @@
+#pragma once
+// Sweep orchestration (DESIGN.md §13): expand a declarative SweepSpec into
+// experiment cells, satisfy what the persistent ResultCache already knows,
+// and shard the remaining cold cells either across in-process parallel_for
+// workers or across N spawned worker subprocesses speaking a line-
+// delimited JSON job/result protocol over pipes.
+//
+// Guarantees:
+//  - Determinism: results depend only on the spec. Serial, in-process
+//    parallel, multi-process, and cache-replayed runs all produce
+//    bit-identical rows (doubles round-trip exactly through the JSON
+//    encoding; every row's seeds derive from its own cell).
+//  - Resumability: every computed cell is checkpointed to the cache the
+//    moment it finishes. Kill a sweep at any point and the rerun computes
+//    only the missing cells.
+//  - Robustness: a corrupt cache entry degrades to a recompute; a dead or
+//    babbling worker degrades to computing its in-flight cell in-process.
+//
+// Multi-process mode re-executes the *current binary* with --sweep-worker
+// (any main that calls maybe_run_worker first can serve as a worker: all
+// benches via bench::BenchContext, the sweep_runner example, sweep_test).
+
+#include <iosfwd>
+#include <span>
+
+#include "sweep/result_cache.hpp"
+
+namespace cmetile::sweep {
+
+/// Declarative cross-product sweep: kernels × geometries under one base
+/// ExperimentOptions (per-row seeds are derived by the core drivers).
+/// Tiling/Padding sweeps enumerate `caches`; Hierarchy sweeps enumerate
+/// `hierarchies`. Cell order is geometry-major, matching the bench loops:
+/// for each geometry, all entries in order.
+struct SweepSpec {
+  SweepKind kind = SweepKind::Tiling;
+  std::vector<kernels::FigureEntry> entries;
+  std::vector<cache::CacheConfig> caches;
+  std::vector<cache::Hierarchy> hierarchies;
+  core::ExperimentOptions options;
+
+  std::vector<SweepCell> cells() const;
+};
+
+struct SchedulerOptions {
+  std::string cache_dir = kDefaultCacheDir;
+  bool use_cache = true;   ///< false: never read nor write the store
+  /// Shard width. 1 = in-process (cells still run concurrently via
+  /// parallel_for, matching the plural core drivers); >= 2 = spawn that
+  /// many worker subprocesses and feed them cells dynamically.
+  int jobs = 1;
+  /// Executable to spawn as a worker; empty resolves the current binary
+  /// via /proc/self/exe. It is invoked as `<exe> --sweep-worker` and must
+  /// reach maybe_run_worker() before writing anything to stdout.
+  std::string worker_command;
+  std::ostream* log = nullptr;  ///< progress/diagnostics; nullptr = silent
+};
+
+struct SweepStats {
+  std::size_t cells = 0;
+  std::size_t cache_hits = 0;
+  std::size_t computed = 0;
+  /// Cells a worker subprocess failed on (crash, protocol garbage) that
+  /// were then recomputed in-process. Included in `computed`.
+  std::size_t worker_failures = 0;
+};
+
+struct SweepRun {
+  std::vector<CellResult> results;  ///< cell order (SweepSpec::cells())
+  SweepStats stats;
+};
+
+/// Run the sweep: cache, shard, checkpoint. Throws contract_error on an
+/// unusable spec (no entries / no geometry) or an unusable cache dir.
+SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options = {});
+
+// -- Cache-aware counterparts of the core plural drivers -----------------
+// Same rows as core::run_*_experiments (bit for bit), but routed through
+// the scheduler: cached, resumable, and optionally multi-process. The
+// span-of-geometries forms run ONE sweep over the whole cross-product
+// (rows geometry-major: all entries for geometry 0, then geometry 1, ...)
+// so a multi-geometry bench shares one worker pool and one load-balancing
+// queue instead of respawning workers per geometry.
+std::vector<core::TilingRow> run_tiling_experiments(
+    std::span<const kernels::FigureEntry> entries, std::span<const cache::CacheConfig> caches,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats = nullptr);
+std::vector<core::TilingRow> run_tiling_experiments(
+    std::span<const kernels::FigureEntry> entries, const cache::CacheConfig& cache,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats = nullptr);
+
+std::vector<core::PaddingRow> run_padding_experiments(
+    std::span<const kernels::FigureEntry> entries, std::span<const cache::CacheConfig> caches,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats = nullptr);
+std::vector<core::PaddingRow> run_padding_experiments(
+    std::span<const kernels::FigureEntry> entries, const cache::CacheConfig& cache,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats = nullptr);
+
+std::vector<core::HierarchyRow> run_hierarchy_experiments(
+    std::span<const kernels::FigureEntry> entries, std::span<const cache::Hierarchy> hierarchies,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats = nullptr);
+std::vector<core::HierarchyRow> run_hierarchy_experiments(
+    std::span<const kernels::FigureEntry> entries, const cache::Hierarchy& hierarchy,
+    const core::ExperimentOptions& options, const SchedulerOptions& scheduler,
+    SweepStats* stats = nullptr);
+
+// -- Worker side ---------------------------------------------------------
+
+/// The flag (as `--sweep-worker`) that switches a binary into worker mode.
+inline constexpr const char* kWorkerFlag = "sweep-worker";
+
+/// If argv contains --sweep-worker, serve the job/result protocol on
+/// stdin/stdout until EOF and _never return_ (std::exit(0)). Call this
+/// first in main(), before any other output.
+void maybe_run_worker(int argc, const char* const* argv);
+
+/// The protocol loop itself (exposed for tests): reads one JSON job per
+/// line — {"id":N,"cell":{...}} — and answers one JSON result per line —
+/// {"id":N,"ok":true,"result":{...}} or {"id":N,"ok":false,"error":"..."}.
+/// Returns at EOF.
+void run_worker_loop(std::istream& in, std::ostream& out);
+
+}  // namespace cmetile::sweep

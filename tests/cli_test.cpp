@@ -1,0 +1,82 @@
+// support/cli tests: flag parsing forms, the strict integer getter, and
+// the shared sweep-orchestration flags (--jobs/--cache-dir/--no-cache) —
+// bad values must be rejected loudly (a typo'd --jobs silently read as 0
+// would serialize a multi-hour sweep), defaults must match the documented
+// help text.
+
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+
+namespace cmetile {
+namespace {
+
+CliArgs make_args(std::initializer_list<const char*> flags) {
+  std::vector<const char*> argv = {"test_binary"};
+  argv.insert(argv.end(), flags.begin(), flags.end());
+  return CliArgs((int)argv.size(), argv.data());
+}
+
+TEST(CliArgs, ParsesFlagAndKeyValueForms) {
+  const CliArgs args = make_args({"--fast", "--seed=42", "--csv=out.csv", "positional"});
+  EXPECT_TRUE(args.has("fast"));
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_EQ(args.get("csv", ""), "out.csv");
+  EXPECT_FALSE(args.has("positional"));
+  EXPECT_EQ(args.get_int("absent", -7), -7);
+}
+
+TEST(CliArgs, StrictIntAcceptsIntegersOnly) {
+  const CliArgs args =
+      make_args({"--good=123", "--negative=-5", "--junk=12x", "--empty=", "--word=abc",
+                 "--huge=99999999999999999999999"});
+  EXPECT_EQ(args.get_int_strict("good", 0), 123);
+  EXPECT_EQ(args.get_int_strict("negative", 0), -5);
+  EXPECT_EQ(args.get_int_strict("absent", 17), 17);
+  EXPECT_THROW(args.get_int_strict("junk", 0), contract_error);
+  EXPECT_THROW(args.get_int_strict("empty", 0), contract_error);
+  EXPECT_THROW(args.get_int_strict("word", 0), contract_error);
+  EXPECT_THROW(args.get_int_strict("huge", 0), contract_error);
+}
+
+TEST(SweepFlags, DefaultsMatchDocumentation) {
+  const SweepCliFlags flags = parse_sweep_flags(make_args({}));
+  EXPECT_EQ(flags.jobs, 1);
+  EXPECT_EQ(flags.cache_dir, kDefaultCacheDir);
+  EXPECT_FALSE(flags.no_cache);
+  // The --help paragraph documents the same defaults.
+  const std::string help = sweep_flags_help();
+  EXPECT_NE(help.find("--jobs"), std::string::npos);
+  EXPECT_NE(help.find("--cache-dir"), std::string::npos);
+  EXPECT_NE(help.find("--no-cache"), std::string::npos);
+  EXPECT_NE(help.find(kDefaultCacheDir), std::string::npos);
+  EXPECT_NE(help.find("default 1"), std::string::npos);
+}
+
+TEST(SweepFlags, ParsesValidValues) {
+  const SweepCliFlags flags =
+      parse_sweep_flags(make_args({"--jobs=8", "--cache-dir=/tmp/x", "--no-cache"}));
+  EXPECT_EQ(flags.jobs, 8);
+  EXPECT_EQ(flags.cache_dir, "/tmp/x");
+  EXPECT_TRUE(flags.no_cache);
+
+  EXPECT_FALSE(parse_sweep_flags(make_args({"--no-cache=false"})).no_cache);
+  EXPECT_TRUE(parse_sweep_flags(make_args({"--no-cache=yes"})).no_cache);
+  EXPECT_EQ(parse_sweep_flags(make_args({"--jobs=512"})).jobs, 512);
+}
+
+TEST(SweepFlags, RejectsBadValues) {
+  EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=0"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=-2"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=513"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=two"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=4x"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--jobs="})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--cache-dir="})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--no-cache=banana"})), contract_error);
+}
+
+}  // namespace
+}  // namespace cmetile

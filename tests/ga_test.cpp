@@ -139,6 +139,24 @@ TEST(GeneticOptimizer, MemoizesRepeatedIndividuals) {
   EXPECT_EQ(result.objective_calls, calls.load());
   EXPECT_LE(calls.load(), 16);  // at most |domain| distinct evaluations... plus slack
   EXPECT_GT(result.evaluations, calls.load());
+  EXPECT_EQ(result.memo_hits(), result.evaluations - calls.load());
+}
+
+TEST(GeneticOptimizer, MemoHitCountRegression) {
+  // Pins the memo behavior across the map -> hashed unordered_map change:
+  // the hit count is deterministic for a seed, identical across reruns,
+  // and nearly every evaluation is a hit in a domain of 8 values (the
+  // population is 30, so >= pop*(gens+1) - |domain| - slack hits).
+  const Encoding enc({VarDomain{1, 8}});
+  const auto objective = [](std::span<const i64> v) { return (double)v[0]; };
+  const GaResult a = GeneticOptimizer(enc, GaOptions{.seed = 4}).run(objective);
+  const GaResult b = GeneticOptimizer(enc, GaOptions{.seed = 4}).run(objective);
+  EXPECT_EQ(a.memo_hits(), b.memo_hits());
+  EXPECT_EQ(a.objective_calls, b.objective_calls);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  // >= 30 * 16 individual evaluations (15+ generations), <= 16 misses.
+  EXPECT_GE(a.evaluations, 30 * 16);
+  EXPECT_GE(a.memo_hits(), a.evaluations - 16);
 }
 
 TEST(GeneticOptimizer, DeterministicForAGivenSeed) {

@@ -1,0 +1,582 @@
+// Sweep orchestration tests (DESIGN.md §13): JSON round-trips, fingerprint
+// stability/sensitivity, result-cache robustness against corruption and
+// concurrent multi-process writers, and the scheduler guarantees — cached
+// reruns are bit-identical with zero recomputation, multi-process shards
+// match the serial rows, and a killed sweep resumes with only the missing
+// cells.
+//
+// This binary defines its own main: it must be able to serve as a sweep
+// worker subprocess (maybe_run_worker) and as a concurrent-writer stress
+// child (--store-stress), both spawned from the tests below via fork+exec
+// on /proc/self/exe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "support/hash.hpp"
+#include "sweep/scheduler.hpp"
+
+namespace cmetile::sweep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::string unique_dir(const char* tag) {
+  static std::atomic<int> counter{0};
+#ifdef __unix__
+  const long pid = (long)::getpid();
+#else
+  const long pid = 0;
+#endif
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cmetile_sweep_test_" + std::to_string(pid) + "_" + tag + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Tiny but real 2-kernel tiling sweep: small sizes, smoke GA budget, a
+/// deliberately small cache so conflict misses exist.
+SweepSpec tiny_tiling_spec(std::uint64_t seed = 7) {
+  SweepSpec spec;
+  spec.kind = SweepKind::Tiling;
+  spec.entries = {{"MM", 20}, {"T2D", 32}};
+  spec.caches = {cache::CacheConfig::direct_mapped(1024, 32)};
+  spec.options.seed = seed;
+  spec.options.optimizer.shrink_for_smoke();
+  return spec;
+}
+
+void expect_tiling_rows_equal(const core::TilingRow& a, const core::TilingRow& b) {
+  EXPECT_EQ(a.label, b.label);
+  // Doubles compared exactly: the cache must replay rows bit for bit.
+  EXPECT_EQ(a.no_tiling_total, b.no_tiling_total);
+  EXPECT_EQ(a.no_tiling_repl, b.no_tiling_repl);
+  EXPECT_EQ(a.tiling_total, b.tiling_total);
+  EXPECT_EQ(a.tiling_repl, b.tiling_repl);
+  EXPECT_EQ(a.tiles.t, b.tiles.t);
+  EXPECT_EQ(a.ga_evaluations, b.ga_evaluations);
+  EXPECT_EQ(a.ga_generations, b.ga_generations);
+}
+
+CellResult sample_tiling_result() {
+  CellResult result;
+  result.kind = SweepKind::Tiling;
+  result.tiling.label = "MM_20";
+  result.tiling.no_tiling_total = 0.6328125;
+  result.tiling.no_tiling_repl = 1.0 / 3.0;  // not exactly representable in decimal
+  result.tiling.tiling_total = 0.1;
+  result.tiling.tiling_repl = 0.0123456789012345678;
+  result.tiling.tiles.t = {4, 8, 20};
+  result.tiling.ga_evaluations = 480;
+  result.tiling.ga_generations = 15;
+  result.tiling.seconds = 1.25;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(Json, ScalarAndContainerRoundTrip) {
+  Json obj = Json::object();
+  obj.set("i", Json::integer(std::numeric_limits<i64>::min()));
+  obj.set("j", Json::integer(std::numeric_limits<i64>::max()));
+  obj.set("d", Json::number(0.1 + 0.2));  // 0.30000000000000004...
+  obj.set("s", Json::string("a \"quoted\"\nline\\"));
+  obj.set("b", Json::boolean(true));
+  obj.set("n", Json::null());
+  Json arr = Json::array();
+  arr.push(Json::integer(-1));
+  arr.push(Json::number(1e-300));
+  obj.set("a", std::move(arr));
+
+  const std::optional<Json> back = Json::parse(obj.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("i")->as_int(), std::numeric_limits<i64>::min());
+  EXPECT_EQ(back->find("j")->as_int(), std::numeric_limits<i64>::max());
+  EXPECT_EQ(back->find("d")->as_double(), 0.1 + 0.2);  // exact: shortest round-trip
+  EXPECT_EQ(back->find("s")->as_string(), "a \"quoted\"\nline\\");
+  EXPECT_TRUE(back->find("b")->as_bool());
+  EXPECT_EQ(back->find("n")->kind(), Json::Kind::Null);
+  EXPECT_EQ(back->find("a")->items()[1].as_double(), 1e-300);
+  // Canonical: dumping the reparsed value reproduces the bytes.
+  EXPECT_EQ(back->dump(), obj.dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+                          "{\"a\":1} trailing", "nan", "[1]]", "{\"a\" 1}"}) {
+    EXPECT_FALSE(Json::parse(bad).has_value()) << "input: " << bad;
+  }
+  // Deep nesting must fail gracefully, not overflow the stack.
+  std::string deep(10000, '[');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Cells + fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, StableSensitiveAndSalted) {
+  const SweepSpec spec = tiny_tiling_spec();
+  const std::vector<SweepCell> cells = spec.cells();
+  ASSERT_EQ(cells.size(), 2u);
+
+  EXPECT_EQ(fingerprint_of(cells[0]), fingerprint_of(cells[0]));
+  EXPECT_NE(fingerprint_of(cells[0]).hex(), fingerprint_of(cells[1]).hex());
+  EXPECT_EQ(fingerprint_of(cells[0]).hex().size(), 32u);
+
+  // Any knob that can change the result must change the fingerprint.
+  SweepCell tweaked = cells[0];
+  tweaked.options.seed ^= 1;
+  EXPECT_NE(fingerprint_of(tweaked), fingerprint_of(cells[0]));
+  tweaked = cells[0];
+  tweaked.hierarchy.levels[0].config.size_bytes *= 2;
+  EXPECT_NE(fingerprint_of(tweaked), fingerprint_of(cells[0]));
+  tweaked = cells[0];
+  tweaked.kind = SweepKind::Padding;
+  EXPECT_NE(fingerprint_of(tweaked), fingerprint_of(cells[0]));
+  tweaked = cells[0];
+  tweaked.options.optimizer.objective.estimator.sample_count = 99;
+  EXPECT_NE(fingerprint_of(tweaked), fingerprint_of(cells[0]));
+
+  // A code-version salt bump invalidates every cached fingerprint.
+  EXPECT_NE(fingerprint_of(cells[0], kCodeVersionSalt + 1), fingerprint_of(cells[0]));
+}
+
+TEST(Cell, JsonRoundTripPreservesFingerprint) {
+  SweepSpec spec = tiny_tiling_spec(11);
+  spec.options.optimizer.extra_tile_seeds = {{4, 4, 4}};
+  for (const SweepCell& cell : spec.cells()) {
+    const std::optional<SweepCell> back = cell_of_json(json_of_cell(cell));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(fingerprint_of(*back), fingerprint_of(cell));
+  }
+  EXPECT_FALSE(cell_of_json(Json::object()).has_value());
+}
+
+TEST(Cell, ResultJsonRoundTripIsExact) {
+  const CellResult result = sample_tiling_result();
+  const std::optional<CellResult> back = result_of_json(json_of_result(result));
+  ASSERT_TRUE(back.has_value());
+  expect_tiling_rows_equal(back->tiling, result.tiling);
+  EXPECT_EQ(back->tiling.seconds, result.tiling.seconds);
+
+  // Missing fields are a parse failure, not a zero-filled row.
+  Json no_row = Json::object();
+  no_row.set("kind", Json::string("tiling"));
+  no_row.set("row", Json::object());
+  EXPECT_FALSE(result_of_json(no_row).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache robustness
+// ---------------------------------------------------------------------------
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  std::string dir_ = unique_dir("cache");
+
+  ~ResultCacheTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+};
+
+TEST_F(ResultCacheTest, StoreLoadRoundTrip) {
+  const ResultCache cache(dir_);
+  const Fingerprint fp = fingerprint_of(tiny_tiling_spec().cells()[0]);
+  EXPECT_FALSE(cache.load(fp).has_value());
+
+  const CellResult result = sample_tiling_result();
+  ASSERT_TRUE(cache.store(fp, result));
+  const std::optional<CellResult> back = cache.load(fp);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->from_cache);
+  expect_tiling_rows_equal(back->tiling, result.tiling);
+  EXPECT_EQ(cache.cell_count(), 1u);
+}
+
+TEST_F(ResultCacheTest, CorruptionFallsBackToMiss) {
+  const ResultCache cache(dir_);
+  const Fingerprint fp = fingerprint_of(tiny_tiling_spec().cells()[0]);
+  ASSERT_TRUE(cache.store(fp, sample_tiling_result()));
+  const std::string path = cache.path_of(fp);
+
+  std::string pristine;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    pristine = buffer.str();
+  }
+  const auto rewrite = [&](const std::string& content) {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+  };
+
+  // Truncated mid-record.
+  rewrite(pristine.substr(0, pristine.size() / 2));
+  EXPECT_FALSE(cache.load(fp).has_value());
+
+  // Garbage bytes.
+  rewrite("\x00\xFF\x7Fgarbage\nmore garbage\n");
+  EXPECT_FALSE(cache.load(fp).has_value());
+
+  // Wrong version header (future format).
+  rewrite("cmetile-cache v999\n" + pristine.substr(pristine.find('\n') + 1));
+  EXPECT_FALSE(cache.load(fp).has_value());
+
+  // Checksum mismatch (payload bit-flip).
+  std::string flipped = pristine;
+  flipped[flipped.rfind("label") + 10] ^= 1;
+  rewrite(flipped);
+  EXPECT_FALSE(cache.load(fp).has_value());
+
+  // Fingerprint mismatch: a valid record filed under another cell's name
+  // (e.g. a buggy rename or salt change) must not be served.
+  SweepCell other_cell = tiny_tiling_spec().cells()[1];
+  const Fingerprint other = fingerprint_of(other_cell);
+  rewrite(pristine);
+  std::filesystem::copy_file(path, cache.path_of(other));
+  EXPECT_FALSE(cache.load(other).has_value());
+
+  // The pristine bytes still load (corruption handling is read-only).
+  EXPECT_TRUE(cache.load(fp).has_value());
+
+  // And a sweep over a poisoned cache recomputes cleanly.
+  rewrite("cmetile-cache v999\ngarbage\n");
+  SchedulerOptions options;
+  options.cache_dir = dir_;
+  const SweepRun run = run_sweep(tiny_tiling_spec(), options);
+  EXPECT_EQ(run.stats.computed, 2u);
+  EXPECT_EQ(run.stats.cache_hits, 0u);
+}
+
+TEST_F(ResultCacheTest, AppendedRecordsLastValidWins) {
+  const ResultCache cache(dir_);
+  const Fingerprint fp = fingerprint_of(tiny_tiling_spec().cells()[0]);
+  ASSERT_TRUE(cache.store(fp, sample_tiling_result()));
+
+  CellResult newer = sample_tiling_result();
+  newer.tiling.ga_evaluations = 999;
+  const std::string payload = json_of_result(newer).dump();
+  // Append-friendly format: a second record (plus a truncated third) on
+  // the same file; load returns the last VALID one.
+  {
+    std::ofstream out(cache.path_of(fp), std::ios::app);
+    std::uint64_t sum = fnv1a_bytes(payload);
+    char hexsum[17];
+    std::snprintf(hexsum, sizeof hexsum, "%016llx", (unsigned long long)sum);
+    out << "row " << fp.hex() << " " << hexsum << " " << payload << "\n";
+    out << "row " << fp.hex() << " deadbeef";  // truncated tail
+  }
+  const std::optional<CellResult> back = cache.load(fp);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tiling.ga_evaluations, 999);
+}
+
+#ifdef __unix__
+TEST_F(ResultCacheTest, ConcurrentWriterProcessesDoNotCorrupt) {
+  // Two child processes hammer store() on the same fingerprint while the
+  // parent polls load(): every successful load must be a fully valid
+  // record (the atomic-rename contract), and no temp files may survive.
+  const ResultCache cache(dir_);
+  const Fingerprint fp = fingerprint_of(tiny_tiling_spec().cells()[0]);
+  ASSERT_TRUE(cache.store(fp, sample_tiling_result()));  // ensure a first record exists
+
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  ASSERT_GT(n, 0);
+  self[n] = '\0';
+  const std::string flag = "--store-stress=" + dir_;
+
+  std::vector<pid_t> children;
+  for (int child = 0; child < 2; ++child) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::execl(self, self, flag.c_str(), (char*)nullptr);
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+  // Poll while the writers race.
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::optional<CellResult> loaded = cache.load(fp);
+    ASSERT_TRUE(loaded.has_value()) << "probe " << probe;
+    expect_tiling_rows_equal(loaded->tiling, sample_tiling_result().tiling);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  // Every writer's rename landed or was cleaned up: no temp litter.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    EXPECT_EQ(entry.path().extension(), ".cell") << entry.path();
+  EXPECT_EQ(cache.cell_count(), 1u);
+}
+#endif  // __unix__
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  std::string dir_ = unique_dir("sched");
+
+  SchedulerOptions options(int jobs = 1) const {
+    SchedulerOptions out;
+    out.cache_dir = dir_;
+    out.jobs = jobs;
+    return out;
+  }
+
+  ~SchedulerTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+};
+
+TEST_F(SchedulerTest, CachedRerunIsBitIdenticalWithZeroRecomputation) {
+  const SweepSpec spec = tiny_tiling_spec();
+  const SweepRun cold = run_sweep(spec, options());
+  ASSERT_EQ(cold.results.size(), 2u);
+  EXPECT_EQ(cold.stats.cache_hits, 0u);
+  EXPECT_EQ(cold.stats.computed, 2u);
+  EXPECT_FALSE(cold.results[0].from_cache);
+
+  const SweepRun warm = run_sweep(spec, options());
+  // Zero objective evaluations on the rerun: every cell is a cache hit.
+  EXPECT_EQ(warm.stats.cache_hits, 2u);
+  EXPECT_EQ(warm.stats.computed, 0u);
+  for (std::size_t i = 0; i < warm.results.size(); ++i) {
+    EXPECT_TRUE(warm.results[i].from_cache);
+    expect_tiling_rows_equal(warm.results[i].tiling, cold.results[i].tiling);
+    EXPECT_EQ(warm.results[i].tiling.seconds, cold.results[i].tiling.seconds);
+  }
+
+  // And the scheduler-routed rows equal the direct core driver rows —
+  // routing a bench through the sweep layer changes nothing in the data.
+  const std::vector<core::TilingRow> direct =
+      core::run_tiling_experiments(spec.entries, spec.caches[0], spec.options);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    expect_tiling_rows_equal(cold.results[i].tiling, direct[i]);
+}
+
+TEST_F(SchedulerTest, NoCacheModeNeverTouchesDisk) {
+  SweepSpec spec = tiny_tiling_spec(13);
+  SchedulerOptions opt = options();
+  opt.use_cache = false;
+  const SweepRun a = run_sweep(spec, opt);
+  EXPECT_EQ(a.stats.computed, 2u);
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+  const SweepRun b = run_sweep(spec, opt);
+  EXPECT_EQ(b.stats.computed, 2u);  // recomputed, nothing cached
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    expect_tiling_rows_equal(a.results[i].tiling, b.results[i].tiling);
+}
+
+TEST_F(SchedulerTest, ResumeComputesOnlyMissingCells) {
+  const SweepSpec spec = tiny_tiling_spec();
+  const SweepRun cold = run_sweep(spec, options());
+  ASSERT_EQ(cold.stats.computed, 2u);
+
+  // Simulate a sweep killed after checkpointing one cell: drop the other.
+  const ResultCache cache(dir_);
+  const Fingerprint fp0 = fingerprint_of(spec.cells()[0]);
+  ASSERT_TRUE(std::filesystem::remove(cache.path_of(fp0)));
+
+  const SweepRun resumed = run_sweep(spec, options());
+  EXPECT_EQ(resumed.stats.cache_hits, 1u);
+  EXPECT_EQ(resumed.stats.computed, 1u);
+  EXPECT_FALSE(resumed.results[0].from_cache);
+  EXPECT_TRUE(resumed.results[1].from_cache);
+  for (std::size_t i = 0; i < resumed.results.size(); ++i)
+    expect_tiling_rows_equal(resumed.results[i].tiling, cold.results[i].tiling);
+}
+
+TEST_F(SchedulerTest, PaddingAndHierarchyKindsRoundTripThroughCache) {
+  SweepSpec padding;
+  padding.kind = SweepKind::Padding;
+  padding.entries = {{"ADD", 0}};
+  padding.caches = {cache::CacheConfig::direct_mapped(1024, 32)};
+  padding.options.seed = 5;
+  padding.options.optimizer.shrink_for_smoke();
+  const SweepRun pad_cold = run_sweep(padding, options());
+  const SweepRun pad_warm = run_sweep(padding, options());
+  EXPECT_EQ(pad_warm.stats.cache_hits, 1u);
+  EXPECT_EQ(pad_warm.results[0].padding.label, pad_cold.results[0].padding.label);
+  EXPECT_EQ(pad_warm.results[0].padding.original_repl, pad_cold.results[0].padding.original_repl);
+  EXPECT_EQ(pad_warm.results[0].padding.padding_repl, pad_cold.results[0].padding.padding_repl);
+  EXPECT_EQ(pad_warm.results[0].padding.pads.intra, pad_cold.results[0].padding.pads.intra);
+  EXPECT_EQ(pad_warm.results[0].padding.pads.inter, pad_cold.results[0].padding.pads.inter);
+  EXPECT_EQ(pad_warm.results[0].padding.tiles.t, pad_cold.results[0].padding.tiles.t);
+
+  SweepSpec hierarchy;
+  hierarchy.kind = SweepKind::Hierarchy;
+  hierarchy.entries = {{"MM", 16}};
+  hierarchy.hierarchies = {cache::Hierarchy::two_level(
+      cache::CacheConfig::direct_mapped(512, 32), 10.0, cache::CacheConfig{2048, 32, 2}, 80.0)};
+  hierarchy.options.seed = 5;
+  hierarchy.options.optimizer.shrink_for_smoke();
+  const SweepRun h_cold = run_sweep(hierarchy, options());
+  const SweepRun h_warm = run_sweep(hierarchy, options());
+  EXPECT_EQ(h_warm.stats.cache_hits, 1u);
+  EXPECT_EQ(h_warm.results[0].hierarchy.tiles.t, h_cold.results[0].hierarchy.tiles.t);
+  EXPECT_EQ(h_warm.results[0].hierarchy.l1_tiles.t, h_cold.results[0].hierarchy.l1_tiles.t);
+  EXPECT_EQ(h_warm.results[0].hierarchy.cost_tiles, h_cold.results[0].hierarchy.cost_tiles);
+  EXPECT_EQ(h_warm.results[0].hierarchy.cost_l1_tiles,
+            h_cold.results[0].hierarchy.cost_l1_tiles);
+  EXPECT_EQ(h_warm.results[0].hierarchy.level_repl, h_cold.results[0].hierarchy.level_repl);
+  EXPECT_EQ(h_warm.results[0].hierarchy.level_half_width,
+            h_cold.results[0].hierarchy.level_half_width);
+}
+
+#ifdef __unix__
+TEST_F(SchedulerTest, MultiProcessShardsMatchSerialRows) {
+  const SweepSpec spec = tiny_tiling_spec(21);
+  SchedulerOptions serial = options();
+  serial.use_cache = false;
+  const SweepRun want = run_sweep(spec, serial);
+
+  SchedulerOptions sharded = options(2);  // 2 worker subprocesses
+  const SweepRun got = run_sweep(spec, sharded);
+  EXPECT_EQ(got.stats.worker_failures, 0u);
+  EXPECT_EQ(got.stats.computed, 2u);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (std::size_t i = 0; i < got.results.size(); ++i)
+    expect_tiling_rows_equal(got.results[i].tiling, want.results[i].tiling);
+
+  // The sharded run checkpointed every cell: a rerun is all hits.
+  const SweepRun warm = run_sweep(spec, options());
+  EXPECT_EQ(warm.stats.cache_hits, 2u);
+  for (std::size_t i = 0; i < warm.results.size(); ++i)
+    expect_tiling_rows_equal(warm.results[i].tiling, want.results[i].tiling);
+}
+
+TEST_F(SchedulerTest, DeadWorkerFallsBackInProcess) {
+  const SweepSpec spec = tiny_tiling_spec(23);
+  SchedulerOptions opt = options(2);
+  opt.worker_command = "/bin/false";  // exits immediately: every shard dies
+  const SweepRun run = run_sweep(spec, opt);
+  // All rows still computed (in-process fallback). worker_failures counts
+  // only cells a worker actually received before dying, which races with
+  // how fast /bin/false exits — bounded, not pinned.
+  EXPECT_EQ(run.stats.computed, 2u);
+  EXPECT_LE(run.stats.worker_failures, 2u);
+  const SweepRun warm = run_sweep(spec, options());
+  EXPECT_EQ(warm.stats.cache_hits, 2u);
+}
+#endif  // __unix__
+
+TEST(Scheduler, CellFailureThrowsInsteadOfTerminating) {
+  // An error only detectable per cell (unknown kernel) must escape
+  // run_sweep as contract_error — not std::terminate out of the
+  // OpenMP parallel_for.
+  SweepSpec spec = tiny_tiling_spec();
+  spec.entries = {{"NO_SUCH_KERNEL", 8}};
+  SchedulerOptions opt;
+  opt.use_cache = false;
+  EXPECT_THROW(run_sweep(spec, opt), contract_error);
+}
+
+TEST(Scheduler, RejectsUnusableSpecs) {
+  SweepSpec empty;
+  EXPECT_THROW(run_sweep(empty), contract_error);
+  SweepSpec no_geometry = tiny_tiling_spec();
+  no_geometry.caches.clear();
+  EXPECT_THROW(run_sweep(no_geometry), contract_error);
+  SweepSpec bad_jobs = tiny_tiling_spec();
+  SchedulerOptions opt;
+  opt.jobs = 0;
+  EXPECT_THROW(run_sweep(bad_jobs, opt), contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Worker protocol
+// ---------------------------------------------------------------------------
+
+TEST(WorkerLoop, AnswersJobsAndSurvivesGarbage) {
+  const SweepSpec spec = tiny_tiling_spec();
+  Json job = Json::object();
+  job.set("id", Json::integer(42));
+  job.set("cell", json_of_cell(spec.cells()[0]));
+
+  std::istringstream in("this is not json\n{\"id\":7,\"cell\":{\"kind\":\"nope\"}}\n" +
+                        job.dump() + "\n");
+  std::ostringstream out;
+  run_worker_loop(in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+
+  ASSERT_TRUE(std::getline(lines, line));
+  std::optional<Json> response = Json::parse(line);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->find("ok")->as_bool(true));
+
+  ASSERT_TRUE(std::getline(lines, line));
+  response = Json::parse(line);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->find("id")->as_int(), 7);
+  EXPECT_FALSE(response->find("ok")->as_bool(true));
+
+  ASSERT_TRUE(std::getline(lines, line));
+  response = Json::parse(line);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->find("id")->as_int(), 42);
+  ASSERT_TRUE(response->find("ok")->as_bool(false));
+  const std::optional<CellResult> result = result_of_json(*response->find("result"));
+  ASSERT_TRUE(result.has_value());
+  // The worker computed the same row the local driver computes.
+  const CellResult local = run_cell(spec.cells()[0]);
+  expect_tiling_rows_equal(result->tiling, local.tiling);
+
+  EXPECT_FALSE(std::getline(lines, line));  // exactly one response per job
+}
+
+}  // namespace
+}  // namespace cmetile::sweep
+
+// ---------------------------------------------------------------------------
+// Custom main: worker mode + concurrent-writer stress child + gtest.
+// ---------------------------------------------------------------------------
+
+int main(int argc, char** argv) {
+  cmetile::sweep::maybe_run_worker(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kStress = "--store-stress=";
+    if (arg.rfind(kStress, 0) == 0) {
+      using namespace cmetile::sweep;
+      const ResultCache cache(std::string(arg.substr(kStress.size())));
+      const SweepSpec spec = tiny_tiling_spec();
+      const Fingerprint fp = fingerprint_of(spec.cells()[0]);
+      const CellResult result = sample_tiling_result();
+      for (int round = 0; round < 300; ++round) {
+        if (!cache.store(fp, result)) return 1;
+      }
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
