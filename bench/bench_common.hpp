@@ -10,16 +10,19 @@
 //   --csv=PATH      override the CSV output path
 //   --help          print the flags and exit
 //
-// Sweep orchestration flags (--jobs/--cache-dir/--no-cache, DESIGN.md
-// §13): the figure/table benches (fig8/fig9/table2/table3/table4/
-// hierarchy/assoc) route their experiment rows through sweep::run_sweep,
-// so rows persist in a shared on-disk result cache across runs AND across
-// benches (bench_table4 reuses the figure-sweep rows bench_fig8 already
-// computed), and cold cells can shard across worker subprocesses. The
-// study benches with bespoke row types (joint, convergence, ablation_*)
-// accept the flags but still compute directly — routing them needs new
-// cell kinds. Every bench binary doubles as its own worker: BenchContext
-// enters the worker protocol loop when invoked with --sweep-worker.
+// Sweep orchestration flags (--jobs/--cache-dir/--no-cache/--listen/
+// --progress/--cache-gc/--cache-max-mb, DESIGN.md §13): the figure/table
+// benches (fig8/fig9/table2/table3/table4/hierarchy/assoc) route their
+// experiment rows through sweep::run_sweep, so rows persist in a shared
+// on-disk result cache across runs AND across benches (bench_table4
+// reuses the figure-sweep rows bench_fig8 already computed), and cold
+// cells can shard across worker subprocesses — or, with --listen, across
+// TCP workers on any machine. The study benches with bespoke row types
+// (joint, convergence, ablation_*) accept the flags but still compute
+// directly — routing them needs new cell kinds. Every bench binary
+// doubles as its own worker: BenchContext enters the worker protocol
+// loop when invoked with --sweep-worker (pipe) or --connect=host:port
+// (TCP, possibly from another machine).
 
 #include <chrono>
 #include <iostream>
@@ -74,8 +77,24 @@ struct BenchContext {
     options.cache_dir = sweep_flags.cache_dir;
     options.use_cache = !sweep_flags.no_cache;
     options.jobs = (int)sweep_flags.jobs;
+    options.listen = sweep_flags.listen;
+    options.cache_gc = sweep_flags.cache_gc;
+    options.cache_max_bytes = (std::uintmax_t)sweep_flags.cache_max_mb << 20;
     options.log = &std::cout;
+    if (sweep_flags.progress) options.progress = print_progress;
     return options;
+  }
+
+  /// The --progress renderer: one status line per finished cell.
+  static void print_progress(const sweep::SweepProgress& p) {
+    std::cout << "[sweep] " << p.done << "/" << p.cells_total << " cells (" << p.cache_hits
+              << " hits, " << p.computed_local << " local, " << p.computed_remote << " remote";
+    if (p.failed_workers > 0) std::cout << ", " << p.failed_workers << " worker failures";
+    if (p.workers_live > 0) std::cout << ", " << p.workers_live << " workers";
+    std::cout << ")";
+    if (p.eta_seconds >= 0.0 && p.done < p.cells_total)
+      std::cout << " eta " << (long long)(p.eta_seconds + 0.5) << "s";
+    std::cout << "\n" << std::flush;
   }
 
   // Scheduler-routed experiment drivers (cached + shardable); rows are

@@ -8,8 +8,15 @@
 // twice to see a 100% cache-hit replay; kill it mid-run and rerun to see
 // it resume from the checkpointed cells.
 //
-//   ./example_sweep_runner [--fast] [--jobs=4] [--cache-dir=DIR]
-//                          [--no-cache] [--seed=N] [--help]
+// With --listen=host:port it becomes a distributed scheduler instead:
+// start `./example_sweep_runner --connect=host:port` workers on any
+// machines that can reach it (they retry the connect, so start order
+// does not matter).
+//
+//   ./example_sweep_runner [--fast] [--jobs=4] [--listen=host:port]
+//                          [--cache-dir=DIR] [--no-cache] [--progress]
+//                          [--cache-gc] [--cache-max-mb=N] [--seed=N]
+//                          [--help]
 //
 // Defaults: --jobs=2 (so even the smoke run exercises the worker
 // protocol), the shared .cmetile-cache directory, seed 2002.
@@ -49,12 +56,24 @@ int main(int argc, char** argv) {
   scheduler.cache_dir = flags.cache_dir;
   scheduler.use_cache = !flags.no_cache;
   // Default to 2 workers: the point of this example is the multi-process
-  // path (pass --jobs=1 for the in-process parallel_for path).
+  // path (pass --jobs=1 for the in-process parallel_for path, or
+  // --listen=host:port to serve TCP --connect workers instead).
   scheduler.jobs = args.has("jobs") ? (int)flags.jobs : 2;
+  scheduler.listen = flags.listen;
+  scheduler.cache_gc = flags.cache_gc;
+  scheduler.cache_max_bytes = (std::uintmax_t)flags.cache_max_mb << 20;
   scheduler.log = &std::cout;
+  if (flags.progress) {
+    scheduler.progress = [](const sweep::SweepProgress& p) {
+      std::cout << "[sweep] " << p.done << "/" << p.cells_total << " cells done\n";
+    };
+  }
 
   std::cout << "== sweep_runner: " << spec.entries.size() << " cells on "
-            << spec.caches[0].to_string() << ", jobs=" << scheduler.jobs << " ==\n";
+            << spec.caches[0].to_string() << ", "
+            << (scheduler.listen.empty() ? "jobs=" + std::to_string(scheduler.jobs)
+                                         : "listen=" + scheduler.listen)
+            << " ==\n";
   const sweep::SweepRun run = sweep::run_sweep(spec, scheduler);
 
   TextTable table({"Kernel", "NoTiling Repl", "Tiling Repl", "Tiles", "Source"});

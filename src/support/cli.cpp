@@ -58,6 +58,45 @@ i64 CliArgs::get_int_strict(const std::string& key, i64 fallback) const {
   return value;
 }
 
+double CliArgs::get_double_strict(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  double value = 0.0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), value);
+  expects(res.ec == std::errc() && res.ptr == text.data() + text.size(),
+          "--" + key + " expects a number, got \"" + text + "\"");
+  return value;
+}
+
+namespace {
+
+/// Shared strict-boolean reader for presence-style flags: `--flag`,
+/// `--flag=1/0/true/false/yes/no` are accepted, anything else throws.
+bool get_bool_strict(const CliArgs& args, const std::string& key) {
+  if (!args.has(key)) return false;
+  const std::string value = args.get(key, "1");
+  expects(value == "1" || value == "0" || value == "true" || value == "false" ||
+              value == "yes" || value == "no",
+          "--" + key + " expects a boolean, got \"" + value + "\"");
+  return args.get_bool(key, false);
+}
+
+}  // namespace
+
+bool split_host_port(std::string_view spec, std::string& host, std::string& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == spec.size()) return false;
+  const std::string_view port_text = spec.substr(colon + 1);
+  int value = -1;
+  const auto res = std::from_chars(port_text.data(), port_text.data() + port_text.size(), value);
+  if (res.ec != std::errc() || res.ptr != port_text.data() + port_text.size()) return false;
+  if (value < 0 || value > 65535) return false;
+  host = std::string(spec.substr(0, colon));
+  port = std::string(port_text);
+  return true;
+}
+
 SweepCliFlags parse_sweep_flags(const CliArgs& args) {
   SweepCliFlags flags;
   flags.jobs = args.get_int_strict("jobs", flags.jobs);
@@ -65,26 +104,42 @@ SweepCliFlags parse_sweep_flags(const CliArgs& args) {
           "--jobs must be in 1..512, got " + std::to_string(flags.jobs));
   flags.cache_dir = args.get("cache-dir", flags.cache_dir);
   expects(!flags.cache_dir.empty(), "--cache-dir must not be empty");
-  if (args.has("no-cache")) {
-    const std::string value = args.get("no-cache", "1");
-    expects(value == "1" || value == "0" || value == "true" || value == "false" ||
-                value == "yes" || value == "no",
-            "--no-cache expects a boolean, got \"" + value + "\"");
-    flags.no_cache = args.get_bool("no-cache", false);
+  flags.no_cache = get_bool_strict(args, "no-cache");
+  if (args.has("listen")) {
+    flags.listen = args.get("listen", "");
+    std::string host, port;
+    expects(split_host_port(flags.listen, host, port),
+            "--listen expects host:port (port 0..65535), got \"" + flags.listen + "\"");
   }
+  flags.progress = get_bool_strict(args, "progress");
+  flags.cache_max_mb = args.get_int_strict("cache-max-mb", flags.cache_max_mb);
+  expects(flags.cache_max_mb >= 1 && flags.cache_max_mb <= 1048576,
+          "--cache-max-mb must be in 1..1048576, got " + std::to_string(flags.cache_max_mb));
+  // --cache-max-mb without --cache-gc still means "bound my cache", but
+  // an explicit --cache-gc=false wins over the implication.
+  flags.cache_gc =
+      args.has("cache-gc") ? get_bool_strict(args, "cache-gc") : args.has("cache-max-mb");
   return flags;
 }
 
 std::string sweep_flags_help() {
   return "Sweep orchestration (shared by all benches; DESIGN.md §13):\n"
-         "  --jobs=N        shard cold cells across N worker subprocesses\n"
-         "                  (default 1 = in-process parallel_for; max 512)\n"
-         "  --cache-dir=DIR persistent result cache directory\n"
-         "                  (default " +
+         "  --jobs=N          shard cold cells across N worker subprocesses\n"
+         "                    (default 1 = in-process parallel_for; max 512)\n"
+         "  --cache-dir=DIR   persistent result cache directory\n"
+         "                    (default " +
          std::string(kDefaultCacheDir) +
          ")\n"
-         "  --no-cache      compute every cell fresh; do not read or write\n"
-         "                  the result cache (default: cache enabled)\n";
+         "  --no-cache        compute every cell fresh; do not read or write\n"
+         "                    the result cache (default: cache enabled)\n"
+         "  --listen=HOST:PORT  serve cold cells to TCP workers started with\n"
+         "                    --connect=HOST:PORT (port 0 = ephemeral)\n"
+         "  --connect=HOST:PORT  run as a TCP worker for that scheduler\n"
+         "                    (--heartbeat=SECONDS tunes liveness; 0 = off)\n"
+         "  --progress        per-cell progress lines (done/total, ETA)\n"
+         "  --cache-gc        LRU-evict the result cache after the sweep\n"
+         "  --cache-max-mb=N  gc byte budget in MiB (implies --cache-gc;\n"
+         "                    default 256)\n";
 }
 
 }  // namespace cmetile

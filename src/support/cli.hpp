@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "support/int_math.hpp"
 
@@ -33,26 +34,47 @@ class CliArgs {
   /// being silently misread.
   i64 get_int_strict(const std::string& key, i64 fallback) const;
 
+  /// Strict double: a present-yet-malformed value throws contract_error
+  /// (strtod would silently read "abc" as 0.0 — e.g. disabling worker
+  /// heartbeats on a typo'd --heartbeat).
+  double get_double_strict(const std::string& key, double fallback) const;
+
  private:
   std::map<std::string, std::string> values_;
 };
 
 /// The shared sweep-orchestration flags (validated):
-///   --jobs=N        worker shards; 1 = in-process, N >= 2 = subprocesses
-///   --cache-dir=DIR persistent result cache location
-///   --no-cache      disable reading/writing the result cache
+///   --jobs=N          worker shards; 1 = in-process, N >= 2 = subprocesses
+///   --cache-dir=DIR   persistent result cache location
+///   --no-cache        disable reading/writing the result cache
+///   --listen=H:P      dispatch to TCP --connect workers instead of pipes
+///   --progress        per-cell progress lines (done/total, ETA, workers)
+///   --cache-gc        LRU-evict the result cache after the sweep
+///   --cache-max-mb=N  gc byte budget (implies --cache-gc; default 256)
 struct SweepCliFlags {
   i64 jobs = 1;
   std::string cache_dir = kDefaultCacheDir;
   bool no_cache = false;
+  std::string listen;  ///< empty = pipe transport
+  bool progress = false;
+  bool cache_gc = false;
+  i64 cache_max_mb = 256;
 };
 
 /// Parse and validate the sweep flags. Throws contract_error on a
 /// non-integer or out-of-range --jobs (valid: 1..512), an empty
-/// --cache-dir, or a --no-cache value other than a recognized boolean.
+/// --cache-dir, a malformed --listen (host:port with port 0..65535), an
+/// out-of-range --cache-max-mb (1..1048576), or a boolean-flag value
+/// other than a recognized boolean.
 SweepCliFlags parse_sweep_flags(const CliArgs& args);
 
 /// One --help paragraph documenting the sweep flags and their defaults.
 std::string sweep_flags_help();
+
+/// Split "host:port" at the LAST colon (so "::1:9000" keeps the IPv6
+/// host); host must be non-empty, port a valid 0..65535 integer. The one
+/// definition of the rule — the --listen/--connect flag validation and
+/// the sweep TCP transport both use it, so they cannot drift.
+bool split_host_port(std::string_view spec, std::string& host, std::string& port);
 
 }  // namespace cmetile

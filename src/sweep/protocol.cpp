@@ -1,0 +1,212 @@
+#include "sweep/protocol.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace cmetile::sweep {
+
+namespace {
+
+std::string salt_hex(std::uint64_t salt) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)salt);
+  return buf;
+}
+
+/// Periodic side-channel writer: beats every `interval_seconds` on its own
+/// thread until destroyed. Destruction joins, so the beat callback can
+/// never fire after the owner's scope ends (no write can interleave with
+/// the result line that follows).
+class HeartbeatTimer {
+ public:
+  HeartbeatTimer(double interval_seconds, std::function<void()> beat) {
+    if (interval_seconds <= 0.0) return;
+    thread_ = std::thread([this, interval_seconds, beat = std::move(beat)] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto interval = std::chrono::duration<double>(interval_seconds);
+      while (!cv_.wait_for(lock, interval, [this] { return stop_; })) beat();
+    });
+  }
+
+  ~HeartbeatTimer() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+std::string hello_line(std::uint64_t salt) {
+  Json msg = Json::object();
+  msg.set("hello", Json::boolean(true));
+  msg.set("protocol", Json::integer(kProtocolVersion));
+  msg.set("salt", Json::string(salt_hex(salt)));
+  return msg.dump();
+}
+
+std::string job_line(i64 id, const SweepCell& cell) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("cell", json_of_cell(cell));
+  return msg.dump();
+}
+
+std::string ack_line(i64 id) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ack", Json::boolean(true));
+  return msg.dump();
+}
+
+std::string heartbeat_line(i64 id) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("heartbeat", Json::boolean(true));
+  return msg.dump();
+}
+
+std::string result_line(i64 id, const CellResult& result) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ok", Json::boolean(true));
+  msg.set("result", json_of_result(result));
+  return msg.dump();
+}
+
+std::string error_line(i64 id, const std::string& error) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ok", Json::boolean(false));
+  msg.set("error", Json::string(error));
+  return msg.dump();
+}
+
+WorkerMessage parse_worker_message(std::string_view line) {
+  WorkerMessage msg;
+  const std::optional<Json> json = Json::parse(std::string(line));
+  if (!json) return msg;
+
+  if (const Json* hello = json->find("hello"); hello != nullptr && hello->as_bool(false)) {
+    const Json* protocol = json->find("protocol");
+    const Json* salt = json->find("salt");
+    if (protocol == nullptr || salt == nullptr || salt->kind() != Json::Kind::String) return msg;
+    char* end = nullptr;
+    const std::string& hex = salt->as_string();
+    msg.salt = std::strtoull(hex.c_str(), &end, 16);
+    if (hex.empty() || end != hex.c_str() + hex.size()) return msg;
+    msg.protocol = protocol->as_int(0);
+    msg.kind = WorkerMessage::Kind::Hello;
+    return msg;
+  }
+
+  const Json* id = json->find("id");
+  if (id == nullptr) return msg;
+  msg.id = id->as_int(-1);
+
+  if (const Json* ack = json->find("ack"); ack != nullptr && ack->as_bool(false)) {
+    msg.kind = WorkerMessage::Kind::Ack;
+    return msg;
+  }
+  if (const Json* hb = json->find("heartbeat"); hb != nullptr && hb->as_bool(false)) {
+    msg.kind = WorkerMessage::Kind::Heartbeat;
+    return msg;
+  }
+
+  const Json* ok = json->find("ok");
+  if (ok == nullptr) return msg;
+  msg.ok = ok->as_bool(false);
+  if (msg.ok) {
+    const Json* payload = json->find("result");
+    if (payload == nullptr) return msg;
+    msg.result = result_of_json(*payload);
+    if (!msg.result) return msg;
+  } else if (const Json* error = json->find("error"); error != nullptr) {
+    msg.error = error->as_string();
+  }
+  msg.kind = WorkerMessage::Kind::Result;
+  return msg;
+}
+
+bool handshake_accepts(const WorkerMessage& hello, std::string* detail) {
+  if (hello.kind != WorkerMessage::Kind::Hello) {
+    if (detail != nullptr) *detail = "first line is not a hello";
+    return false;
+  }
+  if (hello.protocol != kProtocolVersion) {
+    if (detail != nullptr)
+      *detail = "protocol mismatch (worker " + std::to_string(hello.protocol) + ", scheduler " +
+                std::to_string(kProtocolVersion) + ")";
+    return false;
+  }
+  if (hello.salt != kCodeVersionSalt) {
+    if (detail != nullptr)
+      *detail = "code-version salt mismatch (worker " + salt_hex(hello.salt) + ", scheduler " +
+                salt_hex(kCodeVersionSalt) + ") — rebuild the worker from this source tree";
+    return false;
+  }
+  return true;
+}
+
+void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOptions& options) {
+  std::mutex out_mutex;
+  const auto emit = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << line << "\n" << std::flush;
+  };
+  if (options.send_hello) emit(hello_line(options.salt));
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    i64 id = -1;
+    std::optional<SweepCell> cell;
+    std::string error = "malformed job line";
+    if (const std::optional<Json> job = Json::parse(line)) {
+      if (const Json* id_field = job->find("id"); id_field != nullptr) id = id_field->as_int(-1);
+      if (const Json* cell_json = job->find("cell"); cell_json != nullptr) {
+        cell = cell_of_json(*cell_json);
+        if (!cell) error = "malformed cell";
+      }
+    }
+    if (!cell) {
+      emit(error_line(id, error));
+      continue;
+    }
+
+    emit(ack_line(id));
+    std::optional<CellResult> result;
+    {
+      // Scoped so the timer joins BEFORE the result line goes out — the
+      // result is always the last line written for this job.
+      HeartbeatTimer heartbeat(options.heartbeat_seconds,
+                               [&, id] { emit(heartbeat_line(id)); });
+      try {
+        result = run_cell(*cell);
+      } catch (const std::exception& e) {
+        error = e.what();
+      } catch (...) {
+        error = "unknown error";
+      }
+    }
+    emit(result ? result_line(id, *result) : error_line(id, error));
+  }
+}
+
+}  // namespace cmetile::sweep

@@ -1,0 +1,90 @@
+#pragma once
+// The sweep worker wire protocol (DESIGN.md §13): line-delimited JSON
+// messages between the scheduler and its workers, independent of the
+// transport carrying the lines (stdin/stdout pipes or a TCP socket —
+// see sweep/transport.hpp).
+//
+// Worker -> scheduler, in order per connection:
+//
+//   {"hello":true,"protocol":2,"salt":"<16-hex>"}   handshake, once
+//   {"id":N,"ack":true}                             job N accepted
+//   {"id":N,"heartbeat":true}                       job N still computing
+//   {"id":N,"ok":true,"result":{...}}               job N finished
+//   {"id":N,"ok":false,"error":"..."}               job N failed
+//
+// Scheduler -> worker: one job line per cell, {"id":N,"cell":{...}}.
+//
+// The handshake pins the protocol version AND the code-version salt
+// (sweep/cell.hpp): a worker built from different sources would compute
+// rows under different semantics, so the scheduler refuses it instead of
+// silently mixing results — this is what makes cross-machine TCP workers
+// safe. Acks and heartbeats exist for liveness only: any line refreshes
+// the scheduler's per-worker deadline, so a long GA cell on a healthy
+// worker survives the per-cell timeout while a hung or dead worker is
+// detected and its cell recomputed in-process.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sweep/cell.hpp"
+
+namespace cmetile::sweep {
+
+/// Bump on any wire-format change; mismatched workers are refused at the
+/// handshake (independently of kCodeVersionSalt, which tracks result
+/// semantics rather than message shape).
+inline constexpr i64 kProtocolVersion = 2;
+
+/// Default worker heartbeat interval while a cell computes. Far below the
+/// scheduler's default per-cell timeout so a healthy-but-slow worker is
+/// never mistaken for a dead one.
+inline constexpr double kDefaultHeartbeatSeconds = 5.0;
+
+// -- Message builders (each returns one line WITHOUT the trailing \n) ----
+std::string hello_line(std::uint64_t salt = kCodeVersionSalt);
+std::string job_line(i64 id, const SweepCell& cell);
+std::string ack_line(i64 id);
+std::string heartbeat_line(i64 id);
+std::string result_line(i64 id, const CellResult& result);
+std::string error_line(i64 id, const std::string& error);
+
+/// One parsed worker -> scheduler line. Anything that is not a well-formed
+/// hello / ack / heartbeat / result parses as Malformed — the scheduler
+/// treats that as a babbling worker and drops the connection.
+struct WorkerMessage {
+  enum class Kind { Hello, Ack, Heartbeat, Result, Malformed };
+  Kind kind = Kind::Malformed;
+  i64 id = -1;                       ///< job id (Ack/Heartbeat/Result)
+  bool ok = false;                   ///< Result: worker-side success
+  std::optional<CellResult> result;  ///< Result with ok == true
+  std::string error;                 ///< Result with ok == false
+  i64 protocol = 0;                  ///< Hello
+  std::uint64_t salt = 0;            ///< Hello
+};
+
+WorkerMessage parse_worker_message(std::string_view line);
+
+/// True when the hello matches this build (protocol version and code-
+/// version salt); `detail` receives a loggable mismatch description.
+bool handshake_accepts(const WorkerMessage& hello, std::string* detail = nullptr);
+
+// -- The worker protocol loop --------------------------------------------
+
+struct WorkerLoopOptions {
+  /// Heartbeat interval while a cell computes; <= 0 disables heartbeats
+  /// (the scheduler then sees no liveness signal between ack and result).
+  double heartbeat_seconds = kDefaultHeartbeatSeconds;
+  bool send_hello = true;
+  std::uint64_t salt = kCodeVersionSalt;  ///< tests inject mismatches
+};
+
+/// Serve the protocol on a stream pair until EOF: hello first, then one
+/// (ack, heartbeat*, result) sequence per job line. All writes are
+/// mutex-serialized (the heartbeat runs on its own thread) and flushed
+/// per line. Returns at EOF; used directly by --sweep-worker (stdin/
+/// stdout) and by the TCP worker over a socket-backed stream.
+void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOptions& options = {});
+
+}  // namespace cmetile::sweep

@@ -1,10 +1,14 @@
 #include "sweep/result_cache.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
+#include <vector>
 
 #ifdef __unix__
 #include <unistd.h>
@@ -82,6 +86,14 @@ std::optional<CellResult> ResultCache::load(const Fingerprint& fingerprint) cons
     result->from_cache = true;
     last_valid = std::move(result);
   }
+  if (last_valid) {
+    // LRU touch: a hit makes this cell the youngest, so gc() evicts cold
+    // cells first and never the ones a live sweep is replaying. Best
+    // effort — a read-only store still serves hits.
+    std::error_code ec;
+    std::filesystem::last_write_time(path_of(fingerprint),
+                                     std::filesystem::file_time_type::clock::now(), ec);
+  }
   return last_valid;
 }
 
@@ -116,6 +128,103 @@ std::size_t ResultCache::cell_count() const {
     if (entry.path().extension() == ".cell") ++count;
   }
   return count;
+}
+
+namespace {
+
+struct CellFile {
+  std::filesystem::path path;
+  std::uintmax_t bytes = 0;
+  std::filesystem::file_time_type mtime;
+};
+
+double age_seconds(const std::filesystem::file_time_type& mtime) {
+  const auto now = std::filesystem::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+/// All readable ".cell" entries of the store (unreadable ones skipped —
+/// a concurrent gc or writer may race us; every operation here must
+/// degrade, never fail).
+std::vector<CellFile> scan_cells(const std::string& directory) {
+  std::vector<CellFile> cells;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory, ec)) {
+    if (entry.path().extension() != ".cell") continue;
+    std::error_code stat_ec;
+    CellFile cell;
+    cell.path = entry.path();
+    cell.bytes = entry.file_size(stat_ec);
+    if (stat_ec) continue;
+    cell.mtime = entry.last_write_time(stat_ec);
+    if (stat_ec) continue;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+}  // namespace
+
+CacheStats ResultCache::stats() const {
+  CacheStats stats;
+  for (const CellFile& cell : scan_cells(directory_)) {
+    ++stats.cells;
+    stats.bytes += cell.bytes;
+    const double age = age_seconds(cell.mtime);
+    const std::size_t bucket = age < 60.0      ? 0
+                               : age < 3600.0  ? 1
+                               : age < 86400.0 ? 2
+                               : age < 604800.0 ? 3
+                                                : 4;
+    ++stats.age_histogram[bucket];
+  }
+  return stats;
+}
+
+GcStats ResultCache::gc(const GcOptions& options, std::span<const Fingerprint> keep) const {
+  std::unordered_set<std::string> protected_names;
+  protected_names.reserve(keep.size());
+  for (const Fingerprint& fingerprint : keep) protected_names.insert(fingerprint.hex() + ".cell");
+
+  std::vector<CellFile> cells = scan_cells(directory_);
+  GcStats stats;
+  stats.scanned = cells.size();
+  for (const CellFile& cell : cells) stats.bytes_before += cell.bytes;
+  stats.bytes_after = stats.bytes_before;
+
+  // Oldest (least recently hit) first; load()'s mtime touch makes every
+  // cell this run read or wrote the youngest in the store.
+  std::sort(cells.begin(), cells.end(),
+            [](const CellFile& a, const CellFile& b) { return a.mtime < b.mtime; });
+
+  const auto evict = [&](const CellFile& cell) {
+    std::error_code ec;
+    if (!std::filesystem::remove(cell.path, ec) || ec) return;
+    ++stats.evicted;
+    stats.bytes_after -= cell.bytes;
+  };
+
+  for (const CellFile& cell : cells) {
+    if (protected_names.count(cell.path.filename().string()) > 0) continue;
+    const bool too_old =
+        options.max_age_seconds > 0.0 && age_seconds(cell.mtime) > options.max_age_seconds;
+    const bool over_budget = stats.bytes_after > options.max_bytes;
+    if (too_old || over_budget) evict(cell);
+  }
+
+  // Crash litter: a writer killed between open and rename leaves a
+  // ".tmp.<pid>.<n>" file behind. Anything that old is not an in-flight
+  // store (stores are subsecond) — sweep it, outside the cell accounting.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().filename().string().find(".tmp.") == std::string::npos) continue;
+    std::error_code stat_ec;
+    const auto mtime = entry.last_write_time(stat_ec);
+    if (stat_ec || age_seconds(mtime) < 3600.0) continue;
+    std::error_code rm_ec;
+    std::filesystem::remove(entry.path(), rm_ec);
+  }
+  return stats;
 }
 
 }  // namespace cmetile::sweep

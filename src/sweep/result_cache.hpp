@@ -21,14 +21,48 @@
 // cell concurrently both succeed; whichever rename lands last wins, and
 // both wrote identical bytes anyway (results are deterministic functions
 // of the fingerprinted cell).
+//
+// Lifecycle: long-lived stores grow without bound (every new geometry,
+// seed or salt bump adds cells), so the cache is an LRU keyed on file
+// mtime — load() bumps the mtime of every hit, and gc() evicts
+// oldest-first down to a byte budget (and/or an age limit). Fingerprints
+// in gc()'s keep-set are never evicted regardless of budget; the
+// scheduler passes the current sweep's fingerprints, so a GC'd run can
+// never evict a cell it just computed or replayed.
 
+#include <array>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "support/cli.hpp"  // kDefaultCacheDir (shared with the bench flags)
 #include "sweep/cell.hpp"
 
 namespace cmetile::sweep {
+
+/// Default gc() byte budget (matches the --cache-max-mb flag default).
+inline constexpr std::uintmax_t kDefaultCacheMaxBytes = 256ull << 20;
+
+struct CacheStats {
+  std::size_t cells = 0;
+  std::uintmax_t bytes = 0;
+  /// Cell counts by age-since-last-hit (mtime): < 1 min, < 1 h, < 1 day,
+  /// < 1 week, older. Sums to `cells`.
+  std::array<std::size_t, 5> age_histogram{};
+};
+
+struct GcOptions {
+  std::uintmax_t max_bytes = kDefaultCacheMaxBytes;  ///< evict LRU beyond this
+  double max_age_seconds = 0.0;  ///< evict cells idle longer; 0 = no age limit
+};
+
+struct GcStats {
+  std::size_t scanned = 0;
+  std::size_t evicted = 0;
+  std::uintmax_t bytes_before = 0;
+  std::uintmax_t bytes_after = 0;
+};
 
 class ResultCache {
  public:
@@ -40,7 +74,8 @@ class ResultCache {
   const std::string& directory() const { return directory_; }
 
   /// The cached result for this fingerprint, or nullopt on any miss
-  /// (absent, unreadable, corrupt, version/fingerprint mismatch).
+  /// (absent, unreadable, corrupt, version/fingerprint mismatch). A hit
+  /// bumps the cell file's mtime — the LRU signal gc() evicts by.
   std::optional<CellResult> load(const Fingerprint& fingerprint) const;
 
   /// Persist one result atomically; returns false on I/O failure (the
@@ -49,6 +84,16 @@ class ResultCache {
 
   /// Number of "*.cell" files currently in the directory (tests/stats).
   std::size_t cell_count() const;
+
+  /// Size and age profile of the store (".cell" files only).
+  CacheStats stats() const;
+
+  /// Evict cells oldest-mtime-first until the store fits `max_bytes` (and
+  /// drop anything idle beyond `max_age_seconds` outright). Fingerprints
+  /// in `keep` are never evicted. Unreadable entries are skipped; eviction
+  /// failures are non-fatal (counted as not evicted). Also sweeps stale
+  /// ".tmp." litter left by crashed writers (> 1 h old, not counted).
+  GcStats gc(const GcOptions& options, std::span<const Fingerprint> keep = {}) const;
 
   std::string path_of(const Fingerprint& fingerprint) const;
 

@@ -3,21 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <cstring>
+#include <chrono>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string_view>
 
 #include "support/contracts.hpp"
 #include "support/parallel.hpp"
+#include "sweep/transport.hpp"
 
 #ifdef __unix__
-#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
-extern char** environ;
 #endif
 
 namespace cmetile::sweep {
@@ -40,6 +39,60 @@ void log_line(const SchedulerOptions& options, const std::string& message) {
   if (options.log != nullptr) *options.log << message << "\n";
 }
 
+/// Serialized progress accounting shared by every execution mode: the
+/// distributed event loop reports remote cells, the parallel_for fallback
+/// reports local cells from worker threads, and both see one mutex.
+class ProgressReporter {
+ public:
+  ProgressReporter(const SchedulerOptions& options, std::size_t cells_total)
+      : fn_(options.progress), start_(std::chrono::steady_clock::now()) {
+    snapshot_.cells_total = cells_total;
+  }
+
+  /// Cache satisfaction happened; emits the first snapshot.
+  void satisfied(std::size_t cache_hits) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_.cache_hits = cache_hits;
+    snapshot_.done = cache_hits;
+    emit_locked();
+  }
+
+  void cell_done(bool remote) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++(remote ? snapshot_.computed_remote : snapshot_.computed_local);
+    ++snapshot_.done;
+    emit_locked();
+  }
+
+  void worker_failed() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++snapshot_.failed_workers;
+    emit_locked();
+  }
+
+  void set_workers(std::size_t live) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_.workers_live = live;
+  }
+
+ private:
+  void emit_locked() {
+    if (!fn_) return;
+    const auto now = std::chrono::steady_clock::now();
+    snapshot_.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
+    const std::size_t computed = snapshot_.computed_local + snapshot_.computed_remote;
+    const std::size_t remaining = snapshot_.cells_total - snapshot_.done;
+    snapshot_.eta_seconds =
+        computed > 0 ? snapshot_.elapsed_seconds / (double)computed * (double)remaining : -1.0;
+    fn_(snapshot_);
+  }
+
+  std::mutex mutex_;
+  SweepProgress snapshot_;
+  SweepProgressFn fn_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Compute `indices` in-process (parallel across cells like the core
 /// plural drivers) and checkpoint each cell the moment it completes.
 /// Exceptions cannot escape an OpenMP structured block (std::terminate),
@@ -49,7 +102,7 @@ void log_line(const SchedulerOptions& options, const std::string& message) {
 void compute_in_process(const std::vector<SweepCell>& cells,
                         const std::vector<Fingerprint>& fingerprints,
                         const std::vector<std::size_t>& indices, const ResultCache* cache,
-                        std::vector<CellResult>& results) {
+                        std::vector<CellResult>& results, ProgressReporter& progress) {
   std::vector<std::string> errors(indices.size());
   std::atomic<bool> any_error{false};
   parallel_for(indices.size(), [&](std::size_t m) {
@@ -57,6 +110,7 @@ void compute_in_process(const std::vector<SweepCell>& cells,
     try {
       results[idx] = run_cell(cells[idx]);
       if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
+      progress.cell_done(/*remote=*/false);
     } catch (const std::exception& e) {
       errors[m] = e.what();
       any_error.store(true, std::memory_order_release);
@@ -75,88 +129,9 @@ void compute_in_process(const std::vector<SweepCell>& cells,
 
 #ifdef __unix__
 
-struct Worker {
-  pid_t pid = -1;
-  int job_fd = -1;     ///< parent writes job lines (worker stdin)
-  int result_fd = -1;  ///< parent reads result lines (worker stdout)
-  std::string buffer;
-  long long job = -1;  ///< in-flight cell index, -1 when idle
-
-  bool alive() const { return result_fd >= 0; }
-};
-
-void set_cloexec(int fd) {
-  const int flags = ::fcntl(fd, F_GETFD);
-  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
-}
-
-/// Fork+exec one worker with stdin/stdout on fresh pipes. argv/envp are
-/// prepared by the caller — between fork and exec only async-signal-safe
-/// calls are allowed (the parent may be running OpenMP threads).
-bool spawn_worker(const char* exe, char* const* argv, char* const* envp, Worker& worker) {
-  int job_pipe[2] = {-1, -1};
-  int result_pipe[2] = {-1, -1};
-  if (::pipe(job_pipe) != 0) return false;
-  if (::pipe(result_pipe) != 0) {
-    ::close(job_pipe[0]);
-    ::close(job_pipe[1]);
-    return false;
-  }
-  // Parent-side ends must not leak into later-spawned siblings (a leaked
-  // job write-end would keep a worker's stdin open forever).
-  set_cloexec(job_pipe[1]);
-  set_cloexec(result_pipe[0]);
-
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    for (const int fd : {job_pipe[0], job_pipe[1], result_pipe[0], result_pipe[1]}) ::close(fd);
-    return false;
-  }
-  if (pid == 0) {
-    // The parent-side ends are CLOEXEC and vanish at exec; only the two
-    // child ends need moving. Guard the close for the launched-with-
-    // closed-stdio case where pipe() handed us fd 0 or 1 directly.
-    if (job_pipe[0] != STDIN_FILENO) {
-      ::dup2(job_pipe[0], STDIN_FILENO);
-      ::close(job_pipe[0]);
-    }
-    if (result_pipe[1] != STDOUT_FILENO) {
-      ::dup2(result_pipe[1], STDOUT_FILENO);
-      ::close(result_pipe[1]);
-    }
-    ::execve(exe, argv, envp);
-    _exit(127);  // exec failed; the parent sees EOF and falls back
-  }
-  ::close(job_pipe[0]);
-  ::close(result_pipe[1]);
-  worker.pid = pid;
-  worker.job_fd = job_pipe[1];
-  worker.result_fd = result_pipe[0];
-  return true;
-}
-
-bool write_all(int fd, std::string_view bytes) {
-  while (!bytes.empty()) {
-    const ssize_t n = ::write(fd, bytes.data(), bytes.size());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    bytes.remove_prefix((std::size_t)n);
-  }
-  return true;
-}
-
-void reap_worker(Worker& worker) {
-  if (worker.job_fd >= 0) ::close(worker.job_fd);
-  if (worker.result_fd >= 0) ::close(worker.result_fd);
-  worker.job_fd = worker.result_fd = -1;
-  if (worker.pid > 0) {
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
-    worker.pid = -1;
-  }
-}
+/// Upper bound on one worker->scheduler protocol line (results are a few
+/// KB); a peer exceeding it without a newline is babbling and dropped.
+constexpr std::size_t kMaxWorkerLineBytes = 1 << 20;
 
 /// Restore-on-destruction SIGPIPE ignore: a worker that died mid-job must
 /// surface as a failed write, not kill the scheduler.
@@ -173,165 +148,288 @@ class ScopedSigpipeIgnore {
   struct sigaction saved_ {};
 };
 
-/// Multi-process sharding: feed cells to workers one at a time (dynamic
-/// load balancing — GA cells vary widely in cost), checkpoint each result
-/// as it arrives. Any worker failure routes its cell into `failed` for
+struct LiveWorker {
+  std::unique_ptr<Channel> channel;
+  std::string buffer;
+  long long job = -1;  ///< in-flight cell index, -1 when idle
+  /// Jobs may be dispatched. Pipe workers start ready (their hello
+  /// arrives after the first assignment); TCP workers become ready when
+  /// their hello passes the handshake.
+  bool ready = false;
+  /// A hello passed the handshake. No ack, heartbeat, or result is
+  /// accepted before it — a stale pre-handshake build that answers jobs
+  /// without a hello is refused at its first line, salt unseen or not.
+  bool hello_ok = false;
+  std::chrono::steady_clock::time_point last_seen;
+
+  bool alive() const { return channel != nullptr && channel->read_fd() >= 0; }
+};
+
+/// Transport-generic distributed dispatch: feed cells to workers one at a
+/// time (dynamic load balancing — GA cells vary widely in cost),
+/// checkpoint each result as it arrives, absorb reconnecting TCP workers
+/// mid-run, and expire workers whose in-flight cell went silent past the
+/// per-cell timeout. Any worker failure routes its cell into `failed` for
 /// the in-process fallback. Returns false only when no worker could be
-/// spawned at all.
-bool run_multiprocess(const std::vector<SweepCell>& cells,
-                      const std::vector<Fingerprint>& fingerprints,
-                      const std::vector<std::size_t>& misses, const ResultCache* cache,
-                      const SchedulerOptions& options, std::vector<CellResult>& results,
-                      SweepStats& stats, std::vector<std::size_t>& failed) {
-  const std::string exe =
-      options.worker_command.empty() ? self_executable_path() : options.worker_command;
-  if (exe.empty()) return false;
-
-  const int worker_count = (int)std::min((std::size_t)options.jobs, misses.size());
-
-  // argv/envp prepared before any fork. Workers split the machine's
-  // threads so N workers × OpenMP don't oversubscribe N-fold.
-  const std::string flag = std::string("--") + kWorkerFlag;
-  std::vector<char*> argv = {const_cast<char*>(exe.c_str()), const_cast<char*>(flag.c_str()),
-                             nullptr};
-  const int threads_per_worker = std::max(1, parallel_threads() / std::max(1, worker_count));
-  std::vector<std::string> env_storage;
-  for (char** e = environ; *e != nullptr; ++e) {
-    if (std::strncmp(*e, "OMP_NUM_THREADS=", 16) != 0) env_storage.emplace_back(*e);
-  }
-  env_storage.push_back("OMP_NUM_THREADS=" + std::to_string(threads_per_worker));
-  std::vector<char*> envp;
-  envp.reserve(env_storage.size() + 1);
-  for (std::string& e : env_storage) envp.push_back(e.data());
-  envp.push_back(nullptr);
-
+/// established at all.
+bool run_distributed(const std::vector<SweepCell>& cells,
+                     const std::vector<Fingerprint>& fingerprints,
+                     const std::vector<std::size_t>& misses, const ResultCache* cache,
+                     const SchedulerOptions& options, Transport& transport, int want,
+                     std::vector<CellResult>& results, SweepStats& stats,
+                     std::vector<std::size_t>& failed, ProgressReporter& progress) {
+  using clock = std::chrono::steady_clock;
   ScopedSigpipeIgnore sigpipe_guard;
 
-  std::vector<Worker> workers((std::size_t)worker_count);
-  int spawned = 0;
-  for (Worker& worker : workers) {
-    if (spawn_worker(exe.c_str(), argv.data(), envp.data(), worker)) ++spawned;
-  }
-  if (spawned == 0) return false;
-  log_line(options, "[sweep] " + std::to_string(spawned) + " worker processes (" +
-                        std::to_string(threads_per_worker) + " threads each)");
+  std::vector<LiveWorker> workers;
+  const auto adopt = [&](std::unique_ptr<Channel> channel) {
+    LiveWorker worker;
+    worker.channel = std::move(channel);
+    worker.ready = worker.channel->trusted();
+    worker.last_seen = clock::now();
+    workers.push_back(std::move(worker));
+  };
+  for (auto& channel : transport.open(want)) adopt(std::move(channel));
+  if (workers.empty()) return false;
+  log_line(options, "[sweep] " + std::string(transport.name()) + ": " +
+                        std::to_string(workers.size()) + " workers connected");
+  progress.set_workers(workers.size());
 
+  const bool can_accept = transport.accept_fd() >= 0;
   std::size_t next = 0;  // next unassigned entry of `misses`
 
-  auto kill_worker = [&](Worker& worker) {
-    if (worker.job >= 0) {
-      failed.push_back((std::size_t)worker.job);
+  // Worker death: the in-flight cell (if any) is routed to the in-process
+  // fallback and counted; the log line carries the running count so a
+  // degrading fleet is visible while the sweep still succeeds.
+  const auto kill_worker = [&](LiveWorker& worker, const std::string& reason) {
+    const long long job = worker.job;
+    const std::string who = worker.channel->describe();
+    if (job >= 0) {
+      failed.push_back((std::size_t)job);
+      ++stats.worker_failures;
+      progress.worker_failed();
       worker.job = -1;
     }
-    reap_worker(worker);
+    worker.channel->shutdown();
+    std::string message = "[sweep] worker " + who + " " + reason;
+    if (job >= 0)
+      message += " on cell " + std::to_string(job) + " — will recompute in-process (" +
+                 std::to_string(stats.worker_failures) + " failed worker cells so far)";
+    log_line(options, message);
   };
 
-  // Hand the next queued cell to `worker`; closes its stdin when the
+  // Hand the next queued cell to `worker`; half-closes its input when the
   // queue is drained (the worker then exits on EOF).
-  auto assign = [&](Worker& worker) {
+  const auto assign = [&](LiveWorker& worker) {
+    if (!worker.ready) return;
     while (next < misses.size()) {
       const std::size_t idx = misses[next];
-      Json job = Json::object();
-      job.set("id", Json::integer((i64)idx));
-      job.set("cell", json_of_cell(cells[idx]));
-      if (write_all(worker.job_fd, job.dump() + "\n")) {
+      if (worker.channel->send_line(job_line((i64)idx, cells[idx]))) {
         ++next;
         worker.job = (long long)idx;
+        worker.last_seen = clock::now();
         return;
       }
-      // Broken pipe before the job was accepted: the cell is NOT lost —
+      // Peer vanished before the job was accepted: the cell is NOT lost —
       // leave it queued for a healthier worker; this worker is done.
-      kill_worker(worker);
+      kill_worker(worker, "went away before accepting a job");
       return;
     }
-    if (worker.job_fd >= 0) {
-      ::close(worker.job_fd);
-      worker.job_fd = -1;
-    }
+    worker.channel->finish_input();
   };
 
-  // One result line: validate, record, checkpoint, hand out the next job.
-  auto handle_line = [&](Worker& worker, std::string_view line) {
+  const auto handle_line = [&](LiveWorker& worker, std::string_view line) {
     if (line.empty()) return;
-    if (worker.job < 0) {
-      // A line with no job in flight (e.g. an idle worker babbling
-      // {"id":-1,...}) must not be matched against cells[] — drop the
-      // worker, nothing is lost.
-      log_line(options, "[sweep] unexpected output from an idle worker");
-      kill_worker(worker);
-      return;
-    }
-    const std::optional<Json> response = Json::parse(std::string(line));
-    bool ok = false;
-    std::optional<CellResult> result;
-    if (response) {
-      const Json* id = response->find("id");
-      const Json* ok_field = response->find("ok");
-      const Json* payload = response->find("result");
-      if (id != nullptr && id->as_int(-1) == worker.job && ok_field != nullptr &&
-          ok_field->as_bool(false) && payload != nullptr) {
-        result = result_of_json(*payload);
-        ok = result.has_value() && result->kind == cells[(std::size_t)worker.job].kind;
+    // Not const: the accepted result is moved out below.
+    WorkerMessage msg = parse_worker_message(line);
+    switch (msg.kind) {
+      case WorkerMessage::Kind::Hello: {
+        std::string detail;
+        if (!handshake_accepts(msg, &detail)) {
+          kill_worker(worker, "refused: " + detail);
+          return;
+        }
+        if (worker.hello_ok) {
+          // Every line must advance the protocol or kill the worker —
+          // otherwise a babbler could refresh its liveness deadline
+          // forever and pin the scheduler. A repeated hello is babble.
+          kill_worker(worker, "sent a second hello");
+          return;
+        }
+        worker.hello_ok = true;
+        if (!worker.ready) {
+          worker.ready = true;
+          assign(worker);
+        }
+        return;
       }
-    }
-    if (!ok) {
-      // Wrong id, failed cell, or protocol garbage: stop trusting this
-      // worker entirely. Surface the worker's own diagnostic if it sent
-      // one — it is usually the only explanation of the failure.
-      std::string detail;
-      if (response) {
-        if (const Json* error = response->find("error"); error != nullptr)
-          detail = error->as_string();
+      case WorkerMessage::Kind::Ack:
+      case WorkerMessage::Kind::Heartbeat:
+        // Liveness was refreshed at read time; a control line before the
+        // handshake, from an idle worker, or for a job this worker does
+        // not hold is protocol confusion.
+        if (!worker.hello_ok || worker.job < 0 || msg.id != worker.job)
+          kill_worker(worker, "sent a stray control line");
+        return;
+      case WorkerMessage::Kind::Result: {
+        if (!worker.hello_ok) {
+          kill_worker(worker, "sent a result before its handshake");
+          return;
+        }
+        if (worker.job < 0 || msg.id != worker.job || !msg.ok || !msg.result ||
+            msg.result->kind != cells[(std::size_t)worker.job].kind) {
+          // Wrong id, failed cell, or mismatched payload: stop trusting
+          // this worker entirely. Surface the worker's own diagnostic if
+          // it sent one — it is usually the only explanation.
+          kill_worker(worker, "failed" + (msg.error.empty() ? "" : " (" + msg.error + ")"));
+          return;
+        }
+        const std::size_t idx = (std::size_t)worker.job;
+        results[idx] = std::move(*msg.result);
+        if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
+        ++stats.computed;
+        ++stats.remote;
+        progress.cell_done(/*remote=*/true);
+        worker.job = -1;
+        assign(worker);
+        return;
       }
-      log_line(options, "[sweep] worker failed on cell " + std::to_string(worker.job) +
-                            (detail.empty() ? "" : " (" + detail + ")"));
-      kill_worker(worker);
-      return;
+      case WorkerMessage::Kind::Malformed:
+        kill_worker(worker, "babbled an unparseable line");
+        return;
     }
-    const std::size_t idx = (std::size_t)worker.job;
-    results[idx] = std::move(*result);
-    if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
-    ++stats.computed;
-    worker.job = -1;
-    assign(worker);
   };
 
-  for (Worker& worker : workers)
+  for (LiveWorker& worker : workers)
     if (worker.alive()) assign(worker);
 
+  const auto timeout = std::chrono::duration<double>(
+      options.cell_timeout_seconds > 0 ? options.cell_timeout_seconds : 0);
+  const auto accept_wait = std::chrono::duration<double>(options.accept_wait_seconds);
+  // Plain flag + value instead of optional<time_point>: GCC 12's
+  // -Wmaybe-uninitialized cannot see through the optional's guard.
+  bool all_dead = false;
+  clock::time_point all_dead_since{};
   std::vector<pollfd> fds;
-  std::vector<std::size_t> fd_owner;
+  std::vector<std::size_t> fd_owner;  // workers.size() marks the accept fd
+
   while (true) {
+    const auto now = clock::now();
+
+    // Dead entries are done informing anything; drop them so a flapping,
+    // reconnecting fleet doesn't grow the scan set (and retain buffers)
+    // for the whole run.
+    std::erase_if(workers, [](const LiveWorker& worker) { return !worker.alive(); });
+
+    // Expire workers whose in-flight cell (or pending handshake) went
+    // silent past the per-cell timeout. Heartbeats refresh last_seen, so
+    // only a hung/dead/partitioned worker can trip this.
+    if (timeout.count() > 0) {
+      for (LiveWorker& worker : workers) {
+        if (!worker.alive() || (worker.job < 0 && worker.ready)) continue;
+        if (now - worker.last_seen > timeout)
+          kill_worker(worker, "timed out (silent for " +
+                                  std::to_string(options.cell_timeout_seconds) + "s)");
+      }
+    }
+
+    std::size_t live = 0;
+    for (const LiveWorker& worker : workers) live += worker.alive() ? 1 : 0;
+    progress.set_workers(live);
+    const bool queue_open = next < misses.size();
+    if (live == 0) {
+      // All workers gone. With an accepting transport and cells still
+      // queued, give replacements one accept window to show up; anything
+      // else means the distributed phase is over.
+      if (!queue_open || !can_accept) break;
+      if (!all_dead) {
+        all_dead = true;
+        all_dead_since = now;
+      }
+      if (now - all_dead_since >= accept_wait) {
+        log_line(options, "[sweep] no workers reconnected; finishing in-process");
+        break;
+      }
+    } else {
+      all_dead = false;
+    }
+
+    // Nearest deadline bounds the poll: cell timeouts and, when
+    // workerless, the reconnect window.
+    int timeout_ms = -1;
+    const auto consider = [&](clock::time_point deadline) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+      const int ms = (int)std::max<long long>(0, remaining) + 1;
+      timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+    };
+    if (timeout.count() > 0) {
+      for (const LiveWorker& worker : workers) {
+        if (!worker.alive() || (worker.job < 0 && worker.ready)) continue;
+        consider(worker.last_seen +
+                 std::chrono::duration_cast<clock::duration>(timeout));
+      }
+    }
+    if (all_dead)
+      consider(all_dead_since + std::chrono::duration_cast<clock::duration>(accept_wait));
+
     fds.clear();
     fd_owner.clear();
     for (std::size_t w = 0; w < workers.size(); ++w) {
       if (!workers[w].alive()) continue;
-      fds.push_back({workers[w].result_fd, POLLIN, 0});
+      fds.push_back({workers[w].channel->read_fd(), POLLIN, 0});
       fd_owner.push_back(w);
+    }
+    if (can_accept && queue_open) {
+      fds.push_back({transport.accept_fd(), POLLIN, 0});
+      fd_owner.push_back(workers.size());
     }
     if (fds.empty()) break;
 
-    const int ready = ::poll(fds.data(), (nfds_t)fds.size(), -1);
+    const int ready = ::poll(fds.data(), (nfds_t)fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      for (Worker& worker : workers)
-        if (worker.alive()) kill_worker(worker);
+      for (LiveWorker& worker : workers)
+        if (worker.alive()) kill_worker(worker, "dropped (poll failed)");
       break;
     }
+    if (ready == 0) continue;  // a deadline fired; handled at loop top
+
     for (std::size_t f = 0; f < fds.size(); ++f) {
       if (fds[f].revents == 0) continue;
-      Worker& worker = workers[fd_owner[f]];
+      if (fd_owner[f] == workers.size()) {
+        // A (re)connecting TCP worker joins the pool mid-run; it gets
+        // jobs once its handshake passes.
+        if (auto channel = transport.accept()) {
+          log_line(options, "[sweep] tcp: worker connected from " + channel->describe());
+          adopt(std::move(channel));
+        }
+        continue;
+      }
+      LiveWorker& worker = workers[fd_owner[f]];
+      if (!worker.alive()) continue;  // killed earlier in this pass
       char chunk[4096];
-      const ssize_t n = ::read(worker.result_fd, chunk, sizeof chunk);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        // EOF with a job in flight = the worker died mid-cell.
+      const long n = worker.channel->read_some(chunk, sizeof chunk);
+      if (n < 0) continue;  // transient (EINTR)
+      if (n == 0) {
+        // EOF. With a job in flight the worker died mid-cell; idle EOF is
+        // the normal end of a drained worker.
         if (worker.job >= 0)
-          log_line(options, "[sweep] worker exited on cell " + std::to_string(worker.job));
-        kill_worker(worker);
+          kill_worker(worker, "exited");
+        else
+          worker.channel->shutdown();
         continue;
       }
       worker.buffer.append(chunk, (std::size_t)n);
+      if (worker.buffer.find('\n') == std::string::npos) {
+        // No complete line: do NOT refresh liveness — a peer dripping
+        // newline-less bytes must still hit the timeout, and its buffer
+        // must not grow without bound (protocol lines are a few KB).
+        if (worker.buffer.size() > kMaxWorkerLineBytes)
+          kill_worker(worker, "sent an oversized line");
+        continue;
+      }
+      worker.last_seen = clock::now();
       std::size_t newline;
       while (worker.alive() && (newline = worker.buffer.find('\n')) != std::string::npos) {
         const std::string line = worker.buffer.substr(0, newline);
@@ -339,12 +437,22 @@ bool run_multiprocess(const std::vector<SweepCell>& cells,
         handle_line(worker, line);
       }
     }
+
+    // Queue drained: half-close every idle worker (including ones that
+    // connected but never finished the handshake) so they exit cleanly
+    // and the loop can end on their EOFs.
+    if (next >= misses.size()) {
+      for (LiveWorker& worker : workers)
+        if (worker.alive() && worker.job < 0) worker.channel->finish_input();
+    }
   }
 
-  // Workers all gone. Only cells a worker actually received and then
-  // failed on count as worker failures; cells never handed out (all
-  // workers died early) join the fallback list uncounted.
-  stats.worker_failures = failed.size();
+  for (LiveWorker& worker : workers)
+    if (worker.alive()) kill_worker(worker, "dropped at shutdown");
+  progress.set_workers(0);
+
+  // Cells never handed out (all workers died early) join the fallback
+  // list uncounted as worker failures.
   for (; next < misses.size(); ++next) failed.push_back(misses[next]);
   return true;
 }
@@ -384,6 +492,8 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
   std::optional<ResultCache> cache;
   if (options.use_cache) cache.emplace(options.cache_dir);
 
+  ProgressReporter progress(options, cells.size());
+
   std::vector<std::size_t> misses;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     std::optional<CellResult> hit;
@@ -395,38 +505,74 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
       misses.push_back(i);
     }
   }
+  progress.satisfied(run.stats.cache_hits);
   log_line(options, "[sweep] " + std::to_string(cells.size()) + " cells, " +
                         std::to_string(run.stats.cache_hits) + " cache hits, " +
                         std::to_string(misses.size()) + " to compute" +
                         (cache ? " (cache: " + cache->directory() + ")" : " (cache off)"));
-  if (misses.empty()) return run;
 
-  const ResultCache* store = cache ? &*cache : nullptr;
-  std::vector<std::size_t> failed;
-  bool sharded = false;
+  if (!misses.empty()) {
+    const ResultCache* store = cache ? &*cache : nullptr;
+    const bool want_tcp = !options.listen.empty();
+    std::vector<std::size_t> failed;
+    bool sharded = false;
 #ifdef __unix__
-  if (options.jobs > 1) {
-    sharded = run_multiprocess(cells, fingerprints, misses, store, options, run.results,
-                               run.stats, failed);
-    if (!sharded)
-      log_line(options, "[sweep] could not spawn workers; computing in-process");
-  }
+    if (want_tcp || options.jobs > 1) {
+      std::unique_ptr<Transport> transport;
+      int want = 0;
+      if (want_tcp) {
+        TcpTransportOptions tcp;
+        tcp.listen = options.listen;
+        tcp.accept_wait_seconds = options.accept_wait_seconds;
+        tcp.on_listen = options.on_listen;
+        tcp.log = options.log;
+        transport = make_tcp_transport(std::move(tcp));  // throws on a bad spec
+        // TCP worker fleets size themselves; cap only by useful width.
+        want = (int)std::min<std::size_t>(misses.size(), 512);
+      } else {
+        PipeTransportOptions pipe;
+        pipe.executable =
+            options.worker_command.empty() ? self_executable_path() : options.worker_command;
+        pipe.heartbeat_seconds = options.worker_heartbeat_seconds;
+        pipe.total_threads = parallel_threads();
+        transport = make_pipe_transport(std::move(pipe));
+        want = (int)std::min((std::size_t)options.jobs, misses.size());
+      }
+      if (transport)
+        sharded = run_distributed(cells, fingerprints, misses, store, options, *transport, want,
+                                  run.results, run.stats, failed, progress);
+      if (!sharded) log_line(options, "[sweep] no workers available; computing in-process");
+    }
 #else
-  if (options.jobs > 1)
-    log_line(options, "[sweep] multi-process sharding unavailable on this platform; "
-                      "computing in-process");
+    if (want_tcp || options.jobs > 1)
+      log_line(options, "[sweep] distributed sharding unavailable on this platform; "
+                        "computing in-process");
 #endif
-  if (!sharded) {
-    failed = misses;  // never attempted remotely; not a worker failure
-  } else if (!failed.empty()) {
-    // run_multiprocess already set stats.worker_failures (failed may also
-    // carry cells no worker ever received).
-    log_line(options, "[sweep] recomputing " + std::to_string(failed.size()) +
-                          " cells in-process (" +
-                          std::to_string(run.stats.worker_failures) + " worker failures)");
+    if (!sharded) {
+      failed = misses;  // never attempted remotely; not a worker failure
+    } else {
+      log_line(options, "[sweep] " + std::to_string(run.stats.remote) +
+                            " cells computed remotely" +
+                            (failed.empty() ? ""
+                                            : ", recomputing " + std::to_string(failed.size()) +
+                                                  " in-process (" +
+                                                  std::to_string(run.stats.worker_failures) +
+                                                  " worker failures)"));
+    }
+    compute_in_process(cells, fingerprints, failed, store, run.results, progress);
+    run.stats.computed += failed.size();
   }
-  compute_in_process(cells, fingerprints, failed, store, run.results);
-  run.stats.computed += failed.size();
+
+  if (cache && options.cache_gc) {
+    GcOptions gc_options;
+    gc_options.max_bytes = options.cache_max_bytes;
+    gc_options.max_age_seconds = options.cache_max_age_seconds;
+    const GcStats gc = cache->gc(gc_options, fingerprints);
+    log_line(options, "[sweep] cache gc: evicted " + std::to_string(gc.evicted) + " of " +
+                          std::to_string(gc.scanned) + " cells (" +
+                          std::to_string(gc.bytes_before) + " -> " +
+                          std::to_string(gc.bytes_after) + " bytes)");
+  }
   return run;
 }
 
@@ -507,51 +653,19 @@ std::vector<core::HierarchyRow> run_hierarchy_experiments(
 }
 
 void maybe_run_worker(int argc, const char* const* argv) {
-  const std::string flag = std::string("--") + kWorkerFlag;
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i] == flag) {
-      run_worker_loop(std::cin, std::cout);
-      std::exit(0);
-    }
+  const CliArgs args(argc, argv);
+  // Strict: a typo'd --heartbeat read as 0.0 would silently disable
+  // liveness reporting and get healthy workers expired mid-cell.
+  const double heartbeat = args.get_double_strict("heartbeat", kDefaultHeartbeatSeconds);
+  expects(heartbeat >= 0.0, "--heartbeat must be >= 0 seconds (0 disables)");
+  if (args.has(kWorkerFlag)) {
+    WorkerLoopOptions options;
+    options.heartbeat_seconds = heartbeat;
+    run_worker_loop(std::cin, std::cout, options);
+    std::exit(0);
   }
-}
-
-void run_worker_loop(std::istream& in, std::ostream& out) {
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    i64 id = -1;
-    Json response = Json::object();
-    std::string error;
-    std::optional<CellResult> result;
-
-    const std::optional<Json> job = Json::parse(line);
-    if (job) {
-      const Json* id_field = job->find("id");
-      if (id_field != nullptr) id = id_field->as_int(-1);
-      const Json* cell_json = job->find("cell");
-      std::optional<SweepCell> cell;
-      if (cell_json != nullptr) cell = cell_of_json(*cell_json);
-      if (cell) {
-        try {
-          result = run_cell(*cell);
-        } catch (const std::exception& e) {
-          error = e.what();
-        }
-      } else {
-        error = "malformed cell";
-      }
-    } else {
-      error = "malformed job line";
-    }
-
-    response.set("id", Json::integer(id));
-    response.set("ok", Json::boolean(result.has_value()));
-    if (result)
-      response.set("result", json_of_result(*result));
-    else
-      response.set("error", Json::string(error));
-    out << response.dump() << "\n" << std::flush;
+  if (args.has(kConnectFlag)) {
+    std::exit(run_tcp_worker(args.get(kConnectFlag, ""), heartbeat) ? 0 : 1);
   }
 }
 

@@ -1,28 +1,37 @@
 #pragma once
 // Sweep orchestration (DESIGN.md §13): expand a declarative SweepSpec into
 // experiment cells, satisfy what the persistent ResultCache already knows,
-// and shard the remaining cold cells either across in-process parallel_for
-// workers or across N spawned worker subprocesses speaking a line-
-// delimited JSON job/result protocol over pipes.
+// and shard the remaining cold cells — in-process across parallel_for
+// workers, across N spawned subprocesses over pipes, or across TCP
+// workers on any machine that can reach the scheduler's --listen port
+// (sweep/transport.hpp carries the connections, sweep/protocol.hpp the
+// line protocol and handshake).
 //
 // Guarantees:
 //  - Determinism: results depend only on the spec. Serial, in-process
-//    parallel, multi-process, and cache-replayed runs all produce
-//    bit-identical rows (doubles round-trip exactly through the JSON
-//    encoding; every row's seeds derive from its own cell).
+//    parallel, multi-process, distributed-TCP, and cache-replayed runs
+//    all produce bit-identical rows (doubles round-trip exactly through
+//    the JSON encoding; every row's seeds derive from its own cell).
 //  - Resumability: every computed cell is checkpointed to the cache the
 //    moment it finishes. Kill a sweep at any point and the rerun computes
 //    only the missing cells.
-//  - Robustness: a corrupt cache entry degrades to a recompute; a dead or
-//    babbling worker degrades to computing its in-flight cell in-process.
+//  - Robustness: a corrupt cache entry degrades to a recompute; a dead,
+//    hung (per-cell timeout, heartbeat-aware) or babbling worker degrades
+//    to computing its in-flight cell in-process; a worker built from
+//    different sources is refused at the handshake (code-version salt).
 //
-// Multi-process mode re-executes the *current binary* with --sweep-worker
-// (any main that calls maybe_run_worker first can serve as a worker: all
-// benches via bench::BenchContext, the sweep_runner example, sweep_test).
+// Multi-process pipe mode re-executes the *current binary* with
+// --sweep-worker (any main that calls maybe_run_worker first can serve as
+// a worker: all benches via bench::BenchContext, the sweep_runner
+// example, the sweep tests). TCP workers are the same binaries started
+// with --connect=host:port, locally or on another machine.
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <span>
 
+#include "sweep/protocol.hpp"
 #include "sweep/result_cache.hpp"
 
 namespace cmetile::sweep {
@@ -42,25 +51,78 @@ struct SweepSpec {
   std::vector<SweepCell> cells() const;
 };
 
+/// Scheduler progress snapshot, reported once after cache satisfaction
+/// and once per finished cell. Callbacks are serialized (never invoked
+/// concurrently), whichever execution mode produced the cell.
+struct SweepProgress {
+  std::size_t cells_total = 0;
+  std::size_t done = 0;  ///< cache_hits + computed so far
+  std::size_t cache_hits = 0;
+  std::size_t computed_local = 0;   ///< in-process (including fallback)
+  std::size_t computed_remote = 0;  ///< by a pipe or TCP worker
+  /// Cells that died on a worker (crash, hang past the per-cell timeout,
+  /// protocol garbage) and were/will be recomputed in-process.
+  std::size_t failed_workers = 0;
+  std::size_t workers_live = 0;  ///< connected workers right now
+  double elapsed_seconds = 0.0;
+  double eta_seconds = -1.0;  ///< projected time to finish; < 0 = unknown
+};
+using SweepProgressFn = std::function<void(const SweepProgress&)>;
+
 struct SchedulerOptions {
   std::string cache_dir = kDefaultCacheDir;
   bool use_cache = true;   ///< false: never read nor write the store
   /// Shard width. 1 = in-process (cells still run concurrently via
   /// parallel_for, matching the plural core drivers); >= 2 = spawn that
-  /// many worker subprocesses and feed them cells dynamically.
+  /// many worker subprocesses over pipes. Ignored when `listen` is set.
   int jobs = 1;
-  /// Executable to spawn as a worker; empty resolves the current binary
-  /// via /proc/self/exe. It is invoked as `<exe> --sweep-worker` and must
-  /// reach maybe_run_worker() before writing anything to stdout.
+  /// Executable to spawn as a pipe worker; empty resolves the current
+  /// binary via /proc/self/exe. It is invoked as `<exe> --sweep-worker`
+  /// and must reach maybe_run_worker() before writing anything to stdout.
   std::string worker_command;
   std::ostream* log = nullptr;  ///< progress/diagnostics; nullptr = silent
+
+  // -- Distributed (TCP) transport ---------------------------------------
+  /// Non-empty = listen on "host:port" (port 0 = ephemeral) and dispatch
+  /// cold cells to --connect workers instead of spawning subprocesses.
+  std::string listen;
+  /// TCP: how long open() waits for the first worker, and how long the
+  /// run waits for a reconnect once every worker has died, before the
+  /// in-process fallback takes over.
+  double accept_wait_seconds = 30.0;
+  /// Invoked with the bound "host:port" once the TCP listener is up
+  /// (tests and drivers launch their --connect workers from here).
+  std::function<void(const std::string&)> on_listen;
+
+  // -- Liveness ----------------------------------------------------------
+  /// Kill a worker whose in-flight cell produced no line (ack, heartbeat
+  /// or result) for this long and recompute the cell in-process; also the
+  /// handshake deadline for a connected-but-silent TCP worker. <= 0
+  /// disables. Heartbeats (protocol.hpp) keep any healthy worker alive
+  /// regardless of cell cost.
+  double cell_timeout_seconds = 120.0;
+  /// Heartbeat interval forwarded to spawned pipe workers (TCP workers
+  /// set their own via --heartbeat).
+  double worker_heartbeat_seconds = kDefaultHeartbeatSeconds;
+
+  // -- Observability -----------------------------------------------------
+  SweepProgressFn progress;
+
+  // -- Cache lifecycle ---------------------------------------------------
+  /// Run ResultCache::gc after the sweep, protecting every cell this
+  /// sweep read or wrote.
+  bool cache_gc = false;
+  std::uintmax_t cache_max_bytes = kDefaultCacheMaxBytes;
+  double cache_max_age_seconds = 0.0;  ///< 0 = no age limit
 };
 
 struct SweepStats {
   std::size_t cells = 0;
   std::size_t cache_hits = 0;
   std::size_t computed = 0;
-  /// Cells a worker subprocess failed on (crash, protocol garbage) that
+  /// Cells computed by a worker (pipe or TCP). Included in `computed`.
+  std::size_t remote = 0;
+  /// Cells a worker failed on (crash, timeout, protocol garbage) that
   /// were then recomputed in-process. Included in `computed`.
   std::size_t worker_failures = 0;
 };
@@ -71,7 +133,8 @@ struct SweepRun {
 };
 
 /// Run the sweep: cache, shard, checkpoint. Throws contract_error on an
-/// unusable spec (no entries / no geometry) or an unusable cache dir.
+/// unusable spec (no entries / no geometry), an unusable cache dir, or an
+/// unbindable --listen address.
 SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options = {});
 
 // -- Cache-aware counterparts of the core plural drivers -----------------
@@ -110,18 +173,16 @@ std::vector<core::HierarchyRow> run_hierarchy_experiments(
 
 // -- Worker side ---------------------------------------------------------
 
-/// The flag (as `--sweep-worker`) that switches a binary into worker mode.
+/// The flag (as `--sweep-worker`) that switches a binary into pipe worker
+/// mode, and the flag (as `--connect=host:port`) that turns it into a TCP
+/// worker for a remote scheduler. `--heartbeat=SECONDS` tunes liveness
+/// reporting for either (0 disables).
 inline constexpr const char* kWorkerFlag = "sweep-worker";
+inline constexpr const char* kConnectFlag = "connect";
 
-/// If argv contains --sweep-worker, serve the job/result protocol on
-/// stdin/stdout until EOF and _never return_ (std::exit(0)). Call this
-/// first in main(), before any other output.
+/// If argv contains --sweep-worker or --connect=..., serve the job/result
+/// protocol (stdin/stdout, or the TCP connection) and _never return_
+/// (std::exit). Call this first in main(), before any other output.
 void maybe_run_worker(int argc, const char* const* argv);
-
-/// The protocol loop itself (exposed for tests): reads one JSON job per
-/// line — {"id":N,"cell":{...}} — and answers one JSON result per line —
-/// {"id":N,"ok":true,"result":{...}} or {"id":N,"ok":false,"error":"..."}.
-/// Returns at EOF.
-void run_worker_loop(std::istream& in, std::ostream& out);
 
 }  // namespace cmetile::sweep

@@ -1,0 +1,478 @@
+#include "sweep/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+
+#include "support/cli.hpp"  // split_host_port (shared with flag validation)
+#include "support/contracts.hpp"
+#include "sweep/protocol.hpp"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <istream>
+#include <streambuf>
+#include <thread>
+
+extern char** environ;
+#endif
+
+namespace cmetile::sweep {
+
+#ifdef __unix__
+
+namespace {
+
+void transport_log(std::ostream* log, const std::string& message) {
+  if (log != nullptr) *log << message << "\n";
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::write(fd, bytes.data(), bytes.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix((std::size_t)n);
+  }
+  return true;
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+// -- Pipe transport -------------------------------------------------------
+
+class PipeChannel final : public Channel {
+ public:
+  PipeChannel(pid_t pid, int job_fd, int result_fd)
+      : pid_(pid), job_fd_(job_fd), result_fd_(result_fd) {}
+
+  ~PipeChannel() override { shutdown(); }
+
+  bool send_line(std::string_view line) override {
+    if (job_fd_ < 0) return false;
+    return write_all(job_fd_, std::string(line) + "\n");
+  }
+
+  void finish_input() override {
+    if (job_fd_ >= 0) {
+      ::close(job_fd_);
+      job_fd_ = -1;
+    }
+  }
+
+  int read_fd() const override { return result_fd_; }
+
+  long read_some(char* buffer, std::size_t size) override {
+    if (result_fd_ < 0) return 0;
+    const ssize_t n = ::read(result_fd_, buffer, size);
+    if (n < 0) return errno == EINTR ? -1 : 0;
+    return (long)n;
+  }
+
+  void shutdown() override {
+    finish_input();
+    if (result_fd_ >= 0) {
+      ::close(result_fd_);
+      result_fd_ = -1;
+    }
+    if (pid_ > 0) {
+      // The worker's results are unusable once the channel closes, and a
+      // discarded-for-cause worker may be hung mid-cell: kill rather than
+      // wait (a normally exiting worker is already gone; the extra signal
+      // is a no-op on its zombie). The negative pid targets the worker's
+      // whole process group (see the setpgid at spawn) so descendants
+      // cannot linger holding the inherited pipe ends.
+      ::kill(-pid_, SIGKILL);
+      ::kill(pid_, SIGKILL);  // belt and braces if setpgid lost a race
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+  }
+
+  std::string describe() const override { return "pid " + std::to_string(pid_); }
+  bool trusted() const override { return true; }
+
+ private:
+  pid_t pid_ = -1;
+  int job_fd_ = -1;
+  int result_fd_ = -1;
+};
+
+class PipeTransport final : public Transport {
+ public:
+  explicit PipeTransport(PipeTransportOptions options) : options_(std::move(options)) {}
+
+  const char* name() const override { return "pipe"; }
+
+  std::vector<std::unique_ptr<Channel>> open(int want) override {
+    std::vector<std::unique_ptr<Channel>> channels;
+    if (want <= 0) return channels;
+
+    // argv/envp prepared before any fork — between fork and exec only
+    // async-signal-safe calls are allowed (the parent may be running
+    // OpenMP threads). Workers split the machine's threads so N workers
+    // × OpenMP don't oversubscribe N-fold.
+    const std::string flag = "--sweep-worker";
+    const std::string heartbeat =
+        "--heartbeat=" + std::to_string(options_.heartbeat_seconds);
+    std::vector<char*> argv = {const_cast<char*>(options_.executable.c_str()),
+                               const_cast<char*>(flag.c_str()),
+                               const_cast<char*>(heartbeat.c_str()), nullptr};
+    const int threads = std::max(1, options_.total_threads / std::max(1, want));
+    std::vector<std::string> env_storage;
+    for (char** e = environ; *e != nullptr; ++e) {
+      if (std::strncmp(*e, "OMP_NUM_THREADS=", 16) != 0) env_storage.emplace_back(*e);
+    }
+    env_storage.push_back("OMP_NUM_THREADS=" + std::to_string(threads));
+    std::vector<char*> envp;
+    envp.reserve(env_storage.size() + 1);
+    for (std::string& e : env_storage) envp.push_back(e.data());
+    envp.push_back(nullptr);
+
+    for (int w = 0; w < want; ++w) {
+      auto channel = spawn(argv.data(), envp.data());
+      if (channel) channels.push_back(std::move(channel));
+    }
+    return channels;
+  }
+
+ private:
+  std::unique_ptr<Channel> spawn(char* const* argv, char* const* envp) {
+    int job_pipe[2] = {-1, -1};
+    int result_pipe[2] = {-1, -1};
+    if (::pipe(job_pipe) != 0) return nullptr;
+    if (::pipe(result_pipe) != 0) {
+      ::close(job_pipe[0]);
+      ::close(job_pipe[1]);
+      return nullptr;
+    }
+    // Parent-side ends must not leak into later-spawned siblings (a
+    // leaked job write-end would keep a worker's stdin open forever).
+    set_cloexec(job_pipe[1]);
+    set_cloexec(result_pipe[0]);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (const int fd : {job_pipe[0], job_pipe[1], result_pipe[0], result_pipe[1]})
+        ::close(fd);
+      return nullptr;
+    }
+    if (pid == 0) {
+      // Own process group, so shutdown's kill(-pid) reaps the worker AND
+      // anything it spawned (a --worker-command wrapper's children would
+      // otherwise outlive the timeout holding the inherited pipe ends).
+      ::setpgid(0, 0);
+      // The parent-side ends are CLOEXEC and vanish at exec; only the two
+      // child ends need moving. Guard the close for the launched-with-
+      // closed-stdio case where pipe() handed us fd 0 or 1 directly.
+      if (job_pipe[0] != STDIN_FILENO) {
+        ::dup2(job_pipe[0], STDIN_FILENO);
+        ::close(job_pipe[0]);
+      }
+      if (result_pipe[1] != STDOUT_FILENO) {
+        ::dup2(result_pipe[1], STDOUT_FILENO);
+        ::close(result_pipe[1]);
+      }
+      ::execve(argv[0], argv, envp);
+      _exit(127);  // exec failed; the parent sees EOF and falls back
+    }
+    ::close(job_pipe[0]);
+    ::close(result_pipe[1]);
+    return std::make_unique<PipeChannel>(pid, job_pipe[1], result_pipe[0]);
+  }
+
+  PipeTransportOptions options_;
+};
+
+// -- TCP transport --------------------------------------------------------
+
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_storage addr{};
+    socklen_t len = sizeof addr;
+    char host[NI_MAXHOST], port[NI_MAXSERV];
+    if (::getpeername(fd_, (sockaddr*)&addr, &len) == 0 &&
+        ::getnameinfo((sockaddr*)&addr, len, host, sizeof host, port, sizeof port,
+                      NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+      peer_ = std::string(host) + ":" + port;
+    } else {
+      peer_ = "tcp fd " + std::to_string(fd_);
+    }
+  }
+
+  ~TcpChannel() override { shutdown(); }
+
+  bool send_line(std::string_view line) override {
+    if (fd_ < 0) return false;
+    return write_all(fd_, std::string(line) + "\n");
+  }
+
+  void finish_input() override {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);  // worker's read loop sees EOF
+  }
+
+  int read_fd() const override { return fd_; }
+
+  long read_some(char* buffer, std::size_t size) override {
+    if (fd_ < 0) return 0;
+    const ssize_t n = ::read(fd_, buffer, size);
+    if (n < 0) return errno == EINTR ? -1 : 0;
+    return (long)n;
+  }
+
+  void shutdown() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::string describe() const override { return peer_; }
+  bool trusted() const override { return false; }
+
+ private:
+  int fd_ = -1;
+  std::string peer_;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options) : options_(std::move(options)) {
+    std::string host, port;
+    expects(split_host_port(options_.listen, host, port),
+            "sweep: --listen expects host:port, got \"" + options_.listen + "\"");
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* found = nullptr;
+    expects(::getaddrinfo(host.c_str(), port.c_str(), &hints, &found) == 0 && found != nullptr,
+            "sweep: cannot resolve listen address \"" + options_.listen + "\"");
+    for (addrinfo* ai = found; ai != nullptr && listen_fd_ < 0; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 64) == 0) {
+        set_cloexec(fd);
+        // Nonblocking accepts: a client that resets between poll() and
+        // accept() (the documented race) must yield EAGAIN, not block
+        // the whole scheduler event loop. Accepted sockets do not
+        // inherit the flag, so channels stay blocking as intended.
+        const int fl = ::fcntl(fd, F_GETFL);
+        if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+        listen_fd_ = fd;
+      } else {
+        ::close(fd);
+      }
+    }
+    ::freeaddrinfo(found);
+    expects(listen_fd_ >= 0, "sweep: cannot bind/listen on \"" + options_.listen + "\"");
+
+    // Resolve the actual port (the listen spec may have asked for 0).
+    sockaddr_storage bound{};
+    socklen_t len = sizeof bound;
+    char bound_host[NI_MAXHOST], bound_port[NI_MAXSERV];
+    if (::getsockname(listen_fd_, (sockaddr*)&bound, &len) == 0 &&
+        ::getnameinfo((sockaddr*)&bound, len, bound_host, sizeof bound_host, bound_port,
+                      sizeof bound_port, NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+      address_ = host + ":" + bound_port;  // keep the caller's host (0.0.0.0 etc.)
+    } else {
+      address_ = options_.listen;
+    }
+  }
+
+  ~TcpTransport() override {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  const char* name() const override { return "tcp"; }
+
+  std::vector<std::unique_ptr<Channel>> open(int want) override {
+    transport_log(options_.log, "[sweep] tcp: listening on " + address_);
+    if (options_.on_listen) options_.on_listen(address_);
+
+    std::vector<std::unique_ptr<Channel>> channels;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(options_.accept_wait_seconds);
+    // Wait for the first worker up to the accept window, then grab
+    // whatever else is already queued on the listener; late joiners are
+    // absorbed mid-run through accept_fd().
+    while ((int)channels.size() < want) {
+      const auto now = std::chrono::steady_clock::now();
+      int timeout_ms = 0;
+      if (channels.empty()) {
+        if (now >= deadline) break;
+        timeout_ms = (int)std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+                         .count() +
+                     1;
+      }
+      pollfd fd = {listen_fd_, POLLIN, 0};
+      const int ready = ::poll(&fd, 1, timeout_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) break;
+      auto channel = accept();
+      if (channel) {
+        transport_log(options_.log, "[sweep] tcp: worker connected from " + channel->describe());
+        channels.push_back(std::move(channel));
+      }
+    }
+    return channels;
+  }
+
+  int accept_fd() const override { return listen_fd_; }
+
+  std::unique_ptr<Channel> accept() override {
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        set_cloexec(fd);
+        return std::make_unique<TcpChannel>(fd);
+      }
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+  }
+
+ private:
+  TcpTransportOptions options_;
+  int listen_fd_ = -1;
+  std::string address_;
+};
+
+// -- TCP worker side ------------------------------------------------------
+
+/// Minimal bidirectional streambuf over one socket fd, so the TCP worker
+/// reuses the exact run_worker_loop the pipe worker runs on stdin/stdout.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setp(out_, out_ + sizeof out_ - 1); }
+
+ protected:
+  int_type underflow() override {
+    while (true) {
+      const ssize_t n = ::read(fd_, in_, sizeof in_);
+      if (n > 0) {
+        setg(in_, in_, in_ + n);
+        return traits_type::to_int_type(*gptr());
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return traits_type::eof();
+    }
+  }
+
+  int_type overflow(int_type c) override {
+    if (!traits_type::eq_int_type(c, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(c);
+      pbump(1);
+    }
+    return sync() == 0 ? traits_type::not_eof(c) : traits_type::eof();
+  }
+
+  int sync() override {
+    const std::size_t pending = (std::size_t)(pptr() - pbase());
+    if (pending > 0 && !write_all(fd_, std::string_view(pbase(), pending))) return -1;
+    setp(out_, out_ + sizeof out_ - 1);
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+int connect_with_retry(const std::string& host, const std::string& port, double wait_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(wait_seconds);
+  while (true) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &found) == 0) {
+      for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+          ::freeaddrinfo(found);
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          return fd;
+        }
+        ::close(fd);
+      }
+      ::freeaddrinfo(found);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    // The scheduler may simply not be listening yet (a worker fleet is
+    // often launched before or alongside its scheduler) — retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> make_pipe_transport(PipeTransportOptions options) {
+  if (options.executable.empty()) return nullptr;
+  return std::make_unique<PipeTransport>(std::move(options));
+}
+
+std::unique_ptr<Transport> make_tcp_transport(TcpTransportOptions options) {
+  return std::make_unique<TcpTransport>(std::move(options));
+}
+
+bool run_tcp_worker(const std::string& connect_spec, double heartbeat_seconds,
+                    double connect_wait_seconds) {
+  std::string host, port;
+  if (!split_host_port(connect_spec, host, port)) return false;
+
+  // A scheduler that times this worker out closes the socket mid-write;
+  // that must surface as a stream error, not a fatal SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const int fd = connect_with_retry(host, port, connect_wait_seconds);
+  if (fd < 0) return false;
+
+  FdStreamBuf buffer(fd);
+  std::istream in(&buffer);
+  std::ostream out(&buffer);
+  WorkerLoopOptions options;
+  options.heartbeat_seconds = heartbeat_seconds;
+  run_worker_loop(in, out, options);
+  // Clean end = the scheduler drained its queue and half-closed; a write
+  // failure mid-job leaves the stream bad.
+  const bool clean = !out.bad();
+  ::close(fd);
+  return clean;
+}
+
+#else  // !__unix__
+
+std::unique_ptr<Transport> make_pipe_transport(PipeTransportOptions) { return nullptr; }
+std::unique_ptr<Transport> make_tcp_transport(TcpTransportOptions) { return nullptr; }
+bool run_tcp_worker(const std::string&, double, double) { return false; }
+
+#endif  // __unix__
+
+}  // namespace cmetile::sweep

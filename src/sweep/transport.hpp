@@ -1,0 +1,116 @@
+#pragma once
+// Worker transports for the sweep scheduler (DESIGN.md §13). A Channel is
+// one connected worker speaking the line protocol of sweep/protocol.hpp;
+// a Transport establishes channels. Two backends:
+//
+//  - PipeTransport: fork+exec N copies of a worker binary with stdin/
+//    stdout on fresh pipes (the original --jobs=N mode, single machine).
+//    Pipe workers run the same binary image the scheduler resolved, so
+//    their channels start trusted; the hello they send is still verified
+//    when it arrives (a custom --worker-command from a stale build is
+//    refused by the salt check).
+//  - TcpTransport: bind a listening socket ("host:port", port 0 picks an
+//    ephemeral one) and adopt workers that connect with --connect. TCP
+//    channels start untrusted: no job is dispatched until their hello
+//    passes the protocol-version + code-version-salt handshake. The
+//    listener stays open for the whole run, so late joiners and restarted
+//    workers are absorbed mid-sweep (reconnect-tolerant dispatch).
+//
+// The scheduler owns the event loop (poll over Channel::read_fd plus
+// Transport::accept_fd); channels only move bytes. Everything here is
+// POSIX-only — on other platforms the factories return nullptr and the
+// scheduler computes in-process.
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmetile::sweep {
+
+/// One connected worker. All methods are scheduler-thread only.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Send one protocol line (terminator appended). False = peer is gone;
+  /// the caller discards the channel (the line was not delivered).
+  virtual bool send_line(std::string_view line) = 0;
+
+  /// No more jobs will be sent: close/half-close the write side so the
+  /// worker's read loop sees EOF and exits cleanly. Reading still works.
+  virtual void finish_input() = 0;
+
+  /// Readable fd for poll(); -1 once shut down.
+  virtual int read_fd() const = 0;
+
+  /// Nonblocking-ish read after poll() flagged read_fd readable:
+  /// > 0 bytes read, 0 = EOF/peer dead, -1 = transient (EINTR), retry.
+  virtual long read_some(char* buffer, std::size_t size) = 0;
+
+  /// Tear the connection down immediately (kills a subprocess worker; a
+  /// TCP peer just sees its socket close). Idempotent.
+  virtual void shutdown() = 0;
+
+  /// Loggable peer identity ("pid 1234", "127.0.0.1:51324").
+  virtual std::string describe() const = 0;
+
+  /// True when jobs may be dispatched before the hello arrives (pipe
+  /// workers); TCP workers must complete the handshake first.
+  virtual bool trusted() const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual const char* name() const = 0;
+
+  /// Establish the initial channels, at most `want`. PipeTransport spawns
+  /// subprocesses; TcpTransport waits up to its accept window for the
+  /// first worker(s) to connect. Empty = transport unusable (the
+  /// scheduler falls back in-process).
+  virtual std::vector<std::unique_ptr<Channel>> open(int want) = 0;
+
+  /// fd to poll for new incoming connections; -1 when the transport
+  /// cannot accept mid-run (pipes).
+  virtual int accept_fd() const { return -1; }
+
+  /// Accept one pending connection after accept_fd() polled readable;
+  /// nullptr when none is actually ready.
+  virtual std::unique_ptr<Channel> accept() { return nullptr; }
+};
+
+struct PipeTransportOptions {
+  std::string executable;            ///< worker binary (required)
+  double heartbeat_seconds = 5.0;    ///< forwarded as --heartbeat=S
+  int total_threads = 1;             ///< machine budget split across workers
+};
+
+struct TcpTransportOptions {
+  std::string listen;                ///< "host:port"; port 0 = ephemeral
+  double accept_wait_seconds = 30.0; ///< open(): max wait for first worker
+  /// Invoked once with the bound "host:port" (the resolved ephemeral port
+  /// included) before waiting for workers — tests and drivers launch
+  /// their --connect workers from here.
+  std::function<void(const std::string&)> on_listen;
+  std::ostream* log = nullptr;
+};
+
+/// nullptr on non-POSIX platforms or when the executable is empty.
+std::unique_ptr<Transport> make_pipe_transport(PipeTransportOptions options);
+
+/// Binds and listens immediately; throws contract_error when the listen
+/// spec is malformed or the socket cannot be bound. nullptr on non-POSIX.
+std::unique_ptr<Transport> make_tcp_transport(TcpTransportOptions options);
+
+/// Worker side of the TCP transport: connect to a scheduler's --listen
+/// address (retrying for `connect_wait_seconds` so a worker may start
+/// before its scheduler), send the hello, and serve the protocol loop
+/// until the scheduler closes the connection. Returns false when the
+/// connection could not be established or was lost mid-job.
+bool run_tcp_worker(const std::string& connect_spec, double heartbeat_seconds,
+                    double connect_wait_seconds = 15.0);
+
+}  // namespace cmetile::sweep

@@ -28,6 +28,15 @@ TEST(CliArgs, ParsesFlagAndKeyValueForms) {
   EXPECT_EQ(args.get_int("absent", -7), -7);
 }
 
+TEST(CliArgs, StrictDoubleAcceptsNumbersOnly) {
+  const CliArgs args = make_args({"--good=2.5", "--zero=0", "--junk=5s", "--word=abc"});
+  EXPECT_EQ(args.get_double_strict("good", 0.0), 2.5);
+  EXPECT_EQ(args.get_double_strict("zero", 1.0), 0.0);
+  EXPECT_EQ(args.get_double_strict("absent", 5.0), 5.0);
+  EXPECT_THROW(args.get_double_strict("junk", 0.0), contract_error);
+  EXPECT_THROW(args.get_double_strict("word", 0.0), contract_error);
+}
+
 TEST(CliArgs, StrictIntAcceptsIntegersOnly) {
   const CliArgs args =
       make_args({"--good=123", "--negative=-5", "--junk=12x", "--empty=", "--word=abc",
@@ -46,13 +55,23 @@ TEST(SweepFlags, DefaultsMatchDocumentation) {
   EXPECT_EQ(flags.jobs, 1);
   EXPECT_EQ(flags.cache_dir, kDefaultCacheDir);
   EXPECT_FALSE(flags.no_cache);
+  EXPECT_TRUE(flags.listen.empty());
+  EXPECT_FALSE(flags.progress);
+  EXPECT_FALSE(flags.cache_gc);
+  EXPECT_EQ(flags.cache_max_mb, 256);
   // The --help paragraph documents the same defaults.
   const std::string help = sweep_flags_help();
   EXPECT_NE(help.find("--jobs"), std::string::npos);
   EXPECT_NE(help.find("--cache-dir"), std::string::npos);
   EXPECT_NE(help.find("--no-cache"), std::string::npos);
+  EXPECT_NE(help.find("--listen"), std::string::npos);
+  EXPECT_NE(help.find("--connect"), std::string::npos);
+  EXPECT_NE(help.find("--progress"), std::string::npos);
+  EXPECT_NE(help.find("--cache-gc"), std::string::npos);
+  EXPECT_NE(help.find("--cache-max-mb"), std::string::npos);
   EXPECT_NE(help.find(kDefaultCacheDir), std::string::npos);
   EXPECT_NE(help.find("default 1"), std::string::npos);
+  EXPECT_NE(help.find("default 256"), std::string::npos);
 }
 
 TEST(SweepFlags, ParsesValidValues) {
@@ -67,6 +86,26 @@ TEST(SweepFlags, ParsesValidValues) {
   EXPECT_EQ(parse_sweep_flags(make_args({"--jobs=512"})).jobs, 512);
 }
 
+TEST(SweepFlags, ParsesDistributedAndLifecycleFlags) {
+  const SweepCliFlags flags = parse_sweep_flags(
+      make_args({"--listen=0.0.0.0:9000", "--progress", "--cache-gc", "--cache-max-mb=64"}));
+  EXPECT_EQ(flags.listen, "0.0.0.0:9000");
+  EXPECT_TRUE(flags.progress);
+  EXPECT_TRUE(flags.cache_gc);
+  EXPECT_EQ(flags.cache_max_mb, 64);
+
+  // Port 0 (ephemeral) is valid — tests and drivers rely on it.
+  EXPECT_EQ(parse_sweep_flags(make_args({"--listen=127.0.0.1:0"})).listen, "127.0.0.1:0");
+  // A byte budget alone implies gc: "bound my cache" should just work.
+  const SweepCliFlags budget_only = parse_sweep_flags(make_args({"--cache-max-mb=8"}));
+  EXPECT_TRUE(budget_only.cache_gc);
+  EXPECT_EQ(budget_only.cache_max_mb, 8);
+  EXPECT_FALSE(parse_sweep_flags(make_args({})).cache_gc);
+  // ...but an explicit --cache-gc=false wins over the implication.
+  EXPECT_FALSE(
+      parse_sweep_flags(make_args({"--cache-gc=false", "--cache-max-mb=8"})).cache_gc);
+}
+
 TEST(SweepFlags, RejectsBadValues) {
   EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=0"})), contract_error);
   EXPECT_THROW(parse_sweep_flags(make_args({"--jobs=-2"})), contract_error);
@@ -76,6 +115,15 @@ TEST(SweepFlags, RejectsBadValues) {
   EXPECT_THROW(parse_sweep_flags(make_args({"--jobs="})), contract_error);
   EXPECT_THROW(parse_sweep_flags(make_args({"--cache-dir="})), contract_error);
   EXPECT_THROW(parse_sweep_flags(make_args({"--no-cache=banana"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--listen=nohost"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--listen=:9000"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--listen=host:"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--listen=host:port"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--listen=host:70000"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--progress=banana"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--cache-gc=banana"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--cache-max-mb=0"})), contract_error);
+  EXPECT_THROW(parse_sweep_flags(make_args({"--cache-max-mb=huge"})), contract_error);
 }
 
 }  // namespace

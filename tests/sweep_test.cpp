@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -291,6 +292,117 @@ TEST_F(ResultCacheTest, AppendedRecordsLastValidWins) {
   EXPECT_EQ(back->tiling.ga_evaluations, 999);
 }
 
+namespace {
+
+/// Backdate a cell file's mtime by `seconds` (the LRU signal gc sorts by).
+void age_file(const std::string& path, double seconds) {
+  const auto mtime = std::filesystem::file_time_type::clock::now() -
+                     std::chrono::duration_cast<std::filesystem::file_time_type::duration>(
+                         std::chrono::duration<double>(seconds));
+  std::filesystem::last_write_time(path, mtime);
+}
+
+}  // namespace
+
+TEST_F(ResultCacheTest, StatsCountCellsBytesAndAges) {
+  const ResultCache cache(dir_);
+  EXPECT_EQ(cache.stats().cells, 0u);
+
+  const std::vector<SweepCell> cells = tiny_tiling_spec().cells();
+  const Fingerprint young = fingerprint_of(cells[0]);
+  const Fingerprint old = fingerprint_of(cells[1]);
+  ASSERT_TRUE(cache.store(young, sample_tiling_result()));
+  ASSERT_TRUE(cache.store(old, sample_tiling_result()));
+  age_file(cache.path_of(old), 2 * 86400.0);  // two days idle
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.cells, 2u);
+  EXPECT_EQ(stats.bytes, std::filesystem::file_size(cache.path_of(young)) +
+                             std::filesystem::file_size(cache.path_of(old)));
+  EXPECT_EQ(stats.age_histogram[0], 1u);  // < 1 min: the fresh store
+  EXPECT_EQ(stats.age_histogram[3], 1u);  // < 1 week: the aged one
+}
+
+TEST_F(ResultCacheTest, GcEvictsLruToByteBudget) {
+  const ResultCache cache(dir_);
+  const std::vector<SweepCell> cells = tiny_tiling_spec().cells();
+  const Fingerprint oldest = fingerprint_of(cells[0]);
+  const Fingerprint middle = fingerprint_of(cells[1]);
+  SweepCell third_cell = cells[0];
+  third_cell.options.seed ^= 0x5005;
+  const Fingerprint newest = fingerprint_of(third_cell);
+  ASSERT_TRUE(cache.store(oldest, sample_tiling_result()));
+  ASSERT_TRUE(cache.store(middle, sample_tiling_result()));
+  ASSERT_TRUE(cache.store(newest, sample_tiling_result()));
+  age_file(cache.path_of(oldest), 3600.0);
+  age_file(cache.path_of(middle), 1800.0);
+
+  // Budget for exactly one cell: the two least recently used go.
+  GcOptions options;
+  options.max_bytes = std::filesystem::file_size(cache.path_of(newest));
+  const GcStats stats = cache.gc(options);
+  EXPECT_EQ(stats.scanned, 3u);
+  EXPECT_EQ(stats.evicted, 2u);
+  EXPECT_LE(stats.bytes_after, options.max_bytes);
+  EXPECT_FALSE(cache.load(oldest).has_value());
+  EXPECT_FALSE(cache.load(middle).has_value());
+  EXPECT_TRUE(cache.load(newest).has_value());
+}
+
+TEST_F(ResultCacheTest, GcNeverEvictsTouchedOrKeptCells) {
+  const ResultCache cache(dir_);
+  const std::vector<SweepCell> cells = tiny_tiling_spec().cells();
+  const Fingerprint touched = fingerprint_of(cells[0]);
+  const Fingerprint kept = fingerprint_of(cells[1]);
+  SweepCell cold_cell = cells[0];
+  cold_cell.options.seed ^= 0xC01D;
+  const Fingerprint cold = fingerprint_of(cold_cell);
+  for (const Fingerprint& fp : {touched, kept, cold}) {
+    ASSERT_TRUE(cache.store(fp, sample_tiling_result()));
+    age_file(cache.path_of(fp), 7200.0);  // all equally stale...
+  }
+  // ...until a hit: load() bumps the mtime, making `touched` the LRU
+  // youngest — cells touched this run outlive any over-budget eviction
+  // that leaves room for them.
+  ASSERT_TRUE(cache.load(touched).has_value());
+  GcOptions lru;
+  lru.max_bytes = std::filesystem::file_size(cache.path_of(touched));
+  (void)cache.gc(lru);
+  EXPECT_TRUE(cache.load(touched).has_value());
+  EXPECT_FALSE(cache.load(cold).has_value());
+
+  // The keep-set is absolute: a zero budget with `kept` protected evicts
+  // everything else but never the protected fingerprint.
+  ASSERT_TRUE(cache.store(kept, sample_tiling_result()));
+  ASSERT_TRUE(cache.store(cold, sample_tiling_result()));
+  GcOptions zero;
+  zero.max_bytes = 0;
+  const Fingerprint keep_list[] = {kept};
+  const GcStats stats = cache.gc(zero, keep_list);
+  EXPECT_TRUE(cache.load(kept).has_value());
+  EXPECT_FALSE(cache.load(touched).has_value());
+  EXPECT_FALSE(cache.load(cold).has_value());
+  EXPECT_EQ(cache.cell_count(), 1u);
+  EXPECT_GT(stats.evicted, 0u);
+}
+
+TEST_F(ResultCacheTest, GcMaxAgeDropsIdleCellsEvenUnderBudget) {
+  const ResultCache cache(dir_);
+  const std::vector<SweepCell> cells = tiny_tiling_spec().cells();
+  const Fingerprint fresh = fingerprint_of(cells[0]);
+  const Fingerprint idle = fingerprint_of(cells[1]);
+  ASSERT_TRUE(cache.store(fresh, sample_tiling_result()));
+  ASSERT_TRUE(cache.store(idle, sample_tiling_result()));
+  age_file(cache.path_of(idle), 10 * 86400.0);
+
+  GcOptions options;  // huge byte budget; only the age limit bites
+  options.max_age_seconds = 7 * 86400.0;
+  const GcStats stats = cache.gc(options);
+  EXPECT_EQ(stats.evicted, 1u);
+  EXPECT_TRUE(cache.load(fresh).has_value());
+  EXPECT_FALSE(cache.load(idle).has_value());
+}
+
 #ifdef __unix__
 TEST_F(ResultCacheTest, ConcurrentWriterProcessesDoNotCorrupt) {
   // Two child processes hammer store() on the same fingerprint while the
@@ -461,6 +573,7 @@ TEST_F(SchedulerTest, MultiProcessShardsMatchSerialRows) {
   const SweepRun got = run_sweep(spec, sharded);
   EXPECT_EQ(got.stats.worker_failures, 0u);
   EXPECT_EQ(got.stats.computed, 2u);
+  EXPECT_EQ(got.stats.remote, 2u);  // every cold cell crossed a pipe
   ASSERT_EQ(got.results.size(), want.results.size());
   for (std::size_t i = 0; i < got.results.size(); ++i)
     expect_tiling_rows_equal(got.results[i].tiling, want.results[i].tiling);
@@ -472,16 +585,32 @@ TEST_F(SchedulerTest, MultiProcessShardsMatchSerialRows) {
     expect_tiling_rows_equal(warm.results[i].tiling, want.results[i].tiling);
 }
 
-TEST_F(SchedulerTest, DeadWorkerFallsBackInProcess) {
+TEST_F(SchedulerTest, DeadWorkerFallsBackInProcessAndProgressSeesIt) {
   const SweepSpec spec = tiny_tiling_spec(23);
   SchedulerOptions opt = options(2);
   opt.worker_command = "/bin/false";  // exits immediately: every shard dies
+  std::vector<SweepProgress> snapshots;  // callbacks are serialized
+  opt.progress = [&](const SweepProgress& p) { snapshots.push_back(p); };
   const SweepRun run = run_sweep(spec, opt);
   // All rows still computed (in-process fallback). worker_failures counts
   // only cells a worker actually received before dying, which races with
   // how fast /bin/false exits — bounded, not pinned.
   EXPECT_EQ(run.stats.computed, 2u);
   EXPECT_LE(run.stats.worker_failures, 2u);
+  EXPECT_EQ(run.stats.remote, 0u);  // /bin/false never returned a row
+
+  // The per-cell worker failures are observable in the progress stream,
+  // and the final snapshot accounts for every cell as a local recompute.
+  ASSERT_FALSE(snapshots.empty());
+  const SweepProgress& last = snapshots.back();
+  EXPECT_EQ(last.cells_total, 2u);
+  EXPECT_EQ(last.done, 2u);
+  EXPECT_EQ(last.failed_workers, run.stats.worker_failures);
+  EXPECT_EQ(last.computed_local, 2u);
+  EXPECT_EQ(last.computed_remote, 0u);
+  for (std::size_t i = 1; i < snapshots.size(); ++i)
+    EXPECT_GE(snapshots[i].done, snapshots[i - 1].done);  // monotone
+
   const SweepRun warm = run_sweep(spec, options());
   EXPECT_EQ(warm.stats.cache_hits, 2u);
 }
@@ -516,41 +645,85 @@ TEST(Scheduler, RejectsUnusableSpecs) {
 
 TEST(WorkerLoop, AnswersJobsAndSurvivesGarbage) {
   const SweepSpec spec = tiny_tiling_spec();
-  Json job = Json::object();
-  job.set("id", Json::integer(42));
-  job.set("cell", json_of_cell(spec.cells()[0]));
 
   std::istringstream in("this is not json\n{\"id\":7,\"cell\":{\"kind\":\"nope\"}}\n" +
-                        job.dump() + "\n");
+                        job_line(42, spec.cells()[0]) + "\n");
   std::ostringstream out;
-  run_worker_loop(in, out);
+  run_worker_loop(in, out);  // default options: hello + ack, heartbeats idle
 
   std::istringstream lines(out.str());
   std::string line;
 
+  // 1. The handshake comes first, before any job is read, and carries
+  //    this build's protocol version and code-version salt.
   ASSERT_TRUE(std::getline(lines, line));
-  std::optional<Json> response = Json::parse(line);
-  ASSERT_TRUE(response.has_value());
-  EXPECT_FALSE(response->find("ok")->as_bool(true));
+  WorkerMessage msg = parse_worker_message(line);
+  ASSERT_EQ(msg.kind, WorkerMessage::Kind::Hello);
+  EXPECT_EQ(msg.protocol, kProtocolVersion);
+  EXPECT_EQ(msg.salt, kCodeVersionSalt);
+  EXPECT_TRUE(handshake_accepts(msg));
+
+  // 2. Garbage line: an error response, no ack (the job never started).
+  ASSERT_TRUE(std::getline(lines, line));
+  msg = parse_worker_message(line);
+  ASSERT_EQ(msg.kind, WorkerMessage::Kind::Result);
+  EXPECT_FALSE(msg.ok);
+
+  // 3. Malformed cell: error response carrying the job id.
+  ASSERT_TRUE(std::getline(lines, line));
+  msg = parse_worker_message(line);
+  ASSERT_EQ(msg.kind, WorkerMessage::Kind::Result);
+  EXPECT_EQ(msg.id, 7);
+  EXPECT_FALSE(msg.ok);
+
+  // 4. Real job: ack (liveness), then the result, in that order.
+  ASSERT_TRUE(std::getline(lines, line));
+  msg = parse_worker_message(line);
+  ASSERT_EQ(msg.kind, WorkerMessage::Kind::Ack);
+  EXPECT_EQ(msg.id, 42);
 
   ASSERT_TRUE(std::getline(lines, line));
-  response = Json::parse(line);
-  ASSERT_TRUE(response.has_value());
-  EXPECT_EQ(response->find("id")->as_int(), 7);
-  EXPECT_FALSE(response->find("ok")->as_bool(true));
-
-  ASSERT_TRUE(std::getline(lines, line));
-  response = Json::parse(line);
-  ASSERT_TRUE(response.has_value());
-  EXPECT_EQ(response->find("id")->as_int(), 42);
-  ASSERT_TRUE(response->find("ok")->as_bool(false));
-  const std::optional<CellResult> result = result_of_json(*response->find("result"));
-  ASSERT_TRUE(result.has_value());
+  msg = parse_worker_message(line);
+  ASSERT_EQ(msg.kind, WorkerMessage::Kind::Result);
+  EXPECT_EQ(msg.id, 42);
+  ASSERT_TRUE(msg.ok);
+  ASSERT_TRUE(msg.result.has_value());
   // The worker computed the same row the local driver computes.
   const CellResult local = run_cell(spec.cells()[0]);
-  expect_tiling_rows_equal(result->tiling, local.tiling);
+  expect_tiling_rows_equal(msg.result->tiling, local.tiling);
 
-  EXPECT_FALSE(std::getline(lines, line));  // exactly one response per job
+  EXPECT_FALSE(std::getline(lines, line));  // result is the last line per job
+}
+
+TEST(WorkerLoop, HandshakeRejectsSaltAndVersionMismatches) {
+  // A worker built from different sources computes rows under different
+  // semantics; the scheduler must refuse it at the handshake.
+  WorkerMessage stale = parse_worker_message(hello_line(kCodeVersionSalt + 1));
+  ASSERT_EQ(stale.kind, WorkerMessage::Kind::Hello);
+  std::string detail;
+  EXPECT_FALSE(handshake_accepts(stale, &detail));
+  EXPECT_NE(detail.find("salt"), std::string::npos);
+
+  WorkerMessage current = parse_worker_message(hello_line());
+  EXPECT_TRUE(handshake_accepts(current));
+  current.protocol = kProtocolVersion + 1;
+  EXPECT_FALSE(handshake_accepts(current, &detail));
+  EXPECT_NE(detail.find("protocol"), std::string::npos);
+
+  // Not-a-hello never passes.
+  EXPECT_FALSE(handshake_accepts(parse_worker_message(ack_line(1)), &detail));
+
+  // A worker can emit a mismatching hello (tests and future builds);
+  // the loop honors the injected salt.
+  WorkerLoopOptions options;
+  options.salt = kCodeVersionSalt ^ 0xBADF00D;
+  std::istringstream in("");
+  std::ostringstream out;
+  run_worker_loop(in, out, options);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(parse_worker_message(line).salt, options.salt);
 }
 
 }  // namespace

@@ -1,0 +1,437 @@
+// Transport-parametrized scheduler tests (DESIGN.md §13): the pipe and
+// TCP backends must produce bit-identical rows, the TCP handshake must
+// refuse a worker with a mismatched code-version salt, heartbeats must
+// keep slow-but-healthy workers alive across the per-cell timeout, and a
+// silenced worker must be expired and its cell recomputed in-process.
+//
+// This binary defines its own main: it is its own worker fleet — the
+// tests fork+exec /proc/self/exe with --connect=host:port (TCP) or let
+// the scheduler spawn it with --sweep-worker (pipes).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/scheduler.hpp"
+#include "sweep/transport.hpp"
+
+#ifdef __unix__
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace cmetile::sweep {
+namespace {
+
+std::string unique_dir(const char* tag) {
+  static std::atomic<int> counter{0};
+#ifdef __unix__
+  const long pid = (long)::getpid();
+#else
+  const long pid = 0;
+#endif
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cmetile_transport_test_" + std::to_string(pid) + "_" + tag + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+SweepSpec tiny_tiling_spec(std::uint64_t seed = 31) {
+  SweepSpec spec;
+  spec.kind = SweepKind::Tiling;
+  spec.entries = {{"MM", 20}, {"T2D", 32}, {"MM", 24}};
+  spec.caches = {cache::CacheConfig::direct_mapped(1024, 32)};
+  spec.options.seed = seed;
+  spec.options.optimizer.shrink_for_smoke();
+  return spec;
+}
+
+void expect_tiling_rows_equal(const core::TilingRow& a, const core::TilingRow& b) {
+  EXPECT_EQ(a.label, b.label);
+  // Exact double compares: a row that crossed a socket must equal the
+  // locally computed one in every bit.
+  EXPECT_EQ(a.no_tiling_total, b.no_tiling_total);
+  EXPECT_EQ(a.no_tiling_repl, b.no_tiling_repl);
+  EXPECT_EQ(a.tiling_total, b.tiling_total);
+  EXPECT_EQ(a.tiling_repl, b.tiling_repl);
+  EXPECT_EQ(a.tiles.t, b.tiles.t);
+  EXPECT_EQ(a.ga_evaluations, b.ga_evaluations);
+}
+
+TEST(HostPort, SplitsAndRejects) {
+  std::string host, port;
+  ASSERT_TRUE(split_host_port("127.0.0.1:9000", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, "9000");
+  ASSERT_TRUE(split_host_port("::1:0", host, port));  // last colon splits
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, "0");
+  for (const char* bad : {"nohost", ":9000", "host:", "host:abc", "host:70000", "host:-1"})
+    EXPECT_FALSE(split_host_port(bad, host, port)) << bad;
+}
+
+#ifdef __unix__
+
+/// fork+exec this very binary with one extra flag (a --connect worker).
+pid_t spawn_self(const std::string& flag) {
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n <= 0) return -1;
+  self[n] = '\0';
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(self, self, flag.c_str(), (char*)nullptr);
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+class TransportTest : public ::testing::Test {
+ protected:
+  std::string dir_ = unique_dir("transport");
+
+  SchedulerOptions options() const {
+    SchedulerOptions out;
+    out.cache_dir = dir_;
+    return out;
+  }
+
+  ~TransportTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+};
+
+TEST_F(TransportTest, PipeAndTcpProduceIdenticalRows) {
+  const SweepSpec spec = tiny_tiling_spec(41);
+
+  SchedulerOptions serial = options();
+  serial.use_cache = false;
+  const SweepRun want = run_sweep(spec, serial);
+
+  SchedulerOptions pipe = options();
+  pipe.use_cache = false;
+  pipe.jobs = 2;
+  const SweepRun via_pipe = run_sweep(spec, pipe);
+  EXPECT_EQ(via_pipe.stats.worker_failures, 0u);
+  EXPECT_EQ(via_pipe.stats.remote, spec.entries.size());
+
+  SchedulerOptions tcp = options();
+  tcp.use_cache = false;
+  tcp.listen = "127.0.0.1:0";  // ephemeral port; workers learn it below
+  tcp.accept_wait_seconds = 30.0;
+  std::vector<pid_t> fleet;
+  tcp.on_listen = [&](const std::string& address) {
+    for (int w = 0; w < 2; ++w) fleet.push_back(spawn_self("--connect=" + address));
+  };
+  const SweepRun via_tcp = run_sweep(spec, tcp);
+  EXPECT_EQ(via_tcp.stats.worker_failures, 0u);
+  EXPECT_EQ(via_tcp.stats.remote, spec.entries.size());
+
+  ASSERT_EQ(fleet.size(), 2u);
+  for (const pid_t pid : fleet) EXPECT_EQ(wait_exit(pid), 0);  // clean drain
+
+  ASSERT_EQ(via_pipe.results.size(), want.results.size());
+  ASSERT_EQ(via_tcp.results.size(), want.results.size());
+  for (std::size_t i = 0; i < want.results.size(); ++i) {
+    expect_tiling_rows_equal(via_pipe.results[i].tiling, want.results[i].tiling);
+    expect_tiling_rows_equal(via_tcp.results[i].tiling, want.results[i].tiling);
+  }
+}
+
+TEST_F(TransportTest, TcpSchedulerCheckpointsLikeThePipePath) {
+  const SweepSpec spec = tiny_tiling_spec(43);
+  SchedulerOptions tcp = options();
+  tcp.listen = "127.0.0.1:0";
+  std::vector<pid_t> fleet;
+  tcp.on_listen = [&](const std::string& address) {
+    fleet.push_back(spawn_self("--connect=" + address));
+  };
+  const SweepRun cold = run_sweep(spec, tcp);
+  EXPECT_EQ(cold.stats.remote, spec.entries.size());
+  for (const pid_t pid : fleet) EXPECT_EQ(wait_exit(pid), 0);
+
+  // Every remote result was checkpointed: the rerun needs no workers.
+  const SweepRun warm = run_sweep(spec, options());
+  EXPECT_EQ(warm.stats.cache_hits, spec.entries.size());
+  for (std::size_t i = 0; i < warm.results.size(); ++i)
+    expect_tiling_rows_equal(warm.results[i].tiling, cold.results[i].tiling);
+}
+
+/// Raw TCP connect to a scheduler's bound address; -1 on failure.
+int connect_raw(const std::string& address) {
+  std::string host, port;
+  if (!split_host_port(address, host, port)) return -1;
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &found) != 0) return -1;
+  int fd = -1;
+  for (addrinfo* ai = found; ai != nullptr && fd < 0; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd >= 0 && ::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ::freeaddrinfo(found);
+  return fd;
+}
+
+/// Raw TCP client that sends one line, then blocks until the scheduler
+/// hangs up. Fails the test if a job is ever dispatched to it — whatever
+/// the first line was, an unhandshaken peer must never receive cells.
+void impostor_client(const std::string& address, const std::string& first_line) {
+  const int fd = connect_raw(address);
+  ASSERT_GE(fd, 0);
+  const std::string line = first_line + "\n";
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL), (ssize_t)line.size());
+  char buffer[4096];
+  ssize_t got = 0;
+  while ((got = ::recv(fd, buffer, sizeof buffer, 0)) > 0) {
+    const std::string_view bytes(buffer, (std::size_t)got);
+    EXPECT_EQ(bytes.find("\"cell\""), std::string_view::npos)
+        << "scheduler dispatched a job to an unhandshaken worker";
+  }
+  ::close(fd);
+}
+
+/// Raw client that drips newline-less bytes until the scheduler hangs up
+/// (or a 10 s cap, so a regression cannot hang the test).
+void dripping_impostor(const std::string& address) {
+  const int fd = connect_raw(address);
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 200; ++i) {
+    if (::send(fd, "x", 1, MSG_NOSIGNAL) != 1) break;  // scheduler hung up
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::close(fd);
+}
+
+/// Run the spec with a TCP listener whose only "worker" is an impostor
+/// sending `first_line`; returns the run and the scheduler log. The
+/// sweep must complete via the in-process fallback without the impostor
+/// ever counting as a worker failure (it never held a cell).
+SweepRun run_with_impostor(const SchedulerOptions& base, const SweepSpec& spec,
+                           const std::string& first_line, std::string* log_text) {
+  std::ostringstream log;
+  std::thread impostor;
+  SchedulerOptions tcp = base;
+  tcp.use_cache = false;
+  tcp.listen = "127.0.0.1:0";
+  tcp.accept_wait_seconds = 1.0;  // short reconnect window keeps tests fast
+  tcp.log = &log;
+  tcp.on_listen = [&](const std::string& address) {
+    impostor = std::thread(impostor_client, address, first_line);
+  };
+  const SweepRun run = run_sweep(spec, tcp);
+  impostor.join();
+  *log_text = log.str();
+  return run;
+}
+
+TEST_F(TransportTest, HandshakeRejectsSaltMismatchedWorker) {
+  // A client that speaks the protocol shape but carries a foreign
+  // code-version salt — as a stale build on another machine would.
+  const SweepSpec spec = tiny_tiling_spec(47);
+  std::string log;
+  const SweepRun run =
+      run_with_impostor(options(), spec, hello_line(kCodeVersionSalt + 1), &log);
+  EXPECT_EQ(run.stats.computed, spec.entries.size());
+  EXPECT_EQ(run.stats.remote, 0u);
+  EXPECT_EQ(run.stats.worker_failures, 0u);
+  EXPECT_NE(log.find("salt mismatch"), std::string::npos) << log;
+
+  const SweepRun want = run_sweep(spec, [this] {
+    SchedulerOptions serial = options();
+    serial.use_cache = false;
+    return serial;
+  }());
+  for (std::size_t i = 0; i < want.results.size(); ++i)
+    expect_tiling_rows_equal(run.results[i].tiling, want.results[i].tiling);
+}
+
+TEST_F(TransportTest, BabblingControlLinesCannotPinTheScheduler) {
+  // A connected client that never handshakes but emits an idle-shaped
+  // control line ({"id":-1,...} matches an idle worker's job field) must
+  // be dropped as protocol confusion, not kept alive — tolerating it
+  // would refresh its liveness deadline forever and hang the sweep.
+  const SweepSpec spec = tiny_tiling_spec(61);
+  std::string log;
+  const SweepRun run =
+      run_with_impostor(options(), spec, "{\"id\":-1,\"heartbeat\":true}", &log);
+  EXPECT_EQ(run.stats.computed, spec.entries.size());  // completed, locally
+  EXPECT_EQ(run.stats.remote, 0u);
+  EXPECT_EQ(run.stats.worker_failures, 0u);
+  EXPECT_NE(log.find("stray control line"), std::string::npos) << log;
+}
+
+TEST_F(TransportTest, NewlinelessDripDoesNotRefreshLiveness) {
+  // Bytes without a newline never advance the protocol, so they must not
+  // refresh the peer's liveness deadline: a dripping unhandshaken client
+  // is expired at the handshake timeout, not kept alive indefinitely.
+  const SweepSpec spec = tiny_tiling_spec(71);
+  std::ostringstream log;
+  std::thread impostor;
+  SchedulerOptions tcp = options();
+  tcp.use_cache = false;
+  tcp.listen = "127.0.0.1:0";
+  tcp.accept_wait_seconds = 1.0;
+  tcp.cell_timeout_seconds = 0.2;  // drips arrive every 50 ms — faster
+  tcp.log = &log;
+  tcp.on_listen = [&](const std::string& address) {
+    impostor = std::thread(dripping_impostor, address);
+  };
+  const SweepRun run = run_sweep(spec, tcp);
+  impostor.join();
+  EXPECT_EQ(run.stats.computed, spec.entries.size());
+  EXPECT_EQ(run.stats.worker_failures, 0u);  // it never held a cell
+  EXPECT_NE(log.str().find("timed out"), std::string::npos) << log.str();
+}
+
+/// Write an executable shell worker speaking whatever (mis)behavior the
+/// test needs. Keeps the liveness/robustness tests free of any
+/// assumption about real cell compute time.
+std::string write_raw_worker_script(const std::string& dir, const std::string& name,
+                                    const std::string& body) {
+  std::filesystem::create_directories(dir);
+  const std::string script = dir + "/" + name;
+  std::ofstream out(script);
+  out << "#!/bin/sh\n" << body;
+  out.close();
+  if (::chmod(script.c_str(), 0755) != 0) return {};
+  return script;
+}
+
+/// A well-behaved prelude: handshake, read the one job, ack it, then
+/// run `body`.
+std::string write_worker_script(const std::string& dir, const std::string& name,
+                                const std::string& body) {
+  return write_raw_worker_script(dir, name,
+                                 "echo '" + hello_line() + "'\n"
+                                 "read job\n"
+                                 "echo '" + ack_line(0) + "'\n" + body);
+}
+
+TEST_F(TransportTest, HeartbeatsKeepSlowCellsAliveAcrossTheTimeout) {
+  // A scripted worker that heartbeats for 2x the per-cell timeout before
+  // delivering a (real, precomputed) result: without the heartbeats the
+  // scheduler would expire it mid-"compute"; with them it must not.
+  SweepSpec spec = tiny_tiling_spec(53);
+  spec.entries = {{"MM", 20}};  // one cell; its index (= job id) is 0
+  const CellResult precomputed = run_cell(spec.cells()[0]);
+
+  // 12 beats 50 ms apart = 600 ms of in-flight silence-with-heartbeats
+  // against a 300 ms timeout; a 6x margin over shell sleep jitter.
+  const std::string script = write_worker_script(
+      dir_, "heartbeat_worker.sh",
+      "for i in 1 2 3 4 5 6 7 8 9 10 11 12; do\n"
+      "  sleep 0.05\n"
+      "  echo '" + heartbeat_line(0) + "'\n"
+      "done\n"
+      "echo '" + result_line(0, precomputed) + "'\n"
+      "read eof\n");  // wait for the scheduler's half-close, then exit
+  ASSERT_FALSE(script.empty());
+
+  SchedulerOptions opt = options();
+  opt.use_cache = false;
+  opt.jobs = 2;
+  opt.worker_command = script;
+  opt.cell_timeout_seconds = 0.3;
+  const SweepRun run = run_sweep(spec, opt);
+  EXPECT_EQ(run.stats.worker_failures, 0u);
+  EXPECT_EQ(run.stats.remote, 1u);
+  expect_tiling_rows_equal(run.results[0].tiling, precomputed.tiling);
+}
+
+TEST_F(TransportTest, SilentWorkerIsExpiredAndCellRecomputed) {
+  // The same scripted worker, minus the heartbeats: it acks its job and
+  // then hangs. The scheduler must expire it at the per-cell timeout,
+  // kill it, and recompute the cell in-process.
+  SweepSpec spec = tiny_tiling_spec(59);
+  spec.entries = {{"MM", 20}};  // one cell; its index (= job id) is 0
+
+  const std::string script = write_worker_script(dir_, "silent_worker.sh", "sleep 10\n");
+  ASSERT_FALSE(script.empty());
+
+  std::ostringstream log;
+  SchedulerOptions opt = options();
+  opt.use_cache = false;
+  opt.jobs = 2;
+  opt.worker_command = script;
+  opt.cell_timeout_seconds = 0.05;
+  opt.log = &log;
+  const SweepRun run = run_sweep(spec, opt);
+  EXPECT_EQ(run.stats.computed, 1u);
+  EXPECT_EQ(run.stats.remote, 0u);
+  EXPECT_EQ(run.stats.worker_failures, 1u) << log.str();
+  EXPECT_NE(log.str().find("timed out"), std::string::npos) << log.str();
+  // The death log line carries the running failed-cell count.
+  EXPECT_NE(log.str().find("failed worker cells so far"), std::string::npos) << log.str();
+
+  SchedulerOptions serial = options();
+  serial.use_cache = false;
+  const SweepRun want = run_sweep(spec, serial);
+  expect_tiling_rows_equal(run.results[0].tiling, want.results[0].tiling);
+}
+
+TEST_F(TransportTest, ResultBeforeHandshakeIsRefused) {
+  // A stale pre-handshake build pointed at by worker_command: it answers
+  // the job with a perfectly valid result but never says hello, so its
+  // salt was never verified — the scheduler must refuse the row and
+  // recompute, even on the "trusted" pipe transport.
+  SweepSpec spec = tiny_tiling_spec(67);
+  spec.entries = {{"MM", 20}};  // one cell; its index (= job id) is 0
+  const CellResult precomputed = run_cell(spec.cells()[0]);
+
+  const std::string script = write_raw_worker_script(
+      dir_, "stale_worker.sh",
+      "read job\n"
+      "echo '" + result_line(0, precomputed) + "'\n"
+      "read eof\n");
+  ASSERT_FALSE(script.empty());
+
+  std::ostringstream log;
+  SchedulerOptions opt = options();
+  opt.use_cache = false;
+  opt.jobs = 2;
+  opt.worker_command = script;
+  opt.log = &log;
+  const SweepRun run = run_sweep(spec, opt);
+  EXPECT_EQ(run.stats.computed, 1u);
+  EXPECT_EQ(run.stats.remote, 0u);
+  EXPECT_EQ(run.stats.worker_failures, 1u) << log.str();
+  EXPECT_NE(log.str().find("handshake"), std::string::npos) << log.str();
+  // The row is still correct — recomputed in-process, not taken on faith.
+  expect_tiling_rows_equal(run.results[0].tiling, precomputed.tiling);
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace cmetile::sweep
+
+// Custom main: this binary doubles as its own pipe (--sweep-worker) and
+// TCP (--connect) worker.
+int main(int argc, char** argv) {
+  cmetile::sweep::maybe_run_worker(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
