@@ -6,7 +6,12 @@
 //    fires only near the optimum.
 //
 // Output: per kernel, generations run, evaluations, converged?, best-ever
-// trajectory (first/mid/last), plus the final ratio vs the untiled one.
+// trajectory (first/mid/last), plus the fast-vs-baseline wall clock: every
+// search runs twice, once with SIMD classification + incremental
+// re-evaluation (the default) and once with both layers off. The results
+// are bit-identical (pinned by eval_cache_test); the Speedup column is
+// the end-to-end GA acceptance metric, and EvalHits shows how much of the
+// verdict traffic the cross-genome cache answered.
 
 #include "bench_common.hpp"
 
@@ -22,13 +27,30 @@ int main(int argc, char** argv) {
   const cache::CacheConfig cache = bench::paper_cache_8k();
 
   TextTable table({"Kernel", "Generations", "Evaluations", "Converged", "Gen0 best", "Gen5 best",
-                   "Final best", "Final avg", "Tiles"});
+                   "Final best", "Tiles", "Fast s", "Baseline s", "Speedup", "EvalHits"});
+  double fast_total = 0.0, baseline_total = 0.0;
   for (const auto& entry : entries) {
     const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
     const ir::MemoryLayout layout(nest);
     core::OptimizerOptions options = ctx.experiment_options().optimizer;
     options.ga.seed = derive_seed(ctx.seed, std::hash<std::string>{}(entry.label()));
+
+    const bench::StopWatch fast_watch;
     const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+    const double fast_seconds = fast_watch.seconds();
+
+    core::OptimizerOptions baseline_options = options;
+    baseline_options.objective.analysis.simd = false;
+    baseline_options.objective.incremental = false;
+    const bench::StopWatch baseline_watch;
+    const core::TilingResult baseline =
+        core::optimize_tiling(nest, layout, cache, baseline_options);
+    const double baseline_seconds = baseline_watch.seconds();
+    expects(baseline.ga.best_cost == result.ga.best_cost &&
+                baseline.ga.best_values == result.ga.best_values,
+            "bench_convergence: fast and baseline GA runs diverged");
+    fast_total += fast_seconds;
+    baseline_total += baseline_seconds;
 
     const auto& history = result.ga.history;
     const auto pick = [&](std::size_t g) {
@@ -37,12 +59,19 @@ int main(int argc, char** argv) {
     table.add_row({entry.label(), std::to_string(result.ga.generations),
                    std::to_string(result.ga.evaluations), result.ga.converged ? "yes" : "no",
                    format_fixed(pick(0), 0), format_fixed(pick(5), 0),
-                   format_fixed(history.back().best, 0), format_fixed(history.back().average, 0),
-                   result.tiles.to_string()});
+                   format_fixed(history.back().best, 0), result.tiles.to_string(),
+                   format_fixed(fast_seconds, 3), format_fixed(baseline_seconds, 3),
+                   format_fixed(baseline_seconds / fast_seconds, 2),
+                   std::to_string(result.ga.eval_cache_hits)});
     std::cout << "  " << entry.label() << ": " << result.ga.generations << " generations, "
               << result.ga.evaluations << " evaluations, converged="
-              << (result.ga.converged ? "yes" : "no") << "\n";
+              << (result.ga.converged ? "yes" : "no") << ", " << format_fixed(fast_seconds, 3)
+              << "s vs " << format_fixed(baseline_seconds, 3) << "s baseline ("
+              << format_fixed(baseline_seconds / fast_seconds, 2) << "x)\n";
   }
+  std::cout << "  total: " << format_fixed(fast_total, 3) << "s vs "
+            << format_fixed(baseline_total, 3) << "s baseline ("
+            << format_fixed(baseline_total / fast_total, 2) << "x end-to-end)\n";
   ctx.finish(table);
   return 0;
 }

@@ -4,8 +4,11 @@
 #include <bit>
 #include <numeric>
 
+#include "cme/eval_cache.hpp"
 #include "support/contracts.hpp"
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
+#include "support/simd.hpp"
 
 namespace cmetile::cme {
 
@@ -20,6 +23,58 @@ inline bool own_line_value(i64 value, i64 line_bytes) {
   return value >= 0 && value < line_bytes;
 }
 
+/// Probe-cache entry kinds (detail::ProbeEntry::kind).
+constexpr std::uint8_t kEmptiness = 0;
+constexpr std::uint8_t kSameArrayInterference = 1;
+
+/// Probe the verdict memo for (point, ref). Slots are addressed by the
+/// pair alone (the footprint is not known before evaluation); a slot
+/// hits when its stored footprint tiles match the current genome's
+/// (`cur_tiles`, one tile size per dim). On a miss, returns a victim
+/// slot index for the caller to fill after evaluation — first empty
+/// slot in the window, else a salt-rotated occupant so distinct
+/// footprint variants of a hot pair do not keep evicting one another —
+/// plus the tag to stamp via `tag`. Nothing is written here. The epoch
+/// is folded into the tag (TagTable contract), so entries from a
+/// previous binding never match; the entry's own epoch field is still
+/// compared to make a cross-epoch 64-bit tag collision harmless.
+std::size_t verdict_probe(detail::VerdictTable& table, std::uint32_t point, std::uint16_t ref,
+                          std::uint32_t epoch, std::span<const i64> cur_tiles, std::uint64_t salt,
+                          bool& hit, std::uint64_t& tag) {
+  hit = false;
+  std::uint64_t h =
+      0xA0761D6478BD642FULL ^ ((std::uint64_t)epoch << 40) ^ ((std::uint64_t)point << 20) ^ ref;
+  h *= 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  if (h == 0) h = 1;
+  tag = h;
+
+  const std::size_t mask = table.tags.size() - 1;
+  constexpr std::size_t kWindow = 8;
+  std::size_t victim = SIZE_MAX;
+  for (std::size_t w = 0; w < kWindow; ++w) {
+    const std::size_t idx = (h + w) & mask;
+    const std::uint64_t t = table.tags[idx];
+    if (t == 0) {
+      if (victim == SIZE_MAX) victim = idx;
+      continue;
+    }
+    if (t != h) continue;
+    const detail::VerdictEntry& entry = table.entries[idx];
+    if (entry.epoch != epoch || entry.point != point || entry.ref != ref) continue;
+    bool match = true;
+    std::size_t i = 0;
+    for (std::uint32_t m = entry.dim_mask; m != 0; m &= m - 1) {
+      match = match && entry.tiles[i++] == cur_tiles[(std::size_t)std::countr_zero(m)];
+    }
+    if (match) {
+      hit = true;
+      return idx;
+    }
+  }
+  return victim != SIZE_MAX ? victim : ((h + salt % kWindow) & mask);
+}
+
 }  // namespace
 
 NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
@@ -30,7 +85,9 @@ NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
       cache_(cache),
       tiles_(std::move(tiles)),
       space_(nest.trip_counts(), tiles_),
-      reuse_(reuse::analyze_reuse(nest, layout_, cache.line_bytes)),
+      reuse_(options.shared_reuse != nullptr
+                 ? *options.shared_reuse
+                 : reuse::analyze_reuse(nest, layout_, cache.line_bytes)),
       options_(options),
       trips_(nest.trip_counts()) {
   cache_.validate();
@@ -79,11 +136,19 @@ NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
         if (duplicate) continue;
         PreparedReuse prepared;
         prepared.source = rc.source_ref;
-        const std::vector<i64>& src_coeffs = refs_[rc.source_ref].coeffs0;
+        // Address displacement along the vector for every reference:
+        // address_at(b, z − steps) = pt_addr[b] − addr_delta_by_ref[b],
+        // so candidate endpoints never materialize coordinates.
+        prepared.addr_delta_by_ref.resize(refs_.size());
+        for (std::size_t b = 0; b < refs_.size(); ++b) {
+          i64 delta = 0;
+          for (std::size_t d = 0; d < k; ++d) delta += refs_[b].coeffs0[d] * signed_vec[d];
+          prepared.addr_delta_by_ref[b] = delta;
+        }
+        prepared.addr_delta = prepared.addr_delta_by_ref[rc.source_ref];
         for (std::size_t d = 0; d < k; ++d) {
           if (signed_vec[d] != 0)
             prepared.steps.push_back(ReuseStep{(std::uint32_t)d, signed_vec[d]});
-          prepared.addr_delta += src_coeffs[d] * signed_vec[d];
         }
         prepared_reuse_[r].push_back(std::move(prepared));
         seen.emplace_back(rc.source_ref, std::move(signed_vec));
@@ -94,6 +159,10 @@ NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
   line_shift_ = std::countr_zero((std::uint64_t)cache_.line_bytes);
   sets_ = cache_.sets();
   set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : -1;
+  simd_ok_ = true;
+  for (const i64 trip : trips_) {
+    if (trip >= (i64(1) << 52)) simd_ok_ = false;
+  }
 }
 
 i64 NestAnalysis::address_at(std::size_t ref, std::span<const i64> z) const {
@@ -103,52 +172,66 @@ i64 NestAnalysis::address_at(std::size_t ref, std::span<const i64> z) const {
   return addr;
 }
 
-NestAnalysis::ProbeEntry* NestAnalysis::find_probe_slot(Scratch& scratch, std::uint8_t kind,
-                                                        std::size_t ref, std::uint64_t dim_mask,
-                                                        i64 base, std::span<const i64> extents,
-                                                        bool& hit) const {
+detail::ProbeEntry* NestAnalysis::find_probe_slot(Scratch& scratch, std::uint8_t kind,
+                                                  std::size_t ref, std::uint64_t dim_mask,
+                                                  i64 base, std::span<const i64> extents,
+                                                  std::span<const i64> tile_key,
+                                                  bool& hit) const {
   hit = false;
-  if (scratch.probe_cache.empty()) {
+  detail::ProbeTable& table = *scratch.probe_cache;
+  if (table.empty()) {
     std::size_t want = options_.probe_cache_capacity;
     if (scratch.probe_cache_hint > 0) want = std::min(want, scratch.probe_cache_hint);
-    scratch.probe_cache.assign(std::bit_ceil(std::max<std::size_t>(want, 64)), ProbeEntry{});
+    table.reset(std::bit_ceil(std::max<std::size_t>(want, 64)));
   }
   std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ ((std::uint64_t)kind << 32) ^ (std::uint64_t)ref;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   };
+  mix(scratch.epoch);  // TagTable contract: stale entries never tag-match
   mix(dim_mask);
   mix((std::uint64_t)base);
   for (const i64 v : extents) mix((std::uint64_t)v);
+  for (const i64 v : tile_key) mix((std::uint64_t)v);
   if (h == 0) h = 1;
 
-  const std::size_t mask = scratch.probe_cache.size() - 1;
+  const std::size_t mask = table.tags.size() - 1;
   const std::size_t n = extents.size();
+  const std::size_t nt = tile_key.size();
   constexpr std::size_t kWindow = 4;  // linear-probe window; then evict
-  ProbeEntry* empty_slot = nullptr;
+  std::size_t empty_slot = SIZE_MAX;
   for (std::size_t w = 0; w < kWindow; ++w) {
-    ProbeEntry& entry = scratch.probe_cache[(h + w) & mask];
-    if (entry.tag == 0) {
-      if (empty_slot == nullptr) empty_slot = &entry;
+    const std::size_t idx = (h + w) & mask;
+    const std::uint64_t t = table.tags[idx];
+    if (t == 0) {
+      if (empty_slot == SIZE_MAX) empty_slot = idx;
       continue;
     }
-    if (entry.tag == h && entry.kind == kind && entry.ref == (std::uint32_t)ref &&
+    if (t != h) continue;
+    detail::ProbeEntry& entry = table.entries[idx];
+    if (entry.epoch == scratch.epoch && entry.kind == kind && entry.ref == (std::uint32_t)ref &&
         entry.dim_mask == dim_mask && entry.base == base && entry.ndims == (std::uint8_t)n &&
-        std::equal(extents.begin(), extents.end(), entry.extents.begin())) {
+        entry.n_tiles == (std::uint8_t)nt &&
+        std::equal(extents.begin(), extents.end(), entry.extents.begin()) &&
+        std::equal(tile_key.begin(), tile_key.end(), entry.tiles.begin())) {
       hit = true;
       return &entry;
     }
   }
   // Miss: fill an empty window slot, or evict the home slot. The caller
   // assigns `verdict` after computing it.
-  ProbeEntry& slot = empty_slot != nullptr ? *empty_slot : scratch.probe_cache[h & mask];
-  slot.tag = h;
+  const std::size_t slot_idx = empty_slot != SIZE_MAX ? empty_slot : (h & mask);
+  table.tags[slot_idx] = h;
+  detail::ProbeEntry& slot = table.entries[slot_idx];
   slot.kind = kind;
   slot.ref = (std::uint32_t)ref;
+  slot.epoch = scratch.epoch;
   slot.dim_mask = dim_mask;
   slot.base = base;
   slot.ndims = (std::uint8_t)n;
+  slot.n_tiles = (std::uint8_t)nt;
   std::copy(extents.begin(), extents.end(), slot.extents.begin());
+  std::copy(tile_key.begin(), tile_key.end(), slot.tiles.begin());
   return &slot;
 }
 
@@ -162,19 +245,92 @@ Outcome NestAnalysis::classify(std::span<const i64> z, std::size_t ref) const {
 
 void NestAnalysis::prepare_point(std::span<const i64> z, Scratch& scratch) const {
   expects(z.size() == nest_->depth(), "classify: point arity mismatch");
-  space_.to_tiled_into(z, scratch.p_to);
+  space_.to_tiled_into(z, scratch.p_to_buf);
   const std::size_t n_refs = refs_.size();
-  scratch.pt_addr.resize(n_refs);
-  scratch.pt_line.resize(n_refs);
-  scratch.pt_set.resize(n_refs);
+  scratch.pt_addr_buf.resize(n_refs);
+  scratch.pt_line_buf.resize(n_refs);
+  scratch.pt_set_buf.resize(n_refs);
   for (std::size_t b = 0; b < n_refs; ++b) {
     const i64 addr = address_at(b, z);
     // line_bytes is a validated power of two: the arithmetic shift is
     // exactly floor_div.
     const i64 line = addr >> line_shift_;
-    scratch.pt_addr[b] = addr;
-    scratch.pt_line[b] = line;
-    scratch.pt_set[b] = set_mask_ >= 0 ? (line & set_mask_) : floor_mod(line, sets_);
+    scratch.pt_addr_buf[b] = addr;
+    scratch.pt_line_buf[b] = line;
+    scratch.pt_set_buf[b] = set_mask_ >= 0 ? (line & set_mask_) : floor_mod(line, sets_);
+  }
+  scratch.p_to = scratch.p_to_buf.data();
+  scratch.pt_addr = scratch.pt_addr_buf.data();
+  scratch.pt_line = scratch.pt_line_buf.data();
+  scratch.pt_set = scratch.pt_set_buf.data();
+}
+
+void NestAnalysis::prepare_block(std::span<const std::vector<i64>> points, std::size_t first,
+                                 std::size_t count, bool addresses, Scratch& scratch) const {
+  const std::size_t k = nest_->depth();
+  const std::size_t n_refs = refs_.size();
+  scratch.blk_p_to.resize(4 * 2 * k);
+  scratch.lane_buf.resize(4 * k);
+  if (addresses) {
+    scratch.blk_addr.resize(4 * n_refs);
+    scratch.blk_line.resize(4 * n_refs);
+    scratch.blk_set.resize(4 * n_refs);
+  }
+  // Transpose the points to lanes. Tail lanes repeat the last point:
+  // duplicate computation, but no writes for i >= count, so outcomes
+  // cannot depend on the block's phase within the shard.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<i64>& zp = points[first + std::min(i, count - 1)];
+    expects(zp.size() == k, "classify_batch: point arity mismatch");
+    for (std::size_t d = 0; d < k; ++d) scratch.lane_buf[d * 4 + i] = zp[d];
+  }
+  // Tiled coordinates: one exact floor div/mod per dimension for all four
+  // lanes (z is nonnegative and below the 2^52 guard, so the f64 path is
+  // bit-identical to the scalar / and %).
+  alignas(32) i64 tmp_q[4];
+  alignas(32) i64 tmp_r[4];
+  for (std::size_t d = 0; d < k; ++d) {
+    simd::I64x4 q, r;
+    simd::floor_div_mod_u52(simd::load(&scratch.lane_buf[d * 4]), space_.tile(d), q, r);
+    simd::store(tmp_q, q);
+    simd::store(tmp_r, r);
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch.blk_p_to[i * 2 * k + d] = tmp_q[i];
+      scratch.blk_p_to[i * 2 * k + k + d] = tmp_r[i];
+    }
+  }
+  if (!addresses) return;
+  alignas(32) i64 tmp[4];
+  for (std::size_t b = 0; b < n_refs; ++b) {
+    const RefData& data = refs_[b];
+    simd::I64x4 addr = simd::splat(data.base0);
+    for (std::size_t d = 0; d < k; ++d) {
+      addr = simd::add(addr,
+                       simd::mul(simd::splat(data.coeffs0[d]), simd::load(&scratch.lane_buf[d * 4])));
+    }
+    const simd::I64x4 line = simd::shr_arith(addr, line_shift_);
+    simd::store(tmp, addr);
+    for (std::size_t i = 0; i < count; ++i) scratch.blk_addr[i * n_refs + b] = tmp[i];
+    simd::store(tmp, line);
+    for (std::size_t i = 0; i < count; ++i) scratch.blk_line[i * n_refs + b] = tmp[i];
+    if (set_mask_ >= 0) {
+      simd::store(tmp, simd::bit_and(line, simd::splat(set_mask_)));
+      for (std::size_t i = 0; i < count; ++i) scratch.blk_set[i * n_refs + b] = tmp[i];
+    } else {
+      for (std::size_t i = 0; i < count; ++i)
+        scratch.blk_set[i * n_refs + b] = floor_mod(scratch.blk_line[i * n_refs + b], sets_);
+    }
+  }
+}
+
+void NestAnalysis::bind_block_row(std::size_t i, bool addresses, Scratch& scratch) const {
+  const std::size_t k = nest_->depth();
+  scratch.p_to = &scratch.blk_p_to[i * 2 * k];
+  if (addresses) {
+    const std::size_t n_refs = refs_.size();
+    scratch.pt_addr = &scratch.blk_addr[i * n_refs];
+    scratch.pt_line = &scratch.blk_line[i * n_refs];
+    scratch.pt_set = &scratch.blk_set[i * n_refs];
   }
 }
 
@@ -193,6 +349,7 @@ std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i6
                                                : (std::size_t)parallel_threads();
   const std::size_t n_shards = std::min(std::max<std::size_t>(want, 1), points.size());
   std::vector<ProbeCounters> shard_counters(n_shards);
+  const bool use_simd = options_.simd && simd_ok_;
 
   // Contiguous shards: every worker touches a disjoint slice of `out` and
   // its own Scratch, so the parallel region is write-race-free.
@@ -206,11 +363,20 @@ std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i6
     // Size the probe table to the shard's workload: small batches (the
     // GA's 164-point samples) should not pay a full-capacity table init.
     scratch.probe_cache_hint = (hi - lo) * n_refs * 4;
-    for (std::size_t p = lo; p < hi; ++p) {
-      prepare_point(points[p], scratch);
-      for (std::size_t r = 0; r < n_refs; ++r) {
-        out[p * n_refs + r] = classify_impl(points[p], r, scratch);
+    for (std::size_t p = lo; p < hi;) {
+      const std::size_t block = use_simd ? std::min<std::size_t>(4, hi - p) : 1;
+      if (use_simd) prepare_block(points, p, block, /*addresses=*/true, scratch);
+      for (std::size_t i = 0; i < block; ++i) {
+        if (use_simd) {
+          bind_block_row(i, /*addresses=*/true, scratch);
+        } else {
+          prepare_point(points[p + i], scratch);
+        }
+        for (std::size_t r = 0; r < n_refs; ++r) {
+          out[(p + i) * n_refs + r] = classify_impl(points[p + i], r, scratch);
+        }
       }
+      p += block;
     }
     shard_counters[s] = scratch.counters;
   });
@@ -218,37 +384,442 @@ std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i6
   return out;
 }
 
-Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref,
-                                    Scratch& scratch) const {
+std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i64>> points,
+                                                  EvalCache& cache, std::size_t level,
+                                                  int shards) const {
+  const std::size_t n_refs = refs_.size();
+  std::vector<Outcome> out(points.size() * n_refs, Outcome::Hit);
+  if (points.empty() || n_refs == 0) return out;
+  expects(nest_->depth() <= 32, "EvalCache: nest too deep for S0 masks");
+
+  detail::EvalLevel& lv = cache.level(level);
+  {
+    std::lock_guard lock(lv.mutex);
+    bind_eval_level(lv, points);
+  }
+  // Bound state is immutable until the next bind (same binding => no-op),
+  // so shards read it without the lock.
+  const detail::EvalPrepared& prep = lv.prepared;
+  const std::uint32_t epoch = lv.epoch;
+  const EvalCacheOptions& copts = cache.options();
+
+  const std::size_t want = shards > 0 ? (std::size_t)shards
+                           : parallel_active() ? 1
+                                               : (std::size_t)parallel_threads();
+  const std::size_t n_shards = std::min(std::max<std::size_t>(want, 1), points.size());
+  std::vector<ProbeCounters> shard_counters(n_shards);
+  const bool use_simd = options_.simd && simd_ok_;
+
+  // Per-genome warm tables, shared read-only by every shard: z's tiled
+  // coordinates per point and the tiled coordinates of z − delta per
+  // (point, distinct step). One division per cell serves every
+  // (ref, entry) sharing the step — the warm gather is pure lookups.
+  const std::size_t k = nest_->depth();
+  const std::size_t nd = prep.dstep_dim.size();
+  std::vector<i64> zto, qt_tab, qo_tab;
+  // Scalar on purpose, independent of options_.simd: at warm-table size
+  // (points × (depth + dsteps) divisions per genome) the hardware divider
+  // beats the u52 lanes plus their transpose, measurably so on the MM GA
+  // (bench_perf_solver BM_GaSolveFull). The SIMD variant stays for the
+  // cold SoA prepare, where the work amortizes across full blocks.
+  build_warm_tables(points, prep, false, zto, qt_tab, qo_tab);
+
+  // Current tile sizes per dim (the verdict-memo footprint comparand)
+  // and a per-genome salt for victim rotation in verdict_probe.
+  std::vector<i64> cur_tiles(k);
+  std::uint64_t tile_salt = 0x2545F4914F6CDD1DULL;
+  for (std::size_t d = 0; d < k; ++d) {
+    cur_tiles[d] = space_.tile(d);
+    tile_salt = (tile_salt ^ (std::uint64_t)cur_tiles[d]) * 0x100000001B3ULL;
+  }
+
+  // Persistent tables are sized to the binding's unresolved-pair volume
+  // (clamped by the configured capacities): kernels whose pre-verdicts
+  // resolve most pairs get small, cache-resident tables instead of
+  // scattering every lookup across the maximum-capacity arrays. The
+  // factors leave room for several footprint variants per pair (verdict
+  // memo) and the box population a pair's probes generate across genomes
+  // (probe table). A table kept from an earlier, smaller binding grows.
+  const std::size_t n_unres = std::max<std::size_t>(prep.n_unresolved, 1);
+  const std::size_t verdict_size =
+      std::bit_ceil(std::max<std::size_t>(std::min(n_unres * 4, copts.verdict_capacity), 64));
+  const std::size_t probe_size =
+      std::bit_ceil(std::max<std::size_t>(std::min(n_unres * 16, copts.probe_capacity), 64));
+
+  parallel_for(n_shards, [&](std::size_t s) {
+    detail::EvalWorker* worker = lv.acquire();
+    Scratch scratch;
+    scratch.use_cache = options_.probe_cache && space_.tiled_dims() <= 64;
+    scratch.epoch = epoch;
+    EvalCacheStats stats;
+    const std::size_t lo = points.size() * s / n_shards;
+    const std::size_t hi = points.size() * (s + 1) / n_shards;
+    scratch.probe_cache_hint = (hi - lo) * n_refs * 4;
+    // Route probes into the worker's persistent table — it must serve
+    // the whole run, not one batch.
+    if (copts.probe_memo && scratch.use_cache) {
+      if (worker->probes.tags.size() < probe_size) worker->probes.reset(probe_size);
+      scratch.probe_cache = &worker->probes;
+      scratch.eval_stats = &stats;
+    }
+    const bool memo = copts.verdict_memo;
+    if (memo && worker->verdicts.tags.size() < verdict_size) {
+      worker->verdicts.reset(verdict_size);
+    }
+    for (std::size_t pi = lo; pi < hi; ++pi) {
+      // Bind-time verdicts first: a fully pre-resolved point needs no
+      // classification at all (the dominant case on stencil kernels,
+      // where same-iteration group reuse decides most pairs).
+      if (prep.point_unresolved[pi] == 0) {
+        for (std::size_t j = pi * n_refs; j < (pi + 1) * n_refs; ++j) {
+          out[j] = (Outcome)prep.pre_verdict[j];
+        }
+        continue;
+      }
+      // Tiled coordinates and addresses/lines/sets come from the shared
+      // per-genome tables and the binding's prepared tables.
+      scratch.p_to = &zto[pi * 2 * k];
+      scratch.pt_addr = &prep.pt_addr[pi * n_refs];
+      scratch.pt_line = &prep.pt_line[pi * n_refs];
+      scratch.pt_set = &prep.pt_set[pi * n_refs];
+      const i64* qt_row = qt_tab.data() + pi * nd;
+      const i64* qo_row = qo_tab.data() + pi * nd;
+      for (std::size_t r = 0; r < n_refs; ++r) {
+        const std::size_t pr = pi * n_refs + r;
+        const std::uint8_t pv = prep.pre_verdict[pr];
+        if (pv != detail::kNoPreVerdict) {
+          out[pr] = (Outcome)pv;
+          continue;
+        }
+        std::size_t slot = SIZE_MAX;
+        std::uint64_t tag = 0;
+        if (memo) {
+          ++stats.verdict_lookups;
+          bool hit = false;
+          slot = verdict_probe(worker->verdicts, (std::uint32_t)pi, (std::uint16_t)r, epoch,
+                               cur_tiles, tile_salt, hit, tag);
+          if (hit) {
+            ++stats.verdict_hits;
+            out[pr] = (Outcome)worker->verdicts.entries[slot].verdict;
+            continue;
+          }
+        }
+        std::uint32_t footprint = 0;
+        const Outcome outcome = classify_warm(r, scratch, prep, pr, qt_row, qo_row, &footprint);
+        out[pr] = outcome;
+        if (slot != SIZE_MAX && std::popcount(footprint) <= (int)detail::kMaxMemoDims) {
+          detail::VerdictEntry& entry = worker->verdicts.entries[slot];
+          worker->verdicts.tags[slot] = tag;
+          entry.point = (std::uint32_t)pi;
+          entry.epoch = epoch;
+          entry.dim_mask = footprint;
+          entry.ref = (std::uint16_t)r;
+          entry.verdict = (std::uint8_t)outcome;
+          std::size_t i = 0;
+          for (std::uint32_t m = footprint; m != 0; m &= m - 1) {
+            entry.tiles[i++] = cur_tiles[(std::size_t)std::countr_zero(m)];
+          }
+        }
+      }
+    }
+    worker->stats += stats;
+    shard_counters[s] = scratch.counters;
+    lv.release(worker);
+  });
+  for (const ProbeCounters& c : shard_counters) counters_ += c;
+  return out;
+}
+
+void NestAnalysis::bind_eval_level(detail::EvalLevel& level,
+                                   std::span<const std::vector<i64>> points) const {
+  const std::size_t k = nest_->depth();
+  const std::size_t n_refs = refs_.size();
+
+  // Binding digest: everything classification depends on besides the tile
+  // vector (eval_cache.hpp). Fields are folded in a fixed order; sizes are
+  // folded before elements so concatenations cannot alias.
+  std::uint64_t lo = kFnvOffsetBasis;
+  const auto fold = [&lo](std::uint64_t v) { lo = fnv1a_u64(v, lo); };
+  fold(k);
+  for (const i64 trip : trips_) fold((std::uint64_t)trip);
+  fold((std::uint64_t)cache_.line_bytes);
+  fold((std::uint64_t)sets_);
+  fold((std::uint64_t)cache_.way_bytes());
+  fold((std::uint64_t)cache_.associativity);
+  fold((std::uint64_t)options_.probe_work_cap);
+  fold((std::uint64_t)options_.enumerate_cap);
+  fold(n_refs);
+  for (const RefData& data : refs_) {
+    fold(data.array);
+    fold((std::uint64_t)data.base0);
+    for (const i64 c : data.coeffs0) fold((std::uint64_t)c);
+  }
+  for (std::size_t r = 0; r < n_refs; ++r) {
+    fold(prepared_reuse_[r].size());
+    for (const PreparedReuse& rc : prepared_reuse_[r]) {
+      fold(rc.source);
+      fold(rc.steps.size());
+      for (const ReuseStep& st : rc.steps) {
+        fold(st.dim);
+        fold((std::uint64_t)st.delta);
+      }
+    }
+  }
+  // Sample identity: span address + length fast path (the caller keeps the
+  // sample stable — eval_cache.hpp contract); content hash otherwise.
+  const std::vector<i64>* pts_ptr = points.data();
+  if (!(level.bound && level.points_ptr == pts_ptr && level.points_len == points.size())) {
+    std::uint64_t ph = fnv1a_u64(points.size());
+    for (const std::vector<i64>& z : points) {
+      for (const i64 v : z) ph = fnv1a_u64((std::uint64_t)v, ph);
+    }
+    level.points_hash = ph;
+    level.points_ptr = pts_ptr;
+    level.points_len = points.size();
+  }
+  fold(level.points_hash);
+  // Second digest over different bases: one 64-bit collision cannot
+  // silently alias two bindings.
+  std::uint64_t hi = fnv1a_u64(lo, 0x84222325CBF29CE4ULL);
+  hi = fnv1a_u64(level.points_hash, hi);
+
+  if (level.bound && level.binding_lo == lo && level.binding_hi == hi) return;
+  level.binding_lo = lo;
+  level.binding_hi = hi;
+  level.bound = true;
+  ++level.epoch;  // lazily invalidates every worker's memo + probe entries
+  ++level.rebinds;
+
+  // Rebuild the tile-independent prepared tables (scalar: runs once per
+  // binding, not once per genome).
+  detail::EvalPrepared& prep = level.prepared;
+  const std::size_t total = points.size() * n_refs;
+  prep.pt_addr.resize(total);
+  prep.pt_line.resize(total);
+  prep.pt_set.resize(total);
+  prep.s0_mask.assign(total, 0);
+  prep.pre_verdict.assign(total, detail::kNoPreVerdict);
+  prep.point_unresolved.assign(points.size(), 0);
+  prep.n_unresolved = 0;
+  prep.cand_offsets.clear();
+  prep.cand_offsets.reserve(total + 1);
+  prep.cand_entries.clear();
+  prep.cand_flags.clear();
+  prep.q_lines_off.clear();
+  prep.q_lines.clear();
+  prep.pair_flags.assign(total, 0);
+  prep.p_lines_off.clear();
+  prep.p_lines_off.reserve(total + 1);
+  prep.p_lines.clear();
+  // Distinct (dim, delta) steps and per-entry index lists — shared by
+  // every point, the basis of the per-genome warm tables (classify_warm).
+  prep.dstep_dim.clear();
+  prep.dstep_delta.clear();
+  prep.entry_dstep_off.assign(n_refs, {});
+  prep.entry_dstep.assign(n_refs, {});
+  for (std::size_t r = 0; r < n_refs; ++r) {
+    std::vector<std::uint32_t>& offs = prep.entry_dstep_off[r];
+    std::vector<std::uint16_t>& data = prep.entry_dstep[r];
+    offs.reserve(prepared_reuse_[r].size() + 1);
+    for (const PreparedReuse& rc : prepared_reuse_[r]) {
+      offs.push_back((std::uint32_t)data.size());
+      for (const ReuseStep& st : rc.steps) {
+        std::size_t s = 0;
+        for (; s < prep.dstep_dim.size(); ++s) {
+          if (prep.dstep_dim[s] == st.dim && prep.dstep_delta[s] == st.delta) break;
+        }
+        if (s == prep.dstep_dim.size()) {
+          expects(s <= 0xFFFF, "EvalCache: too many distinct reuse steps");
+          prep.dstep_dim.push_back(st.dim);
+          prep.dstep_delta.push_back(st.delta);
+        }
+        data.push_back((std::uint16_t)s);
+      }
+    }
+    offs.push_back((std::uint32_t)data.size());
+  }
+  std::vector<i64> lines;  // distinct-line scratch for the endpoint scans
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const std::vector<i64>& z = points[p];
+    expects(z.size() == k, "classify_batch: point arity mismatch");
+    for (std::size_t b = 0; b < n_refs; ++b) {
+      const i64 addr = address_at(b, z);
+      const i64 line = addr >> line_shift_;
+      prep.pt_addr[p * n_refs + b] = addr;
+      prep.pt_line[p * n_refs + b] = line;
+      prep.pt_set[p * n_refs + b] = set_mask_ >= 0 ? (line & set_mask_) : floor_mod(line, sets_);
+    }
+    for (std::size_t r = 0; r < n_refs; ++r) {
+      const std::size_t pr = p * n_refs + r;
+      prep.cand_offsets.push_back((std::uint32_t)prep.cand_entries.size());
+      const i64 line_a = prep.pt_line[pr];
+      std::uint32_t mask = 0;
+      const std::vector<PreparedReuse>& list = prepared_reuse_[r];
+      expects(list.size() <= 0xFFFF, "EvalCache: too many reuse candidates per ref");
+      for (std::size_t e = 0; e < list.size(); ++e) {
+        const PreparedReuse& rc = list[e];
+        // The tile-independent filters: inside-bounds and the compulsory
+        // same-line check. Survivors' stepped dims form the S0 mask.
+        bool inside = true;
+        for (const ReuseStep& st : rc.steps) {
+          const i64 qd = z[st.dim] - st.delta;
+          if (qd < 0 || qd >= trips_[st.dim]) {
+            inside = false;
+            break;
+          }
+        }
+        if (!inside) continue;
+        if (((prep.pt_addr[p * n_refs + rc.source] - rc.addr_delta) >> line_shift_) != line_a)
+          continue;
+        prep.cand_entries.push_back((std::uint16_t)e);
+        for (const ReuseStep& st : rc.steps) mask |= 1u << st.dim;
+      }
+      prep.s0_mask[pr] = mask;
+      // Same-iteration theorem: a candidate has cmp == 0 iff its reuse
+      // vector is zero (steps hold only NONZERO dims, and a nonzero step
+      // forces q != z in that tiled dim), so the cmp == 0 candidate set
+      // is tile-independent, its interference scans read only body
+      // positions at z (interval_interference_free's cmp == 0 branch),
+      // and q_to == p_to sorts those candidates before every
+      // cross-iteration one. Hence, under EVERY tile vector:
+      //   * some same-iteration candidate passes its scan  => Hit;
+      //   * no stepped survivor at all => the candidate set never grows:
+      //     all-fail => ReplacementMiss, no candidate => ColdMiss.
+      // Everything needed is in the prepared point tables — resolve now,
+      // once per binding, instead of once per genome.
+      bool any_same_iter = false, sure_hit = false;
+      const i64 set_a = prep.pt_set[pr];
+      const std::size_t assoc = (std::size_t)cache_.associativity;
+      for (std::uint32_t ei = prep.cand_offsets[pr];
+           ei < (std::uint32_t)prep.cand_entries.size() && !sure_hit; ++ei) {
+        const PreparedReuse& rc = list[prep.cand_entries[ei]];
+        if (!rc.steps.empty() || rc.source >= r) continue;
+        any_same_iter = true;
+        lines.clear();
+        bool pass = true;
+        for (std::size_t b = rc.source + 1; b < r && pass; ++b) {
+          if (prep.pt_set[p * n_refs + b] != set_a) continue;
+          const i64 lb = prep.pt_line[p * n_refs + b];
+          if (lb == line_a) continue;
+          if (std::find(lines.begin(), lines.end(), lb) == lines.end()) {
+            lines.push_back(lb);
+            if (lines.size() >= assoc) pass = false;
+          }
+        }
+        sure_hit = pass;
+      }
+      if (sure_hit) {
+        prep.pre_verdict[pr] = (std::uint8_t)Outcome::Hit;
+      } else if (mask == 0) {
+        prep.pre_verdict[pr] =
+            (std::uint8_t)(any_same_iter ? Outcome::ReplacementMiss : Outcome::ColdMiss);
+      } else {
+        prep.point_unresolved[p] = 1;
+      }
+      // Endpoint interference scans for unresolved pairs — also
+      // tile-independent (interval_interference_free's q-endpoint uses
+      // pt_addr − addr_delta_by_ref, its p-endpoint the z tables), so
+      // classify_warm starts every cross-iteration candidate from these
+      // precomputed distinct-line lists and only probes the interior.
+      // Lists are capped below assoc: reaching assoc alone is a fail bit.
+      const bool unresolved = prep.pre_verdict[pr] == detail::kNoPreVerdict;
+      if (unresolved) ++prep.n_unresolved;
+      prep.p_lines_off.push_back((std::uint32_t)prep.p_lines.size());
+      if (unresolved) {
+        lines.clear();
+        bool fail = false;
+        for (std::size_t b = 0; b < r && !fail; ++b) {
+          if (prep.pt_set[p * n_refs + b] != set_a) continue;
+          const i64 lb = prep.pt_line[p * n_refs + b];
+          if (lb == line_a) continue;
+          if (std::find(lines.begin(), lines.end(), lb) == lines.end()) {
+            lines.push_back(lb);
+            if (lines.size() >= assoc) fail = true;
+          }
+        }
+        if (fail) {
+          prep.pair_flags[pr] |= detail::kPairPFail;
+        } else {
+          prep.p_lines.insert(prep.p_lines.end(), lines.begin(), lines.end());
+        }
+      }
+      for (std::uint32_t ei = prep.cand_offsets[pr];
+           ei < (std::uint32_t)prep.cand_entries.size(); ++ei) {
+        const PreparedReuse& rc = list[prep.cand_entries[ei]];
+        std::uint8_t flags = 0;
+        prep.q_lines_off.push_back((std::uint32_t)prep.q_lines.size());
+        if (rc.steps.empty()) {
+          flags |= detail::kCandSameIter;
+        } else if (unresolved) {
+          lines.clear();
+          bool fail = false;
+          for (std::size_t b = rc.source + 1; b < n_refs && !fail; ++b) {
+            const i64 addr = prep.pt_addr[p * n_refs + b] - rc.addr_delta_by_ref[b];
+            const i64 lb = floor_div(addr, cache_.line_bytes);
+            if (floor_mod(lb, sets_) != set_a || lb == line_a) continue;
+            if (std::find(lines.begin(), lines.end(), lb) == lines.end()) {
+              lines.push_back(lb);
+              if (lines.size() >= assoc) fail = true;
+            }
+          }
+          if (fail) {
+            flags |= detail::kCandQFail;
+          } else {
+            prep.q_lines.insert(prep.q_lines.end(), lines.begin(), lines.end());
+          }
+        }
+        prep.cand_flags.push_back(flags);
+      }
+    }
+  }
+  prep.cand_offsets.push_back((std::uint32_t)prep.cand_entries.size());
+  prep.q_lines_off.push_back((std::uint32_t)prep.q_lines.size());
+  prep.p_lines_off.push_back((std::uint32_t)prep.p_lines.size());
+}
+
+Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref, Scratch& scratch,
+                                    const std::uint16_t* pre, std::size_t n_pre) const {
   const std::size_t k = nest_->depth();
   const i64 line_a = scratch.pt_line[ref];
+  const std::vector<PreparedReuse>& list = prepared_reuse_[ref];
 
   // --- Step 1: gather valid reuse candidates. ---
   // q = z ∓ r differs from z only on the reuse vector's nonzero dimensions
   // (PreparedReuse::steps), so bounds checks, tiled coordinates and the
   // source address are updated incrementally from the prepared point.
   scratch.n_candidates = 0;
-  for (const PreparedReuse& rc : prepared_reuse_[ref]) {
+  const auto gather = [&](const PreparedReuse& rc, std::size_t entry, bool prefiltered) {
     // Bounds and lexicographic position are decided from the stepped
-    // dimensions alone (q_to == p_to elsewhere); q and q_to are only
+    // dimensions alone (q_to == p_to elsewhere); q_to is only
     // materialized for candidates that survive all filters. Steps are
     // in ascending dimension order, so the first differing tile
     // coordinate — then the first differing offset — decides cmp.
-    bool inside = true;
     int cmp = 0;
-    for (const ReuseStep& st : rc.steps) {
-      const i64 qd = z[st.dim] - st.delta;
-      if (qd < 0 || qd >= trips_[st.dim]) {
-        inside = false;
-        break;
+    if (!prefiltered) {
+      for (const ReuseStep& st : rc.steps) {
+        const i64 qd = z[st.dim] - st.delta;
+        if (qd < 0 || qd >= trips_[st.dim]) return;
+        if (cmp == 0) {
+          const i64 qt = qd / space_.tile(st.dim);
+          const i64 pt = scratch.p_to[st.dim];
+          if (qt != pt) cmp = qt < pt ? -1 : 1;
+        }
       }
-      if (cmp == 0) {
+      // Compulsory-equation line check via the precomputed displacement.
+      if (((scratch.pt_addr[rc.source] - rc.addr_delta) >> line_shift_) != line_a) return;
+    } else {
+      // Prefiltered (EvalCache binding): bounds and line check already
+      // passed — both are tile-independent — so only cmp remains.
+      for (const ReuseStep& st : rc.steps) {
+        const i64 qd = z[st.dim] - st.delta;
         const i64 qt = qd / space_.tile(st.dim);
         const i64 pt = scratch.p_to[st.dim];
-        if (qt != pt) cmp = qt < pt ? -1 : 1;
+        if (qt != pt) {
+          cmp = qt < pt ? -1 : 1;
+          break;
+        }
       }
     }
-    if (!inside) continue;
     if (cmp == 0) {
       for (const ReuseStep& st : rc.steps) {
         const i64 qd = z[st.dim] - st.delta;
@@ -260,24 +831,25 @@ Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref,
         }
       }
     }
-    if (cmp > 0) continue;
-    if (cmp == 0 && rc.source >= ref) continue;  // body order at the same point
-    // Compulsory-equation line check via the precomputed displacement.
-    const i64 addr_q = scratch.pt_addr[rc.source] - rc.addr_delta;
-    if ((addr_q >> line_shift_) != line_a) continue;
+    if (cmp > 0) return;
+    if (cmp == 0 && rc.source >= ref) return;  // body order at the same point
     // Fill a pooled slot (buffers keep their capacity across points).
     if (scratch.n_candidates == scratch.candidates.size()) scratch.candidates.emplace_back();
     Candidate& slot = scratch.candidates[scratch.n_candidates++];
     slot.source = rc.source;
+    slot.entry = (std::uint32_t)entry;
     slot.cmp = cmp;
-    slot.q.assign(z.begin(), z.end());
-    slot.q_to.assign(scratch.p_to.begin(), scratch.p_to.end());
+    slot.q_to.assign(scratch.p_to, scratch.p_to + 2 * k);
     for (const ReuseStep& st : rc.steps) {
       const i64 qd = z[st.dim] - st.delta;
-      slot.q[st.dim] = qd;
       slot.q_to[st.dim] = qd / space_.tile(st.dim);
       slot.q_to[k + st.dim] = qd % space_.tile(st.dim);
     }
+  };
+  if (pre != nullptr) {
+    for (std::size_t i = 0; i < n_pre; ++i) gather(list[pre[i]], pre[i], true);
+  } else {
+    for (std::size_t e = 0; e < list.size(); ++e) gather(list[e], e, false);
   }
 
   if (scratch.n_candidates == 0) return Outcome::ColdMiss;
@@ -303,17 +875,222 @@ Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref,
   }
 
   for (const std::size_t c : scratch.order) {
-    if (interval_interference_free(scratch.candidates[c], scratch.p_to, ref, line_a, scratch)) {
+    const Candidate& cand = scratch.candidates[c];
+    if (interval_interference_free(cand, {scratch.p_to, 2 * k}, ref, line_a, scratch)) {
       return Outcome::Hit;
     }
   }
   return Outcome::ReplacementMiss;
 }
 
+void NestAnalysis::build_warm_tables(std::span<const std::vector<i64>> points,
+                                     const detail::EvalPrepared& prep, bool simd,
+                                     std::vector<i64>& zto, std::vector<i64>& qt_tab,
+                                     std::vector<i64>& qo_tab) const {
+  const std::size_t k = nest_->depth();
+  const std::size_t nd = prep.dstep_dim.size();
+  const std::size_t n = points.size();
+  zto.resize(n * 2 * k);
+  qt_tab.resize(n * nd);
+  qo_tab.resize(n * nd);
+  if (simd) {
+    alignas(32) i64 zs[4], qs[4], rs[4];
+    for (std::size_t p0 = 0; p0 < n; p0 += 4) {
+      const std::size_t cnt = std::min<std::size_t>(4, n - p0);
+      for (std::size_t d = 0; d < k; ++d) {
+        const i64 tile = space_.tile(d);
+        for (std::size_t i = 0; i < cnt; ++i) zs[i] = points[p0 + i][d];
+        for (std::size_t i = cnt; i < 4; ++i) zs[i] = zs[0];
+        simd::I64x4 q, r;
+        simd::floor_div_mod_u52(simd::load(zs), tile, q, r);
+        simd::store(qs, q);
+        simd::store(rs, r);
+        for (std::size_t i = 0; i < cnt; ++i) {
+          zto[(p0 + i) * 2 * k + d] = qs[i];
+          zto[(p0 + i) * 2 * k + k + d] = rs[i];
+        }
+      }
+      for (std::size_t s = 0; s < nd; ++s) {
+        const std::size_t d = prep.dstep_dim[s];
+        const i64 tile = space_.tile(d);
+        const i64 delta = prep.dstep_delta[s];
+        const i64 top = trips_[d] - 1;
+        for (std::size_t i = 0; i < cnt; ++i)
+          zs[i] = std::clamp(points[p0 + i][d] - delta, i64{0}, top);
+        for (std::size_t i = cnt; i < 4; ++i) zs[i] = zs[0];
+        simd::I64x4 q, r;
+        simd::floor_div_mod_u52(simd::load(zs), tile, q, r);
+        simd::store(qs, q);
+        simd::store(rs, r);
+        for (std::size_t i = 0; i < cnt; ++i) {
+          qt_tab[(p0 + i) * nd + s] = qs[i];
+          qo_tab[(p0 + i) * nd + s] = rs[i];
+        }
+      }
+    }
+    return;
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::vector<i64>& z = points[p];
+    for (std::size_t d = 0; d < k; ++d) {
+      const i64 tile = space_.tile(d);
+      zto[p * 2 * k + d] = z[d] / tile;
+      zto[p * 2 * k + k + d] = z[d] % tile;
+    }
+    for (std::size_t s = 0; s < nd; ++s) {
+      const std::size_t d = prep.dstep_dim[s];
+      const i64 tile = space_.tile(d);
+      const i64 qd = std::clamp(z[d] - prep.dstep_delta[s], i64{0}, trips_[d] - 1);
+      qt_tab[p * nd + s] = qd / tile;
+      qo_tab[p * nd + s] = qd % tile;
+    }
+  }
+}
+
+Outcome NestAnalysis::classify_warm(std::size_t ref, Scratch& scratch,
+                                    const detail::EvalPrepared& prep, std::size_t pr,
+                                    const i64* qt_row, const i64* qo_row,
+                                    std::uint32_t* footprint) const {
+  const std::size_t k = nest_->depth();
+  const i64 line_a = scratch.pt_line[ref];
+  const std::vector<PreparedReuse>& list = prepared_reuse_[ref];
+  const std::vector<std::uint32_t>& ed_off = prep.entry_dstep_off[ref];
+  const std::vector<std::uint16_t>& ed = prep.entry_dstep[ref];
+
+  // --- Step 1: gather, table-driven. Bounds and line checks passed at
+  // bind time; cmp comes from the per-genome q tables — no division.
+  scratch.n_candidates = 0;
+  const std::uint32_t first = prep.cand_offsets[pr];
+  const std::uint32_t last = prep.cand_offsets[pr + 1];
+  for (std::uint32_t ei = first; ei < last; ++ei) {
+    const std::uint16_t e = prep.cand_entries[ei];
+    const std::uint32_t s_lo = ed_off[e], s_hi = ed_off[e + 1];
+    int cmp = 0;
+    for (std::uint32_t si = s_lo; si < s_hi; ++si) {
+      const std::uint16_t s = ed[si];
+      const i64 qt = qt_row[s];
+      const i64 pt = scratch.p_to[prep.dstep_dim[s]];
+      if (qt != pt) {
+        cmp = qt < pt ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp == 0) {
+      for (std::uint32_t si = s_lo; si < s_hi; ++si) {
+        const std::uint16_t s = ed[si];
+        const i64 qo = qo_row[s];
+        const i64 po = scratch.p_to[k + prep.dstep_dim[s]];
+        if (qo != po) {
+          cmp = qo < po ? -1 : 1;
+          break;
+        }
+      }
+    }
+    if (cmp > 0) continue;
+    const PreparedReuse& rc = list[e];
+    if (cmp == 0 && rc.source >= ref) continue;  // body order at the same point
+    if (scratch.n_candidates == scratch.candidates.size()) scratch.candidates.emplace_back();
+    Candidate& slot = scratch.candidates[scratch.n_candidates++];
+    slot.source = rc.source;
+    slot.entry = e;
+    slot.aux = ei;
+    slot.cmp = cmp;
+    slot.q_to.assign(scratch.p_to, scratch.p_to + 2 * k);
+    for (std::uint32_t si = s_lo; si < s_hi; ++si) {
+      const std::uint16_t s = ed[si];
+      const std::size_t d = prep.dstep_dim[s];
+      slot.q_to[d] = qt_row[s];
+      slot.q_to[k + d] = qo_row[s];
+    }
+  }
+
+  // Footprint accumulation (the memo key — analysis.hpp doc): the gather,
+  // the sort and every candidate's reuse coordinates consult only the S0
+  // dims' tiles; interior probes below widen the set.
+  std::uint32_t fp = prep.s0_mask[pr];
+  const std::uint32_t all_dims = k >= 32 ? ~0u : (std::uint32_t)((1u << k) - 1);
+
+  if (scratch.n_candidates == 0) {
+    // Every cross-iteration entry had cmp > 0 under this tiling (and any
+    // same-iteration entry has source >= ref): the candidate-set filters
+    // depend on the S0 tiles alone.
+    if (footprint != nullptr) *footprint = fp;
+    return Outcome::ColdMiss;
+  }
+
+  // --- Step 2: same insertion sort as classify_impl.
+  scratch.order.resize(scratch.n_candidates);
+  std::iota(scratch.order.begin(), scratch.order.end(), (std::size_t)0);
+  const auto before = [&](std::size_t a, std::size_t b) {
+    const int cmp = space_.compare(scratch.candidates[a].q_to, scratch.candidates[b].q_to);
+    if (cmp != 0) return cmp > 0;  // later q first
+    return scratch.candidates[a].source > scratch.candidates[b].source;
+  };
+  for (std::size_t i = 1; i < scratch.n_candidates; ++i) {
+    const std::size_t key = scratch.order[i];
+    std::size_t j = i;
+    while (j > 0 && before(key, scratch.order[j - 1])) {
+      scratch.order[j] = scratch.order[j - 1];
+      --j;
+    }
+    scratch.order[j] = key;
+  }
+
+  // --- Step 3: winner scan with the precomputed endpoint interference.
+  // Same-iteration candidates all failed at bind time (else the pair
+  // would carry a Hit pre-verdict); cross-iteration candidates start from
+  // the precomputed q/p endpoint line lists and only probe the interior.
+  const std::size_t assoc = (std::size_t)cache_.associativity;
+  const bool p_fail = (prep.pair_flags[pr] & detail::kPairPFail) != 0;
+  const i64* p_lines = prep.p_lines.data() + prep.p_lines_off[pr];
+  const std::size_t n_p_lines = prep.p_lines_off[pr + 1] - prep.p_lines_off[pr];
+  for (const std::size_t c : scratch.order) {
+    const Candidate& cand = scratch.candidates[c];
+    if (cand.cmp == 0) continue;  // bind-time fail
+    if (p_fail || (prep.cand_flags[cand.aux] & detail::kCandQFail) != 0) continue;
+    std::vector<i64>& lines_found = scratch.lines_found;
+    const i64* q_lines = prep.q_lines.data() + prep.q_lines_off[cand.aux];
+    const std::size_t n_q_lines = prep.q_lines_off[cand.aux + 1] - prep.q_lines_off[cand.aux];
+    lines_found.assign(q_lines, q_lines + n_q_lines);
+    bool fail = false;
+    for (std::size_t i = 0; i < n_p_lines && !fail; ++i) {
+      const i64 lb = p_lines[i];
+      if (std::find(lines_found.begin(), lines_found.end(), lb) == lines_found.end()) {
+        lines_found.push_back(lb);
+        if (lines_found.size() >= assoc) fail = true;
+      }
+    }
+    if (fail) continue;
+    // The interior probe consults tiles beyond the S0 dims: the lex
+    // interval's suffix components range over full extents. If the
+    // endpoints differ in a tile coordinate the suffix spans every
+    // offset extent — all dims enter the footprint; if they differ
+    // first at an offset coordinate (same tile along every stepped
+    // dim), only the dims after it do. The box bases and the varying
+    // coefficients are functions of those tiles and of S0-derived
+    // values, so the footprint bounds everything the probe reads.
+    std::size_t pos = 0;
+    while (cand.q_to[pos] == scratch.p_to[pos]) ++pos;  // cmp != 0: a diff exists
+    if (pos < k) {
+      fp = all_dims;
+    } else {
+      fp |= all_dims & ~(std::uint32_t)((1ull << (pos - k + 1)) - 1);
+    }
+    if (interior_interference_free(cand, {scratch.p_to, 2 * k}, ref, line_a, scratch)) {
+      if (footprint != nullptr) *footprint = fp;
+      return Outcome::Hit;
+    }
+  }
+  if (footprint != nullptr) *footprint = fp;
+  return Outcome::ReplacementMiss;
+}
+
 Emptiness NestAnalysis::cached_probe(const CongruenceBox& box, std::size_t ref,
-                                     std::uint64_t dim_mask, Scratch& scratch) const {
+                                     std::uint64_t dim_mask, std::span<const i64> tile_key,
+                                     Scratch& scratch) const {
   const std::size_t n = box.extents.size();
-  if (!scratch.use_cache || n > kMaxCacheDims)
+  if (!scratch.use_cache || n > detail::kMaxCacheDims ||
+      tile_key.size() > detail::kMaxProbeTileDims)
     return probe_nonempty(box, options_.probe_work_cap, &scratch.counters);
   // Fold the base: probe verdicts only depend on it modulo the way size,
   // so boxes from different cache lines collide (the way size is almost
@@ -322,8 +1099,12 @@ Emptiness NestAnalysis::cached_probe(const CongruenceBox& box, std::size_t ref,
   const i64 m = box.modulus;
   const i64 folded_base = (m & (m - 1)) == 0 ? (box.base & (m - 1)) : floor_mod(box.base, m);
   bool hit = false;
-  ProbeEntry* slot = find_probe_slot(scratch, kEmptiness, ref, dim_mask, folded_base,
-                                     {box.extents.data(), n}, hit);
+  detail::ProbeEntry* slot = find_probe_slot(scratch, kEmptiness, ref, dim_mask, folded_base,
+                                             {box.extents.data(), n}, tile_key, hit);
+  if (scratch.eval_stats != nullptr) {
+    ++scratch.eval_stats->probe_lookups;
+    if (hit) ++scratch.eval_stats->probe_hits;
+  }
   if (hit) {
     ++scratch.counters.cache_hits;
     return (Emptiness)slot->verdict;
@@ -334,7 +1115,8 @@ Emptiness NestAnalysis::cached_probe(const CongruenceBox& box, std::size_t ref,
 }
 
 bool NestAnalysis::same_array_box_interferes(const CongruenceBox& box, std::size_t ref,
-                                             std::uint64_t dim_mask, Scratch& scratch) const {
+                                             std::uint64_t dim_mask, std::span<const i64> tile_key,
+                                             Scratch& scratch) const {
   const i64 line_bytes = cache_.line_bytes;
   const auto compute = [&]() {
     if (probe_nonempty(box, options_.probe_work_cap, &scratch.counters) == Emptiness::Empty)
@@ -352,11 +1134,17 @@ bool NestAnalysis::same_array_box_interferes(const CongruenceBox& box, std::size
     return witness || status == EnumStatus::Capped;  // capped: conservative
   };
   const std::size_t n = box.extents.size();
-  if (!scratch.use_cache || n > kMaxCacheDims) return compute();
+  if (!scratch.use_cache || n > detail::kMaxCacheDims ||
+      tile_key.size() > detail::kMaxProbeTileDims)
+    return compute();
   // True (unfolded) base: the verdict depends on actual address values.
   bool hit = false;
-  ProbeEntry* slot = find_probe_slot(scratch, kSameArrayInterference, ref, dim_mask, box.base,
-                                     {box.extents.data(), n}, hit);
+  detail::ProbeEntry* slot = find_probe_slot(scratch, kSameArrayInterference, ref, dim_mask,
+                                             box.base, {box.extents.data(), n}, tile_key, hit);
+  if (scratch.eval_stats != nullptr) {
+    ++scratch.eval_stats->probe_lookups;
+    if (hit) ++scratch.eval_stats->probe_hits;
+  }
   if (hit) {
     ++scratch.counters.cache_hits;
     return slot->verdict != 0;
@@ -370,7 +1158,6 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
                                               std::size_t ref, i64 line_a,
                                               Scratch& scratch) const {
   const i64 line_bytes = cache_.line_bytes;
-  const i64 way_bytes = cache_.way_bytes();
   const i64 sets = cache_.sets();
   const i64 set_a = scratch.pt_set[ref];
   const std::size_t assoc = (std::size_t)cache_.associativity;
@@ -393,13 +1180,6 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
     if (scratch.pt_set[b] != set_a) return false;
     return add_line(scratch.pt_line[b]);
   };
-  // Concrete access at point `pt` by reference `b`: interference?
-  auto point_interferes = [&](std::size_t b, std::span<const i64> pt) {
-    const i64 addr = address_at(b, pt);
-    const i64 line = floor_div(addr, line_bytes);
-    if (floor_mod(line, sets) != set_a) return false;
-    return add_line(line);
-  };
 
   if (cand.cmp == 0) {
     // Same iteration: only body positions strictly between source and ref.
@@ -409,14 +1189,47 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
     return true;
   }
 
+  // Concrete access by reference `b` at the candidate endpoint q: the
+  // address is the prepared address displaced along the reuse vector
+  // (PreparedReuse::addr_delta_by_ref) — q itself never materializes.
+  const PreparedReuse& rc = prepared_reuse_[ref][cand.entry];
+  auto point_q_interferes = [&](std::size_t b) {
+    const i64 addr = scratch.pt_addr[b] - rc.addr_delta_by_ref[b];
+    const i64 line = floor_div(addr, line_bytes);
+    if (floor_mod(line, sets) != set_a) return false;
+    return add_line(line);
+  };
+
   // Endpoint q: references executed after the source within q's iteration.
   for (std::size_t b = cand.source + 1; b < n_refs; ++b) {
-    if (point_interferes(b, cand.q)) return false;
+    if (point_q_interferes(b)) return false;
   }
   // Endpoint p: references executed before R_A within z's iteration.
   for (std::size_t b = 0; b < ref; ++b) {
     if (point_z_interferes(b)) return false;
   }
+
+  return interior_interference_free(cand, p_to, ref, line_a, scratch);
+}
+
+bool NestAnalysis::interior_interference_free(const Candidate& cand, std::span<const i64> p_to,
+                                              std::size_t ref, i64 line_a,
+                                              Scratch& scratch) const {
+  const i64 line_bytes = cache_.line_bytes;
+  const i64 way_bytes = cache_.way_bytes();
+  const std::size_t assoc = (std::size_t)cache_.associativity;
+  const std::size_t n_refs = refs_.size();
+  const std::size_t half = nest_->depth();  // dims < half are tile coordinates
+
+  // Continues the distinct-line budget the endpoint scans started.
+  std::vector<i64>& lines_found = scratch.lines_found;
+  auto add_line = [&](i64 line) {
+    if (line == line_a) return false;
+    if (std::find(lines_found.begin(), lines_found.end(), line) != lines_found.end())
+      return false;
+    lines_found.push_back(line);
+    return lines_found.size() >= assoc;
+  };
 
   // Strict interior: congruence boxes per (box, reference).
   lex_interval_boxes_into(space_, cand.q_to, p_to, scratch.boxes);
@@ -434,7 +1247,47 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
       cb.extents.reserve(dims);
       cb.coeffs.reserve(dims);
       std::uint64_t dim_mask = 0;  // probe-cache key part; dims is 2k <= 64
-      for (std::size_t d = 0; d < dims; ++d) {
+      // Tile sizes of the filtered tile-coordinate dims: with the dim
+      // mask, they determine the box's coefficient vector — the key part
+      // that keeps probe entries valid across tile vectors.
+      std::array<i64, detail::kMaxCacheDims> tile_key{};
+      std::size_t n_tile_key = 0;
+      // A tile coordinate whose offset ranges over the full tile merges
+      // with it into one contiguous dimension: the pair covers exactly
+      // the values A_d · [tr.lo · T_d, (tr.hi + 1) · T_d) — the same
+      // value set, so every probe verdict is unchanged, while the box
+      // loses a dimension (cheaper probe math) and its cache key loses
+      // the tile size (coefficient and mask entry no longer mention
+      // T_d), letting probe entries survive retilings of other dims.
+      // Merged entries are emitted in the second pass, at the offset
+      // dim's canonical position, so a given dim_mask always maps to one
+      // ordering of (coefficient, extent) pairs — the probe-cache key
+      // depends on it.
+      std::array<i64, 64> merged_extent;  // indexed by d, valid where tile_merged
+      std::uint64_t tile_merged = 0;      // offset dims consumed by a merge
+      for (std::size_t d = 0; d < half; ++d) {
+        const Interval& range = ranges[d];
+        cb.base += data.tiled_coeffs[d] * range.lo;
+        if (range.length() <= 1 || data.tiled_coeffs[d] == 0) continue;
+        const Interval& off = ranges[half + d];
+        const i64 tile = space_.tile(d);
+        if (off.lo == 0 && off.length() == tile && half + d < 64) {
+          merged_extent[d] = range.length() * tile;
+          tile_merged |= 1ull << d;
+          continue;
+        }
+        cb.extents.push_back(range.length());
+        cb.coeffs.push_back(data.tiled_coeffs[d]);
+        if (d < 64) dim_mask |= 1ull << d;
+        if (n_tile_key < detail::kMaxCacheDims) tile_key[n_tile_key++] = tile;
+      }
+      for (std::size_t d = half; d < dims; ++d) {
+        if (d - half < 64 && ((tile_merged >> (d - half)) & 1) != 0) {
+          cb.extents.push_back(merged_extent[d - half]);
+          cb.coeffs.push_back(data.tiled_coeffs[d]);
+          dim_mask |= 1ull << d;
+          continue;
+        }
         const Interval& range = ranges[d];
         cb.base += data.tiled_coeffs[d] * range.lo;
         if (range.length() > 1 && data.tiled_coeffs[d] != 0) {
@@ -455,39 +1308,84 @@ bool NestAnalysis::interval_interference_free(const Candidate& cand, std::span<c
         const bool same_array = data.array == refs_[ref].array;
         const bool po2 = (way_bytes & (way_bytes - 1)) == 0;
         const std::size_t n = cb.extents.size();
-        std::array<i64, 4> x{};
         bool interfere = false;
-        while (true) {
-          i64 value = cb.base;
-          for (std::size_t d = 0; d < n; ++d) value += cb.coeffs[d] * x[d];
-          const i64 residue = po2 ? (value & (way_bytes - 1)) : floor_mod(value, way_bytes);
-          if (residue < line_bytes &&  // touches R_A's set
-              (!same_array || !own_line_value(value, line_bytes))) {
-            interfere = true;
-            break;
+        if (options_.simd && po2) {
+          // Vector form: materialize the concrete values, then test four
+          // lanes at a time. Tail lanes repeat values[0] — duplicates
+          // cannot change an existence verdict — so the result is
+          // bit-identical to the scalar odometer below.
+          alignas(32) i64 values[8];
+          std::size_t count = 0;
+          std::array<i64, 4> x{};
+          while (true) {
+            i64 value = cb.base;
+            for (std::size_t d = 0; d < n; ++d) value += cb.coeffs[d] * x[d];
+            values[count++] = value;
+            std::size_t d = 0;
+            for (; d < n; ++d) {
+              if (x[d] + 1 < cb.extents[d]) {
+                ++x[d];
+                std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+                break;
+              }
+            }
+            if (d == n) break;
           }
-          std::size_t d = 0;
-          for (; d < n; ++d) {
-            if (x[d] + 1 < cb.extents[d]) {
-              ++x[d];
-              std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+          for (std::size_t i = count; i < 8; ++i) values[i] = values[0];
+          const simd::I64x4 line_splat = simd::splat(line_bytes);
+          const std::size_t groups = count <= 4 ? 1 : 2;
+          for (std::size_t g = 0; g < groups; ++g) {
+            const simd::I64x4 v = simd::load(&values[g * 4]);
+            // residue = value mod way_bytes (mask == floor_mod for po2);
+            // residue < line_bytes <=> the value touches R_A's set.
+            const simd::I64x4 residue = simd::bit_and(v, simd::splat(way_bytes - 1));
+            simd::I64x4 bad = simd::cmp_gt(line_splat, residue);
+            if (same_array) {
+              // Own-line values (0 <= v < line_bytes) do not interfere.
+              const simd::I64x4 own =
+                  simd::bit_and(simd::cmp_gt(line_splat, v), simd::cmp_gt(v, simd::splat(-1)));
+              bad = simd::bit_andnot(bad, own);
+            }
+            if (simd::any(bad)) {
+              interfere = true;
               break;
             }
           }
-          if (d == n) break;
+        } else {
+          std::array<i64, 4> x{};
+          while (true) {
+            i64 value = cb.base;
+            for (std::size_t d = 0; d < n; ++d) value += cb.coeffs[d] * x[d];
+            const i64 residue = po2 ? (value & (way_bytes - 1)) : floor_mod(value, way_bytes);
+            if (residue < line_bytes &&  // touches R_A's set
+                (!same_array || !own_line_value(value, line_bytes))) {
+              interfere = true;
+              break;
+            }
+            std::size_t d = 0;
+            for (; d < n; ++d) {
+              if (x[d] + 1 < cb.extents[d]) {
+                ++x[d];
+                std::fill(x.begin(), x.begin() + (std::ptrdiff_t)d, 0);
+                break;
+              }
+            }
+            if (d == n) break;
+          }
         }
         if (interfere) return false;
         continue;
       }
 
       if (assoc == 1) {
+        const std::span<const i64> key{tile_key.data(), n_tile_key};
         if (data.array != refs_[ref].array) {
           // Arrays are line-aligned and disjoint: any witness is a
           // different-line interference.
-          if (cached_probe(cb, b, dim_mask, scratch) != Emptiness::Empty) return false;
+          if (cached_probe(cb, b, dim_mask, key, scratch) != Emptiness::Empty) return false;
         } else {
           // Emptiness and own-line exclusion as one cached verdict.
-          if (same_array_box_interferes(cb, b, dim_mask, scratch)) return false;
+          if (same_array_box_interferes(cb, b, dim_mask, key, scratch)) return false;
         }
       } else {
         bool budget_hit = false;

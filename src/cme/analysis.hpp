@@ -26,8 +26,17 @@
 // reuses per-shard scratch buffers (no per-point heap churn), and memoizes
 // congruence-probe verdicts in a per-shard cache keyed on the *folded* box
 // — the same box recurs for many sampled points within one tile vector.
+// Point preparation (tiled coordinates, per-reference addresses/lines/sets)
+// runs in structure-of-arrays blocks of four points through the portable
+// SIMD wrapper (support/simd.hpp) when AnalysisOptions::simd is on.
 // Outcomes are bit-identical to per-point classify() for any shard count,
-// with or without the probe cache.
+// with or without the probe cache, and for every SIMD backend including
+// the scalar fallback (DESIGN.md §14).
+//
+// The EvalCache overload of classify_batch() additionally reuses work
+// *across analyses* that share everything but the tile vector — the GA
+// re-evaluating mutated genomes. See cme/eval_cache.hpp for the keying and
+// invalidation invariants.
 //
 // Thread safety: the instance is immutable after construction except for
 // the diagnostic counters, which are only written outside parallel regions
@@ -52,6 +61,14 @@
 
 namespace cmetile::cme {
 
+class EvalCache;
+struct EvalCacheOptions;
+struct EvalCacheStats;
+namespace detail {
+struct EvalLevel;
+struct EvalPrepared;
+}  // namespace detail
+
 enum class Outcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss };
 
 struct AnalysisOptions {
@@ -59,7 +76,79 @@ struct AnalysisOptions {
   i64 enumerate_cap = 1 << 15;    ///< witness budget per exclusion/assoc scan
   bool probe_cache = true;        ///< memoize probe verdicts in classify_batch
   std::size_t probe_cache_capacity = 1u << 13;  ///< cached boxes per shard
+  /// Use the SIMD batch-prepare / tiny-box paths (bit-identical to scalar
+  /// on every backend; off = plain scalar loops, the benchmark baseline).
+  bool simd = true;
+  /// Optional precomputed reuse analysis for exactly this (nest, layout,
+  /// line_bytes) binding — skips analyze_reuse in the constructor. The
+  /// caller owns it and keeps it alive for the analysis lifetime; passing
+  /// a mismatched ReuseInfo is undefined. core/objective uses this to
+  /// amortize reuse analysis across every genome of a GA run.
+  const reuse::ReuseInfo* shared_reuse = nullptr;
 };
+
+namespace detail {
+
+/// Probe-cache entry (open-addressed, fixed capacity, inline key — no
+/// heap traffic on lookups). The modulus (way size) and residue target
+/// are fixed per analysis, and a box's coefficient vector is fully
+/// determined by the reference, the set of box dimensions that survive
+/// filtering, and the tile sizes of the filtered *tile-coordinate* dims
+/// (d < k: coefficient = coeffs0[d]·T_d; offset dims carry coeffs0
+/// unchanged), so a box is identified by (kind, ref, dim mask, base,
+/// extents, masked tile sizes) — no coefficients stored or compared.
+/// kEmptiness folds the base modulo the way size (probe verdicts are
+/// invariant under that fold, which is what makes boxes from different
+/// cache lines collide — the set structure is periodic);
+/// kSameArrayInterference keys the true base (its verdict depends on
+/// actual address values, not residues). Boxes with more than
+/// kMaxCacheDims filtered dimensions, or more than kMaxProbeTileDims
+/// filtered tile-coordinate dimensions, bypass the cache.
+///
+/// The tile-size key component and the epoch make entries valid *across*
+/// tile vectors: a table that outlives one batch (EvalCache's persistent
+/// per-worker table) keeps returning correct verdicts for re-encountered
+/// boxes under new tilings. Entries whose epoch differs from the current
+/// one are stale (the binding changed) and are treated as empty.
+inline constexpr std::size_t kMaxCacheDims = 8;
+inline constexpr std::size_t kMaxProbeTileDims = 4;
+struct ProbeEntry {
+  i64 base = 0;
+  std::uint64_t dim_mask = 0;  ///< tiled dims contributing an extent
+  std::uint32_t ref = 0;
+  std::uint32_t epoch = 0;  ///< binding epoch; mismatch = stale slot
+  std::uint8_t kind = 0;
+  std::uint8_t ndims = 0;
+  std::uint8_t verdict = 0;
+  std::uint8_t n_tiles = 0;
+  std::array<i64, kMaxCacheDims> extents{};
+  std::array<i64, kMaxProbeTileDims> tiles{};  ///< T_d of masked dims < k
+};
+
+/// Open-addressed table split into a tag array and a payload array: a
+/// window scan reads only tags (one cache line instead of one per
+/// payload slot, which matters once the table outgrows L2) and touches
+/// a payload entry only on a tag match or to fill a miss. The tag is
+/// the key hash with the binding epoch folded in, forced nonzero
+/// (0 = empty slot), so entries from a previous binding simply never
+/// match again.
+template <typename Entry>
+struct TagTable {
+  std::vector<std::uint64_t> tags;
+  std::vector<Entry> entries;
+  bool empty() const { return tags.empty(); }
+  void reset(std::size_t size) {  ///< size must be a power of two
+    tags.assign(size, 0);
+    entries.assign(size, Entry{});
+  }
+  void clear() {
+    tags.clear();
+    entries.clear();
+  }
+};
+using ProbeTable = TagTable<ProbeEntry>;
+
+}  // namespace detail
 
 class NestAnalysis {
  public:
@@ -74,6 +163,17 @@ class NestAnalysis {
   /// hardware thread; any positive count gives the same outcomes.
   std::vector<Outcome> classify_batch(std::span<const std::vector<i64>> points,
                                       int shards = 0) const;
+
+  /// Incremental variant: bit-identical outcomes to the plain overload,
+  /// but per-reference prepared tables, classification verdicts and probe
+  /// verdicts are reused through `cache` across every analysis sharing
+  /// this nest/layout/cache-config/points binding — only the tile vector
+  /// may differ. `level` selects the cache slice (hierarchy level index;
+  /// 0 for single-cache). The caller must keep `points` alive and
+  /// unmodified at a stable address while the binding is in use (the
+  /// sample-identity fast path compares the span's address).
+  std::vector<Outcome> classify_batch(std::span<const std::vector<i64>> points, EvalCache& cache,
+                                      std::size_t level, int shards = 0) const;
 
   const ir::LoopNest& nest() const { return *nest_; }
   const ir::MemoryLayout& layout() const { return layout_; }
@@ -97,49 +197,26 @@ class NestAnalysis {
   /// structural duplicates — identical (source, signed vector) — removed
   /// at construction, so the gather loop needs no runtime deduplication.
   /// Only the nonzero dimensions are stored (most vectors step one or two
-  /// loops), plus the source-reference address displacement along the
-  /// vector, so gathering touches only the changed coordinates.
+  /// loops), plus the address displacement along the vector for *every*
+  /// reference: address_at(b, q) = pt_addr[b] − addr_delta_by_ref[b], so
+  /// neither q nor per-endpoint address polynomials are ever materialized.
   struct ReuseStep {
     std::uint32_t dim = 0;
     i64 delta = 0;
   };
   struct PreparedReuse {
     std::size_t source = 0;
-    i64 addr_delta = 0;  ///< Σ_d coeffs0[source][d] · delta_d
+    i64 addr_delta = 0;  ///< addr_delta_by_ref[source], kept hot for the line check
     std::vector<ReuseStep> steps;
+    std::vector<i64> addr_delta_by_ref;  ///< Σ_d coeffs0[b][d] · delta_d per ref b
   };
 
   struct Candidate {
     std::size_t source = 0;
+    std::uint32_t entry = 0;  ///< index into prepared_reuse_[ref]
+    std::uint32_t aux = 0;  ///< warm path: position in the binding's cand_entries
     int cmp = 0;            ///< compare(q_to, p_to), cached from gathering
-    std::vector<i64> q;     ///< 0-based source point
     std::vector<i64> q_to;  ///< tiled coordinates of q
-  };
-
-  /// Probe-cache entry (open-addressed, fixed capacity, inline key — no
-  /// heap traffic on lookups). The modulus (way size) and residue target
-  /// are fixed per analysis, and a box's coefficient vector is fully
-  /// determined by the reference and the set of box dimensions that
-  /// survive filtering (they are that reference's tiled coefficients), so
-  /// a box is identified by (kind, ref, dim mask, base, extents) — no
-  /// coefficients stored or compared. kEmptiness folds the base modulo
-  /// the way size (probe verdicts are invariant under that fold, which is
-  /// what makes boxes from different cache lines collide — the set
-  /// structure is periodic); kSameArrayInterference keys the true base
-  /// (its verdict depends on actual address values, not residues). Boxes
-  /// with more than kMaxCacheDims filtered dimensions bypass the cache.
-  static constexpr std::size_t kMaxCacheDims = 8;
-  static constexpr std::uint8_t kEmptiness = 0;
-  static constexpr std::uint8_t kSameArrayInterference = 1;
-  struct ProbeEntry {
-    std::uint64_t tag = 0;  ///< key hash, forced nonzero; 0 = empty slot
-    i64 base = 0;
-    std::uint64_t dim_mask = 0;  ///< tiled dims contributing an extent
-    std::uint32_t ref = 0;
-    std::uint8_t kind = 0;
-    std::uint8_t ndims = 0;
-    std::uint8_t verdict = 0;
-    std::array<i64, kMaxCacheDims> extents{};
   };
 
   /// Per-shard mutable state: reused buffers, the probe cache and the
@@ -148,38 +225,108 @@ class NestAnalysis {
     std::vector<Candidate> candidates;  ///< slot pool (inner buffers reused)
     std::size_t n_candidates = 0;
     std::vector<std::size_t> order;     ///< sorted candidate indices
-    std::vector<i64> p_to;     ///< tiled coordinates of the prepared point
-    std::vector<i64> pt_addr;  ///< byte address of each reference at the point
-    std::vector<i64> pt_line;  ///< cache line of each reference at the point
-    std::vector<i64> pt_set;   ///< cache set of each reference at the point
+    // Views the classifier reads. They alias either the scalar per-point
+    // buffers (prepare_point), one row of the SIMD block tables
+    // (prepare_block), or — for the address tables in EvalCache mode —
+    // rows of the binding's prepared tables.
+    const i64* p_to = nullptr;     ///< tiled coordinates of the point [2k]
+    const i64* pt_addr = nullptr;  ///< byte address per reference [n_refs]
+    const i64* pt_line = nullptr;  ///< cache line per reference [n_refs]
+    const i64* pt_set = nullptr;   ///< cache set per reference [n_refs]
+    std::vector<i64> p_to_buf;
+    std::vector<i64> pt_addr_buf;
+    std::vector<i64> pt_line_buf;
+    std::vector<i64> pt_set_buf;
+    std::vector<i64> blk_p_to;   ///< SoA block rows: [i * 2k + d], i < 4
+    std::vector<i64> blk_addr;   ///< [i * n_refs + b]
+    std::vector<i64> blk_line;
+    std::vector<i64> blk_set;
+    std::vector<i64> lane_buf;   ///< z transposed to lanes: [d * 4 + i]
     std::vector<i64> lines_found;
     TiledBoxList boxes;
     CongruenceBox box;
-    std::vector<ProbeEntry> probe_cache;  ///< power-of-two slots, lazily sized
+    detail::ProbeTable probe_cache_storage;
+    /// The probe table in use: the per-batch storage above, or a
+    /// persistent per-worker table owned by an EvalCache.
+    detail::ProbeTable* probe_cache = &probe_cache_storage;
     std::size_t probe_cache_hint = 0;  ///< expected probe volume (sizes the table)
+    std::uint32_t epoch = 0;  ///< binding epoch stamped into new entries
+    /// Persistent-probe-table statistics sink (EvalCache mode only).
+    EvalCacheStats* eval_stats = nullptr;
     ProbeCounters counters;
     bool use_cache = false;
   };
 
   i64 address_at(std::size_t ref, std::span<const i64> z) const;
   /// Fill the point-shared parts of the scratch (tiled coordinates, cache
-  /// line and set per reference): one call serves all n_refs
-  /// classifications of the same point.
+  /// line and set per reference) for one point, scalar: one call serves
+  /// all n_refs classifications of the same point. Rebinds the views.
   void prepare_point(std::span<const i64> z, Scratch& scratch) const;
-  /// Classify one access; prepare_point(z, scratch) must have run.
-  Outcome classify_impl(std::span<const i64> z, std::size_t ref, Scratch& scratch) const;
+  /// SIMD batch prepare: same tables for up to four points at once in
+  /// structure-of-arrays form (lane = point). `addresses` false computes
+  /// only the tiled coordinates (EvalCache mode reads addresses from the
+  /// binding's prepared tables). Callers bind the views per point with
+  /// bind_block_row.
+  void prepare_block(std::span<const std::vector<i64>> points, std::size_t first,
+                     std::size_t count, bool addresses, Scratch& scratch) const;
+  void bind_block_row(std::size_t i, bool addresses, Scratch& scratch) const;
+  /// Classify one access; the scratch views must be bound for z.
+  /// `pre` (optional) is the prefiltered candidate-entry list from an
+  /// EvalCache binding: indices into prepared_reuse_[ref] that pass the
+  /// tile-independent inside-bounds and same-line filters at z, letting
+  /// the gather skip those checks.
+  Outcome classify_impl(std::span<const i64> z, std::size_t ref, Scratch& scratch,
+                        const std::uint16_t* pre = nullptr, std::size_t n_pre = 0) const;
   bool interval_interference_free(const Candidate& cand, std::span<const i64> p_to,
                                   std::size_t ref, i64 line_a, Scratch& scratch) const;
+  /// The strict-interior part of the interference test (congruence boxes
+  /// over the open lex interval (q, p)): scratch.lines_found must already
+  /// hold the distinct conflicting lines from both endpoint scans.
+  bool interior_interference_free(const Candidate& cand, std::span<const i64> p_to,
+                                  std::size_t ref, i64 line_a, Scratch& scratch) const;
+  /// Warm-path classification against an EvalCache binding: the gather
+  /// reads per-genome tiled-coordinate tables (one floor_div/floor_mod
+  /// per (point, distinct step) instead of per (point, ref, entry)), and
+  /// the tile-independent endpoint interference scans come precomputed
+  /// from the binding (EvalPrepared::cand_flags / q_lines / p_lines);
+  /// only the interior box probes run per genome. Bit-identical to
+  /// classify_impl by construction. `footprint` (out) is the set of dims
+  /// whose tile sizes the evaluation consulted — the verdict-memo key
+  /// (eval_cache.hpp §2): the pair's S0 dims always; plus, per interior
+  /// probe, the lex-interval suffix dims (every dim when a tile
+  /// coordinate differs, the dims after the first differing offset
+  /// coordinate otherwise — those suffix extents are the tile sizes).
+  Outcome classify_warm(std::size_t ref, Scratch& scratch, const detail::EvalPrepared& prep,
+                        std::size_t pr, const i64* qt_row, const i64* qo_row,
+                        std::uint32_t* footprint) const;
+  /// Build the per-genome warm tables: z's tiled coordinates per point
+  /// (zto, [p * 2k + {d | k + d}], to_tiled_into layout) and the tiled
+  /// coordinates of z − delta per (point, dstep) (qt/qo, [p * nd + s]).
+  /// With `simd`, four points share each divisor via floor_div_mod_u52 —
+  /// bit-identical to the scalar division (simd_test pins). Cells whose
+  /// z − delta falls outside [0, trips) are clamped into range: no
+  /// prefiltered entry reads them (the bind-time bounds check failed),
+  /// the clamp only keeps the u52 guard satisfied.
+  void build_warm_tables(std::span<const std::vector<i64>> points,
+                         const detail::EvalPrepared& prep, bool simd, std::vector<i64>& zto,
+                         std::vector<i64>& qt_tab, std::vector<i64>& qo_tab) const;
   Emptiness cached_probe(const CongruenceBox& box, std::size_t ref, std::uint64_t dim_mask,
-                         Scratch& scratch) const;
+                         std::span<const i64> tile_key, Scratch& scratch) const;
   bool same_array_box_interferes(const CongruenceBox& box, std::size_t ref,
-                                 std::uint64_t dim_mask, Scratch& scratch) const;
+                                 std::uint64_t dim_mask, std::span<const i64> tile_key,
+                                 Scratch& scratch) const;
   /// Locate the cache slot for a key; on a miss the slot's key fields are
   /// written (possibly evicting an older entry) and the caller fills
   /// `verdict`.
-  ProbeEntry* find_probe_slot(Scratch& scratch, std::uint8_t kind, std::size_t ref,
-                              std::uint64_t dim_mask, i64 base, std::span<const i64> extents,
-                              bool& hit) const;
+  detail::ProbeEntry* find_probe_slot(Scratch& scratch, std::uint8_t kind, std::size_t ref,
+                                      std::uint64_t dim_mask, i64 base,
+                                      std::span<const i64> extents, std::span<const i64> tile_key,
+                                      bool& hit) const;
+  /// Bind (or validate) an EvalCache level against this analysis:
+  /// computes the binding digest, rebuilding the tile-independent
+  /// prepared tables and bumping the epoch when it changed. Caller holds
+  /// the level mutex.
+  void bind_eval_level(detail::EvalLevel& level, std::span<const std::vector<i64>> points) const;
 
   const ir::LoopNest* nest_;
   ir::MemoryLayout layout_;
@@ -194,6 +341,9 @@ class NestAnalysis {
   int line_shift_ = 0;  ///< log2(line_bytes); line size is a validated po2
   i64 sets_ = 1;
   i64 set_mask_ = -1;   ///< sets - 1 when the set count is po2, else -1
+  /// Trip counts fit the SIMD floor-div's exact f64 range (always true
+  /// for realistic nests; guards the batch-prepare fast path).
+  bool simd_ok_ = false;
   /// Written only outside parallel regions: by the scalar classify()
   /// (single-thread contract) and by the post-batch merge of per-shard
   /// counters. Never touched inside classify_batch's parallel_for.

@@ -25,12 +25,17 @@ i64 resolved_sample_count(const EstimatorOptions& options) {
   return required_sample_size(options.ci_width, options.confidence);
 }
 
-MissEstimate estimate_with_points(const NestAnalysis& analysis,
-                                  std::span<const std::vector<i64>> points, double confidence) {
+namespace {
+
+/// Fold a batch's outcomes into a MissEstimate (shared by the plain and
+/// EvalCache-backed sampled estimators).
+MissEstimate tally_outcomes(const NestAnalysis& analysis,
+                            std::span<const std::vector<i64>> points,
+                            const std::vector<Outcome>& outcomes, double confidence) {
   const ir::LoopNest& nest = analysis.nest();
   const std::size_t n_refs = nest.refs.size();
   i64 cold = 0, repl = 0;
-  for (const Outcome outcome : analysis.classify_batch(points)) {
+  for (const Outcome outcome : outcomes) {
     switch (outcome) {
       case Outcome::ColdMiss: ++cold; break;
       case Outcome::ReplacementMiss: ++repl; break;
@@ -50,6 +55,20 @@ MissEstimate estimate_with_points(const NestAnalysis& analysis,
   e.replacement_half_width = replacement.half_width;
   e.cold_ratio = (double)cold / (double)trials;
   return e;
+}
+
+}  // namespace
+
+MissEstimate estimate_with_points(const NestAnalysis& analysis,
+                                  std::span<const std::vector<i64>> points, double confidence) {
+  return tally_outcomes(analysis, points, analysis.classify_batch(points), confidence);
+}
+
+MissEstimate estimate_with_points(const NestAnalysis& analysis,
+                                  std::span<const std::vector<i64>> points, double confidence,
+                                  EvalCache& cache, std::size_t level) {
+  return tally_outcomes(analysis, points, analysis.classify_batch(points, cache, level),
+                        confidence);
 }
 
 MissEstimate estimate_misses(const NestAnalysis& analysis, const EstimatorOptions& options) {

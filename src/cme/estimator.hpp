@@ -76,6 +76,14 @@ MissEstimate estimate_with_points(const NestAnalysis& analysis,
                                   std::span<const std::vector<i64>> points,
                                   double confidence = 0.90);
 
+/// Incremental variant: classification goes through the EvalCache overload
+/// of classify_batch — bit-identical estimates, but prepared tables and
+/// verdicts are reused across analyses sharing everything but the tile
+/// vector (cme/eval_cache.hpp). `level` selects the cache slice.
+MissEstimate estimate_with_points(const NestAnalysis& analysis,
+                                  std::span<const std::vector<i64>> points, double confidence,
+                                  EvalCache& cache, std::size_t level);
+
 /// Estimate with options (sampled, or exact under the threshold).
 MissEstimate estimate_misses(const NestAnalysis& analysis, const EstimatorOptions& options = {});
 

@@ -1,0 +1,60 @@
+#include "cme/eval_cache.hpp"
+
+namespace cmetile::cme {
+
+namespace detail {
+
+EvalWorker* EvalLevel::acquire() {
+  std::lock_guard lock(mutex);
+  if (!free_workers.empty()) {
+    EvalWorker* worker = free_workers.back();
+    free_workers.pop_back();
+    return worker;
+  }
+  workers.push_back(std::make_unique<EvalWorker>());
+  return workers.back().get();
+}
+
+void EvalLevel::release(EvalWorker* worker) {
+  std::lock_guard lock(mutex);
+  free_workers.push_back(worker);
+}
+
+}  // namespace detail
+
+detail::EvalLevel& EvalCache::level(std::size_t index) {
+  std::lock_guard lock(mutex_);
+  while (levels_.size() <= index) levels_.push_back(std::make_unique<detail::EvalLevel>());
+  return *levels_[index];
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats total;
+  std::lock_guard lock(mutex_);
+  for (const auto& level : levels_) {
+    std::lock_guard level_lock(level->mutex);
+    total.rebinds += level->rebinds;
+    for (const auto& worker : level->workers) total += worker->stats;
+  }
+  return total;
+}
+
+void EvalCache::clear() {
+  std::lock_guard lock(mutex_);
+  for (const auto& level : levels_) {
+    std::lock_guard level_lock(level->mutex);
+    level->bound = false;
+    level->points_ptr = nullptr;
+    level->points_len = 0;
+    level->prepared = detail::EvalPrepared{};
+    // Epoch is NOT reset: existing worker entries stay stale forever.
+    for (const auto& worker : level->workers) {
+      worker->verdicts.clear();
+      worker->probes.clear();
+      worker->stats = EvalCacheStats{};
+    }
+    level->rebinds = 0;
+  }
+}
+
+}  // namespace cmetile::cme

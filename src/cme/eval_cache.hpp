@@ -1,0 +1,215 @@
+#pragma once
+// Cross-genome evaluation cache for the GA's inner loop (DESIGN.md §14).
+// A GA child genome shares most tile dimensions with previously evaluated
+// genomes; everything in the CME pipeline that does not depend on the
+// changed dims can be reused instead of recomputed. An EvalCache carries
+// that state across NestAnalysis instances — one logical slice ("level")
+// per cache-hierarchy level, each holding:
+//
+//  1. Prepared tables (tile-INDEPENDENT, rebuilt only when the binding
+//     changes): per-point per-reference byte addresses, cache lines and
+//     sets; per (point, ref) the prefiltered reuse-candidate list (the
+//     prepared_reuse entries passing the inside-bounds and same-line
+//     checks, which depend only on the point), its S0 mask — the union
+//     of the candidates' stepped dims — and, where the same-iteration
+//     theorem applies (bind_eval_level), a pre-resolved verdict that is
+//     exact under every tile vector: those (point, ref) pairs skip
+//     classification entirely, for every genome of the run.
+//
+//  2. A verdict memo (per worker): Outcome keyed by (point index, ref,
+//     epoch) plus the evaluation's tile FOOTPRINT — the set of dims whose
+//     tile sizes classification actually consulted, recorded alongside
+//     the verdict with their tile values. The footprint is exact by a
+//     trace argument: every tile-dependent value the evaluation reads is
+//     a function of the footprint dims' tiles (classify_warm documents
+//     the accumulation rule — S0 dims for the candidate set, sort order
+//     and reuse coordinates; interior-probe suffix dims for the
+//     congruence boxes, whose extents, coefficients and folded bases
+//     depend only on those tiles once the endpoint scans are bound), so
+//     under any tile vector agreeing on the footprint the whole trace —
+//     and hence the Outcome — is identical. Warm lookups are therefore
+//     bit-identical to cold evaluation, which eval_cache_test pins
+//     across random mutation chains. Verdicts with footprints wider than
+//     kMaxMemoDims are not stored.
+//
+//  3. A persistent probe table (per worker): the batch classifier's
+//     congruence-probe verdict cache, lifted to run lifetime. Entries key
+//     the tile sizes of the box's filtered tile-coordinate dims (see
+//     detail::ProbeEntry), so a box re-encountered under a different tile
+//     vector with the same key *is* the same box and its verdict is
+//     reused.
+//
+// Binding and invalidation: a level is bound to the FNV-1a digest of
+// everything the classification depends on besides the tile vector —
+// nest shape (trips), cache geometry (line/sets/ways/assoc), probe
+// budgets, per-reference address polynomials, the prepared reuse
+// structure, and the sample points. Rebinding to a different digest
+// rebuilds the prepared tables and bumps the 32-bit epoch; memo and probe
+// entries are invalidated lazily by their epoch field. The sample-points
+// span is identity-checked by address (contract: the caller keeps the
+// sample alive, unmodified and at a stable address while the cache is in
+// use — core/objective owns both the cache and the sample, so this holds
+// by construction).
+//
+// Concurrency: levels are created on demand under the cache mutex; each
+// concurrent classify_batch shard checks out its own worker (verdict +
+// probe tables) from the level's pool, so outcomes are bit-identical
+// regardless of scheduling. Hit *counts* can vary across runs when
+// multiple workers race to populate their private tables; with one
+// thread (the GA's nested-parallel case) they are deterministic.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cme/analysis.hpp"
+
+namespace cmetile::cme {
+
+struct EvalCacheOptions {
+  std::size_t verdict_capacity = 1u << 16;  ///< verdict slots per worker (rounded to po2)
+  std::size_t probe_capacity = 1u << 17;    ///< persistent probe slots per worker
+  bool verdict_memo = true;  ///< reuse classification verdicts across genomes
+  bool probe_memo = true;    ///< persist probe verdicts across genomes
+};
+
+struct EvalCacheStats {
+  i64 verdict_lookups = 0;  ///< verdict-memo lookups (one per unresolved (point, ref) pair)
+  i64 verdict_hits = 0;     ///< classifications answered from the memo
+  i64 probe_lookups = 0;    ///< persistent-probe-table lookups
+  i64 probe_hits = 0;
+  i64 rebinds = 0;          ///< binding changes (prepared tables rebuilt)
+
+  EvalCacheStats& operator+=(const EvalCacheStats& o) {
+    verdict_lookups += o.verdict_lookups;
+    verdict_hits += o.verdict_hits;
+    probe_lookups += o.probe_lookups;
+    probe_hits += o.probe_hits;
+    rebinds += o.rebinds;
+    return *this;
+  }
+};
+
+namespace detail {
+
+/// Verdict-memo entry: Outcome of (point, ref) under the tile sizes of
+/// the evaluation's footprint dims (dim_mask, values in ascending dim
+/// order). Slots are addressed by (point, ref) alone so a lookup finds
+/// the entry whatever its footprint; the stored tiles are compared
+/// against the current genome's. Epoch mismatch = stale.
+inline constexpr std::size_t kMaxMemoDims = 4;
+struct VerdictEntry {
+  std::uint32_t point = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t dim_mask = 0;  ///< footprint: bit d = tile of dim d consulted
+  std::uint16_t ref = 0;
+  std::uint8_t verdict = 0;
+  std::array<i64, kMaxMemoDims> tiles{};
+};
+using VerdictTable = TagTable<VerdictEntry>;
+
+/// pre_verdict value for "not decided at bind time — classify normally".
+inline constexpr std::uint8_t kNoPreVerdict = 0xFF;
+
+/// EvalPrepared::cand_flags bits (per prefiltered candidate entry).
+inline constexpr std::uint8_t kCandSameIter = 1;  ///< zero reuse vector (cmp == 0 always)
+inline constexpr std::uint8_t kCandQFail = 2;     ///< q-endpoint scan alone reaches assoc
+/// EvalPrepared::pair_flags bits (per (point, ref) pair).
+inline constexpr std::uint8_t kPairPFail = 1;  ///< p-endpoint scan alone reaches assoc
+
+/// Tile-independent per-binding tables (eval_cache.hpp header comment §1).
+struct EvalPrepared {
+  std::vector<i64> pt_addr;  ///< [p * n_refs + b]
+  std::vector<i64> pt_line;
+  std::vector<i64> pt_set;
+  /// Prefiltered candidate lists, flattened: entries for (p, r) are
+  /// cand_entries[cand_offsets[p * n_refs + r] .. cand_offsets[.. + 1]).
+  std::vector<std::uint32_t> cand_offsets;
+  std::vector<std::uint16_t> cand_entries;  ///< indices into prepared_reuse_[r]
+  std::vector<std::uint32_t> s0_mask;       ///< [p * n_refs + r]; bit d = dim d stepped
+  /// Bind-time verdicts (the same-iteration theorem — see bind_eval_level):
+  /// an Outcome valid under EVERY tile vector, or kNoPreVerdict.
+  std::vector<std::uint8_t> pre_verdict;  ///< [p * n_refs + r]
+  std::vector<std::uint8_t> point_unresolved;  ///< [p]; 0 = all refs pre-decided
+  /// Pairs left for per-genome classification (pre_verdict == kNoPreVerdict):
+  /// the volume the per-worker memo tables are sized against.
+  std::size_t n_unresolved = 0;
+  /// Distinct (dim, delta) pairs across every reuse generator's steps.
+  /// classify_batch builds per-genome tables of floor_div / floor_mod of
+  /// (z_d − delta) by T_d per (point, dstep): one division serves every
+  /// (ref, entry) sharing the step, and the warm gather becomes lookups.
+  std::vector<std::uint32_t> dstep_dim;
+  std::vector<i64> dstep_delta;
+  /// Per ref: flattened entry → dstep-index lists, in PreparedReuse::steps
+  /// order (ascending dim): entry e's dsteps are
+  /// entry_dstep[r][entry_dstep_off[r][e] .. entry_dstep_off[r][e + 1]).
+  std::vector<std::vector<std::uint32_t>> entry_dstep_off;
+  std::vector<std::vector<std::uint16_t>> entry_dstep;
+  /// Tile-independent endpoint-interference scans, precomputed for
+  /// unresolved pairs (classify_warm): per candidate entry the q-endpoint
+  /// distinct conflicting lines (kCandQFail when they alone reach assoc),
+  /// per pair the p-endpoint equivalent. Lists are capped below assoc.
+  std::vector<std::uint8_t> cand_flags;    ///< parallel to cand_entries
+  std::vector<std::uint32_t> q_lines_off;  ///< parallel to cand_entries (+1 sentinel)
+  std::vector<i64> q_lines;
+  std::vector<std::uint8_t> pair_flags;    ///< [p * n_refs + r]
+  std::vector<std::uint32_t> p_lines_off;  ///< [p * n_refs + r] (+1 sentinel)
+  std::vector<i64> p_lines;
+};
+
+/// One checkout-exclusive bundle of mutable state.
+struct EvalWorker {
+  VerdictTable verdicts;
+  ProbeTable probes;
+  EvalCacheStats stats;
+};
+
+struct EvalLevel {
+  std::uint64_t binding_lo = 0;
+  std::uint64_t binding_hi = 0;
+  bool bound = false;
+  std::uint32_t epoch = 0;
+  /// Sample-identity fast path: when the span address and length match,
+  /// the cached content hash is reused instead of rehashing every point.
+  const std::vector<i64>* points_ptr = nullptr;
+  std::size_t points_len = 0;
+  std::uint64_t points_hash = 0;
+  EvalPrepared prepared;
+  std::vector<std::unique_ptr<EvalWorker>> workers;
+  std::vector<EvalWorker*> free_workers;
+  i64 rebinds = 0;
+  std::mutex mutex;
+
+  /// Check out a worker (creating one if the pool is dry) / return it.
+  EvalWorker* acquire();
+  void release(EvalWorker* worker);
+};
+
+}  // namespace detail
+
+class EvalCache {
+ public:
+  explicit EvalCache(EvalCacheOptions options = {}) : options_(options) {}
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  const EvalCacheOptions& options() const { return options_; }
+
+  /// Aggregate statistics across all levels and workers.
+  EvalCacheStats stats() const;
+
+  /// Drop every binding, verdict and probe entry (levels stay allocated).
+  void clear();
+
+  /// Internal (used by NestAnalysis::classify_batch): the per-level state,
+  /// created on demand; the reference stays valid for the cache lifetime.
+  detail::EvalLevel& level(std::size_t index);
+
+ private:
+  EvalCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<detail::EvalLevel>> levels_;
+};
+
+}  // namespace cmetile::cme

@@ -6,12 +6,18 @@ namespace cmetile::cme {
 
 HierarchyAnalysis::HierarchyAnalysis(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                                      cache::Hierarchy hierarchy,
-                                     const transform::TileVector& tiles, AnalysisOptions options)
+                                     const transform::TileVector& tiles, AnalysisOptions options,
+                                     std::span<const reuse::ReuseInfo> shared_reuse_by_level)
     : hierarchy_(std::move(hierarchy)) {
   hierarchy_.validate();
+  expects(shared_reuse_by_level.empty() || shared_reuse_by_level.size() == hierarchy_.depth(),
+          "HierarchyAnalysis: shared reuse arity mismatch");
   levels_.reserve(hierarchy_.depth());
-  for (const cache::CacheLevel& level : hierarchy_.levels)
-    levels_.emplace_back(nest, layout, level.config, tiles, options);
+  for (std::size_t l = 0; l < hierarchy_.depth(); ++l) {
+    AnalysisOptions level_options = options;
+    if (!shared_reuse_by_level.empty()) level_options.shared_reuse = &shared_reuse_by_level[l];
+    levels_.emplace_back(nest, layout, hierarchy_.levels[l].config, tiles, level_options);
+  }
 }
 
 double weighted_cost(const cache::Hierarchy& hierarchy, std::span<const MissEstimate> levels) {
@@ -23,11 +29,14 @@ double weighted_cost(const cache::Hierarchy& hierarchy, std::span<const MissEsti
 
 HierarchyEstimate estimate_hierarchy_with_points(const HierarchyAnalysis& analysis,
                                                  std::span<const std::vector<i64>> points,
-                                                 double confidence) {
+                                                 double confidence, EvalCache* cache) {
   HierarchyEstimate estimate;
   estimate.levels.reserve(analysis.depth());
-  for (std::size_t l = 0; l < analysis.depth(); ++l)
-    estimate.levels.push_back(estimate_with_points(analysis.level(l), points, confidence));
+  for (std::size_t l = 0; l < analysis.depth(); ++l) {
+    estimate.levels.push_back(
+        cache != nullptr ? estimate_with_points(analysis.level(l), points, confidence, *cache, l)
+                         : estimate_with_points(analysis.level(l), points, confidence));
+  }
   estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels);
   return estimate;
 }

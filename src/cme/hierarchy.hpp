@@ -32,9 +32,14 @@ namespace cmetile::cme {
 class HierarchyAnalysis {
  public:
   /// Validates the hierarchy; builds one NestAnalysis per level.
+  /// `shared_reuse_by_level` (optional) supplies a precomputed ReuseInfo
+  /// per level — level l's entry becomes options.shared_reuse for that
+  /// level's NestAnalysis (same ownership contract as AnalysisOptions).
+  /// Must be empty or exactly hierarchy depth.
   HierarchyAnalysis(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                     cache::Hierarchy hierarchy, const transform::TileVector& tiles,
-                    AnalysisOptions options = {});
+                    AnalysisOptions options = {},
+                    std::span<const reuse::ReuseInfo> shared_reuse_by_level = {});
 
   std::size_t depth() const { return levels_.size(); }
   const NestAnalysis& level(std::size_t l) const { return levels_[l]; }
@@ -60,9 +65,13 @@ struct HierarchyEstimate {
 
 /// Estimate every level on one shared sample (the hierarchy analogue of
 /// estimate_with_points; see that function for the sampling contract).
+/// `cache` (optional) routes each level's classification through the
+/// EvalCache slice of the same index — bit-identical estimates with
+/// cross-genome reuse (cme/eval_cache.hpp).
 HierarchyEstimate estimate_hierarchy_with_points(const HierarchyAnalysis& analysis,
                                                  std::span<const std::vector<i64>> points,
-                                                 double confidence = 0.90);
+                                                 double confidence = 0.90,
+                                                 EvalCache* cache = nullptr);
 
 /// Estimate every level with options (sampled, or exact under the
 /// threshold — the hierarchy analogue of estimate_misses).

@@ -20,6 +20,12 @@ TilingObjective::TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layo
   hierarchy_.validate();
   const i64 n = cme::resolved_sample_count(options_.estimator);
   points_ = cme::sample_points(nest, n, options_.estimator.seed);
+  // Reuse analysis is a function of (nest, layout, line_bytes) only —
+  // compute it once per level here instead of once per genome.
+  reuse_by_level_.reserve(hierarchy_.depth());
+  for (const cache::CacheLevel& level : hierarchy_.levels)
+    reuse_by_level_.push_back(reuse::analyze_reuse(nest, layout_, level.config.line_bytes));
+  if (options_.incremental) eval_cache_ = std::make_shared<cme::EvalCache>(options_.eval_cache);
 }
 
 bool TilingObjective::is_legal(const transform::TileVector& tiles) const {
@@ -34,15 +40,23 @@ std::vector<ga::VarDomain> TilingObjective::domains() const {
 
 cme::MissEstimate TilingObjective::evaluate(const transform::TileVector& tiles) const {
   // Level-0 only: don't pay for the outer levels' analyses here.
+  cme::AnalysisOptions analysis_options = options_.analysis;
+  analysis_options.shared_reuse = &reuse_by_level_.front();
   const cme::NestAnalysis analysis(*nest_, layout_, hierarchy_.levels.front().config, tiles,
-                                   options_.analysis);
+                                   analysis_options);
+  if (eval_cache_ != nullptr) {
+    return cme::estimate_with_points(analysis, points_, options_.estimator.confidence,
+                                     *eval_cache_, 0);
+  }
   return cme::estimate_with_points(analysis, points_, options_.estimator.confidence);
 }
 
 cme::HierarchyEstimate TilingObjective::evaluate_hierarchy(
     const transform::TileVector& tiles) const {
-  const cme::HierarchyAnalysis analysis(*nest_, layout_, hierarchy_, tiles, options_.analysis);
-  return cme::estimate_hierarchy_with_points(analysis, points_, options_.estimator.confidence);
+  const cme::HierarchyAnalysis analysis(*nest_, layout_, hierarchy_, tiles, options_.analysis,
+                                        reuse_by_level_);
+  return cme::estimate_hierarchy_with_points(analysis, points_, options_.estimator.confidence,
+                                             eval_cache_.get());
 }
 
 double TilingObjective::operator()(std::span<const i64> tiles) const {

@@ -12,7 +12,9 @@
 // plain replacement-miss count, bit for bit. Operator() is thread-safe
 // (the GA evaluates populations in parallel).
 
+#include <memory>
 #include <span>
+#include "cme/eval_cache.hpp"
 #include "cme/hierarchy.hpp"
 #include "ga/encoding.hpp"
 #include "transform/legality.hpp"
@@ -24,6 +26,14 @@ namespace cmetile::core {
 struct ObjectiveOptions {
   cme::EstimatorOptions estimator;
   cme::AnalysisOptions analysis;
+  /// Reuse per-reference prepared tables and classification/probe verdicts
+  /// across genomes through a per-objective cme::EvalCache (bit-identical
+  /// costs; cme/eval_cache.hpp). TilingObjective only: the padding and
+  /// joint objectives rebuild the layout per genome, which changes the
+  /// cache binding every evaluation — a rebind per call costs more than it
+  /// saves, so they always evaluate cold.
+  bool incremental = true;
+  cme::EvalCacheOptions eval_cache;
 };
 
 /// Cost of a tile vector = latency-weighted replacement misses of the
@@ -64,6 +74,11 @@ class TilingObjective {
   const ir::LoopNest& nest() const { return *nest_; }
   const cache::Hierarchy& hierarchy() const { return hierarchy_; }
 
+  /// Aggregate EvalCache statistics (zeros when incremental is off).
+  cme::EvalCacheStats eval_cache_stats() const {
+    return eval_cache_ != nullptr ? eval_cache_->stats() : cme::EvalCacheStats{};
+  }
+
  private:
   const ir::LoopNest* nest_;
   ir::MemoryLayout layout_;
@@ -72,6 +87,14 @@ class TilingObjective {
   std::vector<std::vector<i64>> points_;
   std::vector<std::vector<i64>> risky_deps_;
   std::vector<i64> trips_;
+  /// Reuse analysis per hierarchy level (line sizes differ; the layout is
+  /// fixed for the objective's lifetime) — computed once, then shared with
+  /// every per-genome analysis via AnalysisOptions::shared_reuse.
+  std::vector<reuse::ReuseInfo> reuse_by_level_;
+  /// Cross-genome evaluation cache (options_.incremental). shared_ptr so
+  /// the objective stays copyable — copies share the cache, which is safe
+  /// because cached results are bit-identical to cold evaluation.
+  std::shared_ptr<cme::EvalCache> eval_cache_;
 };
 
 /// Cost of a pad vector = latency-weighted estimated replacement misses of

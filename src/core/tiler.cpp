@@ -88,6 +88,10 @@ HierarchyTilingResult optimize_tiling(const ir::LoopNest& nest, const ir::Memory
   result.tiles = transform::TileVector::clamped(result.ga.best_values, nest);
   result.before = objective.evaluate_hierarchy(transform::TileVector::untiled(nest));
   result.after = objective.evaluate_hierarchy(result.tiles);
+  // Surface the incremental-evaluation counters next to memo_hits().
+  const cme::EvalCacheStats cache_stats = objective.eval_cache_stats();
+  result.ga.eval_cache_lookups = cache_stats.verdict_lookups;
+  result.ga.eval_cache_hits = cache_stats.verdict_hits;
   return result;
 }
 

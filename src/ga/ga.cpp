@@ -39,7 +39,12 @@ GaResult GeneticOptimizer::run(const Objective& objective) {
   // order cannot leak into results (pinned by ga_test's determinism and
   // memo-hit regressions).
   std::unordered_map<std::vector<i64>, double, I64VecHash> memo;
-  memo.reserve(options_.population * (std::size_t)(options_.max_generations + 1));
+  // Reserve one generation's worth of entries, not population ×
+  // generations: the memo exists precisely because later generations
+  // mostly revisit earlier individuals, so pre-reserving the no-hit
+  // worst case wasted buckets on every run. The map still grows on
+  // demand if a run really does keep finding new individuals.
+  memo.reserve(options_.population);
 
   std::vector<Genome> population(options_.population);
   for (Genome& genome : population) genome = encoding_.random_genome(rng);

@@ -51,6 +51,12 @@ struct GaResult {
   i64 evaluations = 0;         ///< individual evaluations incl. memo hits (paper counts these: ~450)
   /// Evaluations the memo answered without invoking the objective.
   i64 memo_hits() const { return evaluations - objective_calls; }
+  /// Incremental-evaluation (cme::EvalCache) counters, filled by callers
+  /// that own the objective (core/tiler): verdict-memo lookups and hits
+  /// across the run. Zero when incremental evaluation is off or the
+  /// objective does not use an EvalCache.
+  i64 eval_cache_lookups = 0;
+  i64 eval_cache_hits = 0;
   int generations = 0;
   bool converged = false;
   std::vector<GenerationStats> history;

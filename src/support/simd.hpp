@@ -1,0 +1,240 @@
+#pragma once
+// Portable 4-lane 64-bit integer SIMD wrapper for the CME batch classifier
+// (DESIGN.md §14). The backend is selected at configure time by the
+// CMETILE_SIMD CMake option:
+//
+//   CMETILE_SIMD_AVX2 — AVX2 __m256i (x86-64, -mavx2)
+//   CMETILE_SIMD_NEON — 2 × int64x2_t (aarch64)
+//   neither           — scalar lanes (the fallback, and the semantics spec)
+//
+// Every operation is defined to produce EXACTLY the scalar two's-complement
+// result lane by lane: mul wraps mod 2^64, shr is an arithmetic shift,
+// comparisons are signed and yield all-ones/all-zero lane masks. The batch
+// classifier's bit-identity contract (batched == per-point classify, SIMD
+// leg == scalar-fallback leg) rests on this; simd_test pins each op
+// against its scalar definition, and the classifier tests pin the
+// composition.
+//
+// This header is intentionally kept out of every public cme header: only
+// .cpp files compiled with the backend's flags (cmetile_simd_config in
+// CMake) may include it, so no SIMD type ever crosses a TU boundary built
+// with different flags.
+
+#include <array>
+#include <cstdint>
+
+#include "support/int_math.hpp"
+
+#if defined(CMETILE_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(CMETILE_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace cmetile::simd {
+
+inline constexpr int kLanes = 4;
+
+#if defined(CMETILE_SIMD_AVX2)
+inline constexpr const char* kBackend = "avx2";
+#elif defined(CMETILE_SIMD_NEON)
+inline constexpr const char* kBackend = "neon";
+#else
+inline constexpr const char* kBackend = "scalar";
+#endif
+
+#if defined(CMETILE_SIMD_AVX2)
+
+struct I64x4 {
+  __m256i v;
+};
+
+inline I64x4 load(const i64* p) { return {_mm256_loadu_si256((const __m256i*)p)}; }
+inline void store(i64* p, I64x4 x) { _mm256_storeu_si256((__m256i*)p, x.v); }
+inline I64x4 splat(i64 x) { return {_mm256_set1_epi64x(x)}; }
+inline I64x4 add(I64x4 a, I64x4 b) { return {_mm256_add_epi64(a.v, b.v)}; }
+inline I64x4 sub(I64x4 a, I64x4 b) { return {_mm256_sub_epi64(a.v, b.v)}; }
+inline I64x4 bit_and(I64x4 a, I64x4 b) { return {_mm256_and_si256(a.v, b.v)}; }
+inline I64x4 bit_or(I64x4 a, I64x4 b) { return {_mm256_or_si256(a.v, b.v)}; }
+inline I64x4 bit_andnot(I64x4 a, I64x4 b) {
+  // a & ~b (note the operand order of the intrinsic).
+  return {_mm256_andnot_si256(b.v, a.v)};
+}
+
+/// Low 64 bits of the 64×64 product, exactly as scalar wraparound
+/// multiplication. AVX2 has no 64-bit mullo; the three 32×32 partial
+/// products reconstruct it (the high cross terms fall out of the low 64).
+inline I64x4 mul(I64x4 a, I64x4 b) {
+  const __m256i lo = _mm256_mul_epu32(a.v, b.v);
+  const __m256i a_hi = _mm256_srli_epi64(a.v, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b.v, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b.v), _mm256_mul_epu32(a.v, b_hi));
+  return {_mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))};
+}
+
+/// Arithmetic right shift by n ∈ [0, 63]. AVX2 only has the logical form
+/// for 64-bit lanes; negative lanes get their sign bits re-planted.
+inline I64x4 shr_arith(I64x4 x, int n) {
+  const __m256i logical = _mm256_srl_epi64(x.v, _mm_cvtsi32_si128(n));
+  const __m256i sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), x.v);
+  const __m256i fix = _mm256_sll_epi64(sign, _mm_cvtsi32_si128(64 - n));
+  return {_mm256_or_si256(logical, fix)};
+}
+
+/// Signed a > b per lane: all-ones lane on true, zero on false.
+inline I64x4 cmp_gt(I64x4 a, I64x4 b) { return {_mm256_cmpgt_epi64(a.v, b.v)}; }
+inline I64x4 cmp_eq(I64x4 a, I64x4 b) { return {_mm256_cmpeq_epi64(a.v, b.v)}; }
+
+/// True if any lane of the mask has its sign bit set (i.e. is all-ones).
+inline bool any(I64x4 mask) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(mask.v)) != 0;
+}
+
+/// mask ? a : b per lane (mask lanes must be all-ones or all-zero).
+inline I64x4 blend(I64x4 mask, I64x4 a, I64x4 b) {
+  return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+}
+
+/// Floor divide/modulo nonnegative lanes by a positive divisor:
+/// q = z / d, r = z % d, exact for 0 <= z < 2^52 and 1 <= d < 2^52
+/// (the classifier guards the range; iteration coordinates are far below
+/// it). The double division is correctly rounded so the truncated
+/// quotient is off by at most one; two correction passes restore
+/// r ∈ [0, d) exactly.
+inline void floor_div_mod_u52(I64x4 z, i64 divisor, I64x4& q, I64x4& r) {
+  const __m256d magic = _mm256_set1_pd(0x1.0p52);
+  const __m256i magic_bits = _mm256_castpd_si256(magic);
+  const __m256d zd =
+      _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(z.v, magic_bits)), magic);
+  const __m256d qd = _mm256_floor_pd(_mm256_div_pd(zd, _mm256_set1_pd((double)divisor)));
+  __m256i qi = _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(qd, magic)), magic_bits);
+  const I64x4 t = splat(divisor);
+  __m256i ri = _mm256_sub_epi64(z.v, mul(I64x4{qi}, t).v);
+  for (int pass = 0; pass < 2; ++pass) {
+    const __m256i neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), ri);  // r < 0
+    qi = _mm256_add_epi64(qi, neg);                                      // q -= 1
+    ri = _mm256_add_epi64(ri, _mm256_and_si256(neg, t.v));               // r += d
+    const __m256i ge = _mm256_cmpgt_epi64(ri, _mm256_sub_epi64(t.v, _mm256_set1_epi64x(1)));
+    qi = _mm256_sub_epi64(qi, ge);                                       // q += 1
+    ri = _mm256_sub_epi64(ri, _mm256_and_si256(ge, t.v));                // r -= d
+  }
+  q = {qi};
+  r = {ri};
+}
+
+#else  // NEON and scalar share the array representation helpers below.
+
+struct I64x4 {
+  std::array<i64, 4> v;
+};
+
+#if defined(CMETILE_SIMD_NEON)
+
+inline I64x4 load(const i64* p) {
+  I64x4 x;
+  vst1q_s64(x.v.data(), vld1q_s64(p));
+  vst1q_s64(x.v.data() + 2, vld1q_s64(p + 2));
+  return x;
+}
+inline void store(i64* p, I64x4 x) {
+  vst1q_s64(p, vld1q_s64(x.v.data()));
+  vst1q_s64(p + 2, vld1q_s64(x.v.data() + 2));
+}
+
+#define CMETILE_SIMD_NEON_BINOP(name, op)                         \
+  inline I64x4 name(I64x4 a, I64x4 b) {                           \
+    I64x4 out;                                                    \
+    vst1q_s64(out.v.data(),                                       \
+              op(vld1q_s64(a.v.data()), vld1q_s64(b.v.data())));  \
+    vst1q_s64(out.v.data() + 2,                                   \
+              op(vld1q_s64(a.v.data() + 2), vld1q_s64(b.v.data() + 2))); \
+    return out;                                                   \
+  }
+CMETILE_SIMD_NEON_BINOP(add, vaddq_s64)
+CMETILE_SIMD_NEON_BINOP(sub, vsubq_s64)
+CMETILE_SIMD_NEON_BINOP(bit_and, vandq_s64)
+CMETILE_SIMD_NEON_BINOP(bit_or, vorrq_s64)
+#undef CMETILE_SIMD_NEON_BINOP
+
+#else  // scalar fallback
+
+inline I64x4 load(const i64* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void store(i64* p, I64x4 x) {
+  for (int i = 0; i < 4; ++i) p[i] = x.v[(std::size_t)i];
+}
+inline I64x4 add(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i)
+    out.v[i] = (i64)((std::uint64_t)a.v[i] + (std::uint64_t)b.v[i]);
+  return out;
+}
+inline I64x4 sub(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i)
+    out.v[i] = (i64)((std::uint64_t)a.v[i] - (std::uint64_t)b.v[i]);
+  return out;
+}
+inline I64x4 bit_and(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = a.v[i] & b.v[i];
+  return out;
+}
+inline I64x4 bit_or(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = a.v[i] | b.v[i];
+  return out;
+}
+
+#endif  // NEON / scalar
+
+inline I64x4 splat(i64 x) { return {{x, x, x, x}}; }
+inline I64x4 bit_andnot(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = a.v[i] & ~b.v[i];
+  return out;
+}
+inline I64x4 mul(I64x4 a, I64x4 b) {
+  // Unsigned multiply: defined wraparound, bit-identical to the
+  // non-overflowing signed products the classifier computes.
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i)
+    out.v[i] = (i64)((std::uint64_t)a.v[i] * (std::uint64_t)b.v[i]);
+  return out;
+}
+inline I64x4 shr_arith(I64x4 x, int n) {
+  // C++20 mandates arithmetic shift for signed operands.
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = x.v[i] >> n;
+  return out;
+}
+inline I64x4 cmp_gt(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = a.v[i] > b.v[i] ? -1 : 0;
+  return out;
+}
+inline I64x4 cmp_eq(I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = a.v[i] == b.v[i] ? -1 : 0;
+  return out;
+}
+inline bool any(I64x4 mask) {
+  for (std::size_t i = 0; i < 4; ++i)
+    if (mask.v[i] != 0) return true;
+  return false;
+}
+inline I64x4 blend(I64x4 mask, I64x4 a, I64x4 b) {
+  I64x4 out;
+  for (std::size_t i = 0; i < 4; ++i) out.v[i] = mask.v[i] != 0 ? a.v[i] : b.v[i];
+  return out;
+}
+inline void floor_div_mod_u52(I64x4 z, i64 divisor, I64x4& q, I64x4& r) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    q.v[i] = z.v[i] / divisor;
+    r.v[i] = z.v[i] % divisor;
+  }
+}
+
+#endif  // AVX2 / (NEON|scalar)
+
+}  // namespace cmetile::simd

@@ -56,6 +56,33 @@ struct Parser {
     return true;
   }
 
+  bool parse_hex4(unsigned& code) {
+    if (pos + 4 > text.size()) return false;
+    const auto res = std::from_chars(text.data() + pos, text.data() + pos + 4, code, 16);
+    if (res.ec != std::errc() || res.ptr != text.data() + pos + 4) return false;
+    pos += 4;
+    return true;
+  }
+
+  /// Append one code point (<= 0x10FFFF, not a surrogate) as UTF-8.
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += (char)cp;
+    } else if (cp < 0x800) {
+      out += (char)(0xC0 | (cp >> 6));
+      out += (char)(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += (char)(0xE0 | (cp >> 12));
+      out += (char)(0x80 | ((cp >> 6) & 0x3F));
+      out += (char)(0x80 | (cp & 0x3F));
+    } else {
+      out += (char)(0xF0 | (cp >> 18));
+      out += (char)(0x80 | ((cp >> 12) & 0x3F));
+      out += (char)(0x80 | ((cp >> 6) & 0x3F));
+      out += (char)(0x80 | (cp & 0x3F));
+    }
+  }
+
   bool parse_string(std::string& out) {
     if (pos >= text.size() || text[pos] != '"') return false;
     ++pos;
@@ -76,14 +103,23 @@ struct Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            if (pos + 4 > text.size()) return false;
             unsigned code = 0;
-            const auto res =
-                std::from_chars(text.data() + pos, text.data() + pos + 4, code, 16);
-            if (res.ec != std::errc() || res.ptr != text.data() + pos + 4) return false;
-            pos += 4;
-            if (code > 0x7F) return false;  // ASCII-only protocol
-            out += (char)code;
+            if (!parse_hex4(code)) return false;
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: must be immediately followed by an escaped
+              // low surrogate; together they name one supplementary-plane
+              // code point.
+              if (pos + 2 > text.size() || text[pos] != '\\' || text[pos + 1] != 'u')
+                return false;
+              pos += 2;
+              unsigned low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) return false;
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return false;  // lone low surrogate
+            }
+            append_utf8(out, code);
             break;
           }
           default: return false;

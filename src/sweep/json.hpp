@@ -18,8 +18,14 @@
 //    never returns a partial value (the result cache treats nullopt as a
 //    cold cell).
 //
-// Not supported (the sweep protocol doesn't need them): \uXXXX escapes
-// beyond ASCII pass-through, comments, duplicate-key detection.
+//  - Strings are byte sequences; non-ASCII bytes pass through untouched
+//    in both directions. parse() decodes \uXXXX escapes to UTF-8,
+//    including surrogate pairs (supplementary-plane code points); a lone
+//    surrogate makes the whole parse return nullopt. dump() emits \uXXXX
+//    only for control characters.
+//
+// Not supported (the sweep protocol doesn't need them): comments,
+// duplicate-key detection.
 
 #include <optional>
 #include <string>

@@ -49,11 +49,15 @@ class ProgressReporter {
     snapshot_.cells_total = cells_total;
   }
 
-  /// Cache satisfaction happened; emits the first snapshot.
+  /// Cache satisfaction happened; emits the first snapshot. Compute time
+  /// is measured from here: the warm-cache hit scan precedes it, and an
+  /// ETA extrapolated from a rate that includes hit-scan time would
+  /// overestimate mostly-warm sweeps.
   void satisfied(std::size_t cache_hits) {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot_.cache_hits = cache_hits;
     snapshot_.done = cache_hits;
+    compute_start_ = std::chrono::steady_clock::now();
     emit_locked();
   }
 
@@ -82,8 +86,22 @@ class ProgressReporter {
     snapshot_.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
     const std::size_t computed = snapshot_.computed_local + snapshot_.computed_remote;
     const std::size_t remaining = snapshot_.cells_total - snapshot_.done;
-    snapshot_.eta_seconds =
-        computed > 0 ? snapshot_.elapsed_seconds / (double)computed * (double)remaining : -1.0;
+    // ETA ladder: a fully-satisfied sweep is simply done (0, not "unknown"
+    // — warm replays used to report -1 forever because `computed` never
+    // advanced); with computed cells, extrapolate from the compute-phase
+    // rate (excluding the hit-scan time folded into elapsed_seconds);
+    // before the first computed cell, fall back to the overall done-rate
+    // (cache hits advance `done` too); with nothing done at all, unknown.
+    if (remaining == 0) {
+      snapshot_.eta_seconds = 0.0;
+    } else if (computed > 0) {
+      const double compute_seconds = std::chrono::duration<double>(now - compute_start_).count();
+      snapshot_.eta_seconds = compute_seconds / (double)computed * (double)remaining;
+    } else if (snapshot_.done > 0) {
+      snapshot_.eta_seconds = snapshot_.elapsed_seconds / (double)snapshot_.done * (double)remaining;
+    } else {
+      snapshot_.eta_seconds = -1.0;
+    }
     fn_(snapshot_);
   }
 
@@ -91,6 +109,9 @@ class ProgressReporter {
   SweepProgress snapshot_;
   SweepProgressFn fn_;
   std::chrono::steady_clock::time_point start_;
+  /// Start of the compute phase (set when cache satisfaction is known);
+  /// defaults to construction time for paths that skip satisfied().
+  std::chrono::steady_clock::time_point compute_start_ = std::chrono::steady_clock::now();
 };
 
 /// Compute `indices` in-process (parallel across cells like the core

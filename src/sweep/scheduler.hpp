@@ -65,7 +65,11 @@ struct SweepProgress {
   std::size_t failed_workers = 0;
   std::size_t workers_live = 0;  ///< connected workers right now
   double elapsed_seconds = 0.0;
-  double eta_seconds = -1.0;  ///< projected time to finish; < 0 = unknown
+  /// Projected time to finish: 0 when nothing remains (e.g. a fully
+  /// warm-cache replay), extrapolated from the compute-phase rate once a
+  /// cell has been computed (falling back to the done-rate while only
+  /// cache hits have landed); < 0 = unknown (nothing done yet).
+  double eta_seconds = -1.0;
 };
 using SweepProgressFn = std::function<void(const SweepProgress&)>;
 

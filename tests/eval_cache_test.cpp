@@ -1,0 +1,261 @@
+// Correctness pins for incremental re-evaluation (cme/eval_cache.hpp,
+// DESIGN.md §14): classification routed through an EvalCache must be
+// bit-identical to cold classification for ANY sequence of tile vectors —
+// the memo may only answer when the answer provably cannot depend on the
+// tile dims that changed (S0-invariance). These tests drive random
+// mutation chains (the GA's actual access pattern: children share most
+// dims with their parents) over warm caches and compare against cold
+// evaluation, for any shard count, with SIMD on and off, on single caches
+// and hierarchies, and through TilingObjective/optimize_tiling.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cme/estimator.hpp"
+#include "cme/eval_cache.hpp"
+#include "cme/hierarchy.hpp"
+#include "core/tiler.hpp"
+#include "kernels/kernels.hpp"
+#include "support/rng.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile {
+namespace {
+
+using transform::TileVector;
+
+struct Config {
+  std::string kernel;
+  i64 size;
+};
+
+const std::vector<Config>& configs() {
+  static const std::vector<Config> c = {{"T2D", 20}, {"MM", 12}, {"ADI", 12}};
+  return c;
+}
+
+TileVector random_tiles(const ir::LoopNest& nest, Rng& rng) {
+  std::vector<i64> tile(nest.depth());
+  const std::vector<i64> trips = nest.trip_counts();
+  for (std::size_t d = 0; d < tile.size(); ++d) tile[d] = rng.uniform_int(1, trips[d]);
+  return TileVector{tile};
+}
+
+/// Mutate one random dim of `tiles` to a fresh legal value — the minimal
+/// parent/child step, maximizing cross-genome dim sharing.
+TileVector mutate_one_dim(const TileVector& tiles, const ir::LoopNest& nest, Rng& rng) {
+  std::vector<i64> t = tiles.t;
+  const std::vector<i64> trips = nest.trip_counts();
+  const std::size_t d = (std::size_t)rng.uniform_int(0, (i64)t.size() - 1);
+  t[d] = rng.uniform_int(1, trips[d]);
+  return TileVector{std::move(t)};
+}
+
+TEST(EvalCache, WarmMatchesColdAcrossRandomMutationChains) {
+  // 20-step mutation chains per kernel: every step's warm classification
+  // (shared EvalCache, all prior steps' verdicts live) must equal a cold
+  // classify_batch — for direct-mapped and 2-way caches, any shard count.
+  for (const i64 assoc : {i64{1}, i64{2}}) {
+    const cache::CacheConfig cache{512, 32, assoc};
+    for (std::size_t config = 0; config < configs().size(); ++config) {
+      const auto& [kernel, size] = configs()[config];
+      const ir::LoopNest nest = kernels::build_kernel(kernel, size);
+      const ir::MemoryLayout layout(nest);
+      const auto points = cme::sample_points(nest, 96, derive_seed(14, config));
+      Rng rng(derive_seed(2002, config, (std::uint64_t)assoc));
+
+      cme::EvalCache eval_cache;
+      TileVector tiles = random_tiles(nest, rng);
+      const int shard_choices[] = {1, 3, 0};
+      for (int step = 0; step < 20; ++step) {
+        const cme::NestAnalysis analysis(nest, layout, cache, tiles);
+        const std::vector<cme::Outcome> cold = analysis.classify_batch(points);
+        const int shards = shard_choices[step % 3];
+        EXPECT_EQ(analysis.classify_batch(points, eval_cache, 0, shards), cold)
+            << kernel << "_" << size << " assoc=" << assoc << " step=" << step
+            << " tiles=" << tiles.to_string() << " shards=" << shards;
+        tiles = mutate_one_dim(tiles, nest, rng);
+      }
+      // The chain shares most dims step to step: the memo must have
+      // answered something, and the binding must never have been rebuilt
+      // (only tiles changed).
+      const cme::EvalCacheStats stats = eval_cache.stats();
+      EXPECT_GT(stats.verdict_lookups, 0) << kernel;
+      EXPECT_GT(stats.verdict_hits, 0) << kernel;
+      EXPECT_EQ(stats.rebinds, 1) << kernel;
+    }
+  }
+}
+
+TEST(EvalCache, WarmMatchesColdWithSimdOff) {
+  // The scalar-fallback path (AnalysisOptions::simd = false) must agree
+  // with both its own cold path and the SIMD warm path.
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const auto points = cme::sample_points(nest, 96, 7);
+  Rng rng(derive_seed(33, 0));
+
+  cme::AnalysisOptions scalar_options;
+  scalar_options.simd = false;
+
+  cme::EvalCache simd_cache;
+  cme::EvalCache scalar_cache;
+  TileVector tiles = random_tiles(nest, rng);
+  for (int step = 0; step < 10; ++step) {
+    const cme::NestAnalysis simd(nest, layout, cache, tiles);
+    const cme::NestAnalysis scalar(nest, layout, cache, tiles, scalar_options);
+    const std::vector<cme::Outcome> cold = scalar.classify_batch(points);
+    EXPECT_EQ(simd.classify_batch(points), cold) << "step=" << step;
+    EXPECT_EQ(simd.classify_batch(points, simd_cache, 0), cold) << "step=" << step;
+    EXPECT_EQ(scalar.classify_batch(points, scalar_cache, 0), cold) << "step=" << step;
+    tiles = mutate_one_dim(tiles, nest, rng);
+  }
+}
+
+TEST(EvalCache, HierarchyWarmMatchesCold) {
+  // Two-level hierarchy: per-level EvalCache slices must reproduce the
+  // cold estimate bit for bit along a mutation chain.
+  const cache::Hierarchy h =
+      cache::Hierarchy::two_level(cache::CacheConfig{512, 32, 1}, 10.0,
+                                  cache::CacheConfig{2048, 32, 2}, 60.0);
+  for (std::size_t config = 0; config < configs().size(); ++config) {
+    const auto& [kernel, size] = configs()[config];
+    const ir::LoopNest nest = kernels::build_kernel(kernel, size);
+    const ir::MemoryLayout layout(nest);
+    const auto points = cme::sample_points(nest, 96, derive_seed(21, config));
+    Rng rng(derive_seed(5, config));
+
+    cme::EvalCache eval_cache;
+    TileVector tiles = random_tiles(nest, rng);
+    for (int step = 0; step < 8; ++step) {
+      const cme::HierarchyAnalysis analysis(nest, layout, h, tiles);
+      const cme::HierarchyEstimate cold = cme::estimate_hierarchy_with_points(analysis, points);
+      const cme::HierarchyEstimate warm =
+          cme::estimate_hierarchy_with_points(analysis, points, 0.90, &eval_cache);
+      ASSERT_EQ(warm.levels.size(), cold.levels.size());
+      EXPECT_EQ(warm.weighted_cost, cold.weighted_cost)
+          << kernel << " step=" << step << " tiles=" << tiles.to_string();
+      for (std::size_t l = 0; l < cold.levels.size(); ++l) {
+        EXPECT_EQ(warm.levels[l].replacement_ratio, cold.levels[l].replacement_ratio)
+            << kernel << " step=" << step << " level=" << l;
+        EXPECT_EQ(warm.levels[l].cold_ratio, cold.levels[l].cold_ratio)
+            << kernel << " step=" << step << " level=" << l;
+      }
+      tiles = mutate_one_dim(tiles, nest, rng);
+    }
+    EXPECT_GT(eval_cache.stats().verdict_hits, 0) << kernel;
+  }
+}
+
+TEST(EvalCache, HitCountersBehaveSanely) {
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const auto points = cme::sample_points(nest, 96, 3);
+
+  cme::EvalCache eval_cache;
+  const TileVector parent{{12, 4, 4}};
+  const cme::NestAnalysis first(nest, layout, cache, parent);
+  (void)first.classify_batch(points, eval_cache, 0, 1);
+  const cme::EvalCacheStats after_first = eval_cache.stats();
+  // A fresh cache cannot answer anything: each (point, ref) pair is
+  // classified exactly once within a pass.
+  EXPECT_GT(after_first.verdict_lookups, 0);
+  EXPECT_EQ(after_first.verdict_hits, 0);
+  EXPECT_EQ(after_first.rebinds, 1);
+
+  // Re-evaluating the exact same genome: every stable memoized verdict
+  // hits — the hit count equals the lookup count of pairs whose verdict
+  // survived insertion, which must be most of them.
+  const cme::NestAnalysis repeat(nest, layout, cache, parent);
+  (void)repeat.classify_batch(points, eval_cache, 0, 1);
+  const cme::EvalCacheStats after_repeat = eval_cache.stats();
+  const i64 repeat_hits = after_repeat.verdict_hits - after_first.verdict_hits;
+  EXPECT_GT(repeat_hits, 0);
+  EXPECT_LE(repeat_hits, after_repeat.verdict_lookups - after_first.verdict_lookups);
+  EXPECT_EQ(after_repeat.rebinds, 1);  // same binding: no rebuild
+
+  // A child sharing 2 of 3 dims with the parent: every pair whose S0 set
+  // avoids the mutated dim keeps its verdict — hits must still land.
+  const TileVector child{{12, 4, 8}};
+  const cme::NestAnalysis child_analysis(nest, layout, cache, child);
+  const std::vector<cme::Outcome> warm = child_analysis.classify_batch(points, eval_cache, 0, 1);
+  const cme::EvalCacheStats after_child = eval_cache.stats();
+  EXPECT_GT(after_child.verdict_hits - after_repeat.verdict_hits, 0);
+  // ... and the answers are still the cold answers.
+  EXPECT_EQ(warm, child_analysis.classify_batch(points));
+
+  // A different sample is a different binding: the cache must rebind
+  // (detect the change), not serve stale verdicts.
+  const auto other_points = cme::sample_points(nest, 96, 4);
+  const std::vector<cme::Outcome> rebound =
+      child_analysis.classify_batch(other_points, eval_cache, 0, 1);
+  EXPECT_EQ(eval_cache.stats().rebinds, 2);
+  EXPECT_EQ(rebound, child_analysis.classify_batch(other_points));
+}
+
+TEST(EvalCache, ObjectiveIncrementalMatchesColdCosts) {
+  // TilingObjective with incremental on/off: identical costs over a
+  // random population, single-cache and hierarchy forms.
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const cache::Hierarchy h =
+      cache::Hierarchy::two_level(cache::CacheConfig{512, 32, 1}, 10.0,
+                                  cache::CacheConfig{2048, 32, 2}, 60.0);
+
+  core::ObjectiveOptions warm_options;
+  core::ObjectiveOptions cold_options;
+  cold_options.incremental = false;
+  const core::TilingObjective warm(nest, layout, h, warm_options);
+  const core::TilingObjective cold(nest, layout, h, cold_options);
+  EXPECT_EQ(cold.eval_cache_stats().verdict_lookups, 0);
+
+  Rng rng(derive_seed(77, 1));
+  for (int i = 0; i < 12; ++i) {
+    const TileVector tiles = random_tiles(nest, rng);
+    EXPECT_EQ(warm(tiles.t), cold(tiles.t)) << tiles.to_string();
+    const cme::HierarchyEstimate we = warm.evaluate_hierarchy(tiles);
+    const cme::HierarchyEstimate ce = cold.evaluate_hierarchy(tiles);
+    EXPECT_EQ(we.weighted_cost, ce.weighted_cost) << tiles.to_string();
+  }
+  EXPECT_GT(warm.eval_cache_stats().verdict_lookups, 0);
+}
+
+TEST(EvalCache, OptimizeTilingIdenticalWithIncrementalOnOrOff) {
+  // End to end through the GA: the full optimize_tiling result — best
+  // values, best cost, per-generation history — must not depend on
+  // incremental evaluation, and the counters must surface in GaResult.
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 20);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+
+  core::OptimizerOptions on;
+  on.ga.max_generations = 18;
+  core::OptimizerOptions off = on;
+  off.objective.incremental = false;
+
+  const core::TilingResult warm = core::optimize_tiling(nest, layout, cache, on);
+  const core::TilingResult cold = core::optimize_tiling(nest, layout, cache, off);
+
+  EXPECT_EQ(warm.ga.best_values, cold.ga.best_values);
+  EXPECT_EQ(warm.ga.best_cost, cold.ga.best_cost);
+  EXPECT_EQ(warm.ga.generations, cold.ga.generations);
+  ASSERT_EQ(warm.ga.history.size(), cold.ga.history.size());
+  for (std::size_t g = 0; g < warm.ga.history.size(); ++g) {
+    EXPECT_EQ(warm.ga.history[g].best, cold.ga.history[g].best) << g;
+    EXPECT_EQ(warm.ga.history[g].average, cold.ga.history[g].average) << g;
+  }
+  EXPECT_EQ(warm.after.replacement_ratio, cold.after.replacement_ratio);
+
+  // Counter plumbing: incremental runs report their cache traffic next to
+  // memo_hits(); non-incremental runs report zeros.
+  EXPECT_GT(warm.ga.eval_cache_lookups, 0);
+  EXPECT_GT(warm.ga.eval_cache_hits, 0);
+  EXPECT_EQ(cold.ga.eval_cache_lookups, 0);
+  EXPECT_EQ(cold.ga.eval_cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace cmetile

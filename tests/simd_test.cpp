@@ -1,0 +1,140 @@
+// Lane-exact pins for the portable SIMD wrapper (support/simd.hpp): every
+// operation must produce EXACTLY the scalar two's-complement result per
+// lane, whichever backend the build selected (the CI matrix runs this on
+// both the SIMD leg and the CMETILE_SIMD=OFF scalar leg). The batch
+// classifier's bit-identity contract composes from these primitives.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace cmetile {
+namespace {
+
+std::array<i64, 4> lanes_of(simd::I64x4 x) {
+  std::array<i64, 4> out;
+  simd::store(out.data(), x);
+  return out;
+}
+
+simd::I64x4 from_lanes(const std::array<i64, 4>& lanes) { return simd::load(lanes.data()); }
+
+/// Interesting 64-bit values: boundaries, sign flips, single bits.
+std::vector<i64> edge_values() {
+  std::vector<i64> v = {0,  1,  -1, 2,  -2, 63, -63, 64, -64, 1023, -1024,
+                        (i64)0x7FFFFFFFFFFFFFFF, (i64)0x8000000000000000,
+                        (i64)0x00000000FFFFFFFF, (i64)0xFFFFFFFF00000000,
+                        (i64)0x0123456789ABCDEF, -(i64)0x0123456789ABCDEF};
+  for (int bit = 0; bit < 64; bit += 9) v.push_back(i64{1} << bit);
+  return v;
+}
+
+TEST(Simd, LoadStoreSplatRoundTrip) {
+  const std::array<i64, 4> lanes = {1, -2, i64{3} << 40, (i64)0x8000000000000000};
+  EXPECT_EQ(lanes_of(from_lanes(lanes)), lanes);
+  EXPECT_EQ(lanes_of(simd::splat(-7)), (std::array<i64, 4>{-7, -7, -7, -7}));
+}
+
+TEST(Simd, ArithmeticAndBitwiseMatchScalar) {
+  const std::vector<i64> values = edge_values();
+  Rng rng(42);
+  std::vector<std::pair<std::array<i64, 4>, std::array<i64, 4>>> cases;
+  // Edge-value cross products (batched four at a time) plus random fill.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::array<i64, 4> a, b;
+    for (int l = 0; l < 4; ++l) {
+      a[l] = values[(i + (std::size_t)l) % values.size()];
+      b[l] = values[(i * 3 + (std::size_t)l * 7) % values.size()];
+    }
+    cases.emplace_back(a, b);
+  }
+  for (int i = 0; i < 64; ++i) {
+    std::array<i64, 4> a, b;
+    for (int l = 0; l < 4; ++l) {
+      a[l] = (i64)rng.engine()();
+      b[l] = (i64)rng.engine()();
+    }
+    cases.emplace_back(a, b);
+  }
+
+  for (const auto& [a, b] : cases) {
+    const simd::I64x4 va = from_lanes(a);
+    const simd::I64x4 vb = from_lanes(b);
+    for (int l = 0; l < 4; ++l) {
+      // Wrapping arithmetic via unsigned, matching two's complement.
+      const std::uint64_t ua = (std::uint64_t)a[l], ub = (std::uint64_t)b[l];
+      EXPECT_EQ(lanes_of(simd::add(va, vb))[l], (i64)(ua + ub)) << a[l] << "+" << b[l];
+      EXPECT_EQ(lanes_of(simd::sub(va, vb))[l], (i64)(ua - ub)) << a[l] << "-" << b[l];
+      EXPECT_EQ(lanes_of(simd::mul(va, vb))[l], (i64)(ua * ub)) << a[l] << "*" << b[l];
+      EXPECT_EQ(lanes_of(simd::bit_and(va, vb))[l], a[l] & b[l]);
+      EXPECT_EQ(lanes_of(simd::bit_or(va, vb))[l], a[l] | b[l]);
+      EXPECT_EQ(lanes_of(simd::bit_andnot(va, vb))[l], a[l] & ~b[l]);
+      EXPECT_EQ(lanes_of(simd::cmp_gt(va, vb))[l], a[l] > b[l] ? -1 : 0);
+      EXPECT_EQ(lanes_of(simd::cmp_eq(va, vb))[l], a[l] == b[l] ? -1 : 0);
+    }
+  }
+}
+
+TEST(Simd, ArithmeticShiftMatchesScalarForNegatives) {
+  const std::vector<i64> values = edge_values();
+  for (std::size_t i = 0; i + 4 <= values.size(); ++i) {
+    std::array<i64, 4> a;
+    for (int l = 0; l < 4; ++l) a[l] = values[i + (std::size_t)l];
+    for (const int n : {0, 1, 5, 31, 32, 33, 52, 63}) {
+      const std::array<i64, 4> got = lanes_of(simd::shr_arith(from_lanes(a), n));
+      for (int l = 0; l < 4; ++l) {
+        EXPECT_EQ(got[l], a[l] >> n) << a[l] << " >> " << n;  // impl-defined == arithmetic here
+      }
+    }
+  }
+}
+
+TEST(Simd, AnyAndBlendFollowLaneMasks) {
+  const simd::I64x4 zero = simd::splat(0);
+  EXPECT_FALSE(simd::any(zero));
+  for (int lane = 0; lane < 4; ++lane) {
+    std::array<i64, 4> mask{0, 0, 0, 0};
+    mask[(std::size_t)lane] = -1;
+    EXPECT_TRUE(simd::any(from_lanes(mask))) << lane;
+    const std::array<i64, 4> a{10, 20, 30, 40};
+    const std::array<i64, 4> b{-1, -2, -3, -4};
+    const std::array<i64, 4> got =
+        lanes_of(simd::blend(from_lanes(mask), from_lanes(a), from_lanes(b)));
+    for (int l = 0; l < 4; ++l) EXPECT_EQ(got[l], l == lane ? a[(std::size_t)l] : b[(std::size_t)l]);
+  }
+}
+
+TEST(Simd, FloorDivModExactOverGuardedRange) {
+  // Property pin over the classifier's guarded domain (0 <= z < 2^52,
+  // d >= 1): q and r must equal floor_div/floor_mod exactly, including at
+  // the magic-number boundaries where the double rounding needs the
+  // correction passes.
+  std::vector<i64> zs = {0, 1, 2, 15, 16, 17, 1023, 1024, 1025,
+                         (i64{1} << 51) - 1, i64{1} << 51, (i64{1} << 52) - 1};
+  std::vector<i64> ds = {1, 2, 3, 7, 16, 163, 1024, (i64{1} << 31) + 7, (i64{1} << 51)};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) zs.push_back((i64)(rng.engine()() & ((std::uint64_t{1} << 52) - 1)));
+  for (int i = 0; i < 20; ++i) ds.push_back((i64)(rng.engine()() % (std::uint64_t{1} << 40)) + 1);
+
+  for (const i64 d : ds) {
+    for (std::size_t i = 0; i + 4 <= zs.size(); i += 4) {
+      const std::array<i64, 4> z{zs[i], zs[i + 1], zs[i + 2], zs[i + 3]};
+      simd::I64x4 q, r;
+      simd::floor_div_mod_u52(from_lanes(z), d, q, r);
+      const std::array<i64, 4> ql = lanes_of(q), rl = lanes_of(r);
+      for (int l = 0; l < 4; ++l) {
+        EXPECT_EQ(ql[l], floor_div(z[(std::size_t)l], d)) << z[(std::size_t)l] << " / " << d;
+        EXPECT_EQ(rl[l], floor_mod(z[(std::size_t)l], d)) << z[(std::size_t)l] << " % " << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmetile
+

@@ -129,6 +129,42 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_FALSE(Json::parse(deep).has_value());
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // \uXXXX covers the whole BMP...
+  const std::optional<Json> bmp = Json::parse("\"\\u00e9 \\u0041 \\u20ac \\u007f\"");
+  ASSERT_TRUE(bmp.has_value());
+  EXPECT_EQ(bmp->as_string(), "\xC3\xA9 A \xE2\x82\xAC \x7F");  // é A € DEL
+  // ...and surrogate pairs name supplementary-plane code points.
+  const std::optional<Json> astral = Json::parse("\"\\uD83D\\uDE00\"");  // U+1F600
+  ASSERT_TRUE(astral.has_value());
+  EXPECT_EQ(astral->as_string(), "\xF0\x9F\x98\x80");
+  // Escaped and raw UTF-8 decode to the same bytes, and raw bytes still
+  // round-trip through dump() untouched.
+  const std::string raw = "caf\xC3\xA9";
+  EXPECT_EQ(Json::parse("\"caf\\u00e9\"")->as_string(), raw);
+  EXPECT_EQ(Json::parse(Json::string(raw).dump())->as_string(), raw);
+  // Mixed escape kinds inside object keys work too.
+  const std::optional<Json> keyed = Json::parse("{\"\\u00fcber\": 1}");
+  ASSERT_TRUE(keyed.has_value());
+  EXPECT_EQ(keyed->find("\xC3\xBC" "ber")->as_int(), 1);
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  for (const char* bad : {
+           "\"\\uD800\"",          // lone high surrogate
+           "\"\\uDFFF\"",          // lone low surrogate
+           "\"\\uD83Dx\"",         // high surrogate followed by a raw char
+           "\"\\uD83D\\n\"",       // high surrogate followed by another escape
+           "\"\\uD83D\\uD83D\"",   // high surrogate pair (second not low)
+           "\"\\uDE00\\uD83D\"",   // pair in the wrong order
+           "\"\\uD83D\"",          // high surrogate at end of string
+           "\"\\u12\"",            // truncated hex
+           "\"\\uZZZZ\"",          // non-hex
+       }) {
+    EXPECT_FALSE(Json::parse(bad).has_value()) << "input: " << bad;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cells + fingerprints
 // ---------------------------------------------------------------------------
@@ -491,6 +527,27 @@ TEST_F(SchedulerTest, CachedRerunIsBitIdenticalWithZeroRecomputation) {
       core::run_tiling_experiments(spec.entries, spec.caches[0], spec.options);
   for (std::size_t i = 0; i < direct.size(); ++i)
     expect_tiling_rows_equal(cold.results[i].tiling, direct[i]);
+}
+
+TEST_F(SchedulerTest, WarmRerunReportsZeroEta) {
+  // A fully warm-cache replay has nothing left to compute: every progress
+  // snapshot after cache satisfaction must project zero remaining time,
+  // not the bogus hours the old done-rate extrapolation produced when the
+  // instant cache hits dominated the rate.
+  const SweepSpec spec = tiny_tiling_spec();
+  (void)run_sweep(spec, options());  // populate the cache
+
+  std::vector<SweepProgress> snapshots;
+  SchedulerOptions opt = options();
+  opt.progress = [&](const SweepProgress& p) { snapshots.push_back(p); };
+  const SweepRun warm = run_sweep(spec, opt);
+  EXPECT_EQ(warm.stats.computed, 0u);
+  ASSERT_FALSE(snapshots.empty());
+  for (const SweepProgress& p : snapshots) {
+    EXPECT_EQ(p.cache_hits, p.cells_total);
+    EXPECT_EQ(p.done, p.cells_total);
+    EXPECT_EQ(p.eta_seconds, 0.0);  // nothing remains: warm sweeps are near-complete
+  }
 }
 
 TEST_F(SchedulerTest, NoCacheModeNeverTouchesDisk) {

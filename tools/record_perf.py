@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Distill a google-benchmark JSON dump into the repo's BENCH_perf.json.
+
+The record is a perf *trajectory*: one compact, committed snapshot per
+change that claims a speedup, so regressions show up in review diffs
+rather than in someone's memory. Usage:
+
+    ./build/bench_perf_solver --benchmark_filter='GaSolve|SampledEstimate' \
+        --benchmark_out=/tmp/perf.json --benchmark_out_format=json
+    python3 tools/record_perf.py /tmp/perf.json > BENCH_perf.json
+
+Only benchmark names listed in KEEP are recorded (wall-clock
+real_time, ns). Derived ratios are recomputed here so the record
+stays self-consistent.
+"""
+
+import json
+import sys
+
+KEEP = [
+    "BM_SampledEstimate",
+    "BM_SampledEstimateWarm",
+    "BM_GaSolveBaseline",
+    "BM_GaSolveSimd",
+    "BM_GaSolveIncremental",
+    "BM_GaSolveFull",
+]
+
+RATIOS = {
+    "warm_eval_speedup": ("BM_SampledEstimate", "BM_SampledEstimateWarm"),
+    "ga_full_vs_baseline": ("BM_GaSolveBaseline", "BM_GaSolveFull"),
+    "ga_incremental_vs_baseline": ("BM_GaSolveBaseline", "BM_GaSolveIncremental"),
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        dump = json.load(f)
+
+    times = {}
+    for bench in dump.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name in KEEP and bench.get("run_type", "iteration") == "iteration":
+            times[name] = bench["real_time"]  # ns (time_unit normalized below)
+            unit = bench.get("time_unit", "ns")
+            times[name] *= {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+
+    missing = [name for name in KEEP if name not in times]
+    if missing:
+        print(f"missing benchmarks: {missing}", file=sys.stderr)
+        return 1
+
+    context = dump.get("context", {})
+    record = {
+        "bench": "bench_perf_solver",
+        "date": context.get("date", ""),
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "cpu_scaling_enabled": context.get("cpu_scaling_enabled"),
+        },
+        "real_time_ns": {name: round(times[name]) for name in KEEP},
+        "ratios": {
+            key: round(times[num] / times[den], 3) for key, (num, den) in RATIOS.items()
+        },
+    }
+    json.dump(record, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
