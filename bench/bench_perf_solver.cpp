@@ -181,6 +181,28 @@ BENCHMARK(BM_GaSolveIncremental)->Unit(benchmark::kMillisecond);
 void BM_GaSolveFull(benchmark::State& state) { ga_solve_bench(state, true, true); }
 BENCHMARK(BM_GaSolveFull)->Unit(benchmark::kMillisecond);
 
+// Polyhedral dependence-analysis cost: the one-time legality check the
+// optimizer runs before any GA work. MM is the paper's uniform rectangular
+// baseline; LU adds triangular domains, non-uniform pairs and a sunk
+// statement (7 refs), the worst case the shipped kernels exercise.
+void BM_DependenceAnalysisMM(benchmark::State& state) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::check_tiling_legality(nest).verdict);
+    benchmark::DoNotOptimize(transform::risky_dependence_vectors(nest).size());
+  }
+}
+BENCHMARK(BM_DependenceAnalysisMM);
+
+void BM_DependenceAnalysisLU(benchmark::State& state) {
+  const ir::LoopNest nest = kernels::build_kernel("LU", 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::check_tiling_legality(nest).verdict);
+    benchmark::DoNotOptimize(transform::risky_dependence_vectors(nest).size());
+  }
+}
+BENCHMARK(BM_DependenceAnalysisLU);
+
 void BM_SimulatorThroughput(benchmark::State& state) {
   const ir::LoopNest nest = kernels::build_kernel("MM", 64);
   const ir::MemoryLayout layout(nest);

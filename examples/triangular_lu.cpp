@@ -1,0 +1,75 @@
+// Domain scenario: the polyhedral front-end on a nest the paper's original
+// machinery could not model. LU decomposition is triangular (i and j run
+// from k+1) AND imperfectly nested (the row-scale statement sits one loop
+// above the update), and its reference pairs are non-uniform — the
+// pre-polyhedral lattice oracle reports Unknown. The pipeline:
+//   1. builds LU from the extended kernel registry and shows the
+//      normalized nest (affine bounds, sunk-statement annotation),
+//   2. contrasts the lattice oracle (Unknown) with the exact polyhedral
+//      verdict (Legal: LU is fully permutable),
+//   3. counts the trapezoidal domain exactly and samples it,
+//   4. searches tile sizes with the CME+GA pipeline and verifies the
+//      chosen tiles against the tiled trace simulator.
+//
+// Run: ./examples/triangular_lu [--n=40]
+
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  const CliArgs args(argc, argv);
+  const bool fast = args.get_bool("fast", false);
+  const i64 n = args.get_int("n", fast ? 20 : 40);
+
+  const ir::LoopNest nest = kernels::build_kernel("LU", n);
+  nest.validate();
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024, 32);
+
+  std::cout << "Kernel (normalized: triangular bounds, sunk scale statement):\n"
+            << nest.to_string() << "\n";
+
+  // 1. The trapezoidal domain, exactly.
+  i64 box = 1;
+  for (const i64 trip : nest.trip_counts()) box *= trip;
+  std::cout << "Iteration domain: " << nest.iteration_count() << " points (bounding box "
+            << box << " — the triangle is " << format_pct((double)nest.iteration_count() / (double)box)
+            << " of it)\n\n";
+
+  // 2. Legality: lattice oracle vs exact polyhedral engine.
+  const transform::LegalityReport lattice = transform::lattice_check_tiling_legality(nest);
+  const transform::LegalityReport poly = transform::check_tiling_legality(nest);
+  std::cout << "Lattice oracle (pre-polyhedral): "
+            << (lattice.verdict == transform::Legality::Unknown ? "Unknown — " + lattice.detail
+                                                                : lattice.detail)
+            << "\n";
+  std::cout << "Polyhedral engine:               "
+            << (poly.verdict == transform::Legality::Legal ? "Legal — " + poly.detail
+                                                           : poly.detail)
+            << "\n\n";
+
+  // 3. Tile-size search over the bounding box; CME sampling rejects
+  //    box points outside the triangle.
+  core::OptimizerOptions options;
+  options.ga.seed = (std::uint64_t)args.get_int("seed", 21);
+  if (fast) options.shrink_for_smoke();
+  const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+  std::cout << "Chosen tiles: " << result.tiles.to_string() << " — replacement "
+            << format_pct(result.before.replacement_ratio) << " -> "
+            << format_pct(result.after.replacement_ratio) << " (CME estimate)\n";
+  std::cout << "Tiled loop structure:\n" << transform::tiled_source(nest, result.tiles) << "\n";
+
+  // 4. Ground truth: the tiled trace simulator over the real triangle.
+  const auto sim_before = cache::simulate_nest(nest, layout, cache);
+  const auto sim_after = transform::simulate_tiled(nest, layout, cache, result.tiles);
+  std::cout << "Simulator ground truth:        replacement "
+            << format_pct(sim_before.back().replacement_ratio()) << " -> "
+            << format_pct(sim_after.back().replacement_ratio()) << "\n";
+  const double gap =
+      result.after.replacement_ratio - sim_after.back().replacement_ratio();
+  std::cout << "CME-vs-simulator gap after tiling: " << format_pct(gap < 0 ? -gap : gap)
+            << "\n";
+  return 0;
+}

@@ -89,7 +89,8 @@ NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
                  ? *options.shared_reuse
                  : reuse::analyze_reuse(nest, layout_, cache.line_bytes)),
       options_(options),
-      trips_(nest.trip_counts()) {
+      trips_(nest.trip_counts()),
+      rectangular_(nest.rectangular()) {
   cache_.validate();
   nest.validate();
   expects(tiles_.t.size() == nest.depth(), "NestAnalysis: tile vector arity mismatch");
@@ -163,6 +164,15 @@ NestAnalysis::NestAnalysis(const ir::LoopNest& nest, ir::MemoryLayout layout,
   for (const i64 trip : trips_) {
     if (trip >= (i64(1) << 52)) simd_ok_ = false;
   }
+}
+
+bool NestAnalysis::source_in_domain(std::span<const i64> z, const PreparedReuse& rc,
+                                    std::vector<i64>& point) const {
+  const std::size_t k = nest_->depth();
+  point.resize(k);
+  for (std::size_t d = 0; d < k; ++d) point[d] = z[d] + nest_->loops[d].lower;
+  for (const ReuseStep& st : rc.steps) point[st.dim] -= st.delta;
+  return nest_->contains(point);
 }
 
 i64 NestAnalysis::address_at(std::size_t ref, std::span<const i64> z) const {
@@ -408,7 +418,6 @@ std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i6
                                                : (std::size_t)parallel_threads();
   const std::size_t n_shards = std::min(std::max<std::size_t>(want, 1), points.size());
   std::vector<ProbeCounters> shard_counters(n_shards);
-  const bool use_simd = options_.simd && simd_ok_;
 
   // Per-genome warm tables, shared read-only by every shard: z's tiled
   // coordinates per point and the tiled coordinates of z − delta per
@@ -542,6 +551,24 @@ void NestAnalysis::bind_eval_level(detail::EvalLevel& level,
   const auto fold = [&lo](std::uint64_t v) { lo = fnv1a_u64(v, lo); };
   fold(k);
   for (const i64 trip : trips_) fold((std::uint64_t)trip);
+  // Non-rectangular domains with the same bounding box differ in which
+  // candidate sources exist: fold the affine bounds in. Rectangular nests
+  // skip this so their digests are unchanged.
+  if (!rectangular_) {
+    for (const ir::Loop& loop : nest_->loops) {
+      fold((std::uint64_t)loop.lower);
+      fold(loop.has_affine_lower() ? 1u : 0u);
+      if (loop.has_affine_lower()) {
+        for (const i64 c : loop.lower_bound.coeffs()) fold((std::uint64_t)c);
+        fold((std::uint64_t)loop.lower_bound.constant_term());
+      }
+      fold(loop.has_affine_upper() ? 1u : 0u);
+      if (loop.has_affine_upper()) {
+        for (const i64 c : loop.upper_bound.coeffs()) fold((std::uint64_t)c);
+        fold((std::uint64_t)loop.upper_bound.constant_term());
+      }
+    }
+  }
   fold((std::uint64_t)cache_.line_bytes);
   fold((std::uint64_t)sets_);
   fold((std::uint64_t)cache_.way_bytes());
@@ -638,7 +665,8 @@ void NestAnalysis::bind_eval_level(detail::EvalLevel& level,
     }
     offs.push_back((std::uint32_t)data.size());
   }
-  std::vector<i64> lines;  // distinct-line scratch for the endpoint scans
+  std::vector<i64> lines;    // distinct-line scratch for the endpoint scans
+  std::vector<i64> q_point;  // original-coordinate scratch for domain checks
   for (std::size_t p = 0; p < points.size(); ++p) {
     const std::vector<i64>& z = points[p];
     expects(z.size() == k, "classify_batch: point arity mismatch");
@@ -671,6 +699,9 @@ void NestAnalysis::bind_eval_level(detail::EvalLevel& level,
         if (!inside) continue;
         if (((prep.pt_addr[p * n_refs + rc.source] - rc.addr_delta) >> line_shift_) != line_a)
           continue;
+        // Domain membership of q is also tile-independent: filter here so
+        // the warm path never sees bounding-box-only sources.
+        if (!rectangular_ && !source_in_domain(z, rc, q_point)) continue;
         prep.cand_entries.push_back((std::uint16_t)e);
         for (const ReuseStep& st : rc.steps) mask |= 1u << st.dim;
       }
@@ -807,6 +838,9 @@ Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref, Scr
       }
       // Compulsory-equation line check via the precomputed displacement.
       if (((scratch.pt_addr[rc.source] - rc.addr_delta) >> line_shift_) != line_a) return;
+      // Triangular/trapezoidal domains: q must be an actual iteration,
+      // not just a bounding-box point.
+      if (!rectangular_ && !source_in_domain(z, rc, scratch.q_point)) return;
     } else {
       // Prefiltered (EvalCache binding): bounds and line check already
       // passed — both are tile-independent — so only cmp remains.

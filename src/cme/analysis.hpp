@@ -242,6 +242,7 @@ class NestAnalysis {
     std::vector<i64> blk_line;
     std::vector<i64> blk_set;
     std::vector<i64> lane_buf;   ///< z transposed to lanes: [d * 4 + i]
+    std::vector<i64> q_point;    ///< original-coordinate q for domain checks
     std::vector<i64> lines_found;
     TiledBoxList boxes;
     CongruenceBox box;
@@ -258,6 +259,12 @@ class NestAnalysis {
   };
 
   i64 address_at(std::size_t ref, std::span<const i64> z) const;
+  /// Non-rectangular nests only: whether the reuse source q = z − steps is
+  /// an actual iteration of the (triangular/trapezoidal) domain, not just
+  /// inside the bounding box. Tile-independent, so it runs with the other
+  /// bind-time prefilters. `point` is a caller-owned scratch buffer.
+  bool source_in_domain(std::span<const i64> z, const PreparedReuse& rc,
+                        std::vector<i64>& point) const;
   /// Fill the point-shared parts of the scratch (tiled coordinates, cache
   /// line and set per reference) for one point, scalar: one call serves
   /// all n_refs classifications of the same point. Rebinds the views.
@@ -338,6 +345,9 @@ class NestAnalysis {
   std::vector<RefData> refs_;
   std::vector<std::vector<PreparedReuse>> prepared_reuse_;  ///< per reference
   std::vector<i64> trips_;
+  /// Constant bounds everywhere: candidate bounds checks stay pure box
+  /// tests and sampling needs no rejection (the common, fast case).
+  bool rectangular_ = true;
   int line_shift_ = 0;  ///< log2(line_bytes); line size is a validated po2
   i64 sets_ = 1;
   i64 set_mask_ = -1;   ///< sets - 1 when the set count is po2, else -1

@@ -9,11 +9,25 @@ std::vector<std::vector<i64>> sample_points(const ir::LoopNest& nest, i64 count,
                                             std::uint64_t seed) {
   Rng rng(derive_seed(seed, 0x5A3B13ULL));
   const std::size_t k = nest.depth();
+  // Non-rectangular domains use rejection sampling against the bounding
+  // box: uniform over the actual domain, and the RNG stream (hence every
+  // sampled point) is unchanged for rectangular nests.
+  const bool rectangular = nest.rectangular();
   std::vector<std::vector<i64>> points;
   points.reserve((std::size_t)count);
+  std::vector<i64> probe(k);
   for (i64 s = 0; s < count; ++s) {
     std::vector<i64> z(k);
-    for (std::size_t d = 0; d < k; ++d) z[d] = rng.uniform_int(0, nest.loops[d].trip_count() - 1);
+    for (i64 draws = 0;; ++draws) {
+      // Shipped triangular kernels keep >= 1/6 of their box; this cap only
+      // trips on degenerate (nearly empty) domains.
+      expects(draws < (i64(1) << 16), "sample_points: domain too sparse in its bounding box");
+      for (std::size_t d = 0; d < k; ++d)
+        z[d] = rng.uniform_int(0, nest.loops[d].trip_count() - 1);
+      if (rectangular) break;
+      for (std::size_t d = 0; d < k; ++d) probe[d] = z[d] + nest.loops[d].lower;
+      if (nest.contains(probe)) break;
+    }
     points.push_back(std::move(z));
   }
   return points;

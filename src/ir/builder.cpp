@@ -1,5 +1,6 @@
 #include "ir/builder.hpp"
 
+#include "ir/normalize.hpp"
 #include "support/contracts.hpp"
 
 namespace cmetile::ir {
@@ -23,10 +24,40 @@ StatementBuilder& StatementBuilder::write(ArrayHandle array, std::vector<LinExpr
 NestBuilder::NestBuilder(std::string name) { nest_.name = std::move(name); }
 
 LoopVar NestBuilder::loop(std::string name, i64 lower, i64 upper) {
-  expects(!frozen_loops_, "NestBuilder: declare all loops before statements");
   expects(lower <= upper, "NestBuilder: loop range must be non-empty");
   nest_.loops.push_back(Loop{std::move(name), lower, upper});
   return LoopVar(this, nest_.loops.size() - 1);
+}
+
+LoopVar NestBuilder::loop(std::string name, LinExpr lower, LinExpr upper) {
+  Loop decl;
+  decl.name = std::move(name);
+  // Constant expressions collapse to plain i64 bounds right away (a depth-0
+  // LinExpr is the "constant bound" sentinel, so it cannot carry a value);
+  // genuinely affine bounds get their i64 box derived by normalize() in
+  // build() — until then the box holds a placeholder.
+  if (lower.is_constant()) {
+    decl.lower = lower.constant_term();
+  } else {
+    decl.lower_bound = std::move(lower);
+    decl.lower = 0;
+  }
+  if (upper.is_constant()) {
+    decl.upper = upper.constant_term();
+  } else {
+    decl.upper_bound = std::move(upper);
+    decl.upper = 0;
+  }
+  nest_.loops.push_back(std::move(decl));
+  return LoopVar(this, nest_.loops.size() - 1);
+}
+
+LoopVar NestBuilder::loop(std::string name, i64 lower, LinExpr upper) {
+  return loop(std::move(name), LinExpr::constant(current_depth(), lower), std::move(upper));
+}
+
+LoopVar NestBuilder::loop(std::string name, LinExpr lower, i64 upper) {
+  return loop(std::move(name), std::move(lower), LinExpr::constant(current_depth(), upper));
 }
 
 ArrayHandle NestBuilder::array(std::string name, std::vector<i64> extents, i64 element_size) {
@@ -47,7 +78,8 @@ ArrayHandle NestBuilder::array(std::string name, std::vector<i64> extents,
 }
 
 StatementBuilder NestBuilder::statement() {
-  frozen_loops_ = true;
+  expects(!nest_.loops.empty(), "NestBuilder: declare a loop before any statement");
+  statement_depths_.push_back(nest_.loops.size());
   return StatementBuilder(this, statements_++);
 }
 
@@ -72,8 +104,9 @@ void NestBuilder::add_ref(ArrayHandle array, std::vector<LinExpr> subscripts, Ac
 }
 
 LoopNest NestBuilder::build() {
-  nest_.validate();
-  return nest_;
+  LoopNest nest = nest_;
+  nest.statement_depths = statement_depths_;
+  return normalize(std::move(nest));
 }
 
 }  // namespace cmetile::ir

@@ -69,18 +69,30 @@ class NestBuilder {
  public:
   explicit NestBuilder(std::string name);
 
-  /// Declare the next (inner) loop. Must be called before any statement.
+  /// Declare the next (inner) loop with constant bounds.
   LoopVar loop(std::string name, i64 lower, i64 upper);
+
+  /// Declare the next (inner) loop with affine bounds in already-declared
+  /// (outer) induction variables, e.g. `b.loop("i", k + 1, n)` for a
+  /// triangular nest. Bounding boxes are derived by `ir::normalize` at
+  /// build time.
+  LoopVar loop(std::string name, LinExpr lower, LinExpr upper);
+  LoopVar loop(std::string name, i64 lower, LinExpr upper);
+  LoopVar loop(std::string name, LinExpr lower, i64 upper);
 
   /// Declare an array (Fortran column-major, lower bounds default to 1).
   ArrayHandle array(std::string name, std::vector<i64> extents, i64 element_size = 8);
   ArrayHandle array(std::string name, std::vector<i64> extents, std::vector<i64> lower_bounds,
                     i64 element_size);
 
-  /// Open the next body statement.
+  /// Open the next body statement at the current depth. Loops may be
+  /// declared after statements (imperfect nesting): such statements are
+  /// sunk to full depth by `ir::normalize` at build time, with their
+  /// original depth recorded in `LoopNest::statement_depths`.
   StatementBuilder statement();
 
-  /// Finish: validates and returns the nest.
+  /// Finish: normalizes (widening, box derivation, statement sinking),
+  /// validates and returns the nest.
   LoopNest build();
 
   std::size_t current_depth() const { return nest_.loops.size(); }
@@ -95,7 +107,7 @@ class NestBuilder {
 
   LoopNest nest_;
   std::size_t statements_ = 0;
-  bool frozen_loops_ = false;
+  std::vector<std::size_t> statement_depths_;
 };
 
 }  // namespace cmetile::ir

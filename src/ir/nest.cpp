@@ -13,10 +13,77 @@ i64 ArrayDecl::logical_elements() const {
   return n;
 }
 
+i64 interval_min(const LinExpr& expr, std::span<const Loop> loops) {
+  i64 value = expr.constant_term();
+  for (std::size_t d = 0; d < expr.depth(); ++d) {
+    const i64 c = expr.coeff(d);
+    if (c == 0) continue;
+    value += c * (c > 0 ? loops[d].lower : loops[d].upper);
+  }
+  return value;
+}
+
+i64 interval_max(const LinExpr& expr, std::span<const Loop> loops) {
+  i64 value = expr.constant_term();
+  for (std::size_t d = 0; d < expr.depth(); ++d) {
+    const i64 c = expr.coeff(d);
+    if (c == 0) continue;
+    value += c * (c > 0 ? loops[d].upper : loops[d].lower);
+  }
+  return value;
+}
+
+bool LoopNest::rectangular() const {
+  return std::all_of(loops.begin(), loops.end(),
+                     [](const Loop& loop) { return loop.rectangular(); });
+}
+
+namespace {
+
+/// Does any loop in [d, end) have a bound referencing a dim in [d, its own)?
+/// If not, every remaining trip count is determined by the prefix alone and
+/// the point count is a plain product.
+bool prefix_determines_rest(const std::vector<Loop>& loops, std::size_t d) {
+  for (std::size_t e = d; e < loops.size(); ++e) {
+    const Loop& loop = loops[e];
+    for (const LinExpr* bound : {&loop.lower_bound, &loop.upper_bound}) {
+      for (std::size_t v = d; v < bound->depth(); ++v)
+        if (bound->coeff(v) != 0) return false;
+    }
+  }
+  return true;
+}
+
+i64 count_points(const std::vector<Loop>& loops, std::vector<i64>& point, std::size_t d) {
+  if (prefix_determines_rest(loops, d)) {
+    i64 total = 1;
+    for (std::size_t e = d; e < loops.size(); ++e) {
+      const i64 trip = loops[e].upper_at(point) - loops[e].lower_at(point) + 1;
+      if (trip <= 0) return 0;
+      total *= trip;
+    }
+    return total;
+  }
+  const i64 lo = loops[d].lower_at(point);
+  const i64 hi = loops[d].upper_at(point);
+  i64 total = 0;
+  for (i64 v = lo; v <= hi; ++v) {
+    point[d] = v;
+    total += count_points(loops, point, d + 1);
+  }
+  return total;
+}
+
+}  // namespace
+
 i64 LoopNest::iteration_count() const {
-  i64 n = 1;
-  for (const Loop& loop : loops) n *= loop.trip_count();
-  return n;
+  if (rectangular()) {
+    i64 n = 1;
+    for (const Loop& loop : loops) n *= loop.trip_count();
+    return n;
+  }
+  std::vector<i64> point(loops.size(), 0);
+  return count_points(loops, point, 0);
 }
 
 std::vector<i64> LoopNest::trip_counts() const {
@@ -29,14 +96,33 @@ std::vector<i64> LoopNest::trip_counts() const {
 bool LoopNest::contains(std::span<const i64> point) const {
   if (point.size() != loops.size()) return false;
   for (std::size_t d = 0; d < loops.size(); ++d)
-    if (point[d] < loops[d].lower || point[d] > loops[d].upper) return false;
+    if (point[d] < loops[d].lower_at(point) || point[d] > loops[d].upper_at(point)) return false;
   return true;
 }
 
 void LoopNest::validate() const {
   expects(!loops.empty(), "LoopNest: at least one loop required");
-  for (const Loop& loop : loops)
+  for (std::size_t d = 0; d < loops.size(); ++d) {
+    const Loop& loop = loops[d];
     expects(loop.lower <= loop.upper, "LoopNest: loop with empty range");
+    for (const LinExpr* bound : {&loop.lower_bound, &loop.upper_bound}) {
+      if (bound->depth() == 0) continue;
+      expects(bound->depth() == loops.size(),
+              "LoopNest: affine bound arity must match nest depth");
+      for (std::size_t v = d; v < bound->depth(); ++v)
+        expects(bound->coeff(v) == 0,
+                "LoopNest: affine bound may only reference outer loops");
+    }
+    // The constant box must be the interval hull of the affine bounds —
+    // normalize() keeps this invariant; consumers rely on it for tiling
+    // domains and 0-based z coordinates.
+    if (loop.has_affine_lower())
+      expects(loop.lower == interval_min(loop.lower_bound, loops),
+              "LoopNest: bounding-box lower out of sync with affine bound");
+    if (loop.has_affine_upper())
+      expects(loop.upper == interval_max(loop.upper_bound, loops),
+              "LoopNest: bounding-box upper out of sync with affine bound");
+  }
   for (const ArrayDecl& a : arrays) {
     expects(!a.extents.empty(), "LoopNest: array with no dimensions");
     expects(a.extents.size() == a.lower_bounds.size(), "LoopNest: array bounds arity");
@@ -53,6 +139,14 @@ void LoopNest::validate() const {
       expects(s.depth() == loops.size(), "LoopNest: subscript arity must match nest depth");
     expects(ref.body_position == r, "LoopNest: refs must be sorted by body_position");
   }
+  if (!statement_depths.empty()) {
+    std::size_t stmt_count = 0;
+    for (const Reference& ref : refs) stmt_count = std::max(stmt_count, ref.statement + 1);
+    expects(statement_depths.size() == stmt_count,
+            "LoopNest: statement_depths arity must match statement count");
+    for (const std::size_t sd : statement_depths)
+      expects(sd >= 1 && sd <= loops.size(), "LoopNest: statement depth out of range");
+  }
 }
 
 std::vector<std::string> LoopNest::loop_names() const {
@@ -67,7 +161,11 @@ std::string LoopNest::to_string() const {
   std::ostringstream out;
   std::string indent;
   for (const Loop& loop : loops) {
-    out << indent << "do " << loop.name << " = " << loop.lower << ", " << loop.upper << '\n';
+    const std::string lo =
+        loop.has_affine_lower() ? loop.lower_bound.to_string(names) : std::to_string(loop.lower);
+    const std::string hi =
+        loop.has_affine_upper() ? loop.upper_bound.to_string(names) : std::to_string(loop.upper);
+    out << indent << "do " << loop.name << " = " << lo << ", " << hi << '\n';
     indent += "  ";
   }
   auto render_ref = [&](const Reference& ref) {
@@ -97,7 +195,10 @@ std::string LoopNest::to_string() const {
       if (i) out << ", ";
       out << reads[i];
     }
-    out << ")\n";
+    out << ")";
+    if (s < statement_depths.size() && statement_depths[s] < loops.size())
+      out << "  ! sunk from depth " << statement_depths[s];
+    out << "\n";
   }
   for (std::size_t d = loops.size(); d-- > 0;) {
     out << std::string(2 * d, ' ') << "enddo\n";

@@ -1,9 +1,10 @@
 #pragma once
 // The loop-nest intermediate representation. This replaces the paper's
-// Polaris/Ictineo front end (DESIGN.md §5): it carries exactly the
-// compile-time facts CME generation needs — rectangular perfectly nested
-// loops, column-major arrays, affine subscripts and the textual order of
-// the references inside the body.
+// Polaris/Ictineo front end (DESIGN.md §5, §15): it carries exactly the
+// compile-time facts CME generation needs — perfectly nested loops with
+// constant or affine (triangular) bounds, column-major arrays, affine
+// subscripts and the textual order of the references inside the body.
+// Imperfect nests are normalized into this form by `ir::normalize`.
 
 #include <span>
 #include <string>
@@ -14,13 +15,35 @@
 
 namespace cmetile::ir {
 
-/// One loop of the nest: `do name = lower, upper` (step 1, constant bounds).
+/// One loop of the nest: `do name = lower, upper` (step 1). `lower`/`upper`
+/// are always the loop's constant *bounding box* (so every rectangular
+/// consumer keeps working bit-identically); when a bound is actually affine
+/// in outer induction variables (triangular nests), the expression is in
+/// `lower_bound`/`upper_bound` (depth == nest depth, coefficients only on
+/// strictly outer dims) and the box is its interval-arithmetic hull, kept
+/// in sync by `ir::normalize`.
 struct Loop {
   std::string name;
   i64 lower = 1;
   i64 upper = 1;
+  LinExpr lower_bound;  ///< depth 0 = "constant bound, use `lower`"
+  LinExpr upper_bound;  ///< depth 0 = "constant bound, use `upper`"
 
-  i64 trip_count() const { return upper - lower + 1; }
+  i64 trip_count() const { return upper - lower + 1; }  ///< bounding-box trip
+
+  bool has_affine_lower() const { return lower_bound.depth() != 0 && !lower_bound.is_constant(); }
+  bool has_affine_upper() const { return upper_bound.depth() != 0 && !upper_bound.is_constant(); }
+  bool rectangular() const { return !has_affine_lower() && !has_affine_upper(); }
+
+  /// Effective bounds at a concrete iteration point (outer dims of `point`
+  /// must be filled in; this loop's own dim and deeper are ignored because
+  /// bound expressions carry zero coefficients there).
+  i64 lower_at(std::span<const i64> point) const {
+    return has_affine_lower() ? lower_bound.eval(point) : lower;
+  }
+  i64 upper_at(std::span<const i64> point) const {
+    return has_affine_upper() ? upper_bound.eval(point) : upper;
+  }
 };
 
 /// A Fortran-style array: column-major, per-dimension lower bound (default 1).
@@ -47,37 +70,64 @@ struct Reference {
   std::size_t body_position = 0;
 };
 
-/// A perfectly nested, rectangular affine loop nest (paper §4.1 restriction).
+/// A canonical perfect affine loop nest. Rectangular nests are the paper's
+/// §4.1 form; triangular/trapezoidal domains carry affine bounds per loop
+/// (bounding box + exact membership), and imperfectly nested statements are
+/// sunk to full depth by `ir::normalize` with their original depth recorded
+/// in `statement_depths`.
 class LoopNest {
  public:
   std::string name;
   std::vector<Loop> loops;          ///< outermost first
   std::vector<ArrayDecl> arrays;
   std::vector<Reference> refs;      ///< sorted by body_position
+  /// Original nesting depth per statement (empty = every statement at full
+  /// depth). A sunk statement executes once per iteration of the canonical
+  /// nest — a documented over-approximation of the imperfect original.
+  std::vector<std::size_t> statement_depths;
 
   std::size_t depth() const { return loops.size(); }
 
-  /// Total number of iteration points (product of trip counts).
+  /// True iff every loop has constant bounds (the paper's original form;
+  /// consumers use this to keep the rectangular fast paths bit-identical).
+  bool rectangular() const;
+
+  /// Exact number of iteration points: product of trips for rectangular
+  /// nests, exact trapezoidal enumeration (closed-form per fixed prefix)
+  /// otherwise.
   i64 iteration_count() const;
 
   /// Total memory accesses executed = iteration_count() * refs.size().
   i64 access_count() const { return iteration_count() * (i64)refs.size(); }
 
-  /// Upper bounds U_i as used by the tile-size search domain [1, U_i].
+  /// Bounding-box trip counts U_i as used by the tile-size search domain
+  /// [1, U_i] (box, not exact, by design: tiles span the box).
   std::vector<i64> trip_counts() const;
 
-  /// Is `point` (actual iv values, outermost first) inside the nest bounds?
+  /// Is `point` (actual iv values, outermost first) inside the nest domain?
+  /// Exact for affine bounds: each dim is checked against its bounds
+  /// evaluated at the outer coordinates.
   bool contains(std::span<const i64> point) const;
 
   /// Throws contract_error if the nest is malformed (arity mismatches,
-  /// empty loops, out-of-range array ids, non-monotonic body positions).
+  /// empty loops, out-of-range array ids, non-monotonic body positions,
+  /// affine bounds referencing the loop itself or inner loops, bounding
+  /// boxes out of sync with the affine bounds).
   void validate() const;
 
-  /// Fortran-like rendering of the nest (used by examples and docs).
+  /// Fortran-like rendering of the nest (used by examples and docs);
+  /// affine bounds render symbolically, sunk statements are annotated.
   std::string to_string() const;
 
   /// Names of the induction variables, outermost first.
   std::vector<std::string> loop_names() const;
 };
+
+/// Interval-arithmetic minimum/maximum of an affine bound over the bounding
+/// boxes of the outer loops (the expression may only reference loops with
+/// index strictly below the one it bounds). Used to derive and validate the
+/// constant boxes of triangular loops.
+i64 interval_min(const LinExpr& expr, std::span<const Loop> loops);
+i64 interval_max(const LinExpr& expr, std::span<const Loop> loops);
 
 }  // namespace cmetile::ir

@@ -1,0 +1,68 @@
+#include "ir/normalize.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::ir {
+
+namespace {
+
+LinExpr widen_to(const LinExpr& expr, std::size_t depth) {
+  if (expr.depth() == depth) return expr;
+  expects(expr.depth() < depth, "normalize: expression wider than the nest");
+  std::vector<i64> coeffs(expr.coeffs().begin(), expr.coeffs().end());
+  coeffs.resize(depth, 0);
+  return LinExpr(std::move(coeffs), expr.constant_term());
+}
+
+}  // namespace
+
+void refresh_bounding_boxes(std::vector<Loop>& loops) {
+  // Outermost-in: each hull only consults the boxes of strictly outer loops,
+  // which are final by the time we reach this one.
+  for (std::size_t d = 0; d < loops.size(); ++d) {
+    Loop& loop = loops[d];
+    if (loop.has_affine_lower()) loop.lower = interval_min(loop.lower_bound, loops);
+    if (loop.has_affine_upper()) loop.upper = interval_max(loop.upper_bound, loops);
+    expects(loop.lower <= loop.upper, "normalize: loop bounding box is empty");
+  }
+}
+
+LoopNest normalize(LoopNest nest) {
+  const std::size_t depth = nest.loops.size();
+  expects(depth >= 1, "normalize: at least one loop required");
+
+  for (Loop& loop : nest.loops) {
+    // Constant affine bounds collapse into the plain i64 fields so the
+    // rectangular fast paths stay on for nests that merely *spelled* their
+    // bounds as expressions.
+    if (loop.lower_bound.depth() != 0 && loop.lower_bound.is_constant()) {
+      loop.lower = loop.lower_bound.constant_term();
+      loop.lower_bound = LinExpr();
+    }
+    if (loop.upper_bound.depth() != 0 && loop.upper_bound.is_constant()) {
+      loop.upper = loop.upper_bound.constant_term();
+      loop.upper_bound = LinExpr();
+    }
+    if (loop.lower_bound.depth() != 0) loop.lower_bound = widen_to(loop.lower_bound, depth);
+    if (loop.upper_bound.depth() != 0) loop.upper_bound = widen_to(loop.upper_bound, depth);
+  }
+  refresh_bounding_boxes(nest.loops);
+
+  for (Reference& ref : nest.refs)
+    for (LinExpr& subscript : ref.subscripts) subscript = widen_to(subscript, depth);
+
+  // Statement sinking is positional: a statement opened before the inner
+  // loops existed already has zero coefficients there; recording its depth
+  // is all that remains. A full-depth vector normalizes to "empty".
+  if (!nest.statement_depths.empty() &&
+      std::all_of(nest.statement_depths.begin(), nest.statement_depths.end(),
+                  [depth](std::size_t sd) { return sd == depth; }))
+    nest.statement_depths.clear();
+
+  nest.validate();
+  return nest;
+}
+
+}  // namespace cmetile::ir

@@ -1,0 +1,33 @@
+#pragma once
+// Canonicalization of generalized nests (DESIGN.md §15). Builders and JSON
+// decoders may produce loops whose affine bounds were written at a shallower
+// depth, statements opened before inner loops were declared (imperfect
+// nesting), and bounding boxes that have never been derived. `normalize`
+// sinks everything into the canonical perfect-nest form the rest of the
+// stack consumes:
+//
+//  * every bound/subscript expression is widened to the final nest depth;
+//  * constant affine bounds collapse into the plain `lower`/`upper` fields
+//    (so `LoopNest::rectangular()` and the fast paths fire);
+//  * `lower`/`upper` of affine loops become the interval-arithmetic hull of
+//    the bound over the outer boxes, derived outermost-in;
+//  * statements declared at a shallower depth keep their subscripts (zero
+//    coefficients on the inner dims) and are recorded in `statement_depths`
+//    — the canonical nest re-executes them once per inner iteration, a
+//    deliberate over-approximation that is redundant but dependence-sound.
+//
+// The pass is idempotent, and the identity on already-canonical nests.
+
+#include "ir/nest.hpp"
+
+namespace cmetile::ir {
+
+/// Recompute `lower`/`upper` of every loop with affine bounds as the
+/// interval hull of the bound expression, outermost first. Throws if a
+/// loop's box comes out empty (the nest could never execute).
+void refresh_bounding_boxes(std::vector<Loop>& loops);
+
+/// Canonicalize (see file comment) and validate. Returns the nest.
+LoopNest normalize(LoopNest nest);
+
+}  // namespace cmetile::ir

@@ -2,9 +2,33 @@
 
 namespace cmetile::ir {
 
+namespace {
+
+/// Recursive walk for affine-bounded nests: each loop's range is evaluated
+/// at the outer prefix; empty per-prefix ranges simply contribute nothing.
+void walk_affine(const LoopNest& nest, std::vector<i64>& point, std::size_t d,
+                 const PointCallback& callback) {
+  if (d == nest.depth()) {
+    callback(point);
+    return;
+  }
+  const i64 lo = nest.loops[d].lower_at(point);
+  const i64 hi = nest.loops[d].upper_at(point);
+  for (i64 v = lo; v <= hi; ++v) {
+    point[d] = v;
+    walk_affine(nest, point, d + 1, callback);
+  }
+}
+
+}  // namespace
+
 void for_each_point(const LoopNest& nest, const PointCallback& callback) {
   const std::size_t depth = nest.depth();
   std::vector<i64> point(depth);
+  if (!nest.rectangular()) {
+    walk_affine(nest, point, 0, callback);
+    return;
+  }
   for (std::size_t d = 0; d < depth; ++d) point[d] = nest.loops[d].lower;
 
   while (true) {

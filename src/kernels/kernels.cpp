@@ -112,6 +112,37 @@ LoopNest build_adi(i64 n) {
   return b.build();
 }
 
+// ---- triangular / imperfect kernels (extended registry) ------------------
+
+/// LU decomposition without pivoting. Triangular (i and j start at k+1) and
+/// imperfectly nested: the row-scale statement sits at depth 2 and is sunk
+/// to full depth by ir::normalize (replicated per j — a dependence-sound
+/// over-approximation recorded in statement_depths).
+LoopNest build_lu(i64 n) {
+  expects(n >= 2, "LU requires n >= 2");
+  NestBuilder b("LU");
+  auto k = b.loop("k", 1, n - 1);
+  auto i = b.loop("i", k + 1, n);
+  auto a = b.array("a", {n, n});
+  b.statement().read(a, {i, k}).read(a, {k, k}).write(a, {i, k});
+  auto j = b.loop("j", k + 1, n);
+  b.statement().read(a, {i, j}).read(a, {i, k}).read(a, {k, j}).write(a, {i, j});
+  return b.build();
+}
+
+/// Symmetric rank-k update, lower triangle only: c(i,j) += a(i,k)*a(j,k)
+/// for j <= i (triangular upper bound).
+LoopNest build_syrk(i64 n) {
+  NestBuilder b("SYRK");
+  auto i = b.loop("i", 1, n);
+  auto j = b.loop("j", 1, i);
+  auto k = b.loop("k", 1, n);
+  auto c = b.array("c", {n, n});
+  auto a = b.array("a", {n, n});
+  b.statement().read(c, {i, j}).read(a, {i, k}).read(a, {j, k}).write(c, {i, j});
+  return b.build();
+}
+
 // ---- NAS kernels ---------------------------------------------------------
 
 /// Addition of update to a matrix (4 loops). Power-of-two layout: a and b
@@ -320,8 +351,18 @@ const std::vector<KernelSpec>& registry() {
   return kernels;
 }
 
+const std::vector<KernelSpec>& extended_registry() {
+  static const std::vector<KernelSpec> kernels = {
+      {"LU", "-", "LU decomposition without pivoting (triangular, imperfect nest)", 3, true, 60},
+      {"SYRK", "-", "Symmetric rank-k update on the lower triangle", 3, true, 60},
+  };
+  return kernels;
+}
+
 std::optional<KernelSpec> find_kernel(const std::string& name) {
   for (const KernelSpec& spec : registry())
+    if (spec.name == name) return spec;
+  for (const KernelSpec& spec : extended_registry())
     if (spec.name == name) return spec;
   return std::nullopt;
 }
@@ -344,6 +385,8 @@ ir::LoopNest build_kernel(const std::string& name, i64 n) {
   if (name == "DRADBG2") return build_dradbg2();
   if (name == "DRADFG1") return build_dradfg1();
   if (name == "DRADFG2") return build_dradfg2();
+  if (name == "LU") return build_lu(n);
+  if (name == "SYRK") return build_syrk(n);
   throw contract_error("unknown kernel: " + name);
 }
 

@@ -30,6 +30,12 @@ struct KernelSpec {
 /// All Table-1 kernels, in the paper's order.
 const std::vector<KernelSpec>& registry();
 
+/// Kernels beyond Table 1 exercising the polyhedral front-end: triangular
+/// domains (LU, SYRK) and imperfect nesting (LU's row-scale statement).
+/// Kept separate so the Table-1 registry — and everything derived from it
+/// (figures, sweeps, fingerprints) — is unchanged.
+const std::vector<KernelSpec>& extended_registry();
+
 /// Look up a spec by name (case-sensitive); nullopt if unknown.
 std::optional<KernelSpec> find_kernel(const std::string& name);
 

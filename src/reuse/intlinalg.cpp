@@ -151,6 +151,254 @@ std::optional<std::vector<i64>> solve_integer(const IntMatrix& a, std::span<cons
   return x;
 }
 
+namespace {
+
+constexpr i64 kCoeffLimit = i64(1) << 60;  ///< overflow guard for FM combinations
+
+i128 abs128(i128 v) { return v < 0 ? -v : v; }
+
+i128 gcd128(i128 a, i128 b) {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    const i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Floor division with a 128-bit numerator and positive denominator.
+i128 floor_div128(i128 a, i128 b) {
+  i128 q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+i128 ceil_div128(i128 a, i128 b) { return -floor_div128(-a, b); }
+
+i64 narrow128(i128 v, const char* what) {
+  expects(abs128(v) <= kCoeffLimit, what);
+  return (i64)v;
+}
+
+}  // namespace
+
+IntPolyhedron::IntPolyhedron(std::size_t dims) : dims_(dims) {
+  expects(dims >= 1, "IntPolyhedron: at least one dimension required");
+}
+
+void IntPolyhedron::push_row(std::vector<i64> a, i64 b) {
+  expects(a.size() == dims_, "IntPolyhedron: row arity mismatch");
+  i64 g = 0;
+  for (const i64 x : a) g = std::gcd(g, x);
+  if (g == 0) {
+    if (b < 0) infeasible_ = true;  // 0 >= -b with b < 0: contradiction
+    return;                         // tautology otherwise
+  }
+  if (g > 1) {
+    for (i64& x : a) x /= g;
+    // Integer tightening: a·x is a multiple of 1 after reduction, so the
+    // constant may be floored. Valid for integer points only (which is all
+    // we ever certify); it can only cut non-integer rational points.
+    b = floor_div(b, g);
+  }
+  for (Row& row : rows_) {
+    if (row.a == a) {
+      row.b = std::min(row.b, b);  // keep the tighter of two parallel rows
+      return;
+    }
+  }
+  rows_.push_back(Row{std::move(a), b});
+}
+
+void IntPolyhedron::add_inequality(std::vector<i64> coeffs, i64 constant) {
+  push_row(std::move(coeffs), constant);
+}
+
+void IntPolyhedron::add_equality(std::vector<i64> coeffs, i64 constant) {
+  std::vector<i64> negated(coeffs.size());
+  for (std::size_t d = 0; d < coeffs.size(); ++d) negated[d] = -coeffs[d];
+  push_row(std::move(coeffs), constant);
+  push_row(std::move(negated), -constant);
+}
+
+void IntPolyhedron::add_lower_bound(std::size_t dim, i64 bound) {
+  std::vector<i64> a(dims_, 0);
+  a.at(dim) = 1;
+  push_row(std::move(a), -bound);
+}
+
+void IntPolyhedron::add_upper_bound(std::size_t dim, i64 bound) {
+  std::vector<i64> a(dims_, 0);
+  a.at(dim) = -1;
+  push_row(std::move(a), bound);
+}
+
+bool IntPolyhedron::contains(std::span<const i64> point) const {
+  expects(point.size() == dims_, "IntPolyhedron::contains: arity mismatch");
+  if (infeasible_) return false;
+  for (const Row& row : rows_) {
+    i128 lhs = row.b;
+    for (std::size_t d = 0; d < dims_; ++d) lhs += (i128)row.a[d] * point[d];
+    if (lhs < 0) return false;
+  }
+  return true;
+}
+
+void IntPolyhedron::eliminate(std::size_t dim) {
+  expects(dim < dims_, "IntPolyhedron::eliminate: dimension out of range");
+  std::vector<Row> old = std::move(rows_);
+  rows_.clear();
+  std::vector<const Row*> lowers;  // a[dim] > 0: lower bounds on x_dim
+  std::vector<const Row*> uppers;  // a[dim] < 0: upper bounds on x_dim
+  for (const Row& row : old) {
+    if (row.a[dim] > 0)
+      lowers.push_back(&row);
+    else if (row.a[dim] < 0)
+      uppers.push_back(&row);
+    else
+      push_row(row.a, row.b);
+  }
+  // Every (lower, upper) pair combines into one x_dim-free consequence.
+  for (const Row* lo : lowers) {
+    for (const Row* up : uppers) {
+      const i128 cl = lo->a[dim];    // > 0
+      const i128 mu = -up->a[dim];   // > 0
+      std::vector<i128> wide(dims_, 0);
+      i128 wide_b = mu * lo->b + cl * up->b;
+      i128 g = 0;
+      for (std::size_t d = 0; d < dims_; ++d) {
+        wide[d] = mu * lo->a[d] + cl * up->a[d];
+        g = gcd128(g, wide[d]);
+      }
+      if (g > 1) {
+        for (i128& x : wide) x /= g;
+        wide_b = floor_div128(wide_b, g);
+      }
+      std::vector<i64> a(dims_);
+      for (std::size_t d = 0; d < dims_; ++d)
+        a[d] = narrow128(wide[d], "IntPolyhedron: coefficient overflow in elimination");
+      push_row(std::move(a),
+               narrow128(wide_b, "IntPolyhedron: constant overflow in elimination"));
+    }
+  }
+}
+
+bool IntPolyhedron::definitely_empty() const {
+  if (infeasible_) return true;
+  IntPolyhedron copy = *this;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    copy.eliminate(d);
+    if (copy.infeasible_) return true;
+  }
+  return false;
+}
+
+IntPolyhedron::Bounds IntPolyhedron::coordinate_bounds(std::size_t dim) const {
+  expects(dim < dims_, "IntPolyhedron::coordinate_bounds: dimension out of range");
+  IntPolyhedron copy = *this;
+  for (std::size_t d = 0; d < dims_ && !copy.infeasible_; ++d)
+    if (d != dim) copy.eliminate(d);
+  Bounds bounds;
+  if (copy.infeasible_) {
+    bounds.feasible = false;
+    return bounds;
+  }
+  for (const Row& row : copy.rows_) {
+    const i64 c = row.a[dim];
+    if (c == 0) continue;
+    if (c > 0) {
+      const i64 lo = narrow128(ceil_div128(-(i128)row.b, c), "IntPolyhedron: bound overflow");
+      bounds.lo = bounds.lower_bounded ? std::max(bounds.lo, lo) : lo;
+      bounds.lower_bounded = true;
+    } else {
+      const i64 hi = narrow128(floor_div128(row.b, -(i128)c), "IntPolyhedron: bound overflow");
+      bounds.hi = bounds.upper_bounded ? std::min(bounds.hi, hi) : hi;
+      bounds.upper_bounded = true;
+    }
+  }
+  if (bounds.lower_bounded && bounds.upper_bounded && bounds.lo > bounds.hi)
+    bounds.feasible = false;
+  return bounds;
+}
+
+IntPolyhedron::Search IntPolyhedron::for_each_projected_point(
+    std::size_t prefix, i64 work_cap,
+    const std::function<bool(std::span<const i64>)>& fn) const {
+  expects(prefix >= 1 && prefix <= dims_, "IntPolyhedron: bad projection prefix");
+  Search search;
+  if (infeasible_) return search;
+
+  // qs[d] has coordinates d..dims-1 eliminated, so its rows mention
+  // x_0..x_{d-1} only. A prefix satisfying qs[d] extends to level d with
+  // the interval cut out by the x_d rows of qs[d+1]; by induction a full
+  // assignment reaching d == dims satisfies the original system exactly.
+  std::vector<IntPolyhedron> qs(dims_ + 1, IntPolyhedron(dims_));
+  qs[dims_] = *this;
+  for (std::size_t d = dims_; d-- > 1;) {
+    qs[d] = qs[d + 1];
+    qs[d].eliminate(d);
+    if (qs[d].infeasible_) return search;  // provably empty
+  }
+
+  i64 budget = work_cap;
+  std::vector<i64> x(dims_, 0);
+  // Return codes: 0 = subtree exhausted, 1 = completion found, 2 = stop all.
+  std::function<int(std::size_t)> dfs = [&](std::size_t d) -> int {
+    if (d == dims_) return 1;
+    bool lo_bounded = false, hi_bounded = false;
+    i64 lo = 0, hi = 0;
+    for (const Row& row : qs[d + 1].rows_) {
+      const i64 c = row.a[d];
+      if (c == 0) continue;
+      i128 rest = row.b;
+      for (std::size_t e = 0; e < d; ++e) rest += (i128)row.a[e] * x[e];
+      if (c > 0) {
+        const i64 v = narrow128(ceil_div128(-rest, c), "IntPolyhedron: bound overflow");
+        lo = lo_bounded ? std::max(lo, v) : v;
+        lo_bounded = true;
+      } else {
+        const i64 v = narrow128(floor_div128(rest, -(i128)c), "IntPolyhedron: bound overflow");
+        hi = hi_bounded ? std::min(hi, v) : v;
+        hi_bounded = true;
+      }
+    }
+    if (!lo_bounded || !hi_bounded) {
+      search.complete = false;  // unbounded ray: cannot enumerate this subtree
+      return 0;
+    }
+    for (i64 v = lo; v <= hi; ++v) {
+      if (--budget < 0) {
+        search.complete = false;
+        return 2;
+      }
+      x[d] = v;
+      const int r = dfs(d + 1);
+      if (r == 2) return 2;
+      if (d + 1 == prefix) {
+        if (r == 1 && !fn(std::span<const i64>(x.data(), prefix))) return 2;
+      } else if (d + 1 > prefix) {
+        if (r == 1) return 1;  // one completion suffices
+      }
+    }
+    return 0;
+  };
+  dfs(0);
+  return search;
+}
+
+std::optional<std::vector<i64>> IntPolyhedron::find_point(i64 work_cap, bool* complete) const {
+  std::optional<std::vector<i64>> found;
+  const Search search =
+      for_each_projected_point(dims_, work_cap, [&](std::span<const i64> point) {
+        found.emplace(point.begin(), point.end());
+        return false;
+      });
+  if (complete != nullptr) *complete = found.has_value() || search.complete;
+  return found;
+}
+
 std::vector<i64> reduce_against(std::vector<i64> v, const std::vector<std::vector<i64>>& basis) {
   // Sequential Babai rounding; repeated twice for a slightly better fit.
   for (int pass = 0; pass < 2; ++pass) {

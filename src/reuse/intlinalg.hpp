@@ -1,10 +1,13 @@
 #pragma once
 // Small exact integer linear algebra for reuse analysis (Wolf & Lam):
 // nullspace bases and particular integer solutions of H·r = c, both via a
-// Smith-normal-form decomposition. Matrices are tiny (array rank × nest
-// depth, entries are subscript coefficients), so the emphasis is on
-// exactness and clarity, not asymptotics.
+// Smith-normal-form decomposition, plus IntPolyhedron — a convex polyhedron
+// with exact Fourier–Motzkin projection used by the dependence front end.
+// Matrices are tiny (array rank × nest depth, entries are subscript
+// coefficients), so the emphasis is on exactness and clarity, not
+// asymptotics.
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -59,5 +62,80 @@ std::optional<std::vector<i64>> solve_integer(const IntMatrix& a, std::span<cons
 /// to obtain a short representative. Used to keep group-reuse vectors small.
 std::vector<i64> reduce_against(std::vector<i64> v,
                                 const std::vector<std::vector<i64>>& basis);
+
+/// A convex polyhedron { x : a_r·x + b_r >= 0 for every row r } queried for
+/// its *integer* points, with exact Fourier–Motzkin projection. Rows are
+/// gcd-normalized with the constant floor-tightened to the integer lattice,
+/// so every derived certificate is sound for integer points:
+/// `definitely_empty() == true` proves there is no integer solution, and the
+/// depth-first enumeration is exact whenever it completes within its work
+/// cap. Dependence polyhedra are 2·depth variables and a few dozen rows, so
+/// the quadratic row bookkeeping is irrelevant.
+class IntPolyhedron {
+ public:
+  explicit IntPolyhedron(std::size_t dims);
+
+  std::size_t dims() const { return dims_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Add the constraint coeffs·x + constant >= 0 (coeffs.size() == dims()).
+  void add_inequality(std::vector<i64> coeffs, i64 constant);
+  /// Add the constraint coeffs·x + constant == 0.
+  void add_equality(std::vector<i64> coeffs, i64 constant);
+  void add_lower_bound(std::size_t dim, i64 bound);  ///< x_dim >= bound
+  void add_upper_bound(std::size_t dim, i64 bound);  ///< x_dim <= bound
+
+  /// Does the integer point satisfy every constraint?
+  bool contains(std::span<const i64> point) const;
+
+  /// Fourier–Motzkin projection: replace the constraint system with one over
+  /// the remaining variables whose solutions are exactly the shadows of the
+  /// original solutions (rationally exact; integer-sound after tightening).
+  /// The eliminated column stays allocated but all its coefficients are 0.
+  void eliminate(std::size_t dim);
+
+  /// True => the polyhedron provably contains no integer point. False is
+  /// inconclusive (the rational relaxation is non-empty but an integer
+  /// point may or may not exist); use `find_point` for a witness.
+  bool definitely_empty() const;
+
+  /// Integer bounds of one coordinate over the whole polyhedron.
+  struct Bounds {
+    bool feasible = true;  ///< false when the projection onto this axis is empty
+    bool lower_bounded = false;
+    bool upper_bounded = false;
+    i64 lo = 0;
+    i64 hi = 0;
+  };
+  Bounds coordinate_bounds(std::size_t dim) const;
+
+  struct Search {
+    bool complete = true;  ///< false when the work cap or an unbounded ray stopped the search
+  };
+
+  /// Enumerate every integer point of the projection onto the first
+  /// `prefix` coordinates that is realized by some integer completion of
+  /// the remaining coordinates, in lexicographic order. `fn` returns false
+  /// to stop early (does not mark the search incomplete). `work_cap` bounds
+  /// the total number of candidate coordinate values tried.
+  Search for_each_projected_point(std::size_t prefix, i64 work_cap,
+                                  const std::function<bool(std::span<const i64>)>& fn) const;
+
+  /// First integer point in lexicographic order, if one is found within the
+  /// work cap. `complete` (optional) reports whether absence is a proof.
+  std::optional<std::vector<i64>> find_point(i64 work_cap, bool* complete = nullptr) const;
+
+ private:
+  struct Row {
+    std::vector<i64> a;
+    i64 b = 0;
+  };
+
+  void push_row(std::vector<i64> a, i64 b);
+
+  std::size_t dims_ = 0;
+  std::vector<Row> rows_;
+  bool infeasible_ = false;  ///< a normalized row reduced to "constant < 0"
+};
 
 }  // namespace cmetile::reuse

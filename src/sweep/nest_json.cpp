@@ -1,0 +1,179 @@
+#include "sweep/nest_json.hpp"
+
+#include "support/contracts.hpp"
+
+namespace cmetile::sweep {
+
+namespace {
+
+Json json_of_ivec(std::span<const i64> values) {
+  Json array = Json::array();
+  for (const i64 v : values) array.push(Json::integer(v));
+  return array;
+}
+
+bool ivec_of_json(const Json* json, std::vector<i64>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    if (item.kind() != Json::Kind::Int) return false;
+    out.push_back(item.as_int());
+  }
+  return true;
+}
+
+bool get_int(const Json& obj, std::string_view key, i64& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Int) return false;
+  out = v->as_int();
+  return true;
+}
+
+bool get_string(const Json& obj, std::string_view key, std::string& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::String) return false;
+  out = v->as_string();
+  return true;
+}
+
+Json json_of_expr(const ir::LinExpr& expr) {
+  Json obj = Json::object();
+  obj.set("c", json_of_ivec(expr.coeffs()));
+  obj.set("k", Json::integer(expr.constant_term()));
+  return obj;
+}
+
+bool expr_of_json(const Json* json, ir::LinExpr& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Object) return false;
+  std::vector<i64> coeffs;
+  i64 constant = 0;
+  if (!ivec_of_json(json->find("c"), coeffs) || !get_int(*json, "k", constant)) return false;
+  out = ir::LinExpr(std::move(coeffs), constant);
+  return true;
+}
+
+}  // namespace
+
+Json json_of_nest(const ir::LoopNest& nest) {
+  Json obj = Json::object();
+  obj.set("name", Json::string(nest.name));
+
+  Json loops = Json::array();
+  for (const ir::Loop& loop : nest.loops) {
+    Json l = Json::object();
+    l.set("name", Json::string(loop.name));
+    l.set("lo", Json::integer(loop.lower));
+    l.set("hi", Json::integer(loop.upper));
+    if (loop.has_affine_lower()) l.set("lob", json_of_expr(loop.lower_bound));
+    if (loop.has_affine_upper()) l.set("hib", json_of_expr(loop.upper_bound));
+    loops.push(std::move(l));
+  }
+  obj.set("loops", std::move(loops));
+
+  Json arrays = Json::array();
+  for (const ir::ArrayDecl& a : nest.arrays) {
+    Json decl = Json::object();
+    decl.set("name", Json::string(a.name));
+    decl.set("extents", json_of_ivec(a.extents));
+    decl.set("lower_bounds", json_of_ivec(a.lower_bounds));
+    decl.set("element_size", Json::integer(a.element_size));
+    arrays.push(std::move(decl));
+  }
+  obj.set("arrays", std::move(arrays));
+
+  Json refs = Json::array();
+  for (const ir::Reference& ref : nest.refs) {
+    Json r = Json::object();
+    r.set("array", Json::integer((i64)ref.array));
+    Json subs = Json::array();
+    for (const ir::LinExpr& s : ref.subscripts) subs.push(json_of_expr(s));
+    r.set("subscripts", std::move(subs));
+    r.set("write", Json::boolean(ref.kind == ir::AccessKind::Write));
+    r.set("statement", Json::integer((i64)ref.statement));
+    refs.push(std::move(r));
+  }
+  obj.set("refs", std::move(refs));
+
+  if (!nest.statement_depths.empty()) {
+    Json depths = Json::array();
+    for (const std::size_t d : nest.statement_depths) depths.push(Json::integer((i64)d));
+    obj.set("statement_depths", std::move(depths));
+  }
+  return obj;
+}
+
+std::optional<ir::LoopNest> nest_of_json(const Json& json) {
+  if (json.kind() != Json::Kind::Object) return std::nullopt;
+  ir::LoopNest nest;
+  if (!get_string(json, "name", nest.name)) return std::nullopt;
+
+  const Json* loops = json.find("loops");
+  if (loops == nullptr || loops->kind() != Json::Kind::Array) return std::nullopt;
+  for (const Json& l : loops->items()) {
+    if (l.kind() != Json::Kind::Object) return std::nullopt;
+    ir::Loop loop;
+    if (!get_string(l, "name", loop.name) || !get_int(l, "lo", loop.lower) ||
+        !get_int(l, "hi", loop.upper))
+      return std::nullopt;
+    if (l.find("lob") != nullptr && !expr_of_json(l.find("lob"), loop.lower_bound))
+      return std::nullopt;
+    if (l.find("hib") != nullptr && !expr_of_json(l.find("hib"), loop.upper_bound))
+      return std::nullopt;
+    nest.loops.push_back(std::move(loop));
+  }
+
+  const Json* arrays = json.find("arrays");
+  if (arrays == nullptr || arrays->kind() != Json::Kind::Array) return std::nullopt;
+  for (const Json& a : arrays->items()) {
+    if (a.kind() != Json::Kind::Object) return std::nullopt;
+    ir::ArrayDecl decl;
+    if (!get_string(a, "name", decl.name) || !ivec_of_json(a.find("extents"), decl.extents) ||
+        !ivec_of_json(a.find("lower_bounds"), decl.lower_bounds) ||
+        !get_int(a, "element_size", decl.element_size))
+      return std::nullopt;
+    nest.arrays.push_back(std::move(decl));
+  }
+
+  const Json* refs = json.find("refs");
+  if (refs == nullptr || refs->kind() != Json::Kind::Array) return std::nullopt;
+  for (const Json& r : refs->items()) {
+    if (r.kind() != Json::Kind::Object) return std::nullopt;
+    ir::Reference ref;
+    i64 array = 0, statement = 0;
+    if (!get_int(r, "array", array) || !get_int(r, "statement", statement) || array < 0 ||
+        statement < 0)
+      return std::nullopt;
+    ref.array = (std::size_t)array;
+    ref.statement = (std::size_t)statement;
+    const Json* write = r.find("write");
+    if (write == nullptr || write->kind() != Json::Kind::Bool) return std::nullopt;
+    ref.kind = write->as_bool() ? ir::AccessKind::Write : ir::AccessKind::Read;
+    const Json* subs = r.find("subscripts");
+    if (subs == nullptr || subs->kind() != Json::Kind::Array) return std::nullopt;
+    for (const Json& s : subs->items()) {
+      ir::LinExpr expr;
+      if (!expr_of_json(&s, expr)) return std::nullopt;
+      ref.subscripts.push_back(std::move(expr));
+    }
+    ref.body_position = nest.refs.size();
+    nest.refs.push_back(std::move(ref));
+  }
+
+  if (const Json* depths = json.find("statement_depths"); depths != nullptr) {
+    std::vector<i64> values;
+    if (!ivec_of_json(depths, values)) return std::nullopt;
+    for (const i64 d : values) {
+      if (d < 1) return std::nullopt;
+      nest.statement_depths.push_back((std::size_t)d);
+    }
+  }
+
+  try {
+    nest.validate();
+  } catch (const contract_error&) {
+    return std::nullopt;
+  }
+  return nest;
+}
+
+}  // namespace cmetile::sweep

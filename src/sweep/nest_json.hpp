@@ -1,0 +1,26 @@
+#pragma once
+// JSON round-trip for generalized loop nests. The sweep cells themselves
+// reference kernels by (name, size) — that encoding, and every cached
+// fingerprint, is untouched. This encoding is for shipping a *custom* nest
+// to workers or checkpoints: it captures the full generalized IR — affine
+// (triangular) bounds, bounding boxes, sunk-statement provenance — so a
+// decoded nest is structurally identical to the encoded one and validates.
+//
+// Affine expressions encode as {"c": [coeffs...], "k": constant}; a loop
+// carries its box ("lo"/"hi") always and a bound expression ("lob"/"hib")
+// only when affine, mirroring the in-memory sentinel convention.
+
+#include <optional>
+
+#include "ir/nest.hpp"
+#include "sweep/json.hpp"
+
+namespace cmetile::sweep {
+
+Json json_of_nest(const ir::LoopNest& nest);
+
+/// Decode and validate; nullopt on any structural or validation failure
+/// (malformed input never throws, matching cell_of_json).
+std::optional<ir::LoopNest> nest_of_json(const Json& json);
+
+}  // namespace cmetile::sweep

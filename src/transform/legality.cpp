@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <set>
 #include <sstream>
 
 #include "reuse/reuse.hpp"
@@ -44,7 +45,185 @@ std::string render(std::span<const i64> r) {
   return out.str();
 }
 
+/// Should this ordered reference pair be dependence-tested at all?
+bool dependence_pair(const ir::Reference& ra, const ir::Reference& rb) {
+  if (ra.array != rb.array) return false;
+  return ra.kind == ir::AccessKind::Write || rb.kind == ir::AccessKind::Write;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Polyhedral engine (primary).
+//
+// Variable layout of a dependence polyhedron for a nest of depth k:
+// columns 0..k-1 are the distance r, columns k..2k-1 the source iteration
+// i; the sink is j = i + r. Putting r first lets IntPolyhedron's projected
+// enumeration emit distance vectors directly (each with an integer witness
+// completion for i).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Add the iteration-domain rows for the source point i (shifted == false)
+/// or the sink point i + r (shifted == true): for every dim d,
+/// x_d - lower_d(x) >= 0 and upper_d(x) - x_d >= 0, with affine bounds
+/// substituted through the (r, i) coordinates.
+void add_domain_rows(reuse::IntPolyhedron& poly, const ir::LoopNest& nest, bool shifted) {
+  const std::size_t k = nest.depth();
+  for (std::size_t d = 0; d < k; ++d) {
+    const ir::Loop& loop = nest.loops[d];
+    std::vector<i64> lower_row(2 * k, 0);
+    std::vector<i64> upper_row(2 * k, 0);
+    i64 lower_b = 0;
+    i64 upper_b = 0;
+    auto add_var = [&](std::vector<i64>& row, std::size_t e, i64 c) {
+      row[k + e] += c;          // i_e column
+      if (shifted) row[e] += c;  // r_e column (x_e = i_e + r_e)
+    };
+    add_var(lower_row, d, 1);
+    if (loop.has_affine_lower()) {
+      for (std::size_t e = 0; e < loop.lower_bound.depth(); ++e)
+        if (loop.lower_bound.coeff(e) != 0) add_var(lower_row, e, -loop.lower_bound.coeff(e));
+      lower_b = -loop.lower_bound.constant_term();
+    } else {
+      lower_b = -loop.lower;
+    }
+    add_var(upper_row, d, -1);
+    if (loop.has_affine_upper()) {
+      for (std::size_t e = 0; e < loop.upper_bound.depth(); ++e)
+        if (loop.upper_bound.coeff(e) != 0) add_var(upper_row, e, loop.upper_bound.coeff(e));
+      upper_b = loop.upper_bound.constant_term();
+    } else {
+      upper_b = loop.upper;
+    }
+    poly.add_inequality(std::move(lower_row), lower_b);
+    poly.add_inequality(std::move(upper_row), upper_b);
+  }
+}
+
+/// The dependence polyhedron of an ordered reference pair: both endpoints
+/// in the domain, touching the same array element, i.e.
+/// (H_a - H_b)·i - H_b·r + (c_a - c_b) = 0.
+reuse::IntPolyhedron dependence_polyhedron(const ir::LoopNest& nest,
+                                           const reuse::SubscriptForm& fa,
+                                           const reuse::SubscriptForm& fb) {
+  const std::size_t k = nest.depth();
+  reuse::IntPolyhedron poly(2 * k);
+  add_domain_rows(poly, nest, /*shifted=*/false);
+  add_domain_rows(poly, nest, /*shifted=*/true);
+  for (std::size_t row = 0; row < fa.h.rows(); ++row) {
+    std::vector<i64> a(2 * k, 0);
+    for (std::size_t e = 0; e < k; ++e) {
+      a[k + e] = fa.h.at(row, e) - fb.h.at(row, e);
+      a[e] = -fb.h.at(row, e);
+    }
+    poly.add_equality(std::move(a), fa.c[row] - fb.c[row]);
+  }
+  return poly;
+}
+
+struct PairScan {
+  bool exact = true;                      ///< false iff a budget was exhausted
+  std::vector<std::vector<i64>> risky;    ///< may contain duplicates across (l, m)
+};
+
+/// Enumerate the risky distances of one ordered pair. The risky set is the
+/// union over lex level l and later dim m of the convex regions
+/// { r_e = 0 (e < l), r_l >= 1, r_m <= -1 }; each region is first tested
+/// for provable emptiness (the Legal fast path needs no enumeration).
+PairScan scan_pair(const ir::LoopNest& nest, const reuse::SubscriptForm& fa,
+                   const reuse::SubscriptForm& fb, const DependenceOptions& options) {
+  const std::size_t k = nest.depth();
+  PairScan scan;
+  const reuse::IntPolyhedron base = dependence_polyhedron(nest, fa, fb);
+  if (base.definitely_empty()) return scan;  // no dependence at all
+  for (std::size_t l = 0; l < k; ++l) {
+    reuse::IntPolyhedron level = base;
+    for (std::size_t e = 0; e < l; ++e) {
+      level.add_lower_bound(e, 0);
+      level.add_upper_bound(e, 0);
+    }
+    level.add_lower_bound(l, 1);
+    if (level.definitely_empty()) continue;
+    for (std::size_t m = l + 1; m < k; ++m) {
+      reuse::IntPolyhedron region = level;
+      region.add_upper_bound(m, -1);
+      if (region.definitely_empty()) continue;
+      const reuse::IntPolyhedron::Search search = region.for_each_projected_point(
+          k, options.enumerate_cap, [&](std::span<const i64> r) {
+            scan.risky.emplace_back(r.begin(), r.end());
+            return true;
+          });
+      if (!search.complete) scan.exact = false;
+    }
+  }
+  return scan;
+}
+
+struct NestScan {
+  bool exact = true;
+  std::set<std::vector<i64>> risky;
+  std::vector<i64> first_vector;  ///< first risky vector encountered ...
+  std::size_t first_ref_a = 0;    ///< ... and the pair that produced it
+  std::size_t first_ref_b = 0;
+};
+
+NestScan scan_nest(const ir::LoopNest& nest, const DependenceOptions& options) {
+  NestScan result;
+  for (std::size_t a = 0; a < nest.refs.size(); ++a) {
+    for (std::size_t b = 0; b < nest.refs.size(); ++b) {
+      if (!dependence_pair(nest.refs[a], nest.refs[b])) continue;
+      const reuse::SubscriptForm fa = reuse::subscript_form(nest, nest.refs[a]);
+      const reuse::SubscriptForm fb = reuse::subscript_form(nest, nest.refs[b]);
+      const PairScan scan = scan_pair(nest, fa, fb, options);
+      if (!scan.exact) result.exact = false;
+      for (const std::vector<i64>& r : scan.risky) {
+        if (result.risky.empty()) {
+          result.first_vector = r;
+          result.first_ref_a = a;
+          result.first_ref_b = b;
+        }
+        result.risky.insert(r);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LegalityReport check_tiling_legality(const ir::LoopNest& nest,
+                                     const DependenceOptions& options) {
+  const NestScan scan = scan_nest(nest, options);
+  if (!scan.risky.empty()) {
+    return LegalityReport{
+        Legality::Illegal,
+        "dependence distance " + render(scan.first_vector) + " between refs " +
+            std::to_string(scan.first_ref_a) + " and " + std::to_string(scan.first_ref_b) +
+            " is lexicographically positive but has a negative component: "
+            "nest is not fully permutable"};
+  }
+  if (!scan.exact)
+    return LegalityReport{Legality::Unknown,
+                          "dependence enumeration budget exhausted; raise "
+                          "DependenceOptions::enumerate_cap for an exact verdict"};
+  return LegalityReport{Legality::Legal, "all dependence distances non-negative"};
+}
+
+std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
+                                                       const DependenceOptions& options) {
+  const NestScan scan = scan_nest(nest, options);
+  expects(scan.exact,
+          "risky_dependence_vectors: dependence enumeration budget exhausted");
+  return {scan.risky.begin(), scan.risky.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Lattice-scan oracle (the pre-polyhedral implementation, kept for
+// cross-checking): exact for uniformly generated pairs whenever the
+// coefficient window covers the realizable range.
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -58,13 +237,10 @@ bool scan_dependences(const ir::LoopNest& nest, i64 lattice_bound,
 
   for (std::size_t a = 0; a < nest.refs.size(); ++a) {
     for (std::size_t b = 0; b < nest.refs.size(); ++b) {
-      const ir::Reference& ra = nest.refs[a];
-      const ir::Reference& rb = nest.refs[b];
-      if (ra.array != rb.array) continue;
-      if (ra.kind != ir::AccessKind::Write && rb.kind != ir::AccessKind::Write) continue;
+      if (!dependence_pair(nest.refs[a], nest.refs[b])) continue;
 
-      const reuse::SubscriptForm fa = reuse::subscript_form(nest, ra);
-      const reuse::SubscriptForm fb = reuse::subscript_form(nest, rb);
+      const reuse::SubscriptForm fa = reuse::subscript_form(nest, nest.refs[a]);
+      const reuse::SubscriptForm fb = reuse::subscript_form(nest, nest.refs[b]);
       if (!(fa.h == fb.h)) return false;
 
       // Distance lattice: r0 + span(ker H), H·r0 = c_B - c_A.
@@ -101,7 +277,7 @@ bool scan_dependences(const ir::LoopNest& nest, i64 lattice_bound,
 
 }  // namespace
 
-LegalityReport check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound) {
+LegalityReport lattice_check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound) {
   LegalityReport report{Legality::Legal, "all dependence distances non-negative"};
   const bool uniform = scan_dependences(
       nest, lattice_bound, [&](std::span<const i64> r, std::size_t a, std::size_t b) {
@@ -118,8 +294,8 @@ LegalityReport check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound
   return report;
 }
 
-std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
-                                                       i64 lattice_bound) {
+std::vector<std::vector<i64>> lattice_risky_dependence_vectors(const ir::LoopNest& nest,
+                                                               i64 lattice_bound) {
   std::vector<std::vector<i64>> risky;
   const bool uniform = scan_dependences(
       nest, lattice_bound, [&](std::span<const i64> r, std::size_t, std::size_t) {
@@ -129,7 +305,7 @@ std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
           if (existing == v) return;
         risky.push_back(std::move(v));
       });
-  expects(uniform, "risky_dependence_vectors: non-uniform dependence pair (unsupported)");
+  expects(uniform, "lattice_risky_dependence_vectors: non-uniform dependence pair (unsupported)");
   return risky;
 }
 

@@ -5,12 +5,22 @@
 // we make that assumption checkable so the optimizer can refuse an illegal
 // request instead of silently producing a wrong transformation.
 //
-// The test covers uniformly generated dependences (pairs of references to
-// the same array with identical subscript matrices — every dependence in
-// the shipped kernels is of this form): the dependence distances form a
-// lattice r0 + L(ker H), which we scan over a bounded set of lattice
-// coefficients. Non-uniform pairs are reported as "unknown" and treated
-// conservatively as illegal unless the caller overrides.
+// The primary engine is polyhedral (DESIGN.md §15): for every pair of
+// references to the same array (at least one a write) we build the
+// dependence polyhedron over (r, i) — i ranges over the iteration domain,
+// i + r does too, and both references touch the same array element — and
+// interrogate it with Fourier–Motzkin projection:
+//
+//  * a provably empty "risky" region (leading distance component positive,
+//    some later component negative) certifies full permutability — exact
+//    even for non-uniform pairs (different subscript matrices) and for
+//    triangular/trapezoidal domains;
+//  * otherwise the integer risky distances are enumerated together with an
+//    in-domain witness iteration, yielding an exact Illegal certificate;
+//  * only a blown work budget degrades the verdict to Unknown.
+//
+// The older bounded lattice scan over uniformly generated pairs is kept as
+// the `lattice_*` cross-check oracle (see dependence_cross_check_test).
 
 #include <optional>
 #include <span>
@@ -29,16 +39,37 @@ struct LegalityReport {
   std::string detail;
 };
 
-/// Check full permutability of the nest (legality of rectangular tiling
-/// with *every* tile vector). `lattice_bound` bounds the lattice-
-/// coefficient scan (default 3 covers the shipped kernels with margin).
-LegalityReport check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound = 3);
+/// Budgets for the polyhedral dependence engine. The defaults decide every
+/// shipped kernel exactly with orders-of-magnitude headroom; exhaustion is
+/// reported (Unknown / contract error), never silently truncated.
+struct DependenceOptions {
+  /// DFS budget (candidate coordinate values tried) per risky-distance
+  /// enumeration, integer witnesses included.
+  i64 enumerate_cap = i64(1) << 20;
+};
+
+/// Check full permutability of the nest with the exact polyhedral engine.
+LegalityReport check_tiling_legality(const ir::LoopNest& nest,
+                                     const DependenceOptions& options = {});
 
 /// Realizable lexicographically-positive dependence distance vectors that
 /// carry a negative component ("risky": they constrain which tile vectors
-/// are legal). Empty for fully permutable nests.
+/// are legal). Empty for fully permutable nests. Exact; throws
+/// contract_error if the enumeration budget is exhausted.
 std::vector<std::vector<i64>> risky_dependence_vectors(const ir::LoopNest& nest,
-                                                       i64 lattice_bound = 3);
+                                                       const DependenceOptions& options = {});
+
+/// Cross-check oracle: the pre-polyhedral bounded lattice scan. Covers
+/// uniformly generated dependences (pairs with identical subscript
+/// matrices) by scanning lattice coefficients in [-lattice_bound,
+/// lattice_bound]; non-uniform pairs are reported Unknown.
+LegalityReport lattice_check_tiling_legality(const ir::LoopNest& nest, i64 lattice_bound = 3);
+
+/// Lattice-scan counterpart of `risky_dependence_vectors`; throws on
+/// non-uniform pairs. Complete only when `lattice_bound` covers the
+/// realizable coefficient range (true for the shipped kernels at 3).
+std::vector<std::vector<i64>> lattice_risky_dependence_vectors(const ir::LoopNest& nest,
+                                                               i64 lattice_bound = 3);
 
 /// Per-tile-vector legality. Tiling reorders iterations so that a
 /// dependence d is violated iff some dimension m has d_m < 0, dimension m

@@ -121,6 +121,19 @@ i64 TiledSpace::convex_regions() const {
 std::string tiled_source(const ir::LoopNest& nest, const TileVector& tiles) {
   std::ostringstream out;
   std::string indent;
+  std::vector<std::string> names;
+  names.reserve(nest.depth());
+  for (const ir::Loop& loop : nest.loops) names.push_back(loop.name);
+  // Affine bounds: the tile loops stride over the bounding box; the point
+  // loops clamp against the affine bound (max for lower, min for upper).
+  const auto lower_text = [&](const ir::Loop& loop) {
+    return loop.has_affine_lower() ? loop.lower_bound.to_string(names)
+                                   : std::to_string(loop.lower);
+  };
+  const auto upper_text = [&](const ir::Loop& loop) {
+    return loop.has_affine_upper() ? loop.upper_bound.to_string(names)
+                                   : std::to_string(loop.upper);
+  };
   // Tile loops (skip dimensions left untiled for readability).
   for (std::size_t d = 0; d < nest.depth(); ++d) {
     const ir::Loop& loop = nest.loops[d];
@@ -132,10 +145,14 @@ std::string tiled_source(const ir::LoopNest& nest, const TileVector& tiles) {
   for (std::size_t d = 0; d < nest.depth(); ++d) {
     const ir::Loop& loop = nest.loops[d];
     if (tiles.t[d] >= loop.trip_count()) {
-      out << indent << "do " << loop.name << " = " << loop.lower << ", " << loop.upper << '\n';
+      out << indent << "do " << loop.name << " = " << lower_text(loop) << ", "
+          << upper_text(loop) << '\n';
     } else {
-      out << indent << "do " << loop.name << " = " << loop.name << loop.name << ", min("
-          << loop.name << loop.name << "+" << tiles.t[d] - 1 << ", " << loop.upper << ")\n";
+      std::string lo = loop.name + loop.name;
+      if (loop.has_affine_lower()) lo = "max(" + lo + ", " + lower_text(loop) + ")";
+      std::string hi = loop.name + loop.name + "+" + std::to_string(tiles.t[d] - 1);
+      hi = "min(" + hi + ", " + upper_text(loop) + ")";
+      out << indent << "do " << loop.name << " = " << lo << ", " << hi << '\n';
     }
     indent += "  ";
   }
@@ -155,9 +172,14 @@ std::vector<cache::MissStats> simulate_tiled(const ir::LoopNest& nest,
   addr.reserve(nest.refs.size());
   for (const ir::Reference& ref : nest.refs) addr.push_back(layout.address_expr(nest, ref));
 
+  // Non-rectangular nests: the tiled walk covers the bounding box; skip
+  // box points outside the actual (triangular/trapezoidal) domain. Tiled
+  // execution order over the surviving points is preserved.
+  const bool rectangular = nest.rectangular();
   std::vector<i64> point(nest.depth());
   space.for_each_point_tiled([&](std::span<const i64> z) {
     for (std::size_t d = 0; d < nest.depth(); ++d) point[d] = nest.loops[d].lower + z[d];
+    if (!rectangular && !nest.contains(point)) return;
     for (std::size_t r = 0; r < nest.refs.size(); ++r) {
       const cache::AccessOutcome outcome = sim.access(addr[r].eval(point));
       cache::MissStats& s = per_ref[r];

@@ -1,0 +1,95 @@
+// Guards the polyhedral-legality refactor against silent drift: on every
+// shipped kernel and on randomized uniformly generated nests, the exact
+// polyhedral engine must agree with the pre-polyhedral lattice-scan oracle
+// (which is itself exact for uniform pairs once the coefficient window
+// covers the realizable range).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "support/rng.hpp"
+#include "transform/legality.hpp"
+
+namespace cmetile::transform {
+namespace {
+
+std::vector<std::vector<i64>> sorted(std::vector<std::vector<i64>> vectors) {
+  std::sort(vectors.begin(), vectors.end());
+  return vectors;
+}
+
+TEST(DependenceCrossCheck, ShippedKernelsMatchTheLatticeOracle) {
+  // Window 16 covers every realizable risky coefficient of the shipped
+  // kernels (their risky distances live in the small accumulation dims,
+  // magnitude <= 3) with a safety margin.
+  constexpr i64 kWideBound = 16;
+  for (const kernels::KernelSpec& spec : kernels::registry()) {
+    const i64 n = spec.sized ? std::min<i64>(spec.default_size, 20) : 0;
+    const ir::LoopNest nest = kernels::build_kernel(spec.name, n);
+
+    const LegalityReport poly = check_tiling_legality(nest);
+    const LegalityReport lattice = lattice_check_tiling_legality(nest, kWideBound);
+    ASSERT_NE(lattice.verdict, Legality::Unknown)
+        << spec.name << ": shipped kernels are uniformly generated";
+    EXPECT_EQ(poly.verdict, lattice.verdict) << spec.name;
+    // The production default window must agree too (unchanged verdicts).
+    EXPECT_EQ(poly.verdict, lattice_check_tiling_legality(nest).verdict) << spec.name;
+
+    EXPECT_EQ(sorted(risky_dependence_vectors(nest)),
+              sorted(lattice_risky_dependence_vectors(nest, kWideBound)))
+        << spec.name;
+  }
+}
+
+TEST(DependenceCrossCheck, RandomUniformNestsMatchTheLatticeOracle) {
+  // Random uniformly generated pairs: one array, one write plus one read
+  // sharing a random subscript matrix H with different constant offsets.
+  // Trips are tiny so a window of 24 is exhaustive for the lattice side.
+  Rng rng(7040);
+  int compared = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t depth = (std::size_t)rng.uniform_int(2, 3);
+    const std::size_t rank = (std::size_t)rng.uniform_int(1, 2);
+
+    ir::NestBuilder b("random_uniform");
+    for (std::size_t d = 0; d < depth; ++d)
+      b.loop("i" + std::to_string(d), 1, rng.uniform_int(3, 6));
+    std::vector<i64> extents(rank, 64);
+    auto a = b.array("a", extents);
+
+    std::vector<ir::LinExpr> write_subs;
+    std::vector<ir::LinExpr> read_subs;
+    bool degenerate = false;
+    for (std::size_t row = 0; row < rank; ++row) {
+      std::vector<i64> coeffs(depth);
+      bool nonzero = false;
+      for (i64& c : coeffs) {
+        c = rng.uniform_int(-2, 2);
+        nonzero |= c != 0;
+      }
+      degenerate |= !nonzero;
+      write_subs.emplace_back(coeffs, 32);
+      read_subs.emplace_back(coeffs, 32 + rng.uniform_int(-2, 2));
+    }
+    if (degenerate) continue;  // constant subscript row: not interesting here
+    b.statement().read(a, read_subs).write(a, write_subs);
+    const ir::LoopNest nest = b.build();
+
+    const LegalityReport poly = check_tiling_legality(nest);
+    const LegalityReport lattice = lattice_check_tiling_legality(nest, 24);
+    ASSERT_NE(lattice.verdict, Legality::Unknown) << "trial " << trial;
+    EXPECT_EQ(poly.verdict, lattice.verdict) << "trial " << trial << "\n" << nest.to_string();
+    EXPECT_EQ(sorted(risky_dependence_vectors(nest)),
+              sorted(lattice_risky_dependence_vectors(nest, 24)))
+        << "trial " << trial << "\n" << nest.to_string();
+    ++compared;
+  }
+  EXPECT_GE(compared, 40) << "degenerate-row rejection ate too many trials";
+}
+
+}  // namespace
+}  // namespace cmetile::transform

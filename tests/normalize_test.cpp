@@ -1,0 +1,149 @@
+// The generalized IR front-end: affine loop bounds (triangular nests),
+// imperfect nesting via statement sinking, and the ir::normalize
+// canonicalization that keeps the constant bounding box, the exact
+// iteration count and the affine-aware traversal in sync.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/nest.hpp"
+#include "ir/normalize.hpp"
+#include "ir/trace.hpp"
+#include "support/contracts.hpp"
+
+namespace cmetile::ir {
+namespace {
+
+LoopNest triangular_nest(i64 n) {
+  NestBuilder b("tri");
+  auto k = b.loop("k", 1, n - 1);
+  auto i = b.loop("i", k + 1, n);
+  auto a = b.array("a", {n, n});
+  b.statement().read(a, {k, i}).write(a, {i, k});
+  return b.build();
+}
+
+TEST(Normalize, DerivesBoundingBoxesOutermostIn) {
+  const LoopNest nest = triangular_nest(8);
+  ASSERT_EQ(nest.depth(), 2u);
+  EXPECT_FALSE(nest.rectangular());
+  EXPECT_TRUE(nest.loops[0].rectangular());
+  EXPECT_EQ(nest.loops[0].lower, 1);
+  EXPECT_EQ(nest.loops[0].upper, 7);
+  // i = k+1..8 over k in [1,7]: the interval hull is [2, 8].
+  EXPECT_TRUE(nest.loops[1].has_affine_lower());
+  EXPECT_FALSE(nest.loops[1].has_affine_upper());
+  EXPECT_EQ(nest.loops[1].lower, 2);
+  EXPECT_EQ(nest.loops[1].upper, 8);
+  nest.validate();
+}
+
+TEST(Normalize, ConstantAffineBoundsCollapseToRectangular) {
+  // Bounds given as LinExpr but actually constant must come out as plain
+  // constant bounds (the rectangular fast paths key off rectangular()).
+  NestBuilder b("const");
+  auto i = b.loop("i", 1, 6);
+  (void)b.loop("j", i - i + 2, LinExpr::constant(1, 5));
+  auto a = b.array("a", {8, 8});
+  b.statement().write(a, {LinExpr::constant(2, 1), LinExpr::constant(2, 1)});
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(nest.rectangular());
+  EXPECT_EQ(nest.loops[1].lower, 2);
+  EXPECT_EQ(nest.loops[1].upper, 5);
+}
+
+TEST(Normalize, ExactIterationCountOnTriangles) {
+  // i runs n-k values for each k: sum_{k=1}^{n-1} (n-k) = n(n-1)/2.
+  for (const i64 n : {3, 5, 9}) {
+    const LoopNest nest = triangular_nest(n);
+    EXPECT_EQ(nest.iteration_count(), n * (n - 1) / 2) << "n = " << n;
+  }
+}
+
+TEST(Normalize, ContainsMatchesDomainNotBox) {
+  const LoopNest nest = triangular_nest(6);
+  EXPECT_TRUE(nest.contains(std::vector<i64>{2, 4}));
+  EXPECT_TRUE(nest.contains(std::vector<i64>{5, 6}));
+  EXPECT_FALSE(nest.contains(std::vector<i64>{4, 3}));  // in box, not in domain
+  EXPECT_FALSE(nest.contains(std::vector<i64>{5, 5}));  // i must exceed k
+}
+
+TEST(Normalize, ForEachPointMatchesBoxFilteredByContains) {
+  const LoopNest nest = triangular_nest(7);
+  std::set<std::vector<i64>> walked;
+  std::vector<std::vector<i64>> order;
+  for_each_point(nest, [&](std::span<const i64> z) {
+    walked.emplace(z.begin(), z.end());
+    order.emplace_back(z.begin(), z.end());
+  });
+  EXPECT_EQ((i64)order.size(), nest.iteration_count());
+  EXPECT_EQ(order.size(), walked.size()) << "traversal revisited a point";
+  std::set<std::vector<i64>> expected;
+  for (i64 k = nest.loops[0].lower; k <= nest.loops[0].upper; ++k) {
+    for (i64 i = nest.loops[1].lower; i <= nest.loops[1].upper; ++i) {
+      if (nest.contains(std::vector<i64>{k, i})) expected.insert({k, i});
+    }
+  }
+  EXPECT_EQ(walked, expected);
+}
+
+TEST(Normalize, SinksImperfectStatementsAndRecordsDepths) {
+  NestBuilder b("imperfect");
+  auto k = b.loop("k", 1, 4);
+  auto x = b.array("x", {8});
+  b.statement().write(x, {k});  // depth-1 statement of a depth-2 nest
+  auto j = b.loop("j", 1, 5);
+  b.statement().read(x, {k}).write(x, {j});
+  const LoopNest nest = b.build();
+  ASSERT_EQ(nest.statement_depths.size(), 2u);
+  EXPECT_EQ(nest.statement_depths[0], 1u);
+  EXPECT_EQ(nest.statement_depths[1], 2u);
+  // The sunk statement's subscripts are widened to full depth.
+  for (const Reference& ref : nest.refs) EXPECT_EQ(ref.subscripts[0].depth(), 2u);
+  EXPECT_NE(nest.to_string().find("! sunk from depth 1"), std::string::npos);
+}
+
+TEST(Normalize, PerfectNestsCarryNoStatementDepths) {
+  const LoopNest nest = triangular_nest(5);
+  EXPECT_TRUE(nest.statement_depths.empty());
+}
+
+TEST(Normalize, ToStringRendersAffineBounds) {
+  const std::string text = triangular_nest(8).to_string();
+  EXPECT_NE(text.find("do i = k + 1, 8"), std::string::npos) << text;
+}
+
+TEST(Normalize, IsIdempotent) {
+  const LoopNest once = triangular_nest(9);
+  const LoopNest twice = normalize(once);
+  EXPECT_EQ(once.to_string(), twice.to_string());
+  EXPECT_EQ(once.iteration_count(), twice.iteration_count());
+  for (std::size_t d = 0; d < once.depth(); ++d) {
+    EXPECT_EQ(once.loops[d].lower, twice.loops[d].lower);
+    EXPECT_EQ(once.loops[d].upper, twice.loops[d].upper);
+  }
+}
+
+TEST(Normalize, ValidateRejectsOutOfSyncBoxes) {
+  LoopNest nest = triangular_nest(6);
+  nest.loops[1].lower = 1;  // hull says 2
+  EXPECT_THROW(nest.validate(), contract_error);
+}
+
+TEST(Normalize, ValidateRejectsInnerVariableBounds) {
+  LoopNest nest = triangular_nest(6);
+  // A bound referencing its own (or an inner) dimension is malformed.
+  nest.loops[0].upper_bound = LinExpr({0, 1}, 0);
+  EXPECT_THROW(nest.validate(), contract_error);
+}
+
+TEST(Normalize, BuilderRejectsStatementsBeforeLoops) {
+  NestBuilder b("empty");
+  EXPECT_THROW(b.statement(), contract_error);
+}
+
+}  // namespace
+}  // namespace cmetile::ir

@@ -1,0 +1,176 @@
+// Exactness oracle for IntPolyhedron: on small random polyhedra, the
+// Fourier–Motzkin-backed queries (emptiness certificates, coordinate
+// bounds, depth-first point enumeration, projections) are compared against
+// brute-force enumeration of every integer point in a bounding box.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "reuse/intlinalg.hpp"
+#include "support/rng.hpp"
+
+namespace cmetile::reuse {
+namespace {
+
+constexpr i64 kBox = 5;          ///< brute-force box is [-kBox, kBox]^dims
+constexpr i64 kWorkCap = 1 << 20;
+
+/// A random polyhedron confined to the brute-force box (so enumeration is
+/// finite on both sides), with a few random inequalities and sometimes an
+/// equality.
+IntPolyhedron random_polyhedron(Rng& rng, std::size_t dims) {
+  IntPolyhedron poly(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    poly.add_lower_bound(d, -kBox);
+    poly.add_upper_bound(d, kBox);
+  }
+  const int rows = (int)rng.uniform_int(1, 4);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<i64> coeffs(dims);
+    for (i64& c : coeffs) c = rng.uniform_int(-3, 3);
+    const i64 constant = rng.uniform_int(-10, 10);
+    if (rng.bernoulli(0.2))
+      poly.add_equality(std::move(coeffs), constant);
+    else
+      poly.add_inequality(std::move(coeffs), constant);
+  }
+  return poly;
+}
+
+/// All integer points of `poly` inside the box, by exhaustive odometer.
+std::set<std::vector<i64>> brute_force_points(const IntPolyhedron& poly) {
+  std::set<std::vector<i64>> points;
+  std::vector<i64> x(poly.dims(), -kBox);
+  while (true) {
+    if (poly.contains(x)) points.insert(x);
+    std::size_t d = poly.dims();
+    while (d > 0) {
+      --d;
+      if (x[d] < kBox) {
+        ++x[d];
+        std::fill(x.begin() + (std::ptrdiff_t)d + 1, x.end(), -kBox);
+        break;
+      }
+      if (d == 0) return points;
+    }
+  }
+}
+
+TEST(Polyhedron, EnumerationMatchesBruteForce) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dims = (std::size_t)rng.uniform_int(2, 4);
+    const IntPolyhedron poly = random_polyhedron(rng, dims);
+    const std::set<std::vector<i64>> expected = brute_force_points(poly);
+
+    std::set<std::vector<i64>> enumerated;
+    const IntPolyhedron::Search search =
+        poly.for_each_projected_point(dims, kWorkCap, [&](std::span<const i64> p) {
+          enumerated.emplace(p.begin(), p.end());
+          return true;
+        });
+    ASSERT_TRUE(search.complete) << "trial " << trial;
+    EXPECT_EQ(enumerated, expected) << "trial " << trial;
+
+    // Emptiness certificate is sound, and on these box-bounded systems the
+    // search always resolves it exactly.
+    if (poly.definitely_empty()) {
+      EXPECT_TRUE(expected.empty()) << "trial " << trial;
+    }
+    bool complete = false;
+    const auto witness = poly.find_point(kWorkCap, &complete);
+    ASSERT_TRUE(complete) << "trial " << trial;
+    EXPECT_EQ(witness.has_value(), !expected.empty()) << "trial " << trial;
+    if (witness) {
+      EXPECT_TRUE(poly.contains(*witness)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Polyhedron, ProjectionMatchesBruteForcePrefixes) {
+  Rng rng(202);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dims = (std::size_t)rng.uniform_int(2, 4);
+    const std::size_t prefix = (std::size_t)rng.uniform_int(1, (i64)dims);
+    const IntPolyhedron poly = random_polyhedron(rng, dims);
+
+    std::set<std::vector<i64>> expected;
+    for (const std::vector<i64>& p : brute_force_points(poly))
+      expected.emplace(p.begin(), p.begin() + (std::ptrdiff_t)prefix);
+
+    std::set<std::vector<i64>> projected;
+    const IntPolyhedron::Search search =
+        poly.for_each_projected_point(prefix, kWorkCap, [&](std::span<const i64> p) {
+          projected.emplace(p.begin(), p.end());
+          return true;
+        });
+    ASSERT_TRUE(search.complete) << "trial " << trial;
+    EXPECT_EQ(projected, expected) << "trial " << trial;
+  }
+}
+
+TEST(Polyhedron, CoordinateBoundsCoverBruteForceRange) {
+  Rng rng(303);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dims = (std::size_t)rng.uniform_int(2, 4);
+    const IntPolyhedron poly = random_polyhedron(rng, dims);
+    const std::set<std::vector<i64>> points = brute_force_points(poly);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const IntPolyhedron::Bounds bounds = poly.coordinate_bounds(d);
+      if (points.empty()) continue;  // bounds of an empty set are unconstrained
+      ASSERT_TRUE(bounds.feasible) << "trial " << trial;
+      ASSERT_TRUE(bounds.lower_bounded && bounds.upper_bounded) << "trial " << trial;
+      for (const std::vector<i64>& p : points) {
+        ASSERT_LE(bounds.lo, p[d]) << "trial " << trial;
+        ASSERT_GE(bounds.hi, p[d]) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Polyhedron, EqualityAndTightening) {
+  // 2x + 2y >= 3 over integers tightens to x + y >= 2.
+  IntPolyhedron poly(2);
+  poly.add_lower_bound(0, -kBox);
+  poly.add_upper_bound(0, kBox);
+  poly.add_lower_bound(1, -kBox);
+  poly.add_upper_bound(1, kBox);
+  poly.add_inequality({2, 2}, -3);
+  EXPECT_FALSE(poly.contains(std::vector<i64>{1, 0}));  // 2+0 >= 3 fails
+  EXPECT_TRUE(poly.contains(std::vector<i64>{1, 1}));
+
+  // x + y == 1 and x - y == 0 has no integer solution.
+  IntPolyhedron parity(2);
+  parity.add_lower_bound(0, -kBox);
+  parity.add_upper_bound(0, kBox);
+  parity.add_lower_bound(1, -kBox);
+  parity.add_upper_bound(1, kBox);
+  parity.add_equality({1, 1}, -1);
+  parity.add_equality({1, -1}, 0);
+  bool complete = false;
+  EXPECT_FALSE(parity.find_point(kWorkCap, &complete).has_value());
+  EXPECT_TRUE(complete);
+}
+
+TEST(Polyhedron, WorkCapMarksSearchIncomplete) {
+  IntPolyhedron poly(3);
+  for (std::size_t d = 0; d < 3; ++d) {
+    poly.add_lower_bound(d, 0);
+    poly.add_upper_bound(d, 50);
+  }
+  std::size_t seen = 0;
+  const IntPolyhedron::Search search =
+      poly.for_each_projected_point(3, /*work_cap=*/10, [&](std::span<const i64>) {
+        ++seen;
+        return true;
+      });
+  EXPECT_FALSE(search.complete);
+  EXPECT_GT(seen, 0u);
+  EXPECT_LE(seen, 10u);
+}
+
+}  // namespace
+}  // namespace cmetile::reuse

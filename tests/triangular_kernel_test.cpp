@@ -1,0 +1,125 @@
+// End-to-end coverage of the triangular/imperfect kernels (LU, SYRK):
+// normalization invariants, exact iteration counts, polyhedral legality
+// where the lattice oracle gives up, CME estimates against the tiled
+// simulator within the model tolerance, and the full GA pipeline.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/simulator.hpp"
+#include "cme/analysis.hpp"
+#include "cme/estimator.hpp"
+#include "core/tiler.hpp"
+#include "ir/trace.hpp"
+#include "kernels/kernels.hpp"
+#include "transform/legality.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile {
+namespace {
+
+// CME-vs-simulator agreement bound used by the optimizer tests (tiler_test).
+constexpr double kModelTolerance = 0.08;
+
+TEST(TriangularKernels, ExtendedRegistryListsThemAndTable1IsUntouched) {
+  EXPECT_EQ(kernels::registry().size(), 17u);
+  ASSERT_EQ(kernels::extended_registry().size(), 2u);
+  for (const kernels::KernelSpec& spec : kernels::extended_registry()) {
+    const auto found = kernels::find_kernel(spec.name);
+    ASSERT_TRUE(found.has_value()) << spec.name;
+    EXPECT_EQ(found->depth, 3) << spec.name;
+    const ir::LoopNest nest = kernels::build_kernel(spec.name, spec.default_size);
+    nest.validate();
+    EXPECT_FALSE(nest.rectangular()) << spec.name;
+  }
+}
+
+TEST(TriangularKernels, LuShapeAndExactIterationCount) {
+  const i64 n = 10;
+  const ir::LoopNest nest = kernels::build_kernel("LU", n);
+  ASSERT_EQ(nest.depth(), 3u);
+  // The scale statement was declared at depth 2 and sunk to full depth.
+  ASSERT_EQ(nest.statement_depths.size(), 2u);
+  EXPECT_EQ(nest.statement_depths[0], 2u);
+  EXPECT_EQ(nest.statement_depths[1], 3u);
+  // Both i and j run k+1..n: sum_{k=1}^{n-1} (n-k)^2.
+  i64 expected = 0;
+  for (i64 k = 1; k <= n - 1; ++k) expected += (n - k) * (n - k);
+  EXPECT_EQ(nest.iteration_count(), expected);
+  i64 walked = 0;
+  ir::for_each_point(nest, [&](std::span<const i64>) { ++walked; });
+  EXPECT_EQ(walked, expected);
+}
+
+TEST(TriangularKernels, SyrkExactIterationCount) {
+  const i64 n = 12;
+  const ir::LoopNest nest = kernels::build_kernel("SYRK", n);
+  EXPECT_EQ(nest.iteration_count(), n * (n + 1) / 2 * n);
+}
+
+TEST(TriangularKernels, LuIsLegalWhereTheLatticeOracleGivesUp) {
+  const ir::LoopNest nest = kernels::build_kernel("LU", 12);
+  // LU's reference pairs mix distinct subscript matrices (a(i,k) against
+  // a(k,k), a(k,j), ...): non-uniform, so the lattice scan cannot decide.
+  EXPECT_EQ(transform::lattice_check_tiling_legality(nest).verdict,
+            transform::Legality::Unknown);
+  const transform::LegalityReport report = transform::check_tiling_legality(nest);
+  EXPECT_EQ(report.verdict, transform::Legality::Legal) << report.detail;
+  EXPECT_TRUE(transform::risky_dependence_vectors(nest).empty());
+}
+
+TEST(TriangularKernels, SyrkIsFullyPermutable) {
+  const ir::LoopNest nest = kernels::build_kernel("SYRK", 12);
+  const transform::LegalityReport report = transform::check_tiling_legality(nest);
+  EXPECT_EQ(report.verdict, transform::Legality::Legal) << report.detail;
+  EXPECT_TRUE(transform::risky_dependence_vectors(nest).empty());
+}
+
+TEST(TriangularKernels, SamplePointsStayInsideTheDomain) {
+  const ir::LoopNest nest = kernels::build_kernel("LU", 16);
+  const auto points = cme::sample_points(nest, 500, 11);
+  ASSERT_EQ(points.size(), 500u);
+  std::vector<i64> original(nest.depth());
+  for (const std::vector<i64>& z : points) {
+    for (std::size_t d = 0; d < z.size(); ++d) original[d] = z[d] + nest.loops[d].lower;
+    ASSERT_TRUE(nest.contains(original));
+  }
+}
+
+// The acceptance gate: CME classification of a triangular domain agrees
+// with the hierarchy simulator ground truth within the same tolerance the
+// rectangular kernels are held to, untiled and tiled.
+TEST(TriangularKernels, LuCmeMatchesTiledSimulator) {
+  const ir::LoopNest nest = kernels::build_kernel("LU", 20);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(1024);
+  for (const std::vector<i64> tiles :
+       {std::vector<i64>{19, 19, 19}, std::vector<i64>{4, 19, 4}, std::vector<i64>{2, 6, 19}}) {
+    const transform::TileVector tv = transform::TileVector::clamped(tiles, nest);
+    const cme::NestAnalysis analysis(nest, layout, cache, tv);
+    const cme::MissEstimate estimate = cme::estimate_exact(analysis);
+    const auto sim = transform::simulate_tiled(nest, layout, cache, tv);
+    EXPECT_NEAR(estimate.replacement_ratio, sim.back().replacement_ratio(), kModelTolerance)
+        << "tiles " << tv.to_string();
+    EXPECT_EQ(estimate.access_count, sim.back().accesses) << "tiles " << tv.to_string();
+  }
+}
+
+TEST(TriangularKernels, LuOptimizesEndToEnd) {
+  const ir::LoopNest nest = kernels::build_kernel("LU", 24);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = cache::CacheConfig::direct_mapped(512);
+  core::OptimizerOptions options;
+  options.ga.seed = 13;
+  options.ga.min_generations = 8;
+  options.ga.max_generations = 12;
+  const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+  EXPECT_GE(result.before.replacement_ratio, result.after.replacement_ratio);
+  const auto sim = transform::simulate_tiled(nest, layout, cache, result.tiles);
+  EXPECT_NEAR(result.after.replacement_ratio, sim.back().replacement_ratio(), kModelTolerance)
+      << "tiles " << result.tiles.to_string();
+}
+
+}  // namespace
+}  // namespace cmetile

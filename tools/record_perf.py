@@ -5,7 +5,8 @@ The record is a perf *trajectory*: one compact, committed snapshot per
 change that claims a speedup, so regressions show up in review diffs
 rather than in someone's memory. Usage:
 
-    ./build/bench_perf_solver --benchmark_filter='GaSolve|SampledEstimate' \
+    ./build/bench_perf_solver \
+        --benchmark_filter='GaSolve|SampledEstimate|DependenceAnalysis' \
         --benchmark_out=/tmp/perf.json --benchmark_out_format=json
     python3 tools/record_perf.py /tmp/perf.json > BENCH_perf.json
 
@@ -24,6 +25,8 @@ KEEP = [
     "BM_GaSolveSimd",
     "BM_GaSolveIncremental",
     "BM_GaSolveFull",
+    "BM_DependenceAnalysisMM",
+    "BM_DependenceAnalysisLU",
 ]
 
 RATIOS = {
