@@ -166,6 +166,15 @@ inline cache::Hierarchy hierarchy_16k_256k() {
   return cache::Hierarchy::two_level(cache::CacheConfig{16 * 1024, 32, 2}, 12.0,
                                      cache::CacheConfig{256 * 1024, 32, 8}, 120.0);
 }
+/// The paper's 8KB cache as a single write-back level: every dirty
+/// eviction pays `writeback_latency` cycles on top of the 10-cycle miss
+/// (DESIGN.md §16; bench_writeback sweeps the latency to show the GA
+/// optimum shifting on write-heavy kernels).
+inline cache::Hierarchy writeback_8k(double writeback_latency) {
+  cache::Hierarchy h = cache::Hierarchy::single(paper_cache_8k(), 10.0);
+  h.levels[0].writeback_latency = writeback_latency;
+  return h;
+}
 
 class StopWatch {
  public:

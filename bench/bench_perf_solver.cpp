@@ -203,6 +203,25 @@ void BM_DependenceAnalysisLU(benchmark::State& state) {
 }
 BENCHMARK(BM_DependenceAnalysisLU);
 
+void BM_WritebackEstimate(benchmark::State& state) {
+  // One sampled dirty-generation estimate (DESIGN.md §16): the extra
+  // per-evaluation cost a nonzero write-back latency adds to the GA
+  // objective. The store classifier runs scalar over far fewer trials
+  // than the miss estimator (one store ref vs three refs here).
+  const ir::LoopNest nest = kernels::build_kernel("MM", 500);
+  const ir::MemoryLayout layout(nest);
+  const cache::CacheConfig cache = bench::paper_cache_8k();
+  const cme::NestAnalysis analysis(nest, layout, cache,
+                                   transform::TileVector{{500, 16, 16}});
+  const auto points = cme::sample_points(nest, 164, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cme::estimate_writebacks_with_points(analysis, points).generation_ratio);
+  }
+  state.SetItemsProcessed(state.iterations() * (i64)points.size());
+}
+BENCHMARK(BM_WritebackEstimate);
+
 void BM_SimulatorThroughput(benchmark::State& state) {
   const ir::LoopNest nest = kernels::build_kernel("MM", 64);
   const ir::MemoryLayout layout(nest);

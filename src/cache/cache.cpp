@@ -11,11 +11,26 @@ bool is_power_of_two(i64 v) { return v > 0 && (v & (v - 1)) == 0; }
 }  // namespace
 
 void CacheConfig::validate() const {
-  expects(is_power_of_two(size_bytes), "CacheConfig: size must be a power of two");
   expects(is_power_of_two(line_bytes), "CacheConfig: line size must be a power of two");
+  expects(size_bytes > 0 && size_bytes % line_bytes == 0,
+          "CacheConfig: size must be a positive multiple of the line size");
   expects(line_bytes <= size_bytes, "CacheConfig: line larger than cache");
   expects(associativity >= 1, "CacheConfig: associativity must be >= 1");
   expects(lines() % associativity == 0, "CacheConfig: associativity must divide line count");
+  // The CME congruence modulus is way_bytes = sets × line, which must stay
+  // a power of two; requiring a power-of-two set count guarantees it. The
+  // total size need not be one: merged effective geometries of exclusive
+  // hierarchies have associativity a1 + a2 (e.g. 72KB 9-way, 256 sets).
+  expects(is_power_of_two(sets()), "CacheConfig: set count must be a power of two");
+}
+
+std::string to_string(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::LRU: return "lru";
+    case ReplacementPolicy::TreePLRU: return "plru";
+    case ReplacementPolicy::Random: return "random";
+  }
+  return "?";
 }
 
 std::string CacheConfig::to_string() const {

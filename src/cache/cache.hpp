@@ -13,10 +13,12 @@ namespace cmetile::cache {
 
 /// One cache's geometry. Plain value type — copy freely; immutable data
 /// is safe to read concurrently. All sizes are bytes; addresses are byte
-/// addresses from ir::MemoryLayout. The solver assumes power-of-two
-/// size/line (see validate()); callers construct aggregate-style and call
-/// validate() once, which every consumer (Simulator, NestAnalysis,
-/// Hierarchy) does on entry.
+/// addresses from ir::MemoryLayout. The solver assumes a power-of-two
+/// line size and set count (see validate()) — the total size need not be
+/// a power of two, which admits the merged "effective" geometries of
+/// exclusive hierarchies (e.g. 8KB 1-way + 64KB 8-way = 72KB 9-way).
+/// Callers construct aggregate-style and call validate() once, which
+/// every consumer (Simulator, NestAnalysis, Hierarchy) does on entry.
 struct CacheConfig {
   i64 size_bytes = 8 * 1024;
   i64 line_bytes = 32;
@@ -34,7 +36,8 @@ struct CacheConfig {
   /// Cache set a byte address maps to (bit-selection indexing).
   i64 set_of(i64 address) const { return floor_mod(line_of(address), sets()); }
 
-  /// Throws contract_error on non-power-of-two / inconsistent geometry.
+  /// Throws contract_error on non-power-of-two line/set or inconsistent
+  /// geometry.
   void validate() const;
 
   /// Human-readable geometry, e.g. "8KB/32B direct-mapped".
@@ -45,17 +48,34 @@ struct CacheConfig {
   }
 };
 
+/// Replacement policy of one cache (per hierarchy level). LRU is the
+/// paper's assumption and the one the CMEs model exactly; TreePLRU is the
+/// binary-tree pseudo-LRU used by most real L1s (requires a power-of-two
+/// associativity; identical to LRU at associativity <= 2); Random picks
+/// the victim with a seeded xorshift stream, so runs are deterministic and
+/// reproducible.
+enum class ReplacementPolicy : std::uint8_t { LRU, TreePLRU, Random };
+
+std::string to_string(ReplacementPolicy policy);
+
 /// Aggregated miss counts; the paper's two metrics are
 /// total miss ratio = (cold + replacement)/accesses and
 /// replacement miss ratio = replacement/accesses (§3.1: replacement misses
 /// include both capacity and conflict misses). Counts are absolute access
 /// counts (not ratios); ratio helpers return 0 for an empty window.
+/// Evictions are split clean/dirty (write-back model): `writebacks()` is
+/// the dirty-eviction count — the write traffic the cache sends outward,
+/// excluding lines still dirty at the end of the run (the simulator
+/// exposes those separately as `dirty_lines()`).
 struct MissStats {
   i64 accesses = 0;
   i64 cold_misses = 0;
   i64 replacement_misses = 0;
+  i64 clean_evictions = 0;
+  i64 dirty_evictions = 0;
 
   i64 total_misses() const { return cold_misses + replacement_misses; }
+  i64 writebacks() const { return dirty_evictions; }
   double total_ratio() const { return accesses ? (double)total_misses() / (double)accesses : 0.0; }
   double replacement_ratio() const {
     return accesses ? (double)replacement_misses / (double)accesses : 0.0;
@@ -65,6 +85,8 @@ struct MissStats {
     accesses += other.accesses;
     cold_misses += other.cold_misses;
     replacement_misses += other.replacement_misses;
+    clean_evictions += other.clean_evictions;
+    dirty_evictions += other.dirty_evictions;
     return *this;
   }
 };

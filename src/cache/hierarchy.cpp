@@ -7,9 +7,18 @@
 
 namespace cmetile::cache {
 
+std::string to_string(LevelMode mode) {
+  switch (mode) {
+    case LevelMode::Inclusive: return "inclusive";
+    case LevelMode::Exclusive: return "exclusive";
+    case LevelMode::Victim: return "victim";
+  }
+  return "?";
+}
+
 double Hierarchy::latency_sum() const {
   double sum = 0.0;
-  for (const CacheLevel& level : levels) sum += level.miss_latency;
+  for (const CacheLevel& level : levels) sum += level.miss_latency + level.writeback_latency;
   return sum;
 }
 
@@ -22,6 +31,32 @@ double Hierarchy::weighted_cost(const std::vector<double>& misses_per_level) con
   return cost;
 }
 
+CacheConfig Hierarchy::effective_config(std::size_t level) const {
+  expects(level < levels.size(), "Hierarchy::effective_config: level out of range");
+  CacheConfig effective = levels[0].config;
+  for (std::size_t l = 1; l <= level; ++l) {
+    const CacheConfig& config = levels[l].config;
+    switch (levels[l].mode) {
+      case LevelMode::Inclusive:
+        effective = config;
+        break;
+      case LevelMode::Exclusive:
+        // Merged stack: same sets, summed ways (header comment). The sum
+        // of two caches with a power-of-two shared set count keeps a
+        // power-of-two set count, so the merged config validates.
+        effective.size_bytes += config.size_bytes;
+        effective.associativity += config.associativity;
+        break;
+      case LevelMode::Victim:
+        // Fully-associative union of capacities: optimistic bound.
+        effective.size_bytes += config.size_bytes;
+        effective.associativity = effective.size_bytes / effective.line_bytes;
+        break;
+    }
+  }
+  return effective;
+}
+
 void Hierarchy::validate() const {
   expects(!levels.empty(), "Hierarchy: at least one level required");
   expects(levels.size() <= kMaxLevels, "Hierarchy: at most 3 levels supported");
@@ -29,14 +64,35 @@ void Hierarchy::validate() const {
     level.config.validate();
     expects(level.miss_latency >= 0.0 && std::isfinite(level.miss_latency),
             "Hierarchy: miss latency must be finite and >= 0");
+    expects(level.writeback_latency >= 0.0 && std::isfinite(level.writeback_latency),
+            "Hierarchy: write-back latency must be finite and >= 0");
+    expects(level.replacement != ReplacementPolicy::TreePLRU ||
+                (level.config.associativity & (level.config.associativity - 1)) == 0,
+            "Hierarchy: tree-PLRU needs a power-of-two associativity");
   }
   // All-zero latencies would zero the weighted cost AND the illegal-tile
   // penalty, letting the GA return dependence-violating tiles unopposed.
   expects(latency_sum() > 0.0, "Hierarchy: at least one level needs a positive miss latency");
+  expects(levels[0].mode == LevelMode::Inclusive, "Hierarchy: level 0 must be inclusive");
   for (std::size_t l = 1; l < levels.size(); ++l) {
-    expects(levels[l].config.line_bytes == levels[0].config.line_bytes,
+    const CacheLevel& level = levels[l];
+    expects(level.config.line_bytes == levels[0].config.line_bytes,
             "Hierarchy: all levels must share one line size");
-    expects(levels[l].config.size_bytes > levels[l - 1].config.size_bytes,
+    switch (level.mode) {
+      case LevelMode::Inclusive:
+        break;
+      case LevelMode::Exclusive:
+        expects(level.config.sets() == effective_config(l - 1).sets(),
+                "Hierarchy: exclusive level must share the previous level's set count");
+        break;
+      case LevelMode::Victim:
+        expects(level.config.sets() == 1, "Hierarchy: victim level must be fully associative");
+        break;
+    }
+    // Effective capacities strictly increase outward by construction for
+    // exclusive/victim levels (they add capacity); inclusive levels must
+    // grow on their own.
+    expects(effective_config(l).size_bytes > effective_config(l - 1).size_bytes,
             "Hierarchy: capacities must strictly increase outward");
   }
 }
@@ -45,8 +101,14 @@ std::string Hierarchy::to_string() const {
   std::ostringstream out;
   for (std::size_t l = 0; l < levels.size(); ++l) {
     if (l > 0) out << " + ";
-    out << "L" << (l + 1) << " " << levels[l].config.to_string() << " (miss "
-        << levels[l].miss_latency << ")";
+    out << "L" << (l + 1) << " " << levels[l].config.to_string();
+    if (levels[l].mode != LevelMode::Inclusive)
+      out << " " << cache::to_string(levels[l].mode);
+    if (levels[l].replacement != ReplacementPolicy::LRU)
+      out << " " << cache::to_string(levels[l].replacement);
+    out << " (miss " << levels[l].miss_latency;
+    if (levels[l].writeback_latency > 0.0) out << ", wb " << levels[l].writeback_latency;
+    out << ")";
   }
   return out.str();
 }

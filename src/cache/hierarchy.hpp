@@ -3,12 +3,21 @@
 // latency, optimized jointly by the latency-weighted objective
 //
 //     cost(T) = Σ_level  misses_level(T) · miss_latency_level
+//             + Σ_level  writebacks_level(T) · writeback_latency_level
 //
-// (DESIGN.md §12). The CME analysis treats every level independently on
-// the full access stream — level l's misses are those of level l's cache
-// simulated standalone — which coincides with an inclusive hierarchy where
-// every access probes all levels. A single-level hierarchy with latency 1
-// reproduces the paper's single-cache pipeline bit for bit.
+// (DESIGN.md §12, §16). The CME analysis treats every level independently
+// on the full access stream — level l's misses are those of level l's
+// *effective* cache simulated standalone. For the default Inclusive mode
+// the effective cache is the level's own geometry (every access probes all
+// levels). An Exclusive level holds only lines evicted from the level
+// above; with a shared set count the level-above + exclusive-level stack
+// behaves exactly like one merged cache of summed associativity, so its
+// effective geometry is that merged cache (DESIGN.md §16). A Victim level
+// (Jouppi) is a small fully-associative exclusive buffer; its effective
+// geometry is the fully-associative union of all capacities up to it — an
+// optimistic bound the differential tests bracket rather than pin.
+// A single-level hierarchy with latency 1 reproduces the paper's
+// single-cache pipeline bit for bit.
 
 #include <string>
 #include <vector>
@@ -17,16 +26,33 @@
 
 namespace cmetile::cache {
 
+/// How a level participates in the hierarchy. Inclusive levels see the
+/// full access stream (the PR 3 convention). Exclusive levels hold only
+/// lines evicted from the previous level: they are probed only when every
+/// level above missed, a hit extracts the line back into L1 (swap), and
+/// L1's evictions are installed here. Victim is the fully-associative
+/// special case of Exclusive (sets() == 1), exempt from the
+/// capacity-increase rule so a classic 4–16 line victim buffer validates.
+enum class LevelMode : std::uint8_t { Inclusive, Exclusive, Victim };
+
+std::string to_string(LevelMode mode);
+
 /// One level of the hierarchy: a cache geometry plus the cost of missing
 /// in it. `miss_latency` is the *additional* stall charged per miss at
 /// this level (i.e. the access latency of the next level down: an L1 miss
 /// pays the L2 hit latency, an L2 miss pays the memory latency), in
 /// arbitrary but consistent units (typically cycles). A miss in both
 /// levels of a two-level hierarchy therefore pays both latencies — the
-/// standard additive stall decomposition.
+/// standard additive stall decomposition. `writeback_latency` is the
+/// stall charged per dirty eviction leaving this level (0 = the PR 3
+/// read-only model; the legacy paths are bit-identical at 0 because the
+/// write-back estimator is skipped entirely then).
 struct CacheLevel {
   CacheConfig config;
   double miss_latency = 1.0;
+  double writeback_latency = 0.0;
+  ReplacementPolicy replacement = ReplacementPolicy::LRU;
+  LevelMode mode = LevelMode::Inclusive;
 };
 
 /// An ordered hierarchy, levels[0] = the level closest to the processor
@@ -39,20 +65,32 @@ struct Hierarchy {
 
   std::size_t depth() const { return levels.size(); }
 
-  /// Σ_level miss_latency — the worst-case stall of one access, used to
-  /// scale the illegal-tile penalty above any feasible weighted cost.
+  /// Σ_level (miss_latency + writeback_latency) — the worst-case stall of
+  /// one access, used to scale the illegal-tile penalty above any feasible
+  /// weighted cost.
   double latency_sum() const;
 
   /// Latency-weighted cost of per-level miss counts (`misses[l]` pairs
-  /// with `levels[l]`). Precondition: misses.size() == depth().
+  /// with `levels[l]`). Precondition: misses.size() == depth(). Write-back
+  /// traffic is folded in separately (cme::HierarchyEstimate).
   double weighted_cost(const std::vector<double>& misses_per_level) const;
 
+  /// The standalone cache geometry whose misses equal level l's misses
+  /// under its mode (header comment): the level's own config (Inclusive),
+  /// the running merged config of summed size/associativity at the shared
+  /// set count (Exclusive), or the fully-associative union of capacities
+  /// (Victim). This is what the per-level CME analysis binds to.
+  CacheConfig effective_config(std::size_t level) const;
+
   /// Throws contract_error unless: 1..kMaxLevels levels, every level's
-  /// geometry validates, all levels share one line size, capacities
-  /// strictly increase outward, latencies are finite and >= 0, and at
-  /// least one latency is > 0 (an all-zero weighting would also zero the
-  /// illegal-tile penalty). (It does NOT require LRU inclusion to hold —
-  /// see HierarchySimulator, which counts inclusion violations
+  /// geometry validates, all levels share one line size, effective
+  /// capacities strictly increase outward, latencies are finite and >= 0,
+  /// and at least one latency is > 0 (an all-zero weighting would also
+  /// zero the illegal-tile penalty). Mode rules: level 0 is Inclusive; an
+  /// Exclusive level shares the set count of the previous level's
+  /// effective geometry (the merged-stack condition); a Victim level is
+  /// fully associative (sets() == 1). (It does NOT require LRU inclusion
+  /// to hold — see HierarchySimulator, which counts inclusion violations
   /// empirically.)
   void validate() const;
 

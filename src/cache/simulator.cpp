@@ -1,33 +1,23 @@
 #include "cache/simulator.hpp"
 
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
 namespace cmetile::cache {
 
-Simulator::Simulator(const CacheConfig& config) : config_(config) {
+Simulator::Simulator(const CacheConfig& config, ReplacementPolicy policy, std::uint64_t seed)
+    : config_(config), policy_(policy), seed_(seed), rng_state_(splitmix64(seed)) {
   config_.validate();
+  expects(policy_ != ReplacementPolicy::TreePLRU ||
+              (config_.associativity & (config_.associativity - 1)) == 0,
+          "Simulator: tree-PLRU needs a power-of-two associativity");
   tags_.assign((std::size_t)(config_.sets() * config_.associativity), -1);
+  dirty_.assign(tags_.size(), 0);
+  if (policy_ == ReplacementPolicy::TreePLRU && config_.associativity > 1)
+    plru_bits_.assign((std::size_t)(config_.sets() * (config_.associativity - 1)), 0);
 }
 
-AccessOutcome Simulator::access(i64 address) {
-  ++stats_.accesses;
-  const i64 line = config_.line_of(address);
-  const i64 set = floor_mod(line, config_.sets());
-  const std::size_t assoc = (std::size_t)config_.associativity;
-  i64* ways = &tags_[(std::size_t)set * assoc];
-
-  // LRU search: ways[0] is most recent.
-  for (std::size_t w = 0; w < assoc; ++w) {
-    if (ways[w] == line) {
-      // Move to front.
-      for (std::size_t v = w; v > 0; --v) ways[v] = ways[v - 1];
-      ways[0] = line;
-      return AccessOutcome::Hit;
-    }
-  }
-
-  // Miss: insert at front, evict last.
-  for (std::size_t v = assoc - 1; v > 0; --v) ways[v] = ways[v - 1];
-  ways[0] = line;
-
+AccessOutcome Simulator::classify_miss(i64 line) {
   if (touched_lines_.insert(line).second) {
     ++stats_.cold_misses;
     return AccessOutcome::ColdMiss;
@@ -36,24 +26,274 @@ AccessOutcome Simulator::access(i64 address) {
   return AccessOutcome::ReplacementMiss;
 }
 
+std::size_t Simulator::victim_way(i64 set) {
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  if (policy_ == ReplacementPolicy::Random) {
+    rng_state_ = splitmix64(rng_state_);
+    return (std::size_t)(rng_state_ % assoc);
+  }
+  // TreePLRU: follow the tree bits (0 = victim in the left half).
+  std::uint8_t* bits = &plru_bits_[(std::size_t)set * (assoc - 1)];
+  std::size_t node = 1, lo = 0, size = assoc;
+  while (size > 1) {
+    size >>= 1;
+    if (bits[node - 1]) {
+      lo += size;
+      node = 2 * node + 1;
+    } else {
+      node = 2 * node;
+    }
+  }
+  return lo;
+}
+
+void Simulator::touch(i64 set, std::size_t w) {
+  // Point every tree bit on w's root path away from w.
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  if (assoc <= 1) return;
+  std::uint8_t* bits = &plru_bits_[(std::size_t)set * (assoc - 1)];
+  std::size_t node = 1, lo = 0, size = assoc;
+  while (size > 1) {
+    size >>= 1;
+    const bool right = w >= lo + size;
+    bits[node - 1] = right ? 0 : 1;
+    if (right) {
+      lo += size;
+      node = 2 * node + 1;
+    } else {
+      node = 2 * node;
+    }
+  }
+}
+
+EvictedLine Simulator::install(i64 set, i64 line, bool dirty) {
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  i64* ways = &tags_[(std::size_t)set * assoc];
+  std::uint8_t* dirt = &dirty_[(std::size_t)set * assoc];
+  EvictedLine evicted;
+  if (policy_ == ReplacementPolicy::LRU) {
+    // Insert at MRU; the tail is the victim (the pre-write-back scheme).
+    if (ways[assoc - 1] != -1)
+      evicted = EvictedLine{ways[assoc - 1], true, dirt[assoc - 1] != 0};
+    for (std::size_t v = assoc - 1; v > 0; --v) {
+      ways[v] = ways[v - 1];
+      dirt[v] = dirt[v - 1];
+    }
+    ways[0] = line;
+    dirt[0] = dirty ? 1 : 0;
+  } else {
+    // Position-stable: fill a free way first, then the policy's victim.
+    std::size_t w = assoc;
+    for (std::size_t i = 0; i < assoc; ++i) {
+      if (ways[i] == -1) {
+        w = i;
+        break;
+      }
+    }
+    if (w == assoc) w = victim_way(set);
+    if (ways[w] != -1) evicted = EvictedLine{ways[w], true, dirt[w] != 0};
+    ways[w] = line;
+    dirt[w] = dirty ? 1 : 0;
+    if (policy_ == ReplacementPolicy::TreePLRU) touch(set, w);
+  }
+  if (evicted.valid) {
+    if (evicted.dirty)
+      ++stats_.dirty_evictions;
+    else
+      ++stats_.clean_evictions;
+  }
+  last_eviction_ = evicted;
+  return evicted;
+}
+
+AccessOutcome Simulator::access(i64 address, bool is_write) {
+  ++stats_.accesses;
+  last_eviction_ = EvictedLine{};
+  const i64 line = config_.line_of(address);
+  const i64 set = set_of_line(line);
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  i64* ways = &tags_[(std::size_t)set * assoc];
+  std::uint8_t* dirt = &dirty_[(std::size_t)set * assoc];
+
+  for (std::size_t w = 0; w < assoc; ++w) {
+    if (ways[w] == line) {
+      std::size_t pos = w;
+      if (policy_ == ReplacementPolicy::LRU) {
+        // Move to front (tags and dirty bits travel together).
+        const std::uint8_t d = dirt[w];
+        for (std::size_t v = w; v > 0; --v) {
+          ways[v] = ways[v - 1];
+          dirt[v] = dirt[v - 1];
+        }
+        ways[0] = line;
+        dirt[0] = d;
+        pos = 0;
+      } else if (policy_ == ReplacementPolicy::TreePLRU) {
+        touch(set, w);
+      }
+      if (is_write) dirt[pos] = 1;
+      return AccessOutcome::Hit;
+    }
+  }
+
+  const AccessOutcome outcome = classify_miss(line);
+  install(set, line, is_write);
+  return outcome;
+}
+
+AccessOutcome Simulator::probe_extract(i64 address, bool& dirty) {
+  ++stats_.accesses;
+  last_eviction_ = EvictedLine{};
+  dirty = false;
+  const i64 line = config_.line_of(address);
+  const i64 set = set_of_line(line);
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  i64* ways = &tags_[(std::size_t)set * assoc];
+  std::uint8_t* dirt = &dirty_[(std::size_t)set * assoc];
+
+  for (std::size_t w = 0; w < assoc; ++w) {
+    if (ways[w] == line) {
+      dirty = dirt[w] != 0;
+      if (policy_ == ReplacementPolicy::LRU) {
+        // Compact so the valid prefix stays contiguous in recency order.
+        for (std::size_t v = w; v + 1 < assoc; ++v) {
+          ways[v] = ways[v + 1];
+          dirt[v] = dirt[v + 1];
+        }
+        ways[assoc - 1] = -1;
+        dirt[assoc - 1] = 0;
+      } else {
+        ways[w] = -1;
+        dirt[w] = 0;
+      }
+      return AccessOutcome::Hit;
+    }
+  }
+  return classify_miss(line);
+}
+
+EvictedLine Simulator::fill_line(i64 line, bool dirty) {
+  const i64 set = set_of_line(line);
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  i64* ways = &tags_[(std::size_t)set * assoc];
+  std::uint8_t* dirt = &dirty_[(std::size_t)set * assoc];
+  // Exclusive discipline never fills a line that is already present, but
+  // guard anyway: merging the dirty bit is the only sound response.
+  for (std::size_t w = 0; w < assoc; ++w) {
+    if (ways[w] == line) {
+      if (dirty) dirt[w] = 1;
+      last_eviction_ = EvictedLine{};
+      return EvictedLine{};
+    }
+  }
+  return install(set, line, dirty);
+}
+
+bool Simulator::contains_line(i64 line) const {
+  const i64 set = set_of_line(line);
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  const i64* ways = &tags_[(std::size_t)set * assoc];
+  for (std::size_t w = 0; w < assoc; ++w) {
+    if (ways[w] == line) return true;
+  }
+  return false;
+}
+
+void Simulator::set_dirty(i64 line) {
+  const i64 set = set_of_line(line);
+  const std::size_t assoc = (std::size_t)config_.associativity;
+  const i64* ways = &tags_[(std::size_t)set * assoc];
+  for (std::size_t w = 0; w < assoc; ++w) {
+    if (ways[w] == line) {
+      dirty_[(std::size_t)set * assoc + w] = 1;
+      return;
+    }
+  }
+}
+
+i64 Simulator::dirty_lines() const {
+  i64 count = 0;
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] != -1 && dirty_[i] != 0) ++count;
+  }
+  return count;
+}
+
 void Simulator::reset() {
   tags_.assign(tags_.size(), -1);
+  dirty_.assign(dirty_.size(), 0);
+  plru_bits_.assign(plru_bits_.size(), 0);
   touched_lines_.clear();
   stats_ = MissStats{};
+  last_eviction_ = EvictedLine{};
+  rng_state_ = splitmix64(seed_);
 }
 
-HierarchySimulator::HierarchySimulator(const Hierarchy& hierarchy) {
-  hierarchy.validate();
-  sims_.reserve(hierarchy.depth());
-  for (const CacheLevel& level : hierarchy.levels) sims_.emplace_back(level.config);
-  outcomes_.resize(hierarchy.depth());
+HierarchySimulator::HierarchySimulator(const Hierarchy& hierarchy, std::uint64_t seed)
+    : hierarchy_(hierarchy) {
+  hierarchy_.validate();
+  sims_.reserve(hierarchy_.depth());
+  for (std::size_t l = 0; l < hierarchy_.depth(); ++l) {
+    const CacheLevel& level = hierarchy_.levels[l];
+    sims_.emplace_back(level.config, level.replacement, derive_seed(seed, l));
+  }
+  outcomes_.resize(hierarchy_.depth());
+  evictions_.resize(hierarchy_.depth());
 }
 
-std::span<const AccessOutcome> HierarchySimulator::access(i64 address) {
-  for (std::size_t l = 0; l < sims_.size(); ++l) outcomes_[l] = sims_[l].access(address);
-  for (std::size_t l = 0; l + 1 < sims_.size(); ++l) {
-    if (outcomes_[l] == AccessOutcome::Hit && outcomes_[l + 1] != AccessOutcome::Hit)
+std::span<const AccessOutcome> HierarchySimulator::access(i64 address, bool is_write) {
+  const std::size_t n = sims_.size();
+  const i64 line = hierarchy_.levels[0].config.line_of(address);
+
+  // Probe pass. Inclusive levels always see the access (the standalone
+  // convention); exclusive/victim levels only when everything above
+  // missed, and a hit there extracts the line + promotes its dirty bit
+  // into L1 (which just installed the line via its own miss).
+  bool all_missed = true;
+  for (std::size_t l = 0; l < n; ++l) {
+    evictions_[l] = EvictedLine{};
+    if (hierarchy_.levels[l].mode == LevelMode::Inclusive) {
+      outcomes_[l] = sims_[l].access(address, is_write);
+      evictions_[l] = sims_[l].last_eviction();
+      if (outcomes_[l] == AccessOutcome::Hit) all_missed = false;
+    } else if (all_missed) {
+      bool extracted_dirty = false;
+      outcomes_[l] = sims_[l].probe_extract(address, extracted_dirty);
+      if (outcomes_[l] == AccessOutcome::Hit) {
+        all_missed = false;
+        if (extracted_dirty) sims_[0].set_dirty(line);
+      }
+    } else {
+      outcomes_[l] = AccessOutcome::Bypass;
+    }
+  }
+
+  // Fill cascade: a level's eviction is installed into the next level iff
+  // that level is exclusive/victim (inclusive levels already saw the full
+  // stream); the displaced line chains outward.
+  for (std::size_t l = 0; l + 1 < n; ++l) {
+    if (hierarchy_.levels[l + 1].mode != LevelMode::Inclusive && evictions_[l].valid)
+      evictions_[l + 1] = sims_[l + 1].fill_line(evictions_[l].line, evictions_[l].dirty);
+  }
+
+  // Self-checks on the accessed line. Inclusion between adjacent levels
+  // where the outer one is inclusive (the legacy check); exclusion for
+  // exclusive/victim levels against every level above.
+  for (std::size_t l = 0; l + 1 < n; ++l) {
+    if (hierarchy_.levels[l + 1].mode == LevelMode::Inclusive &&
+        outcomes_[l] != AccessOutcome::Bypass && outcomes_[l] == AccessOutcome::Hit &&
+        outcomes_[l + 1] != AccessOutcome::Hit)
       ++inclusion_violations_;
+  }
+  for (std::size_t l = 1; l < n; ++l) {
+    if (hierarchy_.levels[l].mode == LevelMode::Inclusive || !sims_[l].contains_line(line))
+      continue;
+    for (std::size_t j = 0; j < l; ++j) {
+      if (sims_[j].contains_line(line)) {
+        ++exclusion_violations_;
+        break;
+      }
+    }
   }
   return outcomes_;
 }
@@ -61,18 +301,27 @@ std::span<const AccessOutcome> HierarchySimulator::access(i64 address) {
 void HierarchySimulator::reset() {
   for (Simulator& sim : sims_) sim.reset();
   inclusion_violations_ = 0;
+  exclusion_violations_ = 0;
 }
 
 std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
-                                     const CacheConfig& config) {
-  Simulator sim(config);
+                                     const CacheConfig& config, ReplacementPolicy policy,
+                                     std::uint64_t seed) {
+  Simulator sim(config, policy, seed);
   std::vector<MissStats> per_ref(nest.refs.size() + 1);
-  ir::for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool) {
-    const AccessOutcome outcome = sim.access(address);
+  ir::for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool is_write) {
+    const AccessOutcome outcome = sim.access(address, is_write);
     MissStats& s = per_ref[ref];
     ++s.accesses;
     if (outcome == AccessOutcome::ColdMiss) ++s.cold_misses;
     if (outcome == AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+    const EvictedLine& evicted = sim.last_eviction();
+    if (evicted.valid) {
+      if (evicted.dirty)
+        ++s.dirty_evictions;
+      else
+        ++s.clean_evictions;
+    }
   });
   MissStats& total = per_ref.back();
   for (std::size_t r = 0; r < nest.refs.size(); ++r) total += per_ref[r];
@@ -81,17 +330,30 @@ std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryL
 
 std::vector<std::vector<MissStats>> simulate_nest(const ir::LoopNest& nest,
                                                   const ir::MemoryLayout& layout,
-                                                  const Hierarchy& hierarchy) {
-  HierarchySimulator sim(hierarchy);
-  std::vector<std::vector<MissStats>> per_level(hierarchy.depth());
+                                                  const Hierarchy& hierarchy,
+                                                  std::uint64_t seed) {
+  HierarchySimulator sim(hierarchy, seed);
+  const std::size_t depth = hierarchy.depth();
+  std::vector<std::vector<MissStats>> per_level(depth);
   for (auto& per_ref : per_level) per_ref.resize(nest.refs.size() + 1);
-  ir::for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool) {
-    const std::span<const AccessOutcome> outcomes = sim.access(address);
+  std::vector<i64> clean0(depth), dirty0(depth);
+  ir::for_each_access(nest, layout, [&](std::size_t ref, i64 address, bool is_write) {
+    for (std::size_t l = 0; l < depth; ++l) {
+      clean0[l] = sim.stats(l).clean_evictions;
+      dirty0[l] = sim.stats(l).dirty_evictions;
+    }
+    const std::span<const AccessOutcome> outcomes = sim.access(address, is_write);
     for (std::size_t l = 0; l < outcomes.size(); ++l) {
       MissStats& s = per_level[l][ref];
-      ++s.accesses;
-      if (outcomes[l] == AccessOutcome::ColdMiss) ++s.cold_misses;
-      if (outcomes[l] == AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+      if (outcomes[l] != AccessOutcome::Bypass) {
+        ++s.accesses;
+        if (outcomes[l] == AccessOutcome::ColdMiss) ++s.cold_misses;
+        if (outcomes[l] == AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+      }
+      // Evictions can land at a level the access bypassed (fill cascade):
+      // attribute them by counter delta, not by outcome.
+      s.clean_evictions += sim.stats(l).clean_evictions - clean0[l];
+      s.dirty_evictions += sim.stats(l).dirty_evictions - dirty0[l];
     }
   });
   for (auto& per_ref : per_level) {

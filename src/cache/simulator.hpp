@@ -1,9 +1,13 @@
 #pragma once
 // Trace-driven cache simulator: the ground truth against which the CME
 // model is validated (integration tests) and the paper's "counting
-// replacement misses" oracle for small search spaces. LRU replacement;
-// cold misses are first-ever touches of a memory line, every other miss is
-// a replacement miss (capacity or conflict — the paper does not split them).
+// replacement misses" oracle for small search spaces. Replacement is
+// pluggable per instance (LRU — the paper's assumption — tree-pseudo-LRU,
+// or seeded random); cold misses are first-ever touches of a memory line,
+// every other miss is a replacement miss (capacity or conflict — the paper
+// does not split them). Write accesses set a per-line dirty bit; evictions
+// are counted clean/dirty (MissStats), the write-back model of DESIGN.md
+// §16.
 
 #include <span>
 #include <unordered_set>
@@ -15,70 +19,162 @@
 
 namespace cmetile::cache {
 
-enum class AccessOutcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss };
+/// Bypass is reported by HierarchySimulator for an exclusive/victim level
+/// that was not probed (a level above already hit): the level's content
+/// and stats are untouched by that access.
+enum class AccessOutcome : std::uint8_t { Hit, ColdMiss, ReplacementMiss, Bypass };
+
+/// A line displaced from a cache (by an access install or a fill).
+/// `valid` false = nothing was displaced (the set had a free way).
+struct EvictedLine {
+  i64 line = -1;
+  bool valid = false;
+  bool dirty = false;
+};
 
 /// Single-level trace simulator. Not thread-safe: one instance per thread
-/// (it mutates LRU state on every access).
+/// (it mutates replacement state on every access).
 class Simulator {
  public:
-  /// Validates the geometry (throws contract_error on a bad config).
-  explicit Simulator(const CacheConfig& config);
+  /// Validates the geometry (throws contract_error on a bad config; also
+  /// rejects TreePLRU with a non-power-of-two associativity). `seed` only
+  /// matters for ReplacementPolicy::Random (deterministic stream).
+  explicit Simulator(const CacheConfig& config, ReplacementPolicy policy = ReplacementPolicy::LRU,
+                     std::uint64_t seed = 0x5EEDULL);
 
-  /// Simulate one access at a byte address; updates LRU state and counters.
-  AccessOutcome access(i64 address);
+  /// Simulate one access at a byte address; updates replacement state and
+  /// counters. `is_write` marks the line dirty (on hit or install).
+  AccessOutcome access(i64 address, bool is_write = false);
 
-  /// Reset cache content and counters (the touched-lines history too).
+  /// Cascade probe for exclusive/victim levels: counts the access like
+  /// access(), but a hit *extracts* the line — it is removed here and its
+  /// dirty bit handed back for promotion into the level above — and a miss
+  /// installs nothing. Never evicts.
+  AccessOutcome probe_extract(i64 address, bool& dirty);
+
+  /// Install a line evicted from the level above without counting an
+  /// access (exclusive/victim fill). Under LRU the fill enters at MRU
+  /// position — together with probe_extract this makes an L1 + exclusive
+  /// L2 stack of shared set count behave exactly like one merged cache of
+  /// summed associativity (DESIGN.md §16). Returns the line displaced to
+  /// make room (recorded in the eviction counters).
+  EvictedLine fill_line(i64 line, bool dirty);
+
+  /// Is the memory line currently cached? (Self-check helper; O(assoc).)
+  bool contains_line(i64 line) const;
+
+  /// Mark an already-present line dirty (promotion merge after a dirty
+  /// extract from an outer level). No-op if the line is absent.
+  void set_dirty(i64 line);
+
+  /// Currently cached dirty lines — the write-backs still pending at the
+  /// end of a run (total write traffic = stats().dirty_evictions + this).
+  i64 dirty_lines() const;
+
+  /// The line displaced by the most recent access()/fill_line() call
+  /// (`valid` false if none). probe_extract never evicts.
+  const EvictedLine& last_eviction() const { return last_eviction_; }
+
+  /// Reset cache content and counters (the touched-lines history too; the
+  /// random replacement stream restarts from the seed).
   void reset();
 
   const MissStats& stats() const { return stats_; }
+  ReplacementPolicy policy() const { return policy_; }
 
  private:
+  i64 set_of_line(i64 line) const { return floor_mod(line, config_.sets()); }
+  /// Classify a miss (cold on first-ever touch) and count it.
+  AccessOutcome classify_miss(i64 line);
+  /// Install `line` into `set` displacing a victim if the set is full;
+  /// counts the displaced line's eviction. `mru` inserts at MRU position
+  /// (LRU representation only; position-stable policies ignore it).
+  EvictedLine install(i64 set, i64 line, bool dirty);
+  /// Victim way of a full set under the configured policy.
+  std::size_t victim_way(i64 set);
+  /// Update replacement metadata after way `w` of `set` was used.
+  void touch(i64 set, std::size_t w);
+
   CacheConfig config_;
-  // tags_[set * assoc + way] = line id, most recently used first; -1 empty.
+  ReplacementPolicy policy_;
+  std::uint64_t seed_;
+  std::uint64_t rng_state_;
+  // tags_[set * assoc + way] = line id, -1 empty. Under LRU ways are kept
+  // most-recently-used first (move-to-front, the pre-write-back scheme —
+  // bit-identity pin); under TreePLRU/Random ways are position-stable.
   std::vector<i64> tags_;
+  std::vector<std::uint8_t> dirty_;      ///< parallel to tags_
+  std::vector<std::uint8_t> plru_bits_;  ///< [set * (assoc-1) + node-1], TreePLRU only
   std::unordered_set<i64> touched_lines_;
   MissStats stats_;
+  EvictedLine last_eviction_;
 };
 
-/// Inclusive multi-level mode: every access probes *all* levels, so each
+/// Multi-level mode. Inclusive levels probe on *every* access, so each
 /// level's content (and stats) is exactly what a standalone simulation of
 /// that level over the full stream produces — the same convention the
 /// per-level CMEs use (DESIGN.md §12). Under that model LRU inclusion
 /// (level-l content ⊆ level-(l+1) content) holds for nested geometries;
 /// `inclusion_violations()` counts the accesses where it did not (a hit at
-/// level l that missed at level l+1), so tests and benches can verify the
-/// inclusive reading of the per-level numbers instead of assuming it.
-/// Not thread-safe (same contract as Simulator).
+/// level l that missed at an inclusive level l+1), so tests and benches
+/// can verify the inclusive reading of the per-level numbers instead of
+/// assuming it.
+///
+/// Exclusive/victim levels (LevelMode) are probed only when every level
+/// above missed; a hit extracts the line and promotes its dirty bit into
+/// L1, a miss leaves the level untouched (demand fetches install only at
+/// L1), and evictions of the level above are installed here (the fill
+/// cascade). `exclusion_violations()` counts accesses after which the
+/// accessed line was present both in an exclusive/victim level and in some
+/// level above it — the exclusion invariant self-check the differential
+/// suite asserts is zero.
+///
+/// With every level Inclusive, LRU, and a read-only stream this is
+/// bit-identical to the pre-write-back simulator. Not thread-safe (same
+/// contract as Simulator).
 class HierarchySimulator {
  public:
   /// Validates the hierarchy (throws contract_error on a bad geometry).
-  explicit HierarchySimulator(const Hierarchy& hierarchy);
+  /// `seed` feeds the per-level random replacement streams (level l draws
+  /// from an independent derived stream).
+  explicit HierarchySimulator(const Hierarchy& hierarchy, std::uint64_t seed = 0x5EEDULL);
 
-  /// Simulate one access against every level; returns per-level outcomes
-  /// (valid until the next call).
-  std::span<const AccessOutcome> access(i64 address);
+  /// Simulate one access; returns per-level outcomes (valid until the
+  /// next call). Levels not probed report AccessOutcome::Bypass.
+  std::span<const AccessOutcome> access(i64 address, bool is_write = false);
 
   void reset();
 
   std::size_t depth() const { return sims_.size(); }
   const MissStats& stats(std::size_t level) const { return sims_[level].stats(); }
+  i64 dirty_lines(std::size_t level) const { return sims_[level].dirty_lines(); }
   i64 inclusion_violations() const { return inclusion_violations_; }
+  i64 exclusion_violations() const { return exclusion_violations_; }
 
  private:
+  Hierarchy hierarchy_;
   std::vector<Simulator> sims_;
   std::vector<AccessOutcome> outcomes_;
+  std::vector<EvictedLine> evictions_;  ///< per-level scratch, one access
   i64 inclusion_violations_ = 0;
+  i64 exclusion_violations_ = 0;
 };
 
 /// Simulate a whole nest in original order; returns per-reference stats
-/// (indexed by reference) plus the aggregate as the last element.
+/// (indexed by reference) plus the aggregate as the last element. Write
+/// references mark lines dirty; eviction counters are attributed to the
+/// access that displaced the line.
 std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
-                                     const CacheConfig& config);
+                                     const CacheConfig& config,
+                                     ReplacementPolicy policy = ReplacementPolicy::LRU,
+                                     std::uint64_t seed = 0x5EEDULL);
 
 /// Multi-level variant: result[level] is the per-reference stats vector
-/// (aggregate last) of that level over the full access stream.
+/// (aggregate last) of that level over the full access stream. Accesses a
+/// level did not see (Bypass) are not counted anywhere in its rows.
 std::vector<std::vector<MissStats>> simulate_nest(const ir::LoopNest& nest,
                                                   const ir::MemoryLayout& layout,
-                                                  const Hierarchy& hierarchy);
+                                                  const Hierarchy& hierarchy,
+                                                  std::uint64_t seed = 0x5EEDULL);
 
 }  // namespace cmetile::cache

@@ -253,6 +253,17 @@ Outcome NestAnalysis::classify(std::span<const i64> z, std::size_t ref) const {
   return outcome;
 }
 
+Outcome NestAnalysis::classify_store_generation(std::span<const i64> z, std::size_t ref) const {
+  expects(ref < nest_->refs.size() && nest_->refs[ref].kind == ir::AccessKind::Write,
+          "classify_store_generation: ref must be a store");
+  Scratch scratch;
+  scratch.stores_only = true;
+  prepare_point(z, scratch);
+  const Outcome outcome = classify_impl(z, ref, scratch);
+  counters_ += scratch.counters;
+  return outcome;
+}
+
 void NestAnalysis::prepare_point(std::span<const i64> z, Scratch& scratch) const {
   expects(z.size() == nest_->depth(), "classify: point arity mismatch");
   space_.to_tiled_into(z, scratch.p_to_buf);
@@ -575,6 +586,7 @@ void NestAnalysis::bind_eval_level(detail::EvalLevel& level,
   fold((std::uint64_t)cache_.associativity);
   fold((std::uint64_t)options_.probe_work_cap);
   fold((std::uint64_t)options_.enumerate_cap);
+  fold(options_.binding_salt);
   fold(n_refs);
   for (const RefData& data : refs_) {
     fold(data.array);
@@ -820,6 +832,9 @@ Outcome NestAnalysis::classify_impl(std::span<const i64> z, std::size_t ref, Scr
   // source address are updated incrementally from the prepared point.
   scratch.n_candidates = 0;
   const auto gather = [&](const PreparedReuse& rc, std::size_t entry, bool prefiltered) {
+    // Write-back path: a line stays dirty only across store-to-store
+    // reuse, so read sources cannot extend a dirty generation.
+    if (scratch.stores_only && nest_->refs[rc.source].kind != ir::AccessKind::Write) return;
     // Bounds and lexicographic position are decided from the stepped
     // dimensions alone (q_to == p_to elsewhere); q_to is only
     // materialized for candidates that survive all filters. Steps are

@@ -85,6 +85,13 @@ struct AnalysisOptions {
   /// a mismatched ReuseInfo is undefined. core/objective uses this to
   /// amortize reuse analysis across every genome of a GA run.
   const reuse::ReuseInfo* shared_reuse = nullptr;
+  /// Folded verbatim into the EvalCache binding digest. Classification is
+  /// a pure function of the geometry, but callers can model distinctions
+  /// the CMEs cannot see — HierarchyAnalysis salts each level with its
+  /// replacement policy and level mode so retuning either invalidates
+  /// warm entries instead of silently serving stale verdict memos
+  /// (eval_cache.hpp). 0 (the default) leaves digests unchanged.
+  std::uint64_t binding_salt = 0;
 };
 
 namespace detail {
@@ -157,6 +164,15 @@ class NestAnalysis {
 
   /// Classify one access; z is the 0-based iteration point (z_d = i_d - lower_d).
   Outcome classify(std::span<const i64> z, std::size_t ref) const;
+
+  /// Write-back variant of classify(): reuse candidates are restricted to
+  /// *store* sources. Under the dirty-generation model (DESIGN.md §16) a
+  /// store whose restricted classification is a miss begins a new dirty
+  /// generation of its memory line, and each generation produces exactly
+  /// one write-back (a dirty eviction, or a line left dirty at the end).
+  /// `ref` must be a Write reference. Scalar path only (the write-back
+  /// estimator samples far fewer trials than the miss estimator).
+  Outcome classify_store_generation(std::span<const i64> z, std::size_t ref) const;
 
   /// Classify every (point, reference) pair of the batch. Outcomes are
   /// point-major: result[p * n_refs + r]. `shards == 0` uses one shard per
@@ -256,6 +272,9 @@ class NestAnalysis {
     EvalCacheStats* eval_stats = nullptr;
     ProbeCounters counters;
     bool use_cache = false;
+    /// Restrict gathered reuse candidates to store sources (the
+    /// classify_store_generation path). Never set in batch mode.
+    bool stores_only = false;
   };
 
   i64 address_at(std::size_t ref, std::span<const i64> z) const;

@@ -73,6 +73,61 @@ MissEstimate tally_outcomes(const NestAnalysis& analysis,
 
 }  // namespace
 
+namespace {
+
+std::vector<std::size_t> store_refs(const ir::LoopNest& nest) {
+  std::vector<std::size_t> stores;
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) {
+    if (nest.refs[r].kind == ir::AccessKind::Write) stores.push_back(r);
+  }
+  return stores;
+}
+
+}  // namespace
+
+WritebackEstimate estimate_writebacks_with_points(const NestAnalysis& analysis,
+                                                  std::span<const std::vector<i64>> points,
+                                                  double confidence) {
+  const ir::LoopNest& nest = analysis.nest();
+  const std::vector<std::size_t> stores = store_refs(nest);
+  WritebackEstimate e;
+  e.sampled_points = (i64)points.size();
+  e.store_access_count = nest.iteration_count() * (i64)stores.size();
+  if (stores.empty() || points.empty()) return e;
+  i64 starts = 0;
+  for (const std::vector<i64>& z : points) {
+    for (const std::size_t r : stores) {
+      if (analysis.classify_store_generation(z, r) != Outcome::Hit) ++starts;
+    }
+  }
+  const i64 trials = (i64)points.size() * (i64)stores.size();
+  const ProportionEstimate ratio = estimate_proportion(starts, trials, confidence);
+  e.generation_ratio = ratio.ratio;
+  e.half_width = ratio.half_width;
+  return e;
+}
+
+WritebackEstimate estimate_writebacks_exact(const NestAnalysis& analysis) {
+  const ir::LoopNest& nest = analysis.nest();
+  const std::vector<std::size_t> stores = store_refs(nest);
+  WritebackEstimate e;
+  e.exact = true;
+  e.sampled_points = nest.iteration_count();
+  e.store_access_count = nest.iteration_count() * (i64)stores.size();
+  if (stores.empty()) return e;
+  i64 starts = 0;
+  std::vector<i64> z(nest.depth());
+  ir::for_each_point(nest, [&](std::span<const i64> point) {
+    for (std::size_t d = 0; d < z.size(); ++d) z[d] = point[d] - nest.loops[d].lower;
+    for (const std::size_t r : stores) {
+      if (analysis.classify_store_generation(z, r) != Outcome::Hit) ++starts;
+    }
+  });
+  if (e.store_access_count > 0)
+    e.generation_ratio = (double)starts / (double)e.store_access_count;
+  return e;
+}
+
 MissEstimate estimate_with_points(const NestAnalysis& analysis,
                                   std::span<const std::vector<i64>> points, double confidence) {
   return tally_outcomes(analysis, points, analysis.classify_batch(points), confidence);

@@ -69,6 +69,33 @@ std::vector<std::vector<i64>> sample_points(const ir::LoopNest& nest, i64 count,
 /// 90% defaults; otherwise the exact formula of support/stats.hpp).
 i64 resolved_sample_count(const EstimatorOptions& options);
 
+/// Write-back traffic estimate under the dirty-generation model
+/// (DESIGN.md §16): every store whose store-restricted classification
+/// (NestAnalysis::classify_store_generation) is a miss begins a new dirty
+/// generation of its line, and each generation produces exactly one
+/// write-back — a dirty eviction during the run or a line flushed dirty at
+/// the end. Ratios are generation starts per *store* access.
+struct WritebackEstimate {
+  double generation_ratio = 0.0;
+  double half_width = 0.0;  ///< CI half-width of generation_ratio
+  i64 sampled_points = 0;
+  bool exact = false;
+  i64 store_access_count = 0;  ///< store accesses in the full space
+
+  /// Estimated absolute write-back count (dirty evictions + final flush).
+  double writebacks() const { return generation_ratio * (double)store_access_count; }
+};
+
+/// Estimate write-back traffic on a caller-provided sample (the same
+/// shared sample the miss estimators use — common random numbers). A nest
+/// with no store references returns a zero estimate.
+WritebackEstimate estimate_writebacks_with_points(const NestAnalysis& analysis,
+                                                  std::span<const std::vector<i64>> points,
+                                                  double confidence = 0.90);
+
+/// Exact write-back count by full traversal (small spaces / tests).
+WritebackEstimate estimate_writebacks_exact(const NestAnalysis& analysis);
+
 /// Estimate with a caller-provided sample (enables common random numbers).
 /// Classification goes through the batched engine (classify_batch):
 /// scratch reuse + probe cache, sharded across threads when OpenMP is on.

@@ -1,6 +1,7 @@
 #include "cme/hierarchy.hpp"
 
 #include "support/contracts.hpp"
+#include "support/rng.hpp"
 
 namespace cmetile::cme {
 
@@ -16,7 +17,19 @@ HierarchyAnalysis::HierarchyAnalysis(const ir::LoopNest& nest, const ir::MemoryL
   for (std::size_t l = 0; l < hierarchy_.depth(); ++l) {
     AnalysisOptions level_options = options;
     if (!shared_reuse_by_level.empty()) level_options.shared_reuse = &shared_reuse_by_level[l];
-    levels_.emplace_back(nest, layout, hierarchy_.levels[l].config, tiles, level_options);
+    const cache::CacheLevel& level = hierarchy_.levels[l];
+    // Policy and mode are invisible to the equations (they only shift the
+    // effective geometry), but must still split EvalCache bindings: salt
+    // every non-default level. Default levels keep salt 0 so the legacy
+    // single-cache digest — and TilingObjective::evaluate's level-0
+    // binding — is unchanged.
+    if (level.replacement != cache::ReplacementPolicy::LRU ||
+        level.mode != cache::LevelMode::Inclusive) {
+      level_options.binding_salt = derive_seed(options.binding_salt ^ 0xD1E77B17ULL,
+                                               (std::uint64_t)level.replacement,
+                                               (std::uint64_t)level.mode);
+    }
+    levels_.emplace_back(nest, layout, hierarchy_.effective_config(l), tiles, level_options);
   }
 }
 
@@ -26,6 +39,32 @@ double weighted_cost(const cache::Hierarchy& hierarchy, std::span<const MissEsti
   for (const MissEstimate& level : levels) misses.push_back(level.replacement_misses());
   return hierarchy.weighted_cost(misses);
 }
+
+namespace {
+
+/// Append the per-level write-back estimates (levels with zero write-back
+/// latency get default entries — the store classifier never runs for
+/// them) and return the Σ writebacks × writeback_latency cost term.
+/// `estimate.writebacks` stays empty when no level charges write-backs,
+/// which keeps the legacy read-only paths bit-identical and free.
+double fold_writebacks(const HierarchyAnalysis& analysis,
+                       std::span<const std::vector<i64>> points, double confidence,
+                       HierarchyEstimate& estimate) {
+  const cache::Hierarchy& hierarchy = analysis.hierarchy();
+  bool any = false;
+  for (const cache::CacheLevel& level : hierarchy.levels) any |= level.writeback_latency > 0.0;
+  if (!any) return 0.0;
+  estimate.writebacks.resize(hierarchy.depth());
+  double cost = 0.0;
+  for (std::size_t l = 0; l < hierarchy.depth(); ++l) {
+    if (hierarchy.levels[l].writeback_latency <= 0.0) continue;
+    estimate.writebacks[l] = estimate_writebacks_with_points(analysis.level(l), points, confidence);
+    cost += estimate.writebacks[l].writebacks() * hierarchy.levels[l].writeback_latency;
+  }
+  return cost;
+}
+
+}  // namespace
 
 HierarchyEstimate estimate_hierarchy_with_points(const HierarchyAnalysis& analysis,
                                                  std::span<const std::vector<i64>> points,
@@ -37,7 +76,8 @@ HierarchyEstimate estimate_hierarchy_with_points(const HierarchyAnalysis& analys
         cache != nullptr ? estimate_with_points(analysis.level(l), points, confidence, *cache, l)
                          : estimate_with_points(analysis.level(l), points, confidence));
   }
-  estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels);
+  estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels) +
+                           fold_writebacks(analysis, points, confidence, estimate);
   return estimate;
 }
 
@@ -47,7 +87,29 @@ HierarchyEstimate estimate_hierarchy(const HierarchyAnalysis& analysis,
   estimate.levels.reserve(analysis.depth());
   for (std::size_t l = 0; l < analysis.depth(); ++l)
     estimate.levels.push_back(estimate_misses(analysis.level(l), options));
-  estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels);
+  // Write-backs ride on their own sample here (estimate_misses draws per
+  // level internally too); the shared-points overload is the GA path.
+  const cache::Hierarchy& hierarchy = analysis.hierarchy();
+  bool any = false;
+  for (const cache::CacheLevel& level : hierarchy.levels) any |= level.writeback_latency > 0.0;
+  double wb_cost = 0.0;
+  if (any) {
+    const ir::LoopNest& nest = analysis.level(0).nest();
+    estimate.writebacks.resize(hierarchy.depth());
+    for (std::size_t l = 0; l < hierarchy.depth(); ++l) {
+      if (hierarchy.levels[l].writeback_latency <= 0.0) continue;
+      if (options.exact_threshold > 0 && nest.iteration_count() <= options.exact_threshold) {
+        estimate.writebacks[l] = estimate_writebacks_exact(analysis.level(l));
+      } else {
+        const auto points =
+            sample_points(nest, resolved_sample_count(options), options.seed);
+        estimate.writebacks[l] =
+            estimate_writebacks_with_points(analysis.level(l), points, options.confidence);
+      }
+      wb_cost += estimate.writebacks[l].writebacks() * hierarchy.levels[l].writeback_latency;
+    }
+  }
+  estimate.weighted_cost = weighted_cost(analysis.hierarchy(), estimate.levels) + wb_cost;
   return estimate;
 }
 

@@ -8,13 +8,20 @@
 // individuals), so per-level estimates are comparable and the weighted
 // cost is a smooth function of the tile vector.
 //
-// Level l's misses are defined as the misses of level l's cache run
-// standalone over the full access stream — the convention under which the
-// inclusive HierarchySimulator reproduces them exactly (cache/simulator).
+// Level l's misses are defined as the misses of level l's *effective*
+// cache (cache::Hierarchy::effective_config — the level's own geometry
+// for inclusive levels, the merged stack for exclusive levels, the
+// fully-associative union for victim levels) run standalone over the full
+// access stream — the convention under which the HierarchySimulator
+// reproduces them (exactly for inclusive/exclusive LRU, as an optimistic
+// bound for victim levels; DESIGN.md §16). Each level's NestAnalysis is
+// salted with the level's replacement policy and mode so EvalCache
+// bindings cannot alias across mode retunes.
 //
 // Invariant (pinned by hierarchy_test): a single-level hierarchy with
 // miss latency 1.0 produces estimates and weighted costs bit-identical to
-// the legacy single-cache estimator path.
+// the legacy single-cache estimator path (level 0 is always inclusive
+// LRU, so its effective config is its own config and its salt is 0).
 
 #include <span>
 #include <vector>
@@ -54,12 +61,21 @@ class HierarchyAnalysis {
 /// minimizes. `levels[l]` pairs with `hierarchy.levels[l]` (0 = L1).
 struct HierarchyEstimate {
   std::vector<MissEstimate> levels;
-  /// Σ_level replacement_misses(level) × miss_latency(level) — absolute
-  /// stall units (latency unit × misses). Cold misses are excluded for
+  /// Per-level write-back estimates (dirty-generation model, DESIGN.md
+  /// §16). Only computed for levels with writeback_latency > 0 — other
+  /// levels hold default (zero) entries, so the legacy read-only paths
+  /// never pay for or depend on the store classifier. Empty when the
+  /// whole hierarchy has zero write-back latency.
+  std::vector<WritebackEstimate> writebacks;
+  /// Σ_level replacement_misses(level) × miss_latency(level)
+  /// + Σ_level writebacks(level) × writeback_latency(level) — absolute
+  /// stall units (latency unit × events). Cold misses are excluded for
   /// consistency with the paper's replacement-miss objective. For the
   /// tiling search they are also tiling-invariant, so the argmin is
   /// unchanged; in the padding searches pads can shift cold counts, where
   /// replacement-only simply mirrors the paper's single-cache choice.
+  /// Write-backs (whole generations) are NOT tiling-invariant — that is
+  /// the point of folding them in.
   double weighted_cost = 0.0;
 };
 

@@ -23,10 +23,14 @@ std::vector<std::vector<i64>> tiling_seeds(const ir::LoopNest& nest,
     if (std::find(seeds.begin(), seeds.end(), tv.t) == seeds.end()) seeds.push_back(tv.t);
   };
   push(transform::TileVector::untiled(nest).t);
-  for (const cache::CacheLevel& level : hierarchy.levels) {
-    push(baselines::lrw_tiles(nest, layout, level.config).t);
-    push(baselines::tss_tiles(nest, layout, level.config).t);
-    push(baselines::sarkar_megiddo_tiles(nest, layout, level.config).t);
+  for (std::size_t l = 0; l < hierarchy.depth(); ++l) {
+    // Seed with the level's *effective* geometry: an exclusive/victim
+    // level's useful capacity is the merged stack, not its own size
+    // (cache/hierarchy.hpp), so that is the working set worth targeting.
+    const cache::CacheConfig config = hierarchy.effective_config(l);
+    push(baselines::lrw_tiles(nest, layout, config).t);
+    push(baselines::tss_tiles(nest, layout, config).t);
+    push(baselines::sarkar_megiddo_tiles(nest, layout, config).t);
   }
   for (const i64 side : {4, 8, 16, 32, 64}) {
     push(std::vector<i64>(nest.depth(), side));

@@ -181,11 +181,19 @@ std::vector<cache::MissStats> simulate_tiled(const ir::LoopNest& nest,
     for (std::size_t d = 0; d < nest.depth(); ++d) point[d] = nest.loops[d].lower + z[d];
     if (!rectangular && !nest.contains(point)) return;
     for (std::size_t r = 0; r < nest.refs.size(); ++r) {
-      const cache::AccessOutcome outcome = sim.access(addr[r].eval(point));
+      const bool is_write = nest.refs[r].kind == ir::AccessKind::Write;
+      const cache::AccessOutcome outcome = sim.access(addr[r].eval(point), is_write);
       cache::MissStats& s = per_ref[r];
       ++s.accesses;
       if (outcome == cache::AccessOutcome::ColdMiss) ++s.cold_misses;
       if (outcome == cache::AccessOutcome::ReplacementMiss) ++s.replacement_misses;
+      const cache::EvictedLine& evicted = sim.last_eviction();
+      if (evicted.valid) {
+        if (evicted.dirty)
+          ++s.dirty_evictions;
+        else
+          ++s.clean_evictions;
+      }
     }
   });
   for (std::size_t r = 0; r < nest.refs.size(); ++r) per_ref.back() += per_ref[r];

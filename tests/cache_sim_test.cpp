@@ -112,5 +112,163 @@ TEST(Simulator, AssociativityMustDivideLines) {
   EXPECT_THROW(Simulator(CacheConfig{128, 32, 8}), contract_error);  // 4 lines, 8-way
 }
 
+TEST(CacheConfig, NonPowerOfTwoSizeValidatesWithPowerOfTwoSets) {
+  // Merged effective geometry of an 8KB DM + exclusive 64KB 8-way stack:
+  // 72KB, 9-way, 256 sets. Only line size and set count must be po2.
+  const CacheConfig merged{72 * 1024, 32, 9};
+  EXPECT_NO_THROW(merged.validate());
+  EXPECT_EQ(merged.sets(), 256);
+  EXPECT_EQ(merged.way_bytes(), 8192);
+  // A non-po2 *set count* still throws.
+  EXPECT_THROW((CacheConfig{96, 32, 1}).validate(), contract_error);  // 3 sets
+}
+
+// Golden hand-traced dirty-eviction sequence, nblei/simple_cache
+// semantics: stores mark the line dirty; evicting a dirty line counts a
+// write-back, evicting a clean one does not; a line re-fetched by a read
+// after its dirty eviction is clean again.
+TEST(Simulator, DirtyEvictionGoldenTrace) {
+  Simulator sim(CacheConfig::direct_mapped(1024));  // 32 lines, 32B
+  EXPECT_EQ(sim.access(0, /*is_write=*/true), AccessOutcome::ColdMiss);  // line 0 dirty
+  EXPECT_EQ(sim.access(1024), AccessOutcome::ColdMiss);  // same set: evicts dirty line 0
+  EXPECT_EQ(sim.stats().dirty_evictions, 1);
+  EXPECT_EQ(sim.stats().clean_evictions, 0);
+  EXPECT_EQ(sim.access(0), AccessOutcome::ReplacementMiss);  // evicts clean line 32
+  EXPECT_EQ(sim.stats().clean_evictions, 1);
+  EXPECT_EQ(sim.access(0, /*is_write=*/true), AccessOutcome::Hit);  // re-dirty on hit
+  EXPECT_EQ(sim.access(1024), AccessOutcome::ReplacementMiss);      // second write-back
+  EXPECT_EQ(sim.stats().dirty_evictions, 2);
+  EXPECT_EQ(sim.stats().writebacks(), 2);
+  EXPECT_EQ(sim.dirty_lines(), 0);  // the surviving line 32 is clean
+}
+
+TEST(Simulator, DirtyBitTravelsWithLruMoveToFront) {
+  Simulator sim(CacheConfig{1024, 32, 2});  // 16 sets, 2-way
+  sim.access(0, /*is_write=*/true);         // A dirty
+  sim.access(1024);                         // B clean, same set
+  sim.access(0);                            // hit: A moves to MRU, stays dirty
+  sim.access(2048);                         // evicts LRU = B (clean)
+  EXPECT_EQ(sim.stats().clean_evictions, 1);
+  EXPECT_EQ(sim.stats().dirty_evictions, 0);
+  sim.access(4096);  // evicts LRU = A, whose dirty bit must have moved with it
+  EXPECT_EQ(sim.stats().dirty_evictions, 1);
+}
+
+TEST(Simulator, DirtyLinesReportsPendingWritebacks) {
+  Simulator sim(CacheConfig::direct_mapped(1024));
+  sim.access(0, /*is_write=*/true);
+  sim.access(32, /*is_write=*/true);
+  sim.access(64);
+  EXPECT_EQ(sim.dirty_lines(), 2);
+  sim.reset();
+  EXPECT_EQ(sim.dirty_lines(), 0);
+}
+
+TEST(MissStats, MergeCarriesEvictionCounters) {
+  MissStats a{10, 1, 2, 3, 4};
+  const MissStats b{20, 2, 3, 4, 5};
+  a += b;
+  EXPECT_EQ(a.accesses, 30);
+  EXPECT_EQ(a.cold_misses, 3);
+  EXPECT_EQ(a.replacement_misses, 5);
+  EXPECT_EQ(a.clean_evictions, 7);
+  EXPECT_EQ(a.dirty_evictions, 9);
+  EXPECT_EQ(a.writebacks(), 9);
+}
+
+TEST(SimulateNest, EvictionCountersSumToAggregate) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 10);
+  const ir::MemoryLayout layout(nest);
+  const auto stats = simulate_nest(nest, layout, CacheConfig::direct_mapped(512));
+  MissStats sum;
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) sum += stats[r];
+  EXPECT_EQ(sum.clean_evictions, stats.back().clean_evictions);
+  EXPECT_EQ(sum.dirty_evictions, stats.back().dirty_evictions);
+  // MM has a store (C(i,j)): some write-backs must occur in a 512B cache.
+  EXPECT_GT(stats.back().dirty_evictions, 0);
+}
+
+// Victim-cache behaviour on a 4-line toy geometry (Jouppi): a line
+// evicted from L1 lands in the victim buffer; re-accessing it hits there,
+// extracts it back into L1, and the newly displaced L1 line takes its
+// place — the classic swap.
+TEST(HierarchySimulator, VictimHitSwapsOnToyGeometry) {
+  Hierarchy h;
+  h.levels.push_back(CacheLevel{CacheConfig{64, 32, 1}, 1.0});  // L1: 2 lines DM
+  CacheLevel victim{CacheConfig{128, 32, 4}, 10.0};             // 4 lines, fully assoc
+  victim.mode = LevelMode::Victim;
+  h.levels.push_back(victim);
+  HierarchySimulator sim(h);
+
+  // Lines 0 and 4 (addresses 0 and 128) conflict in L1 set 0.
+  sim.access(0);
+  sim.access(128);  // evicts line 0 into the victim buffer
+  auto out = sim.access(0);
+  EXPECT_EQ(out[0], AccessOutcome::ReplacementMiss);
+  EXPECT_EQ(out[1], AccessOutcome::Hit);  // found in the victim buffer
+  // The swap displaced line 4 into the victim buffer in turn.
+  out = sim.access(128);
+  EXPECT_EQ(out[1], AccessOutcome::Hit);
+  EXPECT_EQ(sim.exclusion_violations(), 0);
+}
+
+TEST(HierarchySimulator, VictimExtractPromotesDirtyBit) {
+  Hierarchy h;
+  h.levels.push_back(CacheLevel{CacheConfig{64, 32, 1}, 1.0});
+  CacheLevel victim{CacheConfig{128, 32, 4}, 10.0};
+  victim.mode = LevelMode::Victim;
+  h.levels.push_back(victim);
+  HierarchySimulator sim(h);
+
+  sim.access(0, /*is_write=*/true);  // dirty in L1
+  sim.access(128);                   // dirty line 0 evicted into the victim
+  EXPECT_EQ(sim.dirty_lines(1), 1);
+  sim.access(0);  // victim hit: extraction must carry the dirty bit back
+  EXPECT_EQ(sim.dirty_lines(0), 1);
+  EXPECT_EQ(sim.dirty_lines(1), 0);
+  // When it finally leaves the victim buffer for memory it is still dirty.
+  sim.access(128);                // line 0 (dirty) evicted into victim again
+  for (i64 a = 3; a <= 6; ++a) {  // 4 fresh conflicting lines flush it out
+    sim.access(a * 64);
+  }
+  EXPECT_GE(sim.stats(1).dirty_evictions, 1);
+  EXPECT_EQ(sim.exclusion_violations(), 0);
+}
+
+// An L1 + exclusive L2 stack with a shared set count is one merged cache
+// of summed associativity (DESIGN.md §16): probe-extract on hit, fill at
+// MRU on L1 eviction, evict the merged tail. Cross-check hit/miss per
+// access against a standalone merged simulator on a scrambled stream.
+TEST(HierarchySimulator, ExclusiveStackEqualsMergedLruCache) {
+  Hierarchy h;
+  h.levels.push_back(CacheLevel{CacheConfig{128, 32, 1}, 1.0});  // 4 sets, 1-way
+  CacheLevel l2{CacheConfig{256, 32, 2}, 10.0};                  // 4 sets, 2-way
+  l2.mode = LevelMode::Exclusive;
+  h.levels.push_back(l2);
+  HierarchySimulator stack(h);
+  Simulator merged(CacheConfig{384, 32, 3});  // 4 sets, 3-way
+
+  std::uint64_t state = 0x2002;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const i64 address = (i64)((state >> 33) % 24) * 32;  // 24 lines > capacity
+    const bool is_write = ((state >> 13) & 7) == 0;
+    const auto out = stack.access(address, is_write);
+    const bool stack_hit =
+        out[0] == AccessOutcome::Hit || out[1] == AccessOutcome::Hit;
+    const AccessOutcome merged_out = merged.access(address, is_write);
+    EXPECT_EQ(stack_hit, merged_out == AccessOutcome::Hit) << "access " << i;
+  }
+  EXPECT_EQ(stack.exclusion_violations(), 0);
+  // Total misses agree level-by-construction: L1 misses that also miss
+  // the probe are exactly the merged misses.
+  EXPECT_EQ(merged.stats().total_misses(),
+            stack.stats(1).total_misses());
+  // Write-back traffic of the merged cache equals the traffic leaving the
+  // stack (L2 dirty evictions + lines still dirty anywhere).
+  EXPECT_EQ(merged.stats().dirty_evictions, stack.stats(1).dirty_evictions);
+  EXPECT_EQ(merged.dirty_lines(), stack.dirty_lines(0) + stack.dirty_lines(1));
+}
+
 }  // namespace
 }  // namespace cmetile::cache

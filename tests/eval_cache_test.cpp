@@ -257,5 +257,75 @@ TEST(EvalCache, OptimizeTilingIdenticalWithIncrementalOnOrOff) {
   EXPECT_EQ(cold.ga.eval_cache_hits, 0);
 }
 
+TEST(EvalCache, RetuningReplacementPolicyRebindsTheLevel) {
+  // A policy change leaves the effective geometry — and hence every CME
+  // verdict — untouched, so it is exactly the case the binding digest must
+  // split by itself: serving a PLRU retune from LRU-era entries would be
+  // silently wrong the day the model starts distinguishing them. The
+  // level's analysis is salted with (policy, mode), so the slice rebinds.
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const auto points = cme::sample_points(nest, 96, 17);
+  const TileVector tiles{{12, 4, 4}};
+  cache::Hierarchy lru = cache::Hierarchy::two_level(cache::CacheConfig{512, 32, 2}, 10.0,
+                                                     cache::CacheConfig{2048, 32, 2}, 60.0);
+
+  cme::EvalCache eval_cache;
+  const cme::HierarchyAnalysis first(nest, layout, lru, tiles);
+  (void)cme::estimate_hierarchy_with_points(first, points, 0.90, &eval_cache);
+  const i64 rebinds_lru = eval_cache.stats().rebinds;
+  (void)cme::estimate_hierarchy_with_points(first, points, 0.90, &eval_cache);
+  EXPECT_EQ(eval_cache.stats().rebinds, rebinds_lru);  // same binding: warm
+
+  cache::Hierarchy plru = lru;
+  plru.levels[1].replacement = cache::ReplacementPolicy::TreePLRU;
+  const cme::HierarchyAnalysis retuned(nest, layout, plru, tiles);
+  const cme::HierarchyEstimate warm =
+      cme::estimate_hierarchy_with_points(retuned, points, 0.90, &eval_cache);
+  EXPECT_GT(eval_cache.stats().rebinds, rebinds_lru);  // L2 slice invalidated
+
+  // ... and the rebound warm path still equals cold, bit for bit.
+  const cme::HierarchyEstimate cold = cme::estimate_hierarchy_with_points(retuned, points);
+  EXPECT_EQ(warm.weighted_cost, cold.weighted_cost);
+  for (std::size_t l = 0; l < cold.levels.size(); ++l) {
+    EXPECT_EQ(warm.levels[l].total_ratio, cold.levels[l].total_ratio) << l;
+    EXPECT_EQ(warm.levels[l].replacement_ratio, cold.levels[l].replacement_ratio) << l;
+  }
+}
+
+TEST(EvalCache, NonDefaultModesStayWarmColdIdenticalAcrossMutations) {
+  // Exclusive L2 + tree-PLRU: the salted, merged-geometry slices must
+  // keep the warm == cold bit-identity along a mutation chain, same
+  // contract as the default hierarchy.
+  cache::Hierarchy h;
+  h.levels.push_back(cache::CacheLevel{cache::CacheConfig{512, 32, 2}, 10.0});
+  cache::CacheLevel l2{cache::CacheConfig{1024, 32, 4}, 60.0};
+  l2.mode = cache::LevelMode::Exclusive;
+  l2.replacement = cache::ReplacementPolicy::TreePLRU;
+  h.levels.push_back(l2);
+
+  const ir::LoopNest nest = kernels::build_kernel("T2D", 20);
+  const ir::MemoryLayout layout(nest);
+  const auto points = cme::sample_points(nest, 96, 23);
+  Rng rng(909);
+
+  cme::EvalCache eval_cache;
+  TileVector tiles = random_tiles(nest, rng);
+  for (int step = 0; step < 6; ++step) {
+    const cme::HierarchyAnalysis analysis(nest, layout, h, tiles);
+    const cme::HierarchyEstimate cold = cme::estimate_hierarchy_with_points(analysis, points);
+    const cme::HierarchyEstimate warm =
+        cme::estimate_hierarchy_with_points(analysis, points, 0.90, &eval_cache);
+    EXPECT_EQ(warm.weighted_cost, cold.weighted_cost)
+        << "step=" << step << " tiles=" << tiles.to_string();
+    for (std::size_t l = 0; l < cold.levels.size(); ++l) {
+      EXPECT_EQ(warm.levels[l].total_ratio, cold.levels[l].total_ratio)
+          << "step=" << step << " level=" << l;
+    }
+    tiles = mutate_one_dim(tiles, nest, rng);
+  }
+  EXPECT_GT(eval_cache.stats().verdict_hits, 0);
+}
+
 }  // namespace
 }  // namespace cmetile

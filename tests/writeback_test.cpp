@@ -1,0 +1,143 @@
+// Write-back model tests (DESIGN.md §16): the dirty-generation CME
+// estimate against the simulator's ground truth (dirty evictions + lines
+// still dirty at the end — one write-back per generation), the store-only
+// candidate restriction, and the Σ writebacks × writeback_latency term of
+// the hierarchy objective.
+
+#include <gtest/gtest.h>
+
+#include "cache/simulator.hpp"
+#include "cme/hierarchy.hpp"
+#include "core/objective.hpp"
+#include "ir/trace.hpp"
+#include "kernels/kernels.hpp"
+#include "transform/tiling.hpp"
+
+namespace cmetile {
+namespace {
+
+using cache::CacheConfig;
+using cache::Hierarchy;
+using transform::TileVector;
+
+/// Ground-truth write-back generations of an untiled run: every dirty
+/// eviction plus every line still dirty at the end started one generation.
+i64 simulated_generations(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
+                          const CacheConfig& config) {
+  cache::Simulator sim(config);
+  ir::for_each_access(nest, layout,
+                      [&](std::size_t, i64 address, bool is_write) { sim.access(address, is_write); });
+  return sim.stats().dirty_evictions + sim.dirty_lines();
+}
+
+TEST(Writeback, ExactEstimateMatchesSimulatorOnSmallKernels) {
+  const CacheConfig config = CacheConfig::direct_mapped(512);
+  for (const char* kernel : {"MM", "T2D", "SYRK"}) {
+    const ir::LoopNest nest = kernels::build_kernel(kernel, 12);
+    const ir::MemoryLayout layout(nest);
+    const cme::NestAnalysis analysis(nest, layout, config, TileVector::untiled(nest));
+    const cme::WritebackEstimate wb = cme::estimate_writebacks_exact(analysis);
+    EXPECT_TRUE(wb.exact);
+    const i64 truth = simulated_generations(nest, layout, config);
+    ASSERT_GT(wb.store_access_count, 0) << kernel;
+    EXPECT_NEAR(wb.generation_ratio, (double)truth / (double)wb.store_access_count, 0.08)
+        << kernel;
+  }
+}
+
+TEST(Writeback, TiledEstimateTracksSimulateTiled) {
+  const CacheConfig config = CacheConfig::direct_mapped(512);
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const TileVector tiles{{4, 4, 4}};
+  const cme::NestAnalysis analysis(nest, layout, config, tiles);
+  const cme::WritebackEstimate wb = cme::estimate_writebacks_exact(analysis);
+  const auto sim = transform::simulate_tiled(nest, layout, config, tiles);
+  // simulate_tiled reports dirty evictions only; up to lines() generations
+  // are still resident (dirty) at the end, hence the one-sided slack.
+  const double lo = (double)sim.back().dirty_evictions / (double)wb.store_access_count;
+  const double hi = lo + (double)config.lines() / (double)wb.store_access_count;
+  EXPECT_GE(wb.generation_ratio, lo - 0.08);
+  EXPECT_LE(wb.generation_ratio, hi + 0.08);
+}
+
+TEST(Writeback, StoreOnlyRestrictionNeverClassifiesBelowPlain) {
+  // Restricting reuse candidates to store sources can only remove hit
+  // givers: a store that is a plain miss must start a generation too.
+  const CacheConfig config = CacheConfig::direct_mapped(512);
+  const ir::LoopNest nest = kernels::build_kernel("MM", 10);
+  const ir::MemoryLayout layout(nest);
+  const cme::NestAnalysis analysis(nest, layout, config, TileVector::untiled(nest));
+  std::size_t store = nest.refs.size();
+  for (std::size_t r = 0; r < nest.refs.size(); ++r) {
+    if (nest.refs[r].kind == ir::AccessKind::Write) store = r;
+  }
+  ASSERT_LT(store, nest.refs.size());
+  const auto points = cme::sample_points(nest, 128, 21);
+  for (const auto& z : points) {
+    if (analysis.classify(z, store) != cme::Outcome::Hit) {
+      EXPECT_NE(analysis.classify_store_generation(z, store), cme::Outcome::Hit);
+    }
+  }
+  EXPECT_THROW(analysis.classify_store_generation(points.front(), /*read ref*/ 1),
+               contract_error);
+}
+
+TEST(Writeback, SampledEstimateConvergesToExact) {
+  const CacheConfig config = CacheConfig::direct_mapped(512);
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const cme::NestAnalysis analysis(nest, layout, config, TileVector::untiled(nest));
+  const cme::WritebackEstimate exact = cme::estimate_writebacks_exact(analysis);
+  const auto points = cme::sample_points(nest, 400, 5);
+  const cme::WritebackEstimate sampled =
+      cme::estimate_writebacks_with_points(analysis, points, 0.90);
+  EXPECT_FALSE(sampled.exact);
+  EXPECT_GT(sampled.half_width, 0.0);
+  EXPECT_EQ(sampled.store_access_count, exact.store_access_count);
+  EXPECT_NEAR(sampled.generation_ratio, exact.generation_ratio, 0.1);
+}
+
+TEST(Writeback, HierarchyCostFoldsTheWritebackTerm) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 12);
+  const ir::MemoryLayout layout(nest);
+  const CacheConfig config = CacheConfig::direct_mapped(512);
+  const TileVector tiles = TileVector::untiled(nest);
+  cme::EstimatorOptions options;
+  options.exact_threshold = nest.iteration_count();  // force the exact path
+
+  Hierarchy base = Hierarchy::single(config, 10.0);
+  const cme::HierarchyAnalysis base_analysis(nest, layout, base, tiles);
+  const cme::HierarchyEstimate base_estimate = cme::estimate_hierarchy(base_analysis, options);
+  EXPECT_TRUE(base_estimate.writebacks.empty());  // zero-latency: never computed
+
+  Hierarchy wb = base;
+  wb.levels[0].writeback_latency = 30.0;
+  const cme::HierarchyAnalysis wb_analysis(nest, layout, wb, tiles);
+  const cme::HierarchyEstimate wb_estimate = cme::estimate_hierarchy(wb_analysis, options);
+  ASSERT_EQ(wb_estimate.writebacks.size(), 1u);
+  EXPECT_GT(wb_estimate.writebacks[0].writebacks(), 0.0);
+  EXPECT_DOUBLE_EQ(wb_estimate.weighted_cost,
+                   base_estimate.weighted_cost + wb_estimate.writebacks[0].writebacks() * 30.0);
+}
+
+TEST(Writeback, ObjectiveChargesWritebackTraffic) {
+  const ir::LoopNest nest = kernels::build_kernel("SYRK", 16);
+  const ir::MemoryLayout layout(nest);
+  const CacheConfig config = CacheConfig::direct_mapped(512);
+  core::ObjectiveOptions options;
+  options.estimator.sample_count = 96;
+
+  Hierarchy plain = Hierarchy::single(config, 10.0);
+  Hierarchy charged = plain;
+  charged.levels[0].writeback_latency = 40.0;
+  const core::TilingObjective without(nest, layout, plain, options);
+  const core::TilingObjective with(nest, layout, charged, options);
+  const std::vector<i64> tiles(nest.depth(), 4);
+  // SYRK stores on every iteration: the charged objective must be
+  // strictly more expensive for the same tile vector.
+  EXPECT_GT(with(tiles), without(tiles));
+}
+
+}  // namespace
+}  // namespace cmetile

@@ -6,7 +6,7 @@ change that claims a speedup, so regressions show up in review diffs
 rather than in someone's memory. Usage:
 
     ./build/bench_perf_solver \
-        --benchmark_filter='GaSolve|SampledEstimate|DependenceAnalysis' \
+        --benchmark_filter='GaSolve|SampledEstimate|DependenceAnalysis|WritebackEstimate' \
         --benchmark_out=/tmp/perf.json --benchmark_out_format=json
     python3 tools/record_perf.py /tmp/perf.json > BENCH_perf.json
 
@@ -27,6 +27,7 @@ KEEP = [
     "BM_GaSolveFull",
     "BM_DependenceAnalysisMM",
     "BM_DependenceAnalysisLU",
+    "BM_WritebackEstimate",
 ]
 
 RATIOS = {
