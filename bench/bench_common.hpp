@@ -25,10 +25,12 @@
 // (TCP, possibly from another machine).
 
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <span>
 
 #include "core/api.hpp"
+#include "obs/trace.hpp"
 #include "sweep/scheduler.hpp"
 
 namespace cmetile::bench {
@@ -60,6 +62,11 @@ struct BenchContext {
       std::exit(0);
     }
     sweep_flags = parse_sweep_flags(args);
+    // Scheduler-side tracing (worker processes handle --trace inside
+    // maybe_run_worker, before this line is reached).
+    if (!sweep_flags.trace.empty() &&
+        !obs::init_trace(sweep_flags.trace, std::string("cmetile ") + name))
+      std::cout << "[trace open failed: " << sweep_flags.trace << "]\n";
     std::cout << "== " << name << " ==\n";
   }
 
@@ -81,6 +88,7 @@ struct BenchContext {
     options.cache_gc = sweep_flags.cache_gc;
     options.cache_max_bytes = (std::uintmax_t)sweep_flags.cache_max_mb << 20;
     options.log = &std::cout;
+    options.metrics_path = sweep_flags.metrics;
     if (sweep_flags.progress) options.progress = print_progress;
     return options;
   }
@@ -92,9 +100,27 @@ struct BenchContext {
     if (p.failed_workers > 0) std::cout << ", " << p.failed_workers << " worker failures";
     if (p.workers_live > 0) std::cout << ", " << p.workers_live << " workers";
     std::cout << ")";
+    if (p.eval_cache_lookups > 0) {
+      const double pct = 100.0 * (double)p.eval_cache_hits / (double)p.eval_cache_lookups;
+      std::cout << " eval-cache " << (long long)(pct + 0.5) << "%";
+    }
+    if (p.cells_per_second > 0.0) {
+      std::cout << " " << format_rate(p.cells_per_second) << " cells/s";
+      if (p.workers_live > 1)
+        std::cout << " (" << format_rate(p.cells_per_second / (double)p.workers_live)
+                  << "/worker)";
+    }
     if (p.eta_seconds >= 0.0 && p.done < p.cells_total)
       std::cout << " eta " << (long long)(p.eta_seconds + 0.5) << "s";
     std::cout << "\n" << std::flush;
+  }
+
+  /// Two-significant-ish-digit rate for the progress line (rates span
+  /// ~0.01 cells/s for hierarchy cells to hundreds/s for warm replays).
+  static std::string format_rate(double rate) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, rate >= 10.0 ? "%.0f" : "%.2f", rate);
+    return buf;
   }
 
   // Scheduler-routed experiment drivers (cached + shardable); rows are

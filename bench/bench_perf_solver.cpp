@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -103,6 +104,18 @@ BENCHMARK(BM_ClassifyBatchUncached)->Arg(8)->Arg(16)->Arg(64)->Arg(500);
 
 void BM_ClassifyBatchParallel(benchmark::State& state) { classify_batch_bench(state, true, 0); }
 BENCHMARK(BM_ClassifyBatchParallel)->Arg(64);
+
+// The telemetry-overhead guard (DESIGN.md §17): BM_ClassifyBatchCached
+// with the obs registry ENABLED. record_perf.py pins the ratio against
+// the disabled run — instrumentation is recorded at batch granularity
+// precisely so this stays within noise (<2%).
+void BM_ClassifyBatchTelemetry(benchmark::State& state) {
+  obs::set_enabled(true);
+  classify_batch_bench(state, true, 1);
+  obs::set_enabled(false);
+  obs::Registry::instance().reset();
+}
+BENCHMARK(BM_ClassifyBatchTelemetry)->Arg(64);
 
 void BM_EnumerateSolutions(benchmark::State& state) {
   // Direct-call enumeration (enumerate_solutions is templated on the

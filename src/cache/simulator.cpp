@@ -1,5 +1,8 @@
 #include "cache/simulator.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 
@@ -325,6 +328,15 @@ std::vector<MissStats> simulate_nest(const ir::LoopNest& nest, const ir::MemoryL
   });
   MissStats& total = per_ref.back();
   for (std::size_t r = 0; r < nest.refs.size(); ++r) total += per_ref[r];
+  // One registry interaction per simulated nest (millions of accesses),
+  // so the by-name lookup cost is irrelevant.
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.counter("sim.runs").increment();
+    reg.counter("sim.l1.accesses").add(total.accesses);
+    reg.counter("sim.l1.misses").add(total.total_misses());
+    reg.counter("sim.l1.writebacks").add(total.writebacks());
+  }
   return per_ref;
 }
 
@@ -358,6 +370,17 @@ std::vector<std::vector<MissStats>> simulate_nest(const ir::LoopNest& nest,
   });
   for (auto& per_ref : per_level) {
     for (std::size_t r = 0; r < nest.refs.size(); ++r) per_ref.back() += per_ref[r];
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.counter("sim.runs").increment();
+    for (std::size_t l = 0; l < depth; ++l) {
+      const MissStats& total = per_level[l].back();
+      const std::string prefix = "sim.l" + std::to_string(l + 1) + ".";
+      reg.counter(prefix + "accesses").add(total.accesses);
+      reg.counter(prefix + "misses").add(total.total_misses());
+      reg.counter(prefix + "writebacks").add(total.writebacks());
+    }
   }
   return per_level;
 }

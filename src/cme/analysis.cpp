@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "cme/eval_cache.hpp"
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
@@ -13,6 +14,30 @@
 namespace cmetile::cme {
 
 namespace {
+
+/// Batch-granularity telemetry: one call per classify_batch, recording the
+/// merged per-shard probe-counter delta. Keeps the disabled cost to one
+/// branch per batch (hundreds of points), never per point.
+void record_batch_telemetry(std::size_t n_points, bool used_simd,
+                            std::span<const ProbeCounters> shard_counters) {
+  if (!obs::enabled()) return;
+  ProbeCounters delta;
+  for (const ProbeCounters& c : shard_counters) delta += c;
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Counter& batches = reg.counter("cme.classify.batches");
+  static obs::Counter& points = reg.counter("cme.classify.points");
+  static obs::Counter& simd_batches = reg.counter("cme.classify.simd_batches");
+  static obs::Counter& scalar_batches = reg.counter("cme.classify.scalar_batches");
+  static obs::Counter& probes = reg.counter("cme.probes");
+  static obs::Counter& probe_hits = reg.counter("cme.probe_cache.hits");
+  static obs::Histogram& batch_sizes = reg.histogram("cme.classify.batch_size");
+  batches.increment();
+  points.add((i64)n_points);
+  (used_simd ? simd_batches : scalar_batches).increment();
+  probes.add(delta.probes);
+  probe_hits.add(delta.cache_hits);
+  batch_sizes.observe((i64)n_points);
+}
 
 /// Same-array accesses with a concrete replacement value in
 /// [0, line_bytes) touch R_A's own line — the only touches of R_A's set
@@ -402,6 +427,7 @@ std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i6
     shard_counters[s] = scratch.counters;
   });
   for (const ProbeCounters& c : shard_counters) counters_ += c;
+  record_batch_telemetry(points.size(), use_simd, shard_counters);
   return out;
 }
 
@@ -547,6 +573,8 @@ std::vector<Outcome> NestAnalysis::classify_batch(std::span<const std::vector<i6
     lv.release(worker);
   });
   for (const ProbeCounters& c : shard_counters) counters_ += c;
+  // The warm path is scalar by design (see build_warm_tables above).
+  record_batch_telemetry(points.size(), /*used_simd=*/false, shard_counters);
   return out;
 }
 

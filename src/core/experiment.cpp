@@ -3,6 +3,8 @@
 #include <bit>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -10,6 +12,19 @@
 namespace cmetile::core {
 
 namespace {
+
+// One registry interaction per experiment row. `ga_evaluations` is an
+// exact integer, so fleet totals reconcile against the CSV's "GA evals"
+// column; the repl ratios go into Sums for the same cross-check with a
+// float tolerance.
+void record_row_telemetry(const char* kind, i64 ga_evaluations, double repl_sum) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("experiment.rows").increment();
+  reg.counter(std::string("experiment.rows.") + kind).increment();
+  reg.counter("experiment.ga_evaluations").add(ga_evaluations);
+  reg.sum("experiment.repl_sum").add(repl_sum);
+}
 
 double elapsed_seconds(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -45,6 +60,7 @@ TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
                                 const cache::CacheConfig& cache,
                                 const ExperimentOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  obs::Span span("experiment.tiling_row");
   const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
   const ir::MemoryLayout layout(nest);
 
@@ -61,7 +77,10 @@ TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
   row.tiles = result.tiles;
   row.ga_evaluations = result.ga.evaluations;
   row.ga_generations = result.ga.generations;
+  row.eval_cache_lookups = result.ga.eval_cache_lookups;
+  row.eval_cache_hits = result.ga.eval_cache_hits;
   row.seconds = elapsed_seconds(start);
+  record_row_telemetry("tiling", row.ga_evaluations, row.no_tiling_repl + row.tiling_repl);
   return row;
 }
 
@@ -78,6 +97,7 @@ PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
                                   const cache::CacheConfig& cache,
                                   const ExperimentOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  obs::Span span("experiment.padding_row");
   const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
 
   const ExperimentOptions opts =
@@ -92,6 +112,7 @@ PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
   row.pads = result.pads;
   row.tiles = result.tiles;
   row.seconds = elapsed_seconds(start);
+  record_row_telemetry("padding", 0, row.original_repl + row.padding_tiling_repl);
   return row;
 }
 
@@ -109,6 +130,7 @@ HierarchyRow run_hierarchy_experiment(const kernels::FigureEntry& entry,
                                       const cache::Hierarchy& hierarchy,
                                       const ExperimentOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  obs::Span span("experiment.hierarchy_row");
   const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
   const ir::MemoryLayout layout(nest);
 
@@ -140,7 +162,12 @@ HierarchyRow run_hierarchy_experiment(const kernels::FigureEntry& entry,
     row.level_half_width.push_back(estimate.replacement_half_width);
   }
   row.ga_evaluations = l1_only.ga.evaluations + weighted.ga.evaluations;
+  row.eval_cache_lookups = l1_only.ga.eval_cache_lookups + weighted.ga.eval_cache_lookups;
+  row.eval_cache_hits = l1_only.ga.eval_cache_hits + weighted.ga.eval_cache_hits;
   row.seconds = elapsed_seconds(start);
+  double repl_sum = 0.0;
+  for (const double r : row.level_repl) repl_sum += r;
+  record_row_telemetry("hierarchy", row.ga_evaluations, repl_sum);
   return row;
 }
 

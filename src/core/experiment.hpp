@@ -38,6 +38,11 @@ struct TilingRow {
   transform::TileVector tiles;
   i64 ga_evaluations = 0;
   int ga_generations = 0;
+  /// EvalCache verdict-memo traffic of the tiling GA (0/0 when the
+  /// incremental evaluator is off). Surfaced so sweep telemetry can report
+  /// fleet-wide hit rates without re-running the GA.
+  i64 eval_cache_lookups = 0;
+  i64 eval_cache_hits = 0;
   /// Wall-clock time of this row. Under the plural drivers rows run
   /// concurrently, so this is elapsed time while sharing cores with the
   /// other rows — comparable within one run, not an isolated-row cost.
@@ -89,6 +94,9 @@ struct HierarchyRow {
   std::vector<double> level_repl;
   std::vector<double> level_half_width;
   i64 ga_evaluations = 0;  ///< both GA runs combined
+  /// EvalCache verdict-memo traffic, both GA runs combined.
+  i64 eval_cache_lookups = 0;
+  i64 eval_cache_hits = 0;
   double seconds = 0.0;    ///< wall clock; concurrent under the plural driver
 };
 

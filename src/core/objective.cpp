@@ -1,8 +1,25 @@
 #include "core/objective.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace cmetile::core {
+
+namespace {
+
+// Objective calls run under the GA's parallel_for, so the sharded counters
+// absorb concurrent adds. One add per call (the call itself analyzes a
+// whole nest — far heavier than a relaxed fetch_add).
+void count_objective_eval(bool illegal) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Counter& evals = reg.counter("objective.evals");
+  static obs::Counter& illegal_evals = reg.counter("objective.illegal");
+  evals.increment();
+  if (illegal) illegal_evals.increment();
+}
+
+}  // namespace
 
 TilingObjective::TilingObjective(const ir::LoopNest& nest, ir::MemoryLayout layout,
                                  cache::CacheConfig cache, ObjectiveOptions options)
@@ -63,6 +80,7 @@ double TilingObjective::operator()(std::span<const i64> tiles) const {
   const transform::TileVector tv =
       transform::TileVector::clamped({tiles.begin(), tiles.end()}, *nest_);
   const double violation = transform::tile_vector_violation(risky_deps_, trips_, tv.t);
+  count_objective_eval(violation > 0.0);
   if (violation > 0.0) {
     // Finite penalty above any achievable weighted cost (access_count ×
     // latency_sum bounds it; violation >= 1), graded by how far the vector
@@ -195,6 +213,7 @@ cme::HierarchyEstimate JointObjective::evaluate_hierarchy(const Decoded& decoded
 double JointObjective::operator()(std::span<const i64> values) const {
   const Decoded decoded = unpack(values);
   const double violation = transform::tile_vector_violation(risky_deps_, trips_, decoded.tiles.t);
+  count_objective_eval(violation > 0.0);
   // Same graded penalty as TilingObjective: above any feasible weighted
   // cost, discriminating among illegal individuals.
   if (violation > 0.0)

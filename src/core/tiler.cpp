@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/analytic.hpp"
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace cmetile::core {
@@ -96,6 +97,13 @@ HierarchyTilingResult optimize_tiling(const ir::LoopNest& nest, const ir::Memory
   const cme::EvalCacheStats cache_stats = objective.eval_cache_stats();
   result.ga.eval_cache_lookups = cache_stats.verdict_lookups;
   result.ga.eval_cache_hits = cache_stats.verdict_hits;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::instance();
+    static obs::Counter& lookups = reg.counter("cme.eval_cache.lookups");
+    static obs::Counter& hits = reg.counter("cme.eval_cache.hits");
+    lookups.add(cache_stats.verdict_lookups);
+    hits.add(cache_stats.verdict_hits);
+  }
   return result;
 }
 

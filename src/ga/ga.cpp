@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
@@ -29,6 +31,7 @@ bool GeneticOptimizer::converged(std::span<const double> costs) const {
 }
 
 GaResult GeneticOptimizer::run(const Objective& objective) {
+  obs::Span run_span("ga.run");
   Rng rng(derive_seed(options_.seed, 0x6A5EED));
   GaResult result;
   result.best_cost = std::numeric_limits<double>::infinity();
@@ -107,6 +110,17 @@ GaResult GeneticOptimizer::run(const Objective& objective) {
     g.average = avg / (double)costs.size();
     g.best_ever = result.best_cost;
     result.history.push_back(g);
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::instance();
+      static obs::Gauge& best = reg.gauge("ga.generation.best");
+      static obs::Gauge& average = reg.gauge("ga.generation.average");
+      best.set(g.best);
+      average.set(g.average);
+    }
+    if (obs::trace_active()) {
+      obs::trace_counter("ga fitness", "best", g.best);
+      obs::trace_counter("ga fitness", "average", g.average);
+    }
   };
 
   auto next_generation = [&]() {
@@ -151,6 +165,23 @@ GaResult GeneticOptimizer::run(const Objective& objective) {
     }
   }
   if (!result.converged) result.converged = converged(costs);
+
+  // Run-granularity counters: one add per GA solve, never per individual.
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::instance();
+    static obs::Counter& runs = reg.counter("ga.runs");
+    static obs::Counter& generations = reg.counter("ga.generations");
+    static obs::Counter& evaluations = reg.counter("ga.evaluations");
+    static obs::Counter& objective_calls = reg.counter("ga.objective_calls");
+    static obs::Counter& memo_hits = reg.counter("ga.memo_hits");
+    static obs::Histogram& gens_hist = reg.histogram("ga.generations_per_run");
+    runs.increment();
+    generations.add(result.generations);
+    evaluations.add(result.evaluations);
+    objective_calls.add(result.objective_calls);
+    memo_hits.add(result.memo_hits());
+    gens_hist.observe(result.generations);
+  }
   return result;
 }
 

@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace cmetile::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+
+std::size_t shard_slot() {
+  // Thread ids are assigned on first use and never reused for the life of
+  // the thread, so each thread records into a stable stripe.
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+// One tagged entry per interned name. The kind tag exists only to catch
+// the contract error of reusing a name across kinds.
+struct Registry::Entry {
+  std::string name;
+  int kind;  // 0 counter, 1 sum, 2 gauge, 3 histogram
+  Counter counter;
+  Sum sum;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;  // heap: 64 atomics, only when used
+
+  Entry(std::string_view n, int k) : name(n), kind(k) {
+    if (kind == 3) histogram = std::make_unique<Histogram>();
+  }
+};
+
+Registry::~Registry() = default;
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leak: usable during atexit
+  return *registry;
+}
+
+Registry::Entry& Registry::intern(std::string_view name, int kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      expects(entry->kind == kind, "metric name reused with a different kind");
+      return *entry;
+    }
+  }
+  entries_.push_back(std::make_unique<Entry>(name, kind));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name) { return intern(name, 0).counter; }
+Sum& Registry::sum(std::string_view name) { return intern(name, 1).sum; }
+Gauge& Registry::gauge(std::string_view name) { return intern(name, 2).gauge; }
+Histogram& Registry::histogram(std::string_view name) { return *intern(name, 3).histogram; }
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : entries_) {
+      switch (entry->kind) {
+        case 0:
+          snap.counters.emplace_back(entry->name, entry->counter.value());
+          break;
+        case 1:
+          snap.sums.emplace_back(entry->name, entry->sum.value());
+          break;
+        case 2:
+          snap.gauges.emplace_back(entry->name, entry->gauge.value());
+          break;
+        case 3: {
+          HistogramSnapshot h;
+          h.name = entry->name;
+          h.count = entry->histogram->count();
+          h.sum = entry->histogram->sum();
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            const i64 n = entry->histogram->bucket(b);
+            if (n != 0) h.buckets.emplace_back(b, n);
+          }
+          snap.histograms.push_back(std::move(h));
+          break;
+        }
+      }
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.sums.begin(), snap.sums.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) { return a.name < b.name; });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case 0: entry->counter.reset(); break;
+      case 1: entry->sum.reset(); break;
+      case 2: entry->gauge.reset(); break;
+      case 3: entry->histogram->reset(); break;
+    }
+  }
+}
+
+namespace {
+
+// Name-keyed additive merge of two sorted (name, value) lists.
+template <typename T, typename Combine>
+void merge_sorted(std::vector<std::pair<std::string, T>>& into,
+                  const std::vector<std::pair<std::string, T>>& from, Combine combine) {
+  std::vector<std::pair<std::string, T>> merged;
+  merged.reserve(into.size() + from.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.size() || j < from.size()) {
+    if (j >= from.size() || (i < into.size() && into[i].first < from[j].first)) {
+      merged.push_back(into[i++]);
+    } else if (i >= into.size() || from[j].first < into[i].first) {
+      merged.push_back(from[j++]);
+    } else {
+      merged.emplace_back(into[i].first, combine(into[i].second, from[j].second));
+      ++i;
+      ++j;
+    }
+  }
+  into = std::move(merged);
+}
+
+void merge_histogram(HistogramSnapshot& into, const HistogramSnapshot& from) {
+  into.count += from.count;
+  into.sum += from.sum;
+  std::vector<std::pair<std::size_t, i64>> merged;
+  merged.reserve(into.buckets.size() + from.buckets.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.buckets.size() || j < from.buckets.size()) {
+    if (j >= from.buckets.size() ||
+        (i < into.buckets.size() && into.buckets[i].first < from.buckets[j].first)) {
+      merged.push_back(into.buckets[i++]);
+    } else if (i >= into.buckets.size() || from.buckets[j].first < into.buckets[i].first) {
+      merged.push_back(from.buckets[j++]);
+    } else {
+      merged.emplace_back(into.buckets[i].first, into.buckets[i].second + from.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  into.buckets = std::move(merged);
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  merge_sorted(counters, other.counters, [](i64 a, i64 b) { return a + b; });
+  merge_sorted(sums, other.sums, [](double a, double b) { return a + b; });
+  merge_sorted(gauges, other.gauges, [](double a, double b) { return a > b ? a : b; });
+
+  std::vector<HistogramSnapshot> merged;
+  merged.reserve(histograms.size() + other.histograms.size());
+  std::size_t i = 0, j = 0;
+  while (i < histograms.size() || j < other.histograms.size()) {
+    if (j >= other.histograms.size() ||
+        (i < histograms.size() && histograms[i].name < other.histograms[j].name)) {
+      merged.push_back(std::move(histograms[i++]));
+    } else if (i >= histograms.size() || other.histograms[j].name < histograms[i].name) {
+      merged.push_back(other.histograms[j++]);
+    } else {
+      merge_histogram(histograms[i], other.histograms[j]);
+      merged.push_back(std::move(histograms[i]));
+      ++i;
+      ++j;
+    }
+  }
+  histograms = std::move(merged);
+}
+
+i64 MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::sum(std::string_view name) const {
+  for (const auto& [n, v] : sums) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+}  // namespace cmetile::obs

@@ -1,0 +1,247 @@
+#pragma once
+// Process-wide metrics registry (DESIGN.md §17): named counters, sums,
+// gauges and log₂-bucket histograms shared by every layer. Two design
+// rules keep this safe to leave compiled into production binaries:
+//
+//  - Disabled by default, ≈zero cost. Every mutator starts with one
+//    relaxed atomic load of the global enable flag and returns when it is
+//    off (the null-sink fast path; bench_perf_solver's
+//    BM_ClassifyBatchTelemetry guards the enabled-vs-disabled delta, and
+//    instrumentation sites record at batch/run granularity — never inside
+//    per-point loops).
+//  - Lock-free recording. A Counter/Sum spreads its adds across a small
+//    set of cache-line-padded atomic cells indexed by a per-thread slot,
+//    mirroring the per-shard-accumulate-then-merge discipline of
+//    cme::classify_batch — concurrent writers (parallel_for shards, the
+//    GA's population evaluation, the worker heartbeat thread) never
+//    contend on one line, and snapshot() merges the cells with relaxed
+//    loads at read time. Registration (the first use of a name) takes a
+//    mutex; call sites therefore cache the handle in a function-local
+//    static.
+//
+// Snapshots are deterministic in *shape*: metrics appear sorted by name,
+// so a given set of recordings always serializes to one canonical byte
+// string (the sweep worker protocol piggybacks snapshots on result and
+// heartbeat lines and round-trips them byte-identically).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::obs {
+
+/// Global telemetry switch. Off (the default) turns every Counter/Sum/
+/// Gauge/Histogram mutator into a load-and-branch; on, recording is
+/// relaxed atomics only. Flipping it mid-run is safe (worker processes
+/// enable it when they enter the sweep protocol loop).
+bool enabled();
+void set_enabled(bool on);
+
+/// Number of histogram buckets. Bucket 0 counts values <= 0; bucket b >= 1
+/// counts values in [2^(b-1), 2^b) — i.e. bucket index = bit_width(value),
+/// clamped to the last bucket.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Histogram bucket index for a value (exposed for tests/goldens).
+inline std::size_t histogram_bucket(i64 value) {
+  if (value <= 0) return 0;
+  const std::size_t b = (std::size_t)std::bit_width((std::uint64_t)value);
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+namespace detail {
+
+/// One cache line per cell so concurrent writers on different slots never
+/// false-share.
+struct alignas(64) PaddedCell {
+  std::atomic<i64> value{0};
+};
+
+struct alignas(64) PaddedDoubleCell {
+  std::atomic<double> value{0.0};
+};
+
+/// Per-thread shard slot: threads are striped across kShards cells. The
+/// stripe count trades memory per metric against contention; 16 padded
+/// cells = 1KB per counter, and recording sites are batch-granularity so
+/// residual collisions are rare and still lock-free.
+inline constexpr std::size_t kShards = 16;
+std::size_t shard_slot();
+
+}  // namespace detail
+
+/// Monotonic integer counter.
+class Counter {
+ public:
+  void add(i64 n) {
+    if (!enabled()) return;
+    cells_[detail::shard_slot()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  i64 value() const {
+    i64 total = 0;
+    for (const auto& cell : cells_) total += cell.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedCell, detail::kShards> cells_;
+};
+
+/// Monotonic double accumulator (e.g. summed miss ratios across rows).
+class Sum {
+ public:
+  void add(double v) {
+    if (!enabled()) return;
+    auto& cell = cells_[detail::shard_slot()].value;
+    double cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const {
+    double total = 0.0;
+    for (const auto& cell : cells_) total += cell.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& cell : cells_) cell.value.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedDoubleCell, detail::kShards> cells_;
+};
+
+/// Last-observed value (best fitness of the most recent GA generation,
+/// ...). Concurrent setters race benignly: one of the written values wins.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// log₂-bucket histogram of integer observations (batch sizes, costs).
+/// Buckets are single atomics, not striped: observation sites are batch-
+/// granularity, so contention is negligible next to the work observed.
+class Histogram {
+ public:
+  void observe(i64 value) {
+    if (!enabled()) return;
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    auto& sum = sum_;
+    double cur = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(cur, cur + (double)value, std::memory_order_relaxed)) {
+    }
+  }
+
+  i64 count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  i64 bucket(std::size_t b) const { return buckets_[b].load(std::memory_order_relaxed); }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<i64>, kHistogramBuckets> buckets_{};
+  std::atomic<i64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// -- Snapshots ------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::string name;
+  i64 count = 0;
+  double sum = 0.0;
+  /// Sparse: only non-empty buckets, ascending index.
+  std::vector<std::pair<std::size_t, i64>> buckets;
+
+  friend bool operator==(const HistogramSnapshot&, const HistogramSnapshot&) = default;
+};
+
+/// A merged, point-in-time view of one registry — or, via merge(), of a
+/// whole fleet. Every section is sorted by name, so equal contents always
+/// compare (and serialize) equal.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, i64>> counters;
+  std::vector<std::pair<std::string, double>> sums;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && sums.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Name-wise fleet aggregation: counters/sums/histogram buckets add;
+  /// gauges keep the maximum (a deterministic choice for last-observed
+  /// values coming from peers with no global ordering).
+  void merge(const MetricsSnapshot& other);
+
+  /// Counter value by name; 0 when absent.
+  i64 counter(std::string_view name) const;
+  /// Sum value by name; 0.0 when absent.
+  double sum(std::string_view name) const;
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
+};
+
+// -- Registry -------------------------------------------------------------
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// The process-wide registry every instrumentation site records into.
+  static Registry& instance();
+
+  /// Intern a metric by name. The returned reference lives as long as the
+  /// registry; call sites cache it in a function-local static. A name is
+  /// one kind only — re-interning it as a different kind is a contract
+  /// error.
+  Counter& counter(std::string_view name);
+  Sum& sum(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Merged point-in-time view, sorted by name. Metrics that were never
+  /// recorded (all-zero) are included — the shape of a snapshot depends
+  /// only on which sites have been reached, not on timing.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric (handles stay valid). Tests and per-run deltas.
+  void reset();
+
+ private:
+  struct Entry;
+  Entry& intern(std::string_view name, int kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace cmetile::obs

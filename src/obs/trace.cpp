@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace cmetile::obs {
+
+namespace {
+
+// All writer state behind one mutex; events are a line each so the file is
+// greppable and a truncated trace (crash before shutdown) salvages by
+// dropping the last partial line and closing the array.
+struct TraceWriter {
+  std::mutex mutex;
+  std::ofstream out;
+  bool first_event = true;
+  int pid = 0;
+};
+
+TraceWriter& writer() {
+  static TraceWriter* w = new TraceWriter();  // leak: usable during atexit
+  return *w;
+}
+
+std::atomic<bool> g_active{false};
+
+i64 os_thread_id() {
+#ifdef SYS_gettid
+  return (i64)::syscall(SYS_gettid);
+#else
+  return (i64)::getpid();
+#endif
+}
+
+// Minimal JSON string escape; trace names are ASCII identifiers but user
+// paths can reach here via process names.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if ((unsigned char)c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Append one event object. Caller holds no lock.
+void emit_event(const std::string& body) {
+  TraceWriter& w = writer();
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (!w.out.is_open()) return;
+  if (!w.first_event) w.out << ",\n";
+  w.first_event = false;
+  w.out << body;
+}
+
+}  // namespace
+
+bool trace_active() { return g_active.load(std::memory_order_relaxed); }
+
+i64 trace_now_us() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+}
+
+bool init_trace(const std::string& path, std::string_view process_name) {
+  TraceWriter& w = writer();
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.out.is_open()) return true;
+  w.out.open(path, std::ios::trunc);
+  if (!w.out.is_open()) return false;
+  w.pid = (int)::getpid();
+  w.first_event = true;
+  w.out << "{\"traceEvents\":[\n";
+  // Process metadata so Perfetto labels the track by role, not pid.
+  w.out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << w.pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << escape(process_name) << "\"}}";
+  w.first_event = false;
+  g_active.store(true, std::memory_order_relaxed);
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(shutdown_trace);
+  }
+  return true;
+}
+
+void shutdown_trace() {
+  TraceWriter& w = writer();
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (!w.out.is_open()) return;
+  g_active.store(false, std::memory_order_relaxed);
+  w.out << "\n]}\n";
+  w.out.close();
+}
+
+void trace_counter(std::string_view name, std::string_view series, double value) {
+  if (!trace_active()) return;
+  TraceWriter& w = writer();
+  std::string body = "{\"ph\":\"C\",\"name\":\"" + escape(name) +
+                     "\",\"pid\":" + std::to_string(w.pid) + ",\"tid\":" +
+                     std::to_string(os_thread_id()) + ",\"ts\":" + std::to_string(trace_now_us()) +
+                     ",\"args\":{\"" + escape(series) + "\":" + std::to_string(value) + "}}";
+  emit_event(body);
+}
+
+void trace_instant(std::string_view name) {
+  if (!trace_active()) return;
+  TraceWriter& w = writer();
+  std::string body = "{\"ph\":\"i\",\"name\":\"" + escape(name) +
+                     "\",\"pid\":" + std::to_string(w.pid) + ",\"tid\":" +
+                     std::to_string(os_thread_id()) + ",\"ts\":" + std::to_string(trace_now_us()) +
+                     ",\"s\":\"t\"}";
+  emit_event(body);
+}
+
+void Span::begin(std::string_view name) {
+  name_ = name;
+  start_us_ = trace_now_us();
+}
+
+void Span::end() {
+  // The trace may have shut down while the span was open (atexit during an
+  // in-flight scope); emit_event handles the closed file.
+  const i64 end_us = trace_now_us();
+  i64 dur = end_us - start_us_;
+  if (dur < 0) dur = 0;
+  TraceWriter& w = writer();
+  std::string body = "{\"ph\":\"X\",\"name\":\"" + escape(name_) +
+                     "\",\"pid\":" + std::to_string(w.pid) + ",\"tid\":" +
+                     std::to_string(os_thread_id()) + ",\"ts\":" + std::to_string(start_us_) +
+                     ",\"dur\":" + std::to_string(dur) + "}";
+  emit_event(body);
+}
+
+}  // namespace cmetile::obs

@@ -1,0 +1,66 @@
+#pragma once
+// RAII trace spans emitting Chrome trace_event JSON (DESIGN.md §17).
+// `init_trace(path, process_name)` opens one file per process; Span
+// records a "X" (complete) event with microsecond start/duration from
+// steady_clock, tagged with the process pid and the OS thread id.
+// steady_clock is CLOCK_MONOTONIC on Linux — a system-wide clock — so
+// scheduler and worker traces taken on the same host share a timeline and
+// can be merged into one Perfetto-loadable file (tools/check_trace.py
+// merge).
+//
+// Like the metrics registry, tracing is off unless initialized: Span's
+// constructor is a single relaxed load when no trace file is open, so
+// spans stay compiled into production code paths.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/int_math.hpp"
+
+namespace cmetile::obs {
+
+/// Open the per-process trace file and emit process metadata. Returns
+/// false (leaving tracing off) if the file cannot be opened. Registers an
+/// atexit hook so processes that leave via std::exit — the sweep worker
+/// does — still flush a well-formed JSON document.
+bool init_trace(const std::string& path, std::string_view process_name);
+
+/// Close the trace file (idempotent). Emitted automatically at exit.
+void shutdown_trace();
+
+/// True when a trace file is open.
+bool trace_active();
+
+/// Microseconds since the steady_clock epoch (the trace timebase).
+i64 trace_now_us();
+
+/// Emit a "C" counter event (a named time-series Perfetto plots as a
+/// track), e.g. GA best fitness per generation. No-op when inactive.
+void trace_counter(std::string_view name, std::string_view series, double value);
+
+/// Emit an "i" instant event. No-op when inactive.
+void trace_instant(std::string_view name);
+
+/// RAII scope producing one "X" complete event covering its lifetime.
+/// Cheap to construct when tracing is off; never throws.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (trace_active()) begin(name);
+  }
+  ~Span() {
+    if (start_us_ >= 0) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(std::string_view name);
+  void end();
+
+  std::string name_;
+  i64 start_us_ = -1;
+};
+
+}  // namespace cmetile::obs

@@ -119,6 +119,10 @@ SweepCliFlags parse_sweep_flags(const CliArgs& args) {
   // an explicit --cache-gc=false wins over the implication.
   flags.cache_gc =
       args.has("cache-gc") ? get_bool_strict(args, "cache-gc") : args.has("cache-max-mb");
+  flags.trace = args.get("trace", "");
+  expects(!args.has("trace") || !flags.trace.empty(), "--trace expects a file path");
+  flags.metrics = args.get("metrics", "");
+  expects(!args.has("metrics") || !flags.metrics.empty(), "--metrics expects a file path");
   return flags;
 }
 
@@ -139,7 +143,11 @@ std::string sweep_flags_help() {
          "  --progress        per-cell progress lines (done/total, ETA)\n"
          "  --cache-gc        LRU-evict the result cache after the sweep\n"
          "  --cache-max-mb=N  gc byte budget in MiB (implies --cache-gc;\n"
-         "                    default 256)\n";
+         "                    default 256)\n"
+         "  --trace=FILE      write a Chrome trace_event JSON (Perfetto-\n"
+         "                    loadable) for this process, DESIGN.md \u00a717\n"
+         "  --metrics=FILE    write a fleet metrics JSON report after the\n"
+         "                    sweep (per-worker + aggregated snapshots)\n";
 }
 
 }  // namespace cmetile

@@ -51,6 +51,8 @@ class CliArgs {
 ///   --progress        per-cell progress lines (done/total, ETA, workers)
 ///   --cache-gc        LRU-evict the result cache after the sweep
 ///   --cache-max-mb=N  gc byte budget (implies --cache-gc; default 256)
+///   --trace=FILE      Chrome trace_event JSON for this process
+///   --metrics=FILE    fleet metrics JSON report after the sweep
 struct SweepCliFlags {
   i64 jobs = 1;
   std::string cache_dir = kDefaultCacheDir;
@@ -59,6 +61,8 @@ struct SweepCliFlags {
   bool progress = false;
   bool cache_gc = false;
   i64 cache_max_mb = 256;
+  std::string trace;    ///< empty = tracing off (DESIGN.md §17)
+  std::string metrics;  ///< empty = no metrics report
 };
 
 /// Parse and validate the sweep flags. Throws contract_error on a

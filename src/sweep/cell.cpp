@@ -317,6 +317,8 @@ Json json_of_result(const CellResult& result) {
       row.set("tiles", json_of_ivec(r.tiles.t));
       row.set("ga_evaluations", Json::integer(r.ga_evaluations));
       row.set("ga_generations", Json::integer(r.ga_generations));
+      row.set("eval_cache_lookups", Json::integer(r.eval_cache_lookups));
+      row.set("eval_cache_hits", Json::integer(r.eval_cache_hits));
       row.set("seconds", Json::number(r.seconds));
       break;
     }
@@ -342,6 +344,8 @@ Json json_of_result(const CellResult& result) {
       row.set("level_repl", json_of_dvec(r.level_repl));
       row.set("level_half_width", json_of_dvec(r.level_half_width));
       row.set("ga_evaluations", Json::integer(r.ga_evaluations));
+      row.set("eval_cache_lookups", Json::integer(r.eval_cache_lookups));
+      row.set("eval_cache_hits", Json::integer(r.eval_cache_hits));
       row.set("seconds", Json::number(r.seconds));
       break;
     }
@@ -369,6 +373,8 @@ std::optional<CellResult> result_of_json(const Json& json) {
         !ivec_of_json(row->find("tiles"), r.tiles.t) ||
         !get_int(*row, "ga_evaluations", r.ga_evaluations) ||
         !get_int(*row, "ga_generations", generations) ||
+        !get_int(*row, "eval_cache_lookups", r.eval_cache_lookups) ||
+        !get_int(*row, "eval_cache_hits", r.eval_cache_hits) ||
         !get_double(*row, "seconds", r.seconds))
       return std::nullopt;
     r.ga_generations = (int)generations;
@@ -395,6 +401,8 @@ std::optional<CellResult> result_of_json(const Json& json) {
         !dvec_of_json(row->find("level_repl"), r.level_repl) ||
         !dvec_of_json(row->find("level_half_width"), r.level_half_width) ||
         !get_int(*row, "ga_evaluations", r.ga_evaluations) ||
+        !get_int(*row, "eval_cache_lookups", r.eval_cache_lookups) ||
+        !get_int(*row, "eval_cache_hits", r.eval_cache_hits) ||
         !get_double(*row, "seconds", r.seconds))
       return std::nullopt;
   } else {

@@ -26,7 +26,7 @@ namespace cmetile::sweep {
 /// Bump when the meaning of a cached result changes (objective semantics,
 /// estimator conventions, kernel reconstructions, ...). Stale caches then
 /// miss cleanly instead of replaying outdated rows.
-inline constexpr std::uint64_t kCodeVersionSalt = 20260730'0001ULL;
+inline constexpr std::uint64_t kCodeVersionSalt = 20260808'0001ULL;
 
 enum class SweepKind { Tiling, Padding, Hierarchy };
 

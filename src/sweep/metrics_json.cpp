@@ -1,0 +1,79 @@
+#include "sweep/metrics_json.hpp"
+
+namespace cmetile::sweep {
+
+Json json_of_metrics(const obs::MetricsSnapshot& snapshot) {
+  Json out = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snapshot.counters) counters.set(name, Json::integer(value));
+  out.set("counters", std::move(counters));
+  Json sums = Json::object();
+  for (const auto& [name, value] : snapshot.sums) sums.set(name, Json::number(value));
+  out.set("sums", std::move(sums));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snapshot.gauges) gauges.set(name, Json::number(value));
+  out.set("gauges", std::move(gauges));
+  Json histograms = Json::array();
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    Json hist = Json::object();
+    hist.set("name", Json::string(h.name));
+    hist.set("count", Json::integer(h.count));
+    hist.set("sum", Json::number(h.sum));
+    Json buckets = Json::array();
+    for (const auto& [index, count] : h.buckets) {
+      Json pair = Json::array();
+      pair.push(Json::integer((i64)index));
+      pair.push(Json::integer(count));
+      buckets.push(std::move(pair));
+    }
+    hist.set("buckets", std::move(buckets));
+    histograms.push(std::move(hist));
+  }
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+std::optional<obs::MetricsSnapshot> metrics_of_json(const Json& json) {
+  if (json.kind() != Json::Kind::Object) return std::nullopt;
+  obs::MetricsSnapshot snap;
+
+  const Json* counters = json.find("counters");
+  const Json* sums = json.find("sums");
+  const Json* gauges = json.find("gauges");
+  const Json* histograms = json.find("histograms");
+  if (counters == nullptr || counters->kind() != Json::Kind::Object || sums == nullptr ||
+      sums->kind() != Json::Kind::Object || gauges == nullptr ||
+      gauges->kind() != Json::Kind::Object || histograms == nullptr ||
+      histograms->kind() != Json::Kind::Array)
+    return std::nullopt;
+
+  for (const auto& [name, value] : counters->members())
+    snap.counters.emplace_back(name, value.as_int());
+  for (const auto& [name, value] : sums->members()) snap.sums.emplace_back(name, value.as_double());
+  for (const auto& [name, value] : gauges->members())
+    snap.gauges.emplace_back(name, value.as_double());
+  for (const Json& h : histograms->items()) {
+    if (h.kind() != Json::Kind::Object) return std::nullopt;
+    obs::HistogramSnapshot hist;
+    const Json* name = h.find("name");
+    const Json* count = h.find("count");
+    const Json* sum = h.find("sum");
+    const Json* buckets = h.find("buckets");
+    if (name == nullptr || name->kind() != Json::Kind::String || count == nullptr ||
+        sum == nullptr || buckets == nullptr || buckets->kind() != Json::Kind::Array)
+      return std::nullopt;
+    hist.name = name->as_string();
+    hist.count = count->as_int();
+    hist.sum = sum->as_double();
+    for (const Json& pair : buckets->items()) {
+      if (pair.kind() != Json::Kind::Array || pair.items().size() != 2) return std::nullopt;
+      const i64 index = pair.items()[0].as_int();
+      if (index < 0 || (std::size_t)index >= obs::kHistogramBuckets) return std::nullopt;
+      hist.buckets.emplace_back((std::size_t)index, pair.items()[1].as_int());
+    }
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+}  // namespace cmetile::sweep

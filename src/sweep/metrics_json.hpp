@@ -1,0 +1,21 @@
+#pragma once
+// obs::MetricsSnapshot <-> sweep::Json bridge. Lives in the sweep layer
+// (not obs) so obs stays dependency-free above support; the sweep protocol
+// and the --metrics report are the only serialization consumers.
+//
+// The encoding is canonical: snapshots are sorted by name (obs contract)
+// and Json objects preserve insertion order, so equal snapshots dump to
+// identical bytes — the transport test round-trips a snapshot over pipe
+// and TCP and byte-compares the dumps.
+
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "sweep/json.hpp"
+
+namespace cmetile::sweep {
+
+Json json_of_metrics(const obs::MetricsSnapshot& snapshot);
+std::optional<obs::MetricsSnapshot> metrics_of_json(const Json& json);
+
+}  // namespace cmetile::sweep

@@ -1,5 +1,7 @@
 #include "sweep/protocol.hpp"
 
+#include <unistd.h>
+
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +10,8 @@
 #include <mutex>
 #include <ostream>
 #include <thread>
+
+#include "sweep/metrics_json.hpp"
 
 namespace cmetile::sweep {
 
@@ -53,11 +57,12 @@ class HeartbeatTimer {
 
 }  // namespace
 
-std::string hello_line(std::uint64_t salt) {
+std::string hello_line(std::uint64_t salt, i64 pid) {
   Json msg = Json::object();
   msg.set("hello", Json::boolean(true));
   msg.set("protocol", Json::integer(kProtocolVersion));
   msg.set("salt", Json::string(salt_hex(salt)));
+  msg.set("pid", Json::integer(pid < 0 ? (i64)::getpid() : pid));
   return msg.dump();
 }
 
@@ -75,18 +80,20 @@ std::string ack_line(i64 id) {
   return msg.dump();
 }
 
-std::string heartbeat_line(i64 id) {
+std::string heartbeat_line(i64 id, const obs::MetricsSnapshot* stats) {
   Json msg = Json::object();
   msg.set("id", Json::integer(id));
   msg.set("heartbeat", Json::boolean(true));
+  if (stats != nullptr) msg.set("stats", json_of_metrics(*stats));
   return msg.dump();
 }
 
-std::string result_line(i64 id, const CellResult& result) {
+std::string result_line(i64 id, const CellResult& result, const obs::MetricsSnapshot* stats) {
   Json msg = Json::object();
   msg.set("id", Json::integer(id));
   msg.set("ok", Json::boolean(true));
   msg.set("result", json_of_result(result));
+  if (stats != nullptr) msg.set("stats", json_of_metrics(*stats));
   return msg.dump();
 }
 
@@ -112,9 +119,17 @@ WorkerMessage parse_worker_message(std::string_view line) {
     msg.salt = std::strtoull(hex.c_str(), &end, 16);
     if (hex.empty() || end != hex.c_str() + hex.size()) return msg;
     msg.protocol = protocol->as_int(0);
+    if (const Json* pid = json->find("pid"); pid != nullptr) msg.pid = pid->as_int(-1);
     msg.kind = WorkerMessage::Kind::Hello;
     return msg;
   }
+
+  // Piggybacked stats (v3) are best-effort telemetry: a malformed stats
+  // object degrades to "no stats", never to a dropped worker.
+  const auto parse_stats = [&json, &msg] {
+    if (const Json* stats = json->find("stats"); stats != nullptr)
+      msg.stats = metrics_of_json(*stats);
+  };
 
   const Json* id = json->find("id");
   if (id == nullptr) return msg;
@@ -126,6 +141,7 @@ WorkerMessage parse_worker_message(std::string_view line) {
   }
   if (const Json* hb = json->find("heartbeat"); hb != nullptr && hb->as_bool(false)) {
     msg.kind = WorkerMessage::Kind::Heartbeat;
+    parse_stats();
     return msg;
   }
 
@@ -141,6 +157,7 @@ WorkerMessage parse_worker_message(std::string_view line) {
     msg.error = error->as_string();
   }
   msg.kind = WorkerMessage::Kind::Result;
+  parse_stats();
   return msg;
 }
 
@@ -170,6 +187,14 @@ void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOption
     std::lock_guard<std::mutex> lock(out_mutex);
     out << line << "\n" << std::flush;
   };
+  if (options.collect_stats) obs::set_enabled(true);
+  // Cumulative process snapshot (not per-job deltas): the scheduler keeps
+  // the latest one per worker, so a dropped heartbeat or dead connection
+  // loses no telemetry that a later line doesn't resend.
+  const auto stats_now = [&]() -> std::optional<obs::MetricsSnapshot> {
+    if (!options.collect_stats) return std::nullopt;
+    return obs::Registry::instance().snapshot();
+  };
   if (options.send_hello) emit(hello_line(options.salt));
 
   std::string line;
@@ -195,8 +220,10 @@ void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOption
     {
       // Scoped so the timer joins BEFORE the result line goes out — the
       // result is always the last line written for this job.
-      HeartbeatTimer heartbeat(options.heartbeat_seconds,
-                               [&, id] { emit(heartbeat_line(id)); });
+      HeartbeatTimer heartbeat(options.heartbeat_seconds, [&, id] {
+        const std::optional<obs::MetricsSnapshot> stats = stats_now();
+        emit(heartbeat_line(id, stats ? &*stats : nullptr));
+      });
       try {
         result = run_cell(*cell);
       } catch (const std::exception& e) {
@@ -205,7 +232,12 @@ void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOption
         error = "unknown error";
       }
     }
-    emit(result ? result_line(id, *result) : error_line(id, error));
+    if (result) {
+      const std::optional<obs::MetricsSnapshot> stats = stats_now();
+      emit(result_line(id, *result, stats ? &*stats : nullptr));
+    } else {
+      emit(error_line(id, error));
+    }
   }
 }
 

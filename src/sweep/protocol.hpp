@@ -4,12 +4,12 @@
 // transport carrying the lines (stdin/stdout pipes or a TCP socket —
 // see sweep/transport.hpp).
 //
-// Worker -> scheduler, in order per connection:
+// Worker -> scheduler, in order per connection (protocol v3):
 //
-//   {"hello":true,"protocol":2,"salt":"<16-hex>"}   handshake, once
+//   {"hello":true,"protocol":3,"salt":"<16-hex>","pid":P}   handshake, once
 //   {"id":N,"ack":true}                             job N accepted
-//   {"id":N,"heartbeat":true}                       job N still computing
-//   {"id":N,"ok":true,"result":{...}}               job N finished
+//   {"id":N,"heartbeat":true,"stats":{...}}         job N still computing
+//   {"id":N,"ok":true,"result":{...},"stats":{...}} job N finished
 //   {"id":N,"ok":false,"error":"..."}               job N failed
 //
 // Scheduler -> worker: one job line per cell, {"id":N,"cell":{...}}.
@@ -22,12 +22,22 @@
 // the scheduler's per-worker deadline, so a long GA cell on a healthy
 // worker survives the per-cell timeout while a hung or dead worker is
 // detected and its cell recomputed in-process.
+//
+// v3 (DESIGN.md §17) piggybacks telemetry on the existing lines rather
+// than adding message kinds: `stats` is a CUMULATIVE obs::MetricsSnapshot
+// for the worker process (sweep/metrics_json.hpp), so the scheduler keeps
+// only the latest snapshot per worker — no delta bookkeeping, and a lost
+// heartbeat loses nothing. The hello's `pid` lets the scheduler's metrics
+// report name workers by process, matching the pids in their --trace
+// files. v2 peers are refused at the handshake by the version check — a
+// v2 worker never reaches the point of omitting stats silently.
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "sweep/cell.hpp"
 
 namespace cmetile::sweep {
@@ -35,7 +45,7 @@ namespace cmetile::sweep {
 /// Bump on any wire-format change; mismatched workers are refused at the
 /// handshake (independently of kCodeVersionSalt, which tracks result
 /// semantics rather than message shape).
-inline constexpr i64 kProtocolVersion = 2;
+inline constexpr i64 kProtocolVersion = 3;
 
 /// Default worker heartbeat interval while a cell computes. Far below the
 /// scheduler's default per-cell timeout so a healthy-but-slow worker is
@@ -43,11 +53,14 @@ inline constexpr i64 kProtocolVersion = 2;
 inline constexpr double kDefaultHeartbeatSeconds = 5.0;
 
 // -- Message builders (each returns one line WITHOUT the trailing \n) ----
-std::string hello_line(std::uint64_t salt = kCodeVersionSalt);
+/// `pid` < 0 stamps the calling process's own pid.
+std::string hello_line(std::uint64_t salt = kCodeVersionSalt, i64 pid = -1);
 std::string job_line(i64 id, const SweepCell& cell);
 std::string ack_line(i64 id);
-std::string heartbeat_line(i64 id);
-std::string result_line(i64 id, const CellResult& result);
+/// `stats` (optional) piggybacks a cumulative metrics snapshot.
+std::string heartbeat_line(i64 id, const obs::MetricsSnapshot* stats = nullptr);
+std::string result_line(i64 id, const CellResult& result,
+                        const obs::MetricsSnapshot* stats = nullptr);
 std::string error_line(i64 id, const std::string& error);
 
 /// One parsed worker -> scheduler line. Anything that is not a well-formed
@@ -62,6 +75,9 @@ struct WorkerMessage {
   std::string error;                 ///< Result with ok == false
   i64 protocol = 0;                  ///< Hello
   std::uint64_t salt = 0;            ///< Hello
+  i64 pid = -1;                      ///< Hello (v3; -1 when absent)
+  /// Heartbeat/Result (v3): cumulative worker metrics, when piggybacked.
+  std::optional<obs::MetricsSnapshot> stats;
 };
 
 WorkerMessage parse_worker_message(std::string_view line);
@@ -78,6 +94,9 @@ struct WorkerLoopOptions {
   double heartbeat_seconds = kDefaultHeartbeatSeconds;
   bool send_hello = true;
   std::uint64_t salt = kCodeVersionSalt;  ///< tests inject mismatches
+  /// Enable the obs registry for this process and piggyback cumulative
+  /// snapshots on heartbeat and result lines (protocol v3 stats).
+  bool collect_stats = true;
 };
 
 /// Serve the protocol on a stream pair until EOF: hello first, then one

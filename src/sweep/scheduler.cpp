@@ -4,13 +4,17 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 #include "support/parallel.hpp"
+#include "sweep/metrics_json.hpp"
 #include "sweep/transport.hpp"
 
 #ifdef __unix__
@@ -61,10 +65,24 @@ class ProgressReporter {
     emit_locked();
   }
 
-  void cell_done(bool remote) {
+  void cell_done(bool remote, const CellResult& result) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++(remote ? snapshot_.computed_remote : snapshot_.computed_local);
     ++snapshot_.done;
+    // Eval-cache traffic comes from the finished row itself, so remote
+    // cells contribute identically to local ones.
+    switch (result.kind) {
+      case SweepKind::Tiling:
+        snapshot_.eval_cache_lookups += result.tiling.eval_cache_lookups;
+        snapshot_.eval_cache_hits += result.tiling.eval_cache_hits;
+        break;
+      case SweepKind::Hierarchy:
+        snapshot_.eval_cache_lookups += result.hierarchy.eval_cache_lookups;
+        snapshot_.eval_cache_hits += result.hierarchy.eval_cache_hits;
+        break;
+      case SweepKind::Padding:
+        break;
+    }
     emit_locked();
   }
 
@@ -79,6 +97,14 @@ class ProgressReporter {
     snapshot_.workers_live = live;
   }
 
+  /// Final state for the metrics report (elapsed brought up to date).
+  SweepProgress current() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    return snapshot_;
+  }
+
  private:
   void emit_locked() {
     if (!fn_) return;
@@ -86,19 +112,20 @@ class ProgressReporter {
     snapshot_.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
     const std::size_t computed = snapshot_.computed_local + snapshot_.computed_remote;
     const std::size_t remaining = snapshot_.cells_total - snapshot_.done;
+    const double compute_seconds = std::chrono::duration<double>(now - compute_start_).count();
+    snapshot_.cells_per_second =
+        (computed > 0 && compute_seconds > 0.0) ? (double)computed / compute_seconds : 0.0;
     // ETA ladder: a fully-satisfied sweep is simply done (0, not "unknown"
     // — warm replays used to report -1 forever because `computed` never
     // advanced); with computed cells, extrapolate from the compute-phase
     // rate (excluding the hit-scan time folded into elapsed_seconds);
-    // before the first computed cell, fall back to the overall done-rate
-    // (cache hits advance `done` too); with nothing done at all, unknown.
+    // otherwise unknown. Cache hits deliberately never feed the rate: on a
+    // cold/warm mixed run the warm burst lands first and a done-rate ETA
+    // would promise the cold remainder at replay speed.
     if (remaining == 0) {
       snapshot_.eta_seconds = 0.0;
     } else if (computed > 0) {
-      const double compute_seconds = std::chrono::duration<double>(now - compute_start_).count();
       snapshot_.eta_seconds = compute_seconds / (double)computed * (double)remaining;
-    } else if (snapshot_.done > 0) {
-      snapshot_.eta_seconds = snapshot_.elapsed_seconds / (double)snapshot_.done * (double)remaining;
     } else {
       snapshot_.eta_seconds = -1.0;
     }
@@ -131,7 +158,7 @@ void compute_in_process(const std::vector<SweepCell>& cells,
     try {
       results[idx] = run_cell(cells[idx]);
       if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
-      progress.cell_done(/*remote=*/false);
+      progress.cell_done(/*remote=*/false, results[idx]);
     } catch (const std::exception& e) {
       errors[m] = e.what();
       any_error.store(true, std::memory_order_release);
@@ -146,6 +173,65 @@ void compute_in_process(const std::vector<SweepCell>& cells,
       throw contract_error("sweep: cell " + cells[indices[m]].entry.label() + " failed: " +
                            errors[m]);
   }
+}
+
+/// Per-worker telemetry for the --metrics report, keyed by a monotonically
+/// increasing serial — NOT by pid or peer address: a reconnecting TCP
+/// worker is a fresh process with a fresh registry, so each connection
+/// gets its own record and cumulative snapshots never mix across lives.
+struct WorkerTelemetry {
+  i64 pid = -1;       ///< from the v3 hello; -1 before the handshake
+  std::string peer;   ///< transport description at adoption
+  std::size_t cells = 0;
+  obs::MetricsSnapshot metrics;  ///< latest cumulative snapshot
+};
+
+/// The --metrics report: sweep totals, the scheduler's own registry, each
+/// worker's last cumulative snapshot, and the fleet-wide merge of all of
+/// them. Written next to the CSV so per-level miss/writeback and cache-hit
+/// totals can be reconciled row-by-row (tools/check_trace.py metrics).
+void write_metrics_report(const SchedulerOptions& options, const SweepStats& stats,
+                          const SweepProgress& progress,
+                          const std::vector<WorkerTelemetry>& worker_telemetry) {
+  Json report = Json::object();
+  report.set("schema", Json::string("cmetile-metrics-v1"));
+
+  Json sweep = Json::object();
+  sweep.set("cells", Json::integer((i64)stats.cells));
+  sweep.set("cache_hits", Json::integer((i64)stats.cache_hits));
+  sweep.set("computed", Json::integer((i64)stats.computed));
+  sweep.set("remote", Json::integer((i64)stats.remote));
+  sweep.set("worker_failures", Json::integer((i64)stats.worker_failures));
+  sweep.set("eval_cache_lookups", Json::integer(progress.eval_cache_lookups));
+  sweep.set("eval_cache_hits", Json::integer(progress.eval_cache_hits));
+  sweep.set("elapsed_seconds", Json::number(progress.elapsed_seconds));
+  report.set("sweep", std::move(sweep));
+
+  const obs::MetricsSnapshot scheduler_snap = obs::Registry::instance().snapshot();
+  obs::MetricsSnapshot fleet = scheduler_snap;
+  Json workers = Json::array();
+  for (std::size_t w = 0; w < worker_telemetry.size(); ++w) {
+    const WorkerTelemetry& t = worker_telemetry[w];
+    Json entry = Json::object();
+    entry.set("id", Json::integer((i64)w));
+    entry.set("pid", Json::integer(t.pid));
+    entry.set("peer", Json::string(t.peer));
+    entry.set("cells", Json::integer((i64)t.cells));
+    entry.set("metrics", json_of_metrics(t.metrics));
+    workers.push(std::move(entry));
+    fleet.merge(t.metrics);
+  }
+  report.set("scheduler", json_of_metrics(scheduler_snap));
+  report.set("fleet", json_of_metrics(fleet));
+  report.set("workers", std::move(workers));
+
+  std::ofstream out(options.metrics_path, std::ios::trunc);
+  if (!out.is_open()) {
+    log_line(options, "[sweep] could not write metrics report to " + options.metrics_path);
+    return;
+  }
+  out << report.dump() << "\n";
+  log_line(options, "[sweep] metrics report: " + options.metrics_path);
 }
 
 #ifdef __unix__
@@ -172,6 +258,7 @@ class ScopedSigpipeIgnore {
 struct LiveWorker {
   std::unique_ptr<Channel> channel;
   std::string buffer;
+  std::size_t serial = 0;  ///< index into the telemetry vector
   long long job = -1;  ///< in-flight cell index, -1 when idle
   /// Jobs may be dispatched. Pipe workers start ready (their hello
   /// arrives after the first assignment); TCP workers become ready when
@@ -198,7 +285,8 @@ bool run_distributed(const std::vector<SweepCell>& cells,
                      const std::vector<std::size_t>& misses, const ResultCache* cache,
                      const SchedulerOptions& options, Transport& transport, int want,
                      std::vector<CellResult>& results, SweepStats& stats,
-                     std::vector<std::size_t>& failed, ProgressReporter& progress) {
+                     std::vector<std::size_t>& failed, ProgressReporter& progress,
+                     std::vector<WorkerTelemetry>& telemetry) {
   using clock = std::chrono::steady_clock;
   ScopedSigpipeIgnore sigpipe_guard;
 
@@ -208,6 +296,10 @@ bool run_distributed(const std::vector<SweepCell>& cells,
     worker.channel = std::move(channel);
     worker.ready = worker.channel->trusted();
     worker.last_seen = clock::now();
+    worker.serial = telemetry.size();
+    WorkerTelemetry record;
+    record.peer = worker.channel->describe();
+    telemetry.push_back(std::move(record));
     workers.push_back(std::move(worker));
   };
   for (auto& channel : transport.open(want)) adopt(std::move(channel));
@@ -278,6 +370,7 @@ bool run_distributed(const std::vector<SweepCell>& cells,
           return;
         }
         worker.hello_ok = true;
+        telemetry[worker.serial].pid = msg.pid;
         if (!worker.ready) {
           worker.ready = true;
           assign(worker);
@@ -289,8 +382,13 @@ bool run_distributed(const std::vector<SweepCell>& cells,
         // Liveness was refreshed at read time; a control line before the
         // handshake, from an idle worker, or for a job this worker does
         // not hold is protocol confusion.
-        if (!worker.hello_ok || worker.job < 0 || msg.id != worker.job)
+        if (!worker.hello_ok || worker.job < 0 || msg.id != worker.job) {
           kill_worker(worker, "sent a stray control line");
+          return;
+        }
+        // Snapshots are cumulative, so the latest one supersedes all
+        // earlier ones from this worker.
+        if (msg.stats) telemetry[worker.serial].metrics = std::move(*msg.stats);
         return;
       case WorkerMessage::Kind::Result: {
         if (!worker.hello_ok) {
@@ -310,7 +408,9 @@ bool run_distributed(const std::vector<SweepCell>& cells,
         if (cache != nullptr) cache->store(fingerprints[idx], results[idx]);
         ++stats.computed;
         ++stats.remote;
-        progress.cell_done(/*remote=*/true);
+        ++telemetry[worker.serial].cells;
+        if (msg.stats) telemetry[worker.serial].metrics = std::move(*msg.stats);
+        progress.cell_done(/*remote=*/true, results[idx]);
         worker.job = -1;
         assign(worker);
         return;
@@ -501,6 +601,8 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
   const std::vector<SweepCell> cells = spec.cells();
   expects(!cells.empty(), "sweep: spec expands to zero cells");
   expects(options.jobs >= 1, "sweep: jobs must be >= 1");
+  if (!options.metrics_path.empty()) obs::set_enabled(true);
+  obs::Span sweep_span("sweep.run");
 
   SweepRun run;
   run.results.resize(cells.size());
@@ -516,14 +618,17 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
   ProgressReporter progress(options, cells.size());
 
   std::vector<std::size_t> misses;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    std::optional<CellResult> hit;
-    if (cache) hit = cache->load(fingerprints[i]);
-    if (hit) {
-      run.results[i] = std::move(*hit);
-      ++run.stats.cache_hits;
-    } else {
-      misses.push_back(i);
+  {
+    obs::Span scan_span("sweep.cache_scan");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::optional<CellResult> hit;
+      if (cache) hit = cache->load(fingerprints[i]);
+      if (hit) {
+        run.results[i] = std::move(*hit);
+        ++run.stats.cache_hits;
+      } else {
+        misses.push_back(i);
+      }
     }
   }
   progress.satisfied(run.stats.cache_hits);
@@ -532,6 +637,7 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
                         std::to_string(misses.size()) + " to compute" +
                         (cache ? " (cache: " + cache->directory() + ")" : " (cache off)"));
 
+  std::vector<WorkerTelemetry> worker_telemetry;
   if (!misses.empty()) {
     const ResultCache* store = cache ? &*cache : nullptr;
     const bool want_tcp = !options.listen.empty();
@@ -559,9 +665,11 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
         transport = make_pipe_transport(std::move(pipe));
         want = (int)std::min((std::size_t)options.jobs, misses.size());
       }
-      if (transport)
+      if (transport) {
+        obs::Span span("sweep.distributed");
         sharded = run_distributed(cells, fingerprints, misses, store, options, *transport, want,
-                                  run.results, run.stats, failed, progress);
+                                  run.results, run.stats, failed, progress, worker_telemetry);
+      }
       if (!sharded) log_line(options, "[sweep] no workers available; computing in-process");
     }
 #else
@@ -580,9 +688,15 @@ SweepRun run_sweep(const SweepSpec& spec, const SchedulerOptions& options) {
                                                   std::to_string(run.stats.worker_failures) +
                                                   " worker failures)"));
     }
-    compute_in_process(cells, fingerprints, failed, store, run.results, progress);
+    {
+      obs::Span span("sweep.compute_in_process");
+      compute_in_process(cells, fingerprints, failed, store, run.results, progress);
+    }
     run.stats.computed += failed.size();
   }
+
+  if (!options.metrics_path.empty())
+    write_metrics_report(options, run.stats, progress.current(), worker_telemetry);
 
   if (cache && options.cache_gc) {
     GcOptions gc_options;
@@ -679,15 +793,20 @@ void maybe_run_worker(int argc, const char* const* argv) {
   // liveness reporting and get healthy workers expired mid-cell.
   const double heartbeat = args.get_double_strict("heartbeat", kDefaultHeartbeatSeconds);
   expects(heartbeat >= 0.0, "--heartbeat must be >= 0 seconds (0 disables)");
+  if (!args.has(kWorkerFlag) && !args.has(kConnectFlag)) return;
+  // Per-process trace file (the scheduler opens its own); spans from this
+  // worker land in it pid-tagged, so the files merge into one timeline.
+  // Both exits below go through std::exit — init_trace's atexit hook is
+  // what closes the JSON document.
+  if (const std::string trace = args.get("trace", ""); !trace.empty())
+    obs::init_trace(trace, "cmetile sweep worker");
   if (args.has(kWorkerFlag)) {
     WorkerLoopOptions options;
     options.heartbeat_seconds = heartbeat;
     run_worker_loop(std::cin, std::cout, options);
     std::exit(0);
   }
-  if (args.has(kConnectFlag)) {
-    std::exit(run_tcp_worker(args.get(kConnectFlag, ""), heartbeat) ? 0 : 1);
-  }
+  std::exit(run_tcp_worker(args.get(kConnectFlag, ""), heartbeat) ? 0 : 1);
 }
 
 }  // namespace cmetile::sweep

@@ -67,9 +67,17 @@ struct SweepProgress {
   double elapsed_seconds = 0.0;
   /// Projected time to finish: 0 when nothing remains (e.g. a fully
   /// warm-cache replay), extrapolated from the compute-phase rate once a
-  /// cell has been computed (falling back to the done-rate while only
-  /// cache hits have landed); < 0 = unknown (nothing done yet).
+  /// cell has been computed; < 0 = unknown. Cache hits never enter the
+  /// rate — a warm burst at the front of a mixed run says nothing about
+  /// how fast the cold cells will compute.
   double eta_seconds = -1.0;
+  /// EvalCache verdict-memo traffic summed over COMPUTED cells' rows
+  /// (cache-hit rows are replays; their counters describe a past run).
+  i64 eval_cache_lookups = 0;
+  i64 eval_cache_hits = 0;
+  /// Computed cells per second of compute-phase wall clock; 0 until the
+  /// first computed cell. Divide by workers_live for a per-worker rate.
+  double cells_per_second = 0.0;
 };
 using SweepProgressFn = std::function<void(const SweepProgress&)>;
 
@@ -111,6 +119,11 @@ struct SchedulerOptions {
 
   // -- Observability -----------------------------------------------------
   SweepProgressFn progress;
+  /// Non-empty: enable the obs registry for this process, collect each
+  /// worker's piggybacked snapshots (protocol v3), and write a fleet
+  /// metrics JSON report to this path after the sweep — per-worker and
+  /// aggregated (scheduler + workers) sections next to the sweep totals.
+  std::string metrics_path;
 
   // -- Cache lifecycle ---------------------------------------------------
   /// Run ResultCache::gc after the sweep, protecting every cell this

@@ -1,0 +1,275 @@
+// The observability layer (DESIGN.md §17): sharded registry merges must
+// be exact under parallel_for (run under TSan in CI), histogram buckets
+// must match the documented log₂ goldens, snapshots must be canonical
+// (sorted, byte-identical JSON round-trips), fleet merge must add
+// counters and max gauges, and trace spans must nest correctly in the
+// emitted Chrome trace_event JSON.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/parallel.hpp"
+#include "sweep/metrics_json.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace cmetile::obs {
+namespace {
+
+using sweep::Json;
+
+/// Every test starts and ends with a zeroed, disabled registry — metrics
+/// are process-global state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset();
+  }
+};
+
+TEST(HistogramBucketTest, Log2Goldens) {
+  // Bucket 0 holds <= 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(histogram_bucket(-5), 0u);
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(7), 3u);
+  EXPECT_EQ(histogram_bucket(8), 4u);
+  EXPECT_EQ(histogram_bucket(164), 8u);    // the paper's sample count
+  EXPECT_EQ(histogram_bucket(1023), 10u);
+  EXPECT_EQ(histogram_bucket(1024), 11u);
+  // Huge values clamp into the final bucket instead of indexing past it.
+  EXPECT_EQ(histogram_bucket(std::numeric_limits<i64>::max()), kHistogramBuckets - 1);
+}
+
+TEST_F(ObsTest, ShardedCountersMergeExactlyUnderParallelFor) {
+  Counter& hits = Registry::instance().counter("test.parallel.hits");
+  Sum& ratio = Registry::instance().sum("test.parallel.ratio");
+  Histogram& sizes = Registry::instance().histogram("test.parallel.sizes");
+  constexpr std::size_t kIters = 10000;
+  parallel_for(kIters, [&](std::size_t i) {
+    hits.add(3);
+    ratio.add(0.5);
+    sizes.observe((i64)(i % 100));
+  });
+  // Shard-cell merges lose nothing: totals are exact, not approximate.
+  EXPECT_EQ(hits.value(), (i64)kIters * 3);
+  EXPECT_DOUBLE_EQ(ratio.value(), (double)kIters * 0.5);
+  EXPECT_EQ(sizes.count(), (i64)kIters);
+  // 100 observations each of 0..99 per block of 100 iterations.
+  EXPECT_DOUBLE_EQ(sizes.sum(), (double)(kIters / 100) * (99.0 * 100.0 / 2.0));
+  i64 bucket_total = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) bucket_total += sizes.bucket(b);
+  EXPECT_EQ(bucket_total, (i64)kIters);
+}
+
+TEST_F(ObsTest, DisabledMutatorsRecordNothing) {
+  Counter& c = Registry::instance().counter("test.disabled.counter");
+  Histogram& h = Registry::instance().histogram("test.disabled.hist");
+  set_enabled(false);
+  c.add(42);
+  h.observe(7);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  set_enabled(true);
+  c.add(42);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedAndInternedHandlesAreStable) {
+  Counter& b = Registry::instance().counter("test.sorted.b");
+  Counter& a = Registry::instance().counter("test.sorted.a");
+  EXPECT_EQ(&a, &Registry::instance().counter("test.sorted.a"));  // interned
+  b.add(2);
+  a.add(1);
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "test.sorted.a");
+  EXPECT_EQ(snap.counters[1].first, "test.sorted.b");
+  EXPECT_EQ(snap.counter("test.sorted.b"), 2);
+  EXPECT_EQ(snap.counter("test.sorted.missing"), 0);
+}
+
+TEST_F(ObsTest, MergeAddsCountersAndHistogramsAndMaxesGauges) {
+  MetricsSnapshot a;
+  a.counters = {{"shared", 3}, {"only_a", 1}};
+  a.gauges = {{"best", 5.0}};
+  a.histograms.push_back({"h", 2, 10.0, {{1, 1}, {3, 1}}});
+  MetricsSnapshot b;
+  b.counters = {{"only_b", 7}, {"shared", 4}};
+  b.gauges = {{"best", 9.0}};
+  b.histograms.push_back({"h", 1, 6.0, {{3, 1}}});
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("shared"), 7);
+  EXPECT_EQ(a.counter("only_a"), 1);
+  EXPECT_EQ(a.counter("only_b"), 7);
+  ASSERT_EQ(a.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauges[0].second, 9.0);  // max, not sum
+  ASSERT_EQ(a.histograms.size(), 1u);
+  EXPECT_EQ(a.histograms[0].count, 3);
+  EXPECT_DOUBLE_EQ(a.histograms[0].sum, 16.0);
+  const std::vector<std::pair<std::size_t, i64>> want = {{1, 1}, {3, 2}};
+  EXPECT_EQ(a.histograms[0].buckets, want);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTripsByteIdentically) {
+  Registry::instance().counter("test.rt.counter").add(11);
+  Registry::instance().sum("test.rt.sum").add(2.25);
+  Registry::instance().gauge("test.rt.gauge").set(-1.5);
+  Histogram& h = Registry::instance().histogram("test.rt.hist");
+  h.observe(1);
+  h.observe(500);
+  h.observe(500);
+
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  const std::string wire = sweep::json_of_metrics(snap).dump();
+  const std::optional<Json> parsed = Json::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  const std::optional<MetricsSnapshot> back = sweep::metrics_of_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, snap);
+  // Canonical shape: decode-then-encode reproduces the exact bytes, which
+  // is what lets transport tests compare pipe vs TCP stats literally.
+  EXPECT_EQ(sweep::json_of_metrics(*back).dump(), wire);
+}
+
+TEST_F(ObsTest, MetricsJsonRejectsMalformedShapes) {
+  for (const char* bad : {
+           "[]",                                                  // not an object
+           "{\"counters\":{}}",                                   // missing sections
+           "{\"counters\":[],\"sums\":{},\"gauges\":{},\"histograms\":[]}",
+           "{\"counters\":{},\"sums\":{},\"gauges\":{},"
+           "\"histograms\":[{\"name\":\"h\",\"count\":1,\"sum\":1,"
+           "\"buckets\":[[64,1]]}]}",                             // bucket out of range
+       }) {
+    const std::optional<Json> json = Json::parse(bad);
+    ASSERT_TRUE(json.has_value()) << bad;
+    EXPECT_FALSE(sweep::metrics_of_json(*json).has_value()) << bad;
+  }
+}
+
+// -- Trace spans ----------------------------------------------------------
+
+struct TraceEvent {
+  std::string ph, name;
+  i64 pid = -1, tid = -1, ts = -1, dur = -1;
+};
+
+std::vector<TraceEvent> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<Json> doc = Json::parse(buffer.str());
+  if (!doc) return {};
+  const Json* events = doc->find("traceEvents");
+  if (events == nullptr || events->kind() != Json::Kind::Array) return {};
+  std::vector<TraceEvent> out;
+  for (const Json& e : events->items()) {
+    TraceEvent ev;
+    if (const Json* ph = e.find("ph")) ev.ph = ph->as_string();
+    if (const Json* name = e.find("name")) ev.name = name->as_string();
+    if (const Json* pid = e.find("pid")) ev.pid = pid->as_int(-1);
+    if (const Json* tid = e.find("tid")) ev.tid = tid->as_int(-1);
+    if (const Json* ts = e.find("ts")) ev.ts = ts->as_int(-1);
+    if (const Json* dur = e.find("dur")) ev.dur = dur->as_int(-1);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+TEST_F(ObsTest, SpansNestInTheEmittedTraceJson) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cmetile_obs_test_trace.json").string();
+  std::filesystem::remove(path);
+  ASSERT_FALSE(trace_active());
+  ASSERT_TRUE(init_trace(path, "obs_test process"));
+  ASSERT_TRUE(trace_active());
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      trace_counter("fitness", "best", 1.25);
+    }
+    trace_instant("marker");
+  }
+  shutdown_trace();
+  EXPECT_FALSE(trace_active());
+
+  const std::vector<TraceEvent> events = load_trace(path);
+  ASSERT_FALSE(events.empty()) << "trace file did not parse as JSON";
+
+  // Process metadata first, so Perfetto names the track.
+  EXPECT_EQ(events[0].ph, "M");
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  const TraceEvent* counter = nullptr;
+  const TraceEvent* instant = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+    if (e.name == "fitness") counter = &e;
+    if (e.name == "marker") instant = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(outer->ph, "X");
+  EXPECT_EQ(inner->ph, "X");
+  EXPECT_EQ(counter->ph, "C");
+  EXPECT_EQ(instant->ph, "i");
+
+  // The inner span's interval lies within the outer's, and both carry this
+  // process's pid and nonnegative durations (Perfetto rejects neither).
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  EXPECT_GE(inner->dur, 0);
+  EXPECT_GE(outer->dur, 0);
+#ifdef __unix__
+  EXPECT_EQ(outer->pid, (i64)::getpid());
+#endif
+  EXPECT_EQ(inner->pid, outer->pid);
+  EXPECT_EQ(inner->tid, outer->tid);  // same thread opened both
+
+  // "X" events are emitted at span END, so inner precedes outer in the
+  // file; the counter fired while inner was open.
+  std::size_t inner_at = 0, outer_at = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (&events[i] == inner) inner_at = i;
+    if (&events[i] == outer) outer_at = i;
+  }
+  EXPECT_LT(inner_at, outer_at);
+
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsTest, SpansAreFreeWhenNoTraceIsOpen) {
+  ASSERT_FALSE(trace_active());
+  Span span("never emitted");         // must not crash or allocate a file
+  trace_counter("x", "y", 1.0);       // no-ops
+  trace_instant("z");
+  EXPECT_EQ(trace_now_us() >= 0, true);
+}
+
+}  // namespace
+}  // namespace cmetile::obs

@@ -11,13 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sweep/metrics_json.hpp"
 #include "sweep/scheduler.hpp"
 #include "sweep/transport.hpp"
 
@@ -421,6 +424,124 @@ TEST_F(TransportTest, ResultBeforeHandshakeIsRefused) {
   EXPECT_NE(log.str().find("handshake"), std::string::npos) << log.str();
   // The row is still correct — recomputed in-process, not taken on faith.
   expect_tiling_rows_equal(run.results[0].tiling, precomputed.tiling);
+}
+
+TEST_F(TransportTest, HandshakeRejectsProtocolV2Worker) {
+  // A worker from before the telemetry piggyback (protocol v2): right
+  // salt, old version. It must be refused at the handshake — v3 stats are
+  // handshake-gated, never silently absent.
+  Json hello = Json::object();
+  hello.set("hello", Json::boolean(true));
+  hello.set("protocol", Json::integer(2));
+  char salt_hex[17];
+  std::snprintf(salt_hex, sizeof salt_hex, "%016llx", (unsigned long long)kCodeVersionSalt);
+  hello.set("salt", Json::string(salt_hex));
+
+  std::string detail;
+  EXPECT_FALSE(handshake_accepts(parse_worker_message(hello.dump()), &detail));
+  EXPECT_NE(detail.find("protocol mismatch"), std::string::npos) << detail;
+
+  const SweepSpec spec = tiny_tiling_spec(73);
+  std::string log;
+  const SweepRun run = run_with_impostor(options(), spec, hello.dump(), &log);
+  EXPECT_EQ(run.stats.computed, spec.entries.size());  // in-process fallback
+  EXPECT_EQ(run.stats.remote, 0u);
+  EXPECT_EQ(run.stats.worker_failures, 0u);
+  EXPECT_NE(log.find("protocol mismatch (worker 2, scheduler 3)"), std::string::npos) << log;
+}
+
+TEST_F(TransportTest, StatsRoundTripTheLineProtocolByteIdentically) {
+  // The v3 stats piggyback: a snapshot attached to a result or heartbeat
+  // line must come back equal AND re-encode to the same bytes (snapshots
+  // are canonical — sorted sections — so pipe and TCP transports, which
+  // both carry these lines verbatim, cannot disagree).
+  obs::Registry::instance().reset();
+  obs::set_enabled(true);
+  obs::Registry::instance().counter("rt.cells").add(3);
+  obs::Registry::instance().sum("rt.repl").add(0.75);
+  obs::Registry::instance().gauge("rt.best").set(42.5);
+  obs::Registry::instance().histogram("rt.sizes").observe(164);
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  obs::set_enabled(false);
+  obs::Registry::instance().reset();
+  const std::string wire = json_of_metrics(snap).dump();
+
+  SweepSpec spec = tiny_tiling_spec(79);
+  spec.entries = {{"MM", 20}};
+  const CellResult precomputed = run_cell(spec.cells()[0]);
+
+  const WorkerMessage result = parse_worker_message(result_line(7, precomputed, &snap));
+  ASSERT_EQ(result.kind, WorkerMessage::Kind::Result);
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_EQ(*result.stats, snap);
+  EXPECT_EQ(json_of_metrics(*result.stats).dump(), wire);
+
+  const WorkerMessage beat = parse_worker_message(heartbeat_line(7, &snap));
+  ASSERT_EQ(beat.kind, WorkerMessage::Kind::Heartbeat);
+  ASSERT_TRUE(beat.stats.has_value());
+  EXPECT_EQ(json_of_metrics(*beat.stats).dump(), wire);
+
+  // Stats are optional: plain v3 lines still parse, with no snapshot.
+  EXPECT_FALSE(parse_worker_message(result_line(7, precomputed)).stats.has_value());
+  // Malformed stats degrade to "no stats", never to a dropped line.
+  const WorkerMessage mangled =
+      parse_worker_message("{\"id\":7,\"heartbeat\":true,\"stats\":{\"counters\":[]}}");
+  EXPECT_EQ(mangled.kind, WorkerMessage::Kind::Heartbeat);
+  EXPECT_FALSE(mangled.stats.has_value());
+}
+
+/// Read a metrics report and return the fleet-section counter `name`.
+i64 fleet_counter(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<Json> doc = Json::parse(buffer.str());
+  if (!doc) return -1;
+  const Json* fleet = doc->find("fleet");
+  if (fleet == nullptr) return -1;
+  const Json* counters = fleet->find("counters");
+  if (counters == nullptr) return -1;
+  const Json* value = counters->find(name);
+  return value == nullptr ? 0 : value->as_int(-1);
+}
+
+TEST_F(TransportTest, PipeAndTcpFleetMetricsAgree) {
+  // The same cold sweep through both transports, each writing a metrics
+  // report: worker-side counters are per-cell deterministic, so the fleet
+  // aggregates must agree exactly however the cells were partitioned.
+  const SweepSpec spec = tiny_tiling_spec(83);
+  std::filesystem::create_directories(dir_);  // reports live here, cache off
+
+  SchedulerOptions pipe = options();
+  pipe.use_cache = false;
+  pipe.jobs = 2;
+  pipe.metrics_path = dir_ + "/pipe_metrics.json";
+  const SweepRun via_pipe = run_sweep(spec, pipe);
+  EXPECT_EQ(via_pipe.stats.remote, spec.entries.size());
+
+  SchedulerOptions tcp = options();
+  tcp.use_cache = false;
+  tcp.listen = "127.0.0.1:0";
+  tcp.metrics_path = dir_ + "/tcp_metrics.json";
+  std::vector<pid_t> fleet;
+  tcp.on_listen = [&](const std::string& address) {
+    for (int w = 0; w < 2; ++w) fleet.push_back(spawn_self("--connect=" + address));
+  };
+  const SweepRun via_tcp = run_sweep(spec, tcp);
+  EXPECT_EQ(via_tcp.stats.remote, spec.entries.size());
+  for (const pid_t pid : fleet) EXPECT_EQ(wait_exit(pid), 0);
+
+  obs::set_enabled(false);  // metrics_path enabled it in this process
+  obs::Registry::instance().reset();
+
+  for (const char* name : {"ga.runs", "ga.evaluations", "objective.evals", "experiment.rows"}) {
+    const i64 from_pipe = fleet_counter(pipe.metrics_path, name);
+    const i64 from_tcp = fleet_counter(tcp.metrics_path, name);
+    EXPECT_GT(from_pipe, 0) << name;
+    EXPECT_EQ(from_pipe, from_tcp) << name;
+  }
+  // One GA run per tiling cell, whoever computed it.
+  EXPECT_EQ(fleet_counter(pipe.metrics_path, "experiment.rows"), (i64)spec.entries.size());
 }
 
 #endif  // __unix__

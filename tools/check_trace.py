@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Validate and merge the observability artifacts (DESIGN.md §17).
+
+Subcommands:
+
+  merge OUT IN [IN...]      Concatenate per-process Chrome trace files
+                            (--trace=FILE outputs) into one Perfetto-
+                            loadable document. Spans share the machine's
+                            CLOCK_MONOTONIC timebase, so events from a
+                            scheduler and its workers interleave correctly.
+
+  trace FILE                Schema-check a trace file: every event carries
+      [--expect-pids N]     ph/pid/tid, "X" spans have nonnegative ts/dur,
+                            and per (pid, tid) spans are emitted in
+                            monotonic end-time order (spans are written
+                            when they close). --expect-pids asserts at
+                            least N distinct processes contributed events
+                            (scheduler + workers in the CI smoke).
+
+  metrics FILE              Schema-check a --metrics=FILE fleet report and
+      [--csv FILE]          reconcile it against itself (fleet counters ==
+      [--expect-workers N]  scheduler + sum of workers; sweep row-derived
+                            eval-cache totals == fleet registry counters on
+                            an all-cold run) and against the sweep's CSV
+                            (fleet experiment.rows == CSV data rows).
+
+Exit status 0 = all checks passed; 1 = a check failed (message on stderr).
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+failures = []
+
+
+def check(ok, message):
+    if not ok:
+        failures.append(message)
+    return ok
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        check(False, f"{path}: not readable JSON: {e}")
+        return None
+
+
+# -- trace ----------------------------------------------------------------
+
+EVENT_PHASES = {"X", "M", "C", "i"}
+
+
+def trace_events(path):
+    doc = load_json(path)
+    if doc is None:
+        return None
+    if not check(isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list),
+                 f"{path}: expected an object with a traceEvents array"):
+        return None
+    return doc["traceEvents"]
+
+
+def cmd_trace(args):
+    events = trace_events(args.file)
+    if events is None:
+        return
+    check(len(events) > 0, f"{args.file}: no events")
+    last_end = {}  # (pid, tid) -> latest "X" end time seen, in file order
+    pids = set()
+    for i, e in enumerate(events):
+        where = f"{args.file}: event {i}"
+        if not check(isinstance(e, dict), f"{where}: not an object"):
+            continue
+        ph = e.get("ph")
+        check(ph in EVENT_PHASES, f"{where}: unknown ph {ph!r}")
+        check(isinstance(e.get("pid"), int), f"{where}: missing integer pid")
+        check(isinstance(e.get("name"), str) and e["name"],
+              f"{where}: missing name")
+        if ph == "M":
+            continue
+        check(isinstance(e.get("tid"), int), f"{where}: missing integer tid")
+        ts = e.get("ts")
+        check(isinstance(ts, (int, float)) and ts >= 0,
+              f"{where}: ts must be a nonnegative number, got {ts!r}")
+        pids.add(e["pid"])
+        if ph != "X":
+            continue
+        dur = e.get("dur")
+        if not check(isinstance(dur, (int, float)) and dur >= 0,
+                     f"{where}: dur must be a nonnegative number, got {dur!r}"):
+            continue
+        # Spans are emitted when they close, so within one thread the file
+        # order IS end-time order; a violation means a non-monotonic clock
+        # or interleaved writes.
+        key = (e["pid"], e["tid"])
+        end = ts + dur
+        check(end >= last_end.get(key, 0),
+              f"{where}: span ends at {end} before an earlier span's "
+              f"{last_end.get(key)} on pid/tid {key}")
+        last_end[key] = end
+    if args.expect_pids is not None:
+        check(len(pids) >= args.expect_pids,
+              f"{args.file}: {len(pids)} distinct pids "
+              f"({sorted(pids)}), expected >= {args.expect_pids}")
+
+
+def cmd_merge(args):
+    merged = []
+    for path in args.inputs:
+        events = trace_events(path)
+        if events is not None:
+            merged.extend(events)
+    if failures:
+        return
+    with open(args.out, "w") as f:
+        json.dump({"traceEvents": merged}, f)
+        f.write("\n")
+    print(f"merged {len(args.inputs)} traces, {len(merged)} events -> {args.out}")
+
+
+# -- metrics --------------------------------------------------------------
+
+SNAPSHOT_SECTIONS = ("counters", "sums", "gauges", "histograms")
+
+
+def check_snapshot(snap, where):
+    if not check(isinstance(snap, dict), f"{where}: snapshot is not an object"):
+        return
+    for section in SNAPSHOT_SECTIONS:
+        want = list if section == "histograms" else dict
+        check(isinstance(snap.get(section), want),
+              f"{where}: missing {section} {want.__name__}")
+
+
+def counter(snap, name):
+    return snap.get("counters", {}).get(name, 0)
+
+
+def cmd_metrics(args):
+    doc = load_json(args.file)
+    if doc is None:
+        return
+    if not check(doc.get("schema") == "cmetile-metrics-v1",
+                 f"{args.file}: schema is {doc.get('schema')!r}, "
+                 "expected cmetile-metrics-v1"):
+        return
+    sweep = doc.get("sweep", {})
+    scheduler = doc.get("scheduler", {})
+    fleet = doc.get("fleet", {})
+    workers = doc.get("workers", [])
+    check(isinstance(sweep, dict), f"{args.file}: missing sweep object")
+    check_snapshot(scheduler, f"{args.file}: scheduler")
+    check_snapshot(fleet, f"{args.file}: fleet")
+    check(isinstance(workers, list), f"{args.file}: missing workers array")
+
+    cells = sweep.get("cells", 0)
+    cache_hits = sweep.get("cache_hits", 0)
+    check(sweep.get("computed", -1) + cache_hits == cells,
+          f"{args.file}: computed + cache_hits != cells")
+
+    worker_cells = 0
+    for i, w in enumerate(workers):
+        where = f"{args.file}: workers[{i}]"
+        check(isinstance(w.get("pid"), int) and w["pid"] > 0,
+              f"{where}: missing pid (v3 hello carries it)")
+        check(isinstance(w.get("cells"), int), f"{where}: missing cells")
+        worker_cells += w.get("cells", 0)
+        check_snapshot(w.get("metrics", {}), where)
+    check(worker_cells == sweep.get("remote", -1),
+          f"{args.file}: workers' cells sum to {worker_cells}, "
+          f"sweep.remote says {sweep.get('remote')}")
+    if args.expect_workers is not None:
+        check(len(workers) == args.expect_workers,
+              f"{args.file}: {len(workers)} workers, "
+              f"expected {args.expect_workers}")
+
+    # Fleet = scheduler + workers, name by name (counters are additive).
+    for name, value in fleet.get("counters", {}).items():
+        total = counter(scheduler, name) + sum(counter(w.get("metrics", {}), name)
+                                               for w in workers)
+        check(total == value,
+              f"{args.file}: fleet counter {name} = {value}, "
+              f"but scheduler + workers = {total}")
+
+    # On an all-cold run the row-derived sweep totals and the registry
+    # counters describe the same work and must agree exactly.
+    if cache_hits == 0:
+        for sweep_key, counter_name in (("eval_cache_lookups", "cme.eval_cache.lookups"),
+                                        ("eval_cache_hits", "cme.eval_cache.hits")):
+            check(sweep.get(sweep_key, -1) == counter(fleet, counter_name),
+                  f"{args.file}: sweep.{sweep_key} = {sweep.get(sweep_key)} but "
+                  f"fleet {counter_name} = {counter(fleet, counter_name)}")
+        check(counter(fleet, "experiment.rows") == cells,
+              f"{args.file}: fleet experiment.rows = "
+              f"{counter(fleet, 'experiment.rows')}, sweep ran {cells} cells")
+
+    if args.csv:
+        try:
+            with open(args.csv, newline="") as f:
+                rows = max(0, sum(1 for _ in csv.reader(f)) - 1)  # minus header
+        except OSError as e:
+            check(False, f"{args.csv}: {e}")
+            return
+        check(counter(fleet, "experiment.rows") == rows,
+              f"fleet experiment.rows = {counter(fleet, 'experiment.rows')}, "
+              f"but {args.csv} has {rows} data rows")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="validate a Chrome trace file")
+    p.add_argument("file")
+    p.add_argument("--expect-pids", type=int, default=None)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("merge", help="merge per-process traces into one file")
+    p.add_argument("out")
+    p.add_argument("inputs", nargs="+")
+    p.set_defaults(func=cmd_merge)
+
+    p = sub.add_parser("metrics", help="validate a fleet metrics report")
+    p.add_argument("file")
+    p.add_argument("--csv", default=None)
+    p.add_argument("--expect-workers", type=int, default=None)
+    p.set_defaults(func=cmd_metrics)
+
+    args = parser.parse_args()
+    args.func(args)
+    for message in failures:
+        print(message, file=sys.stderr)
+    if not failures:
+        print(f"{args.command}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

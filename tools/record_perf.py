@@ -6,9 +6,13 @@ change that claims a speedup, so regressions show up in review diffs
 rather than in someone's memory. Usage:
 
     ./build/bench_perf_solver \
-        --benchmark_filter='GaSolve|SampledEstimate|DependenceAnalysis|WritebackEstimate' \
+        --benchmark_filter='GaSolve|SampledEstimate|DependenceAnalysis|WritebackEstimate|ClassifyBatch(Cached|Telemetry)/64' \
         --benchmark_out=/tmp/perf.json --benchmark_out_format=json
     python3 tools/record_perf.py /tmp/perf.json > BENCH_perf.json
+
+The telemetry_overhead ratio is the DESIGN.md §17 guard: classification
+throughput with the metrics registry enabled vs disabled must stay within
+noise (~1.02); a regression means some hot path grew per-point recording.
 
 Only benchmark names listed in KEEP are recorded (wall-clock
 real_time, ns). Derived ratios are recomputed here so the record
@@ -28,12 +32,16 @@ KEEP = [
     "BM_DependenceAnalysisMM",
     "BM_DependenceAnalysisLU",
     "BM_WritebackEstimate",
+    "BM_ClassifyBatchCached/64",
+    "BM_ClassifyBatchTelemetry/64",
 ]
 
 RATIOS = {
     "warm_eval_speedup": ("BM_SampledEstimate", "BM_SampledEstimateWarm"),
     "ga_full_vs_baseline": ("BM_GaSolveBaseline", "BM_GaSolveFull"),
     "ga_incremental_vs_baseline": ("BM_GaSolveBaseline", "BM_GaSolveIncremental"),
+    # telemetry enabled / disabled: must stay ~1.0 (null-sink guard, §17)
+    "telemetry_overhead": ("BM_ClassifyBatchTelemetry/64", "BM_ClassifyBatchCached/64"),
 }
 
 
