@@ -1,0 +1,102 @@
+// cmetile-request: one-shot client for a cmetile-serve daemon.
+//
+//   ./cmetile-request --connect=host:port --kernel=NAME [--size=N]
+//       [--kind=tiling|padding|joint] [--cache-kb=8] [--line-bytes=32]
+//       [--assoc=1] [--seed=N] [--fast] [--wait=S]
+//
+// Builds one core::OptimizeRequest from the named Table-1 kernel and cache
+// geometry, sends it, and prints the reply: how it was satisfied (warm /
+// cold / coalesced), the winning parameters, and the predicted miss-cost
+// improvement. Exit 0 on an ok reply, 1 on a daemon-side error or reject
+// (the retry hint is printed), 2 on usage errors.
+
+#include <iostream>
+
+#include "cache/hierarchy.hpp"
+#include "core/optimize.hpp"
+#include "kernels/kernels.hpp"
+#include "serve/client.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "cmetile-request flags:\n"
+              << "  --connect=H:P     the cmetile-serve daemon (required)\n"
+              << "  --kernel=NAME     Table-1 kernel name, e.g. MXM (required)\n"
+              << "  --size=N          problem size (default: the kernel's)\n"
+              << "  --kind=K          tiling (default) | padding | joint\n"
+              << "  --cache-kb=N      cache size in KB (default 8)\n"
+              << "  --line-bytes=N    cache line bytes (default 32)\n"
+              << "  --assoc=N         associativity (default 1 = direct-mapped)\n"
+              << "  --seed=N          GA seed (default 2002)\n"
+              << "  --fast            smoke GA + sampling budget\n"
+              << "  --wait=S          connect/reply wait seconds (default 60)\n";
+    return 0;
+  }
+
+  const std::string connect = args.get("connect", "");
+  const std::string kernel = args.get("kernel", "");
+  if (connect.empty() || kernel.empty()) {
+    std::cerr << "cmetile-request: --connect and --kernel are required (see --help)\n";
+    return 2;
+  }
+  const std::optional<kernels::KernelSpec> spec = kernels::find_kernel(kernel);
+  if (!spec) {
+    std::cerr << "cmetile-request: unknown kernel " << kernel << "\n";
+    return 2;
+  }
+  const std::optional<core::OptimizeKind> kind =
+      core::optimize_kind_of(args.get("kind", "tiling"));
+  if (!kind) {
+    std::cerr << "cmetile-request: --kind must be tiling, padding or joint\n";
+    return 2;
+  }
+
+  core::OptimizeRequest request;
+  try {
+    const i64 size = args.get_int_strict("size", spec->sized ? spec->default_size : 0);
+    const cache::CacheConfig config{args.get_int_strict("cache-kb", 8) * 1024,
+                                    args.get_int_strict("line-bytes", 32),
+                                    args.get_int_strict("assoc", 1)};
+    core::OptimizerOptions options;
+    options.ga.seed = (std::uint64_t)args.get_int_strict("seed", 2002);
+    if (args.get_bool("fast", false)) options.shrink_for_smoke();
+    request = core::OptimizeRequest{*kind, kernels::build_kernel(spec->name, size), {},
+                                    cache::Hierarchy::single(config), options};
+  } catch (const std::exception& e) {
+    std::cerr << "cmetile-request: " << e.what() << "\n";
+    return 2;
+  }
+
+  const double wait = args.get_double_strict("wait", 60.0);
+  const std::unique_ptr<serve::ServeClient> client = serve::ServeClient::connect(connect, wait);
+  if (client == nullptr) {
+    std::cerr << "cmetile-request: could not connect to " << connect << "\n";
+    return 1;
+  }
+  const std::optional<serve::Reply> reply = client->ask(request, wait);
+  if (!reply) {
+    std::cerr << "cmetile-request: no reply from " << connect << "\n";
+    return 1;
+  }
+  if (!reply->ok) {
+    std::cerr << "cmetile-request: " << reply->error;
+    if (reply->retry_after_ms > 0)
+      std::cerr << " (retry after " << reply->retry_after_ms << "ms)";
+    std::cerr << "\n";
+    return 1;
+  }
+
+  const core::OptimizeResponse& response = *reply->response;
+  std::cout << kernel << " " << core::to_string(response.kind) << " [" << reply->status << "]";
+  if (response.kind != core::OptimizeKind::Padding)
+    std::cout << " tiles=" << response.tiles.to_string();
+  if (response.kind != core::OptimizeKind::Tiling)
+    std::cout << " pads=" << response.pads.to_string(request.nest);
+  std::cout << " cost " << response.before.weighted_cost << " -> "
+            << response.after.weighted_cost << " (" << response.ga.generations
+            << " generations, " << response.ga.evaluations << " evaluations)\n";
+  return 0;
+}

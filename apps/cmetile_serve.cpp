@@ -1,0 +1,73 @@
+// cmetile-serve: the tiling-as-a-service daemon (DESIGN.md §18).
+//
+//   ./cmetile-serve --listen=host:port [--cache-dir=DIR] [--no-cache]
+//       [--queue-max=N] [--retry-after-ms=N] [--max-requests=N]
+//       [--timeout=S] [--metrics=FILE] [--trace=FILE]
+//
+// The same binary is its own worker: run additional copies with
+// `./cmetile-serve --connect=host:port` on any machine that can reach the
+// daemon (they retry the connect, so start order does not matter). With
+// no workers connected the daemon computes requests in-process.
+//
+// Clients: `cmetile-request --connect=host:port ...`, or any program
+// speaking the client role of the line protocol (serve/wire.hpp).
+
+#include <iostream>
+
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+#include "sweep/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmetile;
+  // Worker mode first: under --connect this process must speak only the
+  // JSON protocol (maybe_run_worker never returns in that case).
+  sweep::maybe_run_worker(argc, argv);
+
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "cmetile-serve flags:\n"
+        << "  --listen=H:P        bind the service socket (required; port 0 = ephemeral)\n"
+        << "  --connect=H:P       run as a WORKER for a daemon instead\n"
+        << "  --cache-dir=DIR     result cache location (default " << kDefaultCacheDir << ")\n"
+        << "  --no-cache          disable the warm path entirely\n"
+        << "  --queue-max=N       admission bound on queued computations (default 64)\n"
+        << "  --retry-after-ms=N  backoff hint on admission reject (default 250)\n"
+        << "  --max-requests=N    answer N requests, then exit (default 0 = forever)\n"
+        << "  --timeout=S         kill workers silent mid-request for S seconds\n"
+        << "  --metrics=FILE      write the serve metrics report on shutdown\n"
+        << "  --trace=FILE        Chrome trace_event JSON (per-request spans)\n";
+    return 0;
+  }
+
+  serve::ServeOptions options;
+  options.listen = args.get("listen", "");
+  if (options.listen.empty()) {
+    std::cerr << "cmetile-serve: --listen=host:port is required (see --help)\n";
+    return 2;
+  }
+  options.cache_dir = args.get("cache-dir", kDefaultCacheDir);
+  options.use_cache = !args.get_bool("no-cache", false);
+  options.queue_max = (std::size_t)args.get_int_strict("queue-max", 64);
+  options.retry_after_ms = args.get_int_strict("retry-after-ms", 250);
+  options.max_requests = args.get_int_strict("max-requests", 0);
+  options.worker_timeout_seconds = args.get_double_strict("timeout", 120.0);
+  options.metrics_path = args.get("metrics", "");
+  // Line-buffered logs would sit in a redirected file's buffer for the
+  // whole run; the CI smoke job tails the log to sequence its clients.
+  std::cout << std::unitbuf;
+  options.log = &std::cout;
+
+  const std::string trace = args.get("trace", "");
+  if (!trace.empty()) obs::init_trace(trace, "cmetile-serve");
+
+  try {
+    serve::run_server(options);
+  } catch (const std::exception& e) {
+    std::cerr << "cmetile-serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
     {
       core::OptimizerOptions options;
       options.ga.seed = seed;
-      const core::TilingResult r = core::optimize_tiling(nest, layout, cache, options);
+      const core::OptimizeResponse r =
+          core::optimize(core::OptimizeRequest::tiling(nest, cache::Hierarchy::single(cache), options));
       report("GA (seeded)", r.tiles.t, r.ga.evaluations);
     }
     // GA, paper-pure random initialization.
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
       core::OptimizerOptions options;
       options.ga.seed = seed;
       options.seed_population = false;
-      const core::TilingResult r = core::optimize_tiling(nest, layout, cache, options);
+      const core::OptimizeResponse r =
+          core::optimize(core::OptimizeRequest::tiling(nest, cache::Hierarchy::single(cache), options));
       report("GA (random init)", r.tiles.t, r.ga.evaluations);
     }
     {
@@ -85,12 +87,13 @@ int main(int argc, char** argv) {
                    std::to_string(r.evaluations)});
     core::OptimizerOptions options;
     options.ga.seed = ctx.seed;
-    const core::TilingResult g = core::optimize_tiling(nest, layout, small_cache, options);
-    table.add_row({"MM_16(1KB)", "GA (seeded)", format_pct(g.after.replacement_ratio),
+    const core::OptimizeResponse g = core::optimize(
+        core::OptimizeRequest::tiling(nest, cache::Hierarchy::single(small_cache), options));
+    table.add_row({"MM_16(1KB)", "GA (seeded)", format_pct(g.after.levels[0].replacement_ratio),
                    g.tiles.to_string(), std::to_string(g.ga.evaluations)});
     std::cout << "  exhaustive MM_16: optimum "
               << format_pct(objective.evaluate(tiles).replacement_ratio) << ", GA "
-              << format_pct(g.after.replacement_ratio) << "\n";
+              << format_pct(g.after.levels[0].replacement_ratio) << "\n";
   }
 
   ctx.finish(table);

@@ -31,20 +31,21 @@ int main(int argc, char** argv) {
   double fast_total = 0.0, baseline_total = 0.0;
   for (const auto& entry : entries) {
     const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
-    const ir::MemoryLayout layout(nest);
+    const cache::Hierarchy hierarchy = cache::Hierarchy::single(cache);
     core::OptimizerOptions options = ctx.experiment_options().optimizer;
     options.ga.seed = derive_seed(ctx.seed, std::hash<std::string>{}(entry.label()));
 
     const bench::StopWatch fast_watch;
-    const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+    const core::OptimizeResponse result =
+        core::optimize(core::OptimizeRequest::tiling(nest, hierarchy, options));
     const double fast_seconds = fast_watch.seconds();
 
     core::OptimizerOptions baseline_options = options;
     baseline_options.objective.analysis.simd = false;
     baseline_options.objective.incremental = false;
     const bench::StopWatch baseline_watch;
-    const core::TilingResult baseline =
-        core::optimize_tiling(nest, layout, cache, baseline_options);
+    const core::OptimizeResponse baseline =
+        core::optimize(core::OptimizeRequest::tiling(nest, hierarchy, baseline_options));
     const double baseline_seconds = baseline_watch.seconds();
     expects(baseline.ga.best_cost == result.ga.best_cost &&
                 baseline.ga.best_values == result.ga.best_values,

@@ -24,17 +24,18 @@ int main(int argc, char** argv) {
     options.ga.seed = derive_seed(ctx.seed, std::hash<std::string>{}(entry.label()));
 
     const core::PadTileResult seq = core::optimize_padding_then_tiling(nest, cache, options);
-    const core::JointResult joint = core::optimize_jointly(nest, cache, options);
+    const core::OptimizeResponse joint = core::optimize(
+        core::OptimizeRequest::joint(nest, cache::Hierarchy::single(cache), options));
 
     table.add_row({entry.label(), format_pct(seq.original.replacement_ratio),
                    format_pct(seq.padded_tiled.replacement_ratio),
-                   format_pct(joint.optimized.replacement_ratio),
+                   format_pct(joint.after.levels[0].replacement_ratio),
                    "~2x" + std::to_string(options.ga.population) + "x gens",
                    std::to_string(joint.ga.evaluations)});
     std::cout << "  " << entry.label() << ": original "
               << format_pct(seq.original.replacement_ratio) << ", sequential "
               << format_pct(seq.padded_tiled.replacement_ratio) << ", joint "
-              << format_pct(joint.optimized.replacement_ratio) << " (pads "
+              << format_pct(joint.after.levels[0].replacement_ratio) << " (pads "
               << joint.pads.to_string(nest) << ", tiles " << joint.tiles.to_string() << ")\n";
   }
   ctx.finish(table);

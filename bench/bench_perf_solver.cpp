@@ -171,13 +171,13 @@ BENCHMARK(BM_SampledEstimateWarm);
 // does.
 void ga_solve_bench(benchmark::State& state, bool simd, bool incremental) {
   const ir::LoopNest nest = kernels::build_kernel("MM", 500);
-  const ir::MemoryLayout layout(nest);
   const cache::CacheConfig cache = bench::paper_cache_8k();
   core::OptimizerOptions options;
   options.objective.analysis.simd = simd;
   options.objective.incremental = incremental;
   for (auto _ : state) {
-    const core::TilingResult result = core::optimize_tiling(nest, layout, cache, options);
+    const core::OptimizeResponse result =
+        core::optimize(core::OptimizeRequest::tiling(nest, cache::Hierarchy::single(cache), options));
     benchmark::DoNotOptimize(result.ga.best_cost);
   }
 }

@@ -48,13 +48,13 @@ int main(int argc, char** argv) {
 
     // Read-only search (the pre-§16 objective), then the charged search
     // warm-started with its optimum.
-    const core::HierarchyTilingResult read_only =
-        core::optimize_tiling(nest, layout, bench::writeback_8k(0.0), options);
+    const core::OptimizeResponse read_only = core::optimize(
+        core::OptimizeRequest::tiling(nest, bench::writeback_8k(0.0), options));
     core::OptimizerOptions charged_options = options;
     charged_options.extra_tile_seeds.push_back(read_only.tiles.t);
     const cache::Hierarchy charged = bench::writeback_8k(wb_latency);
-    const core::HierarchyTilingResult charged_result =
-        core::optimize_tiling(nest, layout, charged, charged_options);
+    const core::OptimizeResponse charged_result =
+        core::optimize(core::OptimizeRequest::tiling(nest, charged, charged_options));
 
     // Both optima under the charged model (shared sample via the
     // objective's own estimator): the shift's value in stall cycles.

@@ -7,11 +7,16 @@
 // and 1–3-level hierarchies), the trace simulators, reuse analysis, the
 // CME solver and estimators (single-level and per-level hierarchy forms),
 // the tiling/padding transformations, the genetic optimizer and the
-// high-level tiling pipeline. The sweep orchestration layer (cached,
-// resumable, multi-process experiment sweeps, DESIGN.md §13) sits ABOVE
-// core in the layer DAG, so it is not part of this header — include
-// "sweep/scheduler.hpp" for it (the `cmetile` umbrella target links it).
-// See README.md for a quickstart and DESIGN.md for the layer map.
+// unified optimize entry point: every optimization is one
+// core::OptimizeRequest answered by core::optimize() (the legacy
+// optimize_tiling/optimize_padding/optimize_jointly overloads in
+// core/tiler.hpp are thin wrappers over it). Two layers sit ABOVE core
+// in the DAG and are therefore not part of this header: sweep (cached,
+// resumable, multi-process experiment sweeps, DESIGN.md §13 — include
+// "sweep/scheduler.hpp") and serve (the tiling-as-a-service daemon,
+// DESIGN.md §18 — include "serve/server.hpp"); the `cmetile` umbrella
+// target links both. See README.md for a quickstart and DESIGN.md for
+// the layer map.
 //
 // Everything lives under namespace cmetile, one nested namespace per
 // layer (cmetile::ir, ::cache, ::cme, ::core, …). Link the `cmetile`
@@ -31,6 +36,7 @@
 #include "cme/hierarchy.hpp"
 #include "core/experiment.hpp"
 #include "core/objective.hpp"
+#include "core/optimize.hpp"
 #include "core/tiler.hpp"
 #include "ga/ga.hpp"
 #include "ir/builder.hpp"

@@ -8,6 +8,7 @@
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "transform/padding.hpp"
 
 namespace cmetile::core {
 
@@ -62,18 +63,20 @@ TilingRow run_tiling_experiment(const kernels::FigureEntry& entry,
   const auto start = std::chrono::steady_clock::now();
   obs::Span span("experiment.tiling_row");
   const ir::LoopNest nest = kernels::build_kernel(entry.name, entry.size);
-  const ir::MemoryLayout layout(nest);
 
   const ExperimentOptions opts =
       with_row_seeds(options, entry.label(), (std::uint64_t)cache.size_bytes);
-  const TilingResult result = optimize_tiling(nest, layout, cache, opts.optimizer);
+  // The drivers are request-API clients: the exact code path cmetile-serve
+  // exercises, so a served row and a bench row cannot drift.
+  const OptimizeResponse result =
+      optimize(OptimizeRequest::tiling(nest, cache::Hierarchy::single(cache), opts.optimizer));
 
   TilingRow row;
   row.label = entry.label();
-  row.no_tiling_total = result.before.total_ratio;
-  row.no_tiling_repl = result.before.replacement_ratio;
-  row.tiling_total = result.after.total_ratio;
-  row.tiling_repl = result.after.replacement_ratio;
+  row.no_tiling_total = result.before.levels.front().total_ratio;
+  row.no_tiling_repl = result.before.levels.front().replacement_ratio;
+  row.tiling_total = result.after.levels.front().total_ratio;
+  row.tiling_repl = result.after.levels.front().replacement_ratio;
   row.tiles = result.tiles;
   row.ga_evaluations = result.ga.evaluations;
   row.ga_generations = result.ga.generations;
@@ -102,15 +105,23 @@ PaddingRow run_padding_experiment(const kernels::FigureEntry& entry,
 
   const ExperimentOptions opts =
       with_row_seeds(options, entry.label(), (std::uint64_t)cache.size_bytes);
-  const PadTileResult result = optimize_padding_then_tiling(nest, cache, opts.optimizer);
+  // Table 3's "padding and tiling applied sequentially in this order" as
+  // two requests: the Padding search, then a Tiling request whose layout
+  // carries the winning pads (what optimize_padding_then_tiling wraps).
+  const cache::Hierarchy hierarchy = cache::Hierarchy::single(cache);
+  const OptimizeResponse padded =
+      optimize(OptimizeRequest::padding(nest, hierarchy, opts.optimizer));
+  OptimizeRequest tiling_request = OptimizeRequest::tiling(nest, hierarchy, opts.optimizer);
+  tiling_request.layout = transform::padded_layout_options(nest, padded.pads);
+  const OptimizeResponse tiled = optimize(tiling_request);
 
   PaddingRow row;
   row.label = entry.label();
-  row.original_repl = result.original.replacement_ratio;
-  row.padding_repl = result.padded.replacement_ratio;
-  row.padding_tiling_repl = result.padded_tiled.replacement_ratio;
-  row.pads = result.pads;
-  row.tiles = result.tiles;
+  row.original_repl = padded.before.levels.front().replacement_ratio;
+  row.padding_repl = padded.after.levels.front().replacement_ratio;
+  row.padding_tiling_repl = tiled.after.levels.front().replacement_ratio;
+  row.pads = padded.pads;
+  row.tiles = tiled.tiles;
   row.seconds = elapsed_seconds(start);
   record_row_telemetry("padding", 0, row.original_repl + row.padding_tiling_repl);
   return row;
@@ -139,14 +150,15 @@ HierarchyRow run_hierarchy_experiment(const kernels::FigureEntry& entry,
 
   // Baseline: the paper's pipeline, blind to the outer levels — tiles
   // minimize L1 replacement misses only.
-  const TilingResult l1_only =
-      optimize_tiling(nest, layout, hierarchy.levels[0].config, opts.optimizer);
+  const OptimizeResponse l1_only = optimize(OptimizeRequest::tiling(
+      nest, cache::Hierarchy::single(hierarchy.levels[0].config), opts.optimizer));
 
   // The weighted search over the same sample set and GA budget, with the
   // L1-only optimum injected into the warm starts.
   OptimizerOptions weighted_opts = opts.optimizer;
   weighted_opts.extra_tile_seeds.push_back(l1_only.tiles.t);
-  const HierarchyTilingResult weighted = optimize_tiling(nest, layout, hierarchy, weighted_opts);
+  const OptimizeResponse weighted =
+      optimize(OptimizeRequest::tiling(nest, hierarchy, weighted_opts));
 
   // Compare both optima under the hierarchy cost model.
   const TilingObjective hier_objective(nest, layout, hierarchy, opts.optimizer.objective);

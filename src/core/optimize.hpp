@@ -1,0 +1,112 @@
+#pragma once
+// The unified optimization API: one request/response value-type pair and
+// one entry point, core::optimize(). A request is a pure description —
+// (kind, nest, layout options, cache hierarchy, OptimizerOptions) — and
+// the response is a deterministic function of it: all GA and sampling
+// seeds travel inside the options, never from wall clock or thread ids.
+// That purity is what lets the sweep layer serialize requests to
+// canonical JSON (sweep/request_json.hpp), fingerprint them for the
+// content-addressed result cache, and ship them to workers — the wire
+// schema IS this C++ API.
+//
+// The legacy optimize_tiling / optimize_padding / optimize_jointly
+// overloads (core/tiler.hpp) are thin wrappers over optimize() kept for
+// source compatibility; they are pinned bit-identical by regression test.
+// New code should construct an OptimizeRequest.
+//
+// Threading: optimize() is synchronous and owns its GA run; the GA
+// evaluates populations in parallel internally, so callers need no
+// locking. Concurrent calls on distinct requests are safe.
+
+#include "cache/hierarchy.hpp"
+#include "cme/hierarchy.hpp"
+#include "core/objective.hpp"
+#include "ga/ga.hpp"
+#include "ir/layout.hpp"
+
+namespace cmetile::core {
+
+struct OptimizerOptions {
+  ga::GaOptions ga;                 ///< paper defaults (pop 30, pc .9, pm .001, 15–25 gens)
+  ObjectiveOptions objective;
+  bool check_legality = true;       ///< refuse tiling a non-fully-permutable nest
+  /// Warm-start the GA population with heuristic individuals (untiled,
+  /// LRW/TSS/analytic tiles — per hierarchy level — small uniform tiles;
+  /// zero/staggered pads). Disable to reproduce the paper's purely random
+  /// initialization — the ablation bench measures the difference.
+  bool seed_population = true;
+  /// Extra tile-vector warm starts appended to the initial population of
+  /// the tiling search (after the heuristic seeds, regardless of
+  /// `seed_population`). Lets callers make two searches comparable — e.g.
+  /// bench_hierarchy seeds the weighted search with the L1-only optimum so
+  /// a divergence is a preference, not a GA miss. Ignored by the padding
+  /// and joint searches (their chromosomes carry pad variables too).
+  std::vector<std::vector<i64>> extra_tile_seeds;
+  i64 max_intra_pad_elems = 8;      ///< padding search bound (elements)
+  i64 max_inter_pad_units = 16;     ///< padding search bound (alignment units)
+
+  /// Shrink the GA and sampling budget for smoke runs (the `--fast` flag
+  /// of examples and benches); one definition so the budget cannot drift.
+  OptimizerOptions& shrink_for_smoke() {
+    ga.min_generations = 4;
+    ga.max_generations = 6;
+    objective.estimator.sample_count = 64;
+    return *this;
+  }
+};
+
+/// What to search. Tiling searches tile sizes under the given layout;
+/// Padding searches pad parameters (at the untiled schedule, the paper's
+/// §4.3 sequence); Joint searches both in one chromosome (the paper's
+/// stated future work).
+enum class OptimizeKind { Tiling, Padding, Joint };
+
+const char* to_string(OptimizeKind kind);
+
+/// Parse the wire spelling ("tiling" / "padding" / "joint").
+std::optional<OptimizeKind> optimize_kind_of(std::string_view name);
+
+/// One optimization problem, self-contained. The single-cache setup of
+/// the paper is a one-level hierarchy with miss latency 1 (see
+/// cache::Hierarchy::single) — there is no separate CacheConfig form.
+struct OptimizeRequest {
+  OptimizeKind kind = OptimizeKind::Tiling;
+  ir::LoopNest nest;
+  /// Base memory layout for the Tiling search (alignment + fixed
+  /// padding). The Padding and Joint searches derive layouts from their
+  /// own pad variables and ignore this field.
+  ir::LayoutOptions layout;
+  cache::Hierarchy hierarchy;  ///< must validate(); 1–3 levels
+  OptimizerOptions options;
+
+  static OptimizeRequest tiling(ir::LoopNest nest, cache::Hierarchy hierarchy,
+                                OptimizerOptions options = {});
+  static OptimizeRequest padding(ir::LoopNest nest, cache::Hierarchy hierarchy,
+                                 OptimizerOptions options = {});
+  static OptimizeRequest joint(ir::LoopNest nest, cache::Hierarchy hierarchy,
+                               OptimizerOptions options = {});
+};
+
+/// The answer: the winning transformation parameters, per-level CME
+/// estimates at the baseline and at the optimum (same shared sample set),
+/// and the GA run's statistics. Only the members matching `kind` carry
+/// information — `tiles` is empty for Padding, `pads` for Tiling.
+struct OptimizeResponse {
+  OptimizeKind kind = OptimizeKind::Tiling;
+  transform::TileVector tiles;
+  transform::PadVector pads;
+  /// Baseline estimate: untiled (Tiling), unpadded (Padding), or both
+  /// (Joint) — per hierarchy level, on the run's shared sample.
+  cme::HierarchyEstimate before;
+  /// Estimate at the chosen parameters, same sample set.
+  cme::HierarchyEstimate after;
+  ga::GaResult ga;
+};
+
+/// Run the search the request describes. Throws contract_error on an
+/// invalid request (hierarchy that fails validate(), empty nest) or —
+/// when options.check_legality is set and kind involves tiling — a nest
+/// whose tiling legality cannot be proven.
+OptimizeResponse optimize(const OptimizeRequest& request);
+
+}  // namespace cmetile::core

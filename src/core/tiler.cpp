@@ -1,109 +1,25 @@
 #include "core/tiler.hpp"
 
-#include <algorithm>
-
-#include "baselines/analytic.hpp"
-#include "obs/metrics.hpp"
-#include "support/contracts.hpp"
+#include "transform/padding.hpp"
 
 namespace cmetile::core {
 
-namespace {
-
-/// Heuristic warm starts for the tile search (deduplicated, legality
-/// filtered by the objective's penalty anyway). The analytic baselines
-/// (LRW/TSS/Sarkar-Megiddo) are seeded once per hierarchy level — in the
-/// weighted objective, tiles sized to the L2 working set are a competitive
-/// basin the L1-sized seeds miss.
-std::vector<std::vector<i64>> tiling_seeds(const ir::LoopNest& nest,
-                                           const ir::MemoryLayout& layout,
-                                           const cache::Hierarchy& hierarchy) {
-  std::vector<std::vector<i64>> seeds;
-  auto push = [&](std::vector<i64> t) {
-    const transform::TileVector tv = transform::TileVector::clamped(std::move(t), nest);
-    if (std::find(seeds.begin(), seeds.end(), tv.t) == seeds.end()) seeds.push_back(tv.t);
-  };
-  push(transform::TileVector::untiled(nest).t);
-  for (std::size_t l = 0; l < hierarchy.depth(); ++l) {
-    // Seed with the level's *effective* geometry: an exclusive/victim
-    // level's useful capacity is the merged stack, not its own size
-    // (cache/hierarchy.hpp), so that is the working set worth targeting.
-    const cache::CacheConfig config = hierarchy.effective_config(l);
-    push(baselines::lrw_tiles(nest, layout, config).t);
-    push(baselines::tss_tiles(nest, layout, config).t);
-    push(baselines::sarkar_megiddo_tiles(nest, layout, config).t);
-  }
-  for (const i64 side : {4, 8, 16, 32, 64}) {
-    push(std::vector<i64>(nest.depth(), side));
-  }
-  // Outer loop untiled, inner loops small — a common good shape.
-  for (const i64 side : {8, 32}) {
-    std::vector<i64> t(nest.depth(), side);
-    t[0] = nest.loops[0].trip_count();
-    push(std::move(t));
-  }
-  return seeds;
-}
-
-/// Warm starts for the padding search: no padding, unit intra padding, and
-/// base-staggering inter padding (the classic fixes for power-of-two
-/// strides and aliased bases).
-std::vector<std::vector<i64>> padding_seeds(const ir::LoopNest& nest, i64 max_intra,
-                                            i64 max_inter) {
-  const std::size_t n = nest.arrays.size();
-  std::vector<std::vector<i64>> seeds;
-  std::vector<i64> zero(2 * n, 0);
-  seeds.push_back(zero);
-  std::vector<i64> unit_intra = zero;
-  for (std::size_t a = 0; a < n; ++a) unit_intra[a] = std::min<i64>(1, max_intra);
-  seeds.push_back(unit_intra);
-  std::vector<i64> stagger = zero;
-  for (std::size_t a = 0; a < n; ++a) stagger[n + a] = std::min<i64>((i64)a, max_inter);
-  seeds.push_back(stagger);
-  std::vector<i64> both = unit_intra;
-  for (std::size_t a = 0; a < n; ++a) both[n + a] = std::min<i64>((i64)a, max_inter);
-  seeds.push_back(both);
-  return seeds;
-}
-
-}  // namespace
+// Every wrapper here builds an OptimizeRequest and delegates to
+// optimize(); bit-identity with the historical drivers is structural
+// (same objective, seeds, and GA run — the request merely names them) and
+// pinned by request_api_test across the whole kernel registry.
 
 HierarchyTilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                                       const cache::Hierarchy& hierarchy,
                                       const OptimizerOptions& options) {
-  if (options.check_legality) {
-    // Non-uniform dependence pairs make per-vector legality undecidable for
-    // us: refuse. Fully permutable or uniformly constrained nests proceed;
-    // the objective penalizes individual illegal tile vectors.
-    const transform::LegalityReport report = transform::check_tiling_legality(nest);
-    expects(report.verdict != transform::Legality::Unknown,
-            "optimize_tiling: cannot prove tiling legality (non-uniform dependences)");
-  }
-
-  const TilingObjective objective(nest, layout, hierarchy, options.objective);
-  ga::GaOptions ga_options = options.ga;
-  if (options.seed_population && ga_options.initial_seeds.empty()) {
-    ga_options.initial_seeds = tiling_seeds(nest, layout, hierarchy);
-  }
-  for (const std::vector<i64>& seed : options.extra_tile_seeds)
-    ga_options.initial_seeds.push_back(transform::TileVector::clamped(seed, nest).t);
-  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  OptimizeRequest request = OptimizeRequest::tiling(nest, hierarchy, options);
+  request.layout = layout.options();
+  OptimizeResponse r = optimize(request);
   HierarchyTilingResult result;
-  result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
-  result.tiles = transform::TileVector::clamped(result.ga.best_values, nest);
-  result.before = objective.evaluate_hierarchy(transform::TileVector::untiled(nest));
-  result.after = objective.evaluate_hierarchy(result.tiles);
-  // Surface the incremental-evaluation counters next to memo_hits().
-  const cme::EvalCacheStats cache_stats = objective.eval_cache_stats();
-  result.ga.eval_cache_lookups = cache_stats.verdict_lookups;
-  result.ga.eval_cache_hits = cache_stats.verdict_hits;
-  if (obs::enabled()) {
-    obs::Registry& reg = obs::Registry::instance();
-    static obs::Counter& lookups = reg.counter("cme.eval_cache.lookups");
-    static obs::Counter& hits = reg.counter("cme.eval_cache.hits");
-    lookups.add(cache_stats.verdict_lookups);
-    hits.add(cache_stats.verdict_hits);
-  }
+  result.tiles = std::move(r.tiles);
+  result.before = std::move(r.before);
+  result.after = std::move(r.after);
+  result.ga = std::move(r.ga);
   return result;
 }
 
@@ -124,20 +40,12 @@ TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& l
 HierarchyPaddingResult optimize_padding(const ir::LoopNest& nest,
                                         const cache::Hierarchy& hierarchy,
                                         const OptimizerOptions& options) {
-  const PaddingObjective objective(nest, hierarchy, transform::TileVector::untiled(nest),
-                                   options.max_intra_pad_elems, options.max_inter_pad_units,
-                                   options.objective);
-  ga::GaOptions ga_options = options.ga;
-  if (options.seed_population && ga_options.initial_seeds.empty()) {
-    ga_options.initial_seeds =
-        padding_seeds(nest, options.max_intra_pad_elems, options.max_inter_pad_units);
-  }
-  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  OptimizeResponse r = optimize(OptimizeRequest::padding(nest, hierarchy, options));
   HierarchyPaddingResult result;
-  result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
-  result.pads = objective.unpack(result.ga.best_values);
-  result.before = objective.evaluate_hierarchy(transform::PadVector::none(nest));
-  result.after = objective.evaluate_hierarchy(result.pads);
+  result.pads = std::move(r.pads);
+  result.before = std::move(r.before);
+  result.after = std::move(r.after);
+  result.ga = std::move(r.ga);
   return result;
 }
 
@@ -154,36 +62,13 @@ PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfi
 
 HierarchyJointResult optimize_jointly(const ir::LoopNest& nest, const cache::Hierarchy& hierarchy,
                                       const OptimizerOptions& options) {
-  if (options.check_legality) {
-    const transform::LegalityReport report = transform::check_tiling_legality(nest);
-    expects(report.verdict != transform::Legality::Unknown,
-            "optimize_jointly: cannot prove tiling legality (non-uniform dependences)");
-  }
-  const JointObjective objective(nest, hierarchy, options.max_intra_pad_elems,
-                                 options.max_inter_pad_units, options.objective);
-  ga::GaOptions ga_options = options.ga;
-  if (options.seed_population && ga_options.initial_seeds.empty()) {
-    // Combine the tiling and padding warm starts pairwise.
-    const ir::MemoryLayout layout(nest);
-    const auto tiles = tiling_seeds(nest, layout, hierarchy);
-    const auto pads = padding_seeds(nest, options.max_intra_pad_elems,
-                                    options.max_inter_pad_units);
-    for (std::size_t t = 0; t < tiles.size(); ++t) {
-      std::vector<i64> seed = tiles[t];
-      const std::vector<i64>& pad = pads[t % pads.size()];
-      seed.insert(seed.end(), pad.begin(), pad.end());
-      ga_options.initial_seeds.push_back(std::move(seed));
-    }
-  }
-  ga::GeneticOptimizer optimizer(ga::Encoding(objective.domains()), ga_options);
+  OptimizeResponse r = optimize(OptimizeRequest::joint(nest, hierarchy, options));
   HierarchyJointResult result;
-  result.ga = optimizer.run([&](std::span<const i64> values) { return objective(values); });
-  const JointObjective::Decoded best = objective.unpack(result.ga.best_values);
-  result.tiles = best.tiles;
-  result.pads = best.pads;
-  result.original = objective.evaluate_hierarchy(JointObjective::Decoded{
-      transform::TileVector::untiled(nest), transform::PadVector::none(nest)});
-  result.optimized = objective.evaluate_hierarchy(best);
+  result.pads = std::move(r.pads);
+  result.tiles = std::move(r.tiles);
+  result.original = std::move(r.before);
+  result.optimized = std::move(r.after);
+  result.ga = std::move(r.ga);
   return result;
 }
 

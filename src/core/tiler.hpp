@@ -1,56 +1,24 @@
 #pragma once
-// The paper's contribution, assembled: near-optimal loop tiling (and
-// padding) by searching tile-size/pad vectors with a genetic algorithm
-// whose objective is the number of replacement misses predicted by the
-// Cache Miss Equations. `optimize_tiling` is the §3 pipeline; `optimize_
-// padding` and `optimize_padding_then_tiling` reproduce the §4.3 / Table 3
-// sequence ("padding and tiling applied sequentially in this order").
+// DEPRECATED compatibility surface over core/optimize.hpp. The paper's
+// pipeline — near-optimal loop tiling (and padding) by searching tile-
+// size/pad vectors with a genetic algorithm whose objective is the number
+// of replacement misses predicted by the Cache Miss Equations — now lives
+// behind the single entry point core::optimize(OptimizeRequest); the
+// overloads below are thin wrappers that build a request and re-shape the
+// response into the historical per-driver result structs. They are pinned
+// bit-identical to optimize() by regression test (request_api_test) and
+// kept so existing callers (benches, examples, tests) compile unchanged —
+// prefer OptimizeRequest in new code.
 //
 // Every driver has two forms: the paper's single-cache form
 // (cache::CacheConfig — cost = replacement misses) and a hierarchy form
 // (cache::Hierarchy — cost = Σ_level misses × miss latency, DESIGN.md
-// §12). The single-cache form is implemented as a one-level hierarchy
-// with miss latency 1 and stays bit-identical to the original pipeline.
-//
-// Threading: each driver call is synchronous and owns its GA run; the GA
-// evaluates populations in parallel internally (OpenMP), so callers need
-// no locking. Concurrent driver calls on distinct inputs are safe. The
-// nest reference must stay alive for the duration of the call only.
+// §12). The single-cache form is a one-level hierarchy with miss latency
+// 1 and stays bit-identical to the original pipeline.
 
-#include "core/objective.hpp"
-#include "ga/ga.hpp"
-#include "transform/legality.hpp"
+#include "core/optimize.hpp"
 
 namespace cmetile::core {
-
-struct OptimizerOptions {
-  ga::GaOptions ga;                 ///< paper defaults (pop 30, pc .9, pm .001, 15–25 gens)
-  ObjectiveOptions objective;
-  bool check_legality = true;       ///< refuse tiling a non-fully-permutable nest
-  /// Warm-start the GA population with heuristic individuals (untiled,
-  /// LRW/TSS/analytic tiles — per hierarchy level — small uniform tiles;
-  /// zero/staggered pads). Disable to reproduce the paper's purely random
-  /// initialization — the ablation bench measures the difference.
-  bool seed_population = true;
-  /// Extra tile-vector warm starts appended to the initial population of
-  /// `optimize_tiling` (after the heuristic seeds, regardless of
-  /// `seed_population`). Lets callers make two searches comparable — e.g.
-  /// bench_hierarchy seeds the weighted search with the L1-only optimum so
-  /// a divergence is a preference, not a GA miss. Ignored by the padding
-  /// and joint drivers (their chromosomes carry pad variables too).
-  std::vector<std::vector<i64>> extra_tile_seeds;
-  i64 max_intra_pad_elems = 8;      ///< padding search bound (elements)
-  i64 max_inter_pad_units = 16;     ///< padding search bound (alignment units)
-
-  /// Shrink the GA and sampling budget for smoke runs (the `--fast` flag
-  /// of examples and benches); one definition so the budget cannot drift.
-  OptimizerOptions& shrink_for_smoke() {
-    ga.min_generations = 4;
-    ga.max_generations = 6;
-    objective.estimator.sample_count = 64;
-    return *this;
-  }
-};
 
 /// Result of the single-cache tile search. Estimates are CME-sampled
 /// ratios on the run's shared sample (see cme::MissEstimate for units).
@@ -93,16 +61,18 @@ struct PadTileResult {
   cme::MissEstimate padded_tiled;  ///< padding + tiling
 };
 
-/// Search tile sizes for the nest under the given layout and cache.
+/// Deprecated: use optimize(OptimizeRequest::tiling(...)). Search tile
+/// sizes for the nest under the given layout and cache.
 TilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                              const cache::CacheConfig& cache, const OptimizerOptions& options = {});
 
-/// Hierarchy form: minimize Σ_level misses × miss latency (DESIGN.md §12).
+/// Deprecated hierarchy form: minimize Σ_level misses × miss latency.
 HierarchyTilingResult optimize_tiling(const ir::LoopNest& nest, const ir::MemoryLayout& layout,
                                       const cache::Hierarchy& hierarchy,
                                       const OptimizerOptions& options = {});
 
-/// Search padding parameters (at a fixed tiling, untiled by default).
+/// Deprecated: use optimize(OptimizeRequest::padding(...)). Search padding
+/// parameters (at a fixed tiling, untiled by default).
 PaddingResult optimize_padding(const ir::LoopNest& nest, const cache::CacheConfig& cache,
                                const OptimizerOptions& options = {});
 
@@ -111,6 +81,8 @@ HierarchyPaddingResult optimize_padding(const ir::LoopNest& nest,
                                         const OptimizerOptions& options = {});
 
 /// Table 3 pipeline: padding first, then tiling on the padded layout.
+/// (A sequencing convenience over two optimize() calls — the Padding
+/// search, then a Tiling request whose layout carries the winning pads.)
 PadTileResult optimize_padding_then_tiling(const ir::LoopNest& nest,
                                            const cache::CacheConfig& cache,
                                            const OptimizerOptions& options = {});
@@ -137,6 +109,7 @@ struct HierarchyJointResult {
   ga::GaResult ga;
 };
 
+/// Deprecated: use optimize(OptimizeRequest::joint(...)).
 JointResult optimize_jointly(const ir::LoopNest& nest, const cache::CacheConfig& cache,
                              const OptimizerOptions& options = {});
 

@@ -133,6 +133,18 @@ void trace_instant(std::string_view name) {
   emit_event(body);
 }
 
+void trace_complete_event(std::string_view name, i64 start_us, i64 end_us) {
+  if (!trace_active()) return;
+  i64 dur = end_us - start_us;
+  if (dur < 0) dur = 0;
+  TraceWriter& w = writer();
+  std::string body = "{\"ph\":\"X\",\"name\":\"" + escape(name) +
+                     "\",\"pid\":" + std::to_string(w.pid) + ",\"tid\":" +
+                     std::to_string(os_thread_id()) + ",\"ts\":" + std::to_string(start_us) +
+                     ",\"dur\":" + std::to_string(dur) + "}";
+  emit_event(body);
+}
+
 void Span::begin(std::string_view name) {
   name_ = name;
   start_us_ = trace_now_us();

@@ -42,6 +42,15 @@ void trace_counter(std::string_view name, std::string_view series, double value)
 /// Emit an "i" instant event. No-op when inactive.
 void trace_instant(std::string_view name);
 
+/// Emit an "X" complete event with explicit bounds (from trace_now_us()).
+/// For retroactive spans whose lifetime does not match a C++ scope — e.g.
+/// cmetile-serve stamps enqueue/schedule/respond phases of a request when
+/// the response goes out, not while it waits. Callers must emit in
+/// non-decreasing end-time order per thread to keep the file compatible
+/// with check_trace.py's monotonicity check. No-op when inactive;
+/// negative durations clamp to zero like Span.
+void trace_complete_event(std::string_view name, i64 start_us, i64 end_us);
+
 /// RAII scope producing one "X" complete event covering its lifetime.
 /// Cheap to construct when tracing is off; never throws.
 class Span {

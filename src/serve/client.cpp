@@ -1,0 +1,91 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+
+#include "sweep/protocol.hpp"
+#include "sweep/transport.hpp"
+
+#ifdef __unix__
+#include <poll.h>
+#endif
+
+namespace cmetile::serve {
+
+ServeClient::ServeClient(std::unique_ptr<sweep::Channel> channel)
+    : channel_(std::move(channel)) {}
+
+ServeClient::~ServeClient() = default;
+
+std::unique_ptr<ServeClient> ServeClient::connect(const std::string& spec,
+                                                  double wait_seconds) {
+  std::unique_ptr<sweep::Channel> channel = sweep::connect_channel(spec, wait_seconds);
+  if (channel == nullptr) return nullptr;
+  if (!channel->send_line(sweep::client_hello_line())) return nullptr;
+  return std::unique_ptr<ServeClient>(new ServeClient(std::move(channel)));
+}
+
+i64 ServeClient::send(const core::OptimizeRequest& request) {
+  const i64 id = next_id_++;
+  if (channel_ == nullptr || !channel_->send_line(sweep::job_line(id, request))) return -1;
+  return id;
+}
+
+std::optional<Reply> ServeClient::read_reply(double timeout_seconds) {
+#ifdef __unix__
+  using clock = std::chrono::steady_clock;
+  const bool bounded = timeout_seconds > 0;
+  const auto deadline = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                           std::chrono::duration<double>(
+                                               bounded ? timeout_seconds : 0.0));
+  while (channel_ != nullptr && channel_->read_fd() >= 0) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return reply_of_line(line);  // nullopt = protocol error, surfaced as-is
+    }
+    int timeout_ms = -1;
+    if (bounded) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - clock::now()).count();
+      if (remaining <= 0) return std::nullopt;
+      timeout_ms = (int)remaining + 1;
+    }
+    pollfd fd{channel_->read_fd(), POLLIN, 0};
+    const int ready = ::poll(&fd, 1, timeout_ms);
+    if (ready < 0) continue;  // EINTR
+    if (ready == 0) return std::nullopt;
+    char chunk[4096];
+    const long n = channel_->read_some(chunk, sizeof chunk);
+    if (n < 0) continue;
+    if (n == 0) return std::nullopt;  // daemon hung up
+    buffer_.append(chunk, (std::size_t)n);
+  }
+#else
+  (void)timeout_seconds;
+#endif
+  return std::nullopt;
+}
+
+std::optional<Reply> ServeClient::receive(double timeout_seconds) {
+  if (!pending_.empty()) {
+    Reply reply = std::move(pending_.front());
+    pending_.erase(pending_.begin());
+    return reply;
+  }
+  return read_reply(timeout_seconds);
+}
+
+std::optional<Reply> ServeClient::ask(const core::OptimizeRequest& request,
+                                      double timeout_seconds) {
+  const i64 id = send(request);
+  if (id < 0) return std::nullopt;
+  while (true) {
+    std::optional<Reply> reply = read_reply(timeout_seconds);
+    if (!reply) return std::nullopt;
+    if (reply->id == id) return reply;
+    pending_.push_back(std::move(*reply));
+  }
+}
+
+}  // namespace cmetile::serve

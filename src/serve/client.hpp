@@ -1,0 +1,60 @@
+#pragma once
+// Client side of cmetile-serve: connect to a daemon, speak the client role
+// of the line protocol (hello with "client":true, then job lines), and
+// read reply lines back. One ServeClient is one connection; it is
+// single-threaded but supports multiple outstanding requests (send
+// several ids, then collect replies in whatever order the daemon answers
+// — warm replies overtake cold ones by design).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/optimize.hpp"
+#include "serve/wire.hpp"
+
+namespace cmetile::sweep {
+class Channel;
+}
+
+namespace cmetile::serve {
+
+class ServeClient {
+ public:
+  /// Connect (retrying up to wait_seconds — the daemon may still be
+  /// binding) and send the client hello. nullptr when unreachable or on
+  /// non-POSIX platforms.
+  static std::unique_ptr<ServeClient> connect(const std::string& spec,
+                                              double wait_seconds = 15.0);
+
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Send one request under a fresh id; returns the id, or -1 when the
+  /// connection is gone.
+  i64 send(const core::OptimizeRequest& request);
+
+  /// Next reply in arrival order (a reply buffered by ask() counts).
+  /// timeout_seconds <= 0 blocks until the daemon answers or hangs up;
+  /// nullopt on timeout, EOF, or an unparseable reply line.
+  std::optional<Reply> receive(double timeout_seconds = 0.0);
+
+  /// send() + wait for THAT id's reply; replies to other outstanding ids
+  /// arriving first are buffered for later receive()/ask() calls.
+  std::optional<Reply> ask(const core::OptimizeRequest& request, double timeout_seconds = 0.0);
+
+ private:
+  explicit ServeClient(std::unique_ptr<sweep::Channel> channel);
+
+  /// One raw reply line off the wire (buffer-aware); nullopt on
+  /// timeout/EOF.
+  std::optional<Reply> read_reply(double timeout_seconds);
+
+  std::unique_ptr<sweep::Channel> channel_;
+  std::string buffer_;
+  std::vector<Reply> pending_;  ///< replies that overtook an ask()
+  i64 next_id_ = 0;
+};
+
+}  // namespace cmetile::serve

@@ -1,0 +1,103 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace cmetile::serve {
+
+void RequestQueue::push_queued(i64 client, const std::string& key, bool front) {
+  if (std::find(client_order_.begin(), client_order_.end(), client) == client_order_.end())
+    client_order_.push_back(client);
+  std::deque<std::string>& queue = client_queues_[client];
+  if (front)
+    queue.push_front(key);
+  else
+    queue.push_back(key);
+  ++queued_count_;
+}
+
+Admit RequestQueue::submit(const Waiter& waiter, const sweep::Fingerprint& fingerprint,
+                           const core::OptimizeRequest& request) {
+  const std::string key = fingerprint.hex();
+  if (auto it = pending_.find(key); it != pending_.end()) {
+    it->second.waiters.push_back(waiter);
+    return Admit::Coalesced;
+  }
+  if (queued_count_ >= max_queued_) return Admit::Rejected;
+  Computation computation;
+  computation.fingerprint = fingerprint;
+  computation.request = request;
+  computation.waiters.push_back(waiter);
+  computation.initiator_client = waiter.client;
+  pending_.emplace(key, std::move(computation));
+  push_queued(waiter.client, key, /*front=*/false);
+  return Admit::Cold;
+}
+
+std::optional<sweep::Fingerprint> RequestQueue::schedule() {
+  if (queued_count_ == 0 || client_order_.empty()) return std::nullopt;
+  for (std::size_t step = 0; step < client_order_.size(); ++step) {
+    const std::size_t at = (cursor_ + step) % client_order_.size();
+    std::deque<std::string>& queue = client_queues_[client_order_[at]];
+    if (queue.empty()) continue;
+    const std::string key = std::move(queue.front());
+    queue.pop_front();
+    --queued_count_;
+    cursor_ = (at + 1) % client_order_.size();  // next client's turn
+    auto it = pending_.find(key);
+    if (it == pending_.end()) continue;  // dropped while queued (defensive)
+    it->second.running = true;
+    return it->second.fingerprint;
+  }
+  return std::nullopt;
+}
+
+const core::OptimizeRequest* RequestQueue::request_of(
+    const sweep::Fingerprint& fingerprint) const {
+  const auto it = pending_.find(fingerprint.hex());
+  return it == pending_.end() ? nullptr : &it->second.request;
+}
+
+std::vector<Waiter> RequestQueue::complete(const sweep::Fingerprint& fingerprint) {
+  const auto it = pending_.find(fingerprint.hex());
+  if (it == pending_.end()) return {};
+  if (!it->second.running) {
+    // Still queued (complete() without schedule() — the in-process drain
+    // path does this): remove the queue entry too.
+    std::deque<std::string>& queue = client_queues_[it->second.initiator_client];
+    const auto at = std::find(queue.begin(), queue.end(), it->first);
+    if (at != queue.end()) {
+      queue.erase(at);
+      --queued_count_;
+    }
+  }
+  std::vector<Waiter> waiters = std::move(it->second.waiters);
+  pending_.erase(it);
+  return waiters;
+}
+
+void RequestQueue::requeue(const sweep::Fingerprint& fingerprint) {
+  const auto it = pending_.find(fingerprint.hex());
+  if (it == pending_.end() || !it->second.running) return;
+  it->second.running = false;
+  push_queued(it->second.initiator_client, it->first, /*front=*/true);
+}
+
+void RequestQueue::drop_client(i64 client) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Computation& computation = it->second;
+    std::erase_if(computation.waiters, [client](const Waiter& w) { return w.client == client; });
+    if (computation.waiters.empty() && !computation.running) {
+      std::deque<std::string>& queue = client_queues_[computation.initiator_client];
+      const auto at = std::find(queue.begin(), queue.end(), it->first);
+      if (at != queue.end()) {
+        queue.erase(at);
+        --queued_count_;
+      }
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cmetile::serve

@@ -1,0 +1,103 @@
+#pragma once
+// Admission control, fair scheduling, and request coalescing for
+// cmetile-serve — the pure bookkeeping core of the daemon, no I/O, so the
+// policies are unit-testable without sockets.
+//
+// One *computation* per distinct request fingerprint: any number of
+// client requests (waiters) attach to it. The first waiter is the
+// initiator (its reply is "cold"); later arrivals coalesce (replies
+// "coalesced") whether the computation is still queued or already running
+// on a worker — two clients racing the same fingerprint can never trigger
+// two GA runs.
+//
+// Admission bounds the number of QUEUED computations (running ones have
+// already been paid for): a submit that would start computation number
+// max_queued+1 is rejected and the client told to retry. Coalescing and
+// warm hits are never rejected — they add no work.
+//
+// Fairness is per-client round-robin over computation initiators: the
+// scheduler pops the oldest queued computation of each client in turn, so
+// a client flooding the queue delays its own requests, not everyone
+// else's.
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimize.hpp"
+#include "sweep/cell.hpp"  // Fingerprint
+
+namespace cmetile::serve {
+
+/// One client request attached to a computation. `arrival_us` (trace
+/// timebase) lets the server stamp per-request spans at reply time.
+struct Waiter {
+  i64 client = -1;      ///< server-assigned client serial
+  i64 request_id = -1;  ///< the id the client sent (echoed in the reply)
+  i64 arrival_us = 0;
+};
+
+enum class Admit {
+  Cold,       ///< new computation queued; this waiter is the initiator
+  Coalesced,  ///< joined an existing queued/running computation
+  Rejected,   ///< queue full; nothing recorded
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t max_queued) : max_queued_(max_queued) {}
+
+  Admit submit(const Waiter& waiter, const sweep::Fingerprint& fingerprint,
+               const core::OptimizeRequest& request);
+
+  /// Fairly pick the next queued computation and mark it running;
+  /// nullopt when nothing is queued.
+  std::optional<sweep::Fingerprint> schedule();
+
+  /// The request of a known (queued or running) computation; nullptr
+  /// otherwise. Valid until complete() removes the computation.
+  const core::OptimizeRequest* request_of(const sweep::Fingerprint& fingerprint) const;
+
+  /// Computation finished (or failed): remove it and surface its waiters,
+  /// initiator first. Empty when the fingerprint is unknown (e.g. every
+  /// waiter disconnected while it ran).
+  std::vector<Waiter> complete(const sweep::Fingerprint& fingerprint);
+
+  /// A running computation lost its worker: put it back at the FRONT of
+  /// its initiator's queue (it has waited longest). No-op when unknown.
+  void requeue(const sweep::Fingerprint& fingerprint);
+
+  /// Client disconnected: detach its waiters everywhere. A queued
+  /// computation left with no waiters is dropped (nobody wants it); a
+  /// running one keeps going (the result still warms the cache).
+  void drop_client(i64 client);
+
+  std::size_t queued() const { return queued_count_; }
+  std::size_t running() const { return pending_.size() - queued_count_; }
+  bool idle() const { return pending_.empty(); }
+
+ private:
+  struct Computation {
+    sweep::Fingerprint fingerprint;
+    core::OptimizeRequest request;
+    std::vector<Waiter> waiters;  ///< front = initiator
+    bool running = false;
+    i64 initiator_client = -1;
+  };
+
+  void push_queued(i64 client, const std::string& key, bool front);
+
+  std::size_t max_queued_;
+  std::size_t queued_count_ = 0;
+  std::unordered_map<std::string, Computation> pending_;  ///< key = fp.hex()
+  /// Per-client FIFO of queued (not running) computation keys + the
+  /// round-robin client order (first-submit order; cursor wraps).
+  std::unordered_map<i64, std::deque<std::string>> client_queues_;
+  std::vector<i64> client_order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace cmetile::serve

@@ -1,0 +1,632 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/queue.hpp"
+#include "serve/wire.hpp"
+#include "support/contracts.hpp"
+#include "sweep/json_codec.hpp"
+#include "sweep/metrics_json.hpp"
+#include "sweep/protocol.hpp"
+#include "sweep/request_json.hpp"
+#include "sweep/result_cache.hpp"
+#include "sweep/transport.hpp"
+
+#ifdef __unix__
+#include <poll.h>
+#include <signal.h>
+#endif
+
+namespace cmetile::serve {
+
+namespace {
+
+using sweep::Json;
+
+void log_line(const ServeOptions& options, const std::string& message) {
+  if (options.log != nullptr) *options.log << message << "\n";
+}
+
+/// Per-worker telemetry for the metrics report, keyed by connection serial
+/// (a reconnecting worker is a fresh process — see sweep/scheduler.cpp).
+struct WorkerRecord {
+  i64 pid = -1;
+  std::string peer;
+  std::size_t requests = 0;      ///< computations this worker completed
+  obs::MetricsSnapshot metrics;  ///< latest cumulative snapshot
+};
+
+/// The --metrics report, mirroring the sweep's "cmetile-metrics-v1" shape:
+/// serve totals, the daemon's own registry, each worker's last snapshot,
+/// and the fleet merge — tools/check_trace.py serve reconciles
+/// warm+cold+coalesced+rejected+malformed+failed == requests against it.
+void write_serve_report(const ServeOptions& options, const ServeStats& stats,
+                        const std::vector<WorkerRecord>& worker_records) {
+  Json report = Json::object();
+  report.set("schema", Json::string("cmetile-serve-metrics-v1"));
+
+  Json serve = Json::object();
+  serve.set("requests", Json::integer((i64)stats.requests));
+  serve.set("warm", Json::integer((i64)stats.warm));
+  serve.set("cold", Json::integer((i64)stats.cold));
+  serve.set("coalesced", Json::integer((i64)stats.coalesced));
+  serve.set("rejected", Json::integer((i64)stats.rejected));
+  serve.set("malformed", Json::integer((i64)stats.malformed));
+  serve.set("failed", Json::integer((i64)stats.failed));
+  serve.set("computed_remote", Json::integer((i64)stats.computed_remote));
+  serve.set("computed_local", Json::integer((i64)stats.computed_local));
+  serve.set("worker_failures", Json::integer((i64)stats.worker_failures));
+  report.set("serve", std::move(serve));
+
+  const obs::MetricsSnapshot server_snap = obs::Registry::instance().snapshot();
+  obs::MetricsSnapshot fleet = server_snap;
+  Json workers = Json::array();
+  for (std::size_t w = 0; w < worker_records.size(); ++w) {
+    const WorkerRecord& record = worker_records[w];
+    Json entry = Json::object();
+    entry.set("id", Json::integer((i64)w));
+    entry.set("pid", Json::integer(record.pid));
+    entry.set("peer", Json::string(record.peer));
+    entry.set("requests", Json::integer((i64)record.requests));
+    entry.set("metrics", sweep::json_of_metrics(record.metrics));
+    workers.push(std::move(entry));
+    fleet.merge(record.metrics);
+  }
+  report.set("server", sweep::json_of_metrics(server_snap));
+  report.set("fleet", sweep::json_of_metrics(fleet));
+  report.set("workers", std::move(workers));
+
+  std::ofstream out(options.metrics_path, std::ios::trunc);
+  if (!out.is_open()) {
+    log_line(options, "[serve] could not write metrics report to " + options.metrics_path);
+    return;
+  }
+  out << report.dump() << "\n";
+  log_line(options, "[serve] metrics report: " + options.metrics_path);
+}
+
+#ifdef __unix__
+
+/// Upper bound on one peer line (requests and responses are a few KB); a
+/// peer exceeding it without a newline is babbling and dropped.
+constexpr std::size_t kMaxPeerLineBytes = 1 << 20;
+
+/// A connected peer that never identifies itself (no hello) is dropped
+/// after this long — it holds an fd but can never do protocol work.
+constexpr std::chrono::seconds kUnknownPeerTimeout{10};
+
+/// Restore-on-destruction SIGPIPE ignore (same rationale as the sweep
+/// scheduler: a peer dying mid-write must surface as a failed send).
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~ScopedSigpipeIgnore() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+
+ private:
+  struct sigaction saved_ {};
+};
+
+/// One connection. Role is decided by the first line: a plain hello makes
+/// a Worker (jobs are dispatched to it), a hello with "client":true makes
+/// a Client (it sends job lines and receives reply lines).
+struct Peer {
+  std::unique_ptr<sweep::Channel> channel;
+  std::string buffer;
+  enum class Role { Unknown, Worker, Client } role = Role::Unknown;
+  bool hello_ok = false;
+  i64 serial = -1;       ///< Client: queue identity. Worker: telemetry index.
+  i64 job = -1;          ///< Worker: in-flight job id, -1 when idle
+  std::optional<sweep::Fingerprint> job_fp;  ///< Worker: in-flight computation
+  std::chrono::steady_clock::time_point last_seen;
+
+  bool alive() const { return channel != nullptr && channel->read_fd() >= 0; }
+};
+
+/// Span timing of one computation, keyed by fingerprint hex. The serve
+/// spans are emitted retroactively at the moment each phase ENDS (enqueue
+/// at dispatch, schedule/respond/request at reply), so the trace file
+/// stays in the non-decreasing end-time order check_trace.py requires.
+struct Inflight {
+  i64 enqueue_us = 0;  ///< initiator's arrival (span "serve.enqueue" start)
+  i64 sched_us = 0;    ///< dispatch time (span "serve.schedule" start)
+};
+
+ServeStats run_server_posix(const ServeOptions& options) {
+  using clock = std::chrono::steady_clock;
+  expects(!options.listen.empty(), "serve: --listen is required");
+  ScopedSigpipeIgnore sigpipe_guard;
+
+  std::optional<sweep::ResultCache> cache;
+  if (options.use_cache) cache.emplace(options.cache_dir);
+
+  sweep::TcpTransportOptions tcp;
+  tcp.listen = options.listen;
+  tcp.accept_wait_seconds = 0.0;  // open(0) binds and returns immediately
+  tcp.log = options.log;
+  tcp.on_listen = [&](const std::string& bound) {
+    log_line(options, "[serve] listening on " + bound);
+    if (options.on_listen) options.on_listen(bound);
+  };
+  const std::unique_ptr<sweep::Transport> transport = sweep::make_tcp_transport(std::move(tcp));
+  if (transport == nullptr)
+    throw contract_error("serve: could not establish the TCP listener");
+
+  obs::Registry& registry = obs::Registry::instance();
+  obs::Counter& c_requests = registry.counter("serve.requests");
+  obs::Counter& c_warm = registry.counter("serve.warm");
+  obs::Counter& c_cold = registry.counter("serve.cold");
+  obs::Counter& c_coalesced = registry.counter("serve.coalesced");
+  obs::Counter& c_rejected = registry.counter("serve.rejected");
+  obs::Counter& c_malformed = registry.counter("serve.malformed");
+  obs::Counter& c_failed = registry.counter("serve.failed");
+  obs::Counter& c_remote = registry.counter("serve.computed.remote");
+  obs::Counter& c_local = registry.counter("serve.computed.local");
+  obs::Counter& c_worker_failures = registry.counter("serve.worker_failures");
+  obs::Gauge& g_queue_depth = registry.gauge("serve.queue_depth");
+  if (!options.metrics_path.empty()) obs::set_enabled(true);
+
+  ServeStats stats;
+  RequestQueue queue(options.queue_max);
+  std::vector<Peer> peers;
+  std::vector<WorkerRecord> telemetry;
+  std::unordered_map<std::string, Inflight> inflight;  // key = fp.hex()
+  i64 next_client_serial = 0;
+  i64 next_job = 0;
+
+  enum class Status { Warm, Cold, Coalesced, Rejected, Malformed, Failed };
+  const auto account = [&](Status status) {
+    ++stats.requests;
+    c_requests.increment();
+    switch (status) {
+      case Status::Warm: ++stats.warm; c_warm.increment(); break;
+      case Status::Cold: ++stats.cold; c_cold.increment(); break;
+      case Status::Coalesced: ++stats.coalesced; c_coalesced.increment(); break;
+      case Status::Rejected: ++stats.rejected; c_rejected.increment(); break;
+      case Status::Malformed: ++stats.malformed; c_malformed.increment(); break;
+      case Status::Failed: ++stats.failed; c_failed.increment(); break;
+    }
+  };
+
+  const auto adopt = [&](std::unique_ptr<sweep::Channel> channel) {
+    Peer peer;
+    peer.channel = std::move(channel);
+    peer.last_seen = clock::now();
+    peers.push_back(std::move(peer));
+  };
+
+  const auto ready_workers = [&]() {
+    std::size_t n = 0;
+    for (const Peer& peer : peers)
+      n += (peer.alive() && peer.role == Peer::Role::Worker && peer.hello_ok) ? 1 : 0;
+    return n;
+  };
+
+  const auto client_of = [&](i64 serial) -> Peer* {
+    for (Peer& peer : peers)
+      if (peer.alive() && peer.role == Peer::Role::Client && peer.serial == serial) return &peer;
+    return nullptr;
+  };
+
+  /// Worker death: its in-flight computation is requeued (front of the
+  /// initiator's queue — it has waited longest); the waiters keep their
+  /// replies pending and another worker, or the in-process drain, answers.
+  const auto kill_worker = [&](Peer& worker, const std::string& reason) {
+    const std::string who = worker.channel->describe();
+    std::string message = "[serve] worker " + who + " " + reason;
+    if (worker.job_fp) {
+      queue.requeue(*worker.job_fp);
+      ++stats.worker_failures;
+      c_worker_failures.increment();
+      message += " — request requeued (" + std::to_string(stats.worker_failures) +
+                 " worker failures so far)";
+    }
+    worker.job = -1;
+    worker.job_fp.reset();
+    worker.channel->shutdown();
+    log_line(options, message);
+  };
+
+  const auto kill_client = [&](Peer& client, const std::string& reason) {
+    log_line(options, "[serve] client " + client.channel->describe() + " " + reason);
+    if (client.serial >= 0) queue.drop_client(client.serial);
+    client.channel->shutdown();
+  };
+
+  const auto kill_peer = [&](Peer& peer, const std::string& reason) {
+    switch (peer.role) {
+      case Peer::Role::Worker: kill_worker(peer, reason); break;
+      case Peer::Role::Client: kill_client(peer, reason); break;
+      case Peer::Role::Unknown:
+        log_line(options, "[serve] peer " + peer.channel->describe() + " " + reason);
+        peer.channel->shutdown();
+        break;
+    }
+  };
+
+  /// Mark a computation scheduled: the "serve.enqueue" span ends NOW (it
+  /// covered the queue wait), and the schedule phase starts.
+  const auto mark_scheduled = [&](const sweep::Fingerprint& fingerprint) {
+    const auto it = inflight.find(fingerprint.hex());
+    if (it == inflight.end()) return;
+    const i64 now_us = obs::trace_now_us();
+    obs::trace_complete_event("serve.enqueue", it->second.enqueue_us, now_us);
+    it->second.sched_us = now_us;
+  };
+
+  /// A computation finished (payload = canonical response JSON) or failed
+  /// (error non-empty): cache it, reply to every waiter still connected
+  /// (first reply "cold", the rest "coalesced"), and emit the retroactive
+  /// spans. Waiters whose client vanished get nothing and count nothing
+  /// (drop_client normally removed them already; this is the race window).
+  const auto finish = [&](const sweep::Fingerprint& fingerprint, const std::optional<Json>& payload,
+                          const std::string& error, bool remote) {
+    const i64 t_result = obs::trace_now_us();
+    if (payload) {
+      if (cache) cache->store_json(fingerprint, payload->dump());
+      ++(remote ? stats.computed_remote : stats.computed_local);
+      (remote ? c_remote : c_local).increment();
+    }
+    const std::vector<Waiter> waiters = queue.complete(fingerprint);
+    std::vector<Waiter> replied;
+    for (const Waiter& waiter : waiters) {
+      Peer* peer = client_of(waiter.client);
+      if (peer == nullptr) continue;
+      std::string line;
+      Status status;
+      if (payload) {
+        status = replied.empty() ? Status::Cold : Status::Coalesced;
+        line = reply_line(waiter.request_id, replied.empty() ? "cold" : "coalesced", *payload);
+      } else {
+        status = Status::Failed;
+        line = fail_line(waiter.request_id, "optimize failed: " + error);
+      }
+      if (!peer->channel->send_line(line)) {
+        kill_client(*peer, "went away before its reply");
+        continue;
+      }
+      replied.push_back(waiter);
+      account(status);
+    }
+    const auto it = inflight.find(fingerprint.hex());
+    if (!replied.empty()) {
+      const i64 t_done = obs::trace_now_us();
+      if (it != inflight.end())
+        obs::trace_complete_event("serve.schedule", it->second.sched_us, t_result);
+      obs::trace_complete_event("serve.respond", t_result, t_done);
+      for (const Waiter& waiter : replied)
+        obs::trace_complete_event("serve.request", waiter.arrival_us, t_done);
+    }
+    if (it != inflight.end()) inflight.erase(it);
+  };
+
+  /// Hand queued computations to idle workers, one at a time (dynamic load
+  /// balancing — request costs vary as widely as GA cells do).
+  const auto pump = [&]() {
+    while (true) {
+      Peer* idle = nullptr;
+      for (Peer& peer : peers) {
+        if (peer.alive() && peer.role == Peer::Role::Worker && peer.hello_ok && peer.job < 0) {
+          idle = &peer;
+          break;
+        }
+      }
+      if (idle == nullptr) return;
+      const std::optional<sweep::Fingerprint> fingerprint = queue.schedule();
+      if (!fingerprint) return;
+      const core::OptimizeRequest* request = queue.request_of(*fingerprint);
+      const i64 job = next_job++;
+      if (!idle->channel->send_line(sweep::job_line(job, *request))) {
+        // The computation is NOT lost: back to the queue for a healthier
+        // worker (or the in-process drain); this worker is done.
+        queue.requeue(*fingerprint);
+        kill_worker(*idle, "went away before accepting a request");
+        continue;
+      }
+      idle->job = job;
+      idle->job_fp = *fingerprint;
+      idle->last_seen = clock::now();
+      mark_scheduled(*fingerprint);
+    }
+  };
+
+  /// Degradation path: with zero ready workers, compute queued requests
+  /// synchronously in-process so no admitted request is ever dropped.
+  /// Busy-but-alive workers suppress this (their results are coming).
+  const auto drain_local = [&]() {
+    while (ready_workers() == 0) {
+      const std::optional<sweep::Fingerprint> fingerprint = queue.schedule();
+      if (!fingerprint) return;
+      mark_scheduled(*fingerprint);
+      const core::OptimizeRequest* request = queue.request_of(*fingerprint);
+      std::optional<Json> payload;
+      std::string error;
+      try {
+        payload = sweep::json_of_response(core::optimize(*request));
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+      finish(*fingerprint, payload, error, /*remote=*/false);
+    }
+  };
+
+  /// One request line from a client: answer warm from the cache, or admit
+  /// it (cold/coalesced/rejected). Warm/reject/malformed replies go out
+  /// immediately with their spans; admitted requests reply at finish().
+  const auto handle_request = [&](Peer& client, std::string_view line) {
+    const i64 arrival_us = obs::trace_now_us();
+    i64 id = -1;
+    std::optional<core::OptimizeRequest> request;
+    if (const std::optional<Json> json = Json::parse(std::string(line))) {
+      sweep::get_int(*json, "id", id);
+      if (const Json* payload = json->find("request")) request = sweep::request_of_json(*payload);
+    }
+    const auto reply_now = [&](const std::string& reply, Status status) {
+      if (!client.channel->send_line(reply)) {
+        kill_client(client, "went away before its reply");
+        return;
+      }
+      account(status);
+      const i64 now_us = obs::trace_now_us();
+      obs::trace_complete_event("serve.respond", arrival_us, now_us);
+      obs::trace_complete_event("serve.request", arrival_us, now_us);
+    };
+    if (!request) {
+      reply_now(fail_line(id, "malformed request"), Status::Malformed);
+      return;
+    }
+    const sweep::Fingerprint fingerprint = sweep::fingerprint_of(*request);
+    if (cache) {
+      if (const std::optional<std::string> cached = cache->load_json(fingerprint)) {
+        if (const std::optional<Json> payload = Json::parse(*cached)) {
+          reply_now(reply_line(id, "warm", *payload), Status::Warm);
+          return;
+        }
+      }
+    }
+    const Waiter waiter{client.serial, id, arrival_us};
+    switch (queue.submit(waiter, fingerprint, *request)) {
+      case Admit::Rejected:
+        reply_now(reject_line(id, "queue full", options.retry_after_ms), Status::Rejected);
+        return;
+      case Admit::Coalesced:
+        return;  // replies with the computation it joined
+      case Admit::Cold:
+        inflight[fingerprint.hex()] = Inflight{arrival_us, arrival_us};
+        return;  // the loop top pumps/drains before the next poll
+    }
+  };
+
+  const auto handle_worker_line = [&](Peer& worker, std::string_view line) {
+    sweep::WorkerMessage msg = sweep::parse_worker_message(line);
+    switch (msg.kind) {
+      case sweep::WorkerMessage::Kind::Hello:
+        kill_worker(worker, "sent a second hello");
+        return;
+      case sweep::WorkerMessage::Kind::Ack:
+      case sweep::WorkerMessage::Kind::Heartbeat:
+        if (worker.job < 0 || msg.id != worker.job) {
+          kill_worker(worker, "sent a stray control line");
+          return;
+        }
+        if (msg.stats) telemetry[(std::size_t)worker.serial].metrics = std::move(*msg.stats);
+        return;
+      case sweep::WorkerMessage::Kind::Result: {
+        if (worker.job < 0 || msg.id != worker.job) {
+          kill_worker(worker, "answered a job it does not hold");
+          return;
+        }
+        if (msg.ok && !msg.response) {
+          // A cell result for a request job is protocol confusion.
+          kill_worker(worker, "sent a mismatched result payload");
+          return;
+        }
+        const sweep::Fingerprint fingerprint = *worker.job_fp;
+        worker.job = -1;
+        worker.job_fp.reset();
+        if (msg.stats) telemetry[(std::size_t)worker.serial].metrics = std::move(*msg.stats);
+        if (!msg.ok) {
+          // The REQUEST failed (e.g. an illegal nest slipped through):
+          // surface the error to its waiters; the worker stays trusted.
+          finish(fingerprint, std::nullopt, msg.error.empty() ? "worker error" : msg.error,
+                 /*remote=*/true);
+        } else {
+          ++telemetry[(std::size_t)worker.serial].requests;
+          finish(fingerprint, sweep::json_of_response(*msg.response), "", /*remote=*/true);
+        }
+        pump();
+        return;
+      }
+      case sweep::WorkerMessage::Kind::Malformed:
+        kill_worker(worker, "babbled an unparseable line");
+        return;
+    }
+  };
+
+  /// First line of an Unknown peer: must be a hello passing the version +
+  /// code-salt handshake; "client":true selects the client role.
+  const auto handle_first_line = [&](Peer& peer, std::string_view line) {
+    const sweep::WorkerMessage msg = sweep::parse_worker_message(line);
+    if (msg.kind != sweep::WorkerMessage::Kind::Hello) {
+      kill_peer(peer, "spoke before its hello");
+      return;
+    }
+    std::string detail;
+    if (!sweep::handshake_accepts(msg, &detail)) {
+      kill_peer(peer, "refused: " + detail);
+      return;
+    }
+    peer.hello_ok = true;
+    if (msg.client) {
+      peer.role = Peer::Role::Client;
+      peer.serial = next_client_serial++;
+      log_line(options, "[serve] client connected from " + peer.channel->describe());
+      return;
+    }
+    peer.role = Peer::Role::Worker;
+    peer.serial = (i64)telemetry.size();
+    WorkerRecord record;
+    record.pid = msg.pid;
+    record.peer = peer.channel->describe();
+    telemetry.push_back(std::move(record));
+    log_line(options, "[serve] worker connected from " + peer.channel->describe() + " (" +
+                          std::to_string(ready_workers()) + " ready)");
+    pump();
+  };
+
+  const auto handle_line = [&](Peer& peer, std::string_view line) {
+    if (line.empty()) return;
+    switch (peer.role) {
+      case Peer::Role::Unknown: handle_first_line(peer, line); return;
+      case Peer::Role::Worker: handle_worker_line(peer, line); return;
+      case Peer::Role::Client: handle_request(peer, line); return;
+    }
+  };
+
+  // open(0) binds + fires on_listen and returns without waiting for a
+  // connection; everything (workers included) joins via accept() mid-run.
+  for (auto& channel : transport->open(0)) adopt(std::move(channel));
+  if (transport->accept_fd() < 0)
+    throw contract_error("serve: could not establish the TCP listener");
+
+  const auto worker_timeout = std::chrono::duration<double>(
+      options.worker_timeout_seconds > 0 ? options.worker_timeout_seconds : 0);
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_owner;  // peers.size() marks the accept fd
+
+  while (true) {
+    const auto now = clock::now();
+    std::erase_if(peers, [](const Peer& peer) { return !peer.alive(); });
+
+    // Expire peers that cannot make progress: connections that never sent
+    // a hello, and workers whose in-flight request went silent past the
+    // timeout (heartbeats refresh last_seen — only a hung or partitioned
+    // worker trips this; its computation is requeued).
+    for (Peer& peer : peers) {
+      if (!peer.alive()) continue;
+      if (peer.role == Peer::Role::Unknown && now - peer.last_seen > kUnknownPeerTimeout)
+        kill_peer(peer, "never sent a hello");
+      else if (peer.role == Peer::Role::Worker && worker_timeout.count() > 0 && peer.job >= 0 &&
+               now - peer.last_seen > worker_timeout)
+        kill_worker(peer, "timed out (silent for " +
+                              std::to_string(options.worker_timeout_seconds) + "s)");
+    }
+
+    pump();
+    drain_local();
+    g_queue_depth.set((double)queue.queued());
+
+    if (options.max_requests > 0 && (i64)stats.requests >= options.max_requests && queue.idle())
+      break;
+
+    int timeout_ms = -1;
+    const auto consider = [&](clock::time_point deadline) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+      const int ms = (int)std::max<long long>(0, remaining) + 1;
+      timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+    };
+    for (const Peer& peer : peers) {
+      if (!peer.alive()) continue;
+      if (peer.role == Peer::Role::Unknown)
+        consider(peer.last_seen + kUnknownPeerTimeout);
+      else if (peer.role == Peer::Role::Worker && worker_timeout.count() > 0 && peer.job >= 0)
+        consider(peer.last_seen + std::chrono::duration_cast<clock::duration>(worker_timeout));
+    }
+
+    fds.clear();
+    fd_owner.clear();
+    for (std::size_t p = 0; p < peers.size(); ++p) {
+      if (!peers[p].alive()) continue;
+      fds.push_back({peers[p].channel->read_fd(), POLLIN, 0});
+      fd_owner.push_back(p);
+    }
+    fds.push_back({transport->accept_fd(), POLLIN, 0});
+    fd_owner.push_back(peers.size());
+
+    const int ready = ::poll(fds.data(), (nfds_t)fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      log_line(options, "[serve] poll failed; shutting down");
+      break;
+    }
+    if (ready == 0) continue;  // a deadline fired; handled at loop top
+
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if (fds[f].revents == 0) continue;
+      if (fd_owner[f] == peers.size()) {
+        if (auto channel = transport->accept()) adopt(std::move(channel));
+        continue;
+      }
+      Peer& peer = peers[fd_owner[f]];
+      if (!peer.alive()) continue;  // killed earlier in this pass
+      char chunk[4096];
+      const long n = peer.channel->read_some(chunk, sizeof chunk);
+      if (n < 0) continue;  // transient (EINTR)
+      if (n == 0) {
+        // EOF: a worker mid-request died (requeue); a client is done with
+        // its session (detach its waiters); anything else just left.
+        if (peer.role == Peer::Role::Worker && peer.job >= 0)
+          kill_worker(peer, "exited");
+        else if (peer.role == Peer::Role::Client)
+          kill_client(peer, "disconnected");
+        else
+          peer.channel->shutdown();
+        continue;
+      }
+      peer.buffer.append(chunk, (std::size_t)n);
+      if (peer.buffer.find('\n') == std::string::npos) {
+        // No complete line: liveness is NOT refreshed, and the buffer must
+        // not grow without bound (protocol lines are a few KB).
+        if (peer.buffer.size() > kMaxPeerLineBytes) kill_peer(peer, "sent an oversized line");
+        continue;
+      }
+      peer.last_seen = clock::now();
+      std::size_t newline;
+      while (peer.alive() && (newline = peer.buffer.find('\n')) != std::string::npos) {
+        const std::string line = peer.buffer.substr(0, newline);
+        peer.buffer.erase(0, newline + 1);
+        handle_line(peer, line);
+      }
+    }
+  }
+
+  for (Peer& peer : peers) {
+    if (!peer.alive()) continue;
+    peer.channel->finish_input();
+    peer.channel->shutdown();
+  }
+  if (!options.metrics_path.empty()) write_serve_report(options, stats, telemetry);
+  log_line(options, "[serve] served " + std::to_string(stats.requests) + " requests (" +
+                        std::to_string(stats.warm) + " warm, " + std::to_string(stats.cold) +
+                        " cold, " + std::to_string(stats.coalesced) + " coalesced, " +
+                        std::to_string(stats.rejected) + " rejected)");
+  return stats;
+}
+
+#endif  // __unix__
+
+}  // namespace
+
+ServeStats run_server(const ServeOptions& options) {
+#ifdef __unix__
+  return run_server_posix(options);
+#else
+  (void)options;
+  throw contract_error("cmetile-serve requires a POSIX platform");
+#endif
+}
+
+}  // namespace cmetile::serve

@@ -1,0 +1,84 @@
+#pragma once
+// cmetile-serve: tiling-as-a-service (DESIGN.md §18). One daemon process
+// listens on a single TCP port and speaks the sweep line protocol
+// (sweep/protocol.hpp) with two kinds of peers, told apart by their
+// hello: workers (plain hello — they RECEIVE request jobs) and clients
+// (hello with "client":true — they SEND request jobs and get reply lines,
+// serve/wire.hpp).
+//
+// Request path:
+//   warm  — the request fingerprint is in the content-addressed
+//           ResultCache: the cached response bytes are forwarded
+//           immediately, no GA run, microseconds.
+//   cold  — admitted into the RequestQueue (bounded; overflow rejects
+//           with a retry_after_ms hint), scheduled per-client fair, and
+//           dispatched to an idle worker. The result is cached, so the
+//           next identical request anywhere in the fleet is warm.
+//   coalesced — an identical request is already queued or in flight:
+//           attach, share the single computation, reply to both.
+//
+// Degradation: a worker that dies mid-request gets its computation
+// requeued; when no ready workers remain, the daemon computes queued
+// requests in-process (synchronously — admission control bounds the
+// damage) so a reply is never dropped. With no workers at all the daemon
+// is a correct, if serial, single-node service.
+//
+// Observability: per-request spans (serve.request containing
+// serve.enqueue/serve.schedule/serve.respond, emitted retroactively in
+// end-time order — obs::trace_complete_event) plus warm/cold/coalesced/
+// rejected counters and a queue-depth gauge in the registry; --metrics
+// writes a "cmetile-serve-metrics-v1" report reconciling them
+// (tools/check_trace.py serve).
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "support/cli.hpp"  // kDefaultCacheDir
+
+namespace cmetile::serve {
+
+struct ServeOptions {
+  std::string listen;  ///< "host:port"; port 0 = ephemeral (required)
+  std::string cache_dir = kDefaultCacheDir;
+  bool use_cache = true;  ///< false: every request is cold (no warm path)
+  /// Admission bound: max QUEUED computations (running ones excluded).
+  /// The bound keeps the in-process degradation path finite too.
+  std::size_t queue_max = 64;
+  i64 retry_after_ms = 250;  ///< backoff hint on admission reject
+  /// Kill a worker whose in-flight request produced no line for this
+  /// long (heartbeats refresh it); its computation is requeued. <= 0
+  /// disables.
+  double worker_timeout_seconds = 120.0;
+  /// Exit after answering this many client requests (every reply line
+  /// counts: ok, reject, malformed). 0 = serve forever. Tests and the CI
+  /// smoke job use this for deterministic shutdown.
+  i64 max_requests = 0;
+  std::ostream* log = nullptr;
+  /// Invoked with the bound "host:port" once listening (ephemeral port
+  /// resolved) — tests and drivers connect workers/clients from here.
+  std::function<void(const std::string&)> on_listen;
+  /// Non-empty: enable the registry and write the serve metrics report
+  /// here on shutdown.
+  std::string metrics_path;
+};
+
+struct ServeStats {
+  std::size_t requests = 0;   ///< reply lines sent to clients
+  std::size_t warm = 0;       ///< answered from the cache
+  std::size_t cold = 0;       ///< computed for the initiating request
+  std::size_t coalesced = 0;  ///< shared another request's computation
+  std::size_t rejected = 0;   ///< admission-control rejects
+  std::size_t malformed = 0;  ///< unparseable / invalid request lines
+  std::size_t failed = 0;     ///< computation errors surfaced to clients
+  std::size_t computed_remote = 0;  ///< computations done by workers
+  std::size_t computed_local = 0;   ///< in-process degradation computations
+  std::size_t worker_failures = 0;  ///< workers killed/lost mid-request
+};
+
+/// Run the daemon until max_requests is reached (never returns when 0
+/// unless the listener dies). Throws contract_error on an unusable
+/// listen spec or cache directory.
+ServeStats run_server(const ServeOptions& options);
+
+}  // namespace cmetile::serve

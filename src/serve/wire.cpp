@@ -1,0 +1,57 @@
+#include "serve/wire.hpp"
+
+#include "sweep/json_codec.hpp"
+#include "sweep/request_json.hpp"
+
+namespace cmetile::serve {
+
+using sweep::Json;
+
+std::string reply_line(i64 id, std::string_view status, const Json& payload) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ok", Json::boolean(true));
+  msg.set("status", Json::string(std::string(status)));
+  msg.set("response", payload);
+  return msg.dump();
+}
+
+std::string reject_line(i64 id, const std::string& error, i64 retry_after_ms) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ok", Json::boolean(false));
+  msg.set("error", Json::string(error));
+  msg.set("retry_after_ms", Json::integer(retry_after_ms));
+  return msg.dump();
+}
+
+std::string fail_line(i64 id, const std::string& error) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ok", Json::boolean(false));
+  msg.set("error", Json::string(error));
+  return msg.dump();
+}
+
+std::optional<Reply> reply_of_line(std::string_view line) {
+  const std::optional<Json> json = Json::parse(std::string(line));
+  if (!json) return std::nullopt;
+  Reply reply;
+  bool ok = false;
+  if (!sweep::get_int(*json, "id", reply.id) || !sweep::get_bool(*json, "ok", ok))
+    return std::nullopt;
+  reply.ok = ok;
+  if (!ok) {
+    if (!sweep::get_string(*json, "error", reply.error)) return std::nullopt;
+    sweep::get_int(*json, "retry_after_ms", reply.retry_after_ms);  // optional
+    return reply;
+  }
+  const Json* payload = json->find("response");
+  if (!sweep::get_string(*json, "status", reply.status) || payload == nullptr)
+    return std::nullopt;
+  reply.response = sweep::response_of_json(*payload);
+  if (!reply.response) return std::nullopt;
+  return reply;
+}
+
+}  // namespace cmetile::serve

@@ -1,0 +1,43 @@
+#pragma once
+// Client-facing reply lines of cmetile-serve. Clients send the same job
+// framing the workers receive — {"id":N,"request":{...}} after a
+// client-role hello (sweep/protocol.hpp) — and get back one reply line
+// per request:
+//
+//   {"id":N,"ok":true,"status":"warm|cold|coalesced","response":{...}}
+//   {"id":N,"ok":false,"error":"...","retry_after_ms":M}   admission reject
+//   {"id":N,"ok":false,"error":"..."}                      malformed/failed
+//
+// `status` names how the daemon satisfied the request: "warm" from the
+// content-addressed cache, "cold" computed for this request, "coalesced"
+// sharing a computation another in-flight request triggered. A reject
+// carries retry_after_ms as a backoff hint; the request was NOT queued.
+
+#include <optional>
+#include <string>
+
+#include "core/optimize.hpp"
+#include "sweep/json.hpp"
+
+namespace cmetile::serve {
+
+struct Reply {
+  i64 id = -1;
+  bool ok = false;
+  std::string status;            ///< ok: "warm" / "cold" / "coalesced"
+  std::string error;             ///< !ok: reason
+  i64 retry_after_ms = 0;        ///< !ok admission reject: backoff hint (0 = no hint)
+  std::optional<core::OptimizeResponse> response;  ///< ok only
+};
+
+/// `payload` is the canonical response JSON (already encoded — the warm
+/// path forwards cached bytes without re-encoding).
+std::string reply_line(i64 id, std::string_view status, const sweep::Json& payload);
+std::string reject_line(i64 id, const std::string& error, i64 retry_after_ms);
+std::string fail_line(i64 id, const std::string& error);
+
+/// Parse one reply line; nullopt on anything malformed (including an ok
+/// reply whose response payload does not decode).
+std::optional<Reply> reply_of_line(std::string_view line);
+
+}  // namespace cmetile::serve

@@ -1,0 +1,167 @@
+#include "sweep/json_codec.hpp"
+
+namespace cmetile::sweep {
+
+Json json_of_ivec(std::span<const i64> values) {
+  Json array = Json::array();
+  for (const i64 v : values) array.push(Json::integer(v));
+  return array;
+}
+
+bool ivec_of_json(const Json* json, std::vector<i64>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    if (item.kind() != Json::Kind::Int) return false;
+    out.push_back(item.as_int());
+  }
+  return true;
+}
+
+Json json_of_ivecs(const std::vector<std::vector<i64>>& vectors) {
+  Json array = Json::array();
+  for (const std::vector<i64>& v : vectors) array.push(json_of_ivec(v));
+  return array;
+}
+
+bool ivecs_of_json(const Json* json, std::vector<std::vector<i64>>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    std::vector<i64> v;
+    if (!ivec_of_json(&item, v)) return false;
+    out.push_back(std::move(v));
+  }
+  return true;
+}
+
+Json json_of_dvec(const std::vector<double>& values) {
+  Json array = Json::array();
+  for (const double v : values) array.push(Json::number(v));
+  return array;
+}
+
+bool dvec_of_json(const Json* json, std::vector<double>& out) {
+  if (json == nullptr || json->kind() != Json::Kind::Array) return false;
+  out.clear();
+  for (const Json& item : json->items()) {
+    if (item.kind() != Json::Kind::Double && item.kind() != Json::Kind::Int) return false;
+    out.push_back(item.as_double());
+  }
+  return true;
+}
+
+bool get_double(const Json& obj, std::string_view key, double& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr ||
+      (v->kind() != Json::Kind::Double && v->kind() != Json::Kind::Int))
+    return false;
+  out = v->as_double();
+  return true;
+}
+
+bool get_int(const Json& obj, std::string_view key, i64& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Int) return false;
+  out = v->as_int();
+  return true;
+}
+
+bool get_bool(const Json& obj, std::string_view key, bool& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Bool) return false;
+  out = v->as_bool();
+  return true;
+}
+
+bool get_string(const Json& obj, std::string_view key, std::string& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::String) return false;
+  out = v->as_string();
+  return true;
+}
+
+Json json_of_optimizer_options(const core::OptimizerOptions& opt) {
+  Json ga = Json::object();
+  ga.set("population", Json::integer((i64)opt.ga.population));
+  ga.set("crossover_prob", Json::number(opt.ga.crossover_prob));
+  ga.set("mutation_prob", Json::number(opt.ga.mutation_prob));
+  ga.set("min_generations", Json::integer(opt.ga.min_generations));
+  ga.set("max_generations", Json::integer(opt.ga.max_generations));
+  ga.set("convergence_threshold", Json::number(opt.ga.convergence_threshold));
+  ga.set("seed", Json::integer((i64)opt.ga.seed));
+  ga.set("initial_seeds", json_of_ivecs(opt.ga.initial_seeds));
+
+  Json estimator = Json::object();
+  estimator.set("ci_width", Json::number(opt.objective.estimator.ci_width));
+  estimator.set("confidence", Json::number(opt.objective.estimator.confidence));
+  estimator.set("sample_count", Json::integer(opt.objective.estimator.sample_count));
+  estimator.set("seed", Json::integer((i64)opt.objective.estimator.seed));
+  estimator.set("exact_threshold", Json::integer(opt.objective.estimator.exact_threshold));
+
+  // Probe caching and parallel evaluation are documented bit-identical to
+  // their off forms, so they stay out of the fingerprint preimage; the
+  // work caps below can change classification verdicts and stay in.
+  Json analysis = Json::object();
+  analysis.set("probe_work_cap", Json::integer(opt.objective.analysis.probe_work_cap));
+  analysis.set("enumerate_cap", Json::integer(opt.objective.analysis.enumerate_cap));
+
+  Json out = Json::object();
+  out.set("ga", std::move(ga));
+  out.set("estimator", std::move(estimator));
+  out.set("analysis", std::move(analysis));
+  out.set("check_legality", Json::boolean(opt.check_legality));
+  out.set("seed_population", Json::boolean(opt.seed_population));
+  out.set("extra_tile_seeds", json_of_ivecs(opt.extra_tile_seeds));
+  out.set("max_intra_pad_elems", Json::integer(opt.max_intra_pad_elems));
+  out.set("max_inter_pad_units", Json::integer(opt.max_inter_pad_units));
+  return out;
+}
+
+bool optimizer_options_of_json(const Json& json, core::OptimizerOptions& out) {
+  const Json* ga = json.find("ga");
+  const Json* estimator = json.find("estimator");
+  const Json* analysis = json.find("analysis");
+  if (ga == nullptr || estimator == nullptr || analysis == nullptr) return false;
+
+  i64 population = 0, min_gen = 0, max_gen = 0, ga_seed = 0;
+  if (!get_int(*ga, "population", population) ||
+      !get_int(*ga, "min_generations", min_gen) || !get_int(*ga, "max_generations", max_gen) ||
+      !get_int(*ga, "seed", ga_seed))
+    return false;
+  core::OptimizerOptions opt;
+  opt.ga.population = (std::size_t)population;
+  opt.ga.min_generations = (int)min_gen;
+  opt.ga.max_generations = (int)max_gen;
+  opt.ga.seed = (std::uint64_t)ga_seed;
+  if (!get_double(*ga, "crossover_prob", opt.ga.crossover_prob) ||
+      !get_double(*ga, "mutation_prob", opt.ga.mutation_prob) ||
+      !get_double(*ga, "convergence_threshold", opt.ga.convergence_threshold) ||
+      !ivecs_of_json(ga->find("initial_seeds"), opt.ga.initial_seeds))
+    return false;
+
+  cme::EstimatorOptions& est = opt.objective.estimator;
+  i64 est_seed = 0;
+  if (!get_double(*estimator, "ci_width", est.ci_width) ||
+      !get_double(*estimator, "confidence", est.confidence) ||
+      !get_int(*estimator, "sample_count", est.sample_count) ||
+      !get_int(*estimator, "seed", est_seed) ||
+      !get_int(*estimator, "exact_threshold", est.exact_threshold))
+    return false;
+  est.seed = (std::uint64_t)est_seed;
+
+  if (!get_int(*analysis, "probe_work_cap", opt.objective.analysis.probe_work_cap) ||
+      !get_int(*analysis, "enumerate_cap", opt.objective.analysis.enumerate_cap))
+    return false;
+
+  if (!get_bool(json, "check_legality", opt.check_legality) ||
+      !get_bool(json, "seed_population", opt.seed_population) ||
+      !ivecs_of_json(json.find("extra_tile_seeds"), opt.extra_tile_seeds) ||
+      !get_int(json, "max_intra_pad_elems", opt.max_intra_pad_elems) ||
+      !get_int(json, "max_inter_pad_units", opt.max_inter_pad_units))
+    return false;
+  out = std::move(opt);
+  return true;
+}
+
+}  // namespace cmetile::sweep

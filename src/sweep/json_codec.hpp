@@ -1,0 +1,46 @@
+#pragma once
+// Shared JSON (de)serialization helpers for the sweep wire formats. The
+// cell codec (sweep/cell.cpp) and the request codec (sweep/request_json)
+// encode overlapping structures — integer/double vectors, OptimizerOptions
+// — and both feed fingerprint preimages, so there must be exactly one
+// spelling of each. Decoders are total: they return false/nullopt on any
+// malformed input instead of throwing, because payloads arrive from
+// sockets and cache files.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/optimize.hpp"
+#include "sweep/json.hpp"
+
+namespace cmetile::sweep {
+
+Json json_of_ivec(std::span<const i64> values);
+bool ivec_of_json(const Json* json, std::vector<i64>& out);
+
+Json json_of_ivecs(const std::vector<std::vector<i64>>& vectors);
+bool ivecs_of_json(const Json* json, std::vector<std::vector<i64>>& out);
+
+Json json_of_dvec(const std::vector<double>& values);
+bool dvec_of_json(const Json* json, std::vector<double>& out);
+
+// Doubles that are semantically doubles (latencies, ratios) serialize as
+// Kind::Double, but shortest-round-trip form drops the decimal point for
+// integral values (80.0 dumps as "80", which re-parses as Kind::Int), so
+// every double reader MUST accept Int — the value is still exact.
+bool get_double(const Json& obj, std::string_view key, double& out);
+bool get_int(const Json& obj, std::string_view key, i64& out);
+bool get_bool(const Json& obj, std::string_view key, bool& out);
+bool get_string(const Json& obj, std::string_view key, std::string& out);
+
+/// Canonical encoding of core::OptimizerOptions — the fingerprint preimage
+/// fragment shared by cell and request fingerprints. Key order is frozen
+/// (ga, estimator, analysis, check_legality, seed_population,
+/// extra_tile_seeds, max_intra_pad_elems, max_inter_pad_units): changing
+/// it would silently invalidate every existing cache entry.
+Json json_of_optimizer_options(const core::OptimizerOptions& options);
+bool optimizer_options_of_json(const Json& json, core::OptimizerOptions& out);
+
+}  // namespace cmetile::sweep

@@ -66,10 +66,27 @@ std::string hello_line(std::uint64_t salt, i64 pid) {
   return msg.dump();
 }
 
+std::string client_hello_line(std::uint64_t salt, i64 pid) {
+  Json msg = Json::object();
+  msg.set("hello", Json::boolean(true));
+  msg.set("protocol", Json::integer(kProtocolVersion));
+  msg.set("salt", Json::string(salt_hex(salt)));
+  msg.set("pid", Json::integer(pid < 0 ? (i64)::getpid() : pid));
+  msg.set("client", Json::boolean(true));
+  return msg.dump();
+}
+
 std::string job_line(i64 id, const SweepCell& cell) {
   Json msg = Json::object();
   msg.set("id", Json::integer(id));
   msg.set("cell", json_of_cell(cell));
+  return msg.dump();
+}
+
+std::string job_line(i64 id, const core::OptimizeRequest& request) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("request", json_of_request(request));
   return msg.dump();
 }
 
@@ -97,6 +114,16 @@ std::string result_line(i64 id, const CellResult& result, const obs::MetricsSnap
   return msg.dump();
 }
 
+std::string response_line(i64 id, const core::OptimizeResponse& response,
+                          const obs::MetricsSnapshot* stats) {
+  Json msg = Json::object();
+  msg.set("id", Json::integer(id));
+  msg.set("ok", Json::boolean(true));
+  msg.set("response", json_of_response(response));
+  if (stats != nullptr) msg.set("stats", json_of_metrics(*stats));
+  return msg.dump();
+}
+
 std::string error_line(i64 id, const std::string& error) {
   Json msg = Json::object();
   msg.set("id", Json::integer(id));
@@ -120,6 +147,8 @@ WorkerMessage parse_worker_message(std::string_view line) {
     if (hex.empty() || end != hex.c_str() + hex.size()) return msg;
     msg.protocol = protocol->as_int(0);
     if (const Json* pid = json->find("pid"); pid != nullptr) msg.pid = pid->as_int(-1);
+    if (const Json* client = json->find("client"); client != nullptr)
+      msg.client = client->as_bool(false);
     msg.kind = WorkerMessage::Kind::Hello;
     return msg;
   }
@@ -149,10 +178,17 @@ WorkerMessage parse_worker_message(std::string_view line) {
   if (ok == nullptr) return msg;
   msg.ok = ok->as_bool(false);
   if (msg.ok) {
-    const Json* payload = json->find("result");
-    if (payload == nullptr) return msg;
-    msg.result = result_of_json(*payload);
-    if (!msg.result) return msg;
+    // Exactly one payload member names the codec: "result" for cell jobs,
+    // "response" (v4) for request jobs.
+    if (const Json* payload = json->find("result"); payload != nullptr) {
+      msg.result = result_of_json(*payload);
+      if (!msg.result) return msg;
+    } else if (const Json* payload2 = json->find("response"); payload2 != nullptr) {
+      msg.response = response_of_json(*payload2);
+      if (!msg.response) return msg;
+    } else {
+      return msg;
+    }
   } else if (const Json* error = json->find("error"); error != nullptr) {
     msg.error = error->as_string();
   }
@@ -202,21 +238,26 @@ void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOption
     if (line.empty()) continue;
     i64 id = -1;
     std::optional<SweepCell> cell;
+    std::optional<core::OptimizeRequest> request;
     std::string error = "malformed job line";
     if (const std::optional<Json> job = Json::parse(line)) {
       if (const Json* id_field = job->find("id"); id_field != nullptr) id = id_field->as_int(-1);
       if (const Json* cell_json = job->find("cell"); cell_json != nullptr) {
         cell = cell_of_json(*cell_json);
         if (!cell) error = "malformed cell";
+      } else if (const Json* request_json = job->find("request"); request_json != nullptr) {
+        request = request_of_json(*request_json);
+        if (!request) error = "malformed request";
       }
     }
-    if (!cell) {
+    if (!cell && !request) {
       emit(error_line(id, error));
       continue;
     }
 
     emit(ack_line(id));
     std::optional<CellResult> result;
+    std::optional<core::OptimizeResponse> response;
     {
       // Scoped so the timer joins BEFORE the result line goes out — the
       // result is always the last line written for this job.
@@ -225,7 +266,10 @@ void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOption
         emit(heartbeat_line(id, stats ? &*stats : nullptr));
       });
       try {
-        result = run_cell(*cell);
+        if (cell)
+          result = run_cell(*cell);
+        else
+          response = core::optimize(*request);
       } catch (const std::exception& e) {
         error = e.what();
       } catch (...) {
@@ -235,6 +279,9 @@ void run_worker_loop(std::istream& in, std::ostream& out, const WorkerLoopOption
     if (result) {
       const std::optional<obs::MetricsSnapshot> stats = stats_now();
       emit(result_line(id, *result, stats ? &*stats : nullptr));
+    } else if (response) {
+      const std::optional<obs::MetricsSnapshot> stats = stats_now();
+      emit(response_line(id, *response, stats ? &*stats : nullptr));
     } else {
       emit(error_line(id, error));
     }

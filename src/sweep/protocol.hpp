@@ -4,15 +4,21 @@
 // transport carrying the lines (stdin/stdout pipes or a TCP socket —
 // see sweep/transport.hpp).
 //
-// Worker -> scheduler, in order per connection (protocol v3):
+// Worker -> scheduler, in order per connection (protocol v4):
 //
-//   {"hello":true,"protocol":3,"salt":"<16-hex>","pid":P}   handshake, once
+//   {"hello":true,"protocol":4,"salt":"<16-hex>","pid":P}   handshake, once
 //   {"id":N,"ack":true}                             job N accepted
 //   {"id":N,"heartbeat":true,"stats":{...}}         job N still computing
-//   {"id":N,"ok":true,"result":{...},"stats":{...}} job N finished
+//   {"id":N,"ok":true,"result":{...},"stats":{...}} cell job N finished
+//   {"id":N,"ok":true,"response":{...},"stats":{...}} request job N finished
 //   {"id":N,"ok":false,"error":"..."}               job N failed
 //
-// Scheduler -> worker: one job line per cell, {"id":N,"cell":{...}}.
+// Scheduler -> worker: one job line per unit of work — either a sweep
+// cell {"id":N,"cell":{...}} or (v4) a unified optimization request
+// {"id":N,"request":{...}} (sweep/request_json.hpp); the payload member
+// names the codec. cmetile-serve clients speak the same framing in the
+// other role: a client handshake is a hello with "client":true, after
+// which the client SENDS job lines and receives response lines.
 //
 // The handshake pins the protocol version AND the code-version salt
 // (sweep/cell.hpp): a worker built from different sources would compute
@@ -39,13 +45,15 @@
 
 #include "obs/metrics.hpp"
 #include "sweep/cell.hpp"
+#include "sweep/request_json.hpp"
 
 namespace cmetile::sweep {
 
 /// Bump on any wire-format change; mismatched workers are refused at the
 /// handshake (independently of kCodeVersionSalt, which tracks result
-/// semantics rather than message shape).
-inline constexpr i64 kProtocolVersion = 3;
+/// semantics rather than message shape). v4 added request jobs, response
+/// results, and the client-role hello.
+inline constexpr i64 kProtocolVersion = 4;
 
 /// Default worker heartbeat interval while a cell computes. Far below the
 /// scheduler's default per-cell timeout so a healthy-but-slow worker is
@@ -55,12 +63,20 @@ inline constexpr double kDefaultHeartbeatSeconds = 5.0;
 // -- Message builders (each returns one line WITHOUT the trailing \n) ----
 /// `pid` < 0 stamps the calling process's own pid.
 std::string hello_line(std::uint64_t salt = kCodeVersionSalt, i64 pid = -1);
+/// A hello carrying "client":true — a cmetile-serve client announcing it
+/// will SEND job lines rather than serve them. Same version/salt pinning.
+std::string client_hello_line(std::uint64_t salt = kCodeVersionSalt, i64 pid = -1);
 std::string job_line(i64 id, const SweepCell& cell);
+/// v4 request job: {"id":N,"request":{...}} (unified optimize API).
+std::string job_line(i64 id, const core::OptimizeRequest& request);
 std::string ack_line(i64 id);
 /// `stats` (optional) piggybacks a cumulative metrics snapshot.
 std::string heartbeat_line(i64 id, const obs::MetricsSnapshot* stats = nullptr);
 std::string result_line(i64 id, const CellResult& result,
                         const obs::MetricsSnapshot* stats = nullptr);
+/// v4 result of a request job: {"id":N,"ok":true,"response":{...}}.
+std::string response_line(i64 id, const core::OptimizeResponse& response,
+                          const obs::MetricsSnapshot* stats = nullptr);
 std::string error_line(i64 id, const std::string& error);
 
 /// One parsed worker -> scheduler line. Anything that is not a well-formed
@@ -71,11 +87,14 @@ struct WorkerMessage {
   Kind kind = Kind::Malformed;
   i64 id = -1;                       ///< job id (Ack/Heartbeat/Result)
   bool ok = false;                   ///< Result: worker-side success
-  std::optional<CellResult> result;  ///< Result with ok == true
+  std::optional<CellResult> result;  ///< Result with ok == true ("result" payload)
+  /// Result with ok == true and a "response" payload (v4 request job).
+  std::optional<core::OptimizeResponse> response;
   std::string error;                 ///< Result with ok == false
   i64 protocol = 0;                  ///< Hello
   std::uint64_t salt = 0;            ///< Hello
   i64 pid = -1;                      ///< Hello (v3; -1 when absent)
+  bool client = false;               ///< Hello (v4): peer is a serve client
   /// Heartbeat/Result (v3): cumulative worker metrics, when piggybacked.
   std::optional<obs::MetricsSnapshot> stats;
 };

@@ -1,0 +1,296 @@
+#include "sweep/request_json.hpp"
+
+#include "support/contracts.hpp"
+#include "support/hash.hpp"
+#include "sweep/json_codec.hpp"
+#include "sweep/nest_json.hpp"
+
+namespace cmetile::sweep {
+
+namespace {
+
+std::optional<cache::ReplacementPolicy> replacement_of_string(std::string_view name) {
+  if (name == "lru") return cache::ReplacementPolicy::LRU;
+  if (name == "plru") return cache::ReplacementPolicy::TreePLRU;
+  if (name == "random") return cache::ReplacementPolicy::Random;
+  return std::nullopt;
+}
+
+std::optional<cache::LevelMode> mode_of_string(std::string_view name) {
+  if (name == "inclusive") return cache::LevelMode::Inclusive;
+  if (name == "exclusive") return cache::LevelMode::Exclusive;
+  if (name == "victim") return cache::LevelMode::Victim;
+  return std::nullopt;
+}
+
+// Request levels carry the full CacheLevel — strictly more general than
+// the sweep-cell level encoding (size/line/assoc/latency), which predates
+// write-back and replacement modelling and is frozen by cache fingerprints.
+Json json_of_level(const cache::CacheLevel& level) {
+  Json l = Json::object();
+  l.set("size", Json::integer(level.config.size_bytes));
+  l.set("line", Json::integer(level.config.line_bytes));
+  l.set("assoc", Json::integer(level.config.associativity));
+  l.set("latency", Json::number(level.miss_latency));
+  l.set("writeback_latency", Json::number(level.writeback_latency));
+  l.set("replacement", Json::string(to_string(level.replacement)));
+  l.set("mode", Json::string(to_string(level.mode)));
+  return l;
+}
+
+bool level_of_json(const Json& json, cache::CacheLevel& out) {
+  std::string replacement, mode;
+  if (!get_int(json, "size", out.config.size_bytes) ||
+      !get_int(json, "line", out.config.line_bytes) ||
+      !get_int(json, "assoc", out.config.associativity) ||
+      !get_double(json, "latency", out.miss_latency) ||
+      !get_double(json, "writeback_latency", out.writeback_latency) ||
+      !get_string(json, "replacement", replacement) || !get_string(json, "mode", mode))
+    return false;
+  const auto policy = replacement_of_string(replacement);
+  const auto level_mode = mode_of_string(mode);
+  if (!policy || !level_mode) return false;
+  out.replacement = *policy;
+  out.mode = *level_mode;
+  return true;
+}
+
+Json json_of_layout(const ir::LayoutOptions& layout) {
+  Json padding = Json::array();
+  for (const ir::ArrayPadding& pad : layout.padding) {
+    Json p = Json::object();
+    p.set("dim_pad", json_of_ivec(pad.dim_pad));
+    p.set("pre_gap_lines", Json::integer(pad.pre_gap_lines));
+    padding.push(std::move(p));
+  }
+  Json out = Json::object();
+  out.set("alignment", Json::integer(layout.alignment));
+  out.set("padding", std::move(padding));
+  return out;
+}
+
+bool layout_of_json(const Json& json, ir::LayoutOptions& out) {
+  if (!get_int(json, "alignment", out.alignment)) return false;
+  const Json* padding = json.find("padding");
+  if (padding == nullptr || padding->kind() != Json::Kind::Array) return false;
+  out.padding.clear();
+  for (const Json& p : padding->items()) {
+    ir::ArrayPadding pad;
+    if (!ivec_of_json(p.find("dim_pad"), pad.dim_pad) ||
+        !get_int(p, "pre_gap_lines", pad.pre_gap_lines))
+      return false;
+    out.padding.push_back(std::move(pad));
+  }
+  return true;
+}
+
+Json json_of_miss_estimate(const cme::MissEstimate& e) {
+  Json out = Json::object();
+  out.set("total_ratio", Json::number(e.total_ratio));
+  out.set("replacement_ratio", Json::number(e.replacement_ratio));
+  out.set("cold_ratio", Json::number(e.cold_ratio));
+  out.set("total_half_width", Json::number(e.total_half_width));
+  out.set("replacement_half_width", Json::number(e.replacement_half_width));
+  out.set("sampled_points", Json::integer(e.sampled_points));
+  out.set("exact", Json::boolean(e.exact));
+  out.set("access_count", Json::integer(e.access_count));
+  return out;
+}
+
+bool miss_estimate_of_json(const Json& json, cme::MissEstimate& out) {
+  return get_double(json, "total_ratio", out.total_ratio) &&
+         get_double(json, "replacement_ratio", out.replacement_ratio) &&
+         get_double(json, "cold_ratio", out.cold_ratio) &&
+         get_double(json, "total_half_width", out.total_half_width) &&
+         get_double(json, "replacement_half_width", out.replacement_half_width) &&
+         get_int(json, "sampled_points", out.sampled_points) &&
+         get_bool(json, "exact", out.exact) &&
+         get_int(json, "access_count", out.access_count);
+}
+
+Json json_of_writeback_estimate(const cme::WritebackEstimate& e) {
+  Json out = Json::object();
+  out.set("generation_ratio", Json::number(e.generation_ratio));
+  out.set("half_width", Json::number(e.half_width));
+  out.set("sampled_points", Json::integer(e.sampled_points));
+  out.set("exact", Json::boolean(e.exact));
+  out.set("store_access_count", Json::integer(e.store_access_count));
+  return out;
+}
+
+bool writeback_estimate_of_json(const Json& json, cme::WritebackEstimate& out) {
+  return get_double(json, "generation_ratio", out.generation_ratio) &&
+         get_double(json, "half_width", out.half_width) &&
+         get_int(json, "sampled_points", out.sampled_points) &&
+         get_bool(json, "exact", out.exact) &&
+         get_int(json, "store_access_count", out.store_access_count);
+}
+
+Json json_of_estimate(const cme::HierarchyEstimate& estimate) {
+  Json levels = Json::array();
+  for (const cme::MissEstimate& e : estimate.levels) levels.push(json_of_miss_estimate(e));
+  Json writebacks = Json::array();
+  for (const cme::WritebackEstimate& e : estimate.writebacks)
+    writebacks.push(json_of_writeback_estimate(e));
+  Json out = Json::object();
+  out.set("levels", std::move(levels));
+  out.set("writebacks", std::move(writebacks));
+  out.set("weighted_cost", Json::number(estimate.weighted_cost));
+  return out;
+}
+
+bool estimate_of_json(const Json* json, cme::HierarchyEstimate& out) {
+  if (json == nullptr) return false;
+  const Json* levels = json->find("levels");
+  const Json* writebacks = json->find("writebacks");
+  if (levels == nullptr || levels->kind() != Json::Kind::Array || writebacks == nullptr ||
+      writebacks->kind() != Json::Kind::Array)
+    return false;
+  out.levels.clear();
+  for (const Json& l : levels->items()) {
+    cme::MissEstimate e;
+    if (!miss_estimate_of_json(l, e)) return false;
+    out.levels.push_back(e);
+  }
+  out.writebacks.clear();
+  for (const Json& w : writebacks->items()) {
+    cme::WritebackEstimate e;
+    if (!writeback_estimate_of_json(w, e)) return false;
+    out.writebacks.push_back(e);
+  }
+  return get_double(*json, "weighted_cost", out.weighted_cost);
+}
+
+// GaResult minus `history`: the per-generation trace is a diagnostic, not
+// part of the answer, and would bloat every cached response.
+Json json_of_ga(const ga::GaResult& ga) {
+  Json out = Json::object();
+  out.set("best_values", json_of_ivec(ga.best_values));
+  out.set("best_cost", Json::number(ga.best_cost));
+  out.set("objective_calls", Json::integer(ga.objective_calls));
+  out.set("evaluations", Json::integer(ga.evaluations));
+  out.set("eval_cache_lookups", Json::integer(ga.eval_cache_lookups));
+  out.set("eval_cache_hits", Json::integer(ga.eval_cache_hits));
+  out.set("generations", Json::integer(ga.generations));
+  out.set("converged", Json::boolean(ga.converged));
+  return out;
+}
+
+bool ga_of_json(const Json* json, ga::GaResult& out) {
+  if (json == nullptr) return false;
+  i64 generations = 0;
+  if (!ivec_of_json(json->find("best_values"), out.best_values) ||
+      !get_double(*json, "best_cost", out.best_cost) ||
+      !get_int(*json, "objective_calls", out.objective_calls) ||
+      !get_int(*json, "evaluations", out.evaluations) ||
+      !get_int(*json, "eval_cache_lookups", out.eval_cache_lookups) ||
+      !get_int(*json, "eval_cache_hits", out.eval_cache_hits) ||
+      !get_int(*json, "generations", generations) || !get_bool(*json, "converged", out.converged))
+    return false;
+  out.generations = (int)generations;
+  return true;
+}
+
+}  // namespace
+
+Json json_of_request(const core::OptimizeRequest& request) {
+  Json levels = Json::array();
+  for (const cache::CacheLevel& level : request.hierarchy.levels)
+    levels.push(json_of_level(level));
+  Json out = Json::object();
+  out.set("schema", Json::string(std::string(kRequestSchema)));
+  out.set("kind", Json::string(core::to_string(request.kind)));
+  out.set("nest", json_of_nest(request.nest));
+  out.set("layout", json_of_layout(request.layout));
+  out.set("levels", std::move(levels));
+  out.set("options", json_of_optimizer_options(request.options));
+  return out;
+}
+
+std::optional<core::OptimizeRequest> request_of_json(const Json& json) {
+  std::string schema, kind;
+  if (!get_string(json, "schema", schema) || schema != kRequestSchema) return std::nullopt;
+  if (!get_string(json, "kind", kind)) return std::nullopt;
+  const std::optional<core::OptimizeKind> parsed_kind = core::optimize_kind_of(kind);
+  if (!parsed_kind) return std::nullopt;
+
+  core::OptimizeRequest request;
+  request.kind = *parsed_kind;
+
+  const Json* nest = json.find("nest");
+  if (nest == nullptr) return std::nullopt;
+  std::optional<ir::LoopNest> decoded_nest = nest_of_json(*nest);
+  if (!decoded_nest) return std::nullopt;
+  request.nest = std::move(*decoded_nest);
+
+  const Json* layout = json.find("layout");
+  if (layout == nullptr || !layout_of_json(*layout, request.layout)) return std::nullopt;
+
+  const Json* levels = json.find("levels");
+  if (levels == nullptr || levels->kind() != Json::Kind::Array || levels->items().empty())
+    return std::nullopt;
+  for (const Json& l : levels->items()) {
+    cache::CacheLevel level;
+    if (!level_of_json(l, level)) return std::nullopt;
+    request.hierarchy.levels.push_back(level);
+  }
+
+  const Json* options = json.find("options");
+  if (options == nullptr || !optimizer_options_of_json(*options, request.options))
+    return std::nullopt;
+
+  // Structural decode succeeded; semantic validation (geometry contracts,
+  // level count, padding/array-rank agreement) reuses the same contracts
+  // optimize() enforces, demoted from throw to reject.
+  try {
+    request.hierarchy.validate();
+    if (!request.layout.padding.empty()) {
+      const ir::MemoryLayout probe(request.nest, request.layout);
+      (void)probe;
+    }
+  } catch (const contract_error&) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+Json json_of_response(const core::OptimizeResponse& response) {
+  Json out = Json::object();
+  out.set("schema", Json::string(std::string(kResponseSchema)));
+  out.set("kind", Json::string(core::to_string(response.kind)));
+  out.set("tiles", json_of_ivec(response.tiles.t));
+  out.set("pads_intra", json_of_ivec(response.pads.intra));
+  out.set("pads_inter", json_of_ivec(response.pads.inter));
+  out.set("before", json_of_estimate(response.before));
+  out.set("after", json_of_estimate(response.after));
+  out.set("ga", json_of_ga(response.ga));
+  return out;
+}
+
+std::optional<core::OptimizeResponse> response_of_json(const Json& json) {
+  std::string schema, kind;
+  if (!get_string(json, "schema", schema) || schema != kResponseSchema) return std::nullopt;
+  if (!get_string(json, "kind", kind)) return std::nullopt;
+  const std::optional<core::OptimizeKind> parsed_kind = core::optimize_kind_of(kind);
+  if (!parsed_kind) return std::nullopt;
+  core::OptimizeResponse response;
+  response.kind = *parsed_kind;
+  if (!ivec_of_json(json.find("tiles"), response.tiles.t) ||
+      !ivec_of_json(json.find("pads_intra"), response.pads.intra) ||
+      !ivec_of_json(json.find("pads_inter"), response.pads.inter) ||
+      !estimate_of_json(json.find("before"), response.before) ||
+      !estimate_of_json(json.find("after"), response.after) ||
+      !ga_of_json(json.find("ga"), response.ga))
+    return std::nullopt;
+  return response;
+}
+
+Fingerprint fingerprint_of(const core::OptimizeRequest& request, std::uint64_t salt) {
+  const std::string canonical = json_of_request(request).dump();
+  Fingerprint fp;
+  fp.hi = fnv1a_u64(salt, fnv1a_bytes(canonical));
+  fp.lo = fnv1a_u64(salt, fnv1a_bytes(canonical, 0x84222325CBF29CE4ULL));
+  return fp;
+}
+
+}  // namespace cmetile::sweep

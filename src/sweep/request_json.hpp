@@ -1,0 +1,39 @@
+#pragma once
+// Canonical JSON round-trip for the unified core::OptimizeRequest /
+// OptimizeResponse pair — the wire schema of cmetile-serve and the
+// fingerprint preimage of its content-addressed warm cache. The request
+// encoding carries everything that determines the response (kind, the full
+// generalized nest, layout options, every cache level's geometry +
+// latencies + policy + mode, and the complete OptimizerOptions including
+// seeds), so equal fingerprints imply bit-identical responses.
+//
+// The leading "schema" member ("cmetile-request-v1") doubles as a domain
+// separator: a request can never fingerprint-collide with a sweep cell,
+// whose canonical encoding starts with "kind".
+//
+// Decoders are total — nullopt on any malformed or non-validating input,
+// never an exception — because payloads arrive from sockets.
+
+#include <optional>
+
+#include "core/optimize.hpp"
+#include "sweep/cell.hpp"
+
+namespace cmetile::sweep {
+
+inline constexpr std::string_view kRequestSchema = "cmetile-request-v1";
+inline constexpr std::string_view kResponseSchema = "cmetile-response-v1";
+
+Json json_of_request(const core::OptimizeRequest& request);
+std::optional<core::OptimizeRequest> request_of_json(const Json& json);
+
+Json json_of_response(const core::OptimizeResponse& response);
+std::optional<core::OptimizeResponse> response_of_json(const Json& json);
+
+/// Fingerprint of a request: same two-stream FNV recipe as cell
+/// fingerprints (sweep/cell.hpp), over the canonical request encoding,
+/// salted with the code version so semantic changes miss cleanly.
+Fingerprint fingerprint_of(const core::OptimizeRequest& request,
+                           std::uint64_t salt = kCodeVersionSalt);
+
+}  // namespace cmetile::sweep

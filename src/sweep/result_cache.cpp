@@ -45,6 +45,43 @@ std::string temp_suffix() {
   return out.str();
 }
 
+/// All checksum-valid record payloads for this fingerprint, in file order.
+/// "Valid" here is the record framing only (tag, fingerprint, checksum);
+/// each loader applies its own payload decoding on top and walks the list
+/// from the back — preserving last-valid-record-wins under its own notion
+/// of valid.
+std::vector<std::string> valid_payloads(const std::string& path, const std::string& want_fp) {
+  std::vector<std::string> payloads;
+  std::ifstream in(path);
+  if (!in) return payloads;
+
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return payloads;
+
+  while (std::getline(in, line)) {
+    // Record: "row <fp> <checksum> <json>". Any deviation skips the line.
+    std::istringstream fields(line);
+    std::string tag, fp, checksum;
+    if (!(fields >> tag >> fp >> checksum) || tag != "row") continue;
+    std::string payload;
+    std::getline(fields, payload);
+    if (payload.size() < 2 || payload[0] != ' ') continue;
+    payload.erase(0, 1);
+    if (fp != want_fp) continue;
+    if (checksum != checksum_hex(payload)) continue;
+    payloads.push_back(std::move(payload));
+  }
+  return payloads;
+}
+
+/// LRU touch: a hit makes this cell the youngest, so gc() evicts cold
+/// cells first and never the ones a live sweep is replaying. Best effort —
+/// a read-only store still serves hits.
+void touch(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::last_write_time(path, std::filesystem::file_time_type::clock::now(), ec);
+}
+
 }  // namespace
 
 ResultCache::ResultCache(std::string directory) : directory_(std::move(directory)) {
@@ -60,45 +97,36 @@ std::string ResultCache::path_of(const Fingerprint& fingerprint) const {
 }
 
 std::optional<CellResult> ResultCache::load(const Fingerprint& fingerprint) const {
-  std::ifstream in(path_of(fingerprint));
-  if (!in) return std::nullopt;
-
-  std::string line;
-  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
-
-  const std::string want_fp = fingerprint.hex();
-  std::optional<CellResult> last_valid;
-  while (std::getline(in, line)) {
-    // Record: "row <fp> <checksum> <json>". Any deviation skips the line.
-    std::istringstream fields(line);
-    std::string tag, fp, checksum;
-    if (!(fields >> tag >> fp >> checksum) || tag != "row") continue;
-    std::string payload;
-    std::getline(fields, payload);
-    if (payload.size() < 2 || payload[0] != ' ') continue;
-    payload.erase(0, 1);
-    if (fp != want_fp) continue;
-    if (checksum != checksum_hex(payload)) continue;
-    const std::optional<Json> json = Json::parse(payload);
+  const std::string path = path_of(fingerprint);
+  const std::vector<std::string> payloads = valid_payloads(path, fingerprint.hex());
+  for (auto it = payloads.rbegin(); it != payloads.rend(); ++it) {
+    const std::optional<Json> json = Json::parse(*it);
     if (!json) continue;
     std::optional<CellResult> result = result_of_json(*json);
     if (!result) continue;
     result->from_cache = true;
-    last_valid = std::move(result);
+    touch(path);
+    return result;
   }
-  if (last_valid) {
-    // LRU touch: a hit makes this cell the youngest, so gc() evicts cold
-    // cells first and never the ones a live sweep is replaying. Best
-    // effort — a read-only store still serves hits.
-    std::error_code ec;
-    std::filesystem::last_write_time(path_of(fingerprint),
-                                     std::filesystem::file_time_type::clock::now(), ec);
+  return std::nullopt;
+}
+
+std::optional<std::string> ResultCache::load_json(const Fingerprint& fingerprint) const {
+  const std::string path = path_of(fingerprint);
+  std::vector<std::string> payloads = valid_payloads(path, fingerprint.hex());
+  for (auto it = payloads.rbegin(); it != payloads.rend(); ++it) {
+    if (!Json::parse(*it)) continue;
+    touch(path);
+    return std::move(*it);
   }
-  return last_valid;
+  return std::nullopt;
 }
 
 bool ResultCache::store(const Fingerprint& fingerprint, const CellResult& result) const {
-  const std::string payload = json_of_result(result).dump();
+  return store_json(fingerprint, json_of_result(result).dump());
+}
+
+bool ResultCache::store_json(const Fingerprint& fingerprint, std::string_view payload) const {
   const std::string final_path = path_of(fingerprint);
   const std::string temp_path = final_path + temp_suffix();
   {

@@ -82,6 +82,16 @@ class ResultCache {
   /// sweep then simply stays uncached — never fatal).
   bool store(const Fingerprint& fingerprint, const CellResult& result) const;
 
+  /// Raw-payload variants: the same record format with the caller's
+  /// canonical JSON line as the payload. cmetile-serve stores
+  /// OptimizeResponse encodings (sweep/request_json.hpp) next to cell
+  /// rows — fingerprints keep the two namespaces apart (the request
+  /// schema is a domain separator in the preimage), and the shared
+  /// header/checksum/atomic-rename machinery is reused byte for byte.
+  /// The caller decodes the returned payload (nullopt = any miss).
+  std::optional<std::string> load_json(const Fingerprint& fingerprint) const;
+  bool store_json(const Fingerprint& fingerprint, std::string_view payload) const;
+
   /// Number of "*.cell" files currently in the directory (tests/stats).
   std::size_t cell_count() const;
 

@@ -467,11 +467,21 @@ bool run_tcp_worker(const std::string& connect_spec, double heartbeat_seconds,
   return clean;
 }
 
+std::unique_ptr<Channel> connect_channel(const std::string& connect_spec, double wait_seconds) {
+  std::string host, port;
+  if (!split_host_port(connect_spec, host, port)) return nullptr;
+  const int fd = connect_with_retry(host, port, wait_seconds);
+  if (fd < 0) return nullptr;
+  set_cloexec(fd);
+  return std::make_unique<TcpChannel>(fd);
+}
+
 #else  // !__unix__
 
 std::unique_ptr<Transport> make_pipe_transport(PipeTransportOptions) { return nullptr; }
 std::unique_ptr<Transport> make_tcp_transport(TcpTransportOptions) { return nullptr; }
 bool run_tcp_worker(const std::string&, double, double) { return false; }
+std::unique_ptr<Channel> connect_channel(const std::string&, double) { return nullptr; }
 
 #endif  // __unix__
 

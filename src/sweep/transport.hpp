@@ -113,4 +113,13 @@ std::unique_ptr<Transport> make_tcp_transport(TcpTransportOptions options);
 bool run_tcp_worker(const std::string& connect_spec, double heartbeat_seconds,
                     double connect_wait_seconds = 15.0);
 
+/// Outbound side of the line protocol as a Channel: connect to
+/// "host:port" (retrying up to `wait_seconds` — the peer may not be
+/// listening yet) and wrap the socket. cmetile-serve clients use this to
+/// speak the client role of the protocol; the caller drives its own
+/// send/read loop. nullptr when the connection cannot be established (or
+/// on non-POSIX platforms).
+std::unique_ptr<Channel> connect_channel(const std::string& connect_spec,
+                                         double wait_seconds = 15.0);
+
 }  // namespace cmetile::sweep

@@ -1,0 +1,165 @@
+// The deprecated core/tiler.hpp overloads are thin wrappers over the one
+// public entry point core::optimize(OptimizeRequest). This test PINS that
+// claim: on every Table-1 registry kernel, the single-cache wrapper and a
+// hand-built request must agree bit for bit — same tiles, same GA
+// trajectory, same sampled estimates down to the last double. The padding
+// and joint wrappers, the hierarchy forms, and the non-default-layout
+// path are pinned on representative kernels (the wrapper code paths are
+// kernel-independent; the 17-kernel sweep guards the tiling path that
+// every bench and figure driver rides).
+
+#include <gtest/gtest.h>
+
+#include "core/tiler.hpp"
+#include "kernels/kernels.hpp"
+#include "transform/padding.hpp"
+
+namespace cmetile::core {
+namespace {
+
+cache::CacheConfig small_cache() { return cache::CacheConfig::direct_mapped(2048, 32); }
+
+OptimizerOptions smoke_options(std::uint64_t seed) {
+  OptimizerOptions options;
+  options.ga.seed = seed;
+  options.shrink_for_smoke();
+  return options;
+}
+
+void expect_same_estimate(const cme::MissEstimate& a, const cme::MissEstimate& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.total_ratio, b.total_ratio) << what;
+  EXPECT_EQ(a.replacement_ratio, b.replacement_ratio) << what;
+  EXPECT_EQ(a.cold_ratio, b.cold_ratio) << what;
+  EXPECT_EQ(a.total_half_width, b.total_half_width) << what;
+  EXPECT_EQ(a.replacement_half_width, b.replacement_half_width) << what;
+  EXPECT_EQ(a.sampled_points, b.sampled_points) << what;
+  EXPECT_EQ(a.exact, b.exact) << what;
+  EXPECT_EQ(a.access_count, b.access_count) << what;
+}
+
+void expect_same_hierarchy(const cme::HierarchyEstimate& a, const cme::HierarchyEstimate& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.levels.size(), b.levels.size()) << what;
+  for (std::size_t l = 0; l < a.levels.size(); ++l)
+    expect_same_estimate(a.levels[l], b.levels[l], what + " level " + std::to_string(l));
+  EXPECT_EQ(a.weighted_cost, b.weighted_cost) << what;
+}
+
+void expect_same_ga(const ga::GaResult& a, const ga::GaResult& b, const std::string& what) {
+  EXPECT_EQ(a.best_values, b.best_values) << what;
+  EXPECT_EQ(a.best_cost, b.best_cost) << what;
+  EXPECT_EQ(a.objective_calls, b.objective_calls) << what;
+  EXPECT_EQ(a.evaluations, b.evaluations) << what;
+  EXPECT_EQ(a.eval_cache_lookups, b.eval_cache_lookups) << what;
+  EXPECT_EQ(a.eval_cache_hits, b.eval_cache_hits) << what;
+  EXPECT_EQ(a.generations, b.generations) << what;
+  EXPECT_EQ(a.converged, b.converged) << what;
+  ASSERT_EQ(a.history.size(), b.history.size()) << what;
+  for (std::size_t g = 0; g < a.history.size(); ++g) {
+    EXPECT_EQ(a.history[g].best, b.history[g].best) << what << " gen " << g;
+    EXPECT_EQ(a.history[g].average, b.history[g].average) << what << " gen " << g;
+    EXPECT_EQ(a.history[g].best_ever, b.history[g].best_ever) << what << " gen " << g;
+  }
+}
+
+TEST(RequestApiTest, TilingWrapperIsBitIdenticalAcrossTheWholeRegistry) {
+  const cache::CacheConfig cache = small_cache();
+  std::uint64_t seed = 100;
+  for (const kernels::KernelSpec& spec : kernels::registry()) {
+    SCOPED_TRACE(spec.name);
+    const i64 size = spec.sized ? std::min<i64>(spec.default_size, 32) : 0;
+    const ir::LoopNest nest = kernels::build_kernel(spec.name, size);
+    const OptimizerOptions options = smoke_options(seed++);
+
+    const TilingResult legacy =
+        optimize_tiling(nest, ir::MemoryLayout(nest), cache, options);
+    OptimizeRequest request = OptimizeRequest::tiling(nest, cache::Hierarchy::single(cache),
+                                                      options);
+    request.layout = ir::MemoryLayout(nest).options();
+    const OptimizeResponse direct = optimize(request);
+
+    EXPECT_EQ(legacy.tiles.t, direct.tiles.t) << spec.name;
+    expect_same_estimate(legacy.before, direct.before.levels.front(), spec.name + " before");
+    expect_same_estimate(legacy.after, direct.after.levels.front(), spec.name + " after");
+    expect_same_ga(legacy.ga, direct.ga, spec.name + " ga");
+  }
+}
+
+TEST(RequestApiTest, TilingWrapperPreservesANonDefaultLayout) {
+  // The wrapper's one nontrivial mapping: a concrete MemoryLayout becomes
+  // the request's LayoutOptions. A padded layout must survive the trip.
+  const ir::LoopNest nest = kernels::build_kernel("ADD", 0);
+  transform::PadVector pads = transform::PadVector::none(nest);
+  for (std::size_t a = 0; a < pads.intra.size(); ++a) {
+    pads.intra[a] = (i64)(a % 3);
+    pads.inter[a] = (i64)((a + 1) % 4);
+  }
+  const ir::MemoryLayout layout = transform::padded_layout(nest, pads);
+  const OptimizerOptions options = smoke_options(7);
+
+  const TilingResult legacy = optimize_tiling(nest, layout, small_cache(), options);
+  OptimizeRequest request =
+      OptimizeRequest::tiling(nest, cache::Hierarchy::single(small_cache()), options);
+  request.layout = layout.options();
+  const OptimizeResponse direct = optimize(request);
+
+  EXPECT_EQ(legacy.tiles.t, direct.tiles.t);
+  expect_same_estimate(legacy.after, direct.after.levels.front(), "padded after");
+  expect_same_ga(legacy.ga, direct.ga, "padded ga");
+}
+
+TEST(RequestApiTest, HierarchyTilingWrapperIsBitIdentical) {
+  const ir::LoopNest nest = kernels::build_kernel("MM", 32);
+  const cache::Hierarchy hierarchy =
+      cache::Hierarchy::two_level(cache::CacheConfig::direct_mapped(1024, 32), 1.0,
+                                  cache::CacheConfig{8192, 32, 2}, 10.0);
+  const OptimizerOptions options = smoke_options(11);
+
+  const HierarchyTilingResult legacy =
+      optimize_tiling(nest, ir::MemoryLayout(nest), hierarchy, options);
+  OptimizeRequest request = OptimizeRequest::tiling(nest, hierarchy, options);
+  request.layout = ir::MemoryLayout(nest).options();
+  const OptimizeResponse direct = optimize(request);
+
+  EXPECT_EQ(legacy.tiles.t, direct.tiles.t);
+  expect_same_hierarchy(legacy.before, direct.before, "before");
+  expect_same_hierarchy(legacy.after, direct.after, "after");
+  expect_same_ga(legacy.ga, direct.ga, "ga");
+}
+
+TEST(RequestApiTest, PaddingWrapperIsBitIdentical) {
+  // ADD is a Table-3 padding kernel: power-of-two strides, so the pad
+  // search has real signal even at smoke budgets.
+  const ir::LoopNest nest = kernels::build_kernel("ADD", 0);
+  const OptimizerOptions options = smoke_options(23);
+
+  const PaddingResult legacy = optimize_padding(nest, small_cache(), options);
+  const OptimizeResponse direct =
+      optimize(OptimizeRequest::padding(nest, cache::Hierarchy::single(small_cache()), options));
+
+  EXPECT_EQ(legacy.pads.inter, direct.pads.inter);
+  EXPECT_EQ(legacy.pads.intra, direct.pads.intra);
+  expect_same_estimate(legacy.before, direct.before.levels.front(), "before");
+  expect_same_estimate(legacy.after, direct.after.levels.front(), "after");
+  expect_same_ga(legacy.ga, direct.ga, "ga");
+}
+
+TEST(RequestApiTest, JointWrapperIsBitIdentical) {
+  const ir::LoopNest nest = kernels::build_kernel("VPENTA1", 0);
+  const OptimizerOptions options = smoke_options(31);
+
+  const JointResult legacy = optimize_jointly(nest, small_cache(), options);
+  const OptimizeResponse direct =
+      optimize(OptimizeRequest::joint(nest, cache::Hierarchy::single(small_cache()), options));
+
+  EXPECT_EQ(legacy.tiles.t, direct.tiles.t);
+  EXPECT_EQ(legacy.pads.inter, direct.pads.inter);
+  EXPECT_EQ(legacy.pads.intra, direct.pads.intra);
+  expect_same_estimate(legacy.original, direct.before.levels.front(), "original");
+  expect_same_estimate(legacy.optimized, direct.after.levels.front(), "optimized");
+  expect_same_ga(legacy.ga, direct.ga, "ga");
+}
+
+}  // namespace
+}  // namespace cmetile::core

@@ -1,0 +1,192 @@
+// Golden fixtures for the cmetile-serve wire schema (sweep/request_json):
+// the canonical OptimizeRequest encoding and its fingerprint are pinned to
+// exact bytes, because they are the daemon's cache key — an accidental
+// codec change would silently invalidate (or worse, alias) every stored
+// result. Round-trips must be canonical (decode∘encode reproduces the
+// byte string), fingerprints must be deterministic and sensitive to every
+// semantic field, and decoders must reject malformed payloads with
+// nullopt, never an exception — they read from sockets.
+//
+// The golden fingerprint is pinned under a FIXED test salt so it survives
+// deliberate kCodeVersionSalt bumps; a separate check asserts the default
+// salt actually feeds the hash (bumping it must miss the cache).
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "sweep/request_json.hpp"
+
+namespace cmetile::sweep {
+namespace {
+
+constexpr std::uint64_t kGoldenSalt = 0x1CCB2002;  // fixed forever, test-only
+
+/// The golden fixture: the paper's MM kernel at N=8 on the 8KB-style
+/// direct-mapped cache, smoke GA budget, seed 2002. Every field is
+/// deterministic — the encoding below must never change byte-wise without
+/// a conscious schema revision.
+core::OptimizeRequest golden_request() {
+  core::OptimizerOptions options;
+  options.shrink_for_smoke();
+  options.ga.seed = 2002;
+  return core::OptimizeRequest::tiling(
+      kernels::build_kernel("MM", 8),
+      cache::Hierarchy::single(cache::CacheConfig::direct_mapped(1024, 32)), options);
+}
+
+TEST(RequestJson, GoldenRequestEncodingIsPinned) {
+  const std::string golden =
+      R"({"schema":"cmetile-request-v1","kind":"tiling","nest":{"name":"MM",)"
+      R"("loops":[{"name":"i","lo":1,"hi":8},{"name":"j","lo":1,"hi":8},{"name":"k","lo":1,"hi":8}],)"
+      R"("arrays":[{"name":"a","extents":[8,8],"lower_bounds":[1,1],"element_size":8},)"
+      R"({"name":"b","extents":[8,8],"lower_bounds":[1,1],"element_size":8},)"
+      R"({"name":"c","extents":[8,8],"lower_bounds":[1,1],"element_size":8}],)"
+      R"("refs":[{"array":0,"subscripts":[{"c":[1,0,0],"k":0},{"c":[0,1,0],"k":0}],"write":false,"statement":0},)"
+      R"({"array":1,"subscripts":[{"c":[1,0,0],"k":0},{"c":[0,0,1],"k":0}],"write":false,"statement":0},)"
+      R"({"array":2,"subscripts":[{"c":[0,0,1],"k":0},{"c":[0,1,0],"k":0}],"write":false,"statement":0},)"
+      R"({"array":0,"subscripts":[{"c":[1,0,0],"k":0},{"c":[0,1,0],"k":0}],"write":true,"statement":0}]},)"
+      R"("layout":{"alignment":128,"padding":[]},)"
+      R"("levels":[{"size":1024,"line":32,"assoc":1,"latency":1,"writeback_latency":0,)"
+      R"("replacement":"lru","mode":"inclusive"}],)"
+      R"("options":{"ga":{"population":30,"crossover_prob":0.9,"mutation_prob":0.001,)"
+      R"("min_generations":4,"max_generations":6,"convergence_threshold":0.02,"seed":2002,)"
+      R"("initial_seeds":[]},"estimator":{"ci_width":0.1,"confidence":0.9,"sample_count":64,)"
+      R"("seed":205414125,"exact_threshold":0},)"
+      R"("analysis":{"probe_work_cap":16384,"enumerate_cap":32768},)"
+      R"("check_legality":true,"seed_population":true,"extra_tile_seeds":[],)"
+      R"("max_intra_pad_elems":8,"max_inter_pad_units":16}})";
+  EXPECT_EQ(json_of_request(golden_request()).dump(), golden);
+}
+
+TEST(RequestJson, GoldenFingerprintIsPinned) {
+  const std::string golden = "95e807e9f8aa1789bfb6141fc69f38fc";
+  EXPECT_EQ(fingerprint_of(golden_request(), kGoldenSalt).hex(), golden);
+  // The default salt must actually participate: a code-version bump is a
+  // clean cache miss, not an aliased hit.
+  EXPECT_NE(fingerprint_of(golden_request()).hex(),
+            fingerprint_of(golden_request(), kGoldenSalt ^ 1).hex());
+}
+
+TEST(RequestJson, RequestRoundTripsCanonicallyForEveryKindAndKernel) {
+  const cache::Hierarchy hierarchy =
+      cache::Hierarchy::two_level(cache::CacheConfig::direct_mapped(1024, 32), 1.0,
+                                  cache::CacheConfig{8192, 32, 2}, 10.0);
+  for (const kernels::KernelSpec& spec : kernels::registry()) {
+    for (const auto kind : {core::OptimizeKind::Tiling, core::OptimizeKind::Padding,
+                            core::OptimizeKind::Joint}) {
+      core::OptimizeRequest request;
+      request.kind = kind;
+      request.nest = kernels::build_kernel(spec.name, spec.sized ? spec.default_size : 0);
+      request.hierarchy = hierarchy;
+      request.options.ga.seed = 7;
+      request.layout.alignment = 256;
+      const Json encoded = json_of_request(request);
+      const std::optional<core::OptimizeRequest> decoded = request_of_json(encoded);
+      ASSERT_TRUE(decoded.has_value()) << spec.name;
+      EXPECT_EQ(json_of_request(*decoded).dump(), encoded.dump()) << spec.name;
+      EXPECT_EQ(fingerprint_of(*decoded).hex(), fingerprint_of(request).hex()) << spec.name;
+    }
+  }
+}
+
+TEST(RequestJson, ResponseRoundTripsCanonically) {
+  const core::OptimizeResponse response = core::optimize(golden_request());
+  const Json encoded = json_of_response(response);
+  const std::optional<Json> reparsed = Json::parse(encoded.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  const std::optional<core::OptimizeResponse> decoded = response_of_json(*reparsed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tiles.t, response.tiles.t);
+  EXPECT_EQ(decoded->ga.best_cost, response.ga.best_cost);
+  EXPECT_EQ(decoded->ga.evaluations, response.ga.evaluations);
+  ASSERT_EQ(decoded->after.levels.size(), response.after.levels.size());
+  EXPECT_EQ(decoded->after.levels[0].replacement_ratio,
+            response.after.levels[0].replacement_ratio);
+  EXPECT_EQ(decoded->after.weighted_cost, response.after.weighted_cost);
+  // Canonical: the decoded response re-encodes to the same bytes.
+  EXPECT_EQ(json_of_response(*decoded).dump(), encoded.dump());
+}
+
+TEST(RequestJson, FingerprintIsStableAndSensitive) {
+  // Deterministic: two independent constructions agree.
+  EXPECT_EQ(fingerprint_of(golden_request()).hex(), fingerprint_of(golden_request()).hex());
+  const std::string base = fingerprint_of(golden_request()).hex();
+  EXPECT_EQ(base.size(), 32u);
+
+  core::OptimizeRequest seed = golden_request();
+  seed.options.ga.seed ^= 1;
+  EXPECT_NE(fingerprint_of(seed).hex(), base);
+
+  core::OptimizeRequest kind = golden_request();
+  kind.kind = core::OptimizeKind::Joint;
+  EXPECT_NE(fingerprint_of(kind).hex(), base);
+
+  core::OptimizeRequest geometry = golden_request();
+  geometry.hierarchy.levels[0].config.size_bytes *= 2;
+  EXPECT_NE(fingerprint_of(geometry).hex(), base);
+
+  core::OptimizeRequest latency = golden_request();
+  latency.hierarchy.levels[0].miss_latency = 2.0;
+  EXPECT_NE(fingerprint_of(latency).hex(), base);
+
+  core::OptimizeRequest layout = golden_request();
+  layout.layout.alignment = 4096;
+  EXPECT_NE(fingerprint_of(layout).hex(), base);
+
+  core::OptimizeRequest size = golden_request();
+  size.nest = kernels::build_kernel("MM", 9);
+  EXPECT_NE(fingerprint_of(size).hex(), base);
+}
+
+/// Copy `obj` with member `key` replaced (or dropped when `value` is
+/// nullopt). Json::set assumes unique keys, so mutation means rebuilding.
+Json with_member(const Json& obj, std::string_view key, std::optional<Json> value) {
+  Json out = Json::object();
+  for (const auto& [k, v] : obj.members()) {
+    if (k == key) {
+      if (value) out.set(k, std::move(*value));
+    } else {
+      out.set(k, v);
+    }
+  }
+  return out;
+}
+
+TEST(RequestJson, RejectsMalformedRequests) {
+  // Wrong top-level shapes.
+  EXPECT_FALSE(request_of_json(Json::integer(4)).has_value());
+  EXPECT_FALSE(request_of_json(Json::object()).has_value());
+
+  const Json good = json_of_request(golden_request());
+  ASSERT_TRUE(request_of_json(good).has_value());
+
+  // A request that corrupts or drops any required member must be refused.
+  const auto rejects = [&](const char* key, std::optional<Json> value) {
+    return !request_of_json(with_member(good, key, std::move(value))).has_value();
+  };
+  EXPECT_TRUE(rejects("schema", Json::string("cmetile-request-v0")));
+  EXPECT_TRUE(rejects("schema", std::nullopt));
+  EXPECT_TRUE(rejects("kind", Json::string("annealing")));
+  EXPECT_TRUE(rejects("nest", Json::object()));
+  EXPECT_TRUE(rejects("nest", std::nullopt));
+  EXPECT_TRUE(rejects("levels", Json::array()));  // hierarchy cannot validate
+  EXPECT_TRUE(rejects("levels", Json::integer(3)));
+  EXPECT_TRUE(rejects("layout", Json::integer(0)));
+  EXPECT_TRUE(rejects("options", Json::object()));
+
+  // A level with broken geometry fails CacheConfig validation, and an
+  // unknown replacement policy is refused at decode.
+  const auto rejects_level = [&](const char* key, Json value) {
+    const Json* lvl = good.find("levels");
+    Json levels = Json::array();
+    levels.push(with_member(lvl->items().front(), key, std::move(value)));
+    return !request_of_json(with_member(good, "levels", std::move(levels))).has_value();
+  };
+  EXPECT_TRUE(rejects_level("size", Json::integer(1000)));  // non-power-of-two sets
+  EXPECT_TRUE(rejects_level("assoc", Json::integer(0)));
+  EXPECT_TRUE(rejects_level("replacement", Json::string("fifo")));
+  EXPECT_TRUE(rejects_level("mode", Json::string("writeback")));
+}
+
+}  // namespace
+}  // namespace cmetile::sweep

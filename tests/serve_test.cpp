@@ -1,0 +1,365 @@
+// cmetile-serve acceptance tests (DESIGN.md §18): the daemon must answer
+// a repeated request from the result cache without running the GA again,
+// coalesce concurrent identical requests into one computation, reject
+// over-admission cleanly with a retry hint, and degrade to in-process
+// compute when its worker dies mid-request — a reply is never dropped.
+//
+// The tests drive the daemon over real TCP but play both sides of the
+// fleet themselves: a "fake" worker/client is a connect_channel the test
+// reads and writes directly, so dispatch order is fully observable and
+// every race in these scenarios is sequenced deterministically (the test
+// only acts on a state it has already seen on the wire).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "kernels/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "sweep/json_codec.hpp"
+#include "sweep/protocol.hpp"
+#include "sweep/request_json.hpp"
+#include "sweep/transport.hpp"
+
+#ifdef __unix__
+#include <poll.h>
+#endif
+
+namespace cmetile::serve {
+namespace {
+
+std::string unique_dir(const char* tag) {
+  static std::atomic<int> counter{0};
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cmetile_serve_test_" + std::string(tag) + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+core::OptimizeRequest tiny_request(const char* kernel, i64 size, std::uint64_t seed = 31) {
+  core::OptimizerOptions options;
+  options.ga.seed = seed;
+  options.shrink_for_smoke();
+  return core::OptimizeRequest::tiling(
+      kernels::build_kernel(kernel, size),
+      cache::Hierarchy::single(cache::CacheConfig::direct_mapped(1024, 32)), options);
+}
+
+#ifdef __unix__
+
+/// A raw protocol peer (worker or client role, depending on the hello the
+/// test sends): line-oriented reads with a hard deadline so a regression
+/// can fail a test but never hang it.
+class FakePeer {
+ public:
+  explicit FakePeer(const std::string& address)
+      : channel_(sweep::connect_channel(address, 15.0)) {}
+
+  bool ok() const { return channel_ != nullptr && channel_->read_fd() >= 0; }
+  bool send(const std::string& line) { return channel_->send_line(line); }
+  void close() { channel_->shutdown(); }
+
+  std::optional<std::string> read_line(double timeout_seconds = 15.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_seconds));
+    while (ok()) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+      if (remaining <= 0) return std::nullopt;
+      pollfd fd{channel_->read_fd(), POLLIN, 0};
+      const int ready = ::poll(&fd, 1, (int)remaining + 1);
+      if (ready <= 0) continue;
+      char chunk[4096];
+      const long n = channel_->read_some(chunk, sizeof chunk);
+      if (n == 0) return std::nullopt;  // peer hung up
+      if (n > 0) buffer_.append(chunk, (std::size_t)n);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::unique_ptr<sweep::Channel> channel_;
+  std::string buffer_;
+};
+
+/// Decode the request out of a dispatched job line and answer it like a
+/// real worker would (compute + response_line).
+std::optional<core::OptimizeRequest> request_of_job_line(const std::string& line, i64* id) {
+  const std::optional<sweep::Json> json = sweep::Json::parse(line);
+  if (!json || !sweep::get_int(*json, "id", *id)) return std::nullopt;
+  const sweep::Json* payload = json->find("request");
+  if (payload == nullptr) return std::nullopt;
+  return sweep::request_of_json(*payload);
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  std::string dir_ = unique_dir("serve");
+  std::ostringstream log_;
+  serve::ServeStats stats_;
+  std::thread server_;
+
+  /// Launch run_server on a thread; returns the bound address.
+  std::string start(ServeOptions options) {
+    options.listen = "127.0.0.1:0";
+    options.cache_dir = dir_;
+    options.log = &log_;
+    std::promise<std::string> bound;
+    auto address = bound.get_future();
+    options.on_listen = [&bound](const std::string& a) { bound.set_value(a); };
+    server_ = std::thread([this, options = std::move(options)] {
+      stats_ = run_server(options);
+    });
+    return address.get();
+  }
+
+  ~ServeTest() override {
+    if (server_.joinable()) server_.join();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+};
+
+TEST_F(ServeTest, WarmRequestIsAnsweredFromCacheWithoutRunningTheGa) {
+  ServeOptions options;
+  options.max_requests = 2;
+  const std::string address = start(options);
+
+  const std::unique_ptr<ServeClient> client = ServeClient::connect(address);
+  ASSERT_NE(client, nullptr);
+  const core::OptimizeRequest request = tiny_request("MM", 24);
+
+  const std::optional<Reply> cold = client->ask(request, 60.0);
+  ASSERT_TRUE(cold && cold->ok) << log_.str();
+  EXPECT_EQ(cold->status, "cold");
+
+  // The warm path must come from the result cache, not a recomputation:
+  // the process-wide GA run counter must not move.
+  obs::set_enabled(true);
+  obs::Counter& ga_runs = obs::Registry::instance().counter("ga.runs");
+  const i64 runs_before = ga_runs.value();
+  const std::optional<Reply> warm = client->ask(request, 60.0);
+  ASSERT_TRUE(warm && warm->ok) << log_.str();
+  EXPECT_EQ(warm->status, "warm");
+  EXPECT_EQ(ga_runs.value(), runs_before);
+  obs::set_enabled(false);
+
+  // Byte-identical payloads: the cache stored the cold response's
+  // canonical encoding and the warm reply forwarded it.
+  EXPECT_EQ(sweep::json_of_response(*warm->response).dump(),
+            sweep::json_of_response(*cold->response).dump());
+
+  server_.join();
+  EXPECT_EQ(stats_.requests, 2u);
+  EXPECT_EQ(stats_.warm, 1u);
+  EXPECT_EQ(stats_.cold, 1u);
+  EXPECT_EQ(stats_.computed_local, 1u);  // standalone daemon: no workers
+}
+
+TEST_F(ServeTest, ConcurrentIdenticalRequestsCoalesceIntoOneComputation) {
+  ServeOptions options;
+  options.max_requests = 3;  // cold + coalesced + the malformed probe
+  const std::string address = start(options);
+
+  // A test-controlled worker: while it holds the only dispatched job, the
+  // daemon cannot answer either client, so both requests are provably
+  // in-flight together.
+  FakePeer worker(address);
+  ASSERT_TRUE(worker.ok());
+  ASSERT_TRUE(worker.send(sweep::hello_line()));
+
+  FakePeer first(address);
+  FakePeer second(address);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE(first.send(sweep::client_hello_line()));
+  ASSERT_TRUE(second.send(sweep::client_hello_line()));
+
+  const core::OptimizeRequest request = tiny_request("T2D", 32);
+  ASSERT_TRUE(first.send(sweep::job_line(0, request)));
+
+  // The job reaching the worker proves the first request is running.
+  const std::optional<std::string> job = worker.read_line();
+  ASSERT_TRUE(job);
+  i64 job_id = -1;
+  const std::optional<core::OptimizeRequest> decoded = request_of_job_line(*job, &job_id);
+  ASSERT_TRUE(decoded);
+
+  // Identical request from the second client, then a malformed probe on
+  // the same connection: its immediate error reply proves the daemon has
+  // processed (and coalesced) the request sent before it.
+  ASSERT_TRUE(second.send(sweep::job_line(7, request)));
+  ASSERT_TRUE(second.send("{\"id\":99}"));
+  const std::optional<std::string> probe = second.read_line();
+  ASSERT_TRUE(probe);
+  const std::optional<Reply> probe_reply = reply_of_line(*probe);
+  ASSERT_TRUE(probe_reply);
+  EXPECT_EQ(probe_reply->id, 99);
+  EXPECT_FALSE(probe_reply->ok);
+
+  // Only now does the worker answer — once, for both clients.
+  const core::OptimizeResponse response = core::optimize(*decoded);
+  ASSERT_TRUE(worker.send(sweep::response_line(job_id, response)));
+
+  const std::optional<std::string> first_line = first.read_line();
+  const std::optional<std::string> second_line = second.read_line();
+  ASSERT_TRUE(first_line && second_line);
+  const std::optional<Reply> cold = reply_of_line(*first_line);
+  const std::optional<Reply> coalesced = reply_of_line(*second_line);
+  ASSERT_TRUE(cold && cold->ok);
+  ASSERT_TRUE(coalesced && coalesced->ok);
+  EXPECT_EQ(cold->id, 0);
+  EXPECT_EQ(cold->status, "cold");
+  EXPECT_EQ(coalesced->id, 7);
+  EXPECT_EQ(coalesced->status, "coalesced");
+  EXPECT_EQ(sweep::json_of_response(*coalesced->response).dump(),
+            sweep::json_of_response(*cold->response).dump());
+
+  server_.join();
+  EXPECT_EQ(stats_.cold, 1u);
+  EXPECT_EQ(stats_.coalesced, 1u);
+  EXPECT_EQ(stats_.malformed, 1u);
+  EXPECT_EQ(stats_.computed_remote, 1u);  // exactly one computation
+  EXPECT_EQ(stats_.computed_local, 0u);
+}
+
+TEST_F(ServeTest, QueueOverflowRejectsWithTheRetryHint) {
+  ServeOptions options;
+  options.max_requests = 3;  // two colds + one reject
+  options.queue_max = 1;
+  options.retry_after_ms = 77;
+  const std::string address = start(options);
+
+  FakePeer worker(address);
+  ASSERT_TRUE(worker.ok());
+  ASSERT_TRUE(worker.send(sweep::hello_line()));
+
+  FakePeer client(address);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(sweep::client_hello_line()));
+
+  // First request occupies the worker (running jobs are not queued)...
+  ASSERT_TRUE(client.send(sweep::job_line(0, tiny_request("MM", 20))));
+  const std::optional<std::string> job0 = worker.read_line();
+  ASSERT_TRUE(job0);
+  // ...the second fills the queue (max 1), the third must bounce.
+  ASSERT_TRUE(client.send(sweep::job_line(1, tiny_request("MM", 24))));
+  ASSERT_TRUE(client.send(sweep::job_line(2, tiny_request("MM", 28))));
+
+  const std::optional<std::string> line = client.read_line();
+  ASSERT_TRUE(line);
+  const std::optional<Reply> reject = reply_of_line(*line);
+  ASSERT_TRUE(reject);
+  EXPECT_EQ(reject->id, 2);
+  EXPECT_FALSE(reject->ok);
+  EXPECT_EQ(reject->retry_after_ms, 77);
+
+  // Drain: answer job 0; the queued request is then dispatched as job 1.
+  // The admitted requests are both served — rejection never sheds paid work.
+  i64 id0 = -1;
+  const std::optional<core::OptimizeRequest> decoded0 = request_of_job_line(*job0, &id0);
+  ASSERT_TRUE(decoded0);
+  ASSERT_TRUE(worker.send(sweep::response_line(id0, core::optimize(*decoded0))));
+  const std::optional<std::string> job1 = worker.read_line();
+  ASSERT_TRUE(job1);
+  i64 id1 = -1;
+  const std::optional<core::OptimizeRequest> decoded1 = request_of_job_line(*job1, &id1);
+  ASSERT_TRUE(decoded1);
+  ASSERT_TRUE(worker.send(sweep::response_line(id1, core::optimize(*decoded1))));
+  const std::optional<std::string> reply0 = client.read_line();
+  const std::optional<std::string> reply1 = client.read_line();
+  ASSERT_TRUE(reply0 && reply1);
+  EXPECT_TRUE(reply_of_line(*reply0)->ok);
+  EXPECT_TRUE(reply_of_line(*reply1)->ok);
+
+  server_.join();
+  EXPECT_EQ(stats_.rejected, 1u);
+  EXPECT_EQ(stats_.cold, 2u);
+  EXPECT_EQ(stats_.computed_remote, 2u);
+}
+
+TEST_F(ServeTest, WorkerDeathDegradesToInProcessComputeWithoutDroppingTheReply) {
+  ServeOptions options;
+  options.max_requests = 1;
+  const std::string address = start(options);
+
+  FakePeer worker(address);
+  ASSERT_TRUE(worker.ok());
+  ASSERT_TRUE(worker.send(sweep::hello_line()));
+
+  const std::unique_ptr<ServeClient> client = ServeClient::connect(address);
+  ASSERT_NE(client, nullptr);
+  const core::OptimizeRequest request = tiny_request("MM", 20, 47);
+  const i64 id = client->send(request);
+  ASSERT_GE(id, 0);
+
+  // The worker receives the job... and dies holding it. The daemon must
+  // requeue the computation and, with no workers left, finish it itself.
+  ASSERT_TRUE(worker.read_line());
+  worker.close();
+
+  const std::optional<Reply> reply = client->receive(60.0);
+  ASSERT_TRUE(reply && reply->ok) << log_.str();
+  EXPECT_EQ(reply->id, id);
+  EXPECT_EQ(reply->status, "cold");
+  // The degraded answer is the same answer: requests are deterministic.
+  EXPECT_EQ(sweep::json_of_response(*reply->response).dump(),
+            sweep::json_of_response(core::optimize(request)).dump());
+
+  server_.join();
+  EXPECT_EQ(stats_.worker_failures, 1u);
+  EXPECT_EQ(stats_.computed_local, 1u);
+  EXPECT_EQ(stats_.computed_remote, 0u);
+  EXPECT_EQ(stats_.cold, 1u);
+  EXPECT_NE(log_.str().find("request requeued"), std::string::npos) << log_.str();
+}
+
+TEST_F(ServeTest, MalformedRequestLinesGetErrorRepliesNotHangs) {
+  ServeOptions options;
+  options.max_requests = 3;
+  options.use_cache = false;
+  const std::string address = start(options);
+
+  FakePeer client(address);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(sweep::client_hello_line()));
+  // Unparseable JSON, a parseable line with no request payload, and a
+  // request whose hierarchy cannot validate (zero levels).
+  ASSERT_TRUE(client.send("this is not json"));
+  ASSERT_TRUE(client.send("{\"id\":5,\"cell\":{}}"));
+  ASSERT_TRUE(client.send("{\"id\":6,\"request\":{\"schema\":\"cmetile-request-v1\"}}"));
+  for (const i64 want_id : {-1, 5, 6}) {
+    const std::optional<std::string> line = client.read_line();
+    ASSERT_TRUE(line);
+    const std::optional<Reply> reply = reply_of_line(*line);
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(reply->id, want_id);
+    EXPECT_FALSE(reply->ok);
+    EXPECT_EQ(reply->retry_after_ms, 0);  // not a backoff situation
+  }
+  server_.join();
+  EXPECT_EQ(stats_.malformed, 3u);
+  EXPECT_EQ(stats_.requests, 3u);
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace cmetile::serve

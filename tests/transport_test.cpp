@@ -447,7 +447,7 @@ TEST_F(TransportTest, HandshakeRejectsProtocolV2Worker) {
   EXPECT_EQ(run.stats.computed, spec.entries.size());  // in-process fallback
   EXPECT_EQ(run.stats.remote, 0u);
   EXPECT_EQ(run.stats.worker_failures, 0u);
-  EXPECT_NE(log.find("protocol mismatch (worker 2, scheduler 3)"), std::string::npos) << log;
+  EXPECT_NE(log.find("protocol mismatch (worker 2, scheduler 4)"), std::string::npos) << log;
 }
 
 TEST_F(TransportTest, StatsRoundTripTheLineProtocolByteIdentically) {

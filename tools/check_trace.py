@@ -24,6 +24,17 @@ Subcommands:
                             an all-cold run) and against the sweep's CSV
                             (fleet experiment.rows == CSV data rows).
 
+  serve TRACE               Validate a cmetile-serve run: per-request span
+      [--metrics FILE]      nesting (every serve.enqueue / serve.schedule /
+      [--expect-workers N]  serve.respond lies inside a serve.request, and
+                            every serve.request contains a serve.respond),
+                            and — with --metrics — reconcile the
+                            cmetile-serve-metrics-v1 report (warm + cold +
+                            coalesced + rejected + malformed + failed ==
+                            requests, trace request-span count == the
+                            requests counter, workers' completions ==
+                            computed_remote).
+
 Exit status 0 = all checks passed; 1 = a check failed (message on stderr).
 """
 
@@ -211,6 +222,112 @@ def cmd_metrics(args):
               f"but {args.csv} has {rows} data rows")
 
 
+# -- serve ----------------------------------------------------------------
+
+SERVE_OUTCOMES = ("warm", "cold", "coalesced", "rejected", "malformed", "failed")
+
+
+def serve_spans(path):
+    """serve.* completed spans as name -> [(pid, start, end)], file order."""
+    events = trace_events(path)
+    if events is None:
+        return None
+    spans = {}
+    for e in events:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        name = e.get("name", "")
+        if not isinstance(name, str) or not name.startswith("serve."):
+            continue
+        ts, dur = e.get("ts", 0), e.get("dur", 0)
+        spans.setdefault(name, []).append((e.get("pid"), ts, ts + dur))
+    return spans
+
+
+def cmd_serve(args):
+    spans = serve_spans(args.file)
+    if spans is None:
+        return
+    requests = spans.get("serve.request", [])
+    if not check(requests, f"{args.file}: no serve.request spans"):
+        return
+
+    # Phase spans nest inside a request span: enqueue covers the queue
+    # wait, schedule the computation, respond the reply write — all three
+    # end at or before the request's own end and start at or after the
+    # (earliest) waiter's arrival, which is the request span's start.
+    def nested(span):
+        pid, start, end = span
+        return any(rp == pid and rs <= start and end <= re
+                   for rp, rs, re in requests)
+
+    for name in ("serve.enqueue", "serve.schedule", "serve.respond"):
+        for i, span in enumerate(spans.get(name, [])):
+            check(nested(span),
+                  f"{args.file}: {name}[{i}] {span[1]}..{span[2]} is not "
+                  "nested in any serve.request span")
+
+    # A request that was answered has a respond span inside it (warm and
+    # error replies share both endpoints with their request, which still
+    # nests: containment is non-strict).
+    responds = spans.get("serve.respond", [])
+    for i, (pid, start, end) in enumerate(requests):
+        check(any(p == pid and start <= s and e <= end for p, s, e in responds),
+              f"{args.file}: serve.request[{i}] {start}..{end} contains "
+              "no serve.respond span")
+
+    if not args.metrics:
+        return
+    doc = load_json(args.metrics)
+    if doc is None:
+        return
+    if not check(doc.get("schema") == "cmetile-serve-metrics-v1",
+                 f"{args.metrics}: schema is {doc.get('schema')!r}, "
+                 "expected cmetile-serve-metrics-v1"):
+        return
+    serve = doc.get("serve", {})
+    server = doc.get("server", {})
+    workers = doc.get("workers", [])
+    check_snapshot(server, f"{args.metrics}: server")
+    check(isinstance(workers, list), f"{args.metrics}: missing workers array")
+
+    # Every request is accounted to exactly one outcome.
+    total = sum(serve.get(k, 0) for k in SERVE_OUTCOMES)
+    check(total == serve.get("requests", -1),
+          f"{args.metrics}: outcomes sum to {total}, "
+          f"serve.requests says {serve.get('requests')}")
+
+    # The trace and the report describe the same run: one serve.request
+    # span per accounted request, and the server's own registry counters
+    # mirror the report (both are written by the same process).
+    check(len(requests) == serve.get("requests", -1),
+          f"{args.file}: {len(requests)} serve.request spans, "
+          f"{args.metrics} says {serve.get('requests')} requests")
+    for key, name in [("requests", "serve.requests"),
+                      ("computed_remote", "serve.computed.remote"),
+                      ("computed_local", "serve.computed.local")] + [
+                      (k, f"serve.{k}") for k in SERVE_OUTCOMES]:
+        check(serve.get(key, -1) == counter(server, name),
+              f"{args.metrics}: serve.{key} = {serve.get(key)} but server "
+              f"counter {name} = {counter(server, name)}")
+
+    # Each computation answers at most one waiter "cold"; the rest
+    # coalesce. Completions that outlive all their waiters reply to nobody,
+    # so computed >= cold.
+    computed = serve.get("computed_remote", 0) + serve.get("computed_local", 0)
+    check(serve.get("cold", 0) <= computed,
+          f"{args.metrics}: {serve.get('cold')} cold replies but only "
+          f"{computed} computations")
+    worker_requests = sum(w.get("requests", 0) for w in workers)
+    check(worker_requests == serve.get("computed_remote", -1),
+          f"{args.metrics}: workers completed {worker_requests} requests, "
+          f"serve.computed_remote says {serve.get('computed_remote')}")
+    if args.expect_workers is not None:
+        check(len(workers) == args.expect_workers,
+              f"{args.metrics}: {len(workers)} workers, "
+              f"expected {args.expect_workers}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -230,6 +347,12 @@ def main():
     p.add_argument("--csv", default=None)
     p.add_argument("--expect-workers", type=int, default=None)
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("serve", help="validate a cmetile-serve trace/report")
+    p.add_argument("file")
+    p.add_argument("--metrics", default=None)
+    p.add_argument("--expect-workers", type=int, default=None)
+    p.set_defaults(func=cmd_serve)
 
     args = parser.parse_args()
     args.func(args)
